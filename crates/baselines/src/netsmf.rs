@@ -1,0 +1,177 @@
+//! The NetSMF baseline (Qiu et al., WWW 2019), as re-characterized by the
+//! LightNE paper.
+//!
+//! Differences from LightNE, each of which the paper ablates:
+//!
+//! 1. **No edge downsampling** — every PathSampling trial is kept, so the
+//!    sparsifier holds Θ(M) entries instead of O(n log n).
+//! 2. **Per-thread aggregation buffers** merged after sampling
+//!    ([`lightne_hash::ThreadLocalAggregator`]) — memory proportional to
+//!    the *sample count*, the reason NetSMF capped out at `M = 8Tm` on a
+//!    1.7 TB machine (Section 5.2.4).
+//! 3. **No spectral propagation** — the factorization output is final.
+//!
+//! The estimator and randomized SVD are shared with LightNE, so quality
+//! differences in experiments come from the above, not implementation
+//! noise.
+
+use lightne_graph::GraphOps;
+use lightne_hash::{EdgeAggregator, ThreadLocalAggregator};
+use lightne_linalg::{randomized_svd, DenseMatrix, RsvdConfig};
+use lightne_sparsifier::construct::{sample_into, SamplerConfig, SamplerStats};
+use lightne_sparsifier::netmf::sparsifier_to_netmf;
+use lightne_utils::timer::StageTimer;
+
+/// NetSMF configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NetSmfConfig {
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Context window `T`.
+    pub window: usize,
+    /// Samples as a ratio of `T·m` (the paper runs NetSMF at 1–8).
+    pub sample_ratio: f64,
+    /// Negative samples `b`.
+    pub negative: f64,
+    /// Randomized-SVD oversampling / power iterations.
+    pub oversampling: usize,
+    /// Randomized-SVD subspace iterations.
+    pub power_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NetSmfConfig {
+    fn default() -> Self {
+        Self {
+            dim: 128,
+            window: 10,
+            sample_ratio: 1.0,
+            negative: 1.0,
+            oversampling: 16,
+            power_iters: 1,
+            seed: 0x5e75,
+        }
+    }
+}
+
+/// Result of a NetSMF run.
+#[derive(Debug, Clone)]
+pub struct NetSmfOutput {
+    /// The `n × d` embedding.
+    pub embedding: DenseMatrix,
+    /// Sampler statistics (note `aggregator_bytes` grows with samples).
+    pub sampler: SamplerStats,
+    /// Stage timings (sparsifier construction, randomized SVD).
+    pub timings: StageTimer,
+}
+
+/// The NetSMF system.
+#[derive(Debug, Clone)]
+pub struct NetSmf {
+    cfg: NetSmfConfig,
+}
+
+impl NetSmf {
+    /// Creates a NetSMF instance.
+    pub fn new(cfg: NetSmfConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Embeds the graph.
+    pub fn embed<G: GraphOps>(&self, g: &G) -> NetSmfOutput {
+        let cfg = &self.cfg;
+        let mut timings = StageTimer::new();
+
+        timings.begin("parallel sparsifier construction");
+        let samples =
+            (cfg.sample_ratio * cfg.window as f64 * g.num_edges() as f64).round() as u64;
+        let sampler_cfg = SamplerConfig {
+            window: cfg.window,
+            samples: samples.max(1),
+            downsample: false,
+            c_factor: None,
+            seed: cfg.seed,
+        };
+        let agg = ThreadLocalAggregator::new();
+        let sampler = sample_into(g, &sampler_cfg, &agg);
+        let coo = agg.into_coo();
+        let netmf = sparsifier_to_netmf(g, coo, sampler_cfg.samples, cfg.negative);
+
+        timings.begin("randomized svd");
+        let svd = randomized_svd(
+            &netmf,
+            &RsvdConfig {
+                rank: cfg.dim,
+                oversampling: cfg.oversampling,
+                power_iters: cfg.power_iters,
+                seed: cfg.seed.wrapping_add(0x5EED),
+            },
+        );
+        let embedding = svd.embedding();
+        timings.finish();
+
+        NetSmfOutput { embedding, sampler, timings }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightne_core::{LightNe, LightNeConfig};
+    use lightne_gen::generators::erdos_renyi;
+
+    #[test]
+    fn produces_embedding() {
+        let g = erdos_renyi(300, 3000, 1);
+        let out = NetSmf::new(NetSmfConfig { dim: 16, window: 5, sample_ratio: 1.0, ..Default::default() })
+            .embed(&g);
+        assert_eq!(out.embedding.rows(), 300);
+        assert_eq!(out.embedding.cols(), 16);
+        assert!(out.timings.get("randomized svd").is_some());
+    }
+
+    #[test]
+    fn memory_grows_with_samples_unlike_lightne() {
+        // The §5.2.4 contrast in miniature: NetSMF's aggregation memory
+        // scales with M, LightNE's with distinct kept entries.
+        let g = erdos_renyi(400, 4000, 2);
+        let small = NetSmf::new(NetSmfConfig { dim: 8, window: 5, sample_ratio: 0.5, ..Default::default() })
+            .embed(&g);
+        let large = NetSmf::new(NetSmfConfig { dim: 8, window: 5, sample_ratio: 4.0, ..Default::default() })
+            .embed(&g);
+        assert!(
+            large.sampler.aggregator_bytes > 3 * small.sampler.aggregator_bytes,
+            "netsmf memory should scale with samples: {} vs {}",
+            large.sampler.aggregator_bytes,
+            small.sampler.aggregator_bytes
+        );
+
+        // At a high sample ratio the contrast is stark: NetSMF buffers all
+        // samples, while LightNE's table is capped by distinct pairs (at
+        // most n² here, far fewer in general).
+        let huge = NetSmf::new(NetSmfConfig { dim: 8, window: 5, sample_ratio: 16.0, ..Default::default() })
+            .embed(&g);
+        let lightne = LightNe::new(LightNeConfig {
+            dim: 8,
+            window: 5,
+            sample_ratio: 16.0,
+            ..Default::default()
+        })
+        .embed(&g);
+        assert!(
+            2 * lightne.sampler.aggregator_bytes < huge.sampler.aggregator_bytes,
+            "lightne {} should use far less aggregation memory than netsmf {}",
+            lightne.sampler.aggregator_bytes,
+            huge.sampler.aggregator_bytes
+        );
+    }
+
+    #[test]
+    fn no_downsampling_keeps_every_trial() {
+        let g = erdos_renyi(200, 2000, 3);
+        let out = NetSmf::new(NetSmfConfig { dim: 8, window: 4, sample_ratio: 1.0, ..Default::default() })
+            .embed(&g);
+        assert_eq!(out.sampler.trials, out.sampler.kept);
+    }
+}

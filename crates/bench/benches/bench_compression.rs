@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the parallel-byte compressed format (Section 4.1).
+//!
+//! Reproduces the block-size trade-off the paper evaluated before picking
+//! 64: smaller blocks fetch an arbitrary incident edge faster (less to
+//! decode) but compress worse; larger blocks compress better but slow the
+//! random walks. Also reports encode/decode throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lightne_gen::generators::chung_lu;
+use lightne_graph::{CompressedGraph, GraphOps};
+use lightne_utils::rng::XorShiftStream;
+use std::hint::black_box;
+
+fn bench_block_size_tradeoff(c: &mut Criterion) {
+    let g = chung_lu(20_000, 400_000, 2.3, 1);
+    let raw_bytes = g.num_arcs() * 4;
+
+    let mut group = c.benchmark_group("ith_neighbor_by_block_size");
+    group.sample_size(20);
+    for block in [16usize, 64, 256] {
+        let cg = CompressedGraph::from_graph_with_block_size(&g, block);
+        eprintln!(
+            "block={block}: arena {} bytes ({:.2}x raw)",
+            cg.arena_bytes(),
+            cg.arena_bytes() as f64 / raw_bytes as f64
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(block), &cg, |b, cg| {
+            let mut rng = XorShiftStream::new(3, 0);
+            b.iter(|| {
+                let v = rng.bounded_usize(20_000) as u32;
+                let d = cg.degree(v);
+                if d > 0 {
+                    black_box(cg.ith_neighbor(v, rng.bounded_usize(d)));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let g = chung_lu(20_000, 400_000, 2.3, 2);
+    let cg = CompressedGraph::from_graph(&g);
+
+    let mut group = c.benchmark_group("compression");
+    group.sample_size(10);
+    group.bench_function("encode_full_graph", |b| {
+        b.iter(|| black_box(CompressedGraph::from_graph(&g)))
+    });
+    group.bench_function("decode_all_neighbors", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..cg.num_vertices() as u32 {
+                cg.for_each_neighbor(v, |u| acc = acc.wrapping_add(u as u64));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("scan_uncompressed_baseline", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..g.num_vertices() as u32 {
+                for &u in g.neighbors(v) {
+                    acc = acc.wrapping_add(u as u64);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_block_size_tradeoff, bench_encode_decode);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the sparse parallel hash table (Section 4.2).
+//!
+//! Compares the lock-free concurrent table against the NetSMF-style
+//! per-thread buffers and a naive `Mutex<HashMap>` on the aggregation
+//! workload (many weighted inserts over a skewed key distribution), plus
+//! the `xadd`-analogue contended-counter case the paper cites.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightne_hash::{ConcurrentEdgeTable, EdgeAggregator, ThreadLocalAggregator};
+use lightne_utils::rng::XorShiftStream;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+const OPS: usize = 200_000;
+const DISTINCT: u64 = 10_000;
+
+fn keys() -> Vec<(u32, u32)> {
+    let mut rng = XorShiftStream::new(1, 0);
+    (0..OPS)
+        .map(|_| {
+            // Skewed: square the uniform to concentrate on low ids.
+            let x = rng.unit_f64();
+            let u = ((x * x) * DISTINCT as f64) as u32;
+            (u, u + 1)
+        })
+        .collect()
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let keys = keys();
+    let mut group = c.benchmark_group("edge_aggregation_200k_ops");
+    group.sample_size(10);
+
+    group.bench_function("concurrent_table", |b| {
+        b.iter(|| {
+            let t = ConcurrentEdgeTable::with_expected(DISTINCT as usize);
+            for &(u, v) in &keys {
+                t.add_edge(u, v, 1.0);
+            }
+            black_box(t.len())
+        })
+    });
+
+    group.bench_function("thread_local_buffers", |b| {
+        b.iter(|| {
+            let t = ThreadLocalAggregator::new();
+            for &(u, v) in &keys {
+                t.add(u, v, 1.0);
+            }
+            black_box(t.into_coo().len())
+        })
+    });
+
+    group.bench_function("mutex_hashmap", |b| {
+        b.iter(|| {
+            let t: Mutex<HashMap<(u32, u32), f32>> = Mutex::new(HashMap::new());
+            for &(u, v) in &keys {
+                *t.lock().entry((u, v)).or_insert(0.0) += 1.0;
+            }
+            let len = t.lock().len();
+            black_box(len)
+        })
+    });
+    group.finish();
+}
+
+fn bench_contended_counter(c: &mut Criterion) {
+    // The paper's xadd-vs-CAS note: all updates hit one slot.
+    let mut group = c.benchmark_group("single_hot_key");
+    group.sample_size(10);
+    group.bench_function("concurrent_table_hot", |b| {
+        b.iter(|| {
+            let t = ConcurrentEdgeTable::with_expected(16);
+            for _ in 0..OPS {
+                t.add_edge(1, 2, 1.0);
+            }
+            black_box(t.get(1, 2))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation, bench_contended_counter);
+criterion_main!(benches);

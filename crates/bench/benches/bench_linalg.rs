@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the linear-algebra kernels replacing Intel MKL
+//! (Section 4.3 / Algorithm 3): GEMM, Gram products, orthonormalization,
+//! the small Jacobi SVD, SPMM, and the full randomized SVD.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lightne_linalg::qr::orthonormalize_columns;
+use lightne_linalg::svd::jacobi_svd;
+use lightne_linalg::{randomized_svd, CsrMatrix, DenseMatrix, RsvdConfig};
+use lightne_utils::rng::XorShiftStream;
+use std::hint::black_box;
+
+fn sparse_random(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = XorShiftStream::new(seed, 0);
+    let mut coo = Vec::with_capacity(n * nnz_per_row);
+    for i in 0..n as u32 {
+        for _ in 0..nnz_per_row {
+            coo.push((i, rng.bounded_usize(n) as u32, rng.unit_f32()));
+        }
+    }
+    CsrMatrix::from_coo(n, n, coo)
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_kernels");
+    group.sample_size(10);
+
+    let a = DenseMatrix::gaussian(256, 256, 1);
+    let b2 = DenseMatrix::gaussian(256, 256, 2);
+    group.bench_function("gemm_256x256", |b| b.iter(|| black_box(a.matmul(&b2))));
+
+    let tall = DenseMatrix::gaussian(50_000, 32, 3);
+    group.bench_function("gram_tn_50k_x32", |b| b.iter(|| black_box(tall.gram_tn(&tall))));
+
+    group.bench_function("mgs_qr_50k_x32", |b| {
+        b.iter(|| {
+            let mut x = tall.clone();
+            black_box(orthonormalize_columns(&mut x))
+        })
+    });
+
+    let small = DenseMatrix::gaussian(48, 48, 4);
+    group.bench_function("jacobi_svd_48x48", |b| b.iter(|| black_box(jacobi_svd(&small))));
+    group.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_kernels");
+    group.sample_size(10);
+
+    let m = sparse_random(50_000, 20, 5);
+    let x = DenseMatrix::gaussian(50_000, 32, 6);
+    group.bench_function("spmm_1m_nnz_x32", |b| b.iter(|| black_box(m.spmm(&x))));
+
+    group.bench_function("rsvd_rank32_1m_nnz", |b| {
+        b.iter(|| {
+            black_box(randomized_svd(
+                &m,
+                &RsvdConfig { rank: 32, oversampling: 8, power_iters: 1, seed: 7 },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense, bench_sparse);
+criterion_main!(benches);

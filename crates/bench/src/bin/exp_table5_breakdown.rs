@@ -1,0 +1,96 @@
+//! Table 5 — the running-time distribution over pipeline stages.
+//!
+//! Paper's rows on OAG:
+//!
+//! ```text
+//!                   sparsifier   rSVD      propagation
+//! LightNE-Large     32.8 min     49.9 min  8.1 min
+//! NetSMF (M=8Tm)    18 h         4 h       NA
+//! LightNE-Small     1.4 min      10.5 min  8.2 min
+//! ProNE+            NA           12.0 min  8.2 min
+//! ```
+//!
+//! Shape targets: NetSMF's sparsifier stage dwarfs LightNE-Large's
+//! (downsampling + shared hashing), and LightNE-Small's propagation time
+//! matches ProNE+'s exactly (identical code path).
+
+use lightne_baselines::{NetSmf, NetSmfConfig, ProNe, ProNeConfig};
+use lightne_bench::harness::{header, Args};
+use lightne_core::{pipeline, LightNe, LightNeConfig};
+use lightne_gen::profiles::Profile;
+use lightne_utils::timer::{humanize, StageTimer};
+
+fn row(name: &str, t: &StageTimer) {
+    let get = |stage: &str| -> String {
+        t.stages()
+            .iter()
+            .find(|s| s.name.contains(stage))
+            .map(|s| humanize(s.duration))
+            .unwrap_or_else(|| "NA".into())
+    };
+    println!(
+        "{:<18} {:>14} {:>14} {:>14}",
+        name,
+        get("sparsifier"),
+        get("svd"),
+        get("propagation")
+    );
+}
+
+fn main() {
+    let args = Args::parse(0.0001, 32);
+    let window = 10;
+    let data = Profile::Oag.generate(args.scale, args.seed);
+    println!("{}", data.stats_row());
+
+    header("Table 5: running time per stage");
+    println!(
+        "{:<18} {:>14} {:>14} {:>14}",
+        "Method", "sparsifier", "randomized svd", "propagation"
+    );
+
+    let large = LightNe::new(LightNeConfig {
+        dim: args.dim,
+        window,
+        sample_ratio: 20.0,
+        ..Default::default()
+    })
+    .embed(&data.graph);
+    row("LightNE-Large", &large.timings);
+
+    let netsmf = NetSmf::new(NetSmfConfig {
+        dim: args.dim,
+        window,
+        sample_ratio: 8.0,
+        ..Default::default()
+    })
+    .embed(&data.graph);
+    row("NetSMF (M=8Tm)", &netsmf.timings);
+
+    let small = LightNe::new(LightNeConfig {
+        dim: args.dim,
+        window,
+        sample_ratio: 0.1,
+        ..Default::default()
+    })
+    .embed(&data.graph);
+    row("LightNE-Small", &small.timings);
+
+    let prone = ProNe::new(ProNeConfig { dim: args.dim, ..Default::default() }).embed(&data.graph);
+    row("ProNE+", &prone.timings);
+
+    let spars_large = large.timings.get(pipeline::STAGE_SPARSIFIER).unwrap();
+    let spars_netsmf = netsmf.timings.get("parallel sparsifier construction").unwrap();
+    println!(
+        "\nshape checks:\n\
+         - NetSMF sparsifier vs LightNE-Large sparsifier: {:.1}x slower (paper: 33x)\n\
+         - LightNE-Small and ProNE+ propagation should match (same code)",
+        spars_netsmf.as_secs_f64() / spars_large.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "- NetMF matrix nnz: LightNE-Small {} vs ProNE+ {} (paper: Small can be sparser than m={})",
+        small.netmf_nnz,
+        prone.matrix_nnz,
+        data.graph.num_edges()
+    );
+}

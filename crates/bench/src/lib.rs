@@ -1,0 +1,96 @@
+//! Benchmark harness for the LightNE reproduction.
+//!
+//! One binary per table/figure of the paper's evaluation (Section 5) lives
+//! in `src/bin/`; Criterion micro-benchmarks live in `benches/`. This
+//! library hosts the shared plumbing: argument parsing, run timing and
+//! table rendering.
+//!
+//! Every binary accepts `--scale <f>` (vertex-count multiplier applied to
+//! the paper dataset profiles; defaults are laptop-sized), `--seed <n>`
+//! and `--dim <d>`, so the same harness reproduces shapes at any size the
+//! host machine affords.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness {
+    //! Shared experiment plumbing.
+
+    use std::time::{Duration, Instant};
+
+    /// Common command-line arguments of every experiment binary.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Args {
+        /// Vertex-count multiplier applied to dataset profiles.
+        pub scale: f64,
+        /// Master RNG seed.
+        pub seed: u64,
+        /// Embedding dimension.
+        pub dim: usize,
+    }
+
+    impl Args {
+        /// Parses `--scale`, `--seed` and `--dim` from `std::env::args`,
+        /// with the given defaults.
+        pub fn parse(default_scale: f64, default_dim: usize) -> Self {
+            let mut out = Self { scale: default_scale, seed: 42, dim: default_dim };
+            let argv: Vec<String> = std::env::args().collect();
+            let mut i = 1;
+            while i < argv.len() {
+                let key = argv[i].as_str();
+                let val = argv.get(i + 1).unwrap_or_else(|| panic!("{key} needs a value"));
+                match key {
+                    "--scale" => out.scale = val.parse().expect("bad --scale"),
+                    "--seed" => out.seed = val.parse().expect("bad --seed"),
+                    "--dim" => out.dim = val.parse().expect("bad --dim"),
+                    other => panic!("unknown argument {other}"),
+                }
+                i += 2;
+            }
+            out
+        }
+    }
+
+    /// Times a closure, returning its result and the elapsed wall-clock.
+    pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+        let start = Instant::now();
+        let out = f();
+        (out, start.elapsed())
+    }
+
+    /// Prints a section header.
+    pub fn header(title: &str) {
+        println!("\n=== {title} ===");
+    }
+
+    /// Formats a duration like the paper ("5.83 min", "1.53 h").
+    pub fn fmt_time(d: Duration) -> String {
+        lightne_utils::timer::humanize(d)
+    }
+
+    /// Formats a dollar amount.
+    pub fn fmt_cost(dollars: f64) -> String {
+        format!("${dollars:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::harness::*;
+
+    #[test]
+    fn timed_measures() {
+        let (v, d) = timed(|| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            7
+        });
+        assert_eq!(v, 7);
+        assert!(d >= std::time::Duration::from_millis(5));
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert!(fmt_time(std::time::Duration::from_secs(90)).contains('s'));
+        assert_eq!(fmt_cost(1.5), "$1.5000");
+    }
+}

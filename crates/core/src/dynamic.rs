@@ -1,0 +1,313 @@
+//! Dynamic / streaming embedding — the paper's stated future work.
+//!
+//! The conclusion of the paper: *"We also would like to study large-scale
+//! network embedding in a streaming or dynamic setting."* The motivating
+//! scenarios of Section 1 (Alibaba's and LinkedIn's periodic
+//! re-embedding as edges arrive) are exactly this. This module implements
+//! the natural LightNE-native design:
+//!
+//! * the graph is kept as an edge log plus a rebuilt CSR;
+//! * the *sparsifier hash table is persistent* across updates — because
+//!   the estimator is a sum of independent per-edge sample contributions,
+//!   new edges simply contribute additional weighted samples at the
+//!   current per-edge rate, while existing mass is retained;
+//! * re-embedding re-runs only the cheap stages (NetMF conversion +
+//!   randomized SVD + propagation) over the maintained table.
+//!
+//! The approximation: walks for *old* samples were taken on the old
+//! graph. For the incremental regime the paper targets (a few percent of
+//! new edges between re-embeds) this drift is second-order, and the
+//! `incremental_matches_full_rebuild_quality` test quantifies it.
+
+use crate::pipeline::{LightNe, LightNeConfig, LightNeOutput};
+use lightne_graph::{Graph, GraphBuilder, VertexId};
+use lightne_hash::{ConcurrentEdgeTable, EdgeAggregator};
+use lightne_linalg::{randomized_svd, RsvdConfig};
+use lightne_sparsifier::construct::SamplerStats;
+use lightne_sparsifier::downsample::{default_c, edge_probability};
+use lightne_sparsifier::netmf::sparsifier_to_netmf;
+use lightne_sparsifier::path_sampling::path_sample;
+use lightne_utils::rng::XorShiftStream;
+use lightne_utils::timer::StageTimer;
+
+/// A LightNE instance that absorbs edge insertions and re-embeds
+/// incrementally.
+pub struct DynamicLightNe {
+    cfg: LightNeConfig,
+    n: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    graph: Graph,
+    table: ConcurrentEdgeTable,
+    /// Total trials contributed to the table so far (the `M` of the
+    /// estimator denominator).
+    total_trials: u64,
+    /// Monotone counter deriving fresh RNG streams for new batches.
+    epoch: u64,
+}
+
+impl DynamicLightNe {
+    /// Creates an empty dynamic embedder over `n` vertices.
+    pub fn new(n: usize, cfg: LightNeConfig) -> Self {
+        Self {
+            cfg,
+            n,
+            edges: Vec::new(),
+            graph: Graph::empty(n),
+            table: ConcurrentEdgeTable::with_expected(1024),
+            total_trials: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Current number of (undirected) edges absorbed.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// The current graph snapshot.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Trials accumulated in the persistent sparsifier.
+    pub fn total_trials(&self) -> u64 {
+        self.total_trials
+    }
+
+    /// Absorbs a batch of new edges: rebuilds the CSR snapshot and adds
+    /// sparsifier samples *only for the new edges*, at the same per-edge
+    /// trial rate the existing table was built with.
+    pub fn insert_edges(&mut self, batch: &[(VertexId, VertexId)]) -> SamplerStats {
+        self.epoch += 1;
+        self.edges.extend_from_slice(batch);
+        let mut builder = GraphBuilder::new(self.n);
+        builder.add_edges(self.edges.iter().copied());
+        self.graph = builder.build();
+
+        // Per-arc trial rate: sample_ratio · T · m / (2m) = ratio·T/2.
+        let per_arc = (self.cfg.sample_ratio * self.cfg.window as f64 / 2.0).max(0.5);
+        let c = self
+            .cfg
+            .c_factor
+            .unwrap_or_else(|| default_c(self.graph.num_vertices()));
+        let g = &self.graph;
+        let t = self.cfg.window;
+        let mut trials = 0u64;
+        let mut kept = 0u64;
+
+        for (i, &(u, v)) in batch.iter().enumerate() {
+            if u == v {
+                continue;
+            }
+            let mut rng = XorShiftStream::new(
+                self.cfg.seed ^ (self.epoch << 32),
+                i as u64,
+            );
+            // Both orientations, like the static sampler's MapEdges.
+            for (a, b) in [(u, v), (v, u)] {
+                let n_e = per_arc.floor() as u64
+                    + u64::from(rng.bernoulli(per_arc.fract()));
+                let p_e = if self.cfg.downsample {
+                    edge_probability(g.degree(a), g.degree(b), c)
+                } else {
+                    1.0
+                };
+                let w = (1.0 / p_e) as f32;
+                for _ in 0..n_e {
+                    trials += 1;
+                    if p_e < 1.0 && !rng.bernoulli(p_e) {
+                        continue;
+                    }
+                    kept += 1;
+                    let r = 1 + rng.bounded_usize(t);
+                    let (x, y) = path_sample(g, a, b, r, &mut rng);
+                    self.table.add(x, y, w);
+                    self.table.add(y, x, w);
+                }
+            }
+        }
+        self.total_trials += trials;
+        SamplerStats {
+            trials,
+            kept,
+            distinct_entries: self.table.len(),
+            aggregator_bytes: self.table.memory_bytes(),
+        }
+    }
+
+    /// Re-embeds from the persistent sparsifier: NetMF conversion,
+    /// randomized SVD, and (if configured) spectral propagation — without
+    /// re-sampling old edges.
+    pub fn reembed(&self) -> LightNeOutput {
+        assert!(self.total_trials > 0, "no edges absorbed yet");
+        let cfg = &self.cfg;
+        let mut timings = StageTimer::new();
+
+        timings.begin(crate::pipeline::STAGE_SPARSIFIER);
+        // Snapshot the table without consuming it.
+        let coo: Vec<(u32, u32, f32)> = {
+            let mut out = Vec::with_capacity(self.table.len());
+            // Non-destructive drain: rebuild from a clone of entries.
+            for (u, v, w) in self.snapshot_entries() {
+                out.push((u, v, w));
+            }
+            out
+        };
+        let netmf = sparsifier_to_netmf(&self.graph, coo, self.total_trials, cfg.negative);
+        let netmf_nnz = netmf.nnz();
+
+        timings.begin(crate::pipeline::STAGE_RSVD);
+        let svd = randomized_svd(
+            &netmf,
+            &RsvdConfig {
+                rank: cfg.dim,
+                oversampling: cfg.oversampling,
+                power_iters: cfg.power_iters,
+                seed: cfg.seed.wrapping_add(0x5EED),
+            },
+        );
+        let initial = svd.embedding();
+
+        let embedding = match &cfg.propagation {
+            Some(p) => {
+                timings.begin(crate::pipeline::STAGE_PROPAGATION);
+                crate::propagation::spectral_propagation(&self.graph, &initial, p)
+            }
+            None => initial.clone(),
+        };
+        timings.finish();
+
+        LightNeOutput {
+            embedding,
+            initial_embedding: initial,
+            sampler: SamplerStats {
+                trials: self.total_trials,
+                kept: 0,
+                distinct_entries: self.table.len(),
+                aggregator_bytes: self.table.memory_bytes(),
+            },
+            netmf_nnz,
+            timings,
+        }
+    }
+
+    /// A full, from-scratch LightNE run on the current snapshot (the
+    /// expensive alternative the incremental path avoids).
+    pub fn full_rebuild(&self) -> LightNeOutput {
+        LightNe::new(self.cfg).embed(&self.graph)
+    }
+
+    fn snapshot_entries(&self) -> Vec<(u32, u32, f32)> {
+        // ConcurrentEdgeTable drains by value; iterate entries via the
+        // cheap route: probe every distinct key through a temporary drain
+        // of a clone-free copy. Since the table API is drain-only, we
+        // rebuild the entry list from the edge log's perspective instead:
+        // read every stored pair through `get` would require knowing the
+        // keys, so the table exposes its contents through into_coo on a
+        // clone built here.
+        self.table.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightne_eval::classify::evaluate_node_classification;
+    use lightne_gen::sbm::{labelled_sbm, SbmConfig};
+    use lightne_utils::rng::XorShiftStream;
+
+    fn cfg() -> LightNeConfig {
+        LightNeConfig { dim: 16, window: 5, sample_ratio: 2.0, ..Default::default() }
+    }
+
+    fn sbm_edges(n: usize, seed: u64) -> (Vec<(u32, u32)>, lightne_gen::Labels) {
+        let c = SbmConfig { n, communities: 5, avg_degree: 20.0, mixing: 0.08, overlap: 0.1, gamma: 2.5 };
+        let (g, labels) = labelled_sbm(&c, seed);
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for &v in g.neighbors(u) {
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        (edges, labels)
+    }
+
+    #[test]
+    fn absorbs_batches_and_grows() {
+        let (edges, _) = sbm_edges(400, 1);
+        let mut dyn_ne = DynamicLightNe::new(400, cfg());
+        let half = edges.len() / 2;
+        let s1 = dyn_ne.insert_edges(&edges[..half]);
+        assert!(s1.trials > 0);
+        let m1 = dyn_ne.num_edges();
+        let s2 = dyn_ne.insert_edges(&edges[half..]);
+        assert!(dyn_ne.num_edges() > m1);
+        assert!(s2.distinct_entries >= s1.distinct_entries);
+        assert_eq!(dyn_ne.total_trials(), s1.trials + s2.trials);
+    }
+
+    #[test]
+    fn reembed_produces_valid_embedding() {
+        let (edges, _) = sbm_edges(300, 2);
+        let mut dyn_ne = DynamicLightNe::new(300, cfg());
+        dyn_ne.insert_edges(&edges);
+        let out = dyn_ne.reembed();
+        assert_eq!(out.embedding.rows(), 300);
+        assert_eq!(out.embedding.cols(), 16);
+        assert!(out.embedding.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn incremental_matches_full_rebuild_quality() {
+        // Insert 90% of edges, re-embed, insert the trailing 10%, and
+        // compare incremental re-embed vs full rebuild on classification.
+        let (mut edges, labels) = sbm_edges(600, 3);
+        // Shuffle so the trailing batch is structurally unbiased.
+        let mut rng = XorShiftStream::new(9, 0);
+        for i in (1..edges.len()).rev() {
+            let j = rng.bounded_usize(i + 1);
+            edges.swap(i, j);
+        }
+        let cut = edges.len() * 9 / 10;
+        let mut dyn_ne = DynamicLightNe::new(600, cfg());
+        dyn_ne.insert_edges(&edges[..cut]);
+        dyn_ne.insert_edges(&edges[cut..]);
+
+        let inc = dyn_ne.reembed();
+        let full = dyn_ne.full_rebuild();
+        let f_inc = evaluate_node_classification(&inc.embedding, &labels, 0.3, 4);
+        let f_full = evaluate_node_classification(&full.embedding, &labels, 0.3, 4);
+        assert!(
+            f_inc.micro > f_full.micro - 8.0,
+            "incremental {} far below full {}",
+            f_inc.micro,
+            f_full.micro
+        );
+        // And both are far above chance (~20% for 5 communities).
+        assert!(f_inc.micro > 50.0, "incremental quality collapsed: {}", f_inc.micro);
+    }
+
+    #[test]
+    fn new_edges_only_sampling_is_cheaper_than_full() {
+        let (edges, _) = sbm_edges(500, 5);
+        let cut = edges.len() * 95 / 100;
+        let mut dyn_ne = DynamicLightNe::new(500, cfg());
+        let s_bulk = dyn_ne.insert_edges(&edges[..cut]);
+        let s_inc = dyn_ne.insert_edges(&edges[cut..]);
+        assert!(
+            s_inc.trials * 10 < s_bulk.trials,
+            "incremental batch sampled too much: {} vs {}",
+            s_inc.trials,
+            s_bulk.trials
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no edges absorbed")]
+    fn reembed_requires_edges() {
+        let dyn_ne = DynamicLightNe::new(10, cfg());
+        let _ = dyn_ne.reembed();
+    }
+}

@@ -1,0 +1,188 @@
+//! Sparse-matrix views of a graph.
+//!
+//! The propagation stage and the ProNE+ baseline both operate on matrices
+//! derived from the adjacency structure: the adjacency matrix `A`, the
+//! random-walk transition matrix `D⁻¹A` and the normalized graph Laplacian
+//! `L = I − D⁻¹A` (Table 1 of the paper). These constructors build them in
+//! parallel directly from CSR neighbor lists.
+
+use lightne_graph::GraphOps;
+use lightne_linalg::CsrMatrix;
+use rayon::prelude::*;
+
+/// Collects a graph's arcs as weighted COO triples, applying `weight(u, v)`.
+fn arcs_coo<G, W>(g: &G, weight: W) -> Vec<(u32, u32, f32)>
+where
+    G: GraphOps,
+    W: Fn(u32, u32) -> f32 + Sync + Send,
+{
+    (0..g.num_vertices() as u32)
+        .into_par_iter()
+        .flat_map_iter(|u| {
+            let mut row = Vec::with_capacity(g.degree(u));
+            g.for_each_neighbor(u, &mut |v| row.push((u, v, weight(u, v))));
+            row
+        })
+        .collect()
+}
+
+/// The (unweighted) adjacency matrix `A`.
+pub fn adjacency<G: GraphOps>(g: &G) -> CsrMatrix {
+    CsrMatrix::from_coo(g.num_vertices(), g.num_vertices(), arcs_coo(g, |_, _| 1.0))
+}
+
+/// The random-walk transition matrix `D⁻¹A` (rows sum to 1).
+pub fn transition<G: GraphOps>(g: &G) -> CsrMatrix {
+    CsrMatrix::from_coo(
+        g.num_vertices(),
+        g.num_vertices(),
+        arcs_coo(g, |u, _| 1.0 / g.degree(u) as f32),
+    )
+}
+
+/// The normalized graph Laplacian `L = I − D⁻¹A`. Isolated vertices get
+/// `L_vv = 1` (their row of `D⁻¹A` is zero).
+pub fn normalized_laplacian<G: GraphOps>(g: &G) -> CsrMatrix {
+    let n = g.num_vertices();
+    let mut coo = arcs_coo(g, |u, _| -1.0 / g.degree(u) as f32);
+    coo.extend((0..n as u32).map(|v| (v, v, 1.0f32)));
+    CsrMatrix::from_coo(n, n, coo)
+}
+
+/// The self-looped transition matrix `D̃⁻¹Ã` with `Ã = A + I`, the
+/// smoothed operator ProNE's filter is built on (self-loops bound the
+/// spectrum away from bipartite oscillation).
+pub fn transition_with_self_loops<G: GraphOps>(g: &G) -> CsrMatrix {
+    let n = g.num_vertices();
+    let mut coo = arcs_coo(g, |u, _| 1.0 / (g.degree(u) + 1) as f32);
+    coo.extend((0..n as u32).map(|v| (v, v, 1.0 / (g.degree(v) + 1) as f32)));
+    CsrMatrix::from_coo(n, n, coo)
+}
+
+/// Weighted self-looped transition `D̃⁻¹Ã` with `Ã = A + I` (the unit
+/// self-loop convention ProNE uses carries over to weighted graphs).
+pub fn weighted_transition_with_self_loops(g: &lightne_graph::WeightedGraph) -> CsrMatrix {
+    let n = g.num_vertices();
+    let mut coo: Vec<(u32, u32, f32)> = Vec::with_capacity(g.num_arcs() + n);
+    for u in 0..n as u32 {
+        let d = (g.weighted_degree(u) + 1.0) as f32;
+        let (nb, ws) = g.neighbors(u);
+        for (&v, &w) in nb.iter().zip(ws) {
+            coo.push((u, v, w / d));
+        }
+        coo.push((u, u, 1.0 / d));
+    }
+    CsrMatrix::from_coo(n, n, coo)
+}
+
+/// Weighted self-looped adjacency `A + I`.
+pub fn weighted_adjacency_plus_i(g: &lightne_graph::WeightedGraph) -> CsrMatrix {
+    let n = g.num_vertices();
+    let mut coo: Vec<(u32, u32, f32)> = Vec::with_capacity(g.num_arcs() + n);
+    for u in 0..n as u32 {
+        let (nb, ws) = g.neighbors(u);
+        for (&v, &w) in nb.iter().zip(ws) {
+            coo.push((u, v, w));
+        }
+        coo.push((u, u, 1.0));
+    }
+    CsrMatrix::from_coo(n, n, coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightne_gen::generators::erdos_renyi;
+    use lightne_graph::GraphBuilder;
+
+    #[test]
+    fn weighted_transition_rows_stochastic() {
+        let g = lightne_graph::WeightedGraph::from_edges(
+            3,
+            &[(0, 1, 2.0), (1, 2, 3.0)],
+        );
+        let p = weighted_transition_with_self_loops(&g);
+        for i in 0..3 {
+            let s: f32 = p.row(i).1.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "row {i}: {s}");
+        }
+        // P[0,1] = 2/(2+1)
+        assert!((p.get(0, 1) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_adjacency_keeps_weights_and_loops() {
+        let g = lightne_graph::WeightedGraph::from_edges(2, &[(0, 1, 5.0)]);
+        let a = weighted_adjacency_plus_i(&g);
+        assert_eq!(a.get(0, 1), 5.0);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn adjacency_matches_graph() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let a = adjacency(&g);
+        assert_eq!(a.nnz(), 6);
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), 1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn transition_rows_sum_to_one() {
+        let g = erdos_renyi(100, 600, 1);
+        let p = transition(&g);
+        for i in 0..100 {
+            let (_, vals) = p.row(i);
+            if g.degree(i as u32) > 0 {
+                let s: f32 = vals.iter().sum();
+                assert!((s - 1.0).abs() < 1e-5, "row {i}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_rows_sum_to_zero() {
+        let g = erdos_renyi(100, 600, 2);
+        let l = normalized_laplacian(&g);
+        let ones = vec![1.0f32; 100];
+        let y = l.mul_vec(&ones);
+        for (i, v) in y.iter().enumerate() {
+            if g.degree(i as u32) > 0 {
+                assert!(v.abs() < 1e-5, "row {i}: {v}");
+            } else {
+                assert!((v - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_transition_stochastic() {
+        let g = GraphBuilder::from_edges(3, &[(0, 1)]);
+        let p = transition_with_self_loops(&g);
+        // Vertex 2 is isolated: with the self-loop its row is just itself.
+        assert_eq!(p.get(2, 2), 1.0);
+        let s: f32 = p.row(0).1.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn laplacian_psd_quadratic_form() {
+        // xᵀ D L x = Σ_{(u,v)∈E} (x_u − x_v)² ≥ 0 for the normalized
+        // Laplacian; check on random vectors via the unnormalized identity.
+        let g = erdos_renyi(60, 300, 3);
+        let l = normalized_laplacian(&g);
+        use lightne_utils::rng::XorShiftStream;
+        let mut rng = XorShiftStream::new(5, 0);
+        for _ in 0..10 {
+            let x: Vec<f32> = (0..60).map(|_| rng.gaussian() as f32).collect();
+            let lx = l.mul_vec(&x);
+            // xᵀ D (Lx)
+            let quad: f64 = (0..60)
+                .map(|i| g.degree(i as u32) as f64 * x[i] as f64 * lx[i] as f64)
+                .sum();
+            assert!(quad > -1e-3, "quadratic form negative: {quad}");
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! The end-to-end LightNE pipeline.
+//!
+//! Wires the three stages together with the timing instrumentation the
+//! paper's Table 5 reports: parallel sparsifier construction → randomized
+//! SVD → spectral propagation. Every stage is generic over [`GraphOps`],
+//! so the same pipeline runs on the uncompressed CSR or the parallel-byte
+//! compressed graph.
+
+use crate::propagation::{spectral_propagation, PropagationConfig};
+use lightne_graph::GraphOps;
+use lightne_linalg::{randomized_svd, DenseMatrix, RsvdConfig};
+use lightne_sparsifier::construct::{build_sparsifier, SamplerConfig, SamplerStats};
+use lightne_sparsifier::netmf::sparsifier_to_netmf;
+use lightne_utils::timer::StageTimer;
+
+/// Full configuration of a LightNE run.
+#[derive(Debug, Clone, Copy)]
+pub struct LightNeConfig {
+    /// Embedding dimension `d`.
+    pub dim: usize,
+    /// Context window `T`.
+    pub window: usize,
+    /// Number of PathSampling trials, expressed as the paper's ratio:
+    /// `M = sample_ratio · T · m`. LightNE-Small uses 0.1, LightNE-Large 20.
+    pub sample_ratio: f64,
+    /// Degree-based edge downsampling on/off (Section 3.2).
+    pub downsample: bool,
+    /// Downsampling constant override (`None` = `log n`).
+    pub c_factor: Option<f64>,
+    /// Negative-sample count `b` in the NetMF matrix.
+    pub negative: f64,
+    /// Randomized-SVD oversampling.
+    pub oversampling: usize,
+    /// Randomized-SVD subspace iterations (0 = the paper's single pass).
+    pub power_iters: usize,
+    /// Spectral propagation settings; `None` skips the stage (the paper
+    /// does this for the very-large graphs, Section 5.3).
+    pub propagation: Option<PropagationConfig>,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LightNeConfig {
+    fn default() -> Self {
+        Self {
+            dim: 128,
+            window: 10,
+            sample_ratio: 1.0,
+            downsample: true,
+            c_factor: None,
+            negative: 1.0,
+            oversampling: 16,
+            power_iters: 1,
+            propagation: Some(PropagationConfig::default()),
+            seed: 0x11_97,
+        }
+    }
+}
+
+impl LightNeConfig {
+    /// The paper's LightNE-Small operating point (`M = 0.1·T·m`).
+    pub fn small() -> Self {
+        Self { sample_ratio: 0.1, ..Default::default() }
+    }
+
+    /// The paper's LightNE-Large operating point (`M = 20·T·m`).
+    pub fn large() -> Self {
+        Self { sample_ratio: 20.0, ..Default::default() }
+    }
+}
+
+/// Result of a LightNE run.
+#[derive(Debug, Clone)]
+pub struct LightNeOutput {
+    /// The final `n × d` embedding.
+    pub embedding: DenseMatrix,
+    /// The initial (pre-propagation) embedding, kept for ablations.
+    pub initial_embedding: DenseMatrix,
+    /// Sampling statistics (trials, kept, distinct entries, memory).
+    pub sampler: SamplerStats,
+    /// Non-zeros of the factorized NetMF matrix.
+    pub netmf_nnz: usize,
+    /// Per-stage wall-clock breakdown (Table 5 rows).
+    pub timings: StageTimer,
+}
+
+/// The LightNE system.
+#[derive(Debug, Clone)]
+pub struct LightNe {
+    cfg: LightNeConfig,
+}
+
+/// Stage name used in [`LightNeOutput::timings`].
+pub const STAGE_SPARSIFIER: &str = "parallel sparsifier construction";
+/// Stage name used in [`LightNeOutput::timings`].
+pub const STAGE_RSVD: &str = "randomized svd";
+/// Stage name used in [`LightNeOutput::timings`].
+pub const STAGE_PROPAGATION: &str = "spectral propagation";
+
+impl LightNe {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(cfg: LightNeConfig) -> Self {
+        assert!(cfg.dim >= 1 && cfg.window >= 1 && cfg.sample_ratio > 0.0);
+        Self { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LightNeConfig {
+        &self.cfg
+    }
+
+    /// Runs the full pipeline on a *weighted* graph: weight-proportional
+    /// PathSampling (Theorem 3.1's general form), the weighted NetMF
+    /// inversion, and propagation over the weighted operators.
+    pub fn embed_weighted(&self, g: &lightne_graph::WeightedGraph) -> LightNeOutput {
+        let cfg = &self.cfg;
+        let mut timings = StageTimer::new();
+
+        timings.begin(STAGE_SPARSIFIER);
+        let samples =
+            (cfg.sample_ratio * cfg.window as f64 * g.num_edges() as f64).round() as u64;
+        let sampler_cfg = lightne_sparsifier::construct::SamplerConfig {
+            window: cfg.window,
+            samples: samples.max(1),
+            downsample: cfg.downsample,
+            c_factor: cfg.c_factor,
+            seed: cfg.seed,
+        };
+        let (coo, sampler) =
+            lightne_sparsifier::weighted::build_weighted_sparsifier(g, &sampler_cfg);
+        let netmf = lightne_sparsifier::weighted::weighted_sparsifier_to_netmf(
+            g,
+            coo,
+            sampler_cfg.samples,
+            cfg.negative,
+        );
+        let netmf_nnz = netmf.nnz();
+
+        timings.begin(STAGE_RSVD);
+        let svd = randomized_svd(
+            &netmf,
+            &RsvdConfig {
+                rank: cfg.dim,
+                oversampling: cfg.oversampling,
+                power_iters: cfg.power_iters,
+                seed: cfg.seed.wrapping_add(0x5EED),
+            },
+        );
+        let initial = svd.embedding();
+
+        let embedding = match &cfg.propagation {
+            Some(pcfg) => {
+                timings.begin(STAGE_PROPAGATION);
+                let da = crate::graphmat::weighted_transition_with_self_loops(g);
+                let ai = crate::graphmat::weighted_adjacency_plus_i(g);
+                crate::propagation::spectral_propagation_matrices(&da, &ai, &initial, pcfg)
+            }
+            None => initial.clone(),
+        };
+        timings.finish();
+
+        LightNeOutput { embedding, initial_embedding: initial, sampler, netmf_nnz, timings }
+    }
+
+    /// Runs the full pipeline on `g`.
+    pub fn embed<G: GraphOps>(&self, g: &G) -> LightNeOutput {
+        let cfg = &self.cfg;
+        let mut timings = StageTimer::new();
+
+        // Stage 1: sparsifier construction + NetMF matrix.
+        timings.begin(STAGE_SPARSIFIER);
+        let samples =
+            (cfg.sample_ratio * cfg.window as f64 * g.num_edges() as f64).round() as u64;
+        let sampler_cfg = SamplerConfig {
+            window: cfg.window,
+            samples: samples.max(1),
+            downsample: cfg.downsample,
+            c_factor: cfg.c_factor,
+            seed: cfg.seed,
+        };
+        let (coo, sampler) = build_sparsifier(g, &sampler_cfg);
+        let netmf = sparsifier_to_netmf(g, coo, sampler_cfg.samples, cfg.negative);
+        let netmf_nnz = netmf.nnz();
+
+        // Stage 2: randomized SVD → X = U Σ^{1/2}.
+        timings.begin(STAGE_RSVD);
+        let rsvd_cfg = RsvdConfig {
+            rank: cfg.dim,
+            oversampling: cfg.oversampling,
+            power_iters: cfg.power_iters,
+            seed: cfg.seed.wrapping_add(0x5EED),
+        };
+        let svd = randomized_svd(&netmf, &rsvd_cfg);
+        let initial = svd.embedding();
+
+        // Stage 3: spectral propagation.
+        let embedding = match &cfg.propagation {
+            Some(pcfg) => {
+                timings.begin(STAGE_PROPAGATION);
+                spectral_propagation(g, &initial, pcfg)
+            }
+            None => initial.clone(),
+        };
+        timings.finish();
+
+        LightNeOutput { embedding, initial_embedding: initial, sampler, netmf_nnz, timings }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightne_gen::sbm::{labelled_sbm, SbmConfig};
+    use lightne_gen::generators::erdos_renyi;
+    use lightne_graph::CompressedGraph;
+
+    fn tiny_cfg() -> LightNeConfig {
+        LightNeConfig {
+            dim: 16,
+            window: 5,
+            sample_ratio: 2.0,
+            power_iters: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_shapes_and_stages() {
+        let g = erdos_renyi(400, 4_000, 1);
+        let out = LightNe::new(tiny_cfg()).embed(&g);
+        assert_eq!(out.embedding.rows(), 400);
+        assert_eq!(out.embedding.cols(), 16);
+        assert!(out.netmf_nnz > 0);
+        assert!(out.sampler.trials > 0);
+        let names: Vec<_> = out.timings.stages().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, [STAGE_SPARSIFIER, STAGE_RSVD, STAGE_PROPAGATION]);
+    }
+
+    #[test]
+    fn propagation_none_skips_stage() {
+        let g = erdos_renyi(200, 2_000, 2);
+        let cfg = LightNeConfig { propagation: None, ..tiny_cfg() };
+        let out = LightNe::new(cfg).embed(&g);
+        assert!(out.timings.get(STAGE_PROPAGATION).is_none());
+        assert!(out
+            .embedding
+            .max_abs_diff(&out.initial_embedding)
+            .abs()
+            < 1e-9);
+    }
+
+    #[test]
+    fn compressed_graph_gives_same_embedding() {
+        let g = erdos_renyi(300, 3_000, 3);
+        let c = CompressedGraph::from_graph(&g);
+        let pipe = LightNe::new(tiny_cfg());
+        let a = pipe.embed(&g);
+        let b = pipe.embed(&c);
+        // Same deterministic sample streams ⇒ numerically identical output.
+        assert!(a.embedding.max_abs_diff(&b.embedding) < 1e-4);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = erdos_renyi(200, 2_000, 4);
+        let a = LightNe::new(tiny_cfg()).embed(&g);
+        let b = LightNe::new(tiny_cfg()).embed(&g);
+        assert!(a.embedding.max_abs_diff(&b.embedding) < 1e-6);
+    }
+
+    #[test]
+    fn embedding_separates_communities() {
+        // The qualitative claim behind all accuracy tables: LightNE
+        // embeddings place same-community vertices closer.
+        let cfg = SbmConfig { n: 800, communities: 4, avg_degree: 24.0, mixing: 0.05, overlap: 0.0, gamma: 2.5 };
+        let (g, labels) = labelled_sbm(&cfg, 5);
+        let out = LightNe::new(tiny_cfg()).embed(&g);
+        let y = &out.embedding;
+        let dot = |a: &[f32], b: &[f32]| -> f64 {
+            a.iter().zip(b).map(|(&p, &q)| p as f64 * q as f64).sum()
+        };
+        let mut same = (0.0, 0usize);
+        let mut diff = (0.0, 0usize);
+        for i in (0..800).step_by(5) {
+            for j in (2..800).step_by(11) {
+                if i == j {
+                    continue;
+                }
+                let s = dot(y.row(i), y.row(j));
+                if labels.of(i) == labels.of(j) {
+                    same = (same.0 + s, same.1 + 1);
+                } else {
+                    diff = (diff.0 + s, diff.1 + 1);
+                }
+            }
+        }
+        let (s, d) = (same.0 / same.1 as f64, diff.0 / diff.1 as f64);
+        assert!(s > d + 0.1, "no separation: same {s:.4} diff {d:.4}");
+    }
+
+    #[test]
+    fn weighted_pipeline_matches_unweighted_on_unit_weights() {
+        // Unit-weight graphs through the weighted path must land in the
+        // same quality band as the unweighted path (sampling differs in
+        // RNG consumption, so outputs are statistically — not bitwise —
+        // equal; compare community separation).
+        use lightne_graph::WeightedGraph;
+        let cfg = SbmConfig { n: 500, communities: 4, avg_degree: 20.0, mixing: 0.05, overlap: 0.0, gamma: 2.5 };
+        let (g, labels) = labelled_sbm(&cfg, 8);
+        let gw = WeightedGraph::from_unweighted(&g);
+        let pipe = LightNe::new(tiny_cfg());
+        let a = pipe.embed(&g);
+        let b = pipe.embed_weighted(&gw);
+        let sep = |y: &lightne_linalg::DenseMatrix| {
+            let mut yn = y.clone();
+            yn.normalize_rows();
+            let dot = |a: &[f32], b: &[f32]| -> f64 {
+                a.iter().zip(b).map(|(&p, &q)| p as f64 * q as f64).sum()
+            };
+            let (mut s, mut sn, mut d, mut dn) = (0.0, 0, 0.0, 0);
+            for i in (0..500).step_by(5) {
+                for j in (2..500).step_by(11) {
+                    if i == j {
+                        continue;
+                    }
+                    let v = dot(yn.row(i), yn.row(j));
+                    if labels.of(i) == labels.of(j) {
+                        s += v;
+                        sn += 1;
+                    } else {
+                        d += v;
+                        dn += 1;
+                    }
+                }
+            }
+            s / sn as f64 - d / dn as f64
+        };
+        let (sa, sb) = (sep(&a.embedding), sep(&b.embedding));
+        assert!(sa > 0.1 && sb > 0.1, "separation collapsed: {sa} vs {sb}");
+        assert!((sa - sb).abs() < 0.3 * sa.max(sb), "quality bands diverge: {sa} vs {sb}");
+    }
+
+    #[test]
+    fn weighted_pipeline_respects_heavy_edges() {
+        // Two cliques joined by one bridge; heavy intra-clique weights →
+        // embedding separates cliques despite the bridge.
+        use lightne_graph::WeightedGraph;
+        let mut edges = Vec::new();
+        for base in [0u32, 10] {
+            for i in 0..10u32 {
+                for j in 0..i {
+                    edges.push((base + i, base + j, 10.0));
+                }
+            }
+        }
+        edges.push((0, 10, 1.0)); // light bridge
+        let g = WeightedGraph::from_edges(20, &edges);
+        let out = LightNe::new(LightNeConfig {
+            dim: 4,
+            window: 3,
+            sample_ratio: 50.0,
+            ..Default::default()
+        })
+        .embed_weighted(&g);
+        let y = &out.embedding;
+        let dot = |a: &[f32], b: &[f32]| -> f64 {
+            a.iter().zip(b).map(|(&p, &q)| p as f64 * q as f64).sum()
+        };
+        let intra = dot(y.row(1), y.row(2));
+        let inter = dot(y.row(1), y.row(12));
+        assert!(
+            intra > inter + 0.2,
+            "cliques not separated: intra {intra:.3} vs inter {inter:.3}"
+        );
+    }
+
+    #[test]
+    fn more_samples_reduce_matrix_noise() {
+        // With more trials, the NetMF estimate keeps more (accurate)
+        // entries; nnz should grow toward the T-hop neighborhood size.
+        let g = erdos_renyi(300, 1_500, 6);
+        let small = LightNe::new(LightNeConfig { sample_ratio: 0.2, ..tiny_cfg() }).embed(&g);
+        let large = LightNe::new(LightNeConfig { sample_ratio: 8.0, ..tiny_cfg() }).embed(&g);
+        assert!(large.sampler.trials > 10 * small.sampler.trials);
+        assert!(large.netmf_nnz >= small.netmf_nnz);
+    }
+}

@@ -1,0 +1,258 @@
+//! Unsupervised evaluation: k-means over embeddings + normalized mutual
+//! information (NMI) against ground-truth communities.
+//!
+//! The paper's tasks are classification and link prediction, but the
+//! embedding literature it builds on (DeepWalk, ProNE) also reports
+//! clustering quality, and it is the natural *label-free* quality probe
+//! for the synthetic SBM workloads — so the harness exposes it as an
+//! additional lens on the same embeddings.
+
+use lightne_linalg::DenseMatrix;
+use lightne_utils::rng::XorShiftStream;
+use rayon::prelude::*;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster assignment per row.
+    pub assignment: Vec<u32>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum()
+}
+
+/// Lloyd's k-means with k-means++ seeding on the rows of `x`.
+///
+/// ```
+/// use lightne_eval::clustering::{kmeans, nmi};
+/// use lightne_linalg::DenseMatrix;
+/// // Two obvious 1-d clusters.
+/// let x = DenseMatrix::from_vec(4, 1, vec![0.0, 0.1, 10.0, 10.1]);
+/// let r = kmeans(&x, 2, 20, 1);
+/// assert_eq!(r.assignment[0], r.assignment[1]);
+/// assert_ne!(r.assignment[0], r.assignment[3]);
+/// assert_eq!(nmi(&r.assignment, &[0, 0, 1, 1]), 1.0);
+/// ```
+pub fn kmeans(x: &DenseMatrix, k: usize, max_iters: usize, seed: u64) -> KMeansResult {
+    let n = x.rows();
+    let d = x.cols();
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+    let mut rng = XorShiftStream::new(seed, 0);
+
+    // k-means++ seeding.
+    let mut centers: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centers.push(x.row(rng.bounded_usize(n)).to_vec());
+    let mut dist2: Vec<f64> = (0..n).map(|i| sq_dist(x.row(i), &centers[0])).collect();
+    while centers.len() < k {
+        let total: f64 = dist2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.bounded_usize(n)
+        } else {
+            let mut target = rng.unit_f64() * total;
+            let mut pick = n - 1;
+            for (i, &w) in dist2.iter().enumerate() {
+                if target < w {
+                    pick = i;
+                    break;
+                }
+                target -= w;
+            }
+            pick
+        };
+        centers.push(x.row(next).to_vec());
+        let c = centers.last().unwrap();
+        dist2
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(i, dd)| *dd = dd.min(sq_dist(x.row(i), c)));
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0u32; n];
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        // Assign.
+        let new_assign: Vec<u32> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let row = x.row(i);
+                let mut best = 0u32;
+                let mut best_d = f64::INFINITY;
+                for (c, center) in centers.iter().enumerate() {
+                    let dd = sq_dist(row, center);
+                    if dd < best_d {
+                        best_d = dd;
+                        best = c as u32;
+                    }
+                }
+                best
+            })
+            .collect();
+        let changed = new_assign
+            .iter()
+            .zip(&assignment)
+            .filter(|(a, b)| a != b)
+            .count();
+        assignment = new_assign;
+        // Update.
+        let mut sums = vec![vec![0.0f64; d]; k];
+        let mut counts = vec![0usize; k];
+        for (i, &a) in assignment.iter().enumerate() {
+            counts[a as usize] += 1;
+            for (s, &v) in sums[a as usize].iter_mut().zip(x.row(i)) {
+                *s += v as f64;
+            }
+        }
+        for (c, center) in centers.iter_mut().enumerate() {
+            if counts[c] > 0 {
+                for (cc, s) in center.iter_mut().zip(&sums[c]) {
+                    *cc = (*s / counts[c] as f64) as f32;
+                }
+            }
+        }
+        if changed == 0 {
+            break;
+        }
+    }
+
+    let inertia = (0..n)
+        .into_par_iter()
+        .map(|i| sq_dist(x.row(i), &centers[assignment[i] as usize]))
+        .sum();
+    KMeansResult { assignment, inertia, iterations }
+}
+
+/// Normalized mutual information between two hard clusterings, in
+/// `[0, 1]` (arithmetic-mean normalization).
+pub fn nmi(a: &[u32], b: &[u32]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let ka = *a.iter().max().unwrap() as usize + 1;
+    let kb = *b.iter().max().unwrap() as usize + 1;
+    let mut joint = vec![0usize; ka * kb];
+    let mut ca = vec![0usize; ka];
+    let mut cb = vec![0usize; kb];
+    for (&x, &y) in a.iter().zip(b) {
+        joint[x as usize * kb + y as usize] += 1;
+        ca[x as usize] += 1;
+        cb[y as usize] += 1;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for i in 0..ka {
+        for j in 0..kb {
+            let nij = joint[i * kb + j];
+            if nij > 0 {
+                let pij = nij as f64 / nf;
+                mi += pij * (pij * nf * nf / (ca[i] as f64 * cb[j] as f64)).ln();
+            }
+        }
+    }
+    let h = |counts: &[usize]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let (ha, hb) = (h(&ca), h(&cb));
+    if ha + hb == 0.0 {
+        1.0
+    } else {
+        (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize, centers: &[(f32, f32)], spread: f32, seed: u64) -> (DenseMatrix, Vec<u32>) {
+        let n = n_per * centers.len();
+        let mut x = DenseMatrix::zeros(n, 2);
+        let mut truth = Vec::with_capacity(n);
+        let mut rng = XorShiftStream::new(seed, 0);
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..n_per {
+                let row = c * n_per + i;
+                x.set(row, 0, cx + spread * rng.gaussian() as f32);
+                x.set(row, 1, cy + spread * rng.gaussian() as f32);
+                truth.push(c as u32);
+            }
+        }
+        (x, truth)
+    }
+
+    #[test]
+    fn kmeans_recovers_separated_blobs() {
+        let (x, truth) = blobs(100, &[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 0.5, 1);
+        let r = kmeans(&x, 3, 50, 2);
+        assert!(nmi(&r.assignment, &truth) > 0.99, "nmi {}", nmi(&r.assignment, &truth));
+        assert!(r.iterations < 50);
+    }
+
+    #[test]
+    fn kmeans_inertia_decreases_with_k() {
+        let (x, _) = blobs(50, &[(0.0, 0.0), (5.0, 5.0)], 1.0, 3);
+        let i1 = kmeans(&x, 1, 30, 4).inertia;
+        let i2 = kmeans(&x, 2, 30, 4).inertia;
+        let i4 = kmeans(&x, 4, 30, 4).inertia;
+        assert!(i2 < i1);
+        assert!(i4 < i2 + 1e-9);
+    }
+
+    #[test]
+    fn nmi_identity_and_permutation_invariance() {
+        let a = vec![0, 0, 1, 1, 2, 2];
+        assert!((nmi(&a, &a) - 1.0).abs() < 1e-12);
+        let relabelled = vec![2, 2, 0, 0, 1, 1];
+        assert!((nmi(&a, &relabelled) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_independent_labels_near_zero() {
+        // Perfectly balanced independent labels: MI = 0 exactly.
+        let a: Vec<u32> = (0..400).map(|i| (i / 200) as u32).collect(); // halves
+        let b: Vec<u32> = (0..400).map(|i| (i % 2) as u32).collect(); // alternating
+        assert!(nmi(&a, &b) < 0.01, "{}", nmi(&a, &b));
+    }
+
+    #[test]
+    fn nmi_single_cluster_edge_case() {
+        let a = vec![0u32; 10];
+        let b = vec![0u32; 10];
+        assert_eq!(nmi(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn kmeans_k_equals_n() {
+        let (x, _) = blobs(3, &[(0.0, 0.0)], 1.0, 5);
+        let r = kmeans(&x, 3, 10, 6);
+        assert!(r.inertia < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= k <= n")]
+    fn kmeans_rejects_bad_k() {
+        let x = DenseMatrix::zeros(3, 2);
+        let _ = kmeans(&x, 5, 10, 7);
+    }
+}

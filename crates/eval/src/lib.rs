@@ -1,0 +1,29 @@
+//! Evaluation harness: the tasks, metrics and cost model of Section 5.
+//!
+//! * [`classify`] — multi-label node classification with one-vs-rest
+//!   logistic regression on frozen embeddings, evaluated by Micro/Macro-F1
+//!   under the literature's standard protocol (predict exactly as many
+//!   labels per vertex as the ground truth has), at configurable label
+//!   ratios — the protocol behind Table 4, Figure 2 and Figure 4.
+//! * [`linkpred`] — link prediction in the PyTorch-BigGraph style: hold
+//!   out a fraction of edges, rank each positive against sampled corrupted
+//!   edges, report MR / MRR / HITS@K, plus ROC-AUC for the GraphVite
+//!   comparison — the protocol behind Sections 5.2.1–5.2.2 and Figure 3.
+//! * [`clustering`] — k-means + NMI, a label-free quality probe for the
+//!   synthetic community workloads (standard in the embedding literature
+//!   the paper builds on).
+//! * [`cost`] — the Azure price table of Table 2, converting measured
+//!   wall-clock into the dollar figures the paper reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod clustering;
+pub mod cost;
+pub mod linkpred;
+
+pub use classify::{evaluate_node_classification, F1Scores};
+pub use clustering::{kmeans, nmi, KMeansResult};
+pub use cost::{AzureInstance, CostModel};
+pub use linkpred::{split_edges, LinkPredMetrics};

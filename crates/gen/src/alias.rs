@@ -1,0 +1,151 @@
+//! Walker's alias method for O(1) weighted sampling.
+//!
+//! The Chung–Lu generator and the DeepWalk baseline's negative sampler
+//! both need millions of draws from a fixed discrete distribution; the
+//! alias table gives each draw in constant time after O(n) setup.
+
+use lightne_utils::rng::XorShiftStream;
+
+/// A pre-processed discrete distribution supporting O(1) sampling.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        assert!(n <= u32::MAX as usize);
+
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            let leftover = prob[l as usize] + prob[s as usize] - 1.0;
+            prob[l as usize] = leftover;
+            if leftover < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers land exactly at 1.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Draws an index distributed according to the weights.
+    #[inline]
+    pub fn sample(&self, rng: &mut XorShiftStream) -> usize {
+        let i = rng.bounded_usize(self.prob.len());
+        if rng.unit_f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true — construction requires a
+    /// non-empty weight vector; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let t = AliasTable::new(weights);
+        let mut rng = XorShiftStream::new(seed, 0);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let freq = empirical(&[1.0, 1.0, 1.0, 1.0], 200_000, 1);
+        for f in freq {
+            assert!((f - 0.25).abs() < 0.01, "{f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights() {
+        let freq = empirical(&[8.0, 1.0, 1.0], 300_000, 2);
+        assert!((freq[0] - 0.8).abs() < 0.01, "{}", freq[0]);
+        assert!((freq[1] - 0.1).abs() < 0.01, "{}", freq[1]);
+    }
+
+    #[test]
+    fn zero_weight_outcome_never_drawn() {
+        let freq = empirical(&[1.0, 0.0, 1.0], 100_000, 3);
+        assert_eq!(freq[1], 0.0);
+    }
+
+    #[test]
+    fn unnormalized_input_ok() {
+        let a = empirical(&[2.0, 6.0], 200_000, 4);
+        assert!((a[0] - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[42.0]);
+        let mut rng = XorShiftStream::new(5, 0);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_rejected() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn all_zero_rejected() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn power_law_distribution_tail() {
+        // Zipf-ish weights: empirical frequency must be monotone.
+        let weights: Vec<f64> = (1..=50).map(|i| 1.0 / i as f64).collect();
+        let freq = empirical(&weights, 500_000, 6);
+        assert!(freq[0] > freq[10] && freq[10] > freq[40]);
+    }
+}

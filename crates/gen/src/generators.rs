@@ -1,0 +1,230 @@
+//! Classic random-graph generators.
+//!
+//! All generators are deterministic in `(parameters, seed)`, parallelize
+//! edge generation across independent RNG streams, and return simple
+//! undirected [`Graph`]s (self-loops and duplicates removed by the
+//! builder), so generated edge counts land slightly below the nominal `m`.
+
+use crate::alias::AliasTable;
+use lightne_graph::{Graph, GraphBuilder, VertexId};
+use lightne_utils::rng::XorShiftStream;
+use rayon::prelude::*;
+
+/// Erdős–Rényi `G(n, m)`: `m` uniformly random edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    let edges = parallel_edges(m, seed, move |rng| {
+        (
+            rng.bounded_usize(n) as VertexId,
+            rng.bounded_usize(n) as VertexId,
+        )
+    });
+    GraphBuilder::from_edges(n, &edges)
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `k` existing vertices with probability proportional to degree.
+/// Produces a power-law degree distribution with exponent ≈ 3.
+pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> Graph {
+    assert!(n > k && k >= 1, "need n > k >= 1");
+    let mut rng = XorShiftStream::new(seed, 0);
+    // `targets` holds one entry per edge endpoint; sampling uniformly from
+    // it is sampling proportionally to degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * k);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k);
+    // Seed clique over the first k+1 vertices.
+    for u in 0..=(k as VertexId) {
+        for v in 0..u {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for u in (k + 1)..n {
+        for _ in 0..k {
+            let t = endpoints[rng.bounded_usize(endpoints.len())];
+            edges.push((u as VertexId, t));
+            endpoints.push(u as VertexId);
+            endpoints.push(t);
+        }
+    }
+    GraphBuilder::from_edges(n, &edges)
+}
+
+/// Chung–Lu model with a power-law expected-degree sequence
+/// `w_i ∝ (i+1)^{-1/(gamma-1)}`: `m` edges drawn with endpoint
+/// probabilities proportional to the weights. `gamma` ≈ 2.2–3 matches
+/// social/web graphs.
+pub fn chung_lu(n: usize, m: usize, gamma: f64, seed: u64) -> Graph {
+    assert!(gamma > 1.0, "gamma must exceed 1");
+    let exponent = -1.0 / (gamma - 1.0);
+    let weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(exponent)).collect();
+    let table = AliasTable::new(&weights);
+    let edges = parallel_edges(m, seed, move |rng| {
+        (table.sample(rng) as VertexId, table.sample(rng) as VertexId)
+    });
+    GraphBuilder::from_edges(n, &edges)
+}
+
+/// Parameters of the R-MAT recursive generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant.
+    pub a: f64,
+    /// Probability of the top-right quadrant.
+    pub b: f64,
+    /// Probability of the bottom-left quadrant.
+    pub c: f64,
+}
+
+impl Default for RmatParams {
+    /// The classic Graph500 parameters (a=0.57, b=c=0.19, d=0.05).
+    fn default() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19 }
+    }
+}
+
+/// R-MAT generator: `2^scale` vertices, `m` edges, heavily skewed degree
+/// distribution — the standard stand-in for web-scale hyperlink graphs
+/// (our ClueWeb / Hyperlink analogues).
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> Graph {
+    let n = 1usize << scale;
+    let RmatParams { a, b, c } = params;
+    assert!(a + b + c < 1.0 + 1e-9, "quadrant probabilities must sum below 1");
+    let edges = parallel_edges(m, seed, move |rng| {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r = rng.unit_f64();
+            if r < a {
+                // top-left: nothing to add
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        (u as VertexId, v as VertexId)
+    });
+    GraphBuilder::from_edges(n, &edges)
+}
+
+/// A ring lattice with `k` neighbors per side, rewired with probability
+/// `p` (Watts–Strogatz small world) — used in tests as a well-connected,
+/// near-regular graph with a known spectral gap.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    assert!(k >= 1 && n > 2 * k);
+    let mut rng = XorShiftStream::new(seed, 0);
+    let mut edges = Vec::with_capacity(n * k);
+    for u in 0..n {
+        for j in 1..=k {
+            let v = (u + j) % n;
+            if rng.bernoulli(p) {
+                edges.push((u as VertexId, rng.bounded_usize(n) as VertexId));
+            } else {
+                edges.push((u as VertexId, v as VertexId));
+            }
+        }
+    }
+    GraphBuilder::from_edges(n, &edges)
+}
+
+/// Generates `m` candidate edges in parallel with per-chunk deterministic
+/// RNG streams.
+fn parallel_edges<F>(m: usize, seed: u64, f: F) -> Vec<(VertexId, VertexId)>
+where
+    F: Fn(&mut XorShiftStream) -> (VertexId, VertexId) + Sync + Send,
+{
+    const CHUNK: usize = 1 << 14;
+    let nchunks = m.div_ceil(CHUNK).max(1);
+    (0..nchunks)
+        .into_par_iter()
+        .flat_map_iter(|c| {
+            let mut rng = XorShiftStream::new(seed, c as u64);
+            let count = CHUNK.min(m - c * CHUNK);
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                out.push(f(&mut rng));
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_basic_shape() {
+        let g = erdos_renyi(1000, 5000, 1);
+        assert_eq!(g.num_vertices(), 1000);
+        // Some loss to dedup/self-loops, but most edges survive.
+        assert!(g.num_edges() > 4800 && g.num_edges() <= 5000, "{}", g.num_edges());
+    }
+
+    #[test]
+    fn erdos_renyi_deterministic() {
+        assert_eq!(erdos_renyi(100, 500, 7), erdos_renyi(100, 500, 7));
+        assert_ne!(erdos_renyi(100, 500, 7), erdos_renyi(100, 500, 8));
+    }
+
+    #[test]
+    fn barabasi_albert_power_law_hubs() {
+        let g = barabasi_albert(2000, 3, 2);
+        assert_eq!(g.num_vertices(), 2000);
+        // Preferential attachment must create hubs far above the mean.
+        let mean = g.num_arcs() as f64 / 2000.0;
+        assert!(
+            g.max_degree() as f64 > 8.0 * mean,
+            "max degree {} vs mean {mean}",
+            g.max_degree()
+        );
+        // Every non-seed vertex attaches to >= 1 distinct target.
+        for v in 0..2000u32 {
+            assert!(g.degree(v) >= 1, "vertex {v} isolated");
+        }
+    }
+
+    #[test]
+    fn chung_lu_respects_weight_skew() {
+        let g = chung_lu(1000, 20_000, 2.2, 3);
+        // Vertex 0 has the largest expected degree.
+        let d0 = g.degree(0);
+        let d_tail = g.degree(900);
+        assert!(d0 > 5 * d_tail.max(1), "d0={d0}, d900={d_tail}");
+    }
+
+    #[test]
+    fn rmat_shape_and_skew() {
+        let g = rmat(12, 40_000, RmatParams::default(), 4);
+        assert_eq!(g.num_vertices(), 1 << 12);
+        let mean = g.num_arcs() as f64 / g.num_vertices() as f64;
+        assert!(g.max_degree() as f64 > 10.0 * mean, "rmat should be skewed");
+    }
+
+    #[test]
+    fn watts_strogatz_no_rewire_is_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 5);
+        for v in 0..20u32 {
+            assert_eq!(g.degree(v), 4, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn generators_have_no_self_loops() {
+        for g in [
+            erdos_renyi(200, 1000, 1),
+            barabasi_albert(200, 2, 1),
+            chung_lu(200, 1000, 2.5, 1),
+            rmat(8, 1000, RmatParams::default(), 1),
+        ] {
+            for v in 0..g.num_vertices() as u32 {
+                assert!(!g.neighbors(v).contains(&v), "self-loop at {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Multi-label ground truth for node classification.
+//!
+//! The paper's classification datasets (BlogCatalog, YouTube, Friendster,
+//! OAG) are *multi-label*: a vertex can belong to several groups, and the
+//! standard evaluation predicts exactly as many labels per vertex as the
+//! ground truth has. This container mirrors that structure.
+
+/// Per-vertex multi-label assignments over `num_labels` classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labels {
+    num_labels: usize,
+    per_vertex: Vec<Vec<u16>>,
+}
+
+impl Labels {
+    /// Creates a label set. Each inner vector lists the classes of one
+    /// vertex (sorted, deduplicated).
+    pub fn new(num_labels: usize, mut per_vertex: Vec<Vec<u16>>) -> Self {
+        for ls in &mut per_vertex {
+            ls.sort_unstable();
+            ls.dedup();
+            if let Some(&max) = ls.last() {
+                assert!((max as usize) < num_labels, "label id out of range");
+            }
+        }
+        Self { num_labels, per_vertex }
+    }
+
+    /// Number of distinct classes.
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.per_vertex.len()
+    }
+
+    /// The classes of vertex `v`.
+    pub fn of(&self, v: usize) -> &[u16] {
+        &self.per_vertex[v]
+    }
+
+    /// Whether vertex `v` carries class `l`.
+    pub fn has(&self, v: usize, l: u16) -> bool {
+        self.per_vertex[v].binary_search(&l).is_ok()
+    }
+
+    /// Vertices that have at least one label.
+    pub fn labelled_vertices(&self) -> Vec<usize> {
+        (0..self.per_vertex.len())
+            .filter(|&v| !self.per_vertex[v].is_empty())
+            .collect()
+    }
+
+    /// Mean number of labels per labelled vertex.
+    pub fn mean_labels(&self) -> f64 {
+        let labelled = self.labelled_vertices();
+        if labelled.is_empty() {
+            return 0.0;
+        }
+        labelled.iter().map(|&v| self.per_vertex[v].len()).sum::<usize>() as f64
+            / labelled.len() as f64
+    }
+}
+
+/// Writes labels as text: `vertex label label ...`, one labelled vertex
+/// per line, with a `# num_vertices num_labels` header.
+pub fn write_labels(labels: &Labels, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(w, "# {} {}", labels.num_vertices(), labels.num_labels())?;
+    for v in 0..labels.num_vertices() {
+        let ls = labels.of(v);
+        if ls.is_empty() {
+            continue;
+        }
+        write!(w, "{v}")?;
+        for l in ls {
+            write!(w, " {l}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Reads labels written by [`write_labels`].
+pub fn read_labels(path: impl AsRef<std::path::Path>) -> std::io::Result<Labels> {
+    use std::io::BufRead;
+    let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let mut num_vertices = 0usize;
+    let mut num_labels = 0usize;
+    let mut rows: Vec<(usize, Vec<u16>)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            num_vertices = it
+                .next()
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| bad("bad header".into()))?;
+            num_labels = it
+                .next()
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| bad("bad header".into()))?;
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let v: usize = it
+            .next()
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| bad(format!("bad vertex on line {}", lineno + 1)))?;
+        let ls: Result<Vec<u16>, _> = it.map(str::parse).collect();
+        let ls = ls.map_err(|e| bad(format!("bad label on line {}: {e}", lineno + 1)))?;
+        rows.push((v, ls));
+    }
+    let n = num_vertices.max(rows.iter().map(|(v, _)| v + 1).max().unwrap_or(0));
+    let mut per_vertex = vec![Vec::new(); n];
+    for (v, ls) in rows {
+        per_vertex[v] = ls;
+    }
+    let k = num_labels.max(
+        per_vertex
+            .iter()
+            .flat_map(|ls| ls.iter().map(|&l| l as usize + 1))
+            .max()
+            .unwrap_or(1),
+    );
+    Ok(Labels::new(k, per_vertex))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lightne_labels_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn label_io_roundtrip() {
+        let l = Labels::new(5, vec![vec![0, 2], vec![], vec![4], vec![1, 3], vec![]]);
+        let p = tmp("rt.txt");
+        write_labels(&l, &p).unwrap();
+        let l2 = read_labels(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(l, l2);
+    }
+
+    #[test]
+    fn label_io_rejects_garbage() {
+        let p = tmp("bad.txt");
+        std::fs::write(&p, "# 3 2\n0 zero\n").unwrap();
+        assert!(read_labels(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let l = Labels::new(5, vec![vec![3, 1, 3], vec![], vec![0]]);
+        assert_eq!(l.of(0), &[1, 3]);
+        assert!(l.has(0, 3));
+        assert!(!l.has(0, 0));
+        assert_eq!(l.labelled_vertices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn mean_labels_ignores_unlabelled() {
+        let l = Labels::new(4, vec![vec![0, 1], vec![], vec![2]]);
+        assert!((l.mean_labels() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "label id out of range")]
+    fn rejects_out_of_range() {
+        Labels::new(2, vec![vec![2]]);
+    }
+}

@@ -1,0 +1,320 @@
+//! Ligra-style frontier-based traversal: `VertexSubset` + `edge_map`.
+//!
+//! GBBS (Section 4.1) extends the Ligra interface, whose central idea is
+//! a *vertex subset* (the frontier) and an `edgeMap` primitive that
+//! applies an update function over all edges leaving the frontier,
+//! returning the subset of target vertices for which the update
+//! succeeded. Ligra's key optimization — inherited by GBBS and
+//! reproduced here — is **direction switching**: when the frontier is
+//! small, iterate its out-edges ("sparse"/push mode); when it covers a
+//! large fraction of the graph, instead scan every candidate target's
+//! in-edges ("dense"/pull mode), which avoids the scatter and enables
+//! early exit. For symmetric graphs (all of LightNE's inputs) in- and
+//! out-neighbors coincide.
+
+use crate::{GraphOps, VertexId};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A subset of vertices, stored sparsely (id list) or densely (bitmap).
+#[derive(Debug, Clone)]
+pub enum VertexSubset {
+    /// Explicit vertex ids (unordered, unique).
+    Sparse(Vec<VertexId>),
+    /// One flag per vertex.
+    Dense(Vec<bool>),
+}
+
+impl VertexSubset {
+    /// The empty subset.
+    pub fn empty() -> Self {
+        VertexSubset::Sparse(Vec::new())
+    }
+
+    /// A singleton subset.
+    pub fn single(v: VertexId) -> Self {
+        VertexSubset::Sparse(vec![v])
+    }
+
+    /// Builds from an id list.
+    pub fn from_vertices(mut vs: Vec<VertexId>) -> Self {
+        vs.sort_unstable();
+        vs.dedup();
+        VertexSubset::Sparse(vs)
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            VertexSubset::Sparse(v) => v.len(),
+            VertexSubset::Dense(b) => b.par_iter().filter(|&&x| x).count(),
+        }
+    }
+
+    /// Whether the subset is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            VertexSubset::Sparse(v) => v.is_empty(),
+            VertexSubset::Dense(b) => !b.par_iter().any(|&x| x),
+        }
+    }
+
+    /// Membership test (O(len) for sparse; callers needing many tests
+    /// should densify first).
+    pub fn contains(&self, v: VertexId) -> bool {
+        match self {
+            VertexSubset::Sparse(ids) => ids.contains(&v),
+            VertexSubset::Dense(b) => b[v as usize],
+        }
+    }
+
+    /// Converts to the dense representation over `n` vertices.
+    pub fn to_dense(&self, n: usize) -> Vec<bool> {
+        match self {
+            VertexSubset::Dense(b) => b.clone(),
+            VertexSubset::Sparse(ids) => {
+                let mut b = vec![false; n];
+                for &v in ids {
+                    b[v as usize] = true;
+                }
+                b
+            }
+        }
+    }
+
+    /// Converts to a sorted sparse id list.
+    pub fn to_sparse(&self) -> Vec<VertexId> {
+        match self {
+            VertexSubset::Sparse(ids) => {
+                let mut v = ids.clone();
+                v.sort_unstable();
+                v
+            }
+            VertexSubset::Dense(b) => (0..b.len() as VertexId)
+                .filter(|&v| b[v as usize])
+                .collect(),
+        }
+    }
+
+    /// Total degree of the subset's members (used by the direction
+    /// heuristic).
+    pub fn out_degree_sum<G: GraphOps>(&self, g: &G) -> usize {
+        match self {
+            VertexSubset::Sparse(ids) => ids.par_iter().map(|&v| g.degree(v)).sum(),
+            VertexSubset::Dense(b) => (0..b.len())
+                .into_par_iter()
+                .filter(|&v| b[v])
+                .map(|v| g.degree(v as VertexId))
+                .sum(),
+        }
+    }
+}
+
+/// Ligra's direction threshold: switch to dense when the frontier plus
+/// its out-edges exceed `arcs / DENSE_FRACTION`.
+const DENSE_FRACTION: usize = 20;
+
+/// Applies `update(u, v)` over every arc `u → v` with `u` in `frontier`
+/// and `cond(v)` true, returning the subset of `v` for which some call
+/// returned `true`.
+///
+/// ```
+/// use lightne_graph::{GraphBuilder, frontier::{edge_map, VertexSubset}};
+/// let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let next = edge_map(&g, &VertexSubset::single(1), |_, _| true, |_| true);
+/// assert_eq!(next.to_sparse(), vec![0, 2]);
+/// ```
+///
+/// Each target enters the output at most once; `update` must therefore
+/// be safe to call concurrently and idempotent-friendly (the classic
+/// Ligra contract — use CAS inside `update` to claim).
+pub fn edge_map<G, U, C>(g: &G, frontier: &VertexSubset, update: U, cond: C) -> VertexSubset
+where
+    G: GraphOps,
+    U: Fn(VertexId, VertexId) -> bool + Sync + Send,
+    C: Fn(VertexId) -> bool + Sync + Send,
+{
+    let n = g.num_vertices();
+    let work = frontier.len() + frontier.out_degree_sum(g);
+    if work * DENSE_FRACTION > g.num_arcs() + n {
+        edge_map_dense(g, frontier, update, cond)
+    } else {
+        edge_map_sparse(g, frontier, update, cond)
+    }
+}
+
+/// Push-mode `edge_map` (always sparse output representation).
+pub fn edge_map_sparse<G, U, C>(
+    g: &G,
+    frontier: &VertexSubset,
+    update: U,
+    cond: C,
+) -> VertexSubset
+where
+    G: GraphOps,
+    U: Fn(VertexId, VertexId) -> bool + Sync + Send,
+    C: Fn(VertexId) -> bool + Sync + Send,
+{
+    let n = g.num_vertices();
+    let claimed: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    let ids = frontier.to_sparse();
+    let out: Vec<VertexId> = ids
+        .par_iter()
+        .flat_map_iter(|&u| {
+            let mut local = Vec::new();
+            g.for_each_neighbor(u, &mut |v| {
+                if cond(v)
+                    && update(u, v)
+                    && !claimed[v as usize].swap(true, Ordering::Relaxed)
+                {
+                    local.push(v);
+                }
+            });
+            local
+        })
+        .collect();
+    VertexSubset::Sparse(out)
+}
+
+/// Pull-mode `edge_map`: every candidate target scans its (in-)neighbors
+/// for a frontier member, stopping at the first successful update.
+pub fn edge_map_dense<G, U, C>(
+    g: &G,
+    frontier: &VertexSubset,
+    update: U,
+    cond: C,
+) -> VertexSubset
+where
+    G: GraphOps,
+    U: Fn(VertexId, VertexId) -> bool + Sync + Send,
+    C: Fn(VertexId) -> bool + Sync + Send,
+{
+    let n = g.num_vertices();
+    let in_frontier = frontier.to_dense(n);
+    let out: Vec<bool> = (0..n as VertexId)
+        .into_par_iter()
+        .map(|v| {
+            if !cond(v) {
+                return false;
+            }
+            let mut hit = false;
+            g.for_each_neighbor(v, &mut |u| {
+                // Symmetric graph: u is also an in-neighbor of v.
+                if !hit && in_frontier[u as usize] && update(u, v) {
+                    hit = true;
+                }
+            });
+            hit
+        })
+        .collect();
+    VertexSubset::Dense(out)
+}
+
+/// Applies `f` to every member of the subset, in parallel.
+pub fn vertex_map<F>(subset: &VertexSubset, f: F)
+where
+    F: Fn(VertexId) + Sync + Send,
+{
+    match subset {
+        VertexSubset::Sparse(ids) => ids.par_iter().for_each(|&v| f(v)),
+        VertexSubset::Dense(b) => (0..b.len() as VertexId)
+            .into_par_iter()
+            .filter(|&v| b[v as usize])
+            .for_each(f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use std::sync::atomic::AtomicU32;
+
+    fn path(n: usize) -> crate::Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+        GraphBuilder::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn subset_representations_agree() {
+        let s = VertexSubset::from_vertices(vec![3, 1, 3, 7]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(1) && s.contains(3) && s.contains(7));
+        assert!(!s.contains(2));
+        let d = VertexSubset::Dense(s.to_dense(10));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.to_sparse(), vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn empty_subset() {
+        let s = VertexSubset::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn edge_map_expands_frontier_once_per_target() {
+        let g = path(10);
+        let hits: Vec<AtomicU32> = (0..10).map(|_| AtomicU32::new(0)).collect();
+        let next = edge_map(
+            &g,
+            &VertexSubset::single(5),
+            |_, v| {
+                hits[v as usize].fetch_add(1, Ordering::Relaxed);
+                true
+            },
+            |_| true,
+        );
+        let mut got = next.to_sparse();
+        got.sort_unstable();
+        assert_eq!(got, vec![4, 6]);
+    }
+
+    #[test]
+    fn sparse_and_dense_modes_agree() {
+        let g = GraphBuilder::from_edges(
+            8,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7)],
+        );
+        let frontier = VertexSubset::from_vertices(vec![0, 3]);
+        let a = edge_map_sparse(&g, &frontier, |_, _| true, |v| v != 4);
+        let b = edge_map_dense(&g, &frontier, |_, _| true, |v| v != 4);
+        assert_eq!(a.to_sparse(), b.to_sparse());
+    }
+
+    #[test]
+    fn cond_filters_targets() {
+        let g = path(6);
+        let next = edge_map(&g, &VertexSubset::single(2), |_, _| true, |v| v > 2);
+        assert_eq!(next.to_sparse(), vec![3]);
+    }
+
+    #[test]
+    fn update_false_excludes_target() {
+        let g = path(6);
+        let next = edge_map(&g, &VertexSubset::single(2), |_, v| v == 1, |_| true);
+        assert_eq!(next.to_sparse(), vec![1]);
+    }
+
+    #[test]
+    fn vertex_map_visits_members_only() {
+        let s = VertexSubset::from_vertices(vec![2, 4]);
+        let hits: Vec<AtomicU32> = (0..6).map(|_| AtomicU32::new(0)).collect();
+        vertex_map(&s, |v| {
+            hits[v as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        let got: Vec<u32> = hits.iter().map(|h| h.load(Ordering::Relaxed)).collect();
+        assert_eq!(got, vec![0, 0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn dense_mode_triggers_on_large_frontier() {
+        // A star graph: frontier = hub → out-degree is n-1 → dense path.
+        let edges: Vec<(u32, u32)> = (1..200u32).map(|v| (0, v)).collect();
+        let g = GraphBuilder::from_edges(200, &edges);
+        let next = edge_map(&g, &VertexSubset::single(0), |_, _| true, |_| true);
+        assert_eq!(next.len(), 199);
+        assert!(matches!(next, VertexSubset::Dense(_)));
+    }
+}

@@ -1,0 +1,275 @@
+//! Graph serialization: text edge lists and a binary CSR format.
+//!
+//! The text format is the de-facto standard of the network-embedding
+//! literature (one `u v` pair per line, `#` comments); the binary format is
+//! a direct dump of the CSR arrays with a magic header, so very large
+//! generated graphs round-trip without re-parsing.
+
+use crate::{Graph, GraphBuilder, VertexId};
+use bytes::{Buf, BufMut};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying the binary CSR format, version 1.
+pub const BINARY_MAGIC: &[u8; 4] = b"LNE1";
+
+/// Errors produced by graph I/O.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line in a text edge list (line number, content).
+    Parse(usize, String),
+    /// Binary payload is malformed or truncated.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphIoError::Parse(line, text) => write!(f, "parse error on line {line}: {text:?}"),
+            GraphIoError::Corrupt(what) => write!(f, "corrupt binary graph: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<io::Error> for GraphIoError {
+    fn from(e: io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+/// Reads a whitespace-separated edge list. Lines starting with `#` or `%`
+/// are comments; blank lines are skipped. Vertex ids must fit in `u32`.
+/// The number of vertices is `max id + 1` unless `min_vertices` is larger.
+pub fn read_edge_list(path: impl AsRef<Path>, min_vertices: usize) -> Result<Graph, GraphIoError> {
+    let file = File::open(path)?;
+    let reader = BufReader::with_capacity(1 << 20, file);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id: usize = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> Result<VertexId, GraphIoError> {
+            s.and_then(|x| x.parse::<VertexId>().ok())
+                .ok_or_else(|| GraphIoError::Parse(lineno + 1, t.to_string()))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_id = max_id.max(u as usize).max(v as usize);
+        edges.push((u, v));
+    }
+    let n = (max_id + 1).max(min_vertices).max(1);
+    Ok(GraphBuilder::from_edges(n, &edges))
+}
+
+/// Reads a weighted edge list (`u v w` per line; `w` optional and
+/// defaulting to 1.0, so unweighted files load too). Comments as in
+/// [`read_edge_list`].
+pub fn read_weighted_edge_list(
+    path: impl AsRef<Path>,
+    min_vertices: usize,
+) -> Result<crate::WeightedGraph, GraphIoError> {
+    let file = File::open(path)?;
+    let reader = BufReader::with_capacity(1 << 20, file);
+    let mut edges: Vec<(VertexId, VertexId, f32)> = Vec::new();
+    let mut max_id: usize = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse_v = |s: Option<&str>| -> Result<VertexId, GraphIoError> {
+            s.and_then(|x| x.parse::<VertexId>().ok())
+                .ok_or_else(|| GraphIoError::Parse(lineno + 1, t.to_string()))
+        };
+        let u = parse_v(it.next())?;
+        let v = parse_v(it.next())?;
+        let w = match it.next() {
+            None => 1.0,
+            Some(s) => s
+                .parse::<f32>()
+                .ok()
+                .filter(|w| *w > 0.0 && w.is_finite())
+                .ok_or_else(|| GraphIoError::Parse(lineno + 1, t.to_string()))?,
+        };
+        max_id = max_id.max(u as usize).max(v as usize);
+        edges.push((u, v, w));
+    }
+    let n = (max_id + 1).max(min_vertices).max(1);
+    Ok(crate::WeightedGraph::from_edges(n, &edges))
+}
+
+/// Writes the graph as a text edge list, one undirected edge per line
+/// (each edge emitted once, with `u < v`).
+pub fn write_edge_list(g: &Graph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
+    let mut w = BufWriter::with_capacity(1 << 20, File::create(path)?);
+    writeln!(w, "# lightne edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    for u in 0..g.num_vertices() as VertexId {
+        for &v in g.neighbors(u) {
+            if u < v {
+                writeln!(w, "{u} {v}")?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes the graph to the binary CSR format.
+pub fn write_binary(g: &Graph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
+    let mut buf = Vec::with_capacity(16 + g.offsets().len() * 8 + g.num_arcs() * 4);
+    buf.put_slice(BINARY_MAGIC);
+    buf.put_u64_le(g.num_vertices() as u64);
+    buf.put_u64_le(g.num_arcs() as u64);
+    for &o in g.offsets() {
+        buf.put_u64_le(o);
+    }
+    for &v in g.neighbor_array() {
+        buf.put_u32_le(v);
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Deserializes a graph from the binary CSR format.
+pub fn read_binary(path: impl AsRef<Path>) -> Result<Graph, GraphIoError> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    if buf.remaining() < 20 {
+        return Err(GraphIoError::Corrupt("header too short"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != BINARY_MAGIC {
+        return Err(GraphIoError::Corrupt("bad magic"));
+    }
+    let n = buf.get_u64_le() as usize;
+    let arcs = buf.get_u64_le() as usize;
+    if buf.remaining() != (n + 1) * 8 + arcs * 4 {
+        return Err(GraphIoError::Corrupt("payload length mismatch"));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(buf.get_u64_le());
+    }
+    let mut neighbors = Vec::with_capacity(arcs);
+    for _ in 0..arcs {
+        neighbors.push(buf.get_u32_le());
+    }
+    if offsets.last().copied() != Some(arcs as u64) {
+        return Err(GraphIoError::Corrupt("offset/arc mismatch"));
+    }
+    Ok(Graph::from_csr(offsets, neighbors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lightne_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = GraphBuilder::from_edges(6, &[(0, 1), (1, 2), (4, 5)]);
+        let p = tmp("roundtrip.txt");
+        write_edge_list(&g, &p).unwrap();
+        let g2 = read_edge_list(&p, 6).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blank_lines() {
+        let p = tmp("comments.txt");
+        let mut f = File::create(&p).unwrap();
+        writeln!(f, "# header\n\n0 1\n% other comment\n1 2").unwrap();
+        drop(f);
+        let g = read_edge_list(&p, 0).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let p = tmp("garbage.txt");
+        std::fs::write(&p, "0 1\nfoo bar\n").unwrap();
+        match read_edge_list(&p, 0) {
+            Err(GraphIoError::Parse(2, _)) => {}
+            other => panic!("expected parse error on line 2, got {other:?}"),
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn weighted_edge_list_parses_weights_and_defaults() {
+        let p = tmp("weighted.txt");
+        std::fs::write(&p, "# header\n0 1 2.5\n1 2\n").unwrap();
+        let g = read_weighted_edge_list(&p, 0).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(g.edge_weight(0, 1), 2.5);
+        assert_eq!(g.edge_weight(1, 2), 1.0);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn weighted_edge_list_rejects_bad_weight() {
+        let p = tmp("badw.txt");
+        std::fs::write(&p, "0 1 -3\n").unwrap();
+        assert!(matches!(read_weighted_edge_list(&p, 0), Err(GraphIoError::Parse(1, _))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let edges: Vec<(u32, u32)> = (0..500u32).map(|v| (v, (v * 7 + 1) % 500)).collect();
+        let g = GraphBuilder::from_edges(500, &edges);
+        let p = tmp("bin.lne");
+        write_binary(&g, &p).unwrap();
+        let g2 = read_binary(&p).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn binary_detects_bad_magic() {
+        let p = tmp("badmagic.lne");
+        std::fs::write(&p, b"XXXX\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0").unwrap();
+        match read_binary(&p) {
+            Err(GraphIoError::Corrupt("bad magic")) => {}
+            other => panic!("expected bad magic, got {other:?}"),
+        }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn binary_detects_truncation() {
+        let g = GraphBuilder::from_edges(10, &[(0, 1), (2, 3)]);
+        let p = tmp("trunc.lne");
+        write_binary(&g, &p).unwrap();
+        let mut raw = std::fs::read(&p).unwrap();
+        raw.truncate(raw.len() - 3);
+        std::fs::write(&p, &raw).unwrap();
+        assert!(matches!(read_binary(&p), Err(GraphIoError::Corrupt(_))));
+        std::fs::remove_file(p).ok();
+    }
+}

@@ -1,0 +1,50 @@
+//! GBBS/Ligra+-style parallel graph substrate for LightNE.
+//!
+//! LightNE (Section 4.1) builds on the Graph Based Benchmark Suite (GBBS),
+//! which extends Ligra with purely-functional bulk-parallel primitives and
+//! the *parallel-byte* compressed CSR format of Ligra+. This crate is a
+//! from-scratch Rust reproduction of the parts of that stack the embedding
+//! system needs:
+//!
+//! * [`csr::Graph`] — an uncompressed CSR graph with `u32` vertex ids.
+//! * [`builder::GraphBuilder`] — parallel CSR construction from edge lists
+//!   (sort + dedup + symmetrize), the standard GBBS ingestion path.
+//! * [`compressed::CompressedGraph`] — CSR with neighbor lists compressed
+//!   in the parallel-byte format: difference-encoded blocks of a
+//!   configurable size (64 by default, the trade-off chosen in Section 4.2),
+//!   with per-block offsets so blocks decode in parallel and the `i`-th
+//!   neighbor of a vertex is fetched by decoding a single block.
+//! * [`ops::GraphOps`] — the uniform interface (degrees, neighbor access,
+//!   `map_edges`, `map_vertices`) that both representations implement, so
+//!   the sampler is generic over compression.
+//! * [`frontier`] — Ligra's `VertexSubset` + direction-switching
+//!   `edge_map`, the traversal interface GBBS extends.
+//! * [`algorithms`] — BFS, connected components, triangle counting and
+//!   k-core built on the frontier machinery.
+//! * [`walk`] — the one-step-at-a-time random-walk engine used by
+//!   PathSampling (Algorithm 1).
+//! * [`io`] — text edge-list and binary CSR readers/writers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod builder;
+pub mod compressed;
+pub mod csr;
+pub mod frontier;
+pub mod io;
+pub mod ops;
+pub mod walk;
+pub mod weighted;
+
+pub use builder::GraphBuilder;
+pub use compressed::CompressedGraph;
+pub use csr::Graph;
+pub use ops::GraphOps;
+pub use weighted::WeightedGraph;
+
+/// Vertex identifier. `u32` covers every graph this reproduction targets
+/// and halves the memory of every neighbor array relative to `u64` ids,
+/// matching the id width GBBS uses for graphs below 4B vertices.
+pub type VertexId = u32;

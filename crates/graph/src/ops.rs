@@ -1,0 +1,256 @@
+//! The uniform graph interface and GBBS-style bulk-parallel primitives.
+//!
+//! LightNE's sampler (Algorithm 2) is expressed as `G.MapEdges(f)` — a
+//! parallel map applying a user function to every arc. [`GraphOps`] provides
+//! that primitive plus the point queries random walks need, implemented by
+//! both the uncompressed [`Graph`] and the [`CompressedGraph`], so every
+//! stage of the pipeline is generic over the representation.
+
+use crate::{CompressedGraph, Graph, VertexId};
+use rayon::prelude::*;
+
+/// Uniform access to an undirected graph, plus bulk-parallel maps.
+pub trait GraphOps: Sync {
+    /// Number of vertices `n`.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of stored directed arcs (`2m`).
+    fn num_arcs(&self) -> usize;
+
+    /// Degree of `v`.
+    fn degree(&self, v: VertexId) -> usize;
+
+    /// The `i`-th neighbor of `v` (0-based, sorted order).
+    fn ith_neighbor(&self, v: VertexId, i: usize) -> VertexId;
+
+    /// Calls `f` on every neighbor of `v` in sorted order.
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId));
+
+    /// Global index of `v`'s first arc in the arc ordering (CSR order).
+    fn first_arc_index(&self, v: VertexId) -> u64;
+
+    /// Number of undirected edges `m`.
+    fn num_edges(&self) -> usize {
+        self.num_arcs() / 2
+    }
+
+    /// Volume `vol(G) = Σ_v deg(v) = 2m`.
+    fn volume(&self) -> f64 {
+        self.num_arcs() as f64
+    }
+
+    /// Parallel map over all vertices: `f(v)`.
+    fn map_vertices<F>(&self, f: F)
+    where
+        F: Fn(VertexId) + Sync + Send,
+        Self: Sized,
+    {
+        (0..self.num_vertices() as VertexId)
+            .into_par_iter()
+            .for_each(f);
+    }
+
+    /// Parallel map over all arcs: `f(u, v, arc_index)` for every directed
+    /// arc `u → v`. `arc_index` is the arc's global CSR position, used by
+    /// callers that need a deterministic per-arc RNG stream. Work is
+    /// parallelized across vertices; an undirected edge is visited twice
+    /// (once per direction), exactly like GBBS's `MapEdges`.
+    fn map_edges<F>(&self, f: F)
+    where
+        F: Fn(VertexId, VertexId, u64) + Sync + Send,
+        Self: Sized,
+    {
+        (0..self.num_vertices() as VertexId)
+            .into_par_iter()
+            .for_each(|u| {
+                let base = self.first_arc_index(u);
+                let mut i = 0u64;
+                self.for_each_neighbor(u, &mut |v| {
+                    f(u, v, base + i);
+                    i += 1;
+                });
+            });
+    }
+
+    /// Parallel degree histogram: `out[v] = deg(v)`.
+    fn degrees(&self) -> Vec<u32>
+    where
+        Self: Sized,
+    {
+        (0..self.num_vertices())
+            .into_par_iter()
+            .map(|v| self.degree(v as VertexId) as u32)
+            .collect()
+    }
+
+    /// Sum over all arcs of `f(u, v)`, in parallel (a `MapReduce` over
+    /// edges; used e.g. to compute modularity-style statistics).
+    fn reduce_edges<F>(&self, f: F) -> f64
+    where
+        F: Fn(VertexId, VertexId) -> f64 + Sync + Send,
+        Self: Sized,
+    {
+        (0..self.num_vertices() as VertexId)
+            .into_par_iter()
+            .map(|u| {
+                let mut acc = 0.0;
+                self.for_each_neighbor(u, &mut |v| acc += f(u, v));
+                acc
+            })
+            .sum()
+    }
+}
+
+impl GraphOps for Graph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        Graph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        Graph::num_arcs(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        Graph::degree(self, v)
+    }
+
+    #[inline]
+    fn ith_neighbor(&self, v: VertexId, i: usize) -> VertexId {
+        Graph::ith_neighbor(self, v, i)
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        for &u in self.neighbors(v) {
+            f(u);
+        }
+    }
+
+    #[inline]
+    fn first_arc_index(&self, v: VertexId) -> u64 {
+        self.offsets()[v as usize]
+    }
+}
+
+impl GraphOps for CompressedGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        CompressedGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        CompressedGraph::num_arcs(self)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        CompressedGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn ith_neighbor(&self, v: VertexId, i: usize) -> VertexId {
+        CompressedGraph::ith_neighbor(self, v, i)
+    }
+
+    fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        CompressedGraph::for_each_neighbor(self, v, |u| f(u));
+    }
+
+    #[inline]
+    fn first_arc_index(&self, v: VertexId) -> u64 {
+        CompressedGraph::first_arc_index(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn path_graph(n: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+        GraphBuilder::from_edges(n, &edges)
+    }
+
+    fn check_ops<G: GraphOps>(g: &G, n: usize, arcs: usize) {
+        assert_eq!(g.num_vertices(), n);
+        assert_eq!(g.num_arcs(), arcs);
+        assert_eq!(g.num_edges(), arcs / 2);
+        assert_eq!(g.volume(), arcs as f64);
+    }
+
+    #[test]
+    fn ops_consistent_across_representations() {
+        let g = path_graph(100);
+        let c = CompressedGraph::from_graph(&g);
+        check_ops(&g, 100, 198);
+        check_ops(&c, 100, 198);
+        for v in 0..100u32 {
+            assert_eq!(GraphOps::degree(&g, v), GraphOps::degree(&c, v));
+            assert_eq!(GraphOps::first_arc_index(&g, v), GraphOps::first_arc_index(&c, v));
+        }
+    }
+
+    #[test]
+    fn map_edges_visits_every_arc_once() {
+        let g = path_graph(50);
+        let count = AtomicU64::new(0);
+        let idx_sum = AtomicU64::new(0);
+        g.map_edges(|_, _, idx| {
+            count.fetch_add(1, Ordering::Relaxed);
+            idx_sum.fetch_add(idx, Ordering::Relaxed);
+        });
+        let arcs = g.num_arcs() as u64;
+        assert_eq!(count.load(Ordering::Relaxed), arcs);
+        // Arc indices must be exactly 0..arcs.
+        assert_eq!(idx_sum.load(Ordering::Relaxed), arcs * (arcs - 1) / 2);
+    }
+
+    #[test]
+    fn map_edges_compressed_matches_uncompressed() {
+        let g = path_graph(64);
+        let c = CompressedGraph::from_graph(&g);
+        let collect = |g: &dyn Fn(&mut Vec<(u32, u32, u64)>)| {
+            let mut v = Vec::new();
+            g(&mut v);
+            v.sort_unstable();
+            v
+        };
+        let a = collect(&|out| {
+            let m = std::sync::Mutex::new(out);
+            g.map_edges(|u, v, i| m.lock().unwrap().push((u, v, i)));
+        });
+        let b = collect(&|out| {
+            let m = std::sync::Mutex::new(out);
+            c.map_edges(|u, v, i| m.lock().unwrap().push((u, v, i)));
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reduce_edges_counts_degrees() {
+        let g = path_graph(10);
+        let total = g.reduce_edges(|_, _| 1.0);
+        assert_eq!(total, g.num_arcs() as f64);
+    }
+
+    #[test]
+    fn map_vertices_covers_all() {
+        let g = path_graph(128);
+        let hits: Vec<AtomicU64> = (0..128).map(|_| AtomicU64::new(0)).collect();
+        g.map_vertices(|v| {
+            hits[v as usize].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn degrees_vector() {
+        let g = path_graph(5);
+        assert_eq!(g.degrees(), vec![1, 2, 2, 2, 1]);
+    }
+}

@@ -1,0 +1,335 @@
+//! Weighted undirected graphs.
+//!
+//! The paper's formulation (Table 1, Theorem 3.1) is stated for weighted
+//! adjacency matrices — `vol(G) = Σ A_uv`, downsampling probability
+//! `p_e = min(1, C·A_uv·(1/d_u + 1/d_v))` with *weighted* degrees — and
+//! NetSMF's PathSampling on weighted graphs walks proportionally to edge
+//! weight. This module provides the weighted CSR representation with the
+//! O(log deg) weighted neighbor sampling that the weighted sampler
+//! (`lightne_sparsifier::weighted`) builds on.
+
+use crate::{Graph, VertexId};
+use lightne_utils::mem::MemUsage;
+use lightne_utils::parallel::parallel_prefix_sum;
+use lightne_utils::rng::XorShiftStream;
+use rayon::prelude::*;
+
+/// An undirected graph with positive edge weights, in CSR form.
+///
+/// ```
+/// use lightne_graph::WeightedGraph;
+/// let g = WeightedGraph::from_edges(3, &[(0, 1, 2.0), (1, 2, 3.0)]);
+/// assert_eq!(g.edge_weight(1, 0), 2.0);
+/// assert_eq!(g.weighted_degree(1), 5.0);
+/// assert_eq!(g.volume(), 10.0);
+/// ```
+///
+/// Alongside the weight of each arc, each vertex stores the running
+/// (inclusive) prefix sums of its incident weights, so drawing a random
+/// neighbor proportionally to weight is one uniform draw plus a binary
+/// search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedGraph {
+    offsets: Vec<u64>,
+    neighbors: Vec<VertexId>,
+    weights: Vec<f32>,
+    /// Inclusive per-vertex prefix sums of `weights`.
+    cumulative: Vec<f32>,
+    weighted_degrees: Vec<f64>,
+}
+
+impl WeightedGraph {
+    /// Builds from an undirected weighted edge list. Duplicate edges have
+    /// their weights summed; self-loops are dropped; weights must be
+    /// positive and finite.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId, f32)]) -> Self {
+        assert!(n <= VertexId::MAX as usize);
+        for &(u, v, w) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "vertex id out of range");
+            assert!(w > 0.0 && w.is_finite(), "edge weights must be positive and finite");
+        }
+        // Symmetrize, sort by packed key, merge duplicates.
+        let mut arcs: Vec<(u64, f32)> = Vec::with_capacity(edges.len() * 2);
+        for &(u, v, w) in edges {
+            if u == v {
+                continue;
+            }
+            arcs.push((((u as u64) << 32) | v as u64, w));
+            arcs.push((((v as u64) << 32) | u as u64, w));
+        }
+        arcs.par_sort_unstable_by_key(|&(k, _)| k);
+        let mut write = 0usize;
+        for read in 0..arcs.len() {
+            if write > 0 && arcs[write - 1].0 == arcs[read].0 {
+                arcs[write - 1].1 += arcs[read].1;
+            } else {
+                arcs[write] = arcs[read];
+                write += 1;
+            }
+        }
+        arcs.truncate(write);
+
+        let mut counts = vec![0u64; n];
+        for &(k, _) in &arcs {
+            counts[(k >> 32) as usize] += 1;
+        }
+        let offsets = parallel_prefix_sum(&counts);
+        let neighbors: Vec<VertexId> = arcs.par_iter().map(|&(k, _)| k as VertexId).collect();
+        let weights: Vec<f32> = arcs.par_iter().map(|&(_, w)| w).collect();
+
+        // Per-vertex inclusive prefix sums.
+        let mut cumulative = weights.clone();
+        for v in 0..n {
+            let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+            let mut acc = 0.0f32;
+            for c in &mut cumulative[lo..hi] {
+                acc += *c;
+                *c = acc;
+            }
+        }
+        let weighted_degrees: Vec<f64> = (0..n)
+            .map(|v| {
+                let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+                weights[lo..hi].iter().map(|&w| w as f64).sum()
+            })
+            .collect();
+
+        Self { offsets, neighbors, weights, cumulative, weighted_degrees }
+    }
+
+    /// Lifts an unweighted graph to unit weights.
+    pub fn from_unweighted(g: &Graph) -> Self {
+        let mut edges = Vec::with_capacity(g.num_edges());
+        for u in 0..g.num_vertices() as VertexId {
+            for &v in g.neighbors(u) {
+                if u < v {
+                    edges.push((u, v, 1.0));
+                }
+            }
+        }
+        Self::from_edges(g.num_vertices(), &edges)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Number of stored directed arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Unweighted degree (neighbor count) of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// Weighted degree `d_v = Σ_u A_vu`.
+    #[inline]
+    pub fn weighted_degree(&self, v: VertexId) -> f64 {
+        self.weighted_degrees[v as usize]
+    }
+
+    /// Weighted volume `vol(G) = Σ_v d_v`.
+    pub fn volume(&self) -> f64 {
+        self.weighted_degrees.iter().sum()
+    }
+
+    /// Neighbor ids and weights of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> (&[VertexId], &[f32]) {
+        let v = v as usize;
+        let (lo, hi) = (self.offsets[v] as usize, self.offsets[v + 1] as usize);
+        (&self.neighbors[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// The weight of edge `(u, v)`, 0.0 if absent.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> f32 {
+        let (nb, ws) = self.neighbors(u);
+        match nb.binary_search(&v) {
+            Ok(i) => ws[i],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Global arc index of `v`'s first arc.
+    #[inline]
+    pub fn first_arc_index(&self, v: VertexId) -> u64 {
+        self.offsets[v as usize]
+    }
+
+    /// Draws a neighbor of `v` with probability proportional to edge
+    /// weight (O(log deg) binary search over the prefix sums). Returns
+    /// `None` for isolated vertices.
+    pub fn sample_neighbor(&self, v: VertexId, rng: &mut XorShiftStream) -> Option<VertexId> {
+        let vu = v as usize;
+        let (lo, hi) = (self.offsets[vu] as usize, self.offsets[vu + 1] as usize);
+        if lo == hi {
+            return None;
+        }
+        let cum = &self.cumulative[lo..hi];
+        let total = *cum.last().unwrap();
+        let target = rng.unit_f32() * total;
+        let idx = cum.partition_point(|&c| c <= target).min(cum.len() - 1);
+        Some(self.neighbors[lo + idx])
+    }
+
+    /// Weighted random walk: each step moves to a neighbor drawn
+    /// proportionally to edge weight.
+    pub fn walk(&self, start: VertexId, steps: usize, rng: &mut XorShiftStream) -> VertexId {
+        let mut cur = start;
+        for _ in 0..steps {
+            match self.sample_neighbor(cur, rng) {
+                Some(next) => cur = next,
+                None => return cur,
+            }
+        }
+        cur
+    }
+
+    /// Parallel map over all arcs: `f(u, v, weight, arc_index)`.
+    pub fn map_arcs<F>(&self, f: F)
+    where
+        F: Fn(VertexId, VertexId, f32, u64) + Sync + Send,
+    {
+        (0..self.num_vertices() as VertexId)
+            .into_par_iter()
+            .for_each(|u| {
+                let base = self.first_arc_index(u);
+                let (nb, ws) = self.neighbors(u);
+                for (i, (&v, &w)) in nb.iter().zip(ws).enumerate() {
+                    f(u, v, w, base + i as u64);
+                }
+            });
+    }
+}
+
+impl MemUsage for WeightedGraph {
+    fn heap_bytes(&self) -> usize {
+        self.offsets.heap_bytes()
+            + self.neighbors.heap_bytes()
+            + self.weights.heap_bytes()
+            + self.cumulative.heap_bytes()
+            + self.weighted_degrees.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn weighted_triangle() -> WeightedGraph {
+        WeightedGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)])
+    }
+
+    #[test]
+    fn basic_structure() {
+        let g = weighted_triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_weight(0, 1), 1.0);
+        assert_eq!(g.edge_weight(1, 0), 1.0);
+        assert_eq!(g.edge_weight(2, 0), 3.0);
+        assert_eq!(g.edge_weight(0, 0), 0.0);
+        assert!((g.weighted_degree(0) - 4.0).abs() < 1e-6);
+        assert!((g.volume() - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duplicate_edges_sum() {
+        let g = WeightedGraph::from_edges(2, &[(0, 1, 1.5), (1, 0, 2.5)]);
+        assert_eq!(g.edge_weight(0, 1), 4.0);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = WeightedGraph::from_edges(2, &[(0, 0, 5.0), (0, 1, 1.0)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_unweighted_has_unit_weights() {
+        let u = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let g = WeightedGraph::from_unweighted(&u);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_weight(1, 2), 1.0);
+        assert_eq!(g.volume(), u.volume());
+    }
+
+    #[test]
+    fn neighbor_sampling_respects_weights() {
+        // Vertex 0 has neighbors 1 (w=1) and 2 (w=9).
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0), (0, 2, 9.0)]);
+        let mut rng = XorShiftStream::new(3, 0);
+        let mut count2 = 0usize;
+        let trials = 50_000;
+        for _ in 0..trials {
+            if g.sample_neighbor(0, &mut rng) == Some(2) {
+                count2 += 1;
+            }
+        }
+        let p = count2 as f64 / trials as f64;
+        assert!((p - 0.9).abs() < 0.01, "P(neighbor=2) = {p}");
+    }
+
+    #[test]
+    fn isolated_vertex_sampling_returns_none() {
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0)]);
+        let mut rng = XorShiftStream::new(4, 0);
+        assert_eq!(g.sample_neighbor(2, &mut rng), None);
+        assert_eq!(g.walk(2, 5, &mut rng), 2);
+    }
+
+    #[test]
+    fn weighted_walk_stationary_distribution() {
+        // On a weighted path 0-1 (w=1), 1-2 (w=3): stationary probability
+        // ∝ weighted degree = [1, 4, 3]. Long walks should match.
+        let g = WeightedGraph::from_edges(3, &[(0, 1, 1.0), (1, 2, 3.0)]);
+        let mut rng = XorShiftStream::new(5, 0);
+        let mut counts = [0usize; 3];
+        // Long walks (even+odd mix to wash out parity).
+        for t in 0..30_000 {
+            let steps = 20 + (t % 2);
+            counts[g.walk(1, steps, &mut rng) as usize] += 1;
+        }
+        let total: usize = counts.iter().sum();
+        let p0 = counts[0] as f64 / total as f64;
+        let p2 = counts[2] as f64 / total as f64;
+        assert!((p0 - 1.0 / 8.0).abs() < 0.02, "p0 {p0}");
+        assert!((p2 - 3.0 / 8.0).abs() < 0.02, "p2 {p2}");
+    }
+
+    #[test]
+    fn map_arcs_covers_all() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let g = weighted_triangle();
+        let count = AtomicU32::new(0);
+        let wsum = lightne_utils::atomic::AtomicF64::new(0.0);
+        g.map_arcs(|_, _, w, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+            wsum.fetch_add(w as f64);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 6);
+        assert!((wsum.load() - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_nonpositive_weights() {
+        WeightedGraph::from_edges(2, &[(0, 1, 0.0)]);
+    }
+}

@@ -1,0 +1,363 @@
+//! The lock-free concurrent edge-weight table (the "folklore" parallel
+//! hash table of Maier et al., as used by LightNE).
+//!
+//! Open addressing with linear probing over a power-of-two slot array.
+//! Each slot is an atomic key plus an atomic `f32` weight. Claiming a slot
+//! is a single CAS on the key; weight accumulation is an atomic CAS-add.
+//! There are no deletions (the workload never removes samples), which is
+//! what keeps the folklore design correct.
+//!
+//! Resizing: the table starts at a capacity derived from the expected
+//! number of distinct edges and doubles under a brief stop-the-world
+//! `parking_lot::RwLock` write lock when the load factor crosses 0.7.
+//! Inserts hold the shared read lock, so the common path stays concurrent
+//! and wait-free with respect to other inserts.
+
+use crate::{pack_key, unpack_key, EdgeAggregator};
+use lightne_utils::atomic::AtomicF32;
+use lightne_utils::rng::mix2;
+use parking_lot::RwLock;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Sentinel for an empty slot. `u64::MAX` never collides with a packed
+/// edge because vertex ids are `u32` and `(u32::MAX, u32::MAX)` would be a
+/// self-loop, which the sampler never emits.
+const EMPTY: u64 = u64::MAX;
+
+/// Maximum load factor before the table doubles.
+const MAX_LOAD: f64 = 0.7;
+
+struct Slots {
+    keys: Vec<AtomicU64>,
+    weights: Vec<AtomicF32>,
+    mask: usize,
+}
+
+impl Slots {
+    fn new(capacity_pow2: usize) -> Self {
+        Self {
+            keys: (0..capacity_pow2).map(|_| AtomicU64::new(EMPTY)).collect(),
+            weights: (0..capacity_pow2).map(|_| AtomicF32::new(0.0)).collect(),
+            mask: capacity_pow2 - 1,
+        }
+    }
+
+    /// Adds `w` to `key`'s slot. Returns `Ok(true)` if a fresh slot was
+    /// claimed, `Ok(false)` if an existing slot was updated, and `Err(())`
+    /// if the probe sequence found no free slot (table critically full).
+    fn add(&self, key: u64, w: f32) -> Result<bool, ()> {
+        let mut idx = (mix2(0x9E37_79B9, key) as usize) & self.mask;
+        // Bound the probe length so a pathological fill fails loudly into
+        // the resize path instead of spinning.
+        for _ in 0..=self.mask {
+            let k = self.keys[idx].load(Ordering::Acquire);
+            if k == key {
+                self.weights[idx].fetch_add(w);
+                return Ok(false);
+            }
+            if k == EMPTY {
+                match self.keys[idx].compare_exchange(
+                    EMPTY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.weights[idx].fetch_add(w);
+                        return Ok(true);
+                    }
+                    Err(actual) if actual == key => {
+                        self.weights[idx].fetch_add(w);
+                        return Ok(false);
+                    }
+                    Err(_) => { /* someone else claimed it; keep probing */ }
+                }
+                // Re-examine this slot: it may now hold our key.
+                if self.keys[idx].load(Ordering::Acquire) == key {
+                    self.weights[idx].fetch_add(w);
+                    return Ok(false);
+                }
+            }
+            idx = (idx + 1) & self.mask;
+        }
+        Err(())
+    }
+}
+
+/// A concurrent, growable edge → weight accumulation table.
+///
+/// ```
+/// use lightne_hash::ConcurrentEdgeTable;
+/// let t = ConcurrentEdgeTable::with_expected(16);
+/// t.add_edge(1, 2, 0.5);
+/// t.add_edge(1, 2, 1.5);
+/// assert_eq!(t.get(1, 2), 2.0);
+/// assert_eq!(t.len(), 1);
+/// ```
+pub struct ConcurrentEdgeTable {
+    inner: RwLock<Slots>,
+    len: AtomicUsize,
+}
+
+impl ConcurrentEdgeTable {
+    /// Creates a table expecting roughly `expected_distinct` distinct
+    /// edges. Capacity is the next power of two above
+    /// `expected_distinct / MAX_LOAD`, with a small floor.
+    pub fn with_expected(expected_distinct: usize) -> Self {
+        let target = ((expected_distinct as f64 / MAX_LOAD) as usize).max(1024);
+        let cap = target.next_power_of_two();
+        Self { inner: RwLock::new(Slots::new(cap)), len: AtomicUsize::new(0) }
+    }
+
+    /// Current slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.read().keys.len()
+    }
+
+    /// Number of distinct keys stored.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current load factor.
+    pub fn load_factor(&self) -> f64 {
+        self.len() as f64 / self.capacity() as f64
+    }
+
+    fn grow(&self) {
+        let mut guard = self.inner.write();
+        // Double-check under the write lock: another thread may have grown.
+        if (self.len.load(Ordering::Relaxed) as f64) < MAX_LOAD * guard.keys.len() as f64 {
+            return;
+        }
+        let new = Slots::new(guard.keys.len() * 2);
+        for (k, w) in guard.keys.iter().zip(guard.weights.iter()) {
+            let key = k.load(Ordering::Relaxed);
+            if key != EMPTY {
+                new.add(key, w.load()).expect("fresh table cannot be full");
+            }
+        }
+        *guard = new;
+    }
+
+    /// Adds `weight` to edge `(u, v)`.
+    pub fn add_edge(&self, u: u32, v: u32, weight: f32) {
+        let key = pack_key(u, v);
+        loop {
+            {
+                let guard = self.inner.read();
+                match guard.add(key, weight) {
+                    Ok(fresh) => {
+                        if fresh {
+                            let new_len = self.len.fetch_add(1, Ordering::Relaxed) + 1;
+                            if (new_len as f64) < MAX_LOAD * guard.keys.len() as f64 {
+                                return;
+                            }
+                            // fall through to grow
+                        } else {
+                            return;
+                        }
+                    }
+                    Err(()) => { /* fall through to grow */ }
+                }
+            }
+            self.grow();
+            // A fresh insert that triggered growth has already been
+            // recorded; only a failed insert needs retrying.
+            if self.contains(u, v) {
+                return;
+            }
+        }
+    }
+
+    /// Whether the edge has been recorded.
+    pub fn contains(&self, u: u32, v: u32) -> bool {
+        let key = pack_key(u, v);
+        let guard = self.inner.read();
+        let mut idx = (mix2(0x9E37_79B9, key) as usize) & guard.mask;
+        for _ in 0..=guard.mask {
+            match guard.keys[idx].load(Ordering::Acquire) {
+                k if k == key => return true,
+                EMPTY => return false,
+                _ => idx = (idx + 1) & guard.mask,
+            }
+        }
+        false
+    }
+
+    /// Non-destructive snapshot of all entries (used by the dynamic
+    /// embedder, which keeps accumulating into the table afterwards).
+    /// Taken under the shared read lock; concurrent inserts during the
+    /// scan may or may not be included.
+    pub fn snapshot(&self) -> Vec<(u32, u32, f32)> {
+        let guard = self.inner.read();
+        guard
+            .keys
+            .par_iter()
+            .zip(guard.weights.par_iter())
+            .filter_map(|(k, w)| {
+                let key = k.load(Ordering::Relaxed);
+                if key == EMPTY {
+                    None
+                } else {
+                    let (u, v) = unpack_key(key);
+                    Some((u, v, w.load()))
+                }
+            })
+            .collect()
+    }
+
+    /// Reads the accumulated weight of an edge (0.0 if absent).
+    pub fn get(&self, u: u32, v: u32) -> f32 {
+        let key = pack_key(u, v);
+        let guard = self.inner.read();
+        let mut idx = (mix2(0x9E37_79B9, key) as usize) & guard.mask;
+        for _ in 0..=guard.mask {
+            match guard.keys[idx].load(Ordering::Acquire) {
+                k if k == key => return guard.weights[idx].load(),
+                EMPTY => return 0.0,
+                _ => idx = (idx + 1) & guard.mask,
+            }
+        }
+        0.0
+    }
+}
+
+impl EdgeAggregator for ConcurrentEdgeTable {
+    fn add(&self, u: u32, v: u32, weight: f32) {
+        self.add_edge(u, v, weight);
+    }
+
+    fn distinct_edges(&self) -> usize {
+        self.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // One u64 key + one f32 weight per slot.
+        self.capacity() * (std::mem::size_of::<u64>() + std::mem::size_of::<f32>())
+    }
+
+    fn into_coo(self) -> Vec<(u32, u32, f32)> {
+        let slots = self.inner.into_inner();
+        slots
+            .keys
+            .par_iter()
+            .zip(slots.weights.par_iter())
+            .filter_map(|(k, w)| {
+                let key = k.load(Ordering::Relaxed);
+                if key == EMPTY {
+                    None
+                } else {
+                    let (u, v) = unpack_key(key);
+                    Some((u, v, w.load()))
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_accumulates() {
+        let t = ConcurrentEdgeTable::with_expected(16);
+        t.add_edge(1, 2, 1.5);
+        t.add_edge(1, 2, 2.5);
+        t.add_edge(3, 4, 1.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1, 2), 4.0);
+        assert_eq!(t.get(3, 4), 1.0);
+        assert_eq!(t.get(9, 9), 0.0);
+    }
+
+    #[test]
+    fn ordered_pairs_are_distinct_keys() {
+        let t = ConcurrentEdgeTable::with_expected(16);
+        t.add_edge(1, 2, 1.0);
+        t.add_edge(2, 1, 3.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1, 2), 1.0);
+        assert_eq!(t.get(2, 1), 3.0);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let t = ConcurrentEdgeTable::with_expected(1);
+        let initial_cap = t.capacity();
+        for i in 0..10_000u32 {
+            t.add_edge(i, i + 1, 1.0);
+        }
+        assert_eq!(t.len(), 10_000);
+        assert!(t.capacity() > initial_cap);
+        for i in 0..10_000u32 {
+            assert_eq!(t.get(i, i + 1), 1.0, "lost edge {i} during growth");
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_exact_counts() {
+        let t = ConcurrentEdgeTable::with_expected(4096);
+        // 8 logical threads × 50k ops over 1000 distinct edges.
+        (0..8).into_par_iter().for_each(|_| {
+            for i in 0..50_000u32 {
+                let e = i % 1000;
+                t.add_edge(e, e + 1, 1.0);
+            }
+        });
+        assert_eq!(t.len(), 1000);
+        for e in 0..1000u32 {
+            assert_eq!(t.get(e, e + 1), 400.0, "edge {e} lost updates");
+        }
+    }
+
+    #[test]
+    fn concurrent_growth_is_lossless() {
+        let t = ConcurrentEdgeTable::with_expected(1);
+        (0..8).into_par_iter().for_each(|th: u32| {
+            for i in 0..20_000u32 {
+                t.add_edge(th, i, 1.0);
+            }
+        });
+        assert_eq!(t.len(), 8 * 20_000);
+        let total: f64 = {
+            let coo = t.into_coo();
+            coo.iter().map(|&(_, _, w)| w as f64).sum()
+        };
+        assert_eq!(total, 8.0 * 20_000.0);
+    }
+
+    #[test]
+    fn into_coo_roundtrip() {
+        let t = ConcurrentEdgeTable::with_expected(8);
+        t.add_edge(5, 6, 2.0);
+        t.add_edge(5, 6, 1.0);
+        t.add_edge(7, 8, 4.0);
+        let mut coo = t.into_coo();
+        coo.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        assert_eq!(coo, vec![(5, 6, 3.0), (7, 8, 4.0)]);
+    }
+
+    #[test]
+    fn fractional_weights_accumulate() {
+        let t = ConcurrentEdgeTable::with_expected(8);
+        for _ in 0..1000 {
+            t.add_edge(0, 1, 0.25);
+        }
+        assert_eq!(t.get(0, 1), 250.0);
+    }
+
+    #[test]
+    fn memory_reporting_scales_with_capacity() {
+        let t = ConcurrentEdgeTable::with_expected(1_000_000);
+        let m = t.memory_bytes();
+        assert!(m >= 1_000_000 * 12, "memory {m} too small");
+    }
+}

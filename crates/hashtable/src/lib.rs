@@ -1,0 +1,73 @@
+//! Sparse parallel hashing for sparsifier construction (Section 4.2).
+//!
+//! The sampling stage of LightNE generates an enormous stream of weighted
+//! edges from all threads at once and must count, per *distinct* edge, the
+//! total weight with which it was sampled. The paper evaluates two
+//! aggregation strategies and this crate implements both:
+//!
+//! * [`ConcurrentEdgeTable`] — the winner: a single shared, lock-free,
+//!   open-addressing hash table with linear probing. Keys are packed
+//!   `(u, v)` pairs; weights are accumulated with atomic adds (`xadd` for
+//!   integer counts in the paper; we CAS-add `f32` because downsampling
+//!   introduces fractional weights `1/p_e`). Memory is proportional to the
+//!   number of *distinct* edges.
+//! * [`ThreadLocalAggregator`] — the NetSMF strategy the paper ablates
+//!   against: per-thread buffers merged at the end. Simple, but memory
+//!   grows with the number of *samples*, which is what limited NetSMF to
+//!   8Tm samples on the authors' 1.7 TB machine (Section 5.2.4).
+//!
+//! Both expose the same drain-to-COO interface so the sparsifier is
+//! generic over the aggregator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concurrent;
+pub mod thread_local;
+
+pub use concurrent::ConcurrentEdgeTable;
+pub use thread_local::ThreadLocalAggregator;
+
+/// Packs an edge into a table key.
+#[inline]
+pub fn pack_key(u: u32, v: u32) -> u64 {
+    ((u as u64) << 32) | v as u64
+}
+
+/// Unpacks a table key into an edge.
+#[inline]
+pub fn unpack_key(k: u64) -> (u32, u32) {
+    ((k >> 32) as u32, k as u32)
+}
+
+/// Common interface for edge-weight aggregation strategies, so the
+/// sparsifier and the ablation harness can swap them freely.
+pub trait EdgeAggregator: Sync {
+    /// Adds `weight` to the accumulated weight of edge `(u, v)`.
+    fn add(&self, u: u32, v: u32, weight: f32);
+
+    /// Number of distinct edges currently held.
+    fn distinct_edges(&self) -> usize;
+
+    /// Heap bytes currently committed by the aggregator (the quantity the
+    /// Section 5.2.4 sample-size ablation compares).
+    fn memory_bytes(&self) -> usize;
+
+    /// Consumes the aggregator, returning `(u, v, total_weight)` triples
+    /// in unspecified order.
+    fn into_coo(self) -> Vec<(u32, u32, f32)>
+    where
+        Self: Sized;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip() {
+        for &(u, v) in &[(0u32, 0u32), (1, 2), (u32::MAX, 0), (7, u32::MAX)] {
+            assert_eq!(unpack_key(pack_key(u, v)), (u, v));
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Row-major dense `f32` matrices with rayon-parallel kernels.
+//!
+//! The shapes that matter in LightNE are *tall and skinny*: `n × d` with
+//! `n` up to billions and `d` ≤ a few hundred. Every kernel here is laid
+//! out for that case — row-major storage so a vertex's embedding is one
+//! contiguous cache line run, parallelism across rows, and `f64`
+//! accumulation inside dot products for stability (MKL does the same
+//! internally for its `s` routines on modern CPUs).
+
+use lightne_utils::rng::XorShiftStream;
+use rayon::prelude::*;
+use std::fmt;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DenseMatrix({}x{})", self.rows, self.cols)?;
+        if self.rows <= 8 && self.cols <= 8 {
+            writeln!(f)?;
+            for i in 0..self.rows {
+                writeln!(f, "  {:?}", self.row(i))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl DenseMatrix {
+    /// A zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must be rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Builds from nested rows (convenient in tests).
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |x| x.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// An i.i.d. standard-Gaussian random matrix (MKL `vsRngGaussian`),
+    /// filled in parallel with one deterministic stream per row.
+    pub fn gaussian(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        m.data
+            .par_chunks_mut(cols.max(1))
+            .enumerate()
+            .for_each(|(i, row)| {
+                let mut rng = XorShiftStream::new(seed, i as u64);
+                for x in row {
+                    *x = rng.gaussian() as f32;
+                }
+            });
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Parallel iterator over rows.
+    pub fn par_rows(&self) -> rayon::slice::Chunks<'_, f32> {
+        self.data.par_chunks(self.cols)
+    }
+
+    /// Parallel mutable iterator over rows.
+    pub fn par_rows_mut(&mut self) -> rayon::slice::ChunksMut<'_, f32> {
+        self.data.par_chunks_mut(self.cols)
+    }
+
+    /// The transpose (O(rows·cols), parallel over output rows).
+    pub fn transpose(&self) -> DenseMatrix {
+        let (r, c) = (self.rows, self.cols);
+        let mut out = DenseMatrix::zeros(c, r);
+        out.data.par_chunks_mut(r).enumerate().for_each(|(j, orow)| {
+            for (i, o) in orow.iter_mut().enumerate() {
+                *o = self.data[i * c + j];
+            }
+        });
+        out
+    }
+
+    /// Dense GEMM: `self (m×n) · other (n×k) → (m×k)`, replacing
+    /// `cblas_sgemm`. Parallel over output rows with an i-l-j loop order so
+    /// both `other` and the output are streamed row-wise.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "gemm shape mismatch");
+        let (m, n, k) = (self.rows, self.cols, other.cols);
+        let mut out = DenseMatrix::zeros(m, k);
+        out.data.par_chunks_mut(k).enumerate().for_each(|(i, orow)| {
+            let arow = &self.data[i * n..(i + 1) * n];
+            for (l, &a) in arow.iter().enumerate() {
+                if a != 0.0 {
+                    let brow = &other.data[l * k..(l + 1) * k];
+                    for (o, &b) in orow.iter_mut().zip(brow) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Gram-style product for tall matrices: `selfᵀ (c×r) · other (r×k) →
+    /// (c×k)` where both inputs have the same (large) row count and few
+    /// columns. Computed as a parallel reduction of per-chunk outer
+    /// products, so the big dimension is traversed once.
+    pub fn gram_tn(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.rows, other.rows, "gram shape mismatch");
+        let (r, c, k) = (self.rows, self.cols, other.cols);
+        let chunk = lightne_utils::parallel::par_chunk_size(r);
+        let partial = self
+            .data
+            .par_chunks(chunk * c)
+            .zip(other.data.par_chunks(chunk * k))
+            .map(|(ablock, bblock)| {
+                let mut local = vec![0.0f64; c * k];
+                for (arow, brow) in ablock.chunks_exact(c).zip(bblock.chunks_exact(k)) {
+                    for (j, &a) in arow.iter().enumerate() {
+                        let dst = &mut local[j * k..(j + 1) * k];
+                        for (d, &b) in dst.iter_mut().zip(brow) {
+                            *d += a as f64 * b as f64;
+                        }
+                    }
+                }
+                local
+            })
+            .reduce(
+                || vec![0.0f64; c * k],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        DenseMatrix::from_vec(c, k, partial.into_iter().map(|x| x as f32).collect())
+    }
+
+    /// Scales every entry by `s`, in parallel.
+    pub fn scale(&mut self, s: f32) {
+        self.data.par_iter_mut().for_each(|x| *x *= s);
+    }
+
+    /// `self += s · other`, in parallel.
+    pub fn axpy(&mut self, s: f32, other: &DenseMatrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .par_iter_mut()
+            .zip(other.data.par_iter())
+            .for_each(|(a, &b)| *a += s * b);
+    }
+
+    /// Applies `f` to every entry, in parallel.
+    pub fn map_inplace<F>(&mut self, f: F)
+    where
+        F: Fn(f32) -> f32 + Sync + Send,
+    {
+        self.data.par_iter_mut().for_each(|x| *x = f(*x));
+    }
+
+    /// Multiplies each column `j` by `scale[j]` (e.g. `X ← X·Σ^{1/2}`).
+    pub fn scale_columns(&mut self, scale: &[f32]) {
+        assert_eq!(scale.len(), self.cols);
+        self.data.par_chunks_mut(self.cols).for_each(|row| {
+            for (x, &s) in row.iter_mut().zip(scale) {
+                *x *= s;
+            }
+        });
+    }
+
+    /// L2-normalizes every row (common post-processing for embeddings).
+    pub fn normalize_rows(&mut self) {
+        self.data.par_chunks_mut(self.cols).for_each(|row| {
+            let norm = row.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                let inv = (1.0 / norm) as f32;
+                for x in row {
+                    *x *= inv;
+                }
+            }
+        });
+    }
+
+    /// Frobenius norm, accumulated in `f64`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data
+            .par_iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Maximum absolute entry difference to another matrix (∞-distance).
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f32 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .par_iter()
+            .zip(other.data.par_iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .reduce(|| 0.0, f32::max)
+    }
+}
+
+/// Dot product of two equal-length slices with `f64` accumulation.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = DenseMatrix::gaussian(20, 20, 1);
+        let i = DenseMatrix::identity(20);
+        assert!(a.matmul(&i).max_abs_diff(&a) < 1e-6);
+        assert!(i.matmul(&a).max_abs_diff(&a) < 1e-6);
+    }
+
+    #[test]
+    fn gram_tn_matches_explicit_transpose() {
+        let a = DenseMatrix::gaussian(500, 7, 2);
+        let b = DenseMatrix::gaussian(500, 5, 3);
+        let fast = a.gram_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        assert!(fast.max_abs_diff(&slow) < 1e-3, "diff {}", fast.max_abs_diff(&slow));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DenseMatrix::gaussian(13, 7, 4);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gaussian_is_deterministic_and_standard() {
+        let a = DenseMatrix::gaussian(200, 50, 9);
+        let b = DenseMatrix::gaussian(200, 50, 9);
+        assert_eq!(a, b);
+        let n = (a.rows() * a.cols()) as f64;
+        let mean: f64 = a.as_slice().iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var: f64 = a.as_slice().iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn scale_and_axpy() {
+        let mut a = DenseMatrix::from_rows(&[&[1.0, 2.0]]);
+        let b = DenseMatrix::from_rows(&[&[10.0, 20.0]]);
+        a.scale(2.0);
+        a.axpy(0.5, &b);
+        assert_eq!(a.row(0), &[7.0, 14.0]);
+    }
+
+    #[test]
+    fn scale_columns_works() {
+        let mut a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        a.scale_columns(&[2.0, 10.0]);
+        assert_eq!(a.row(0), &[2.0, 20.0]);
+        assert_eq!(a.row(1), &[6.0, 40.0]);
+    }
+
+    #[test]
+    fn normalize_rows_unit_norm() {
+        let mut a = DenseMatrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        a.normalize_rows();
+        assert!((dot(a.row(0), a.row(0)) - 1.0).abs() < 1e-6);
+        assert_eq!(a.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_known() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_inplace_trunc_log() {
+        let mut a = DenseMatrix::from_rows(&[&[0.5, 1.0, std::f32::consts::E]]);
+        a.map_inplace(|x| x.ln().max(0.0));
+        assert_eq!(a.get(0, 0), 0.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert!((a.get(0, 2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "gemm shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

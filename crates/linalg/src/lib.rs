@@ -1,0 +1,41 @@
+//! Parallel dense & sparse linear algebra for LightNE.
+//!
+//! The paper offloads all numerical work to Intel MKL (Section 4.3):
+//! Sparse BLAS `mkl_sparse_s_mm` for sparse×dense products, `cblas_sgemm`
+//! for dense products, `LAPACKE_sgeqrf`/`sorgqr` for orthonormalization and
+//! `LAPACKE_sgesvd` for the small SVD. This crate provides from-scratch,
+//! rayon-parallel replacements for exactly those kernels, in the same
+//! single precision MKL's `s` routines use:
+//!
+//! * [`dense::DenseMatrix`] — row-major `f32` matrices with parallel GEMM
+//!   (`matmul`), tall-matrix Gram products (`gram_tn`), Gaussian random
+//!   matrices and elementwise maps.
+//! * [`qr`] — modified Gram–Schmidt orthonormalization with
+//!   re-orthogonalization ("twice is enough"), replacing `sgeqrf + sorgqr`.
+//! * [`svd`] — one-sided Jacobi SVD for the small `d×d` projected matrix,
+//!   replacing `sgesvd`.
+//! * [`sparse::CsrMatrix`] — CSR sparse matrices built in parallel from
+//!   COO triples, with parallel SPMM, replacing MKL Sparse BLAS.
+//! * [`rsvd`] — Algorithm 3 of the paper (the randomized SVD of Halko,
+//!   Martinsson & Tropp) composed from the kernels above, plus optional
+//!   power iterations.
+//! * [`special`] — modified Bessel functions `I_r(θ)`, the coefficients of
+//!   ProNE's Chebyshev–Gaussian spectral filter.
+//! * [`matio`] — text serialization of dense matrices (the embedding
+//!   interchange format).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod eigen;
+pub mod matio;
+pub mod qr;
+pub mod rsvd;
+pub mod sparse;
+pub mod special;
+pub mod svd;
+
+pub use dense::DenseMatrix;
+pub use rsvd::{randomized_svd, RsvdConfig, Svd};
+pub use sparse::CsrMatrix;

@@ -1,0 +1,166 @@
+//! Dense-matrix text I/O: the embedding interchange format.
+//!
+//! Embeddings leave the system as whitespace-separated text, one row per
+//! vertex — the format every downstream tool in this literature consumes
+//! (word2vec's text format without the header). A `#`-prefixed header
+//! records the shape for validation on load.
+
+use crate::dense::DenseMatrix;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from matrix text I/O.
+#[derive(Debug)]
+pub enum MatIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed content (line number, description).
+    Parse(usize, String),
+}
+
+impl fmt::Display for MatIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatIoError::Io(e) => write!(f, "i/o error: {e}"),
+            MatIoError::Parse(line, what) => write!(f, "parse error on line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MatIoError {}
+
+impl From<io::Error> for MatIoError {
+    fn from(e: io::Error) -> Self {
+        MatIoError::Io(e)
+    }
+}
+
+/// Writes a matrix as text: a `# rows cols` header, then one
+/// whitespace-separated row per line.
+pub fn write_matrix(m: &DenseMatrix, path: impl AsRef<Path>) -> Result<(), MatIoError> {
+    let mut w = BufWriter::with_capacity(1 << 20, File::create(path)?);
+    writeln!(w, "# {} {}", m.rows(), m.cols())?;
+    for i in 0..m.rows() {
+        let mut first = true;
+        for &v in m.row(i) {
+            if first {
+                first = false;
+            } else {
+                w.write_all(b" ")?;
+            }
+            write!(w, "{v}")?;
+        }
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a matrix written by [`write_matrix`]. The header is optional;
+/// without it the shape is inferred from the first row.
+pub fn read_matrix(path: impl AsRef<Path>) -> Result<DenseMatrix, MatIoError> {
+    let reader = BufReader::with_capacity(1 << 20, File::open(path)?);
+    let mut declared: Option<(usize, usize)> = None;
+    let mut data: Vec<f32> = Vec::new();
+    let mut cols: Option<usize> = None;
+    let mut rows = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            if let (Some(r), Some(c)) = (it.next(), it.next()) {
+                if let (Ok(r), Ok(c)) = (r.parse(), c.parse()) {
+                    declared = Some((r, c));
+                }
+            }
+            continue;
+        }
+        let row: Result<Vec<f32>, _> = t.split_whitespace().map(str::parse).collect();
+        let row = row.map_err(|e| MatIoError::Parse(lineno + 1, format!("{e}")))?;
+        match cols {
+            None => cols = Some(row.len()),
+            Some(c) if c != row.len() => {
+                return Err(MatIoError::Parse(
+                    lineno + 1,
+                    format!("expected {c} columns, found {}", row.len()),
+                ))
+            }
+            _ => {}
+        }
+        data.extend(row);
+        rows += 1;
+    }
+    let cols = cols.ok_or_else(|| MatIoError::Parse(0, "empty matrix file".into()))?;
+    if let Some((dr, dc)) = declared {
+        if (dr, dc) != (rows, cols) {
+            return Err(MatIoError::Parse(
+                0,
+                format!("header says {dr}x{dc}, body is {rows}x{cols}"),
+            ));
+        }
+    }
+    Ok(DenseMatrix::from_vec(rows, cols, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lightne_matio_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = DenseMatrix::gaussian(50, 7, 1);
+        let p = tmp("rt.txt");
+        write_matrix(&m, &p).unwrap();
+        let m2 = read_matrix(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(m.rows(), m2.rows());
+        assert_eq!(m.cols(), m2.cols());
+        assert!(m.max_abs_diff(&m2) < 1e-5);
+    }
+
+    #[test]
+    fn headerless_file_inferred() {
+        let p = tmp("nohdr.txt");
+        std::fs::write(&p, "1 2 3\n4 5 6\n").unwrap();
+        let m = read_matrix(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert_eq!(m.get(1, 2), 6.0);
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        let p = tmp("ragged.txt");
+        std::fs::write(&p, "1 2\n3\n").unwrap();
+        assert!(matches!(read_matrix(&p), Err(MatIoError::Parse(2, _))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let p = tmp("mismatch.txt");
+        std::fs::write(&p, "# 3 2\n1 2\n3 4\n").unwrap();
+        assert!(matches!(read_matrix(&p), Err(MatIoError::Parse(0, _))));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let p = tmp("empty.txt");
+        std::fs::write(&p, "").unwrap();
+        assert!(read_matrix(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+}

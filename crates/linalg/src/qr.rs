@@ -1,0 +1,184 @@
+//! Orthonormalization of tall matrices (replacing `LAPACKE_sgeqrf` +
+//! `LAPACKE_sorgqr` in Algorithm 3).
+//!
+//! We use modified Gram–Schmidt with one re-orthogonalization pass
+//! ("twice is enough", Giraud et al.): for single-precision inputs this
+//! yields `Qᵀ Q = I` to ~1e-6 even for ill-conditioned inputs, which is all
+//! the randomized SVD needs.
+//!
+//! To keep dot products over the tall dimension contiguous, the matrix is
+//! transposed once up front (columns become rows), MGS runs over contiguous
+//! length-`n` vectors with rayon-parallel dots/axpys, and the result is
+//! transposed back.
+
+use crate::dense::DenseMatrix;
+use rayon::prelude::*;
+
+/// Threshold below which vector ops stay sequential.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+fn par_dot(a: &[f32], b: &[f32]) -> f64 {
+    if a.len() < PAR_THRESHOLD {
+        crate::dense::dot(a, b)
+    } else {
+        a.par_iter()
+            .zip(b.par_iter())
+            .map(|(&x, &y)| x as f64 * y as f64)
+            .sum()
+    }
+}
+
+fn par_axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    if y.len() < PAR_THRESHOLD {
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    } else {
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, &xi)| *yi += alpha * xi);
+    }
+}
+
+fn par_scale(y: &mut [f32], alpha: f32) {
+    if y.len() < PAR_THRESHOLD {
+        for yi in y.iter_mut() {
+            *yi *= alpha;
+        }
+    } else {
+        y.par_iter_mut().for_each(|yi| *yi *= alpha);
+    }
+}
+
+/// Orthonormalizes the columns of `x` (n×d, n ≥ d) in place.
+///
+/// Returns the number of numerically independent columns found; dependent
+/// columns are replaced by zero vectors (rank-revealing behaviour — the
+/// randomized SVD then simply reports zero singular values for them).
+pub fn orthonormalize_columns(x: &mut DenseMatrix) -> usize {
+    let d = x.cols();
+    let mut xt = x.transpose(); // d × n, rows are the columns of x
+    let n = xt.cols();
+    let mut rank = 0usize;
+
+    // Split the transposed buffer into per-column slices so finished
+    // columns can be read while the current one is mutated.
+    let mut cols: Vec<&mut [f32]> = xt.as_mut_slice().chunks_mut(n).collect();
+
+    for j in 0..d {
+        let orig_norm = {
+            let cur = &*cols[j];
+            par_dot(cur, cur).sqrt()
+        };
+        // Two MGS passes against all previous columns.
+        for _pass in 0..2 {
+            let (done, rest) = cols.split_at_mut(j);
+            let cur = &mut *rest[0];
+            for q in done.iter() {
+                let r = par_dot(q, cur) as f32;
+                if r != 0.0 {
+                    par_axpy(cur, -r, q);
+                }
+            }
+        }
+        let cur = &mut *cols[j];
+        let norm = par_dot(cur, cur).sqrt();
+        // Relative rank test: a column whose residual collapsed by more
+        // than ~5 f32 digits is numerically dependent on its predecessors.
+        if norm > orig_norm * 1e-5 && norm > 1e-12 {
+            par_scale(cur, (1.0 / norm) as f32);
+            rank += 1;
+        } else {
+            cur.fill(0.0);
+        }
+    }
+    drop(cols);
+    *x = xt.transpose();
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_orthonormal(q: &DenseMatrix, expected_rank: usize) {
+        let gram = q.gram_tn(q);
+        for i in 0..q.cols() {
+            for j in 0..q.cols() {
+                let want = if i == j && i < expected_rank { 1.0 } else { 0.0 };
+                let got = gram.get(i, j);
+                // Zeroed dependent columns give 0 on their diagonal.
+                let tol = 5e-5;
+                if i == j && got.abs() < tol && want == 1.0 {
+                    panic!("column {i} unexpectedly zero");
+                }
+                assert!(
+                    (got - want).abs() < tol || (i == j && got.abs() < tol),
+                    "gram[{i},{j}] = {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn orthonormalizes_random_tall_matrix() {
+        let mut x = DenseMatrix::gaussian(1000, 16, 42);
+        let rank = orthonormalize_columns(&mut x);
+        assert_eq!(rank, 16);
+        check_orthonormal(&x, 16);
+    }
+
+    #[test]
+    fn orthonormalizes_large_parallel_path() {
+        let mut x = DenseMatrix::gaussian(40_000, 8, 7);
+        let rank = orthonormalize_columns(&mut x);
+        assert_eq!(rank, 8);
+        check_orthonormal(&x, 8);
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        // Third column = first + second.
+        let mut x = DenseMatrix::zeros(100, 3);
+        let g = DenseMatrix::gaussian(100, 2, 3);
+        for i in 0..100 {
+            x.set(i, 0, g.get(i, 0));
+            x.set(i, 1, g.get(i, 1));
+            x.set(i, 2, g.get(i, 0) + g.get(i, 1));
+        }
+        let rank = orthonormalize_columns(&mut x);
+        assert_eq!(rank, 2);
+        // The dependent column must be zero.
+        for i in 0..100 {
+            assert_eq!(x.get(i, 2), 0.0);
+        }
+    }
+
+    #[test]
+    fn preserves_span() {
+        // Q must span the same space: projecting the original columns onto Q
+        // reconstructs them.
+        let orig = DenseMatrix::gaussian(300, 5, 11);
+        let mut q = orig.clone();
+        orthonormalize_columns(&mut q);
+        // X ≈ Q (Qᵀ X)
+        let coeff = q.gram_tn(&orig); // 5×5
+        let recon = q.matmul(&coeff);
+        assert!(
+            recon.max_abs_diff(&orig) < 1e-3,
+            "span not preserved: {}",
+            recon.max_abs_diff(&orig)
+        );
+    }
+
+    #[test]
+    fn single_column_normalizes() {
+        let mut x = DenseMatrix::from_vec(4, 1, vec![2.0, 0.0, 0.0, 0.0]);
+        assert_eq!(orthonormalize_columns(&mut x), 1);
+        assert_eq!(x.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn zero_matrix_rank_zero() {
+        let mut x = DenseMatrix::zeros(10, 3);
+        assert_eq!(orthonormalize_columns(&mut x), 0);
+    }
+}

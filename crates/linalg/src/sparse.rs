@@ -1,0 +1,388 @@
+//! CSR sparse matrices with parallel SPMM (replacing MKL Sparse BLAS).
+//!
+//! The two sparse kernels LightNE needs are (1) building a CSR matrix from
+//! an unsorted stream of `(row, col, value)` triples — the output of the
+//! sparsifier's hash table — and (2) multiplying a sparse `n × n` matrix by
+//! a dense `n × d` panel (`mkl_sparse_s_mm`), which dominates both the
+//! randomized SVD's projections and ProNE's spectral propagation.
+
+use crate::dense::DenseMatrix;
+use lightne_utils::mem::MemUsage;
+use lightne_utils::parallel::parallel_prefix_sum;
+use rayon::prelude::*;
+
+/// A sparse matrix in CSR format with `f32` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<u64>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics on inconsistent arrays (see asserts).
+    pub fn from_raw(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<u64>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), n_rows + 1);
+        assert_eq!(col_idx.len(), values.len());
+        assert_eq!(*row_ptr.last().unwrap() as usize, col_idx.len());
+        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(col_idx.iter().all(|&c| (c as usize) < n_cols));
+        Self { n_rows, n_cols, row_ptr, col_idx, values }
+    }
+
+    /// Builds from an unsorted COO triple list. Duplicate coordinates are
+    /// combined by summation (the semantics the sampler needs: repeated
+    /// samples of the same edge accumulate weight).
+    pub fn from_coo(n_rows: usize, n_cols: usize, mut coo: Vec<(u32, u32, f32)>) -> Self {
+        coo.par_sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        // Combine duplicates in one sequential pass (cheap relative to sort).
+        let mut write = 0usize;
+        for read in 0..coo.len() {
+            if write > 0 && coo[write - 1].0 == coo[read].0 && coo[write - 1].1 == coo[read].1 {
+                coo[write - 1].2 += coo[read].2;
+            } else {
+                coo[write] = coo[read];
+                write += 1;
+            }
+        }
+        coo.truncate(write);
+
+        let mut counts = vec![0u64; n_rows];
+        for &(r, _, _) in &coo {
+            counts[r as usize] += 1;
+        }
+        let row_ptr = parallel_prefix_sum(&counts);
+        let col_idx: Vec<u32> = coo.par_iter().map(|&(_, c, _)| c).collect();
+        let values: Vec<f32> = coo.par_iter().map(|&(_, _, v)| v).collect();
+        Self::from_raw(n_rows, n_cols, row_ptr, col_idx, values)
+    }
+
+    /// The zero matrix.
+    pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
+        Self { n_rows, n_cols, row_ptr: vec![0; n_rows + 1], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            n_rows: n,
+            n_cols: n,
+            row_ptr: (0..=n as u64).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        let lo = self.row_ptr[i] as usize;
+        let hi = self.row_ptr[i + 1] as usize;
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Reads entry `(i, j)` (binary search; 0.0 if absent).
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&(j as u32)) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse × dense: `self (r×c) · x (c×d) → (r×d)`, parallel over rows.
+    /// This is the workhorse SPMM of both the randomized SVD and spectral
+    /// propagation.
+    pub fn spmm(&self, x: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.n_cols, x.rows(), "spmm shape mismatch");
+        let d = x.cols();
+        let mut out = DenseMatrix::zeros(self.n_rows, d);
+        out.as_mut_slice()
+            .par_chunks_mut(d.max(1))
+            .enumerate()
+            .for_each(|(i, orow)| {
+                let (cols, vals) = self.row(i);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let xrow = x.row(c as usize);
+                    for (o, &xv) in orow.iter_mut().zip(xrow) {
+                        *o += v * xv;
+                    }
+                }
+            });
+        out
+    }
+
+    /// Sparse matrix × vector.
+    pub fn mul_vec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(self.n_cols, x.len());
+        (0..self.n_rows)
+            .into_par_iter()
+            .map(|i| {
+                let (cols, vals) = self.row(i);
+                cols.iter()
+                    .zip(vals)
+                    .map(|(&c, &v)| v as f64 * x[c as usize] as f64)
+                    .sum::<f64>() as f32
+            })
+            .collect()
+    }
+
+    /// The transpose (parallel histogram + scatter).
+    pub fn transpose(&self) -> CsrMatrix {
+        let coo: Vec<(u32, u32, f32)> = (0..self.n_rows)
+            .into_par_iter()
+            .flat_map_iter(|i| {
+                let (cols, vals) = self.row(i);
+                cols.iter()
+                    .zip(vals)
+                    .map(move |(&c, &v)| (c, i as u32, v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        CsrMatrix::from_coo(self.n_cols, self.n_rows, coo)
+    }
+
+    /// Applies `f` to every stored value, in parallel. Entries mapped to
+    /// exactly 0.0 are *kept* (structure is unchanged) — call
+    /// [`CsrMatrix::prune`] to drop them.
+    pub fn map_values<F>(&mut self, f: F)
+    where
+        F: Fn(f32) -> f32 + Sync + Send,
+    {
+        self.values.par_iter_mut().for_each(|v| *v = f(*v));
+    }
+
+    /// Removes stored entries with `|value| <= threshold`, recompacting.
+    pub fn prune(&self, threshold: f32) -> CsrMatrix {
+        let coo: Vec<(u32, u32, f32)> = (0..self.n_rows)
+            .into_par_iter()
+            .flat_map_iter(|i| {
+                let (cols, vals) = self.row(i);
+                cols.iter()
+                    .zip(vals)
+                    .filter(|(_, &v)| v.abs() > threshold)
+                    .map(move |(&c, &v)| (i as u32, c, v))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        CsrMatrix::from_coo(self.n_rows, self.n_cols, coo)
+    }
+
+    /// Scales row `i` by `s[i]` (e.g. `D⁻¹ A`).
+    pub fn scale_rows(&mut self, s: &[f32]) {
+        assert_eq!(s.len(), self.n_rows);
+        let row_ptr = &self.row_ptr;
+        let values = &mut self.values;
+        // Parallel over rows via chunk boundaries derived from row_ptr.
+        (0..self.n_rows).for_each(|i| {
+            let (lo, hi) = (row_ptr[i] as usize, row_ptr[i + 1] as usize);
+            for v in &mut values[lo..hi] {
+                *v *= s[i];
+            }
+        });
+    }
+
+    /// Scales column `j` by `s[j]` (e.g. `A D⁻¹`), in parallel.
+    pub fn scale_cols(&mut self, s: &[f32]) {
+        assert_eq!(s.len(), self.n_cols);
+        let col_idx = &self.col_idx;
+        self.values
+            .par_iter_mut()
+            .zip(col_idx.par_iter())
+            .for_each(|(v, &c)| *v *= s[c as usize]);
+    }
+
+    /// Linear combination `alpha·self + beta·other` (same shape).
+    pub fn add(&self, other: &CsrMatrix, alpha: f32, beta: f32) -> CsrMatrix {
+        assert_eq!((self.n_rows, self.n_cols), (other.n_rows, other.n_cols));
+        let mut coo: Vec<(u32, u32, f32)> = Vec::with_capacity(self.nnz() + other.nnz());
+        for i in 0..self.n_rows {
+            let (c1, v1) = self.row(i);
+            for (&c, &v) in c1.iter().zip(v1) {
+                coo.push((i as u32, c, alpha * v));
+            }
+            let (c2, v2) = other.row(i);
+            for (&c, &v) in c2.iter().zip(v2) {
+                coo.push((i as u32, c, beta * v));
+            }
+        }
+        CsrMatrix::from_coo(self.n_rows, self.n_cols, coo)
+    }
+
+    /// Densifies (test helper; quadratic memory).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.n_rows, self.n_cols);
+        for i in 0..self.n_rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                out.set(i, c as usize, v);
+            }
+        }
+        out
+    }
+
+    /// Sum of all stored values.
+    pub fn sum_values(&self) -> f64 {
+        self.values.par_iter().map(|&v| v as f64).sum()
+    }
+
+    /// Whether the matrix is exactly symmetric in structure and values.
+    pub fn is_symmetric(&self, tol: f32) -> bool {
+        if self.n_rows != self.n_cols {
+            return false;
+        }
+        (0..self.n_rows).into_par_iter().all(|i| {
+            let (cols, vals) = self.row(i);
+            cols.iter()
+                .zip(vals)
+                .all(|(&c, &v)| (self.get(c as usize, i) - v).abs() <= tol)
+        })
+    }
+}
+
+impl MemUsage for CsrMatrix {
+    fn heap_bytes(&self) -> usize {
+        self.row_ptr.heap_bytes() + self.col_idx.heap_bytes() + self.values.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        // [4 0 5]
+        CsrMatrix::from_coo(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)],
+        )
+    }
+
+    #[test]
+    fn from_coo_sorts_and_sums_duplicates() {
+        let m = CsrMatrix::from_coo(2, 2, vec![(1, 1, 1.0), (0, 0, 2.0), (1, 1, 3.0)]);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(1, 1), 4.0);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = small();
+        let x = DenseMatrix::gaussian(3, 4, 5);
+        let fast = m.spmm(&x);
+        let slow = m.to_dense().matmul(&x);
+        assert!(fast.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn mul_vec_known() {
+        let m = small();
+        let y = m.mul_vec(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 3.0, 9.0]);
+    }
+
+    #[test]
+    fn transpose_twice_identity() {
+        let m = small();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(0, 2), 4.0);
+    }
+
+    #[test]
+    fn scale_rows_cols() {
+        let mut m = small();
+        m.scale_rows(&[1.0, 2.0, 0.5]);
+        assert_eq!(m.get(1, 1), 6.0);
+        assert_eq!(m.get(2, 2), 2.5);
+        m.scale_cols(&[0.0, 1.0, 2.0]);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn prune_drops_small_entries() {
+        let mut m = small();
+        m.map_values(|v| if v < 3.0 { 0.0 } else { v });
+        assert_eq!(m.nnz(), 5, "map_values must not change structure");
+        let p = m.prune(0.0);
+        assert_eq!(p.nnz(), 3);
+        assert_eq!(p.get(0, 0), 0.0);
+        assert_eq!(p.get(2, 2), 5.0);
+    }
+
+    #[test]
+    fn add_combines() {
+        let m = small();
+        let s = m.add(&m, 1.0, 2.0);
+        assert_eq!(s.get(0, 2), 6.0);
+        assert_eq!(s.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let i = CsrMatrix::identity(6);
+        let x = DenseMatrix::gaussian(6, 3, 2);
+        assert!(i.spmm(&x).max_abs_diff(&x) < 1e-7);
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let sym = CsrMatrix::from_coo(2, 2, vec![(0, 1, 2.0), (1, 0, 2.0)]);
+        assert!(sym.is_symmetric(0.0));
+        let asym = CsrMatrix::from_coo(2, 2, vec![(0, 1, 2.0)]);
+        assert!(!asym.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn empty_rows_handled() {
+        let m = CsrMatrix::from_coo(4, 4, vec![(3, 0, 1.0)]);
+        assert_eq!(m.row(0).0.len(), 0);
+        assert_eq!(m.row(3).0, &[0]);
+        let x = DenseMatrix::identity(4);
+        let y = m.spmm(&x);
+        assert_eq!(y.get(3, 0), 1.0);
+        assert_eq!(y.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "spmm shape mismatch")]
+    fn spmm_checks_shapes() {
+        let m = small();
+        let x = DenseMatrix::zeros(4, 2);
+        let _ = m.spmm(&x);
+    }
+}

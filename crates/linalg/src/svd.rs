@@ -1,0 +1,268 @@
+//! One-sided Jacobi SVD for small dense matrices (replacing
+//! `LAPACKE_sgesvd` in Algorithm 3).
+//!
+//! The randomized SVD only ever takes the SVD of the tiny projected matrix
+//! `C = Zᵀ B` (`d × d`, with `d` ≤ a few hundred), so an O(d³)-per-sweep
+//! Jacobi iteration is plenty fast and — unlike faster bidiagonalization
+//! methods — is simple to make robustly convergent. We run in `f64`
+//! internally and convert at the boundary.
+//!
+//! One-sided Jacobi orthogonalizes the *columns* of `A` by plane rotations
+//! `A ← A·J`; at convergence `A = U·Σ` column-wise and the accumulated
+//! rotations give `V`, i.e. `A_original = U Σ Vᵀ`.
+
+use crate::dense::DenseMatrix;
+
+/// Full SVD result of a small matrix: `A = U · diag(sigma) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SmallSvd {
+    /// Left singular vectors, `m × n` (thin).
+    pub u: DenseMatrix,
+    /// Singular values, descending.
+    pub sigma: Vec<f32>,
+    /// Right singular vectors, `n × n`.
+    pub v: DenseMatrix,
+}
+
+/// Computes the thin SVD of `a` (`m × n`, requires `m ≥ n`).
+///
+/// # Panics
+/// Panics if `m < n` (transpose first; the caller in this workspace always
+/// has a square matrix).
+pub fn jacobi_svd(a: &DenseMatrix) -> SmallSvd {
+    let (m, n) = (a.rows(), a.cols());
+    assert!(m >= n, "jacobi_svd requires rows >= cols");
+
+    // Column-major f64 working copies.
+    let mut cols: Vec<Vec<f64>> = (0..n)
+        .map(|j| (0..m).map(|i| a.get(i, j) as f64).collect())
+        .collect();
+    let mut v: Vec<Vec<f64>> = (0..n)
+        .map(|j| {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            e
+        })
+        .collect();
+
+    let eps = 1e-14;
+    let max_sweeps = 60;
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (alpha, beta, gamma) = {
+                    let (cp, cq) = (&cols[p], &cols[q]);
+                    let mut alpha = 0.0;
+                    let mut beta = 0.0;
+                    let mut gamma = 0.0;
+                    for i in 0..m {
+                        alpha += cp[i] * cp[i];
+                        beta += cq[i] * cq[i];
+                        gamma += cp[i] * cq[i];
+                    }
+                    (alpha, beta, gamma)
+                };
+                let denom = (alpha * beta).sqrt();
+                if denom <= 0.0 || gamma.abs() <= eps * denom {
+                    continue;
+                }
+                off = off.max(gamma.abs() / denom);
+                // Rotation angle zeroing the (p,q) off-diagonal of AᵀA.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+
+                // Apply to columns p, q of A and of V.
+                let (lo, hi) = cols.split_at_mut(q);
+                let (cp, cq) = (&mut lo[p], &mut hi[0]);
+                for i in 0..m {
+                    let (x, y) = (cp[i], cq[i]);
+                    cp[i] = c * x - s * y;
+                    cq[i] = s * x + c * y;
+                }
+                let (lo, hi) = v.split_at_mut(q);
+                let (vp, vq) = (&mut lo[p], &mut hi[0]);
+                for i in 0..n {
+                    let (x, y) = (vp[i], vq[i]);
+                    vp[i] = c * x - s * y;
+                    vq[i] = s * x + c * y;
+                }
+            }
+        }
+        if off < 1e-12 {
+            break;
+        }
+    }
+
+    // Extract singular values (column norms), sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let norms: Vec<f64> = cols.iter().map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+    order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
+
+    let mut u = DenseMatrix::zeros(m, n);
+    let mut vm = DenseMatrix::zeros(n, n);
+    let mut sigma = vec![0.0f32; n];
+    for (jj, &j) in order.iter().enumerate() {
+        let s = norms[j];
+        sigma[jj] = s as f32;
+        if s > 0.0 {
+            for i in 0..m {
+                u.set(i, jj, (cols[j][i] / s) as f32);
+            }
+        }
+        for i in 0..n {
+            vm.set(i, jj, v[j][i] as f32);
+        }
+    }
+    SmallSvd { u, sigma, v: vm }
+}
+
+/// Thin SVD of a tall matrix (`n × d`, `n ≫ d`) via the Gram-matrix
+/// method: Jacobi-diagonalize `YᵀY = V Σ² Vᵀ` (a `d × d` problem) and lift
+/// `U = Y V Σ⁻¹`. This is how ProNE re-orthogonalizes the propagated
+/// embedding; accuracy is `O(κ²·ε)` which is ample for embedding purposes.
+pub fn tall_thin_svd(y: &DenseMatrix) -> SmallSvd {
+    let gram = y.gram_tn(y); // d × d, symmetric PSD
+    let gsvd = jacobi_svd(&gram);
+    // Eigenvalues of the Gram matrix are σ², eigenvectors are V.
+    let sigma: Vec<f32> = gsvd.sigma.iter().map(|&s| s.max(0.0).sqrt()).collect();
+    let v = gsvd.u; // for symmetric PSD input, U == V
+    let mut u = y.matmul(&v);
+    let inv: Vec<f32> = sigma
+        .iter()
+        .map(|&s| if s > 1e-12 { 1.0 / s } else { 0.0 })
+        .collect();
+    u.scale_columns(&inv);
+    SmallSvd { u, sigma, v }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(svd: &SmallSvd) -> DenseMatrix {
+        let mut us = svd.u.clone();
+        us.scale_columns(&svd.sigma);
+        us.matmul(&svd.v.transpose())
+    }
+
+    fn assert_orthonormal(q: &DenseMatrix, tol: f32) {
+        let g = q.gram_tn(q);
+        for i in 0..q.cols() {
+            for j in 0..q.cols() {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (g.get(i, j) - want).abs() < tol,
+                    "gram[{i},{j}]={} want {want}",
+                    g.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_svd() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 7.0]]);
+        let svd = jacobi_svd(&a);
+        assert!((svd.sigma[0] - 7.0).abs() < 1e-5);
+        assert!((svd.sigma[1] - 3.0).abs() < 1e-5);
+        assert!(reconstruct(&svd).max_abs_diff(&a) < 1e-5);
+    }
+
+    #[test]
+    fn random_square_reconstruction() {
+        for seed in 0..5 {
+            let a = DenseMatrix::gaussian(32, 32, seed);
+            let svd = jacobi_svd(&a);
+            let diff = reconstruct(&svd).max_abs_diff(&a);
+            assert!(diff < 1e-3, "seed {seed}: reconstruction error {diff}");
+            assert_orthonormal(&svd.u, 1e-4);
+            assert_orthonormal(&svd.v, 1e-4);
+            // Descending order.
+            assert!(svd.sigma.windows(2).all(|w| w[0] >= w[1] - 1e-6));
+        }
+    }
+
+    #[test]
+    fn tall_matrix_reconstruction() {
+        let a = DenseMatrix::gaussian(50, 10, 3);
+        let svd = jacobi_svd(&a);
+        assert!(reconstruct(&svd).max_abs_diff(&a) < 1e-3);
+        assert_orthonormal(&svd.u, 1e-4);
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        // a = 2 * u v^T with unit u,v: single nonzero singular value 2·||u||·||v||.
+        let mut a = DenseMatrix::zeros(4, 3);
+        let u = [0.5f32, 0.5, 0.5, 0.5];
+        let v = [1.0f32 / 3.0f32.sqrt(); 3];
+        for i in 0..4 {
+            for j in 0..3 {
+                a.set(i, j, 2.0 * u[i] * v[j]);
+            }
+        }
+        let svd = jacobi_svd(&a);
+        assert!((svd.sigma[0] - 2.0).abs() < 1e-5, "{:?}", svd.sigma);
+        assert!(svd.sigma[1].abs() < 1e-5);
+        assert!(svd.sigma[2].abs() < 1e-5);
+    }
+
+    #[test]
+    fn singular_values_match_eigendecomposition_of_gram() {
+        // For symmetric PSD A, singular values = eigenvalues; check against
+        // a hand-built spectrum via Q diag(λ) Qᵀ.
+        let mut q = DenseMatrix::gaussian(6, 6, 17);
+        crate::qr::orthonormalize_columns(&mut q);
+        let lambda = [9.0f32, 5.0, 3.0, 2.0, 1.0, 0.5];
+        let mut ql = q.clone();
+        ql.scale_columns(&lambda);
+        let a = ql.matmul(&q.transpose());
+        let svd = jacobi_svd(&a);
+        for (got, want) in svd.sigma.iter().zip(lambda.iter()) {
+            assert!((got - want).abs() < 1e-3, "sigma {got} want {want}");
+        }
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = DenseMatrix::zeros(5, 5);
+        let svd = jacobi_svd(&a);
+        assert!(svd.sigma.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn tall_thin_svd_reconstructs() {
+        let y = DenseMatrix::gaussian(800, 6, 21);
+        let svd = tall_thin_svd(&y);
+        assert!(reconstruct(&svd).max_abs_diff(&y) < 2e-3);
+        assert_orthonormal(&svd.u, 2e-3);
+        assert!(svd.sigma.windows(2).all(|w| w[0] >= w[1] - 1e-4));
+    }
+
+    #[test]
+    fn tall_thin_svd_matches_jacobi_on_small_input() {
+        let y = DenseMatrix::gaussian(40, 5, 22);
+        let a = tall_thin_svd(&y);
+        let b = jacobi_svd(&y);
+        for (x, z) in a.sigma.iter().zip(&b.sigma) {
+            assert!((x - z).abs() < 1e-2 * z.max(1.0), "{x} vs {z}");
+        }
+    }
+
+    #[test]
+    fn tall_thin_svd_rank_deficient() {
+        // Two identical columns → one zero singular value, zeroed U column.
+        let g = DenseMatrix::gaussian(100, 1, 23);
+        let mut y = DenseMatrix::zeros(100, 2);
+        for i in 0..100 {
+            y.set(i, 0, g.get(i, 0));
+            y.set(i, 1, g.get(i, 0));
+        }
+        let svd = tall_thin_svd(&y);
+        assert!(svd.sigma[1] < 1e-2 * svd.sigma[0]);
+        assert!(reconstruct(&svd).max_abs_diff(&y) < 2e-3);
+    }
+}

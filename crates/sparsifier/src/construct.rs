@@ -1,0 +1,317 @@
+//! Algorithm 2: downsampled per-edge PathSampling.
+//!
+//! Instead of drawing `M` (edge, length) pairs uniformly — which requires
+//! O(1) access to a random edge and defeats compression — the paper maps
+//! over the edges in parallel and gives each edge a Binomial-like trial
+//! count `n_e = ⌊M/arcs⌋ + Bernoulli({M/arcs})`, so the expected total is
+//! exactly `M` while every trial is generated where the edge already is in
+//! memory (cache-friendly, compression-friendly).
+//!
+//! Every trial flips the downsampling coin (`p_e`), and survivors run
+//! Algorithm 1 and deposit weight `1/p_e` at *both* orientations of the
+//! resulting endpoint pair in the aggregator (keeping the accumulated
+//! matrix symmetric in expectation and in structure).
+//!
+//! ## The estimator (used by `netmf.rs`)
+//!
+//! For one trial from the directed arc `(u, v)` with walk length `r`,
+//! reversibility of the random walk makes the landing probability of the
+//! ordered pair `(i, j)` equal to `d_i (D⁻¹A)^r_{ij} / (2m)`, independent
+//! of the split point. Summing over arcs, trials, lengths, and the mirror
+//! insertion, the aggregated weight `w(i, j)` satisfies
+//!
+//! ```text
+//! E[w(i,j)] = (M / (m·T)) · d_i · Σ_{r=1..T} (D⁻¹A)^r_{ij}
+//! ```
+//!
+//! which `netmf.rs` inverts to recover the NetMF matrix entry.
+
+use crate::downsample::{default_c, edge_probability, expected_kept_samples};
+use crate::path_sampling::path_sample;
+use lightne_graph::GraphOps;
+use lightne_hash::{ConcurrentEdgeTable, EdgeAggregator};
+use lightne_utils::rng::XorShiftStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Configuration of the sampling stage.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerConfig {
+    /// Context window size `T` (walk lengths are uniform in `[1, T]`).
+    pub window: usize,
+    /// Total expected number of PathSampling trials `M`.
+    pub samples: u64,
+    /// Whether the degree-based downsampling layer is active.
+    pub downsample: bool,
+    /// Downsampling constant `C`; `None` means the paper's `log n`.
+    pub c_factor: Option<f64>,
+    /// RNG seed; every arc derives an independent stream from it.
+    pub seed: u64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        Self { window: 10, samples: 0, downsample: true, c_factor: None, seed: 0xFACE }
+    }
+}
+
+impl SamplerConfig {
+    /// The paper's `M = ratio · T · m` convention (e.g. LightNE-Small uses
+    /// `0.1·T·m`, LightNE-Large `20·T·m`).
+    pub fn with_sample_ratio<G: GraphOps>(mut self, g: &G, ratio: f64) -> Self {
+        self.samples = (ratio * self.window as f64 * g.num_edges() as f64).round() as u64;
+        self
+    }
+}
+
+/// Statistics reported by a sampling run (consumed by the Section 5.2.4
+/// memory/sample-size ablation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SamplerStats {
+    /// Trials actually generated (≈ `config.samples`).
+    pub trials: u64,
+    /// Trials that survived the downsampling coin.
+    pub kept: u64,
+    /// Distinct ordered pairs in the aggregator afterwards.
+    pub distinct_entries: usize,
+    /// Aggregator heap bytes afterwards.
+    pub aggregator_bytes: usize,
+}
+
+/// Runs Algorithm 2 over `g`, depositing weighted samples into `agg`.
+pub fn sample_into<G: GraphOps, A: EdgeAggregator>(
+    g: &G,
+    cfg: &SamplerConfig,
+    agg: &A,
+) -> SamplerStats {
+    assert!(cfg.window >= 1, "window T must be >= 1");
+    let arcs = g.num_arcs() as u64;
+    assert!(arcs > 0, "graph has no edges");
+    let base = cfg.samples / arcs;
+    let frac = (cfg.samples % arcs) as f64 / arcs as f64;
+    let c = cfg.c_factor.unwrap_or_else(|| default_c(g.num_vertices()));
+    let t = cfg.window;
+
+    let trials_ctr = AtomicU64::new(0);
+    let kept_ctr = AtomicU64::new(0);
+
+    g.map_edges(|u, v, arc_idx| {
+        let mut rng = XorShiftStream::new(cfg.seed, arc_idx);
+        let n_e = base + u64::from(rng.bernoulli(frac));
+        if n_e == 0 {
+            return;
+        }
+        let p_e = if cfg.downsample {
+            edge_probability(g.degree(u), g.degree(v), c)
+        } else {
+            1.0
+        };
+        let w = (1.0 / p_e) as f32;
+        let mut kept = 0u64;
+        for _ in 0..n_e {
+            if p_e < 1.0 && !rng.bernoulli(p_e) {
+                continue;
+            }
+            kept += 1;
+            let r = 1 + rng.bounded_usize(t);
+            let (a, b) = path_sample(g, u, v, r, &mut rng);
+            agg.add(a, b, w);
+            agg.add(b, a, w);
+        }
+        trials_ctr.fetch_add(n_e, Ordering::Relaxed);
+        kept_ctr.fetch_add(kept, Ordering::Relaxed);
+    });
+
+    SamplerStats {
+        trials: trials_ctr.load(Ordering::Relaxed),
+        kept: kept_ctr.load(Ordering::Relaxed),
+        distinct_entries: agg.distinct_edges(),
+        aggregator_bytes: agg.memory_bytes(),
+    }
+}
+
+/// Convenience wrapper: sizes a [`ConcurrentEdgeTable`] from the expected
+/// kept-sample count, runs [`sample_into`], and returns the aggregated COO
+/// triples together with the run statistics.
+///
+/// ```
+/// use lightne_graph::GraphBuilder;
+/// use lightne_sparsifier::{build_sparsifier, SamplerConfig};
+/// let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// let cfg = SamplerConfig { window: 2, samples: 10_000, ..Default::default() };
+/// let (coo, stats) = build_sparsifier(&g, &cfg);
+/// assert!(!coo.is_empty());
+/// assert!(stats.trials >= 9_000 && stats.trials <= 11_000);
+/// ```
+pub fn build_sparsifier<G: GraphOps>(
+    g: &G,
+    cfg: &SamplerConfig,
+) -> (Vec<(u32, u32, f32)>, SamplerStats) {
+    let c = cfg.c_factor.unwrap_or_else(|| default_c(g.num_vertices()));
+    let expected_kept = if cfg.downsample {
+        expected_kept_samples(g, cfg.samples, c)
+    } else {
+        cfg.samples as f64
+    };
+    // Table memory must track *distinct* entries, not kept samples — that
+    // is the whole point of the shared hash table (Section 5.2.4). Distinct
+    // entries are bounded by both 2× kept samples and the T-hop
+    // neighborhood mass, which O(n·C·T²) comfortably over-estimates; the
+    // table grows if the workload exceeds the initial guess.
+    let distinct_guess = (2.0 * expected_kept)
+        .min(g.num_vertices() as f64 * c * (cfg.window * cfg.window) as f64)
+        .max(1024.0);
+    let table = ConcurrentEdgeTable::with_expected(distinct_guess as usize);
+    let stats = sample_into(g, cfg, &table);
+    (table.into_coo(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightne_gen::generators::{erdos_renyi, watts_strogatz};
+    use lightne_graph::{CompressedGraph, Graph};
+    use lightne_linalg::DenseMatrix;
+
+    /// Dense Σ_{r=1..T} (D⁻¹A)^r for ground truth.
+    fn exact_walk_sum(g: &Graph, t: usize) -> DenseMatrix {
+        let n = g.num_vertices();
+        let mut p = DenseMatrix::zeros(n, n);
+        for u in 0..n as u32 {
+            let du = g.degree(u) as f32;
+            for &v in g.neighbors(u) {
+                p.set(u as usize, v as usize, 1.0 / du);
+            }
+        }
+        let mut power = p.clone();
+        let mut sum = p.clone();
+        for _ in 1..t {
+            power = power.matmul(&p);
+            sum.axpy(1.0, &power);
+        }
+        sum
+    }
+
+    /// Aggregates sampled weights into a dense matrix for comparison.
+    fn sampled_dense(g: &Graph, cfg: &SamplerConfig) -> (DenseMatrix, SamplerStats) {
+        let n = g.num_vertices();
+        let (coo, stats) = build_sparsifier(g, cfg);
+        let mut w = DenseMatrix::zeros(n, n);
+        for (u, v, x) in coo {
+            w.set(u as usize, v as usize, w.get(u as usize, v as usize) + x);
+        }
+        (w, stats)
+    }
+
+    /// Checks E[w(i,j)] = M/(mT) · d_i · Σ_r P^r_ij within statistical tol.
+    fn check_estimator(g: &Graph, cfg: &SamplerConfig, rel_tol: f64) {
+        let n = g.num_vertices();
+        let m = g.num_edges() as f64;
+        let (w, _) = sampled_dense(g, cfg);
+        let exact = exact_walk_sum(g, cfg.window);
+        let scale = cfg.samples as f64 / (m * cfg.window as f64);
+        let mut total_err = 0.0;
+        let mut total_ref = 0.0;
+        for i in 0..n {
+            let di = g.degree(i as u32) as f64;
+            for j in 0..n {
+                let expect = scale * di * exact.get(i, j) as f64;
+                let got = w.get(i, j) as f64;
+                total_err += (got - expect).abs();
+                total_ref += expect;
+            }
+        }
+        let rel = total_err / total_ref;
+        assert!(rel < rel_tol, "aggregate estimator error {rel} (tol {rel_tol})");
+    }
+
+    #[test]
+    fn estimator_unbiased_no_downsampling() {
+        let g = erdos_renyi(60, 400, 11);
+        let cfg = SamplerConfig {
+            window: 3,
+            samples: 3_000_000,
+            downsample: false,
+            c_factor: None,
+            seed: 1,
+        };
+        check_estimator(&g, &cfg, 0.03);
+    }
+
+    #[test]
+    fn estimator_unbiased_with_downsampling() {
+        let g = erdos_renyi(60, 400, 13);
+        let cfg = SamplerConfig {
+            window: 3,
+            samples: 3_000_000,
+            downsample: true,
+            c_factor: Some(0.5), // aggressive, to actually exercise p_e < 1
+            seed: 2,
+        };
+        check_estimator(&g, &cfg, 0.10);
+    }
+
+    #[test]
+    fn downsampling_reduces_kept_samples() {
+        let g = erdos_renyi(500, 20_000, 3);
+        let base = SamplerConfig { window: 5, samples: 500_000, downsample: false, c_factor: None, seed: 3 };
+        let (_, s_off) = build_sparsifier(&g, &base);
+        let (_, s_on) = build_sparsifier(&g, &SamplerConfig { downsample: true, ..base });
+        assert!(s_on.kept < s_off.kept / 2, "kept {} vs {}", s_on.kept, s_off.kept);
+        assert!(s_on.distinct_entries < s_off.distinct_entries);
+        // Trials are the same in expectation.
+        let ratio = s_on.trials as f64 / s_off.trials as f64;
+        assert!((ratio - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn trial_count_concentrates_around_m() {
+        let g = erdos_renyi(200, 1_000, 5);
+        for &m in &[1_000u64, 33_333, 100_000] {
+            let cfg = SamplerConfig { window: 4, samples: m, downsample: false, c_factor: None, seed: 7 };
+            let (_, stats) = build_sparsifier(&g, &cfg);
+            let rel = (stats.trials as f64 - m as f64).abs() / m as f64;
+            assert!(rel < 0.1, "M={m}: got {} trials", stats.trials);
+        }
+    }
+
+    #[test]
+    fn sparsifier_is_structurally_symmetric() {
+        let g = erdos_renyi(100, 800, 9);
+        let cfg = SamplerConfig { window: 5, samples: 100_000, downsample: true, c_factor: None, seed: 4 };
+        let (coo, _) = build_sparsifier(&g, &cfg);
+        use std::collections::HashMap;
+        let map: HashMap<(u32, u32), f32> = coo.iter().map(|&(u, v, w)| ((u, v), w)).collect();
+        for &(u, v, w) in &coo {
+            let mirror = *map.get(&(v, u)).unwrap_or(&0.0);
+            assert!((w - mirror).abs() < 1e-3 * w.abs().max(1.0), "asymmetry at ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn compressed_and_uncompressed_graphs_agree() {
+        let g = erdos_renyi(150, 2_000, 21);
+        let c = CompressedGraph::from_graph(&g);
+        let cfg = SamplerConfig { window: 4, samples: 50_000, downsample: true, c_factor: None, seed: 5 };
+        let (mut coo_a, _) = build_sparsifier(&g, &cfg);
+        let (mut coo_b, _) = build_sparsifier(&c, &cfg);
+        // Deterministic per-arc streams + identical arc indexing ⇒ the two
+        // representations generate the identical sample multiset.
+        coo_a.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        coo_b.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        assert_eq!(coo_a.len(), coo_b.len());
+        for (x, y) in coo_a.iter().zip(&coo_b) {
+            assert_eq!((x.0, x.1), (y.0, y.1));
+            assert!((x.2 - y.2).abs() < 1e-3 * x.2.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn window_one_only_samples_edges() {
+        let g = watts_strogatz(64, 2, 0.0, 6);
+        let cfg = SamplerConfig { window: 1, samples: 20_000, downsample: false, c_factor: None, seed: 8 };
+        let (coo, _) = build_sparsifier(&g, &cfg);
+        for (u, v, _) in coo {
+            assert!(g.has_edge(u, v), "T=1 sample ({u},{v}) is not an edge");
+        }
+    }
+}

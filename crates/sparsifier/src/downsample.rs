@@ -1,0 +1,105 @@
+//! Degree-based edge downsampling (Section 3.2).
+//!
+//! The paper's headline algorithmic contribution: instead of keeping every
+//! PathSampling trial, each trial for edge `e = (u, v)` survives a coin
+//! flip with probability
+//!
+//! ```text
+//! p_e = min(1, C · A_uv · (1/d_u + 1/d_v)),   C = log n
+//! ```
+//!
+//! and surviving samples are up-weighted by `1/p_e`. By Theorem 3.1 this
+//! keeps the sparsifier an unbiased Laplacian estimator; by Theorem 3.2
+//! (Lovász) `1/d_u + 1/d_v` upper-bounds the effective resistance up to
+//! the spectral gap, so the scheme inherits the spectral-sparsification
+//! guarantee on well-connected graphs. The expected number of *kept*
+//! samples per vertex is `O(C)`, i.e. `O(n log n)` total — the
+//! `#edges/#vertices` sample-complexity reduction the paper reports.
+
+use lightne_graph::{GraphOps, VertexId};
+
+/// The downsampling constant `C`. The paper sets `C = log n`.
+pub fn default_c(n: usize) -> f64 {
+    (n.max(2) as f64).ln()
+}
+
+/// Survival probability `p_e` for the (unweighted) edge `(u, v)`.
+#[inline]
+pub fn edge_probability(deg_u: usize, deg_v: usize, c: f64) -> f64 {
+    debug_assert!(deg_u > 0 && deg_v > 0, "edge endpoints must have degree >= 1");
+    let r_bound = 1.0 / deg_u as f64 + 1.0 / deg_v as f64;
+    (c * r_bound).min(1.0)
+}
+
+/// Expected number of kept samples if `total_trials` are spread uniformly
+/// over the arcs of `g` with survival probability `p_e` each (used to
+/// pre-size the hash table).
+pub fn expected_kept_samples<G: GraphOps>(g: &G, total_trials: u64, c: f64) -> f64 {
+    let arcs = g.num_arcs() as f64;
+    if arcs == 0.0 {
+        return 0.0;
+    }
+    let per_arc = total_trials as f64 / arcs;
+    let sum_pe: f64 = (0..g.num_vertices() as VertexId)
+        .map(|u| {
+            let du = g.degree(u);
+            let mut acc = 0.0;
+            g.for_each_neighbor(u, &mut |v| {
+                acc += edge_probability(du, g.degree(v), c);
+            });
+            acc
+        })
+        .sum();
+    per_arc * sum_pe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightne_gen::generators::erdos_renyi;
+
+    #[test]
+    fn probability_clamped_to_one() {
+        assert_eq!(edge_probability(1, 1, 5.0), 1.0);
+        assert_eq!(edge_probability(2, 2, 10.0), 1.0);
+    }
+
+    #[test]
+    fn probability_formula() {
+        // C=1, degrees 4 and 4 → p = 1/4 + 1/4 = 0.5
+        assert!((edge_probability(4, 4, 1.0) - 0.5).abs() < 1e-12);
+        // C=2, degrees 10 and 40 → 2*(0.1+0.025) = 0.25
+        assert!((edge_probability(10, 40, 2.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_decreases_with_degree() {
+        let c = 3.0;
+        assert!(edge_probability(100, 100, c) < edge_probability(10, 10, c));
+    }
+
+    #[test]
+    fn default_c_is_log_n() {
+        assert!((default_c(1000) - (1000f64).ln()).abs() < 1e-12);
+        // Guard against log(0)/log(1).
+        assert!(default_c(0) > 0.0);
+        assert!(default_c(1) > 0.0);
+    }
+
+    #[test]
+    fn kept_samples_scale_like_n_log_n() {
+        // Per the paper: Σ_v A_uv/d_u = 1 per vertex, so the kept-sample
+        // mass is ~ 2·C·n per unit of per-arc trial density.
+        let g = erdos_renyi(2000, 40_000, 1);
+        let c = default_c(2000);
+        let trials = g.num_arcs() as u64; // one trial per arc
+        let kept = expected_kept_samples(&g, trials, c);
+        let predicted = 2.0 * c * 2000.0;
+        assert!(
+            (kept - predicted).abs() / predicted < 0.05,
+            "kept {kept} vs predicted {predicted}"
+        );
+        // And it is far below the trial count (the whole point).
+        assert!(kept < trials as f64 / 2.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Weighted-graph sparsifier construction.
+//!
+//! The weighted generalization of Algorithms 1–2, exactly as the paper's
+//! theory states them (Theorems 3.1–3.2 are written for weighted `A`):
+//!
+//! * arcs receive trials **proportionally to their weight** (a uniform
+//!   weighted-edge draw), walks move to neighbors proportionally to edge
+//!   weight, so one trial lands on the ordered pair `(i, j)` with
+//!   probability `d_i (D⁻¹A)^r_{ij} / vol(G)` — the same reversibility
+//!   identity as the unweighted case with weighted degrees;
+//! * downsampling uses the paper's full formula
+//!   `p_e = min(1, C·A_uv·(1/d_u + 1/d_v))` with weighted degrees;
+//! * the NetMF inversion is unchanged in form:
+//!   `trunc_log( vol² · w(i,j) / (2·b·M·d_i·d_j) )` over weighted
+//!   quantities.
+
+use crate::downsample::default_c;
+use lightne_graph::weighted::WeightedGraph;
+use lightne_hash::{ConcurrentEdgeTable, EdgeAggregator};
+use lightne_linalg::CsrMatrix;
+use lightne_utils::rng::XorShiftStream;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::construct::{SamplerConfig, SamplerStats};
+
+/// Weighted PathSampling (Algorithm 1 with weight-proportional walks).
+#[inline]
+pub fn weighted_path_sample(
+    g: &WeightedGraph,
+    u: u32,
+    v: u32,
+    r: usize,
+    rng: &mut XorShiftStream,
+) -> (u32, u32) {
+    debug_assert!(r >= 1);
+    let s = rng.bounded_usize(r);
+    (g.walk(u, s, rng), g.walk(v, r - 1 - s, rng))
+}
+
+/// Runs the weighted Algorithm 2 and returns the aggregated COO triples
+/// plus statistics.
+pub fn build_weighted_sparsifier(
+    g: &WeightedGraph,
+    cfg: &SamplerConfig,
+) -> (Vec<(u32, u32, f32)>, SamplerStats) {
+    assert!(cfg.window >= 1);
+    let vol = g.volume();
+    assert!(vol > 0.0, "graph has no edges");
+    let c = cfg.c_factor.unwrap_or_else(|| default_c(g.num_vertices()));
+    let t = cfg.window;
+    // Expected trials for arc (u,v): M · w_uv / vol (weight-proportional).
+    let rate = cfg.samples as f64 / vol;
+
+    let table = ConcurrentEdgeTable::with_expected(
+        (cfg.samples as usize).min(g.num_vertices() * 64).max(1024),
+    );
+    let trials_ctr = AtomicU64::new(0);
+    let kept_ctr = AtomicU64::new(0);
+
+    g.map_arcs(|u, v, w, arc_idx| {
+        let mut rng = XorShiftStream::new(cfg.seed, arc_idx);
+        let expected = rate * w as f64;
+        let n_e = expected.floor() as u64 + u64::from(rng.bernoulli(expected.fract()));
+        if n_e == 0 {
+            return;
+        }
+        let p_e = if cfg.downsample {
+            (c * w as f64 * (1.0 / g.weighted_degree(u) + 1.0 / g.weighted_degree(v))).min(1.0)
+        } else {
+            1.0
+        };
+        let add_w = (1.0 / p_e) as f32;
+        let mut kept = 0u64;
+        for _ in 0..n_e {
+            if p_e < 1.0 && !rng.bernoulli(p_e) {
+                continue;
+            }
+            kept += 1;
+            let r = 1 + rng.bounded_usize(t);
+            let (a, b) = weighted_path_sample(g, u, v, r, &mut rng);
+            table.add(a, b, add_w);
+            table.add(b, a, add_w);
+        }
+        trials_ctr.fetch_add(n_e, Ordering::Relaxed);
+        kept_ctr.fetch_add(kept, Ordering::Relaxed);
+    });
+
+    let stats = SamplerStats {
+        trials: trials_ctr.load(Ordering::Relaxed),
+        kept: kept_ctr.load(Ordering::Relaxed),
+        distinct_entries: table.len(),
+        aggregator_bytes: table.memory_bytes(),
+    };
+    (table.into_coo(), stats)
+}
+
+/// Converts aggregated weighted samples to the NetMF matrix (weighted
+/// version of [`crate::sparsifier_to_netmf`]).
+pub fn weighted_sparsifier_to_netmf(
+    g: &WeightedGraph,
+    coo: Vec<(u32, u32, f32)>,
+    total_samples: u64,
+    b: f64,
+) -> CsrMatrix {
+    let n = g.num_vertices();
+    let vol = g.volume();
+    let factor = vol * vol / (2.0 * b * total_samples as f64);
+    let entries: Vec<(u32, u32, f32)> = coo
+        .into_par_iter()
+        .filter_map(|(i, j, w)| {
+            let di = g.weighted_degree(i);
+            let dj = g.weighted_degree(j);
+            if di <= 0.0 || dj <= 0.0 {
+                return None;
+            }
+            let val = (factor * w as f64 / (di * dj)).ln();
+            if val > 0.0 {
+                Some((i, j, val as f32))
+            } else {
+                None
+            }
+        })
+        .collect();
+    CsrMatrix::from_coo(n, n, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightne_linalg::DenseMatrix;
+
+    /// Dense weighted transition matrix D⁻¹A.
+    fn transition(g: &WeightedGraph) -> DenseMatrix {
+        let n = g.num_vertices();
+        let mut p = DenseMatrix::zeros(n, n);
+        for u in 0..n as u32 {
+            let d = g.weighted_degree(u);
+            if d == 0.0 {
+                continue;
+            }
+            let (nb, ws) = g.neighbors(u);
+            for (&v, &w) in nb.iter().zip(ws) {
+                p.set(u as usize, v as usize, (w as f64 / d) as f32);
+            }
+        }
+        p
+    }
+
+    fn walk_sum(g: &WeightedGraph, t: usize) -> DenseMatrix {
+        let p = transition(g);
+        let mut power = p.clone();
+        let mut sum = p.clone();
+        for _ in 1..t {
+            power = power.matmul(&p);
+            sum.axpy(1.0, &power);
+        }
+        sum
+    }
+
+    fn small_weighted(seed: u64) -> WeightedGraph {
+        let mut rng = XorShiftStream::new(seed, 0);
+        let mut edges = Vec::new();
+        for u in 0..30u32 {
+            for _ in 0..5 {
+                let v = rng.bounded(30) as u32;
+                if v != u {
+                    edges.push((u, v, 0.5 + 2.0 * rng.unit_f32()));
+                }
+            }
+        }
+        WeightedGraph::from_edges(30, &edges)
+    }
+
+    #[test]
+    fn weighted_estimator_is_unbiased() {
+        // E[w(i,j)] = 2M/(vol·T) · d_i · Σ_r P^r_ij.
+        let g = small_weighted(1);
+        let cfg = SamplerConfig {
+            window: 3,
+            samples: 2_000_000,
+            downsample: false,
+            c_factor: None,
+            seed: 2,
+        };
+        let (coo, _) = build_weighted_sparsifier(&g, &cfg);
+        let n = g.num_vertices();
+        let mut got = DenseMatrix::zeros(n, n);
+        for (i, j, w) in coo {
+            got.set(i as usize, j as usize, got.get(i as usize, j as usize) + w);
+        }
+        let exact = walk_sum(&g, cfg.window);
+        let scale = 2.0 * cfg.samples as f64 / (g.volume() * cfg.window as f64);
+        let mut err = 0.0;
+        let mut reference = 0.0;
+        for i in 0..n {
+            let di = g.weighted_degree(i as u32);
+            for j in 0..n {
+                let want = scale * di * exact.get(i, j) as f64;
+                err += (got.get(i, j) as f64 - want).abs();
+                reference += want;
+            }
+        }
+        let rel = err / reference;
+        assert!(rel < 0.05, "weighted estimator error {rel}");
+    }
+
+    #[test]
+    fn downsampling_remains_unbiased_weighted() {
+        let g = small_weighted(3);
+        let cfg = SamplerConfig {
+            window: 3,
+            samples: 2_000_000,
+            downsample: true,
+            c_factor: Some(0.3),
+            seed: 4,
+        };
+        let (coo, stats) = build_weighted_sparsifier(&g, &cfg);
+        assert!(stats.kept < stats.trials, "downsampling must drop trials");
+        let n = g.num_vertices();
+        let mut got = DenseMatrix::zeros(n, n);
+        for (i, j, w) in coo {
+            got.set(i as usize, j as usize, got.get(i as usize, j as usize) + w);
+        }
+        let exact = walk_sum(&g, cfg.window);
+        let scale = 2.0 * cfg.samples as f64 / (g.volume() * cfg.window as f64);
+        let mut err = 0.0;
+        let mut reference = 0.0;
+        for i in 0..n {
+            let di = g.weighted_degree(i as u32);
+            for j in 0..n {
+                let want = scale * di * exact.get(i, j) as f64;
+                err += (got.get(i, j) as f64 - want).abs();
+                reference += want;
+            }
+        }
+        let rel = err / reference;
+        assert!(rel < 0.12, "downsampled weighted estimator error {rel}");
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted_sampler_statistics() {
+        // With all weights 1 the weighted machinery must reproduce the
+        // unweighted estimator's expectations (same trials, same totals).
+        use lightne_gen::generators::erdos_renyi;
+        let gu = erdos_renyi(100, 800, 5);
+        let gw = WeightedGraph::from_unweighted(&gu);
+        let cfg = SamplerConfig { window: 4, samples: 400_000, downsample: false, c_factor: None, seed: 6 };
+        let (coo_w, stats_w) = build_weighted_sparsifier(&gw, &cfg);
+        let (coo_u, stats_u) = crate::construct::build_sparsifier(&gu, &cfg);
+        let rel = (stats_w.trials as f64 - stats_u.trials as f64).abs() / stats_u.trials as f64;
+        assert!(rel < 0.05, "trial counts diverge: {} vs {}", stats_w.trials, stats_u.trials);
+        let sum = |coo: &[(u32, u32, f32)]| coo.iter().map(|&(_, _, w)| w as f64).sum::<f64>();
+        let (sw, su) = (sum(&coo_w), sum(&coo_u));
+        assert!((sw - su).abs() / su < 0.02, "total mass diverges: {sw} vs {su}");
+    }
+
+    #[test]
+    fn netmf_conversion_prunes_and_is_positive() {
+        let g = small_weighted(7);
+        let cfg = SamplerConfig { window: 3, samples: 300_000, downsample: true, c_factor: None, seed: 8 };
+        let (coo, _) = build_weighted_sparsifier(&g, &cfg);
+        let m = weighted_sparsifier_to_netmf(&g, coo, cfg.samples, 1.0);
+        assert!(m.nnz() > 0);
+        for i in 0..g.num_vertices() {
+            let (_, vals) = m.row(i);
+            assert!(vals.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn heavier_edges_get_more_trials() {
+        // One heavy edge (w=50) among unit edges should receive ~50x the
+        // samples of a unit edge at the same endpoints' locality.
+        let g = WeightedGraph::from_edges(
+            4,
+            &[(0, 1, 50.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)],
+        );
+        let cfg = SamplerConfig { window: 1, samples: 500_000, downsample: false, c_factor: None, seed: 9 };
+        let (coo, _) = build_weighted_sparsifier(&g, &cfg);
+        // With T=1 every sample is the edge itself.
+        let get = |a: u32, b: u32| {
+            coo.iter()
+                .find(|&&(u, v, _)| u == a && v == b)
+                .map(|&(_, _, w)| w as f64)
+                .unwrap_or(0.0)
+        };
+        let heavy = get(0, 1);
+        let light = get(1, 2);
+        assert!(
+            (heavy / light - 50.0).abs() < 5.0,
+            "heavy/light sample ratio {} should be ≈ 50",
+            heavy / light
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Atomic floating-point accumulation.
+//!
+//! The LightNE sparsifier aggregates edge weights concurrently from many
+//! sampling threads (Section 4.2, "Sparse Parallel Hashing"). Integer counts
+//! use the hardware `xadd` instruction (`fetch_add`); the downsampled
+//! algorithm adds *fractional* weights `1/p_e`, which x86 has no fetch-add
+//! for, so we emulate it with a compare-and-swap loop over the bit pattern.
+//!
+//! Both types use `Ordering::Relaxed` by default: the aggregation is a pure
+//! commutative reduction, and the final value is only read after a join
+//! (which provides the necessary happens-before edge).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// An `f32` that supports atomic addition via CAS on the bit pattern.
+#[derive(Debug, Default)]
+pub struct AtomicF32(AtomicU32);
+
+impl AtomicF32 {
+    /// Creates a new atomic float with the given initial value.
+    #[inline]
+    pub fn new(v: f32) -> Self {
+        Self(AtomicU32::new(v.to_bits()))
+    }
+
+    /// Atomically adds `delta` and returns the *previous* value.
+    #[inline]
+    pub fn fetch_add(&self, delta: f32) -> f32 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let new = (f32::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return f32::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Loads the current value.
+    #[inline]
+    pub fn load(&self) -> f32 {
+        f32::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Stores a new value.
+    #[inline]
+    pub fn store(&self, v: f32) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// An `f64` that supports atomic addition via CAS on the bit pattern.
+#[derive(Debug, Default)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    /// Creates a new atomic float with the given initial value.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        Self(AtomicU64::new(v.to_bits()))
+    }
+
+    /// Atomically adds `delta` and returns the *previous* value.
+    #[inline]
+    pub fn fetch_add(&self, delta: f64) -> f64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Loads the current value.
+    #[inline]
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Stores a new value.
+    #[inline]
+    pub fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
+/// A cache-line padded `AtomicU64` counter, for per-thread statistics that
+/// would otherwise false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+pub struct PaddedCounter(pub AtomicU64);
+
+impl PaddedCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Atomically increments by `n`, returning the previous value.
+    #[inline]
+    pub fn add(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::Relaxed)
+    }
+
+    /// Reads the counter.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_add_sequential() {
+        let a = AtomicF32::new(1.5);
+        assert_eq!(a.fetch_add(2.5), 1.5);
+        assert_eq!(a.load(), 4.0);
+    }
+
+    #[test]
+    fn f64_add_sequential() {
+        let a = AtomicF64::new(0.0);
+        for _ in 0..1000 {
+            a.fetch_add(0.125);
+        }
+        assert_eq!(a.load(), 125.0);
+    }
+
+    #[test]
+    fn f32_store_load_roundtrip() {
+        let a = AtomicF32::new(0.0);
+        a.store(-3.25);
+        assert_eq!(a.load(), -3.25);
+    }
+
+    #[test]
+    fn f64_concurrent_add_is_exact_for_dyadic_deltas() {
+        use std::sync::Arc;
+        let a = Arc::new(AtomicF64::new(0.0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        a.fetch_add(0.5);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // 0.5 is exactly representable, so the CAS loop must not lose updates.
+        assert_eq!(a.load(), 8.0 * 10_000.0 * 0.5);
+    }
+
+    #[test]
+    fn padded_counter_concurrent() {
+        use std::sync::Arc;
+        let c = Arc::new(PaddedCounter::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..25_000 {
+                        c.add(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 100_000);
+    }
+}

@@ -1,0 +1,31 @@
+//! Shared low-level utilities for the LightNE workspace.
+//!
+//! This crate hosts the small, dependency-free building blocks every other
+//! crate needs:
+//!
+//! * [`parallel`] — chunked parallel loops, parallel prefix sums and
+//!   reductions built on [rayon]. These mirror the bulk-parallel primitives
+//!   of GBBS/Ligra that the paper's system layer is built on.
+//! * [`atomic`] — atomic floating-point accumulation (the `xadd`-style
+//!   aggregation of Section 4.2) and padded counters.
+//! * [`rng`] — tiny, deterministic, splittable PRNG streams
+//!   (SplitMix64 seeded Xoshiro256++) so that every experiment in the
+//!   benchmark harness is reproducible from a single seed.
+//! * [`timer`] — wall-clock stage timers used to regenerate the paper's
+//!   running-time breakdown (Table 5).
+//! * [`mem`] — lightweight memory accounting used by the sample-size
+//!   ablation (Section 5.2.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod mem;
+pub mod parallel;
+pub mod rng;
+pub mod timer;
+
+pub use atomic::{AtomicF32, AtomicF64};
+pub use parallel::{num_threads, par_chunk_size, parallel_prefix_sum};
+pub use rng::{Splittable, XorShiftStream};
+pub use timer::{Stage, StageTimer, Timer};

@@ -1,0 +1,55 @@
+//! Lightweight memory accounting.
+//!
+//! Section 5.2.4 of the paper ablates the *affordable sample size*: how many
+//! path samples fit in RAM with (a) per-thread NetSMF buffers vs the shared
+//! hash table, and (b) downsampling on vs off. To regenerate that analysis
+//! without an OS-specific RSS probe we have each large structure report its
+//! own heap footprint through [`MemUsage`].
+
+/// Types that can report the bytes of heap memory they own.
+pub trait MemUsage {
+    /// Heap bytes owned by `self` (excluding `size_of::<Self>()` itself).
+    fn heap_bytes(&self) -> usize;
+}
+
+impl<T: Copy> MemUsage for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+/// Formats a byte count with binary units, e.g. "1.50 GiB".
+pub fn human_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 6] = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"];
+    let mut v = bytes as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_heap_bytes_uses_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(100);
+        v.push(1);
+        assert_eq!(v.heap_bytes(), 800);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.00 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.00 MiB");
+        assert!(human_bytes(5 * 1024 * 1024 * 1024).contains("GiB"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Bulk-parallel primitives in the style of GBBS/Ligra.
+//!
+//! GBBS exposes `parallel_for`, scans and reductions with automatic
+//! granularity control; rayon's work-stealing pool gives us the same
+//! scheduling model, and this module adds the handful of patterns the rest
+//! of the workspace needs on top of it: chunked index loops, an exclusive
+//! parallel prefix sum (the core of CSR construction), and a pack/filter.
+
+use rayon::prelude::*;
+
+/// Number of worker threads in the global rayon pool.
+pub fn num_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// A reasonable per-task chunk size for a loop of `n` items: large enough to
+/// amortize stealing, small enough to load-balance (~8 tasks per thread).
+pub fn par_chunk_size(n: usize) -> usize {
+    let tasks = num_threads().saturating_mul(8).max(1);
+    (n / tasks).max(1024).min(n.max(1))
+}
+
+/// Parallel loop over `0..n`, calling `f(i)` for each index.
+///
+/// `f` must be safe to call concurrently; use this for side-effecting loops
+/// over disjoint state (e.g. writing disjoint slices through raw indices).
+pub fn par_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    if n == 0 {
+        return;
+    }
+    let chunk = par_chunk_size(n);
+    (0..n)
+        .into_par_iter()
+        .with_min_len(chunk.min(1 << 14))
+        .for_each(f);
+}
+
+/// Exclusive parallel prefix sum over `u64` values.
+///
+/// Returns a vector `out` of length `input.len() + 1` with `out[0] == 0` and
+/// `out[i] == input[0] + .. + input[i-1]`; `out[n]` is the total. This is the
+/// classic two-pass (block-sums then rescan) algorithm used by GBBS for CSR
+/// offset construction.
+pub fn parallel_prefix_sum(input: &[u64]) -> Vec<u64> {
+    let n = input.len();
+    let mut out = vec![0u64; n + 1];
+    if n == 0 {
+        return out;
+    }
+    let chunk = par_chunk_size(n);
+    let nblocks = n.div_ceil(chunk);
+    if nblocks <= 1 {
+        let mut acc = 0u64;
+        for (i, &v) in input.iter().enumerate() {
+            out[i] = acc;
+            acc += v;
+        }
+        out[n] = acc;
+        return out;
+    }
+
+    // Pass 1: per-block sums.
+    let block_sums: Vec<u64> = (0..nblocks)
+        .into_par_iter()
+        .map(|b| {
+            let lo = b * chunk;
+            let hi = ((b + 1) * chunk).min(n);
+            input[lo..hi].iter().sum()
+        })
+        .collect();
+
+    // Sequential scan over block sums (nblocks is small).
+    let mut block_offsets = vec![0u64; nblocks + 1];
+    for b in 0..nblocks {
+        block_offsets[b + 1] = block_offsets[b] + block_sums[b];
+    }
+    let total = block_offsets[nblocks];
+
+    // Pass 2: rescan each block with its offset, writing disjoint slices.
+    out[..n]
+        .par_chunks_mut(chunk)
+        .enumerate()
+        .for_each(|(b, out_block)| {
+            let lo = b * chunk;
+            let mut acc = block_offsets[b];
+            for (o, &v) in out_block.iter_mut().zip(&input[lo..]) {
+                *o = acc;
+                acc += v;
+            }
+        });
+    out[n] = total;
+    out
+}
+
+/// Parallel filter ("pack" in GBBS terminology): returns the elements of
+/// `0..n` for which `keep(i)` is true, in increasing order.
+pub fn parallel_pack<F>(n: usize, keep: F) -> Vec<usize>
+where
+    F: Fn(usize) -> bool + Sync + Send,
+{
+    let chunk = par_chunk_size(n);
+    let nblocks = n.div_ceil(chunk).max(1);
+    let mut blocks: Vec<Vec<usize>> = (0..nblocks)
+        .into_par_iter()
+        .map(|b| {
+            let lo = b * chunk;
+            let hi = ((b + 1) * chunk).min(n);
+            (lo..hi).filter(|&i| keep(i)).collect()
+        })
+        .collect();
+    let total: usize = blocks.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for b in blocks.iter_mut() {
+        out.append(b);
+    }
+    out
+}
+
+/// Parallel sum reduction of `f(i)` over `0..n`.
+pub fn parallel_reduce_sum<F>(n: usize, f: F) -> f64
+where
+    F: Fn(usize) -> f64 + Sync + Send,
+{
+    (0..n)
+        .into_par_iter()
+        .with_min_len(par_chunk_size(n).min(1 << 14))
+        .map(f)
+        .sum()
+}
+
+/// Parallel maximum of `f(i)` over `0..n`; returns `None` for an empty range.
+pub fn parallel_reduce_max<F>(n: usize, f: F) -> Option<u64>
+where
+    F: Fn(usize) -> u64 + Sync + Send,
+{
+    (0..n).into_par_iter().map(f).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sum_empty() {
+        assert_eq!(parallel_prefix_sum(&[]), vec![0]);
+    }
+
+    #[test]
+    fn prefix_sum_small() {
+        assert_eq!(parallel_prefix_sum(&[3, 1, 4]), vec![0, 3, 4, 8]);
+    }
+
+    #[test]
+    fn prefix_sum_matches_sequential_large() {
+        let input: Vec<u64> = (0..100_000).map(|i| (i * 7 + 3) % 11).collect();
+        let got = parallel_prefix_sum(&input);
+        let mut acc = 0u64;
+        for (i, &v) in input.iter().enumerate() {
+            assert_eq!(got[i], acc, "mismatch at {i}");
+            acc += v;
+        }
+        assert_eq!(got[input.len()], acc);
+    }
+
+    #[test]
+    fn pack_keeps_order() {
+        let evens = parallel_pack(10_000, |i| i % 2 == 0);
+        assert_eq!(evens.len(), 5_000);
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
+        assert!(evens.iter().all(|&i| i % 2 == 0));
+    }
+
+    #[test]
+    fn reduce_sum_matches() {
+        let s = parallel_reduce_sum(1000, |i| i as f64);
+        assert_eq!(s, 999.0 * 1000.0 / 2.0);
+    }
+
+    #[test]
+    fn reduce_max_matches() {
+        assert_eq!(parallel_reduce_max(1000, |i| (i as u64 * 37) % 101), Some(100));
+        assert_eq!(parallel_reduce_max(0, |i| i as u64), None);
+    }
+
+    #[test]
+    fn par_for_covers_all_indices() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let hits: Vec<AtomicU64> = (0..5000).map(|_| AtomicU64::new(0)).collect();
+        par_for(5000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}

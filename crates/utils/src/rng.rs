@@ -1,0 +1,246 @@
+//! Deterministic, splittable pseudo-random number streams.
+//!
+//! The sampling stage of LightNE draws billions of random numbers from many
+//! threads at once. We use Xoshiro256++ state seeded through SplitMix64:
+//! each logical unit of work (an edge, a block of vertices) derives its own
+//! statistically independent stream from `(seed, stream_id)`, so results are
+//! reproducible regardless of thread scheduling — a property the benchmark
+//! harness relies on.
+
+/// SplitMix64 step: the standard 64-bit finalizer used to seed other PRNGs
+/// and as a cheap hash.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a `(seed, stream)` pair to a well-mixed 64-bit value.
+#[inline]
+pub fn mix2(seed: u64, stream: u64) -> u64 {
+    let mut s = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s)
+}
+
+/// A small, fast Xoshiro256++ PRNG.
+///
+/// Not cryptographically secure; passes BigCrush per its authors. One
+/// instance per work item, never shared across threads.
+#[derive(Debug, Clone)]
+pub struct XorShiftStream {
+    s: [u64; 4],
+    /// Cached spare Gaussian variate from the polar method.
+    spare: Option<f64>,
+}
+
+impl XorShiftStream {
+    /// Creates a stream from a global seed and a per-work-item stream id.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut sm = seed ^ stream.wrapping_mul(0xD2B7_4407_B1CE_6E93);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // Xoshiro must not start at the all-zero state.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s, spare: None }
+    }
+
+    /// Next raw 64-bit value (Xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit value.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire's multiply-shift
+    /// (unbiased enough for sampling purposes; bound must be non-zero).
+    #[inline]
+    pub fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    #[inline]
+    pub fn bounded_usize(&mut self, bound: usize) -> usize {
+        self.bounded(bound as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`, 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Standard normal variate via the Marsaglia polar method.
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(v) = self.spare.take() {
+            return v;
+        }
+        loop {
+            let u = 2.0 * self.unit_f64() - 1.0;
+            let v = 2.0 * self.unit_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * factor);
+                return u * factor;
+            }
+        }
+    }
+}
+
+/// Types that can derive statistically independent child streams.
+pub trait Splittable {
+    /// Derives the `i`-th child stream.
+    fn split(&self, i: u64) -> XorShiftStream;
+}
+
+/// A root seed from which any number of independent streams can be derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedRoot(pub u64);
+
+impl Splittable for SeedRoot {
+    fn split(&self, i: u64) -> XorShiftStream {
+        XorShiftStream::new(self.0, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed_and_stream() {
+        let mut a = XorShiftStream::new(42, 7);
+        let mut b = XorShiftStream::new(42, 7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = XorShiftStream::new(42, 1);
+        let mut b = XorShiftStream::new(42, 2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should be essentially uncorrelated");
+    }
+
+    #[test]
+    fn bounded_respects_bound() {
+        let mut r = XorShiftStream::new(1, 0);
+        for _ in 0..10_000 {
+            assert!(r.bounded(17) < 17);
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_range_and_roughly_uniform() {
+        let mut r = XorShiftStream::new(9, 0);
+        let n = 100_000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                let x = r.unit_f64();
+                assert!((0.0..1.0).contains(&x));
+                x
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = XorShiftStream::new(5, 3);
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = r.gaussian();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "gaussian mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "gaussian var {var}");
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let mut r = XorShiftStream::new(11, 0);
+        let hits = (0..100_000).filter(|_| r.bernoulli(0.3)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01, "bernoulli rate {p}");
+    }
+
+    #[test]
+    fn seed_root_split_is_deterministic_and_independent() {
+        let root = SeedRoot(99);
+        let mut a1 = root.split(5);
+        let mut a2 = root.split(5);
+        let mut b = root.split(6);
+        let mut agree_with_sibling = 0;
+        for _ in 0..64 {
+            let x = a1.next_u64();
+            assert_eq!(x, a2.next_u64());
+            if x == b.next_u64() {
+                agree_with_sibling += 1;
+            }
+        }
+        assert!(agree_with_sibling < 2);
+    }
+
+    #[test]
+    fn mix2_changes_with_both_inputs() {
+        assert_ne!(mix2(1, 2), mix2(1, 3));
+        assert_ne!(mix2(1, 2), mix2(2, 2));
+        assert_eq!(mix2(7, 8), mix2(7, 8));
+    }
+
+    #[test]
+    fn splitmix_known_sequence_is_stable() {
+        // Lock in determinism across refactors.
+        let mut s = 0u64;
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        assert_ne!(a, b);
+        let mut s2 = 0u64;
+        assert_eq!(splitmix64(&mut s2), a);
+    }
+}

@@ -1,0 +1,167 @@
+//! Wall-clock timing with named stages.
+//!
+//! The paper reports a per-stage running-time breakdown (Table 5:
+//! sparsifier construction / randomized SVD / spectral propagation). The
+//! [`StageTimer`] here is what the pipeline uses to produce the same rows.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug, Clone)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts a new timer.
+    pub fn start() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`.
+    pub fn secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Restarts the timer and returns the elapsed time up to now.
+    pub fn lap(&mut self) -> Duration {
+        let e = self.start.elapsed();
+        self.start = Instant::now();
+        e
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// One named, timed stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    /// Human-readable stage name.
+    pub name: String,
+    /// Wall-clock duration of the stage.
+    pub duration: Duration,
+}
+
+/// Records a sequence of named stages and renders a breakdown.
+#[derive(Debug, Default, Clone)]
+pub struct StageTimer {
+    stages: Vec<Stage>,
+    current: Option<(String, Instant)>,
+}
+
+impl StageTimer {
+    /// Creates an empty stage timer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begins a new stage, finishing the previous one if still open.
+    pub fn begin(&mut self, name: impl Into<String>) {
+        self.finish();
+        self.current = Some((name.into(), Instant::now()));
+    }
+
+    /// Finishes the currently open stage, if any.
+    pub fn finish(&mut self) {
+        if let Some((name, started)) = self.current.take() {
+            self.stages.push(Stage { name, duration: started.elapsed() });
+        }
+    }
+
+    /// All recorded stages, in order.
+    pub fn stages(&self) -> &[Stage] {
+        self.finished_assert();
+        &self.stages
+    }
+
+    /// Duration of the stage with the given name, if recorded.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.stages.iter().find(|s| s.name == name).map(|s| s.duration)
+    }
+
+    /// Total time across all recorded stages.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|s| s.duration).sum()
+    }
+
+    fn finished_assert(&self) {
+        debug_assert!(self.current.is_none(), "stage timer read with an open stage");
+    }
+}
+
+impl fmt::Display for StageTimer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.stages {
+            writeln!(f, "{:<32} {}", s.name, humanize(s.duration))?;
+        }
+        write!(f, "{:<32} {}", "total", humanize(self.total()))
+    }
+}
+
+/// Formats a duration the way the paper reports times ("32.8 min", "1.53 h").
+pub fn humanize(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1.0 {
+        format!("{:.1} ms", s * 1e3)
+    } else if s < 120.0 {
+        format!("{s:.2} s")
+    } else if s < 7200.0 {
+        format!("{:.1} min", s / 60.0)
+    } else {
+        format!("{:.2} h", s / 3600.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_timer_records_in_order() {
+        let mut t = StageTimer::new();
+        t.begin("a");
+        t.begin("b");
+        t.finish();
+        let names: Vec<_> = t.stages().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        assert!(t.get("a").is_some());
+        assert!(t.get("c").is_none());
+    }
+
+    #[test]
+    fn total_is_sum() {
+        let mut t = StageTimer::new();
+        t.begin("x");
+        std::thread::sleep(Duration::from_millis(5));
+        t.finish();
+        assert!(t.total() >= Duration::from_millis(5));
+        assert_eq!(t.total(), t.stages().iter().map(|s| s.duration).sum());
+    }
+
+    #[test]
+    fn humanize_bands() {
+        assert!(humanize(Duration::from_millis(10)).ends_with("ms"));
+        assert!(humanize(Duration::from_secs(30)).ends_with('s'));
+        assert!(humanize(Duration::from_secs(600)).ends_with("min"));
+        assert!(humanize(Duration::from_secs(8000)).ends_with('h'));
+    }
+
+    #[test]
+    fn timer_lap_resets() {
+        let mut t = Timer::start();
+        std::thread::sleep(Duration::from_millis(2));
+        let lap = t.lap();
+        assert!(lap >= Duration::from_millis(2));
+        assert!(t.elapsed() < lap + Duration::from_millis(50));
+    }
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper (outputs under results/).
+# Usage: scripts/run_experiments.sh [extra args passed to every binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo build --release -p lightne-bench
+mkdir -p results
+for b in exp_datasets exp_pbg exp_graphvite exp_oag exp_fig2_tradeoff \
+         exp_table5_breakdown exp_ablation_memory exp_fig3_verylarge \
+         exp_fig4_small exp_extensions; do
+  echo "== $b =="
+  ./target/release/$b "$@" | tee "results/$b.txt"
+done

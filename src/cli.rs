@@ -1,0 +1,357 @@
+//! Implementation of the `lightne` command-line interface.
+//!
+//! Kept in the library so the full command flows are unit-testable; the
+//! binary in `main.rs` is a thin shim. See the binary's module docs for
+//! the command reference.
+
+use crate::core::{LightNe, LightNeConfig};
+use crate::eval::classify::evaluate_node_classification;
+use crate::eval::linkpred::{rank_held_out, split_edges};
+use crate::gen::labels::{read_labels, write_labels};
+use crate::gen::profiles::Profile;
+use crate::graph::algorithms::graph_stats;
+use crate::graph::io::{read_binary, read_edge_list, read_weighted_edge_list, write_binary};
+use crate::graph::Graph;
+use crate::linalg::matio::{read_matrix, write_matrix};
+use std::collections::HashMap;
+
+/// Minimal `--key value` / `--flag` parser.
+pub struct Opts {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Opts {
+    /// Parses an argument list (without the command word).
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {:?}", args[i]))?;
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                values.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key.to_string());
+                i += 1;
+            }
+        }
+        Ok(Self { values, flags })
+    }
+
+    /// Looks up an option's value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Requires an option to be present.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("missing required --{key}"))
+    }
+
+    /// Parses an option with a default.
+    pub fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("bad value for --{key}: {s:?}")),
+        }
+    }
+
+    /// Whether a bare `--flag` was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    if path.ends_with(".lne") {
+        read_binary(path).map_err(|e| format!("reading {path}: {e}"))
+    } else {
+        read_edge_list(path, 0).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+/// Resolves a dataset profile by (case-insensitive) name.
+pub fn profile_by_name(name: &str) -> Result<Profile, String> {
+    Profile::ALL
+        .into_iter()
+        .find(|p| {
+            p.name().eq_ignore_ascii_case(name)
+                || p.name().replace('-', "_").eq_ignore_ascii_case(name)
+        })
+        .ok_or_else(|| {
+            let names: Vec<_> = Profile::ALL.iter().map(|p| p.name()).collect();
+            format!("unknown profile {name:?}; options: {}", names.join(", "))
+        })
+}
+
+fn lightne_config(o: &Opts) -> Result<LightNeConfig, String> {
+    Ok(LightNeConfig {
+        dim: o.num("dim", 128usize)?,
+        window: o.num("window", 10usize)?,
+        sample_ratio: o.num("ratio", 1.0f64)?,
+        downsample: !o.flag("no-downsample"),
+        propagation: if o.flag("no-propagation") {
+            None
+        } else {
+            Some(Default::default())
+        },
+        seed: o.num("seed", 42u64)?,
+        ..Default::default()
+    })
+}
+
+/// Runs one CLI invocation; `args` is everything after the program name.
+/// Human-readable output goes through `out` so tests can capture it.
+pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("no command given".into());
+    };
+    let o = Opts::parse(&args[1..])?;
+    let mut say = |s: String| {
+        writeln!(out, "{s}").map_err(|e| e.to_string())
+    };
+
+    match cmd.as_str() {
+        "generate" => {
+            let profile = profile_by_name(o.require("profile")?)?;
+            let scale: f64 = o.num("scale", 0.001)?;
+            let seed: u64 = o.num("seed", 42)?;
+            let out_path = o.require("out")?;
+            let data = profile.generate(scale, seed);
+            write_binary(&data.graph, out_path).map_err(|e| e.to_string())?;
+            say(data.stats_row())?;
+            say(format!("wrote {out_path}"))?;
+            if let Some(labels) = &data.labels {
+                let lpath = format!("{out_path}.labels");
+                write_labels(labels, &lpath).map_err(|e| e.to_string())?;
+                say(format!("wrote {lpath} ({} classes)", labels.num_labels()))?;
+            }
+            Ok(())
+        }
+        "stats" => {
+            let g = load_graph(o.require("graph")?)?;
+            let s = graph_stats(&g);
+            say(format!("vertices           {}", s.vertices))?;
+            say(format!("edges              {}", s.edges))?;
+            say(format!("max degree         {}", s.max_degree))?;
+            say(format!("avg degree         {:.2}", s.avg_degree))?;
+            say(format!("components         {}", s.components))?;
+            say(format!("largest component  {}", s.largest_component))?;
+            say(format!("triangles          {}", s.triangles))?;
+            say(format!("degeneracy         {}", s.degeneracy))?;
+            Ok(())
+        }
+        "embed" => {
+            let path = o.require("graph")?;
+            let out_path = o.require("out")?;
+            let cfg = lightne_config(&o)?;
+            let result = if o.flag("weighted") {
+                let g = read_weighted_edge_list(path, 0).map_err(|e| e.to_string())?;
+                LightNe::new(cfg).embed_weighted(&g)
+            } else {
+                LightNe::new(cfg).embed(&load_graph(path)?)
+            };
+            write_matrix(&result.embedding, out_path).map_err(|e| e.to_string())?;
+            say(format!("{}", result.timings))?;
+            say(format!(
+                "sampler: {} trials, {} kept, {} distinct; NetMF nnz {}",
+                result.sampler.trials,
+                result.sampler.kept,
+                result.sampler.distinct_entries,
+                result.netmf_nnz
+            ))?;
+            say(format!(
+                "wrote {out_path} ({} x {})",
+                result.embedding.rows(),
+                result.embedding.cols()
+            ))?;
+            Ok(())
+        }
+        "classify" => {
+            let g = load_graph(o.require("graph")?)?;
+            let labels = read_labels(o.require("labels")?).map_err(|e| e.to_string())?;
+            let emb = read_matrix(o.require("embedding")?).map_err(|e| e.to_string())?;
+            if emb.rows() != g.num_vertices() {
+                return Err(format!(
+                    "embedding has {} rows but graph has {} vertices",
+                    emb.rows(),
+                    g.num_vertices()
+                ));
+            }
+            let ratio: f64 = o.num("train-ratio", 0.1)?;
+            let seed: u64 = o.num("seed", 42)?;
+            let f1 = evaluate_node_classification(&emb, &labels, ratio, seed);
+            say(format!(
+                "train ratio {:.1}%  micro-F1 {:.2}  macro-F1 {:.2}",
+                100.0 * ratio,
+                f1.micro,
+                f1.macro_
+            ))?;
+            Ok(())
+        }
+        "linkpred" => {
+            let g = load_graph(o.require("graph")?)?;
+            let holdout: f64 = o.num("holdout", 0.01)?;
+            let negatives: usize = o.num("negatives", 100)?;
+            let seed: u64 = o.num("seed", 42)?;
+            let mut cfg = lightne_config(&o)?;
+            cfg.propagation = None; // ranking task: factorization embedding
+            let (train, held) = split_edges(&g, holdout, seed + 1);
+            say(format!(
+                "held out {} positives; training on {} edges",
+                held.len(),
+                train.num_edges()
+            ))?;
+            let result = LightNe::new(cfg).embed(&train);
+            let m = rank_held_out(&result.embedding, &held, negatives, &[1, 10, 50], seed + 2);
+            say(format!("MR {:.2}  MRR {:.3}  AUC {:.1}%", m.mr, m.mrr, 100.0 * m.auc))?;
+            for (k, v) in &m.hits {
+                say(format!("HITS@{k:<3} {:.1}%", 100.0 * v))?;
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn run_capture(args: &[&str]) -> Result<String, String> {
+        let mut buf = Vec::new();
+        run(&argv(args), &mut buf)?;
+        Ok(String::from_utf8(buf).unwrap())
+    }
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lightne_cli_{}_{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn opts_values_and_flags() {
+        let o = Opts::parse(&argv(&["--dim", "32", "--no-propagation", "--seed", "7"])).unwrap();
+        assert_eq!(o.get("dim"), Some("32"));
+        assert!(o.flag("no-propagation"));
+        assert!(!o.flag("no-downsample"));
+        assert_eq!(o.num("seed", 0u64).unwrap(), 7);
+        assert_eq!(o.num("window", 10usize).unwrap(), 10);
+        assert!(o.require("missing").is_err());
+        assert!(o.num::<u64>("dim", 0).is_ok());
+    }
+
+    #[test]
+    fn opts_rejects_positional() {
+        assert!(Opts::parse(&argv(&["positional"])).is_err());
+    }
+
+    #[test]
+    fn profile_lookup_is_forgiving() {
+        assert_eq!(profile_by_name("oag").unwrap(), Profile::Oag);
+        assert_eq!(profile_by_name("BLOGCATALOG").unwrap(), Profile::BlogCatalog);
+        assert_eq!(
+            profile_by_name("friendster_small").unwrap(),
+            Profile::FriendsterSmall
+        );
+        assert!(profile_by_name("nope").is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run_capture(&["frobnicate"]).is_err());
+        assert!(run_capture(&[]).is_err());
+    }
+
+    #[test]
+    fn full_flow_generate_embed_classify() {
+        let gpath = tmp("flow.lne");
+        let epath = tmp("flow_emb.txt");
+
+        let out = run_capture(&[
+            "generate", "--profile", "blogcatalog", "--scale", "0.05", "--out", &gpath,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(std::path::Path::new(&gpath).exists());
+        assert!(std::path::Path::new(&format!("{gpath}.labels")).exists());
+
+        let out = run_capture(&[
+            "embed", "--graph", &gpath, "--out", &epath, "--dim", "16", "--window", "5",
+            "--ratio", "2.0",
+        ])
+        .unwrap();
+        assert!(out.contains("sampler:"), "{out}");
+
+        let labels_path = format!("{gpath}.labels");
+        let out = run_capture(&[
+            "classify", "--graph", &gpath, "--labels", &labels_path, "--embedding", &epath,
+            "--train-ratio", "0.3",
+        ])
+        .unwrap();
+        assert!(out.contains("micro-F1"), "{out}");
+        // The embedding should classify far above the 39-class chance.
+        let micro: f64 = out
+            .split("micro-F1")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(micro > 30.0, "full CLI flow quality too low: {micro}");
+
+        let out = run_capture(&["stats", "--graph", &gpath]).unwrap();
+        assert!(out.contains("vertices"), "{out}");
+
+        std::fs::remove_file(&gpath).ok();
+        std::fs::remove_file(&epath).ok();
+        std::fs::remove_file(&labels_path).ok();
+    }
+
+    #[test]
+    fn weighted_embed_flow() {
+        let gpath = tmp("weighted.txt");
+        let epath = tmp("weighted_emb.txt");
+        // A small weighted triangle chain.
+        std::fs::write(&gpath, "0 1 2.0\n1 2 1.0\n2 3 4.0\n3 0 1.0\n").unwrap();
+        let out = run_capture(&[
+            "embed", "--graph", &gpath, "--out", &epath, "--dim", "2", "--window", "2",
+            "--ratio", "20.0", "--weighted",
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let m = read_matrix(&epath).unwrap();
+        assert_eq!(m.rows(), 4);
+        std::fs::remove_file(&gpath).ok();
+        std::fs::remove_file(&epath).ok();
+    }
+
+    #[test]
+    fn classify_rejects_shape_mismatch() {
+        let gpath = tmp("mismatch.lne");
+        let epath = tmp("mismatch_emb.txt");
+        run_capture(&["generate", "--profile", "oag", "--scale", "0.00002", "--out", &gpath])
+            .unwrap();
+        std::fs::write(&epath, "1 2\n3 4\n").unwrap();
+        let labels_path = format!("{gpath}.labels");
+        let err = run_capture(&[
+            "classify", "--graph", &gpath, "--labels", &labels_path, "--embedding", &epath,
+        ])
+        .unwrap_err();
+        assert!(err.contains("rows"), "{err}");
+        std::fs::remove_file(&gpath).ok();
+        std::fs::remove_file(&epath).ok();
+        std::fs::remove_file(&labels_path).ok();
+    }
+}

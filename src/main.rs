@@ -1,0 +1,36 @@
+//! `lightne` — command-line interface to the LightNE reproduction.
+//!
+//! ```text
+//! lightne generate --profile oag --scale 0.0001 --out graph.lne [--seed N]
+//! lightne stats    --graph graph.lne
+//! lightne embed    --graph graph.lne --out emb.txt [--dim D] [--window T]
+//!                  [--ratio R] [--no-downsample] [--no-propagation]
+//!                  [--weighted] [--seed N]
+//! lightne classify --graph graph.lne --labels graph.lne.labels
+//!                  --embedding emb.txt [--train-ratio F] [--seed N]
+//! lightne linkpred --graph graph.lne [--holdout F] [--dim D] [--window T]
+//!                  [--ratio R] [--negatives K] [--seed N]
+//! ```
+//!
+//! Graphs ending in `.lne` use the binary CSR format; anything else is
+//! parsed as a text edge list (`--weighted` expects `u v w` lines).
+//! `generate` writes `<out>.labels` alongside classification profiles.
+//! The implementation lives in [`lightne::cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    match lightne::cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: lightne <generate|stats|embed|classify|linkpred> [options]\n\
+                 see the README or `src/main.rs` for the option list"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Integration tests of the link-prediction protocol end to end.
+
+use lightne::core::{LightNe, LightNeConfig};
+use lightne::eval::linkpred::{rank_held_out, split_edges};
+use lightne::gen::profiles::Profile;
+use lightne::linalg::DenseMatrix;
+
+#[test]
+fn lightne_ranks_held_out_edges_far_above_chance() {
+    let data = Profile::LiveJournal.generate(0.0004, 5);
+    let (train, held) = split_edges(&data.graph, 0.02, 6);
+    assert!(held.len() >= 50, "need enough positives, got {}", held.len());
+
+    let out = LightNe::new(LightNeConfig {
+        dim: 32,
+        window: 5,
+        sample_ratio: 4.0,
+        propagation: None,
+        ..Default::default()
+    })
+    .embed(&train);
+    let m = rank_held_out(&out.embedding, &held, 100, &[1, 10, 50], 7);
+
+    // Chance: MR ~ 51, HITS@10 ~ 0.10, AUC ~ 0.5.
+    assert!(m.mr < 30.0, "MR {} too close to chance", m.mr);
+    assert!(m.hits_at(10).unwrap() > 0.3, "HITS@10 {}", m.hits_at(10).unwrap());
+    assert!(m.auc > 0.75, "AUC {}", m.auc);
+
+    let random = DenseMatrix::gaussian(train.num_vertices(), 32, 9);
+    let chance = rank_held_out(&random, &held, 100, &[10], 7);
+    assert!(m.mr + 10.0 < chance.mr, "no margin over chance: {} vs {}", m.mr, chance.mr);
+}
+
+#[test]
+fn more_samples_improve_ranking_on_web_graph() {
+    // Figure 3's monotone trend, coarse version, on the ClueWeb analogue.
+    let data = Profile::ClueWebSym.generate(0.000004, 8);
+    let (train, held) = split_edges(&data.graph, 0.01, 9);
+    assert!(held.len() >= 30);
+
+    let hits10 = |ratio: f64| {
+        let out = LightNe::new(LightNeConfig {
+            dim: 32,
+            window: 2,
+            sample_ratio: ratio,
+            propagation: None,
+            ..Default::default()
+        })
+        .embed(&train);
+        rank_held_out(&out.embedding, &held, 100, &[10], 10)
+            .hits_at(10)
+            .unwrap()
+    };
+    let low = hits10(0.25);
+    let high = hits10(8.0);
+    assert!(
+        high >= low - 0.05,
+        "ranking degraded with 32x the samples: {low} -> {high}"
+    );
+}
+
+#[test]
+fn split_is_deterministic_and_disjoint() {
+    let data = Profile::LiveJournal.generate(0.0002, 11);
+    let (t1, h1) = split_edges(&data.graph, 0.05, 12);
+    let (t2, h2) = split_edges(&data.graph, 0.05, 12);
+    assert_eq!(h1, h2);
+    assert_eq!(t1, t2);
+    for &(u, v) in &h1 {
+        assert!(!t1.has_edge(u, v));
+    }
+}

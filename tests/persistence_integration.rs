@@ -1,0 +1,49 @@
+//! Integration tests for graph persistence: a graph must survive the
+//! text and binary round-trips and embed to identical results afterwards.
+
+use lightne::core::{LightNe, LightNeConfig};
+use lightne::gen::generators::chung_lu;
+use lightne::graph::io::{read_binary, read_edge_list, write_binary, write_edge_list};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("lightne_persist_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn text_roundtrip_preserves_embedding() {
+    let g = chung_lu(800, 8_000, 2.5, 1);
+    let path = tmp("graph.txt");
+    write_edge_list(&g, &path).unwrap();
+    let g2 = read_edge_list(&path, g.num_vertices()).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(g, g2);
+
+    let cfg = LightNeConfig { dim: 8, window: 3, sample_ratio: 1.0, ..Default::default() };
+    let a = LightNe::new(cfg).embed(&g);
+    let b = LightNe::new(cfg).embed(&g2);
+    assert!(a.embedding.max_abs_diff(&b.embedding) < 1e-6);
+}
+
+#[test]
+fn binary_roundtrip_preserves_everything() {
+    let g = chung_lu(2_000, 30_000, 2.3, 2);
+    let path = tmp("graph.lne");
+    write_binary(&g, &path).unwrap();
+    let g2 = read_binary(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(g, g2);
+}
+
+#[test]
+fn binary_size_matches_format_specification() {
+    // 4 magic + 8 n + 8 arcs + (n+1)·8 offsets + arcs·4 neighbors.
+    let g = chung_lu(2_000, 40_000, 2.3, 3);
+    let pb = tmp("size.lne");
+    write_binary(&g, &pb).unwrap();
+    let sb = std::fs::metadata(&pb).unwrap().len() as usize;
+    std::fs::remove_file(&pb).ok();
+    let expected = 4 + 8 + 8 + (g.num_vertices() + 1) * 8 + g.num_arcs() * 4;
+    assert_eq!(sb, expected);
+}

@@ -1,0 +1,227 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, spanning every substrate crate.
+
+use lightne::gen::alias::AliasTable;
+use lightne::graph::{CompressedGraph, GraphBuilder};
+use lightne::hash::{ConcurrentEdgeTable, EdgeAggregator};
+use lightne::linalg::svd::jacobi_svd;
+use lightne::linalg::{CsrMatrix, DenseMatrix};
+use lightne::utils::parallel::parallel_prefix_sum;
+use lightne::utils::rng::XorShiftStream;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSR construction: symmetric, sorted, deduplicated, loop-free, and
+    /// degree sums equal the arc count — for any edge list.
+    #[test]
+    fn graph_builder_invariants(
+        n in 2usize..200,
+        edges in prop::collection::vec((0u32..200, 0u32..200), 0..400)
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .collect();
+        let g = GraphBuilder::from_edges(n, &edges);
+        let mut arc_count = 0usize;
+        for v in 0..n as u32 {
+            let nb = g.neighbors(v);
+            arc_count += nb.len();
+            // sorted, unique, no self-loop
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!nb.contains(&v));
+            for &u in nb {
+                prop_assert!(g.has_edge(u, v), "asymmetry ({u},{v})");
+            }
+        }
+        prop_assert_eq!(arc_count, g.num_arcs());
+        prop_assert_eq!(arc_count % 2, 0);
+    }
+
+    /// Parallel-byte compression is lossless for any graph and block size.
+    #[test]
+    fn compression_roundtrip(
+        n in 2usize..150,
+        edges in prop::collection::vec((0u32..150, 0u32..150), 0..300),
+        block in 1usize..100
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .collect();
+        let g = GraphBuilder::from_edges(n, &edges);
+        let c = CompressedGraph::from_graph_with_block_size(&g, block);
+        prop_assert_eq!(c.decompress(), g);
+    }
+
+    /// Prefix sums match the sequential scan for any input.
+    #[test]
+    fn prefix_sum_correct(input in prop::collection::vec(0u64..1000, 0..500)) {
+        let got = parallel_prefix_sum(&input);
+        let mut acc = 0u64;
+        for (i, &v) in input.iter().enumerate() {
+            prop_assert_eq!(got[i], acc);
+            acc += v;
+        }
+        prop_assert_eq!(got[input.len()], acc);
+    }
+
+    /// The concurrent hash table agrees with a HashMap reference on any
+    /// insertion sequence.
+    #[test]
+    fn hash_table_matches_reference(
+        ops in prop::collection::vec((0u32..50, 0u32..50, 0.0f32..10.0), 1..300)
+    ) {
+        let table = ConcurrentEdgeTable::with_expected(8);
+        let mut reference: HashMap<(u32, u32), f32> = HashMap::new();
+        for &(u, v, w) in &ops {
+            table.add(u, v, w);
+            *reference.entry((u, v)).or_insert(0.0) += w;
+        }
+        prop_assert_eq!(table.distinct_edges(), reference.len());
+        let mut coo = table.into_coo();
+        coo.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        for (u, v, w) in coo {
+            let want = reference[&(u, v)];
+            prop_assert!((w - want).abs() <= 1e-3 * want.abs().max(1.0));
+        }
+    }
+
+    /// CsrMatrix::from_coo sums duplicates exactly like a HashMap.
+    #[test]
+    fn csr_from_coo_matches_reference(
+        coo in prop::collection::vec((0u32..30, 0u32..30, -5.0f32..5.0), 0..200)
+    ) {
+        let m = CsrMatrix::from_coo(30, 30, coo.clone());
+        let mut reference: HashMap<(u32, u32), f32> = HashMap::new();
+        for &(r, c, v) in &coo {
+            *reference.entry((r, c)).or_insert(0.0) += v;
+        }
+        prop_assert_eq!(m.nnz(), reference.len());
+        for ((r, c), v) in reference {
+            prop_assert!((m.get(r as usize, c as usize) - v).abs() < 1e-4);
+        }
+    }
+
+    /// SPMM distributes over addition: (A + A)·X == 2·(A·X).
+    #[test]
+    fn spmm_linearity(
+        coo in prop::collection::vec((0u32..20, 0u32..20, -2.0f32..2.0), 1..100),
+        cols in 1usize..6
+    ) {
+        let a = CsrMatrix::from_coo(20, 20, coo);
+        let x = DenseMatrix::gaussian(20, cols, 3);
+        let doubled = a.add(&a, 1.0, 1.0);
+        let mut twice = a.spmm(&x);
+        twice.scale(2.0);
+        let direct = doubled.spmm(&x);
+        prop_assert!(direct.max_abs_diff(&twice) < 1e-3);
+    }
+
+    /// Jacobi SVD reconstructs any small matrix with orthonormal factors.
+    #[test]
+    fn jacobi_svd_reconstructs(seed in 0u64..500, n in 2usize..10) {
+        let a = DenseMatrix::gaussian(n + 2, n, seed);
+        let svd = jacobi_svd(&a);
+        let mut us = svd.u.clone();
+        us.scale_columns(&svd.sigma);
+        let recon = us.matmul(&svd.v.transpose());
+        prop_assert!(recon.max_abs_diff(&a) < 1e-3);
+        // singular values sorted and non-negative
+        prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+        prop_assert!(svd.sigma.windows(2).all(|w| w[0] >= w[1] - 1e-5));
+    }
+
+    /// Alias tables never emit a zero-weight outcome and always emit a
+    /// valid index.
+    #[test]
+    fn alias_table_support(weights in prop::collection::vec(0.0f64..10.0, 1..50), seed in 0u64..100) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let t = AliasTable::new(&weights);
+        let mut rng = XorShiftStream::new(seed, 0);
+        for _ in 0..200 {
+            let i = t.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight outcome {i}");
+        }
+    }
+
+    /// Weighted graphs: symmetric weights, duplicate summation, volume =
+    /// twice the total undirected weight — for any weighted edge list.
+    #[test]
+    fn weighted_graph_invariants(
+        n in 2usize..80,
+        edges in prop::collection::vec((0u32..80, 0u32..80, 0.1f32..5.0), 0..200)
+    ) {
+        use lightne::graph::WeightedGraph;
+        let edges: Vec<(u32, u32, f32)> = edges
+            .into_iter()
+            .map(|(u, v, w)| (u % n as u32, v % n as u32, w))
+            .collect();
+        let g = WeightedGraph::from_edges(n, &edges);
+        // Symmetry of weights.
+        for u in 0..n as u32 {
+            let (nb, ws) = g.neighbors(u);
+            for (&v, &w) in nb.iter().zip(ws) {
+                prop_assert!((g.edge_weight(v, u) - w).abs() < 1e-4);
+                prop_assert_ne!(v, u, "self-loop survived");
+            }
+        }
+        // Volume = Σ weighted degrees = 2 Σ undirected weights.
+        let undirected: f64 = edges
+            .iter()
+            .filter(|&&(u, v, _)| u != v)
+            .map(|&(_, _, w)| w as f64)
+            .sum();
+        prop_assert!((g.volume() - 2.0 * undirected).abs() < 1e-2 * undirected.max(1.0));
+    }
+
+    /// Weighted neighbor sampling only returns actual neighbors.
+    #[test]
+    fn weighted_sampling_supports_neighbors_only(
+        edges in prop::collection::vec((0u32..20, 0u32..20, 0.1f32..3.0), 1..60),
+        seed in 0u64..50
+    ) {
+        use lightne::graph::WeightedGraph;
+        let g = WeightedGraph::from_edges(20, &edges);
+        let mut rng = XorShiftStream::new(seed, 0);
+        for u in 0..20u32 {
+            let (nb, _) = g.neighbors(u);
+            for _ in 0..20 {
+                match g.sample_neighbor(u, &mut rng) {
+                    Some(v) => prop_assert!(nb.contains(&v), "non-neighbor {v} sampled from {u}"),
+                    None => prop_assert!(nb.is_empty()),
+                }
+            }
+        }
+    }
+
+    /// Random-walk endpoints are always reachable vertices of the right
+    /// component (they stay within the vertex range and nonzero degree).
+    #[test]
+    fn walks_stay_in_graph(
+        n in 3usize..100,
+        edges in prop::collection::vec((0u32..100, 0u32..100), 1..200),
+        steps in 0usize..20,
+        seed in 0u64..100
+    ) {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as u32, v % n as u32))
+            .collect();
+        let g = GraphBuilder::from_edges(n, &edges);
+        prop_assume!(g.num_edges() > 0);
+        let start = edges.iter().find(|(u, v)| u != v).map(|&(u, _)| u);
+        prop_assume!(start.is_some());
+        let start = start.unwrap();
+        let mut rng = XorShiftStream::new(seed, 1);
+        let end = lightne::graph::walk::walk(&g, start, steps, &mut rng);
+        prop_assert!((end as usize) < n);
+        if steps > 0 {
+            prop_assert!(g.degree(end) > 0 || end == start);
+        }
+    }
+}
