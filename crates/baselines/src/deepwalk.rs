@@ -16,6 +16,7 @@
 //!
 //! Scoring for evaluation uses the input ("center") embeddings.
 
+use lightne_core::engine::{RunContext, RunStats};
 use lightne_gen::alias::AliasTable;
 use lightne_graph::{walk::walk_trajectory, GraphOps, VertexId};
 use lightne_linalg::DenseMatrix;
@@ -67,6 +68,8 @@ pub struct DeepWalkOutput {
     pub updates: u64,
     /// Timing (one stage: "sgd training").
     pub timings: StageTimer,
+    /// Full per-stage run statistics.
+    pub stats: RunStats,
 }
 
 /// The DeepWalk-SGD system.
@@ -92,9 +95,25 @@ impl DeepWalk {
         let cfg = &self.cfg;
         let n = g.num_vertices();
         let d = cfg.dim;
-        let mut timings = StageTimer::new();
-        timings.begin("sgd training");
+        let mut ctx = RunContext::new(cfg.seed);
+        let (input, updates) = ctx.run_named("sgd training", |scope| self.train(g, n, d, scope));
+        let stats = ctx.into_stats();
+        let timings = stats.timer();
+        DeepWalkOutput { embedding: input, updates, timings, stats }
+    }
 
+    // Index loops are deliberate in the SGD hot path: the windowed pair
+    // loop skips the center position and the gradient loops walk two
+    // arrays in lockstep.
+    #[allow(clippy::needless_range_loop)]
+    fn train<G: GraphOps>(
+        &self,
+        g: &G,
+        n: usize,
+        d: usize,
+        scope: &mut lightne_core::engine::StageScope,
+    ) -> (DenseMatrix, u64) {
+        let cfg = &self.cfg;
         // word2vec-style init: inputs uniform in [-0.5/d, 0.5/d], outputs 0.
         let mut rng = XorShiftStream::new(cfg.seed, 0);
         let mut input = DenseMatrix::zeros(n, d);
@@ -106,16 +125,12 @@ impl DeepWalk {
         let mut output = DenseMatrix::zeros(n, d);
 
         // Unigram^{3/4} negative table over degrees.
-        let weights: Vec<f64> = (0..n)
-            .map(|v| (g.degree(v as VertexId) as f64).powf(0.75).max(1e-12))
-            .collect();
+        let weights: Vec<f64> =
+            (0..n).map(|v| (g.degree(v as VertexId) as f64).powf(0.75).max(1e-12)).collect();
         let neg_table = AliasTable::new(&weights);
 
-        let total_pairs_estimate = (n
-            * cfg.walks_per_vertex
-            * cfg.walk_length
-            * cfg.window
-            * cfg.epochs) as f64;
+        let total_pairs_estimate =
+            (n * cfg.walks_per_vertex * cfg.walk_length * cfg.window * cfg.epochs) as f64;
         let mut seen_pairs = 0f64;
         let mut updates = 0u64;
         let mut traj: Vec<VertexId> = Vec::with_capacity(cfg.walk_length + 1);
@@ -127,9 +142,8 @@ impl DeepWalk {
                     continue;
                 }
                 for wk in 0..cfg.walks_per_vertex {
-                    let stream = (epoch * cfg.walks_per_vertex + wk) as u64 * n as u64
-                        + start as u64
-                        + 1;
+                    let stream =
+                        (epoch * cfg.walks_per_vertex + wk) as u64 * n as u64 + start as u64 + 1;
                     let mut wrng = XorShiftStream::new(cfg.seed, stream);
                     walk_trajectory(g, start, cfg.walk_length, &mut wrng, &mut traj);
                     for c in 0..traj.len() {
@@ -142,8 +156,7 @@ impl DeepWalk {
                             }
                             seen_pairs += 1.0;
                             let lr = cfg.lr
-                                * (1.0 - seen_pairs as f32 / total_pairs_estimate as f32)
-                                    .max(0.01);
+                                * (1.0 - seen_pairs as f32 / total_pairs_estimate as f32).max(0.01);
                             let context = traj[t] as usize;
                             // One positive + `negatives` negative updates.
                             grad.fill(0.0);
@@ -182,16 +195,18 @@ impl DeepWalk {
                 }
             }
         }
-        timings.finish();
-        DeepWalkOutput { embedding: input, updates, timings }
+        scope.counter("updates", updates);
+        // Input and output embedding tables coexist during training.
+        scope.heap_bytes(2 * n * d * std::mem::size_of::<f32>());
+        (input, updates)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lightne_gen::sbm::{labelled_sbm, SbmConfig};
     use lightne_gen::generators::erdos_renyi;
+    use lightne_gen::sbm::{labelled_sbm, SbmConfig};
 
     fn tiny() -> DeepWalkConfig {
         DeepWalkConfig {
@@ -224,7 +239,14 @@ mod tests {
 
     #[test]
     fn learns_community_structure() {
-        let cfg = SbmConfig { n: 400, communities: 3, avg_degree: 20.0, mixing: 0.05, overlap: 0.0, gamma: 2.5 };
+        let cfg = SbmConfig {
+            n: 400,
+            communities: 3,
+            avg_degree: 20.0,
+            mixing: 0.05,
+            overlap: 0.0,
+            gamma: 2.5,
+        };
         let (g, labels) = labelled_sbm(&cfg, 5);
         let out = DeepWalk::new(DeepWalkConfig { epochs: 2, ..tiny() }).embed(&g);
         let mut y = out.embedding.clone();

@@ -15,26 +15,25 @@ use lightne_sparsifier::exact::exact_netmf;
 /// # Panics
 /// Panics (by design) if asked to densify a graph too large to hold an
 /// `n × n` matrix; callers should restrict to small graphs.
-pub fn netmf_embed<G: GraphOps>(g: &G, dim: usize, window: usize, negative: f64, seed: u64) -> DenseMatrix {
-    assert!(
-        g.num_vertices() <= 50_000,
-        "exact NetMF is dense; refusing n = {}",
-        g.num_vertices()
-    );
+pub fn netmf_embed<G: GraphOps>(
+    g: &G,
+    dim: usize,
+    window: usize,
+    negative: f64,
+    seed: u64,
+) -> DenseMatrix {
+    assert!(g.num_vertices() <= 50_000, "exact NetMF is dense; refusing n = {}", g.num_vertices());
     let m = exact_netmf(g, window, negative);
-    let svd = randomized_svd(
-        &m,
-        &RsvdConfig { rank: dim, oversampling: 16, power_iters: 2, seed },
-    );
+    let svd = randomized_svd(&m, &RsvdConfig { rank: dim, oversampling: 16, power_iters: 2, seed });
     svd.embedding()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lightne_core::{LightNe, LightNeConfig};
     use lightne_gen::generators::erdos_renyi;
     use lightne_gen::sbm::{labelled_sbm, SbmConfig};
-    use lightne_core::{LightNe, LightNeConfig};
 
     #[test]
     fn shapes() {
@@ -49,7 +48,14 @@ mod tests {
         // The foundational claim: LightNE's sampled factorization targets
         // the same matrix NetMF factorizes exactly. Compare community
         // separation of the two embeddings (they should both capture it).
-        let cfg = SbmConfig { n: 400, communities: 4, avg_degree: 20.0, mixing: 0.05, overlap: 0.0, gamma: 2.5 };
+        let cfg = SbmConfig {
+            n: 400,
+            communities: 4,
+            avg_degree: 20.0,
+            mixing: 0.05,
+            overlap: 0.0,
+            gamma: 2.5,
+        };
         let (g, labels) = labelled_sbm(&cfg, 3);
         let exact = netmf_embed(&g, 16, 5, 1.0, 4);
         let sampled = LightNe::new(LightNeConfig {

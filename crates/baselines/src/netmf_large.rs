@@ -95,9 +95,9 @@ pub fn netmf_large_embed<G: GraphOps>(g: &G, cfg: &NetMfLargeConfig) -> DenseMat
 
     // M' = vol/b · D^{-1/2} U f(Λ) Uᵀ D^{-1/2}, then trunc_log, densified.
     let mut left = eigs.vectors.clone(); // n × h
-    // rows scaled by d^{-1/2}
-    for i in 0..n {
-        let s = inv_sqrt_d[i] as f32;
+                                         // rows scaled by d^{-1/2}
+    for (i, &isd) in inv_sqrt_d.iter().enumerate() {
+        let s = isd as f32;
         for x in left.row_mut(i) {
             *x *= s;
         }
@@ -130,9 +130,9 @@ pub fn netmf_large_embed<G: GraphOps>(g: &G, cfg: &NetMfLargeConfig) -> DenseMat
 mod tests {
     use super::*;
     use crate::netmf::netmf_embed;
-    use lightne_gen::sbm::{labelled_sbm, SbmConfig};
-    use lightne_gen::generators::erdos_renyi;
     use lightne_eval::classify::evaluate_node_classification;
+    use lightne_gen::generators::erdos_renyi;
+    use lightne_gen::sbm::{labelled_sbm, SbmConfig};
 
     #[test]
     fn shapes_and_determinism() {
@@ -149,7 +149,14 @@ mod tests {
     fn full_rank_matches_exact_netmf_quality() {
         // With h = n the spectral filter is exact (up to eigensolver
         // accuracy), so classification quality should track exact NetMF.
-        let cfg = SbmConfig { n: 300, communities: 4, avg_degree: 18.0, mixing: 0.05, overlap: 0.0, gamma: 2.5 };
+        let cfg = SbmConfig {
+            n: 300,
+            communities: 4,
+            avg_degree: 18.0,
+            mixing: 0.05,
+            overlap: 0.0,
+            gamma: 2.5,
+        };
         let (g, labels) = labelled_sbm(&cfg, 2);
         let exact = netmf_embed(&g, 16, 5, 1.0, 3);
         let large = netmf_large_embed(
@@ -169,7 +176,14 @@ mod tests {
 
     #[test]
     fn low_rank_truncation_degrades_gracefully() {
-        let cfg = SbmConfig { n: 300, communities: 4, avg_degree: 18.0, mixing: 0.05, overlap: 0.0, gamma: 2.5 };
+        let cfg = SbmConfig {
+            n: 300,
+            communities: 4,
+            avg_degree: 18.0,
+            mixing: 0.05,
+            overlap: 0.0,
+            gamma: 2.5,
+        };
         let (g, labels) = labelled_sbm(&cfg, 5);
         let hi = netmf_large_embed(
             &g,

@@ -15,9 +15,12 @@
 //! differences in experiments come from the above, not implementation
 //! noise.
 
+use lightne_core::engine::{run_pipeline, PipelineSource, RunOptions, RunStats};
+use lightne_core::propagation::PropagationConfig;
+use lightne_core::LightNeConfig;
 use lightne_graph::GraphOps;
 use lightne_hash::{EdgeAggregator, ThreadLocalAggregator};
-use lightne_linalg::{randomized_svd, DenseMatrix, RsvdConfig};
+use lightne_linalg::{CsrMatrix, DenseMatrix};
 use lightne_sparsifier::construct::{sample_into, SamplerConfig, SamplerStats};
 use lightne_sparsifier::netmf::sparsifier_to_netmf;
 use lightne_utils::timer::StageTimer;
@@ -64,12 +67,43 @@ pub struct NetSmfOutput {
     pub sampler: SamplerStats,
     /// Stage timings (sparsifier construction, randomized SVD).
     pub timings: StageTimer,
+    /// Full per-stage run statistics.
+    pub stats: RunStats,
 }
 
 /// The NetSMF system.
 #[derive(Debug, Clone)]
 pub struct NetSmf {
     cfg: NetSmfConfig,
+}
+
+/// [`PipelineSource`] realizing NetSMF's stage variants: per-thread
+/// aggregation buffers instead of the shared hash table, and no
+/// propagation stage (the configuration disables it).
+struct NetSmfSource<'a, G: GraphOps>(&'a G);
+
+impl<G: GraphOps> PipelineSource for NetSmfSource<'_, G> {
+    fn num_vertices(&self) -> usize {
+        self.0.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.0.num_edges()
+    }
+
+    fn sparsify(&self, cfg: &SamplerConfig) -> (Vec<(u32, u32, f32)>, SamplerStats) {
+        let agg = ThreadLocalAggregator::new();
+        let stats = sample_into(self.0, cfg, &agg);
+        (agg.into_coo(), stats)
+    }
+
+    fn netmf(&self, coo: Vec<(u32, u32, f32)>, samples: u64, negative: f64) -> CsrMatrix {
+        sparsifier_to_netmf(self.0, coo, samples, negative)
+    }
+
+    fn propagate(&self, _initial: &DenseMatrix, _cfg: &PropagationConfig) -> DenseMatrix {
+        unreachable!("netsmf runs with propagation disabled")
+    }
 }
 
 impl NetSmf {
@@ -81,37 +115,26 @@ impl NetSmf {
     /// Embeds the graph.
     pub fn embed<G: GraphOps>(&self, g: &G) -> NetSmfOutput {
         let cfg = &self.cfg;
-        let mut timings = StageTimer::new();
-
-        timings.begin("parallel sparsifier construction");
-        let samples =
-            (cfg.sample_ratio * cfg.window as f64 * g.num_edges() as f64).round() as u64;
-        let sampler_cfg = SamplerConfig {
+        let engine_cfg = LightNeConfig {
+            dim: cfg.dim,
             window: cfg.window,
-            samples: samples.max(1),
+            sample_ratio: cfg.sample_ratio,
             downsample: false,
             c_factor: None,
+            negative: cfg.negative,
+            oversampling: cfg.oversampling,
+            power_iters: cfg.power_iters,
+            propagation: None,
             seed: cfg.seed,
         };
-        let agg = ThreadLocalAggregator::new();
-        let sampler = sample_into(g, &sampler_cfg, &agg);
-        let coo = agg.into_coo();
-        let netmf = sparsifier_to_netmf(g, coo, sampler_cfg.samples, cfg.negative);
-
-        timings.begin("randomized svd");
-        let svd = randomized_svd(
-            &netmf,
-            &RsvdConfig {
-                rank: cfg.dim,
-                oversampling: cfg.oversampling,
-                power_iters: cfg.power_iters,
-                seed: cfg.seed.wrapping_add(0x5EED),
-            },
-        );
-        let embedding = svd.embedding();
-        timings.finish();
-
-        NetSmfOutput { embedding, sampler, timings }
+        let out = run_pipeline(&engine_cfg, &NetSmfSource(g), RunOptions::default())
+            .expect("pipeline without artifact i/o cannot fail");
+        NetSmfOutput {
+            embedding: out.embedding,
+            sampler: out.sampler,
+            timings: out.timings,
+            stats: out.stats,
+        }
     }
 }
 
@@ -124,8 +147,13 @@ mod tests {
     #[test]
     fn produces_embedding() {
         let g = erdos_renyi(300, 3000, 1);
-        let out = NetSmf::new(NetSmfConfig { dim: 16, window: 5, sample_ratio: 1.0, ..Default::default() })
-            .embed(&g);
+        let out = NetSmf::new(NetSmfConfig {
+            dim: 16,
+            window: 5,
+            sample_ratio: 1.0,
+            ..Default::default()
+        })
+        .embed(&g);
         assert_eq!(out.embedding.rows(), 300);
         assert_eq!(out.embedding.cols(), 16);
         assert!(out.timings.get("randomized svd").is_some());
@@ -136,10 +164,20 @@ mod tests {
         // The §5.2.4 contrast in miniature: NetSMF's aggregation memory
         // scales with M, LightNE's with distinct kept entries.
         let g = erdos_renyi(400, 4000, 2);
-        let small = NetSmf::new(NetSmfConfig { dim: 8, window: 5, sample_ratio: 0.5, ..Default::default() })
-            .embed(&g);
-        let large = NetSmf::new(NetSmfConfig { dim: 8, window: 5, sample_ratio: 4.0, ..Default::default() })
-            .embed(&g);
+        let small = NetSmf::new(NetSmfConfig {
+            dim: 8,
+            window: 5,
+            sample_ratio: 0.5,
+            ..Default::default()
+        })
+        .embed(&g);
+        let large = NetSmf::new(NetSmfConfig {
+            dim: 8,
+            window: 5,
+            sample_ratio: 4.0,
+            ..Default::default()
+        })
+        .embed(&g);
         assert!(
             large.sampler.aggregator_bytes > 3 * small.sampler.aggregator_bytes,
             "netsmf memory should scale with samples: {} vs {}",
@@ -150,8 +188,13 @@ mod tests {
         // At a high sample ratio the contrast is stark: NetSMF buffers all
         // samples, while LightNE's table is capped by distinct pairs (at
         // most n² here, far fewer in general).
-        let huge = NetSmf::new(NetSmfConfig { dim: 8, window: 5, sample_ratio: 16.0, ..Default::default() })
-            .embed(&g);
+        let huge = NetSmf::new(NetSmfConfig {
+            dim: 8,
+            window: 5,
+            sample_ratio: 16.0,
+            ..Default::default()
+        })
+        .embed(&g);
         let lightne = LightNe::new(LightNeConfig {
             dim: 8,
             window: 5,
@@ -170,8 +213,13 @@ mod tests {
     #[test]
     fn no_downsampling_keeps_every_trial() {
         let g = erdos_renyi(200, 2000, 3);
-        let out = NetSmf::new(NetSmfConfig { dim: 8, window: 4, sample_ratio: 1.0, ..Default::default() })
-            .embed(&g);
+        let out = NetSmf::new(NetSmfConfig {
+            dim: 8,
+            window: 4,
+            sample_ratio: 1.0,
+            ..Default::default()
+        })
+        .embed(&g);
         assert_eq!(out.sampler.trials, out.sampler.kept);
     }
 }

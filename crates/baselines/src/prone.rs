@@ -19,6 +19,7 @@
 //! 2. **Spectral propagation**: identical to LightNE's
 //!    ([`lightne_core::propagation`]).
 
+use lightne_core::engine::{RunContext, RunStats, StageKind};
 use lightne_core::propagation::{spectral_propagation, PropagationConfig};
 use lightne_graph::GraphOps;
 use lightne_linalg::{randomized_svd, CsrMatrix, DenseMatrix, RsvdConfig};
@@ -69,6 +70,8 @@ pub struct ProNeOutput {
     pub matrix_nnz: usize,
     /// Stage timings (randomized SVD, spectral propagation).
     pub timings: StageTimer,
+    /// Full per-stage run statistics.
+    pub stats: RunStats,
 }
 
 /// The ProNE+ system.
@@ -117,27 +120,38 @@ impl ProNe {
     /// Embeds the graph.
     pub fn embed<G: GraphOps>(&self, g: &G) -> ProNeOutput {
         let cfg = &self.cfg;
-        let mut timings = StageTimer::new();
+        let mut ctx = RunContext::new(cfg.seed);
 
-        timings.begin("randomized svd");
-        let m = modulated_matrix(g, cfg.negative, cfg.alpha);
-        let matrix_nnz = m.nnz();
-        let svd = randomized_svd(
-            &m,
-            &RsvdConfig {
-                rank: cfg.dim,
-                oversampling: cfg.oversampling,
-                power_iters: cfg.power_iters,
-                seed: cfg.seed,
-            },
-        );
-        let initial = svd.embedding();
+        // ProNE's single factorization stage covers matrix build + SVD.
+        // Note: ProNE has always seeded its SVD with the master seed
+        // directly (no 0x5EED offset); keep that convention.
+        let (initial, matrix_nnz) = ctx.run(StageKind::Rsvd, |scope| {
+            let m = modulated_matrix(g, cfg.negative, cfg.alpha);
+            scope.counter("nnz", m.nnz() as u64);
+            scope.heap(&m);
+            let svd = randomized_svd(
+                &m,
+                &RsvdConfig {
+                    rank: cfg.dim,
+                    oversampling: cfg.oversampling,
+                    power_iters: cfg.power_iters,
+                    seed: cfg.seed,
+                },
+            );
+            let x = svd.embedding();
+            scope.counter("rank", cfg.dim as u64);
+            (x, m.nnz())
+        });
 
-        timings.begin("spectral propagation");
-        let embedding = spectral_propagation(g, &initial, &cfg.propagation);
-        timings.finish();
+        let embedding = ctx.run(StageKind::Propagate, |scope| {
+            let e = spectral_propagation(g, &initial, &cfg.propagation);
+            scope.heap(&e);
+            e
+        });
 
-        ProNeOutput { embedding, initial_embedding: initial, matrix_nnz, timings }
+        let stats = ctx.into_stats();
+        let timings = stats.timer();
+        ProNeOutput { embedding, initial_embedding: initial, matrix_nnz, timings, stats }
     }
 }
 
@@ -179,7 +193,14 @@ mod tests {
 
     #[test]
     fn captures_community_structure() {
-        let cfg = SbmConfig { n: 600, communities: 4, avg_degree: 24.0, mixing: 0.05, overlap: 0.0, gamma: 2.5 };
+        let cfg = SbmConfig {
+            n: 600,
+            communities: 4,
+            avg_degree: 24.0,
+            mixing: 0.05,
+            overlap: 0.0,
+            gamma: 2.5,
+        };
         let (g, labels) = labelled_sbm(&cfg, 4);
         let out = ProNe::new(ProNeConfig { dim: 16, ..Default::default() }).embed(&g);
         let y = &out.embedding;

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lightne_gen::generators::chung_lu;
-use lightne_graph::{CompressedGraph, GraphOps};
+use lightne_graph::CompressedGraph;
 use lightne_utils::rng::XorShiftStream;
 use std::hint::black_box;
 

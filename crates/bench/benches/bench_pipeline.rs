@@ -16,15 +16,30 @@ fn bench_systems(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("lightne_small_0.1Tm", |b| {
-        let pipe = LightNe::new(LightNeConfig { dim: 32, window: 10, sample_ratio: 0.1, ..Default::default() });
+        let pipe = LightNe::new(LightNeConfig {
+            dim: 32,
+            window: 10,
+            sample_ratio: 0.1,
+            ..Default::default()
+        });
         b.iter(|| black_box(pipe.embed(&g)))
     });
     group.bench_function("lightne_2Tm", |b| {
-        let pipe = LightNe::new(LightNeConfig { dim: 32, window: 10, sample_ratio: 2.0, ..Default::default() });
+        let pipe = LightNe::new(LightNeConfig {
+            dim: 32,
+            window: 10,
+            sample_ratio: 2.0,
+            ..Default::default()
+        });
         b.iter(|| black_box(pipe.embed(&g)))
     });
     group.bench_function("netsmf_2Tm", |b| {
-        let sys = NetSmf::new(NetSmfConfig { dim: 32, window: 10, sample_ratio: 2.0, ..Default::default() });
+        let sys = NetSmf::new(NetSmfConfig {
+            dim: 32,
+            window: 10,
+            sample_ratio: 2.0,
+            ..Default::default()
+        });
         b.iter(|| black_box(sys.embed(&g)))
     });
     group.bench_function("prone_plus", |b| {

@@ -18,7 +18,14 @@ use lightne_hash::{ConcurrentEdgeTable, ThreadLocalAggregator};
 use lightne_sparsifier::construct::{sample_into, SamplerConfig};
 use lightne_utils::mem::human_bytes;
 
-fn measure(g: &lightne_graph::Graph, window: usize, samples: u64, downsample: bool, buffers: bool, seed: u64) -> usize {
+fn measure(
+    g: &lightne_graph::Graph,
+    window: usize,
+    samples: u64,
+    downsample: bool,
+    buffers: bool,
+    seed: u64,
+) -> usize {
     let cfg = SamplerConfig { window, samples, downsample, c_factor: None, seed };
     if buffers {
         let agg = ThreadLocalAggregator::new();

@@ -18,10 +18,7 @@ fn main() {
     header("Table 2: hardware configurations and Azure pricing");
     print!("{}", CostModel::table2());
 
-    header(&format!(
-        "Table 3: dataset statistics (synthetic analogues at scale {})",
-        args.scale
-    ));
+    header(&format!("Table 3: dataset statistics (synthetic analogues at scale {})", args.scale));
     for p in Profile::ALL {
         // The very large profiles get an extra 10x reduction so the
         // default invocation stays fast on small machines.
@@ -34,7 +31,9 @@ fn main() {
         if let Some(labels) = &d.labels {
             println!(
                 "{:<18} classes={} mean labels/vertex={:.2}",
-                "", labels.num_labels(), labels.mean_labels()
+                "",
+                labels.num_labels(),
+                labels.mean_labels()
             );
         }
     }

@@ -8,10 +8,10 @@
 //! 3. **Dynamic embedding** — incremental refresh vs full rebuild as
 //!    edges stream in (the paper's stated future work).
 
+use lightne_baselines::{ProNe, ProNeConfig};
 use lightne_bench::harness::{header, timed, Args};
 use lightne_core::spectral::estimate_spectral_gap;
 use lightne_core::{DynamicLightNe, LightNe, LightNeConfig};
-use lightne_baselines::{ProNe, ProNeConfig};
 use lightne_eval::classify::evaluate_node_classification;
 use lightne_eval::clustering::{kmeans, nmi};
 use lightne_gen::profiles::Profile;
@@ -21,7 +21,13 @@ fn main() {
 
     header("spectral gaps of the dataset profiles (Theorem 3.2 precondition)");
     println!("{:<18} {:>9} {:>9}", "profile", "lambda2", "gap");
-    for p in [Profile::BlogCatalog, Profile::YouTube, Profile::LiveJournal, Profile::Oag, Profile::ClueWebSym] {
+    for p in [
+        Profile::BlogCatalog,
+        Profile::YouTube,
+        Profile::LiveJournal,
+        Profile::Oag,
+        Profile::ClueWebSym,
+    ] {
         let scale = match p {
             Profile::BlogCatalog => 0.3,
             Profile::ClueWebSym => args.scale / 10.0,
@@ -36,16 +42,19 @@ fn main() {
     header("clustering probe: k-means NMI on OAG-like communities");
     let data = Profile::Oag.generate(args.scale, args.seed);
     let labels = data.labels.as_ref().unwrap();
-    let truth: Vec<u32> = (0..data.graph.num_vertices())
-        .map(|v| labels.of(v)[0] as u32)
-        .collect();
+    let truth: Vec<u32> = (0..data.graph.num_vertices()).map(|v| labels.of(v)[0] as u32).collect();
     let k = labels.num_labels();
     for (name, emb) in [
         (
             "LightNE (2Tm)",
-            LightNe::new(LightNeConfig { dim: args.dim, window: 10, sample_ratio: 2.0, ..Default::default() })
-                .embed(&data.graph)
-                .embedding,
+            LightNe::new(LightNeConfig {
+                dim: args.dim,
+                window: 10,
+                sample_ratio: 2.0,
+                ..Default::default()
+            })
+            .embed(&data.graph)
+            .embedding,
         ),
         (
             "ProNE+",

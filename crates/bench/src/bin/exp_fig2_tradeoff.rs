@@ -53,7 +53,9 @@ fn main() {
     }
 
     // Baseline reference points.
-    let (p, t) = timed(|| ProNe::new(ProNeConfig { dim: args.dim, ..Default::default() }).embed(&data.graph));
+    let (p, t) = timed(|| {
+        ProNe::new(ProNeConfig { dim: args.dim, ..Default::default() }).embed(&data.graph)
+    });
     let s: Vec<_> = ratios
         .iter()
         .map(|&r| evaluate_node_classification(&p.embedding, labels, r, args.seed + 1))

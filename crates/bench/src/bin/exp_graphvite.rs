@@ -60,10 +60,9 @@ fn main() {
         });
 
         println!("{:<11} {:>8} {:>8} {:>8}   time / cost", "System", "1%", "5%", "10%");
-        for (name, emb, time) in [
-            ("GraphVite", &gv_emb, gv_time),
-            ("LightNE", &ln_out.embedding, ln_time),
-        ] {
+        for (name, emb, time) in
+            [("GraphVite", &gv_emb, gv_time), ("LightNE", &ln_out.embedding, ln_time)]
+        {
             let f1: Vec<f64> = ratios
                 .iter()
                 .map(|&r| evaluate_node_classification(emb, labels, r, args.seed + 7).micro)

@@ -31,10 +31,7 @@ fn eval_all(
     ratios: &[f64],
     seed: u64,
 ) -> Vec<F1Scores> {
-    ratios
-        .iter()
-        .map(|&r| evaluate_node_classification(emb, labels, r, seed))
-        .collect()
+    ratios.iter().map(|&r| evaluate_node_classification(emb, labels, r, seed)).collect()
 }
 
 fn print_rows(title: &str, rows: &[(String, Duration, Vec<F1Scores>)], ratios: &[f64]) {
@@ -71,13 +68,8 @@ fn main() {
 
     // NetSMF at the paper's maximum affordable M = 8Tm.
     let (netsmf, t) = timed(|| {
-        NetSmf::new(NetSmfConfig {
-            dim: args.dim,
-            window,
-            sample_ratio: 8.0,
-            ..Default::default()
-        })
-        .embed(&data.graph)
+        NetSmf::new(NetSmfConfig { dim: args.dim, window, sample_ratio: 8.0, ..Default::default() })
+            .embed(&data.graph)
     });
     rows.push((
         "NetSMF (M=8Tm)".into(),
@@ -86,12 +78,10 @@ fn main() {
     ));
 
     // ProNE+.
-    let (prone, t) = timed(|| ProNe::new(ProNeConfig { dim: args.dim, ..Default::default() }).embed(&data.graph));
-    rows.push((
-        "ProNE+".into(),
-        t,
-        eval_all(&prone.embedding, labels, &ratios, args.seed + 1),
-    ));
+    let (prone, t) = timed(|| {
+        ProNe::new(ProNeConfig { dim: args.dim, ..Default::default() }).embed(&data.graph)
+    });
+    rows.push(("ProNE+".into(), t, eval_all(&prone.embedding, labels, &ratios, args.seed + 1)));
 
     // LightNE-Small (M = 0.1Tm) and LightNE-Large (M = 20Tm).
     for (name, ratio) in [("LightNE-Small", 0.1), ("LightNE-Large", 20.0)] {
@@ -104,11 +94,7 @@ fn main() {
             })
             .embed(&data.graph)
         });
-        rows.push((
-            name.into(),
-            t,
-            eval_all(&out.embedding, labels, &ratios, args.seed + 1),
-        ));
+        rows.push((name.into(), t, eval_all(&out.embedding, labels, &ratios, args.seed + 1)));
     }
 
     print_rows("Table 4: OAG node classification", &rows, &ratios);

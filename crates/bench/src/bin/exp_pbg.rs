@@ -29,11 +29,7 @@ fn main() {
     println!("{}", data.stats_row());
 
     let (train, held) = split_edges(&data.graph, 0.01, args.seed + 1);
-    println!(
-        "training graph: m={}  held-out positives: {}",
-        train.num_edges(),
-        held.len()
-    );
+    println!("training graph: m={}  held-out positives: {}", train.num_edges(), held.len());
     let negatives = 100;
     let hits = [1usize, 10];
 

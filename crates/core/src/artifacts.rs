@@ -1,0 +1,306 @@
+//! Checkpointed stage artifacts: save/resume for staged pipeline runs.
+//!
+//! Each stage of the engine can persist its output into a directory —
+//! the sparsifier COO, the NetMF CSR matrix, and the initial (pre-
+//! propagation) embedding — alongside a `meta.txt` describing the run
+//! that produced them. A later run pointed at the same directory resumes
+//! from the *deepest* artifact present, replaying the recorded counters
+//! so its statistics stay complete.
+//!
+//! All files are plain text. Floats use Rust's shortest-round-trip
+//! formatting, so a save/load cycle is bitwise lossless and a resumed
+//! run reproduces the straight run's embedding exactly (same seed).
+
+use crate::engine::EngineError;
+use lightne_linalg::matio;
+use lightne_linalg::{CsrMatrix, DenseMatrix};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Current artifact metadata format version.
+pub const META_VERSION: u32 = 1;
+
+/// File name of the run metadata.
+pub const META_FILE: &str = "meta.txt";
+/// File name of the sparsifier COO checkpoint.
+pub const SPARSIFIER_FILE: &str = "sparsifier.coo";
+/// File name of the NetMF matrix checkpoint.
+pub const NETMF_FILE: &str = "netmf.csr";
+/// File name of the initial-embedding checkpoint.
+pub const INITIAL_FILE: &str = "initial.emb";
+
+/// Metadata describing the run that produced a set of artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMeta {
+    /// Format version ([`META_VERSION`]).
+    pub version: u32,
+    /// Master RNG seed of the run.
+    pub seed: u64,
+    /// Whether the weighted pipeline produced the artifacts.
+    pub weighted: bool,
+    /// Number of vertices of the source graph.
+    pub n: usize,
+    /// Sample budget `M` the sparsifier was built with (downstream
+    /// stages normalize by it, so resume must reuse it).
+    pub samples: u64,
+    /// Sampling trials actually drawn.
+    pub trials: u64,
+    /// Trials kept after downsampling.
+    pub kept: u64,
+    /// Distinct aggregator entries.
+    pub distinct_entries: usize,
+    /// Aggregator heap bytes.
+    pub aggregator_bytes: usize,
+    /// NetMF non-zeros, once the conversion stage has run.
+    pub netmf_nnz: Option<usize>,
+}
+
+impl RunMeta {
+    fn to_text(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str(&format!("version {}\n", self.version));
+        s.push_str(&format!("seed {}\n", self.seed));
+        s.push_str(&format!("weighted {}\n", self.weighted));
+        s.push_str(&format!("n {}\n", self.n));
+        s.push_str(&format!("samples {}\n", self.samples));
+        s.push_str(&format!("trials {}\n", self.trials));
+        s.push_str(&format!("kept {}\n", self.kept));
+        s.push_str(&format!("distinct_entries {}\n", self.distinct_entries));
+        s.push_str(&format!("aggregator_bytes {}\n", self.aggregator_bytes));
+        if let Some(nnz) = self.netmf_nnz {
+            s.push_str(&format!("netmf_nnz {nnz}\n"));
+        }
+        s
+    }
+
+    fn from_text(text: &str) -> Result<Self, EngineError> {
+        let mut meta = RunMeta {
+            version: 0,
+            seed: 0,
+            weighted: false,
+            n: 0,
+            samples: 0,
+            trials: 0,
+            kept: 0,
+            distinct_entries: 0,
+            aggregator_bytes: 0,
+            netmf_nnz: None,
+        };
+        let mut seen_version = false;
+        for line in text.lines() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let (key, value) = t
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| EngineError::Resume(format!("malformed meta line: {t:?}")))?;
+            let value = value.trim();
+            let parse_u64 = || {
+                value
+                    .parse::<u64>()
+                    .map_err(|e| EngineError::Resume(format!("meta key {key}: {e}")))
+            };
+            let parse_usize = || {
+                value
+                    .parse::<usize>()
+                    .map_err(|e| EngineError::Resume(format!("meta key {key}: {e}")))
+            };
+            match key {
+                "version" => {
+                    meta.version = value
+                        .parse()
+                        .map_err(|e| EngineError::Resume(format!("meta version: {e}")))?;
+                    seen_version = true;
+                }
+                "seed" => meta.seed = parse_u64()?,
+                "weighted" => {
+                    meta.weighted = value
+                        .parse()
+                        .map_err(|e| EngineError::Resume(format!("meta weighted: {e}")))?;
+                }
+                "n" => meta.n = parse_usize()?,
+                "samples" => meta.samples = parse_u64()?,
+                "trials" => meta.trials = parse_u64()?,
+                "kept" => meta.kept = parse_u64()?,
+                "distinct_entries" => meta.distinct_entries = parse_usize()?,
+                "aggregator_bytes" => meta.aggregator_bytes = parse_usize()?,
+                "netmf_nnz" => meta.netmf_nnz = Some(parse_usize()?),
+                _ => {} // forward compatibility: unknown keys are ignored
+            }
+        }
+        if !seen_version {
+            return Err(EngineError::Resume("meta file missing version".into()));
+        }
+        if meta.version > META_VERSION {
+            return Err(EngineError::Resume(format!(
+                "meta version {} is newer than supported {META_VERSION}",
+                meta.version
+            )));
+        }
+        Ok(meta)
+    }
+}
+
+/// A directory holding checkpointed stage artifacts.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (and creates if needed) an artifact directory for writing.
+    pub fn create(dir: impl AsRef<Path>) -> Result<Self, EngineError> {
+        fs::create_dir_all(dir.as_ref())?;
+        Ok(Self { dir: dir.as_ref().to_path_buf() })
+    }
+
+    /// Opens an existing artifact directory for reading.
+    pub fn open(dir: impl AsRef<Path>) -> Self {
+        Self { dir: dir.as_ref().to_path_buf() }
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, file: &str) -> PathBuf {
+        self.dir.join(file)
+    }
+
+    /// Whether a sparsifier checkpoint is present.
+    pub fn has_sparsifier(&self) -> bool {
+        self.path(SPARSIFIER_FILE).is_file()
+    }
+
+    /// Whether a NetMF checkpoint is present.
+    pub fn has_netmf(&self) -> bool {
+        self.path(NETMF_FILE).is_file()
+    }
+
+    /// Whether an initial-embedding checkpoint is present.
+    pub fn has_initial(&self) -> bool {
+        self.path(INITIAL_FILE).is_file()
+    }
+
+    /// Writes the run metadata (overwrites any previous version).
+    pub fn save_meta(&self, meta: &RunMeta) -> Result<(), EngineError> {
+        fs::write(self.path(META_FILE), meta.to_text())?;
+        Ok(())
+    }
+
+    /// Reads the run metadata.
+    pub fn load_meta(&self) -> Result<RunMeta, EngineError> {
+        let text = fs::read_to_string(self.path(META_FILE))?;
+        RunMeta::from_text(&text)
+    }
+
+    /// Checkpoints the sparsifier COO (an `n × n` entry list).
+    pub fn save_sparsifier(&self, n: usize, coo: &[(u32, u32, f32)]) -> Result<(), EngineError> {
+        matio::write_coo(self.path(SPARSIFIER_FILE), n, n, coo)?;
+        Ok(())
+    }
+
+    /// Loads the sparsifier COO checkpoint.
+    pub fn load_sparsifier(&self) -> Result<lightne_linalg::matio::CooData, EngineError> {
+        Ok(matio::read_coo(self.path(SPARSIFIER_FILE))?)
+    }
+
+    /// Checkpoints the NetMF matrix.
+    pub fn save_netmf(&self, m: &CsrMatrix) -> Result<(), EngineError> {
+        matio::write_csr(m, self.path(NETMF_FILE))?;
+        Ok(())
+    }
+
+    /// Loads the NetMF matrix checkpoint.
+    pub fn load_netmf(&self) -> Result<CsrMatrix, EngineError> {
+        Ok(matio::read_csr(self.path(NETMF_FILE))?)
+    }
+
+    /// Checkpoints the initial (pre-propagation) embedding.
+    pub fn save_initial(&self, x: &DenseMatrix) -> Result<(), EngineError> {
+        matio::write_matrix(x, self.path(INITIAL_FILE))?;
+        Ok(())
+    }
+
+    /// Loads the initial-embedding checkpoint.
+    pub fn load_initial(&self) -> Result<DenseMatrix, EngineError> {
+        Ok(matio::read_matrix(self.path(INITIAL_FILE))?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lightne_artifacts_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn sample_meta() -> RunMeta {
+        RunMeta {
+            version: META_VERSION,
+            seed: 0x11_97,
+            weighted: false,
+            n: 400,
+            samples: 12_000,
+            trials: 12_003,
+            kept: 9_500,
+            distinct_entries: 4_200,
+            aggregator_bytes: 131_072,
+            netmf_nnz: Some(3_800),
+        }
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let meta = sample_meta();
+        let parsed = RunMeta::from_text(&meta.to_text()).unwrap();
+        assert_eq!(meta, parsed);
+    }
+
+    #[test]
+    fn meta_without_nnz_roundtrip() {
+        let meta = RunMeta { netmf_nnz: None, weighted: true, ..sample_meta() };
+        let parsed = RunMeta::from_text(&meta.to_text()).unwrap();
+        assert_eq!(meta, parsed);
+    }
+
+    #[test]
+    fn meta_rejects_missing_version_and_future_version() {
+        assert!(RunMeta::from_text("seed 3\n").is_err());
+        let future = format!("version {}\nseed 1\n", META_VERSION + 1);
+        assert!(RunMeta::from_text(&future).is_err());
+    }
+
+    #[test]
+    fn store_roundtrips_all_artifacts() {
+        let dir = tmp_dir("full");
+        let store = ArtifactStore::create(&dir).unwrap();
+        assert!(!store.has_sparsifier() && !store.has_netmf() && !store.has_initial());
+
+        let coo = vec![(0u32, 1u32, 2.5f32), (3, 2, 0.125)];
+        store.save_sparsifier(4, &coo).unwrap();
+        let m = CsrMatrix::from_coo(4, 4, coo.clone());
+        store.save_netmf(&m).unwrap();
+        let x = DenseMatrix::gaussian(4, 3, 5);
+        store.save_initial(&x).unwrap();
+        store.save_meta(&sample_meta()).unwrap();
+
+        let back = ArtifactStore::open(&dir);
+        assert!(back.has_sparsifier() && back.has_netmf() && back.has_initial());
+        let (r, c, entries) = back.load_sparsifier().unwrap();
+        assert_eq!((r, c), (4, 4));
+        assert_eq!(entries, coo);
+        let m2 = back.load_netmf().unwrap();
+        assert_eq!(m2.nnz(), m.nnz());
+        let x2 = back.load_initial().unwrap();
+        assert_eq!(x.max_abs_diff(&x2), 0.0);
+        assert_eq!(back.load_meta().unwrap(), sample_meta());
+
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -19,16 +19,17 @@
 //! new edges between re-embeds) this drift is second-order, and the
 //! `incremental_matches_full_rebuild_quality` test quantifies it.
 
+use crate::engine::{run_pipeline, PipelineSource, RunOptions};
 use crate::pipeline::{LightNe, LightNeConfig, LightNeOutput};
+use crate::propagation::PropagationConfig;
 use lightne_graph::{Graph, GraphBuilder, VertexId};
 use lightne_hash::{ConcurrentEdgeTable, EdgeAggregator};
-use lightne_linalg::{randomized_svd, RsvdConfig};
-use lightne_sparsifier::construct::SamplerStats;
+use lightne_linalg::{CsrMatrix, DenseMatrix};
+use lightne_sparsifier::construct::{SamplerConfig, SamplerStats};
 use lightne_sparsifier::downsample::{default_c, edge_probability};
 use lightne_sparsifier::netmf::sparsifier_to_netmf;
 use lightne_sparsifier::path_sampling::path_sample;
 use lightne_utils::rng::XorShiftStream;
-use lightne_utils::timer::StageTimer;
 
 /// A LightNE instance that absorbs edge insertions and re-embeds
 /// incrementally.
@@ -86,10 +87,7 @@ impl DynamicLightNe {
 
         // Per-arc trial rate: sample_ratio · T · m / (2m) = ratio·T/2.
         let per_arc = (self.cfg.sample_ratio * self.cfg.window as f64 / 2.0).max(0.5);
-        let c = self
-            .cfg
-            .c_factor
-            .unwrap_or_else(|| default_c(self.graph.num_vertices()));
+        let c = self.cfg.c_factor.unwrap_or_else(|| default_c(self.graph.num_vertices()));
         let g = &self.graph;
         let t = self.cfg.window;
         let mut trials = 0u64;
@@ -99,14 +97,10 @@ impl DynamicLightNe {
             if u == v {
                 continue;
             }
-            let mut rng = XorShiftStream::new(
-                self.cfg.seed ^ (self.epoch << 32),
-                i as u64,
-            );
+            let mut rng = XorShiftStream::new(self.cfg.seed ^ (self.epoch << 32), i as u64);
             // Both orientations, like the static sampler's MapEdges.
             for (a, b) in [(u, v), (v, u)] {
-                let n_e = per_arc.floor() as u64
-                    + u64::from(rng.bernoulli(per_arc.fract()));
+                let n_e = per_arc.floor() as u64 + u64::from(rng.bernoulli(per_arc.fract()));
                 let p_e = if self.cfg.downsample {
                     edge_probability(g.degree(a), g.degree(b), c)
                 } else {
@@ -139,56 +133,17 @@ impl DynamicLightNe {
     /// randomized SVD, and (if configured) spectral propagation — without
     /// re-sampling old edges.
     pub fn reembed(&self) -> LightNeOutput {
+        self.reembed_with(RunOptions::default()).expect("pipeline without artifact i/o cannot fail")
+    }
+
+    /// [`DynamicLightNe::reembed`] with engine options (checkpointing,
+    /// resume, progress reporting).
+    pub fn reembed_with(
+        &self,
+        opts: RunOptions,
+    ) -> Result<LightNeOutput, crate::engine::EngineError> {
         assert!(self.total_trials > 0, "no edges absorbed yet");
-        let cfg = &self.cfg;
-        let mut timings = StageTimer::new();
-
-        timings.begin(crate::pipeline::STAGE_SPARSIFIER);
-        // Snapshot the table without consuming it.
-        let coo: Vec<(u32, u32, f32)> = {
-            let mut out = Vec::with_capacity(self.table.len());
-            // Non-destructive drain: rebuild from a clone of entries.
-            for (u, v, w) in self.snapshot_entries() {
-                out.push((u, v, w));
-            }
-            out
-        };
-        let netmf = sparsifier_to_netmf(&self.graph, coo, self.total_trials, cfg.negative);
-        let netmf_nnz = netmf.nnz();
-
-        timings.begin(crate::pipeline::STAGE_RSVD);
-        let svd = randomized_svd(
-            &netmf,
-            &RsvdConfig {
-                rank: cfg.dim,
-                oversampling: cfg.oversampling,
-                power_iters: cfg.power_iters,
-                seed: cfg.seed.wrapping_add(0x5EED),
-            },
-        );
-        let initial = svd.embedding();
-
-        let embedding = match &cfg.propagation {
-            Some(p) => {
-                timings.begin(crate::pipeline::STAGE_PROPAGATION);
-                crate::propagation::spectral_propagation(&self.graph, &initial, p)
-            }
-            None => initial.clone(),
-        };
-        timings.finish();
-
-        LightNeOutput {
-            embedding,
-            initial_embedding: initial,
-            sampler: SamplerStats {
-                trials: self.total_trials,
-                kept: 0,
-                distinct_entries: self.table.len(),
-                aggregator_bytes: self.table.memory_bytes(),
-            },
-            netmf_nnz,
-            timings,
-        }
+        run_pipeline(&self.cfg, &DynamicSource(self), opts)
     }
 
     /// A full, from-scratch LightNE run on the current snapshot (the
@@ -209,6 +164,43 @@ impl DynamicLightNe {
     }
 }
 
+/// [`PipelineSource`] backed by the persistent sparsifier table: the
+/// "sparsify" stage is a snapshot of accumulated mass (no re-sampling),
+/// and the sample budget is the total trials absorbed so far.
+struct DynamicSource<'a>(&'a DynamicLightNe);
+
+impl PipelineSource for DynamicSource<'_> {
+    fn num_vertices(&self) -> usize {
+        self.0.graph.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.0.graph.num_edges()
+    }
+
+    fn total_samples(&self, _cfg: &LightNeConfig) -> u64 {
+        self.0.total_trials
+    }
+
+    fn sparsify(&self, _cfg: &SamplerConfig) -> (Vec<(u32, u32, f32)>, SamplerStats) {
+        let stats = SamplerStats {
+            trials: self.0.total_trials,
+            kept: 0,
+            distinct_entries: self.0.table.len(),
+            aggregator_bytes: self.0.table.memory_bytes(),
+        };
+        (self.0.snapshot_entries(), stats)
+    }
+
+    fn netmf(&self, coo: Vec<(u32, u32, f32)>, samples: u64, negative: f64) -> CsrMatrix {
+        sparsifier_to_netmf(&self.0.graph, coo, samples, negative)
+    }
+
+    fn propagate(&self, initial: &DenseMatrix, cfg: &PropagationConfig) -> DenseMatrix {
+        crate::propagation::spectral_propagation(&self.0.graph, initial, cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,7 +213,14 @@ mod tests {
     }
 
     fn sbm_edges(n: usize, seed: u64) -> (Vec<(u32, u32)>, lightne_gen::Labels) {
-        let c = SbmConfig { n, communities: 5, avg_degree: 20.0, mixing: 0.08, overlap: 0.1, gamma: 2.5 };
+        let c = SbmConfig {
+            n,
+            communities: 5,
+            avg_degree: 20.0,
+            mixing: 0.08,
+            overlap: 0.1,
+            gamma: 2.5,
+        };
         let (g, labels) = labelled_sbm(&c, seed);
         let mut edges = Vec::new();
         for u in 0..n as u32 {

@@ -1,0 +1,693 @@
+//! The stage engine: one execution path for every staged pipeline.
+//!
+//! LightNE, its weighted variant, the dynamic re-embedder, and the staged
+//! baselines all run the same stage sequence — sparsify → NetMF
+//! conversion → randomized SVD → spectral propagation — differing only in
+//! how each stage is realized. This module factors the sequencing,
+//! instrumentation, and checkpointing out of the four call sites:
+//!
+//! * [`RunContext`] drives the stages, recording per-stage wall time,
+//!   named counters, and peak heap bytes into [`StageRecord`]s, with
+//!   deterministic per-stage RNG sub-seeds derived from the master seed
+//!   and an optional [`ProgressHook`] for live reporting.
+//! * [`PipelineSource`] abstracts what a stage *does*: the unweighted,
+//!   weighted, dynamic, and NetSMF pipelines each implement it once.
+//! * [`run_pipeline`] executes the sequence over any source, optionally
+//!   checkpointing each stage's output ([`RunOptions::save_artifacts`])
+//!   and resuming from the deepest artifact found
+//!   ([`RunOptions::resume_from`]).
+//! * [`RunStats`] is the finished record: queryable, renderable as JSON
+//!   (`--stats-json`), and convertible back into the [`StageTimer`]
+//!   breakdown the bench harness prints as the paper's Table 5.
+
+use crate::artifacts::{ArtifactStore, RunMeta, META_VERSION};
+use crate::pipeline::{LightNeConfig, LightNeOutput};
+use crate::propagation::PropagationConfig;
+use lightne_linalg::{randomized_svd, CsrMatrix, DenseMatrix, RsvdConfig};
+use lightne_sparsifier::construct::{SamplerConfig, SamplerStats};
+use lightne_utils::mem::MemUsage;
+use lightne_utils::timer::StageTimer;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// The four canonical pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Parallel sparsifier construction (PathSampling + downsampling).
+    Sparsify,
+    /// Conversion of the sparsifier into the truncated-log NetMF matrix.
+    NetMf,
+    /// Randomized SVD of the NetMF matrix.
+    Rsvd,
+    /// ProNE-style spectral propagation of the initial embedding.
+    Propagate,
+}
+
+impl StageKind {
+    /// The stage's display name (also the key in timers and stats).
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Sparsify => crate::pipeline::STAGE_SPARSIFIER,
+            StageKind::NetMf => crate::pipeline::STAGE_NETMF,
+            StageKind::Rsvd => crate::pipeline::STAGE_RSVD,
+            StageKind::Propagate => crate::pipeline::STAGE_PROPAGATION,
+        }
+    }
+}
+
+/// The finished record of one stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRecord {
+    /// Stage display name.
+    pub name: String,
+    /// Wall-clock seconds spent in the stage.
+    pub secs: f64,
+    /// Peak heap bytes attributed to the stage's main data structure(s).
+    pub heap_bytes: usize,
+    /// Named counters reported by the stage (samples drawn, nnz, …).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl StageRecord {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// Mutable view handed to a stage body for reporting counters and memory.
+#[derive(Debug, Default)]
+pub struct StageScope {
+    counters: Vec<(String, u64)>,
+    heap_bytes: usize,
+}
+
+impl StageScope {
+    /// Reports a named counter (last write wins for a repeated name).
+    pub fn counter(&mut self, name: &str, value: u64) {
+        if let Some(slot) = self.counters.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = value;
+        } else {
+            self.counters.push((name.to_string(), value));
+        }
+    }
+
+    /// Folds a structure's heap footprint into the stage's peak.
+    pub fn heap<M: MemUsage>(&mut self, m: &M) {
+        self.heap_bytes(m.heap_bytes());
+    }
+
+    /// Folds a raw byte count into the stage's peak.
+    pub fn heap_bytes(&mut self, bytes: usize) {
+        self.heap_bytes = self.heap_bytes.max(bytes);
+    }
+}
+
+/// Events delivered to a [`ProgressHook`] as stages start and finish.
+#[derive(Debug)]
+pub enum StageEvent<'a> {
+    /// A stage has begun.
+    Started {
+        /// The stage's display name.
+        name: &'a str,
+    },
+    /// A stage has completed; its full record is available.
+    Finished {
+        /// The finished stage record.
+        record: &'a StageRecord,
+    },
+}
+
+/// Callback invoked on every [`StageEvent`].
+pub type ProgressHook = Box<dyn Fn(&StageEvent<'_>) + Send + Sync>;
+
+/// Shared execution state driving a staged run.
+pub struct RunContext {
+    master_seed: u64,
+    records: Vec<StageRecord>,
+    progress: Option<ProgressHook>,
+}
+
+impl fmt::Debug for RunContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunContext")
+            .field("master_seed", &self.master_seed)
+            .field("records", &self.records)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl RunContext {
+    /// Creates a context with the given master seed.
+    pub fn new(master_seed: u64) -> Self {
+        Self { master_seed, records: Vec::new(), progress: None }
+    }
+
+    /// Creates a context that reports stage events to `hook`.
+    pub fn with_progress(master_seed: u64, hook: ProgressHook) -> Self {
+        Self { master_seed, records: Vec::new(), progress: Some(hook) }
+    }
+
+    /// The deterministic RNG sub-seed for a stage.
+    ///
+    /// Sampling stages consume the master seed directly; the randomized
+    /// SVD offsets it (so the Gaussian sketch is independent of the
+    /// sample streams), matching the constants the pipelines have always
+    /// used — resumed runs therefore reproduce straight runs exactly.
+    pub fn stage_seed(&self, kind: StageKind) -> u64 {
+        match kind {
+            StageKind::Sparsify | StageKind::NetMf => self.master_seed,
+            StageKind::Rsvd => self.master_seed.wrapping_add(0x5EED),
+            StageKind::Propagate => self.master_seed.wrapping_add(0x9A0F),
+        }
+    }
+
+    /// Runs a canonical stage. See [`RunContext::run_named`].
+    pub fn run<T>(&mut self, kind: StageKind, f: impl FnOnce(&mut StageScope) -> T) -> T {
+        self.run_named(kind.name(), f)
+    }
+
+    /// Runs `f` as a named stage: emits start/finish events, times the
+    /// body, and appends the resulting [`StageRecord`].
+    pub fn run_named<T>(&mut self, name: &str, f: impl FnOnce(&mut StageScope) -> T) -> T {
+        if let Some(hook) = &self.progress {
+            hook(&StageEvent::Started { name });
+        }
+        let mut scope = StageScope::default();
+        let started = Instant::now();
+        let out = f(&mut scope);
+        let record = StageRecord {
+            name: name.to_string(),
+            secs: started.elapsed().as_secs_f64(),
+            heap_bytes: scope.heap_bytes,
+            counters: scope.counters,
+        };
+        if let Some(hook) = &self.progress {
+            hook(&StageEvent::Finished { record: &record });
+        }
+        self.records.push(record);
+        out
+    }
+
+    /// The stage records accumulated so far.
+    pub fn records(&self) -> &[StageRecord] {
+        &self.records
+    }
+
+    /// Finalizes the context into queryable run statistics.
+    pub fn into_stats(self) -> RunStats {
+        RunStats {
+            seed: self.master_seed,
+            threads: lightne_utils::parallel::num_threads(),
+            stages: self.records,
+        }
+    }
+}
+
+/// The finished statistics of a staged run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// Master RNG seed of the run.
+    pub seed: u64,
+    /// Rayon worker threads the run executed on.
+    pub threads: usize,
+    /// Per-stage records, in execution order.
+    pub stages: Vec<StageRecord>,
+}
+
+impl RunStats {
+    /// Looks up a stage record by name.
+    pub fn get(&self, name: &str) -> Option<&StageRecord> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+
+    /// Total wall-clock seconds across all stages.
+    pub fn total_secs(&self) -> f64 {
+        self.stages.iter().map(|s| s.secs).sum()
+    }
+
+    /// Rebuilds a [`StageTimer`] breakdown from the records (for display
+    /// paths that still consume timers).
+    pub fn timer(&self) -> StageTimer {
+        let mut t = StageTimer::new();
+        for s in &self.stages {
+            t.record(s.name.clone(), Duration::from_secs_f64(s.secs));
+        }
+        t
+    }
+
+    /// Renders the stats as a JSON document (the `--stats-json` schema).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"total_secs\": {},\n", self.total_secs()));
+        out.push_str("  \"stages\": [\n");
+        for (i, s) in self.stages.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"name\": \"{}\", ", escape_json(&s.name)));
+            out.push_str(&format!("\"secs\": {}, ", s.secs));
+            out.push_str(&format!("\"heap_bytes\": {}, ", s.heap_bytes));
+            out.push_str("\"counters\": {");
+            for (j, (name, v)) in s.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": {v}", escape_json(name)));
+            }
+            out.push_str("}}");
+            out.push_str(if i + 1 < self.stages.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Errors from the stage engine (artifact I/O and resume validation).
+#[derive(Debug)]
+pub enum EngineError {
+    /// Artifact file I/O or parse failure.
+    Io(lightne_linalg::matio::MatIoError),
+    /// A resume directory is unusable or inconsistent with the run.
+    Resume(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Io(e) => write!(f, "artifact i/o: {e}"),
+            EngineError::Resume(what) => write!(f, "cannot resume: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<lightne_linalg::matio::MatIoError> for EngineError {
+    fn from(e: lightne_linalg::matio::MatIoError) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Io(lightne_linalg::matio::MatIoError::Io(e))
+    }
+}
+
+/// Per-run execution options for [`run_pipeline`].
+#[derive(Default)]
+pub struct RunOptions {
+    /// Checkpoint each stage's output into this directory.
+    pub save_artifacts: Option<PathBuf>,
+    /// Resume from the deepest artifact found in this directory.
+    pub resume_from: Option<PathBuf>,
+    /// Stage start/finish callback.
+    pub progress: Option<ProgressHook>,
+}
+
+impl fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("save_artifacts", &self.save_artifacts)
+            .field("resume_from", &self.resume_from)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+/// What a staged pipeline must provide: the realization of each stage.
+///
+/// The engine owns sequencing, timing, counters, checkpointing, and
+/// resume; implementors own the math. [`run_pipeline`] is the only
+/// driver, so every source gets artifacts, stats, and progress for free.
+pub trait PipelineSource {
+    /// Number of vertices in the underlying graph.
+    fn num_vertices(&self) -> usize;
+
+    /// Number of undirected edges (drives the sample budget).
+    fn num_edges(&self) -> usize;
+
+    /// Whether this source runs the weighted pipeline (recorded in
+    /// artifact metadata; a resume across this flag is rejected).
+    fn is_weighted(&self) -> bool {
+        false
+    }
+
+    /// Total PathSampling trials for a configuration (`M = ratio·T·m`).
+    fn total_samples(&self, cfg: &LightNeConfig) -> u64 {
+        let m = (cfg.sample_ratio * cfg.window as f64 * self.num_edges() as f64).round() as u64;
+        m.max(1)
+    }
+
+    /// Stage 1: builds the sparsifier COO and sampling statistics.
+    fn sparsify(&self, cfg: &SamplerConfig) -> (Vec<(u32, u32, f32)>, SamplerStats);
+
+    /// Stage 2: converts the sparsifier into the NetMF matrix.
+    fn netmf(&self, coo: Vec<(u32, u32, f32)>, samples: u64, negative: f64) -> CsrMatrix;
+
+    /// Stage 4: propagates the initial embedding (only called when the
+    /// configuration enables propagation).
+    fn propagate(&self, initial: &DenseMatrix, cfg: &PropagationConfig) -> DenseMatrix;
+}
+
+/// How deep into the pipeline a resume directory reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum ResumeLevel {
+    None,
+    Sparsifier,
+    NetMf,
+    Initial,
+}
+
+/// Runs the staged pipeline over `src`, with optional checkpointing and
+/// resume. This is the single execution path behind [`LightNe::embed`],
+/// [`LightNe::embed_weighted`], the dynamic re-embedder, and the staged
+/// baselines.
+///
+/// [`LightNe::embed`]: crate::pipeline::LightNe::embed
+/// [`LightNe::embed_weighted`]: crate::pipeline::LightNe::embed_weighted
+pub fn run_pipeline<S: PipelineSource>(
+    cfg: &LightNeConfig,
+    src: &S,
+    opts: RunOptions,
+) -> Result<LightNeOutput, EngineError> {
+    let mut ctx = match opts.progress {
+        Some(hook) => RunContext::with_progress(cfg.seed, hook),
+        None => RunContext::new(cfg.seed),
+    };
+
+    let store = match &opts.save_artifacts {
+        Some(dir) => Some(ArtifactStore::create(dir)?),
+        None => None,
+    };
+    let (resume, resume_meta, level) = match &opts.resume_from {
+        Some(dir) => {
+            let r = ArtifactStore::open(dir);
+            let meta = r.load_meta().map_err(|e| {
+                EngineError::Resume(format!("unreadable metadata in {}: {e}", dir.display()))
+            })?;
+            if meta.weighted != src.is_weighted() {
+                return Err(EngineError::Resume(format!(
+                    "artifacts are from a {} run, this run is {}",
+                    if meta.weighted { "weighted" } else { "unweighted" },
+                    if src.is_weighted() { "weighted" } else { "unweighted" },
+                )));
+            }
+            if meta.seed != cfg.seed {
+                return Err(EngineError::Resume(format!(
+                    "artifact seed {} != run seed {}",
+                    meta.seed, cfg.seed
+                )));
+            }
+            if meta.n != src.num_vertices() {
+                return Err(EngineError::Resume(format!(
+                    "artifact graph has {} vertices, this graph has {}",
+                    meta.n,
+                    src.num_vertices()
+                )));
+            }
+            let level = if r.has_initial() {
+                ResumeLevel::Initial
+            } else if r.has_netmf() {
+                ResumeLevel::NetMf
+            } else if r.has_sparsifier() {
+                ResumeLevel::Sparsifier
+            } else {
+                return Err(EngineError::Resume(format!(
+                    "no stage artifacts found in {}",
+                    dir.display()
+                )));
+            };
+            (Some(r), Some(meta), level)
+        }
+        None => (None, None, ResumeLevel::None),
+    };
+
+    let n = src.num_vertices();
+    let samples = match &resume_meta {
+        // The sample budget is part of the checkpointed state: downstream
+        // stages normalize by it, so a resumed run must reuse it.
+        Some(meta) => meta.samples,
+        None => src.total_samples(cfg),
+    };
+    let sampler_cfg = SamplerConfig {
+        window: cfg.window,
+        samples,
+        downsample: cfg.downsample,
+        c_factor: cfg.c_factor,
+        seed: ctx.stage_seed(StageKind::Sparsify),
+    };
+
+    let mut meta = RunMeta {
+        version: META_VERSION,
+        seed: cfg.seed,
+        weighted: src.is_weighted(),
+        n,
+        samples,
+        trials: 0,
+        kept: 0,
+        distinct_entries: 0,
+        aggregator_bytes: 0,
+        netmf_nnz: None,
+    };
+
+    // Stage 1: sparsifier construction (or replay from artifacts).
+    let (coo, sampler) = ctx.run(StageKind::Sparsify, |scope| -> Result<_, EngineError> {
+        let (coo, stats) = if level >= ResumeLevel::Sparsifier {
+            let m = resume_meta.as_ref().expect("resume level implies meta");
+            scope.counter("resumed", 1);
+            let stats = SamplerStats {
+                trials: m.trials,
+                kept: m.kept,
+                distinct_entries: m.distinct_entries,
+                aggregator_bytes: m.aggregator_bytes,
+            };
+            // Only materialize the COO when the next stage will consume it.
+            let coo = if level == ResumeLevel::Sparsifier {
+                let r = resume.as_ref().expect("resume level implies store");
+                let (_, _, entries) = r.load_sparsifier()?;
+                Some(entries)
+            } else {
+                None
+            };
+            (coo, stats)
+        } else {
+            let (coo, stats) = src.sparsify(&sampler_cfg);
+            if let Some(store) = &store {
+                store.save_sparsifier(n, &coo)?;
+            }
+            (Some(coo), stats)
+        };
+        scope.counter("trials", stats.trials);
+        scope.counter("kept", stats.kept);
+        scope.counter("distinct_entries", stats.distinct_entries as u64);
+        scope.heap_bytes(stats.aggregator_bytes);
+        Ok((coo, stats))
+    })?;
+    meta.trials = sampler.trials;
+    meta.kept = sampler.kept;
+    meta.distinct_entries = sampler.distinct_entries;
+    meta.aggregator_bytes = sampler.aggregator_bytes;
+    if let Some(store) = &store {
+        store.save_meta(&meta)?;
+    }
+
+    // Stage 2: NetMF conversion (or replay).
+    let netmf = ctx.run(StageKind::NetMf, |scope| -> Result<_, EngineError> {
+        let m = if level >= ResumeLevel::NetMf {
+            scope.counter("resumed", 1);
+            if let Some(nnz) = resume_meta.as_ref().and_then(|m| m.netmf_nnz) {
+                scope.counter("nnz", nnz as u64);
+            }
+            // Only materialize the matrix when the SVD will consume it.
+            if level == ResumeLevel::NetMf {
+                let r = resume.as_ref().expect("resume level implies store");
+                let m = r.load_netmf()?;
+                scope.counter("nnz", m.nnz() as u64);
+                scope.heap(&m);
+                Some(m)
+            } else {
+                None
+            }
+        } else {
+            let coo = coo.expect("fresh sparsify stage always yields a COO");
+            let m = src.netmf(coo, samples, cfg.negative);
+            scope.counter("nnz", m.nnz() as u64);
+            scope.heap(&m);
+            if let Some(store) = &store {
+                store.save_netmf(&m)?;
+            }
+            Some(m)
+        };
+        Ok(m)
+    })?;
+    let netmf_nnz = netmf
+        .as_ref()
+        .map(CsrMatrix::nnz)
+        .or_else(|| resume_meta.as_ref().and_then(|m| m.netmf_nnz))
+        .unwrap_or(0);
+    meta.netmf_nnz = Some(netmf_nnz);
+    if let Some(store) = &store {
+        store.save_meta(&meta)?;
+    }
+
+    // Stage 3: randomized SVD (or replay).
+    let rsvd_seed = ctx.stage_seed(StageKind::Rsvd);
+    let initial = ctx.run(StageKind::Rsvd, |scope| -> Result<_, EngineError> {
+        let x = if level >= ResumeLevel::Initial {
+            scope.counter("resumed", 1);
+            let r = resume.as_ref().expect("resume level implies store");
+            r.load_initial()?
+        } else {
+            let m = netmf.as_ref().expect("svd without netmf matrix");
+            let svd = randomized_svd(
+                m,
+                &RsvdConfig {
+                    rank: cfg.dim,
+                    oversampling: cfg.oversampling,
+                    power_iters: cfg.power_iters,
+                    seed: rsvd_seed,
+                },
+            );
+            let x = svd.embedding();
+            if let Some(store) = &store {
+                store.save_initial(&x)?;
+            }
+            x
+        };
+        scope.counter("rank", cfg.dim as u64);
+        scope.heap(&x);
+        Ok(x)
+    })?;
+
+    // Stage 4: spectral propagation (skipped when disabled; the initial
+    // embedding is then *moved* into the output, not cloned).
+    let (embedding, initial_embedding) = match &cfg.propagation {
+        Some(pcfg) => {
+            let emb = ctx.run(StageKind::Propagate, |scope| {
+                let e = src.propagate(&initial, pcfg);
+                scope.heap(&e);
+                e
+            });
+            (emb, Some(initial))
+        }
+        None => (initial, None),
+    };
+
+    let stats = ctx.into_stats();
+    let timings = stats.timer();
+    Ok(LightNeOutput { embedding, initial_embedding, sampler, netmf_nnz, timings, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_seeds_are_distinct_and_deterministic() {
+        let ctx = RunContext::new(42);
+        assert_eq!(ctx.stage_seed(StageKind::Sparsify), 42);
+        assert_eq!(ctx.stage_seed(StageKind::NetMf), 42);
+        assert_eq!(ctx.stage_seed(StageKind::Rsvd), 42 + 0x5EED);
+        assert_eq!(ctx.stage_seed(StageKind::Propagate), 42 + 0x9A0F);
+    }
+
+    #[test]
+    fn run_records_counters_heap_and_order() {
+        let mut ctx = RunContext::new(7);
+        let out = ctx.run(StageKind::Sparsify, |scope| {
+            scope.counter("trials", 100);
+            scope.counter("trials", 150); // last write wins
+            scope.heap_bytes(64);
+            scope.heap_bytes(32); // peak, not last
+            "done"
+        });
+        assert_eq!(out, "done");
+        ctx.run_named("extra", |_| ());
+        let stats = ctx.into_stats();
+        assert_eq!(stats.stages.len(), 2);
+        let s = stats.get(StageKind::Sparsify.name()).unwrap();
+        assert_eq!(s.counter("trials"), Some(150));
+        assert_eq!(s.heap_bytes, 64);
+        assert!(stats.get("extra").is_some());
+        assert!(stats.threads >= 1);
+    }
+
+    #[test]
+    fn progress_hook_sees_start_and_finish() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let starts = Arc::new(AtomicU64::new(0));
+        let finishes = Arc::new(AtomicU64::new(0));
+        let (s, f) = (starts.clone(), finishes.clone());
+        let mut ctx = RunContext::with_progress(
+            1,
+            Box::new(move |ev| match ev {
+                StageEvent::Started { .. } => {
+                    s.fetch_add(1, Ordering::Relaxed);
+                }
+                StageEvent::Finished { record } => {
+                    assert!(record.secs >= 0.0);
+                    f.fetch_add(1, Ordering::Relaxed);
+                }
+            }),
+        );
+        ctx.run(StageKind::Rsvd, |_| ());
+        ctx.run(StageKind::Propagate, |_| ());
+        assert_eq!(starts.load(Ordering::Relaxed), 2);
+        assert_eq!(finishes.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let mut ctx = RunContext::new(9);
+        ctx.run(StageKind::Sparsify, |scope| {
+            scope.counter("trials", 10);
+            scope.heap_bytes(1024);
+        });
+        let stats = ctx.into_stats();
+        let json = stats.to_json();
+        assert!(json.contains("\"seed\": 9"));
+        assert!(json.contains("\"threads\":"));
+        assert!(json.contains("\"total_secs\":"));
+        assert!(json.contains("\"parallel sparsifier construction\""));
+        assert!(json.contains("\"trials\": 10"));
+        assert!(json.contains("\"heap_bytes\": 1024"));
+    }
+
+    #[test]
+    fn timer_rebuild_matches_records() {
+        let mut ctx = RunContext::new(3);
+        ctx.run(StageKind::Sparsify, |_| ());
+        ctx.run(StageKind::Rsvd, |_| ());
+        let stats = ctx.into_stats();
+        let t = stats.timer();
+        let names: Vec<_> = t.stages().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names, [StageKind::Sparsify.name(), StageKind::Rsvd.name()]);
+        assert!((t.total().as_secs_f64() - stats.total_secs()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny"), "x\\ny");
+    }
+}

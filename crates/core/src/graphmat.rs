@@ -97,10 +97,7 @@ mod tests {
 
     #[test]
     fn weighted_transition_rows_stochastic() {
-        let g = lightne_graph::WeightedGraph::from_edges(
-            3,
-            &[(0, 1, 2.0), (1, 2, 3.0)],
-        );
+        let g = lightne_graph::WeightedGraph::from_edges(3, &[(0, 1, 2.0), (1, 2, 3.0)]);
         let p = weighted_transition_with_self_loops(&g);
         for i in 0..3 {
             let s: f32 = p.row(i).1.iter().sum();
@@ -179,9 +176,8 @@ mod tests {
             let x: Vec<f32> = (0..60).map(|_| rng.gaussian() as f32).collect();
             let lx = l.mul_vec(&x);
             // xᵀ D (Lx)
-            let quad: f64 = (0..60)
-                .map(|i| g.degree(i as u32) as f64 * x[i] as f64 * lx[i] as f64)
-                .sum();
+            let quad: f64 =
+                (0..60).map(|i| g.degree(i as u32) as f64 * x[i] as f64 * lx[i] as f64).sum();
             assert!(quad > -1e-3, "quadratic form negative: {quad}");
         }
     }

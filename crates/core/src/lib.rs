@@ -36,13 +36,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod dynamic;
+pub mod engine;
 pub mod graphmat;
 pub mod pipeline;
 pub mod propagation;
 pub mod spectral;
 
+pub use artifacts::{ArtifactStore, RunMeta};
 pub use dynamic::DynamicLightNe;
+pub use engine::{
+    run_pipeline, EngineError, PipelineSource, RunContext, RunOptions, RunStats, StageKind,
+    StageRecord,
+};
 pub use pipeline::{LightNe, LightNeConfig, LightNeOutput};
 pub use propagation::{spectral_propagation, PropagationConfig};
 pub use spectral::{estimate_spectral_gap, SpectralGap};

@@ -6,9 +6,10 @@
 //! so the same pipeline runs on the uncompressed CSR or the parallel-byte
 //! compressed graph.
 
+use crate::engine::{run_pipeline, EngineError, PipelineSource, RunOptions, RunStats};
 use crate::propagation::{spectral_propagation, PropagationConfig};
 use lightne_graph::GraphOps;
-use lightne_linalg::{randomized_svd, DenseMatrix, RsvdConfig};
+use lightne_linalg::{CsrMatrix, DenseMatrix};
 use lightne_sparsifier::construct::{build_sparsifier, SamplerConfig, SamplerStats};
 use lightne_sparsifier::netmf::sparsifier_to_netmf;
 use lightne_utils::timer::StageTimer;
@@ -75,13 +76,25 @@ pub struct LightNeOutput {
     /// The final `n × d` embedding.
     pub embedding: DenseMatrix,
     /// The initial (pre-propagation) embedding, kept for ablations.
-    pub initial_embedding: DenseMatrix,
+    /// `None` when propagation is disabled — the initial embedding then
+    /// *is* [`LightNeOutput::embedding`] (moved, not cloned).
+    pub initial_embedding: Option<DenseMatrix>,
     /// Sampling statistics (trials, kept, distinct entries, memory).
     pub sampler: SamplerStats,
     /// Non-zeros of the factorized NetMF matrix.
     pub netmf_nnz: usize,
     /// Per-stage wall-clock breakdown (Table 5 rows).
     pub timings: StageTimer,
+    /// Full per-stage run statistics (wall time, counters, heap bytes).
+    pub stats: RunStats,
+}
+
+impl LightNeOutput {
+    /// The initial (pre-propagation) embedding. When propagation was
+    /// disabled the final embedding *is* the initial one.
+    pub fn initial(&self) -> &DenseMatrix {
+        self.initial_embedding.as_ref().unwrap_or(&self.embedding)
+    }
 }
 
 /// The LightNE system.
@@ -93,9 +106,70 @@ pub struct LightNe {
 /// Stage name used in [`LightNeOutput::timings`].
 pub const STAGE_SPARSIFIER: &str = "parallel sparsifier construction";
 /// Stage name used in [`LightNeOutput::timings`].
+pub const STAGE_NETMF: &str = "netmf conversion";
+/// Stage name used in [`LightNeOutput::timings`].
 pub const STAGE_RSVD: &str = "randomized svd";
 /// Stage name used in [`LightNeOutput::timings`].
 pub const STAGE_PROPAGATION: &str = "spectral propagation";
+
+/// [`PipelineSource`] for the unweighted pipeline over any [`GraphOps`]
+/// graph (uncompressed CSR or parallel-byte compressed).
+pub struct UnweightedSource<'a, G: GraphOps>(pub &'a G);
+
+impl<G: GraphOps> PipelineSource for UnweightedSource<'_, G> {
+    fn num_vertices(&self) -> usize {
+        self.0.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.0.num_edges()
+    }
+
+    fn sparsify(&self, cfg: &SamplerConfig) -> (Vec<(u32, u32, f32)>, SamplerStats) {
+        build_sparsifier(self.0, cfg)
+    }
+
+    fn netmf(&self, coo: Vec<(u32, u32, f32)>, samples: u64, negative: f64) -> CsrMatrix {
+        sparsifier_to_netmf(self.0, coo, samples, negative)
+    }
+
+    fn propagate(&self, initial: &DenseMatrix, cfg: &PropagationConfig) -> DenseMatrix {
+        spectral_propagation(self.0, initial, cfg)
+    }
+}
+
+/// [`PipelineSource`] for the weighted pipeline: weight-proportional
+/// PathSampling, the weighted NetMF inversion, and propagation over the
+/// weighted operators.
+pub struct WeightedSource<'a>(pub &'a lightne_graph::WeightedGraph);
+
+impl PipelineSource for WeightedSource<'_> {
+    fn num_vertices(&self) -> usize {
+        self.0.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.0.num_edges()
+    }
+
+    fn is_weighted(&self) -> bool {
+        true
+    }
+
+    fn sparsify(&self, cfg: &SamplerConfig) -> (Vec<(u32, u32, f32)>, SamplerStats) {
+        lightne_sparsifier::weighted::build_weighted_sparsifier(self.0, cfg)
+    }
+
+    fn netmf(&self, coo: Vec<(u32, u32, f32)>, samples: u64, negative: f64) -> CsrMatrix {
+        lightne_sparsifier::weighted::weighted_sparsifier_to_netmf(self.0, coo, samples, negative)
+    }
+
+    fn propagate(&self, initial: &DenseMatrix, cfg: &PropagationConfig) -> DenseMatrix {
+        let da = crate::graphmat::weighted_transition_with_self_loops(self.0);
+        let ai = crate::graphmat::weighted_adjacency_plus_i(self.0);
+        crate::propagation::spectral_propagation_matrices(&da, &ai, initial, cfg)
+    }
+}
 
 impl LightNe {
     /// Creates a pipeline with the given configuration.
@@ -113,105 +187,42 @@ impl LightNe {
     /// PathSampling (Theorem 3.1's general form), the weighted NetMF
     /// inversion, and propagation over the weighted operators.
     pub fn embed_weighted(&self, g: &lightne_graph::WeightedGraph) -> LightNeOutput {
-        let cfg = &self.cfg;
-        let mut timings = StageTimer::new();
+        self.embed_weighted_with(g, RunOptions::default())
+            .expect("pipeline without artifact i/o cannot fail")
+    }
 
-        timings.begin(STAGE_SPARSIFIER);
-        let samples =
-            (cfg.sample_ratio * cfg.window as f64 * g.num_edges() as f64).round() as u64;
-        let sampler_cfg = lightne_sparsifier::construct::SamplerConfig {
-            window: cfg.window,
-            samples: samples.max(1),
-            downsample: cfg.downsample,
-            c_factor: cfg.c_factor,
-            seed: cfg.seed,
-        };
-        let (coo, sampler) =
-            lightne_sparsifier::weighted::build_weighted_sparsifier(g, &sampler_cfg);
-        let netmf = lightne_sparsifier::weighted::weighted_sparsifier_to_netmf(
-            g,
-            coo,
-            sampler_cfg.samples,
-            cfg.negative,
-        );
-        let netmf_nnz = netmf.nnz();
-
-        timings.begin(STAGE_RSVD);
-        let svd = randomized_svd(
-            &netmf,
-            &RsvdConfig {
-                rank: cfg.dim,
-                oversampling: cfg.oversampling,
-                power_iters: cfg.power_iters,
-                seed: cfg.seed.wrapping_add(0x5EED),
-            },
-        );
-        let initial = svd.embedding();
-
-        let embedding = match &cfg.propagation {
-            Some(pcfg) => {
-                timings.begin(STAGE_PROPAGATION);
-                let da = crate::graphmat::weighted_transition_with_self_loops(g);
-                let ai = crate::graphmat::weighted_adjacency_plus_i(g);
-                crate::propagation::spectral_propagation_matrices(&da, &ai, &initial, pcfg)
-            }
-            None => initial.clone(),
-        };
-        timings.finish();
-
-        LightNeOutput { embedding, initial_embedding: initial, sampler, netmf_nnz, timings }
+    /// Weighted pipeline with engine options (checkpointing, resume,
+    /// progress reporting).
+    pub fn embed_weighted_with(
+        &self,
+        g: &lightne_graph::WeightedGraph,
+        opts: RunOptions,
+    ) -> Result<LightNeOutput, EngineError> {
+        run_pipeline(&self.cfg, &WeightedSource(g), opts)
     }
 
     /// Runs the full pipeline on `g`.
     pub fn embed<G: GraphOps>(&self, g: &G) -> LightNeOutput {
-        let cfg = &self.cfg;
-        let mut timings = StageTimer::new();
+        self.embed_with(g, RunOptions::default())
+            .expect("pipeline without artifact i/o cannot fail")
+    }
 
-        // Stage 1: sparsifier construction + NetMF matrix.
-        timings.begin(STAGE_SPARSIFIER);
-        let samples =
-            (cfg.sample_ratio * cfg.window as f64 * g.num_edges() as f64).round() as u64;
-        let sampler_cfg = SamplerConfig {
-            window: cfg.window,
-            samples: samples.max(1),
-            downsample: cfg.downsample,
-            c_factor: cfg.c_factor,
-            seed: cfg.seed,
-        };
-        let (coo, sampler) = build_sparsifier(g, &sampler_cfg);
-        let netmf = sparsifier_to_netmf(g, coo, sampler_cfg.samples, cfg.negative);
-        let netmf_nnz = netmf.nnz();
-
-        // Stage 2: randomized SVD → X = U Σ^{1/2}.
-        timings.begin(STAGE_RSVD);
-        let rsvd_cfg = RsvdConfig {
-            rank: cfg.dim,
-            oversampling: cfg.oversampling,
-            power_iters: cfg.power_iters,
-            seed: cfg.seed.wrapping_add(0x5EED),
-        };
-        let svd = randomized_svd(&netmf, &rsvd_cfg);
-        let initial = svd.embedding();
-
-        // Stage 3: spectral propagation.
-        let embedding = match &cfg.propagation {
-            Some(pcfg) => {
-                timings.begin(STAGE_PROPAGATION);
-                spectral_propagation(g, &initial, pcfg)
-            }
-            None => initial.clone(),
-        };
-        timings.finish();
-
-        LightNeOutput { embedding, initial_embedding: initial, sampler, netmf_nnz, timings }
+    /// Unweighted pipeline with engine options (checkpointing, resume,
+    /// progress reporting).
+    pub fn embed_with<G: GraphOps>(
+        &self,
+        g: &G,
+        opts: RunOptions,
+    ) -> Result<LightNeOutput, EngineError> {
+        run_pipeline(&self.cfg, &UnweightedSource(g), opts)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lightne_gen::sbm::{labelled_sbm, SbmConfig};
     use lightne_gen::generators::erdos_renyi;
+    use lightne_gen::sbm::{labelled_sbm, SbmConfig};
     use lightne_graph::CompressedGraph;
 
     fn tiny_cfg() -> LightNeConfig {
@@ -233,7 +244,14 @@ mod tests {
         assert!(out.netmf_nnz > 0);
         assert!(out.sampler.trials > 0);
         let names: Vec<_> = out.timings.stages().iter().map(|s| s.name.clone()).collect();
-        assert_eq!(names, [STAGE_SPARSIFIER, STAGE_RSVD, STAGE_PROPAGATION]);
+        assert_eq!(names, [STAGE_SPARSIFIER, STAGE_NETMF, STAGE_RSVD, STAGE_PROPAGATION]);
+        // The engine's stats mirror the timer and carry the counters.
+        assert_eq!(out.stats.stages.len(), 4);
+        let sp = out.stats.get(STAGE_SPARSIFIER).unwrap();
+        assert_eq!(sp.counter("trials"), Some(out.sampler.trials));
+        assert!(sp.heap_bytes > 0);
+        let nm = out.stats.get(STAGE_NETMF).unwrap();
+        assert_eq!(nm.counter("nnz"), Some(out.netmf_nnz as u64));
     }
 
     #[test]
@@ -242,11 +260,9 @@ mod tests {
         let cfg = LightNeConfig { propagation: None, ..tiny_cfg() };
         let out = LightNe::new(cfg).embed(&g);
         assert!(out.timings.get(STAGE_PROPAGATION).is_none());
-        assert!(out
-            .embedding
-            .max_abs_diff(&out.initial_embedding)
-            .abs()
-            < 1e-9);
+        // The initial embedding is *moved* into the output, not cloned.
+        assert!(out.initial_embedding.is_none());
+        assert_eq!(out.initial().max_abs_diff(&out.embedding), 0.0);
     }
 
     #[test]
@@ -272,7 +288,14 @@ mod tests {
     fn embedding_separates_communities() {
         // The qualitative claim behind all accuracy tables: LightNE
         // embeddings place same-community vertices closer.
-        let cfg = SbmConfig { n: 800, communities: 4, avg_degree: 24.0, mixing: 0.05, overlap: 0.0, gamma: 2.5 };
+        let cfg = SbmConfig {
+            n: 800,
+            communities: 4,
+            avg_degree: 24.0,
+            mixing: 0.05,
+            overlap: 0.0,
+            gamma: 2.5,
+        };
         let (g, labels) = labelled_sbm(&cfg, 5);
         let out = LightNe::new(tiny_cfg()).embed(&g);
         let y = &out.embedding;
@@ -305,7 +328,14 @@ mod tests {
         // RNG consumption, so outputs are statistically — not bitwise —
         // equal; compare community separation).
         use lightne_graph::WeightedGraph;
-        let cfg = SbmConfig { n: 500, communities: 4, avg_degree: 20.0, mixing: 0.05, overlap: 0.0, gamma: 2.5 };
+        let cfg = SbmConfig {
+            n: 500,
+            communities: 4,
+            avg_degree: 20.0,
+            mixing: 0.05,
+            overlap: 0.0,
+            gamma: 2.5,
+        };
         let (g, labels) = labelled_sbm(&cfg, 8);
         let gw = WeightedGraph::from_unweighted(&g);
         let pipe = LightNe::new(tiny_cfg());
@@ -368,10 +398,7 @@ mod tests {
         };
         let intra = dot(y.row(1), y.row(2));
         let inter = dot(y.row(1), y.row(12));
-        assert!(
-            intra > inter + 0.2,
-            "cliques not separated: intra {intra:.3} vs inter {inter:.3}"
-        );
+        assert!(intra > inter + 0.2, "cliques not separated: intra {intra:.3} vs inter {inter:.3}");
     }
 
     #[test]

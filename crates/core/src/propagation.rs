@@ -165,11 +165,7 @@ mod tests {
     }
 
     /// Community-separation score of an embedding on labelled data.
-    fn separation(
-        y: &DenseMatrix,
-        labels: &lightne_gen::Labels,
-        n: usize,
-    ) -> f64 {
+    fn separation(y: &DenseMatrix, labels: &lightne_gen::Labels, n: usize) -> f64 {
         let mut yn = y.clone();
         yn.normalize_rows();
         let cos = |a: &[f32], b: &[f32]| -> f64 {
@@ -200,7 +196,14 @@ mod tests {
         // from indicator + heavy noise, separation must increase.
         let n = 600;
         let k = 4;
-        let cfg = SbmConfig { n, communities: k, avg_degree: 20.0, mixing: 0.05, overlap: 0.0, gamma: 2.5 };
+        let cfg = SbmConfig {
+            n,
+            communities: k,
+            avg_degree: 20.0,
+            mixing: 0.05,
+            overlap: 0.0,
+            gamma: 2.5,
+        };
         let (g, labels) = labelled_sbm(&cfg, 7);
         let mut x = DenseMatrix::gaussian(n, 8, 8);
         for i in 0..n {

@@ -132,19 +132,14 @@ pub fn train_test_split(labels: &Labels, train_ratio: f64, seed: u64) -> (Vec<us
         let j = rng.bounded_usize(i + 1);
         vertices.swap(i, j);
     }
-    let cut = ((vertices.len() as f64 * train_ratio).round() as usize)
-        .max(1)
-        .min(vertices.len() - 1);
+    let cut =
+        ((vertices.len() as f64 * train_ratio).round() as usize).max(1).min(vertices.len() - 1);
     let test = vertices.split_off(cut);
     (vertices, test)
 }
 
 /// Computes Micro/Macro F1 for predicted vs true label sets.
-pub fn f1_scores(
-    num_labels: usize,
-    truth: &[&[u16]],
-    predicted: &[Vec<u16>],
-) -> F1Scores {
+pub fn f1_scores(num_labels: usize, truth: &[&[u16]], predicted: &[Vec<u16>]) -> F1Scores {
     assert_eq!(truth.len(), predicted.len());
     let mut tp = vec![0u64; num_labels];
     let mut fp = vec![0u64; num_labels];
@@ -163,8 +158,7 @@ pub fn f1_scores(
             }
         }
     }
-    let (tps, fps, fns): (u64, u64, u64) =
-        (tp.iter().sum(), fp.iter().sum(), fnn.iter().sum());
+    let (tps, fps, fns): (u64, u64, u64) = (tp.iter().sum(), fp.iter().sum(), fnn.iter().sum());
     let micro = if 2 * tps + fps + fns == 0 {
         0.0
     } else {

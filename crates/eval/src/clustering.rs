@@ -72,10 +72,7 @@ pub fn kmeans(x: &DenseMatrix, k: usize, max_iters: usize, seed: u64) -> KMeansR
         };
         centers.push(x.row(next).to_vec());
         let c = centers.last().unwrap();
-        dist2
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(i, dd)| *dd = dd.min(sq_dist(x.row(i), c)));
+        dist2.par_iter_mut().enumerate().for_each(|(i, dd)| *dd = dd.min(sq_dist(x.row(i), c)));
     }
 
     // Lloyd iterations.
@@ -100,11 +97,7 @@ pub fn kmeans(x: &DenseMatrix, k: usize, max_iters: usize, seed: u64) -> KMeansR
                 best
             })
             .collect();
-        let changed = new_assign
-            .iter()
-            .zip(&assignment)
-            .filter(|(a, b)| a != b)
-            .count();
+        let changed = new_assign.iter().zip(&assignment).filter(|(a, b)| a != b).count();
         assignment = new_assign;
         // Update.
         let mut sums = vec![vec![0.0f64; d]; k];
@@ -127,10 +120,8 @@ pub fn kmeans(x: &DenseMatrix, k: usize, max_iters: usize, seed: u64) -> KMeansR
         }
     }
 
-    let inertia = (0..n)
-        .into_par_iter()
-        .map(|i| sq_dist(x.row(i), &centers[assignment[i] as usize]))
-        .sum();
+    let inertia =
+        (0..n).into_par_iter().map(|i| sq_dist(x.row(i), &centers[assignment[i] as usize])).sum();
     KMeansResult { assignment, inertia, iterations }
 }
 
@@ -185,7 +176,12 @@ pub fn nmi(a: &[u32], b: &[u32]) -> f64 {
 mod tests {
     use super::*;
 
-    fn blobs(n_per: usize, centers: &[(f32, f32)], spread: f32, seed: u64) -> (DenseMatrix, Vec<u32>) {
+    fn blobs(
+        n_per: usize,
+        centers: &[(f32, f32)],
+        spread: f32,
+        seed: u64,
+    ) -> (DenseMatrix, Vec<u32>) {
         let n = n_per * centers.len();
         let mut x = DenseMatrix::zeros(n, 2);
         let mut truth = Vec::with_capacity(n);

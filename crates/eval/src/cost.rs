@@ -6,11 +6,10 @@
 //! E48 v3, NetSMF and LightNE (1.5–1.7 TB RAM) → M128s. We reproduce the
 //! same table and arithmetic.
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Azure instance types from Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AzureInstance {
     /// NC24s v2: 24 vCores, 448 GiB, 4×P100 — $8.28/h.
     Nc24sV2,
@@ -76,12 +75,9 @@ impl CostModel {
     /// Renders the Table 2 hardware/pricing rows.
     pub fn table2() -> String {
         let mut out = String::from("Instance    vCores  RAM(GiB)  GPUs  $/h\n");
-        for inst in [
-            AzureInstance::Nc24sV2,
-            AzureInstance::E48V3,
-            AzureInstance::M64,
-            AzureInstance::M128s,
-        ] {
+        for inst in
+            [AzureInstance::Nc24sV2, AzureInstance::E48V3, AzureInstance::M64, AzureInstance::M128s]
+        {
             let (c, r, g) = inst.specs();
             out.push_str(&format!(
                 "{:<11} {:<7} {:<9} {:<5} {}\n",

@@ -34,9 +34,7 @@ pub fn split_edges(g: &Graph, holdout: f64, seed: u64) -> (Graph, Vec<(VertexId,
     let mut rng = XorShiftStream::new(seed, 0);
     let mut held = Vec::new();
     let mut kept = Vec::new();
-    let mut deg: Vec<usize> = (0..g.num_vertices())
-        .map(|v| g.degree(v as VertexId))
-        .collect();
+    let mut deg: Vec<usize> = (0..g.num_vertices()).map(|v| g.degree(v as VertexId)).collect();
     for u in 0..g.num_vertices() as VertexId {
         for &v in g.neighbors(u) {
             if u < v {
@@ -55,11 +53,7 @@ pub fn split_edges(g: &Graph, holdout: f64, seed: u64) -> (Graph, Vec<(VertexId,
 
 #[inline]
 fn score(x: &DenseMatrix, u: VertexId, v: VertexId) -> f64 {
-    x.row(u as usize)
-        .iter()
-        .zip(x.row(v as usize))
-        .map(|(&a, &b)| a as f64 * b as f64)
-        .sum()
+    x.row(u as usize).iter().zip(x.row(v as usize)).map(|(&a, &b)| a as f64 * b as f64).sum()
 }
 
 /// Ranks each positive against corrupted negatives and computes the

@@ -13,10 +13,7 @@ use rayon::prelude::*;
 /// Erdős–Rényi `G(n, m)`: `m` uniformly random edges.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
     let edges = parallel_edges(m, seed, move |rng| {
-        (
-            rng.bounded_usize(n) as VertexId,
-            rng.bounded_usize(n) as VertexId,
-        )
+        (rng.bounded_usize(n) as VertexId, rng.bounded_usize(n) as VertexId)
     });
     GraphBuilder::from_edges(n, &edges)
 }
@@ -178,11 +175,7 @@ mod tests {
         assert_eq!(g.num_vertices(), 2000);
         // Preferential attachment must create hubs far above the mean.
         let mean = g.num_arcs() as f64 / 2000.0;
-        assert!(
-            g.max_degree() as f64 > 8.0 * mean,
-            "max degree {} vs mean {mean}",
-            g.max_degree()
-        );
+        assert!(g.max_degree() as f64 > 8.0 * mean, "max degree {} vs mean {mean}", g.max_degree());
         // Every non-seed vertex attaches to >= 1 distinct target.
         for v in 0..2000u32 {
             assert!(g.degree(v) >= 1, "vertex {v} isolated");

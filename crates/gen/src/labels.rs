@@ -48,9 +48,7 @@ impl Labels {
 
     /// Vertices that have at least one label.
     pub fn labelled_vertices(&self) -> Vec<usize> {
-        (0..self.per_vertex.len())
-            .filter(|&v| !self.per_vertex[v].is_empty())
-            .collect()
+        (0..self.per_vertex.len()).filter(|&v| !self.per_vertex[v].is_empty()).collect()
     }
 
     /// Mean number of labels per labelled vertex.
@@ -100,14 +98,10 @@ pub fn read_labels(path: impl AsRef<std::path::Path>) -> std::io::Result<Labels>
         }
         if let Some(rest) = t.strip_prefix('#') {
             let mut it = rest.split_whitespace();
-            num_vertices = it
-                .next()
-                .and_then(|x| x.parse().ok())
-                .ok_or_else(|| bad("bad header".into()))?;
-            num_labels = it
-                .next()
-                .and_then(|x| x.parse().ok())
-                .ok_or_else(|| bad("bad header".into()))?;
+            num_vertices =
+                it.next().and_then(|x| x.parse().ok()).ok_or_else(|| bad("bad header".into()))?;
+            num_labels =
+                it.next().and_then(|x| x.parse().ok()).ok_or_else(|| bad("bad header".into()))?;
             continue;
         }
         let mut it = t.split_whitespace();
@@ -125,11 +119,7 @@ pub fn read_labels(path: impl AsRef<std::path::Path>) -> std::io::Result<Labels>
         per_vertex[v] = ls;
     }
     let k = num_labels.max(
-        per_vertex
-            .iter()
-            .flat_map(|ls| ls.iter().map(|&l| l as usize + 1))
-            .max()
-            .unwrap_or(1),
+        per_vertex.iter().flat_map(|ls| ls.iter().map(|&l| l as usize + 1)).max().unwrap_or(1),
     );
     Ok(Labels::new(k, per_vertex))
 }

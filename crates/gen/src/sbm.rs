@@ -90,10 +90,7 @@ pub fn labelled_sbm(cfg: &SbmConfig, seed: u64) -> (Graph, Labels) {
             let j = rng.bounded_usize(i + 1);
             ranks.swap(i, j);
         }
-        ranks
-            .into_iter()
-            .map(|r| ((r + 1) as f64).powf(exponent))
-            .collect()
+        ranks.into_iter().map(|r| ((r + 1) as f64).powf(exponent)).collect()
     };
 
     // Per-community alias tables over member activity.
@@ -103,9 +100,7 @@ pub fn labelled_sbm(cfg: &SbmConfig, seed: u64) -> (Graph, Labels) {
             if ms.len() < 2 {
                 None
             } else {
-                Some(AliasTable::new(
-                    &ms.iter().map(|&v| activity[v as usize]).collect::<Vec<_>>(),
-                ))
+                Some(AliasTable::new(&ms.iter().map(|&v| activity[v as usize]).collect::<Vec<_>>()))
             }
         })
         .collect();
@@ -115,10 +110,8 @@ pub fn labelled_sbm(cfg: &SbmConfig, seed: u64) -> (Graph, Labels) {
     let m_total = (n as f64 * cfg.avg_degree / 2.0) as usize;
     let m_background = (m_total as f64 * cfg.mixing) as usize;
     let m_intra = m_total - m_background;
-    let comm_activity: Vec<f64> = members
-        .iter()
-        .map(|ms| ms.iter().map(|&v| activity[v as usize]).sum::<f64>())
-        .collect();
+    let comm_activity: Vec<f64> =
+        members.iter().map(|ms| ms.iter().map(|&v| activity[v as usize]).sum::<f64>()).collect();
     let total_activity: f64 = comm_activity.iter().sum();
 
     let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(m_total);
@@ -150,7 +143,14 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> SbmConfig {
-        SbmConfig { n: 2000, communities: 10, avg_degree: 20.0, mixing: 0.1, overlap: 0.2, gamma: 2.5 }
+        SbmConfig {
+            n: 2000,
+            communities: 10,
+            avg_degree: 20.0,
+            mixing: 0.1,
+            overlap: 0.2,
+            gamma: 2.5,
+        }
     }
 
     #[test]

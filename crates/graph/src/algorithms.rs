@@ -193,11 +193,8 @@ pub fn pagerank<G: GraphOps>(g: &G, alpha: f64, tol: f64, max_iters: usize) -> (
     let mut iters = 0;
     for it in 0..max_iters {
         iters = it + 1;
-        let dangling: f64 = (0..n)
-            .into_par_iter()
-            .filter(|&v| g.degree(v as VertexId) == 0)
-            .map(|v| rank[v])
-            .sum();
+        let dangling: f64 =
+            (0..n).into_par_iter().filter(|&v| g.degree(v as VertexId) == 0).map(|v| rank[v]).sum();
         let base = (1.0 - alpha) / n as f64 + alpha * dangling / n as f64;
         let next: Vec<f64> = (0..n as VertexId)
             .into_par_iter()
@@ -209,11 +206,7 @@ pub fn pagerank<G: GraphOps>(g: &G, alpha: f64, tol: f64, max_iters: usize) -> (
                 base + alpha * acc
             })
             .collect();
-        let delta: f64 = next
-            .par_iter()
-            .zip(rank.par_iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = next.par_iter().zip(rank.par_iter()).map(|(a, b)| (a - b).abs()).sum();
         rank = next;
         if delta < tol {
             break;
@@ -248,10 +241,7 @@ pub struct GraphStats {
 pub fn graph_stats<G: GraphOps>(g: &G) -> GraphStats {
     let labels = connected_components(g);
     let (components, largest_component) = component_summary(&labels);
-    let max_degree = (0..g.num_vertices())
-        .map(|v| g.degree(v as VertexId))
-        .max()
-        .unwrap_or(0);
+    let max_degree = (0..g.num_vertices()).map(|v| g.degree(v as VertexId)).max().unwrap_or(0);
     GraphStats {
         vertices: g.num_vertices(),
         edges: g.num_edges(),
@@ -378,9 +368,8 @@ mod tests {
     fn stats_consistent_across_representations() {
         use lightne_utils::rng::XorShiftStream;
         let mut rng = XorShiftStream::new(4, 0);
-        let edges: Vec<(u32, u32)> = (0..2000)
-            .map(|_| (rng.bounded(300) as u32, rng.bounded(300) as u32))
-            .collect();
+        let edges: Vec<(u32, u32)> =
+            (0..2000).map(|_| (rng.bounded(300) as u32, rng.bounded(300) as u32)).collect();
         let g = GraphBuilder::from_edges(300, &edges);
         let c = CompressedGraph::from_graph(&g);
         assert_eq!(graph_stats(&g), graph_stats(&c));

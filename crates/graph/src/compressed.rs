@@ -152,8 +152,8 @@ impl CompressedGraph {
         let mut data = vec![0u8; total];
         let mut slices: Vec<&mut [u8]> = Vec::with_capacity(n);
         let mut rest: &mut [u8] = &mut data;
-        for v in 0..n {
-            let (head, tail) = rest.split_at_mut(sizes[v] as usize);
+        for &size in sizes.iter().take(n) {
+            let (head, tail) = rest.split_at_mut(size as usize);
             slices.push(head);
             rest = tail;
         }
@@ -231,7 +231,8 @@ impl CompressedGraph {
             table_bytes
         } else {
             let at = (b - 1) * 4;
-            let off = u32::from_le_bytes([region[at], region[at + 1], region[at + 2], region[at + 3]]);
+            let off =
+                u32::from_le_bytes([region[at], region[at + 1], region[at + 2], region[at + 3]]);
             table_bytes + off as usize
         }
     }
@@ -306,7 +307,9 @@ impl CompressedGraph {
 
 impl MemUsage for CompressedGraph {
     fn heap_bytes(&self) -> usize {
-        self.vertex_byte_offsets.heap_bytes() + self.arc_offsets.heap_bytes() + self.data.heap_bytes()
+        self.vertex_byte_offsets.heap_bytes()
+            + self.arc_offsets.heap_bytes()
+            + self.data.heap_bytes()
     }
 }
 
@@ -318,9 +321,8 @@ mod tests {
 
     fn random_graph(n: usize, m: usize, seed: u64) -> Graph {
         let mut rng = XorShiftStream::new(seed, 0);
-        let edges: Vec<(u32, u32)> = (0..m)
-            .map(|_| (rng.bounded_usize(n) as u32, rng.bounded_usize(n) as u32))
-            .collect();
+        let edges: Vec<(u32, u32)> =
+            (0..m).map(|_| (rng.bounded_usize(n) as u32, rng.bounded_usize(n) as u32)).collect();
         GraphBuilder::from_edges(n, &edges)
     }
 

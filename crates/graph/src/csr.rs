@@ -32,15 +32,9 @@ impl Graph {
             neighbors.len() as u64,
             "offsets must end at neighbors.len()"
         );
-        assert!(
-            offsets.windows(2).all(|w| w[0] <= w[1]),
-            "offsets must be non-decreasing"
-        );
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be non-decreasing");
         let n = offsets.len() - 1;
-        assert!(
-            neighbors.iter().all(|&v| (v as usize) < n),
-            "neighbor id out of range"
-        );
+        assert!(neighbors.iter().all(|&v| (v as usize) < n), "neighbor id out of range");
         Self { offsets, neighbors }
     }
 

@@ -90,9 +90,7 @@ impl VertexSubset {
                 v.sort_unstable();
                 v
             }
-            VertexSubset::Dense(b) => (0..b.len() as VertexId)
-                .filter(|&v| b[v as usize])
-                .collect(),
+            VertexSubset::Dense(b) => (0..b.len() as VertexId).filter(|&v| b[v as usize]).collect(),
         }
     }
 
@@ -144,12 +142,7 @@ where
 }
 
 /// Push-mode `edge_map` (always sparse output representation).
-pub fn edge_map_sparse<G, U, C>(
-    g: &G,
-    frontier: &VertexSubset,
-    update: U,
-    cond: C,
-) -> VertexSubset
+pub fn edge_map_sparse<G, U, C>(g: &G, frontier: &VertexSubset, update: U, cond: C) -> VertexSubset
 where
     G: GraphOps,
     U: Fn(VertexId, VertexId) -> bool + Sync + Send,
@@ -163,10 +156,7 @@ where
         .flat_map_iter(|&u| {
             let mut local = Vec::new();
             g.for_each_neighbor(u, &mut |v| {
-                if cond(v)
-                    && update(u, v)
-                    && !claimed[v as usize].swap(true, Ordering::Relaxed)
-                {
+                if cond(v) && update(u, v) && !claimed[v as usize].swap(true, Ordering::Relaxed) {
                     local.push(v);
                 }
             });
@@ -178,12 +168,7 @@ where
 
 /// Pull-mode `edge_map`: every candidate target scans its (in-)neighbors
 /// for a frontier member, stopping at the first successful update.
-pub fn edge_map_dense<G, U, C>(
-    g: &G,
-    frontier: &VertexSubset,
-    update: U,
-    cond: C,
-) -> VertexSubset
+pub fn edge_map_dense<G, U, C>(g: &G, frontier: &VertexSubset, update: U, cond: C) -> VertexSubset
 where
     G: GraphOps,
     U: Fn(VertexId, VertexId) -> bool + Sync + Send,
@@ -217,10 +202,9 @@ where
 {
     match subset {
         VertexSubset::Sparse(ids) => ids.par_iter().for_each(|&v| f(v)),
-        VertexSubset::Dense(b) => (0..b.len() as VertexId)
-            .into_par_iter()
-            .filter(|&v| b[v as usize])
-            .for_each(f),
+        VertexSubset::Dense(b) => {
+            (0..b.len() as VertexId).into_par_iter().filter(|&v| b[v as usize]).for_each(f)
+        }
     }
 }
 

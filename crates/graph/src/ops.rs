@@ -45,9 +45,7 @@ pub trait GraphOps: Sync {
         F: Fn(VertexId) + Sync + Send,
         Self: Sized,
     {
-        (0..self.num_vertices() as VertexId)
-            .into_par_iter()
-            .for_each(f);
+        (0..self.num_vertices() as VertexId).into_par_iter().for_each(f);
     }
 
     /// Parallel map over all arcs: `f(u, v, arc_index)` for every directed
@@ -60,16 +58,14 @@ pub trait GraphOps: Sync {
         F: Fn(VertexId, VertexId, u64) + Sync + Send,
         Self: Sized,
     {
-        (0..self.num_vertices() as VertexId)
-            .into_par_iter()
-            .for_each(|u| {
-                let base = self.first_arc_index(u);
-                let mut i = 0u64;
-                self.for_each_neighbor(u, &mut |v| {
-                    f(u, v, base + i);
-                    i += 1;
-                });
+        (0..self.num_vertices() as VertexId).into_par_iter().for_each(|u| {
+            let base = self.first_arc_index(u);
+            let mut i = 0u64;
+            self.for_each_neighbor(u, &mut |v| {
+                f(u, v, base + i);
+                i += 1;
             });
+        });
     }
 
     /// Parallel degree histogram: `out[v] = deg(v)`.
@@ -156,7 +152,7 @@ impl GraphOps for CompressedGraph {
     }
 
     fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
-        CompressedGraph::for_each_neighbor(self, v, |u| f(u));
+        CompressedGraph::for_each_neighbor(self, v, f);
     }
 
     #[inline]
@@ -214,7 +210,8 @@ mod tests {
     fn map_edges_compressed_matches_uncompressed() {
         let g = path_graph(64);
         let c = CompressedGraph::from_graph(&g);
-        let collect = |g: &dyn Fn(&mut Vec<(u32, u32, u64)>)| {
+        type ArcList = Vec<(u32, u32, u64)>;
+        let collect = |g: &dyn Fn(&mut ArcList)| {
             let mut v = Vec::new();
             g(&mut v);
             v.sort_unstable();

@@ -13,7 +13,12 @@ use lightne_utils::rng::XorShiftStream;
 /// final vertex. A walk stops early (stays put) only at an isolated vertex,
 /// which cannot occur when the walk starts from an endpoint of an edge.
 #[inline]
-pub fn walk<G: GraphOps>(g: &G, start: VertexId, steps: usize, rng: &mut XorShiftStream) -> VertexId {
+pub fn walk<G: GraphOps>(
+    g: &G,
+    start: VertexId,
+    steps: usize,
+    rng: &mut XorShiftStream,
+) -> VertexId {
     let mut cur = start;
     for _ in 0..steps {
         let deg = g.degree(cur);
@@ -103,7 +108,8 @@ mod tests {
 
     #[test]
     fn walk_same_on_compressed_graph() {
-        let edges: Vec<(u32, u32)> = (0..999).map(|v| (v, v + 1)).chain((0..500).map(|v| (v, v + 500))).collect();
+        let edges: Vec<(u32, u32)> =
+            (0..999).map(|v| (v, v + 1)).chain((0..500).map(|v| (v, v + 500))).collect();
         let g = GraphBuilder::from_edges(1000, &edges);
         let c = CompressedGraph::from_graph(&g);
         for seed in 0..20 {

@@ -203,15 +203,13 @@ impl WeightedGraph {
     where
         F: Fn(VertexId, VertexId, f32, u64) + Sync + Send,
     {
-        (0..self.num_vertices() as VertexId)
-            .into_par_iter()
-            .for_each(|u| {
-                let base = self.first_arc_index(u);
-                let (nb, ws) = self.neighbors(u);
-                for (i, (&v, &w)) in nb.iter().zip(ws).enumerate() {
-                    f(u, v, w, base + i as u64);
-                }
-            });
+        (0..self.num_vertices() as VertexId).into_par_iter().for_each(|u| {
+            let base = self.first_arc_index(u);
+            let (nb, ws) = self.neighbors(u);
+            for (i, (&v, &w)) in nb.iter().zip(ws).enumerate() {
+                f(u, v, w, base + i as u64);
+            }
+        });
     }
 }
 

@@ -2,10 +2,19 @@
 //! hash table of Maier et al., as used by LightNE).
 //!
 //! Open addressing with linear probing over a power-of-two slot array.
-//! Each slot is an atomic key plus an atomic `f32` weight. Claiming a slot
-//! is a single CAS on the key; weight accumulation is an atomic CAS-add.
+//! Each slot is an atomic key plus an atomic weight. Claiming a slot is a
+//! single CAS on the key; weight accumulation is a single `fetch_add`.
 //! There are no deletions (the workload never removes samples), which is
 //! what keeps the folklore design correct.
+//!
+//! **Weights are fixed-point**: each `f32` delta is rounded to a multiple
+//! of 2⁻²⁰ and accumulated as an integer `fetch_add` on a `u64`. Integer
+//! addition is exactly commutative and associative, so the accumulated
+//! weights — and therefore the whole downstream pipeline — are bitwise
+//! identical regardless of how sampling threads interleave. (A CAS-loop
+//! float add would make the result depend on the add *order*.) With 20
+//! fractional bits the quantization error is < 1e-6 per add, far below the
+//! sampling estimator's own noise, and 43 integer bits of headroom remain.
 //!
 //! Resizing: the table starts at a capacity derived from the expected
 //! number of distinct edges and doubles under a brief stop-the-world
@@ -14,11 +23,23 @@
 //! and wait-free with respect to other inserts.
 
 use crate::{pack_key, unpack_key, EdgeAggregator};
-use lightne_utils::atomic::AtomicF32;
 use lightne_utils::rng::mix2;
 use parking_lot::RwLock;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Fixed-point scale: 20 fractional bits.
+const FIXED_ONE: f64 = (1u64 << 20) as f64;
+
+#[inline]
+fn to_fixed(w: f32) -> u64 {
+    (w as f64 * FIXED_ONE).round() as u64
+}
+
+#[inline]
+fn from_fixed(raw: u64) -> f32 {
+    (raw as f64 / FIXED_ONE) as f32
+}
 
 /// Sentinel for an empty slot. `u64::MAX` never collides with a packed
 /// edge because vertex ids are `u32` and `(u32::MAX, u32::MAX)` would be a
@@ -30,7 +51,8 @@ const MAX_LOAD: f64 = 0.7;
 
 struct Slots {
     keys: Vec<AtomicU64>,
-    weights: Vec<AtomicF32>,
+    /// Fixed-point accumulated weights (see module docs).
+    weights: Vec<AtomicU64>,
     mask: usize,
 }
 
@@ -38,22 +60,23 @@ impl Slots {
     fn new(capacity_pow2: usize) -> Self {
         Self {
             keys: (0..capacity_pow2).map(|_| AtomicU64::new(EMPTY)).collect(),
-            weights: (0..capacity_pow2).map(|_| AtomicF32::new(0.0)).collect(),
+            weights: (0..capacity_pow2).map(|_| AtomicU64::new(0)).collect(),
             mask: capacity_pow2 - 1,
         }
     }
 
-    /// Adds `w` to `key`'s slot. Returns `Ok(true)` if a fresh slot was
-    /// claimed, `Ok(false)` if an existing slot was updated, and `Err(())`
-    /// if the probe sequence found no free slot (table critically full).
-    fn add(&self, key: u64, w: f32) -> Result<bool, ()> {
+    /// Adds the fixed-point delta `raw` to `key`'s slot. Returns `Ok(true)`
+    /// if a fresh slot was claimed, `Ok(false)` if an existing slot was
+    /// updated, and `Err(())` if the probe sequence found no free slot
+    /// (table critically full).
+    fn add(&self, key: u64, raw: u64) -> Result<bool, ()> {
         let mut idx = (mix2(0x9E37_79B9, key) as usize) & self.mask;
         // Bound the probe length so a pathological fill fails loudly into
         // the resize path instead of spinning.
         for _ in 0..=self.mask {
             let k = self.keys[idx].load(Ordering::Acquire);
             if k == key {
-                self.weights[idx].fetch_add(w);
+                self.weights[idx].fetch_add(raw, Ordering::Relaxed);
                 return Ok(false);
             }
             if k == EMPTY {
@@ -64,18 +87,18 @@ impl Slots {
                     Ordering::Acquire,
                 ) {
                     Ok(_) => {
-                        self.weights[idx].fetch_add(w);
+                        self.weights[idx].fetch_add(raw, Ordering::Relaxed);
                         return Ok(true);
                     }
                     Err(actual) if actual == key => {
-                        self.weights[idx].fetch_add(w);
+                        self.weights[idx].fetch_add(raw, Ordering::Relaxed);
                         return Ok(false);
                     }
                     Err(_) => { /* someone else claimed it; keep probing */ }
                 }
                 // Re-examine this slot: it may now hold our key.
                 if self.keys[idx].load(Ordering::Acquire) == key {
-                    self.weights[idx].fetch_add(w);
+                    self.weights[idx].fetch_add(raw, Ordering::Relaxed);
                     return Ok(false);
                 }
             }
@@ -140,7 +163,8 @@ impl ConcurrentEdgeTable {
         for (k, w) in guard.keys.iter().zip(guard.weights.iter()) {
             let key = k.load(Ordering::Relaxed);
             if key != EMPTY {
-                new.add(key, w.load()).expect("fresh table cannot be full");
+                // Transfer the raw fixed-point value: no re-rounding.
+                new.add(key, w.load(Ordering::Relaxed)).expect("fresh table cannot be full");
             }
         }
         *guard = new;
@@ -149,10 +173,11 @@ impl ConcurrentEdgeTable {
     /// Adds `weight` to edge `(u, v)`.
     pub fn add_edge(&self, u: u32, v: u32, weight: f32) {
         let key = pack_key(u, v);
+        let raw = to_fixed(weight);
         loop {
             {
                 let guard = self.inner.read();
-                match guard.add(key, weight) {
+                match guard.add(key, raw) {
                     Ok(fresh) => {
                         if fresh {
                             let new_len = self.len.fetch_add(1, Ordering::Relaxed) + 1;
@@ -207,7 +232,7 @@ impl ConcurrentEdgeTable {
                     None
                 } else {
                     let (u, v) = unpack_key(key);
-                    Some((u, v, w.load()))
+                    Some((u, v, from_fixed(w.load(Ordering::Relaxed))))
                 }
             })
             .collect()
@@ -220,7 +245,7 @@ impl ConcurrentEdgeTable {
         let mut idx = (mix2(0x9E37_79B9, key) as usize) & guard.mask;
         for _ in 0..=guard.mask {
             match guard.keys[idx].load(Ordering::Acquire) {
-                k if k == key => return guard.weights[idx].load(),
+                k if k == key => return from_fixed(guard.weights[idx].load(Ordering::Relaxed)),
                 EMPTY => return 0.0,
                 _ => idx = (idx + 1) & guard.mask,
             }
@@ -239,8 +264,8 @@ impl EdgeAggregator for ConcurrentEdgeTable {
     }
 
     fn memory_bytes(&self) -> usize {
-        // One u64 key + one f32 weight per slot.
-        self.capacity() * (std::mem::size_of::<u64>() + std::mem::size_of::<f32>())
+        // One u64 key + one u64 fixed-point weight per slot.
+        self.capacity() * (2 * std::mem::size_of::<u64>())
     }
 
     fn into_coo(self) -> Vec<(u32, u32, f32)> {
@@ -255,7 +280,7 @@ impl EdgeAggregator for ConcurrentEdgeTable {
                     None
                 } else {
                     let (u, v) = unpack_key(key);
-                    Some((u, v, w.load()))
+                    Some((u, v, from_fixed(w.load(Ordering::Relaxed))))
                 }
             })
             .collect()

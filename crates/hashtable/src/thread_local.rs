@@ -27,9 +27,8 @@ impl Default for ThreadLocalAggregator {
 impl ThreadLocalAggregator {
     /// Creates one shard per rayon worker (plus one for non-pool callers).
     pub fn new() -> Self {
-        let shards = (0..rayon::current_num_threads() + 1)
-            .map(|_| Mutex::new(Vec::new()))
-            .collect();
+        let shards =
+            (0..rayon::current_num_threads() + 1).map(|_| Mutex::new(Vec::new())).collect();
         Self { shards }
     }
 

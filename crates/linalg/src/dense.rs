@@ -72,15 +72,12 @@ impl DenseMatrix {
     /// filled in parallel with one deterministic stream per row.
     pub fn gaussian(rows: usize, cols: usize, seed: u64) -> Self {
         let mut m = Self::zeros(rows, cols);
-        m.data
-            .par_chunks_mut(cols.max(1))
-            .enumerate()
-            .for_each(|(i, row)| {
-                let mut rng = XorShiftStream::new(seed, i as u64);
-                for x in row {
-                    *x = rng.gaussian() as f32;
-                }
-            });
+        m.data.par_chunks_mut(cols.max(1)).enumerate().for_each(|(i, row)| {
+            let mut rng = XorShiftStream::new(seed, i as u64);
+            for x in row {
+                *x = rng.gaussian() as f32;
+            }
+        });
         m
     }
 
@@ -179,12 +176,15 @@ impl DenseMatrix {
     /// products, so the big dimension is traversed once.
     pub fn gram_tn(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.rows, other.rows, "gram shape mismatch");
-        let (r, c, k) = (self.rows, self.cols, other.cols);
-        let chunk = lightne_utils::parallel::par_chunk_size(r);
-        let partial = self
+        let (_r, c, k) = (self.rows, self.cols, other.cols);
+        // Fixed row-block size (not derived from the thread count) and a
+        // sequential fold in block order: the accumulation bracketing is
+        // identical at any pool size, so the result is bitwise reproducible.
+        const GRAM_BLOCK_ROWS: usize = 4096;
+        let blocks: Vec<Vec<f64>> = self
             .data
-            .par_chunks(chunk * c)
-            .zip(other.data.par_chunks(chunk * k))
+            .par_chunks(GRAM_BLOCK_ROWS * c)
+            .zip(other.data.par_chunks(GRAM_BLOCK_ROWS * k))
             .map(|(ablock, bblock)| {
                 let mut local = vec![0.0f64; c * k];
                 for (arow, brow) in ablock.chunks_exact(c).zip(bblock.chunks_exact(k)) {
@@ -197,16 +197,14 @@ impl DenseMatrix {
                 }
                 local
             })
-            .reduce(
-                || vec![0.0f64; c * k],
-                |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
-                        *x += y;
-                    }
-                    a
-                },
-            );
-        DenseMatrix::from_vec(c, k, partial.into_iter().map(|x| x as f32).collect())
+            .collect();
+        let mut acc = vec![0.0f64; c * k];
+        for block in blocks {
+            for (x, y) in acc.iter_mut().zip(block) {
+                *x += y;
+            }
+        }
+        DenseMatrix::from_vec(c, k, acc.into_iter().map(|x| x as f32).collect())
     }
 
     /// Scales every entry by `s`, in parallel.
@@ -217,10 +215,7 @@ impl DenseMatrix {
     /// `self += s · other`, in parallel.
     pub fn axpy(&mut self, s: f32, other: &DenseMatrix) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data
-            .par_iter_mut()
-            .zip(other.data.par_iter())
-            .for_each(|(a, &b)| *a += s * b);
+        self.data.par_iter_mut().zip(other.data.par_iter()).for_each(|(a, &b)| *a += s * b);
     }
 
     /// Applies `f` to every entry, in parallel.
@@ -256,11 +251,7 @@ impl DenseMatrix {
 
     /// Frobenius norm, accumulated in `f64`.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data
-            .par_iter()
-            .map(|&x| (x as f64) * (x as f64))
-            .sum::<f64>()
-            .sqrt()
+        self.data.par_iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
     }
 
     /// Maximum absolute entry difference to another matrix (∞-distance).
@@ -271,6 +262,12 @@ impl DenseMatrix {
             .zip(other.data.par_iter())
             .map(|(&a, &b)| (a - b).abs())
             .reduce(|| 0.0, f32::max)
+    }
+}
+
+impl lightne_utils::mem::MemUsage for DenseMatrix {
+    fn heap_bytes(&self) -> usize {
+        lightne_utils::mem::MemUsage::heap_bytes(&self.data)
     }
 }
 

@@ -50,8 +50,8 @@ pub fn symmetric_eigs(a: &CsrMatrix, k: usize, iters: usize, seed: u64) -> Eigen
     // Rayleigh–Ritz: diagonalize the projected matrix T = Qᵀ A Q.
     let aq = a.spmm(&q);
     let t = q.gram_tn(&aq); // block × block, symmetric
-    // Jacobi SVD of symmetric T gives |λ| and vectors; recover signs via
-    // the Rayleigh quotient of each Ritz vector.
+                            // Jacobi SVD of symmetric T gives |λ| and vectors; recover signs via
+                            // the Rayleigh quotient of each Ritz vector.
     let svd = jacobi_svd(&t);
     let ritz = q.matmul(&svd.u); // n × block
 
@@ -63,9 +63,7 @@ pub fn symmetric_eigs(a: &CsrMatrix, k: usize, iters: usize, seed: u64) -> Eigen
             col.set(i, 0, ritz.get(i, j));
         }
         let av = a.spmm(&col);
-        let quot: f64 = (0..n)
-            .map(|i| col.get(i, 0) as f64 * av.get(i, 0) as f64)
-            .sum();
+        let quot: f64 = (0..n).map(|i| col.get(i, 0) as f64 * av.get(i, 0) as f64).sum();
         let lambda = if quot >= 0.0 { svd.sigma[j] } else { -svd.sigma[j] };
         pairs.push((lambda, j));
     }

@@ -108,6 +108,154 @@ pub fn read_matrix(path: impl AsRef<Path>) -> Result<DenseMatrix, MatIoError> {
     Ok(DenseMatrix::from_vec(rows, cols, data))
 }
 
+/// Writes a COO entry list as text: a `#coo rows cols nnz` header, then
+/// one `row col weight` triple per line.
+///
+/// Weights are written with Rust's shortest-round-trip `f32` formatting,
+/// so a write/read cycle is bitwise lossless — checkpointed artifacts
+/// resume to exactly the state that was saved.
+pub fn write_coo(
+    path: impl AsRef<Path>,
+    n_rows: usize,
+    n_cols: usize,
+    entries: &[(u32, u32, f32)],
+) -> Result<(), MatIoError> {
+    let mut w = BufWriter::with_capacity(1 << 20, File::create(path)?);
+    writeln!(w, "#coo {n_rows} {n_cols} {}", entries.len())?;
+    for &(r, c, v) in entries {
+        writeln!(w, "{r} {c} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Shape and entries of a COO file: `(n_rows, n_cols, entries)`.
+pub type CooData = (usize, usize, Vec<(u32, u32, f32)>);
+
+/// Reads a COO file written by [`write_coo`]; returns `(n_rows, n_cols,
+/// entries)` with entries in file order.
+pub fn read_coo(path: impl AsRef<Path>) -> Result<CooData, MatIoError> {
+    let reader = BufReader::with_capacity(1 << 20, File::open(path)?);
+    let mut shape: Option<(usize, usize, usize)> = None;
+    let mut entries: Vec<(u32, u32, f32)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("#coo") {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next(), it.next()) {
+                (Some(r), Some(c), Some(z)) => {
+                    let parse = |s: &str| {
+                        s.parse::<usize>()
+                            .map_err(|e| MatIoError::Parse(lineno + 1, format!("{e}")))
+                    };
+                    shape = Some((parse(r)?, parse(c)?, parse(z)?));
+                }
+                _ => {
+                    return Err(MatIoError::Parse(lineno + 1, "malformed #coo header".into()));
+                }
+            }
+            continue;
+        }
+        if t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (r, c, v) = match (it.next(), it.next(), it.next()) {
+            (Some(r), Some(c), Some(v)) => (r, c, v),
+            _ => return Err(MatIoError::Parse(lineno + 1, "expected `row col weight`".into())),
+        };
+        let r: u32 = r.parse().map_err(|e| MatIoError::Parse(lineno + 1, format!("{e}")))?;
+        let c: u32 = c.parse().map_err(|e| MatIoError::Parse(lineno + 1, format!("{e}")))?;
+        let v: f32 = v.parse().map_err(|e| MatIoError::Parse(lineno + 1, format!("{e}")))?;
+        entries.push((r, c, v));
+    }
+    let (n_rows, n_cols, nnz) =
+        shape.ok_or_else(|| MatIoError::Parse(0, "missing #coo header".into()))?;
+    if entries.len() != nnz {
+        return Err(MatIoError::Parse(
+            0,
+            format!("header says {nnz} entries, body has {}", entries.len()),
+        ));
+    }
+    Ok((n_rows, n_cols, entries))
+}
+
+/// Writes a CSR matrix as a COO triple list with a `#csr rows cols nnz`
+/// header (same body format as [`write_coo`]).
+pub fn write_csr(m: &crate::sparse::CsrMatrix, path: impl AsRef<Path>) -> Result<(), MatIoError> {
+    let mut w = BufWriter::with_capacity(1 << 20, File::create(path)?);
+    writeln!(w, "#csr {} {} {}", m.n_rows(), m.n_cols(), m.nnz())?;
+    for i in 0..m.n_rows() {
+        let (cols, vals) = m.row(i);
+        for (&c, &v) in cols.iter().zip(vals) {
+            writeln!(w, "{i} {c} {v}")?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a CSR file written by [`write_csr`] and rebuilds the matrix.
+///
+/// Reconstruction goes through [`CsrMatrix::from_coo`]
+/// (sort-by-key, no duplicate keys on disk), so the rebuilt matrix is
+/// bitwise identical to the one that was written.
+///
+/// [`CsrMatrix::from_coo`]: crate::sparse::CsrMatrix::from_coo
+pub fn read_csr(path: impl AsRef<Path>) -> Result<crate::sparse::CsrMatrix, MatIoError> {
+    let reader = BufReader::with_capacity(1 << 20, File::open(path)?);
+    let mut shape: Option<(usize, usize, usize)> = None;
+    let mut entries: Vec<(u32, u32, f32)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("#csr") {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next(), it.next()) {
+                (Some(r), Some(c), Some(z)) => {
+                    let parse = |s: &str| {
+                        s.parse::<usize>()
+                            .map_err(|e| MatIoError::Parse(lineno + 1, format!("{e}")))
+                    };
+                    shape = Some((parse(r)?, parse(c)?, parse(z)?));
+                }
+                _ => {
+                    return Err(MatIoError::Parse(lineno + 1, "malformed #csr header".into()));
+                }
+            }
+            continue;
+        }
+        if t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (r, c, v) = match (it.next(), it.next(), it.next()) {
+            (Some(r), Some(c), Some(v)) => (r, c, v),
+            _ => return Err(MatIoError::Parse(lineno + 1, "expected `row col value`".into())),
+        };
+        let r: u32 = r.parse().map_err(|e| MatIoError::Parse(lineno + 1, format!("{e}")))?;
+        let c: u32 = c.parse().map_err(|e| MatIoError::Parse(lineno + 1, format!("{e}")))?;
+        let v: f32 = v.parse().map_err(|e| MatIoError::Parse(lineno + 1, format!("{e}")))?;
+        entries.push((r, c, v));
+    }
+    let (n_rows, n_cols, nnz) =
+        shape.ok_or_else(|| MatIoError::Parse(0, "missing #csr header".into()))?;
+    if entries.len() != nnz {
+        return Err(MatIoError::Parse(
+            0,
+            format!("header says {nnz} entries, body has {}", entries.len()),
+        ));
+    }
+    Ok(crate::sparse::CsrMatrix::from_coo(n_rows, n_cols, entries))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +302,55 @@ mod tests {
         std::fs::write(&p, "# 3 2\n1 2\n3 4\n").unwrap();
         assert!(matches!(read_matrix(&p), Err(MatIoError::Parse(0, _))));
         std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn coo_roundtrip_is_bitwise() {
+        let entries = vec![
+            (0u32, 3u32, 1.5f32),
+            (2, 1, 0.123_456_79),
+            (4, 4, -7.25e-3),
+            (1, 0, f32::MIN_POSITIVE),
+        ];
+        let p = tmp("coo.txt");
+        write_coo(&p, 5, 5, &entries).unwrap();
+        let (r, c, got) = read_coo(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!((r, c), (5, 5));
+        assert_eq!(got.len(), entries.len());
+        for ((ru, rv, rw), (gu, gv, gw)) in entries.iter().zip(&got) {
+            assert_eq!((ru, rv), (gu, gv));
+            assert_eq!(rw.to_bits(), gw.to_bits(), "weight not bitwise round-tripped");
+        }
+    }
+
+    #[test]
+    fn coo_nnz_mismatch_rejected() {
+        let p = tmp("coo_bad.txt");
+        std::fs::write(&p, "#coo 3 3 2\n0 1 1.0\n").unwrap();
+        assert!(read_coo(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn csr_roundtrip_is_bitwise() {
+        let coo = vec![(0u32, 1u32, 0.3f32), (0, 2, 1.7), (3, 0, -2.5), (2, 2, 0.0625)];
+        let m = crate::sparse::CsrMatrix::from_coo(4, 4, coo);
+        let p = tmp("csr.txt");
+        write_csr(&m, &p).unwrap();
+        let m2 = read_csr(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(m.n_rows(), m2.n_rows());
+        assert_eq!(m.n_cols(), m2.n_cols());
+        assert_eq!(m.nnz(), m2.nnz());
+        for i in 0..m.n_rows() {
+            let (ac, av) = m.row(i);
+            let (bc, bv) = m2.row(i);
+            assert_eq!(ac, bc);
+            for (x, y) in av.iter().zip(bv) {
+                assert_eq!(x.to_bits(), y.to_bits(), "row {i} not bitwise identical");
+            }
+        }
     }
 
     #[test]

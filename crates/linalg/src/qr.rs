@@ -17,14 +17,21 @@ use rayon::prelude::*;
 /// Threshold below which vector ops stay sequential.
 const PAR_THRESHOLD: usize = 1 << 14;
 
+/// Fixed block length for the parallel dot product. Independent of the
+/// thread count so the summation bracketing — and hence the rounded
+/// result — is bitwise identical at any pool size.
+const DOT_BLOCK: usize = 1 << 13;
+
 fn par_dot(a: &[f32], b: &[f32]) -> f64 {
     if a.len() < PAR_THRESHOLD {
         crate::dense::dot(a, b)
     } else {
-        a.par_iter()
-            .zip(b.par_iter())
-            .map(|(&x, &y)| x as f64 * y as f64)
-            .sum()
+        let partials: Vec<f64> = a
+            .par_chunks(DOT_BLOCK)
+            .zip(b.par_chunks(DOT_BLOCK))
+            .map(|(x, y)| crate::dense::dot(x, y))
+            .collect();
+        partials.iter().sum()
     }
 }
 

@@ -41,7 +41,7 @@ pub struct RsvdConfig {
 
 impl Default for RsvdConfig {
     fn default() -> Self {
-        Self { rank: 128, oversampling: 16, power_iters: 1, seed: 0x51D5_EED }
+        Self { rank: 128, oversampling: 16, power_iters: 1, seed: 0x051D_5EED }
     }
 }
 
@@ -201,7 +201,8 @@ mod tests {
     fn embedding_shape_and_scaling() {
         let lambda = [4.0f32, 1.0];
         let (a, _) = known_spectrum(30, &lambda, 5);
-        let svd = randomized_svd(&a, &RsvdConfig { rank: 2, oversampling: 8, power_iters: 2, seed: 4 });
+        let svd =
+            randomized_svd(&a, &RsvdConfig { rank: 2, oversampling: 8, power_iters: 2, seed: 4 });
         let x = svd.embedding();
         assert_eq!(x.rows(), 30);
         assert_eq!(x.cols(), 2);
@@ -222,7 +223,8 @@ mod tests {
             coo.push((i as u32, ((i + 1) % n) as u32, 2.0));
         }
         let a = CsrMatrix::from_coo(n, n, coo);
-        let svd = randomized_svd(&a, &RsvdConfig { rank: 4, oversampling: 8, power_iters: 2, seed: 6 });
+        let svd =
+            randomized_svd(&a, &RsvdConfig { rank: 4, oversampling: 8, power_iters: 2, seed: 6 });
         // A cyclic permutation scaled by 2 has all singular values = 2.
         for s in &svd.sigma {
             assert!((s - 2.0).abs() < 0.05, "sigma {s}");
@@ -232,7 +234,8 @@ mod tests {
     #[test]
     fn rank_larger_than_n_clamped() {
         let (a, _) = known_spectrum(6, &[3.0, 1.0], 8);
-        let svd = randomized_svd(&a, &RsvdConfig { rank: 50, oversampling: 10, power_iters: 1, seed: 7 });
+        let svd =
+            randomized_svd(&a, &RsvdConfig { rank: 50, oversampling: 10, power_iters: 1, seed: 7 });
         assert_eq!(svd.u.cols(), 6);
         assert_eq!(svd.sigma.len(), 6);
     }

@@ -70,7 +70,13 @@ impl CsrMatrix {
 
     /// The zero matrix.
     pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
-        Self { n_rows, n_cols, row_ptr: vec![0; n_rows + 1], col_idx: Vec::new(), values: Vec::new() }
+        Self {
+            n_rows,
+            n_cols,
+            row_ptr: vec![0; n_rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// The identity matrix.
@@ -126,18 +132,15 @@ impl CsrMatrix {
         assert_eq!(self.n_cols, x.rows(), "spmm shape mismatch");
         let d = x.cols();
         let mut out = DenseMatrix::zeros(self.n_rows, d);
-        out.as_mut_slice()
-            .par_chunks_mut(d.max(1))
-            .enumerate()
-            .for_each(|(i, orow)| {
-                let (cols, vals) = self.row(i);
-                for (&c, &v) in cols.iter().zip(vals) {
-                    let xrow = x.row(c as usize);
-                    for (o, &xv) in orow.iter_mut().zip(xrow) {
-                        *o += v * xv;
-                    }
+        out.as_mut_slice().par_chunks_mut(d.max(1)).enumerate().for_each(|(i, orow)| {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let xrow = x.row(c as usize);
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += v * xv;
                 }
-            });
+            }
+        });
         out
     }
 
@@ -148,10 +151,8 @@ impl CsrMatrix {
             .into_par_iter()
             .map(|i| {
                 let (cols, vals) = self.row(i);
-                cols.iter()
-                    .zip(vals)
-                    .map(|(&c, &v)| v as f64 * x[c as usize] as f64)
-                    .sum::<f64>() as f32
+                cols.iter().zip(vals).map(|(&c, &v)| v as f64 * x[c as usize] as f64).sum::<f64>()
+                    as f32
             })
             .collect()
     }
@@ -162,10 +163,7 @@ impl CsrMatrix {
             .into_par_iter()
             .flat_map_iter(|i| {
                 let (cols, vals) = self.row(i);
-                cols.iter()
-                    .zip(vals)
-                    .map(move |(&c, &v)| (c, i as u32, v))
-                    .collect::<Vec<_>>()
+                cols.iter().zip(vals).map(move |(&c, &v)| (c, i as u32, v)).collect::<Vec<_>>()
             })
             .collect();
         CsrMatrix::from_coo(self.n_cols, self.n_rows, coo)
@@ -215,10 +213,7 @@ impl CsrMatrix {
     pub fn scale_cols(&mut self, s: &[f32]) {
         assert_eq!(s.len(), self.n_cols);
         let col_idx = &self.col_idx;
-        self.values
-            .par_iter_mut()
-            .zip(col_idx.par_iter())
-            .for_each(|(v, &c)| *v *= s[c as usize]);
+        self.values.par_iter_mut().zip(col_idx.par_iter()).for_each(|(v, &c)| *v *= s[c as usize]);
     }
 
     /// Linear combination `alpha·self + beta·other` (same shape).
@@ -262,9 +257,7 @@ impl CsrMatrix {
         }
         (0..self.n_rows).into_par_iter().all(|i| {
             let (cols, vals) = self.row(i);
-            cols.iter()
-                .zip(vals)
-                .all(|(&c, &v)| (self.get(c as usize, i) - v).abs() <= tol)
+            cols.iter().zip(vals).all(|(&c, &v)| (self.get(c as usize, i) - v).abs() <= tol)
         })
     }
 }

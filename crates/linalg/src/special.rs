@@ -72,13 +72,9 @@ mod tests {
         // I_v(x) ~ (x/2)^v / v! for small x.
         let x = 0.5;
         for v in 2..8u32 {
-            let approx = (x / 2.0f64).powi(v as i32)
-                / (1..=v as u64).product::<u64>() as f64;
+            let approx = (x / 2.0f64).powi(v as i32) / (1..=v as u64).product::<u64>() as f64;
             let exact = bessel_i(v, x);
-            assert!(
-                (exact - approx).abs() / approx < 0.05,
-                "v={v}: {exact} vs {approx}"
-            );
+            assert!((exact - approx).abs() / approx < 0.05, "v={v}: {exact} vs {approx}");
         }
     }
 

@@ -34,9 +34,8 @@ pub fn jacobi_svd(a: &DenseMatrix) -> SmallSvd {
     assert!(m >= n, "jacobi_svd requires rows >= cols");
 
     // Column-major f64 working copies.
-    let mut cols: Vec<Vec<f64>> = (0..n)
-        .map(|j| (0..m).map(|i| a.get(i, j) as f64).collect())
-        .collect();
+    let mut cols: Vec<Vec<f64>> =
+        (0..n).map(|j| (0..m).map(|i| a.get(i, j) as f64).collect()).collect();
     let mut v: Vec<Vec<f64>> = (0..n)
         .map(|j| {
             let mut e = vec![0.0; n];
@@ -98,7 +97,8 @@ pub fn jacobi_svd(a: &DenseMatrix) -> SmallSvd {
 
     // Extract singular values (column norms), sort descending.
     let mut order: Vec<usize> = (0..n).collect();
-    let norms: Vec<f64> = cols.iter().map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+    let norms: Vec<f64> =
+        cols.iter().map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
     order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
 
     let mut u = DenseMatrix::zeros(m, n);
@@ -108,12 +108,12 @@ pub fn jacobi_svd(a: &DenseMatrix) -> SmallSvd {
         let s = norms[j];
         sigma[jj] = s as f32;
         if s > 0.0 {
-            for i in 0..m {
-                u.set(i, jj, (cols[j][i] / s) as f32);
+            for (i, &x) in cols[j].iter().enumerate().take(m) {
+                u.set(i, jj, (x / s) as f32);
             }
         }
-        for i in 0..n {
-            vm.set(i, jj, v[j][i] as f32);
+        for (i, &x) in v[j].iter().enumerate().take(n) {
+            vm.set(i, jj, x as f32);
         }
     }
     SmallSvd { u, sigma, v: vm }
@@ -130,10 +130,7 @@ pub fn tall_thin_svd(y: &DenseMatrix) -> SmallSvd {
     let sigma: Vec<f32> = gsvd.sigma.iter().map(|&s| s.max(0.0).sqrt()).collect();
     let v = gsvd.u; // for symmetric PSD input, U == V
     let mut u = y.matmul(&v);
-    let inv: Vec<f32> = sigma
-        .iter()
-        .map(|&s| if s > 1e-12 { 1.0 / s } else { 0.0 })
-        .collect();
+    let inv: Vec<f32> = sigma.iter().map(|&s| if s > 1e-12 { 1.0 / s } else { 0.0 }).collect();
     u.scale_columns(&inv);
     SmallSvd { u, sigma, v }
 }
@@ -199,9 +196,9 @@ mod tests {
         let mut a = DenseMatrix::zeros(4, 3);
         let u = [0.5f32, 0.5, 0.5, 0.5];
         let v = [1.0f32 / 3.0f32.sqrt(); 3];
-        for i in 0..4 {
-            for j in 0..3 {
-                a.set(i, j, 2.0 * u[i] * v[j]);
+        for (i, &ui) in u.iter().enumerate() {
+            for (j, &vj) in v.iter().enumerate() {
+                a.set(i, j, 2.0 * ui * vj);
             }
         }
         let svd = jacobi_svd(&a);

@@ -100,11 +100,7 @@ pub fn sample_into<G: GraphOps, A: EdgeAggregator>(
         if n_e == 0 {
             return;
         }
-        let p_e = if cfg.downsample {
-            edge_probability(g.degree(u), g.degree(v), c)
-        } else {
-            1.0
-        };
+        let p_e = if cfg.downsample { edge_probability(g.degree(u), g.degree(v), c) } else { 1.0 };
         let w = (1.0 / p_e) as f32;
         let mut kept = 0u64;
         for _ in 0..n_e {
@@ -147,11 +143,8 @@ pub fn build_sparsifier<G: GraphOps>(
     cfg: &SamplerConfig,
 ) -> (Vec<(u32, u32, f32)>, SamplerStats) {
     let c = cfg.c_factor.unwrap_or_else(|| default_c(g.num_vertices()));
-    let expected_kept = if cfg.downsample {
-        expected_kept_samples(g, cfg.samples, c)
-    } else {
-        cfg.samples as f64
-    };
+    let expected_kept =
+        if cfg.downsample { expected_kept_samples(g, cfg.samples, c) } else { cfg.samples as f64 };
     // Table memory must track *distinct* entries, not kept samples — that
     // is the whole point of the shared hash table (Section 5.2.4). Distinct
     // entries are bounded by both 2× kept samples and the T-hop
@@ -253,7 +246,13 @@ mod tests {
     #[test]
     fn downsampling_reduces_kept_samples() {
         let g = erdos_renyi(500, 20_000, 3);
-        let base = SamplerConfig { window: 5, samples: 500_000, downsample: false, c_factor: None, seed: 3 };
+        let base = SamplerConfig {
+            window: 5,
+            samples: 500_000,
+            downsample: false,
+            c_factor: None,
+            seed: 3,
+        };
         let (_, s_off) = build_sparsifier(&g, &base);
         let (_, s_on) = build_sparsifier(&g, &SamplerConfig { downsample: true, ..base });
         assert!(s_on.kept < s_off.kept / 2, "kept {} vs {}", s_on.kept, s_off.kept);
@@ -267,7 +266,8 @@ mod tests {
     fn trial_count_concentrates_around_m() {
         let g = erdos_renyi(200, 1_000, 5);
         for &m in &[1_000u64, 33_333, 100_000] {
-            let cfg = SamplerConfig { window: 4, samples: m, downsample: false, c_factor: None, seed: 7 };
+            let cfg =
+                SamplerConfig { window: 4, samples: m, downsample: false, c_factor: None, seed: 7 };
             let (_, stats) = build_sparsifier(&g, &cfg);
             let rel = (stats.trials as f64 - m as f64).abs() / m as f64;
             assert!(rel < 0.1, "M={m}: got {} trials", stats.trials);
@@ -277,7 +277,13 @@ mod tests {
     #[test]
     fn sparsifier_is_structurally_symmetric() {
         let g = erdos_renyi(100, 800, 9);
-        let cfg = SamplerConfig { window: 5, samples: 100_000, downsample: true, c_factor: None, seed: 4 };
+        let cfg = SamplerConfig {
+            window: 5,
+            samples: 100_000,
+            downsample: true,
+            c_factor: None,
+            seed: 4,
+        };
         let (coo, _) = build_sparsifier(&g, &cfg);
         use std::collections::HashMap;
         let map: HashMap<(u32, u32), f32> = coo.iter().map(|&(u, v, w)| ((u, v), w)).collect();
@@ -291,13 +297,14 @@ mod tests {
     fn compressed_and_uncompressed_graphs_agree() {
         let g = erdos_renyi(150, 2_000, 21);
         let c = CompressedGraph::from_graph(&g);
-        let cfg = SamplerConfig { window: 4, samples: 50_000, downsample: true, c_factor: None, seed: 5 };
+        let cfg =
+            SamplerConfig { window: 4, samples: 50_000, downsample: true, c_factor: None, seed: 5 };
         let (mut coo_a, _) = build_sparsifier(&g, &cfg);
         let (mut coo_b, _) = build_sparsifier(&c, &cfg);
         // Deterministic per-arc streams + identical arc indexing ⇒ the two
         // representations generate the identical sample multiset.
-        coo_a.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
-        coo_b.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        coo_a.sort_by_key(|e| (e.0, e.1));
+        coo_b.sort_by_key(|e| (e.0, e.1));
         assert_eq!(coo_a.len(), coo_b.len());
         for (x, y) in coo_a.iter().zip(&coo_b) {
             assert_eq!((x.0, x.1), (y.0, y.1));
@@ -308,7 +315,13 @@ mod tests {
     #[test]
     fn window_one_only_samples_edges() {
         let g = watts_strogatz(64, 2, 0.0, 6);
-        let cfg = SamplerConfig { window: 1, samples: 20_000, downsample: false, c_factor: None, seed: 8 };
+        let cfg = SamplerConfig {
+            window: 1,
+            samples: 20_000,
+            downsample: false,
+            c_factor: None,
+            seed: 8,
+        };
         let (coo, _) = build_sparsifier(&g, &cfg);
         for (u, v, _) in coo {
             assert!(g.has_edge(u, v), "T=1 sample ({u},{v}) is not an edge");

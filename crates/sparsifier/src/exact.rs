@@ -99,10 +99,7 @@ mod tests {
                 assert!(m.get(i, j) >= 0.0);
                 // D⁻¹ P^r D⁻¹-style matrices are symmetric for undirected
                 // graphs; trunc_log preserves symmetry.
-                assert!(
-                    (m.get(i, j) - m.get(j, i)).abs() < 1e-4,
-                    "asymmetry at ({i},{j})"
-                );
+                assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-4, "asymmetry at ({i},{j})");
             }
         }
     }

@@ -99,7 +99,13 @@ mod tests {
     #[test]
     fn truncation_prunes_nonpositive_entries() {
         let g = erdos_renyi(100, 600, 3);
-        let cfg = SamplerConfig { window: 2, samples: 200_000, downsample: true, c_factor: None, seed: 2 };
+        let cfg = SamplerConfig {
+            window: 2,
+            samples: 200_000,
+            downsample: true,
+            c_factor: None,
+            seed: 2,
+        };
         let (coo, _) = build_sparsifier(&g, &cfg);
         let raw_len = coo.len();
         let m = sparsifier_to_netmf(&g, coo, cfg.samples, 1.0);
@@ -116,7 +122,13 @@ mod tests {
         // b divides inside the log; larger b → smaller entries → more
         // truncation.
         let g = erdos_renyi(100, 600, 4);
-        let cfg = SamplerConfig { window: 3, samples: 500_000, downsample: false, c_factor: None, seed: 3 };
+        let cfg = SamplerConfig {
+            window: 3,
+            samples: 500_000,
+            downsample: false,
+            c_factor: None,
+            seed: 3,
+        };
         let (coo, _) = build_sparsifier(&g, &cfg);
         let m1 = sparsifier_to_netmf(&g, coo.clone(), cfg.samples, 1.0);
         let m5 = sparsifier_to_netmf(&g, coo, cfg.samples, 5.0);
@@ -127,7 +139,13 @@ mod tests {
     #[test]
     fn result_is_roughly_symmetric() {
         let g = erdos_renyi(80, 500, 5);
-        let cfg = SamplerConfig { window: 4, samples: 1_000_000, downsample: false, c_factor: None, seed: 6 };
+        let cfg = SamplerConfig {
+            window: 4,
+            samples: 1_000_000,
+            downsample: false,
+            c_factor: None,
+            seed: 6,
+        };
         let (coo, _) = build_sparsifier(&g, &cfg);
         let m = sparsifier_to_netmf(&g, coo, cfg.samples, 1.0);
         // The weight matrix is exactly symmetric by construction; after the

@@ -245,7 +245,13 @@ mod tests {
         use lightne_gen::generators::erdos_renyi;
         let gu = erdos_renyi(100, 800, 5);
         let gw = WeightedGraph::from_unweighted(&gu);
-        let cfg = SamplerConfig { window: 4, samples: 400_000, downsample: false, c_factor: None, seed: 6 };
+        let cfg = SamplerConfig {
+            window: 4,
+            samples: 400_000,
+            downsample: false,
+            c_factor: None,
+            seed: 6,
+        };
         let (coo_w, stats_w) = build_weighted_sparsifier(&gw, &cfg);
         let (coo_u, stats_u) = crate::construct::build_sparsifier(&gu, &cfg);
         let rel = (stats_w.trials as f64 - stats_u.trials as f64).abs() / stats_u.trials as f64;
@@ -258,7 +264,13 @@ mod tests {
     #[test]
     fn netmf_conversion_prunes_and_is_positive() {
         let g = small_weighted(7);
-        let cfg = SamplerConfig { window: 3, samples: 300_000, downsample: true, c_factor: None, seed: 8 };
+        let cfg = SamplerConfig {
+            window: 3,
+            samples: 300_000,
+            downsample: true,
+            c_factor: None,
+            seed: 8,
+        };
         let (coo, _) = build_weighted_sparsifier(&g, &cfg);
         let m = weighted_sparsifier_to_netmf(&g, coo, cfg.samples, 1.0);
         assert!(m.nnz() > 0);
@@ -272,11 +284,15 @@ mod tests {
     fn heavier_edges_get_more_trials() {
         // One heavy edge (w=50) among unit edges should receive ~50x the
         // samples of a unit edge at the same endpoints' locality.
-        let g = WeightedGraph::from_edges(
-            4,
-            &[(0, 1, 50.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)],
-        );
-        let cfg = SamplerConfig { window: 1, samples: 500_000, downsample: false, c_factor: None, seed: 9 };
+        let g =
+            WeightedGraph::from_edges(4, &[(0, 1, 50.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        let cfg = SamplerConfig {
+            window: 1,
+            samples: 500_000,
+            downsample: false,
+            c_factor: None,
+            seed: 9,
+        };
         let (coo, _) = build_weighted_sparsifier(&g, &cfg);
         // With T=1 every sample is the edge itself.
         let get = |a: u32, b: u32| {

@@ -29,10 +29,7 @@ impl AtomicF32 {
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let new = (f32::from_bits(cur) + delta).to_bits();
-            match self
-                .0
-                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
-            {
+            match self.0.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => return f32::from_bits(cur),
                 Err(actual) => cur = actual,
             }
@@ -69,10 +66,7 @@ impl AtomicF64 {
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(cur) + delta).to_bits();
-            match self
-                .0
-                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
-            {
+            match self.0.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => return f64::from_bits(cur),
                 Err(actual) => cur = actual,
             }

@@ -13,6 +13,18 @@ pub fn num_threads() -> usize {
     rayon::current_num_threads()
 }
 
+/// Sizes the global rayon pool to `n` worker threads (0 = the default,
+/// one per available core) and returns the resulting pool size.
+///
+/// Call this once, before any parallel stage runs. If the global pool was
+/// already built (e.g. by an earlier parallel call), rayon rejects the
+/// rebuild; the error is deliberately ignored so late callers degrade to
+/// the existing pool instead of aborting the run.
+pub fn configure_threads(n: usize) -> usize {
+    let _ = rayon::ThreadPoolBuilder::new().num_threads(n).build_global();
+    num_threads()
+}
+
 /// A reasonable per-task chunk size for a loop of `n` items: large enough to
 /// amortize stealing, small enough to load-balance (~8 tasks per thread).
 pub fn par_chunk_size(n: usize) -> usize {
@@ -32,10 +44,7 @@ where
         return;
     }
     let chunk = par_chunk_size(n);
-    (0..n)
-        .into_par_iter()
-        .with_min_len(chunk.min(1 << 14))
-        .for_each(f);
+    (0..n).into_par_iter().with_min_len(chunk.min(1 << 14)).for_each(f);
 }
 
 /// Exclusive parallel prefix sum over `u64` values.
@@ -80,17 +89,14 @@ pub fn parallel_prefix_sum(input: &[u64]) -> Vec<u64> {
     let total = block_offsets[nblocks];
 
     // Pass 2: rescan each block with its offset, writing disjoint slices.
-    out[..n]
-        .par_chunks_mut(chunk)
-        .enumerate()
-        .for_each(|(b, out_block)| {
-            let lo = b * chunk;
-            let mut acc = block_offsets[b];
-            for (o, &v) in out_block.iter_mut().zip(&input[lo..]) {
-                *o = acc;
-                acc += v;
-            }
-        });
+    out[..n].par_chunks_mut(chunk).enumerate().for_each(|(b, out_block)| {
+        let lo = b * chunk;
+        let mut acc = block_offsets[b];
+        for (o, &v) in out_block.iter_mut().zip(&input[lo..]) {
+            *o = acc;
+            acc += v;
+        }
+    });
     out[n] = total;
     out
 }
@@ -119,16 +125,35 @@ where
     out
 }
 
+/// Block size for deterministic floating-point reductions. Fixed (not
+/// derived from the thread count) so the summation bracketing — and hence
+/// the rounded result — is identical at any pool size.
+const DET_SUM_BLOCK: usize = 1 << 14;
+
 /// Parallel sum reduction of `f(i)` over `0..n`.
+///
+/// Deterministic: the range is cut into fixed-size blocks, each block is
+/// summed sequentially, and the per-block partials are folded in block
+/// order. The bracketing is independent of the thread count, so the
+/// result is bitwise identical across runs and pool sizes.
 pub fn parallel_reduce_sum<F>(n: usize, f: F) -> f64
 where
     F: Fn(usize) -> f64 + Sync + Send,
 {
-    (0..n)
+    let nblocks = n.div_ceil(DET_SUM_BLOCK);
+    let partials: Vec<f64> = (0..nblocks)
         .into_par_iter()
-        .with_min_len(par_chunk_size(n).min(1 << 14))
-        .map(f)
-        .sum()
+        .map(|b| {
+            let lo = b * DET_SUM_BLOCK;
+            let hi = ((b + 1) * DET_SUM_BLOCK).min(n);
+            let mut acc = 0.0;
+            for i in lo..hi {
+                acc += f(i);
+            }
+            acc
+        })
+        .collect();
+    partials.iter().sum()
 }
 
 /// Parallel maximum of `f(i)` over `0..n`; returns `None` for an empty range.
@@ -177,6 +202,23 @@ mod tests {
     fn reduce_sum_matches() {
         let s = parallel_reduce_sum(1000, |i| i as f64);
         assert_eq!(s, 999.0 * 1000.0 / 2.0);
+    }
+
+    #[test]
+    fn reduce_sum_bitwise_reproducible() {
+        // Irrational-ish terms over multiple blocks: the fixed bracketing
+        // must give the identical floating-point result on every call.
+        let f = |i: usize| 1.0 / (i as f64 + 0.73);
+        let a = parallel_reduce_sum(100_000, f);
+        let b = parallel_reduce_sum(100_000, f);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn configure_threads_reports_pool_size() {
+        let n = configure_threads(0);
+        assert!(n >= 1);
+        assert_eq!(n, num_threads());
     }
 
     #[test]

@@ -78,30 +78,43 @@ impl StageTimer {
         }
     }
 
-    /// All recorded stages, in order.
-    pub fn stages(&self) -> &[Stage] {
-        self.finished_assert();
-        &self.stages
+    /// All stages, in order. A still-open stage is folded in with its
+    /// elapsed-so-far duration, so reading mid-run is always safe.
+    pub fn stages(&self) -> Vec<Stage> {
+        let mut out = self.stages.clone();
+        if let Some((name, started)) = &self.current {
+            out.push(Stage { name: name.clone(), duration: started.elapsed() });
+        }
+        out
     }
 
-    /// Duration of the stage with the given name, if recorded.
+    /// Appends an already-measured stage (e.g. replayed from a run record).
+    pub fn record(&mut self, name: impl Into<String>, duration: Duration) {
+        self.finish();
+        self.stages.push(Stage { name: name.into(), duration });
+    }
+
+    /// Duration of the stage with the given name, if recorded. An
+    /// in-flight stage is visible with its elapsed-so-far duration.
     pub fn get(&self, name: &str) -> Option<Duration> {
-        self.stages.iter().find(|s| s.name == name).map(|s| s.duration)
+        if let Some(d) = self.stages.iter().find(|s| s.name == name).map(|s| s.duration) {
+            return Some(d);
+        }
+        match &self.current {
+            Some((n, started)) if n == name => Some(started.elapsed()),
+            _ => None,
+        }
     }
 
-    /// Total time across all recorded stages.
+    /// Total time across all stages, including an in-flight one.
     pub fn total(&self) -> Duration {
-        self.stages.iter().map(|s| s.duration).sum()
-    }
-
-    fn finished_assert(&self) {
-        debug_assert!(self.current.is_none(), "stage timer read with an open stage");
+        self.stages().iter().map(|s| s.duration).sum()
     }
 }
 
 impl fmt::Display for StageTimer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for s in &self.stages {
+        for s in self.stages() {
             writeln!(f, "{:<32} {}", s.name, humanize(s.duration))?;
         }
         write!(f, "{:<32} {}", "total", humanize(self.total()))
@@ -132,7 +145,8 @@ mod tests {
         t.begin("a");
         t.begin("b");
         t.finish();
-        let names: Vec<_> = t.stages().iter().map(|s| s.name.as_str()).collect();
+        let stages = t.stages();
+        let names: Vec<_> = stages.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, ["a", "b"]);
         assert!(t.get("a").is_some());
         assert!(t.get("c").is_none());
@@ -146,6 +160,48 @@ mod tests {
         t.finish();
         assert!(t.total() >= Duration::from_millis(5));
         assert_eq!(t.total(), t.stages().iter().map(|s| s.duration).sum());
+    }
+
+    #[test]
+    fn open_stage_is_visible_while_running() {
+        let mut t = StageTimer::new();
+        t.begin("done");
+        t.finish();
+        t.begin("running");
+        // Reading with a stage still open must not panic and must fold the
+        // in-flight stage in with its elapsed-so-far duration.
+        let stages = t.stages();
+        let names: Vec<_> = stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["done", "running"]);
+        assert!(t.get("running").is_some());
+        assert!(t.total() >= t.get("done").unwrap());
+        // A later read sees a longer elapsed time for the open stage.
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(t.get("running").unwrap() >= Duration::from_millis(2));
+        // Finishing converts the in-flight stage into a recorded one.
+        t.finish();
+        assert_eq!(t.stages().len(), 2);
+    }
+
+    #[test]
+    fn display_with_open_stage_does_not_panic() {
+        let mut t = StageTimer::new();
+        t.begin("open");
+        let rendered = format!("{t}");
+        assert!(rendered.contains("open"));
+        assert!(rendered.contains("total"));
+    }
+
+    #[test]
+    fn record_appends_measured_stage() {
+        let mut t = StageTimer::new();
+        t.begin("live");
+        t.record("replayed", Duration::from_millis(250));
+        // `record` closes the open stage first, then appends.
+        let stages = t.stages();
+        let names: Vec<_> = stages.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["live", "replayed"]);
+        assert_eq!(t.get("replayed"), Some(Duration::from_millis(250)));
     }
 
     #[test]

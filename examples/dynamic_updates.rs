@@ -70,5 +70,7 @@ fn main() {
             f_full.micro
         );
     }
-    println!("\nincremental refresh skips re-sampling old edges; quality should track the full rebuild.");
+    println!(
+        "\nincremental refresh skips re-sampling old edges; quality should track the full rebuild."
+    );
 }

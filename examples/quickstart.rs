@@ -15,19 +15,10 @@ fn main() {
     // 1. Get a graph. Any `lightne::graph::Graph` works — load one with
     //    `lightne::graph::io::read_edge_list`, or generate one:
     let graph = barabasi_albert(5_000, 8, 42);
-    println!(
-        "graph: {} vertices, {} edges",
-        graph.num_vertices(),
-        graph.num_edges()
-    );
+    println!("graph: {} vertices, {} edges", graph.num_vertices(), graph.num_edges());
 
     // 2. Configure LightNE. `sample_ratio` is the paper's M = ratio·T·m.
-    let config = LightNeConfig {
-        dim: 32,
-        window: 10,
-        sample_ratio: 1.0,
-        ..Default::default()
-    };
+    let config = LightNeConfig { dim: 32, window: 10, sample_ratio: 1.0, ..Default::default() };
 
     // 3. Embed.
     let output = LightNe::new(config).embed(&graph);

@@ -47,5 +47,7 @@ fn main() {
             human_bytes(out.sampler.aggregator_bytes)
         );
     }
-    println!("\ncompression should hold steady near 2-3x; runtime should scale ~linearly in edges.");
+    println!(
+        "\ncompression should hold steady near 2-3x; runtime should scale ~linearly in edges."
+    );
 }

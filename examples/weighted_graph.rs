@@ -40,20 +40,15 @@ fn main() {
         g.volume()
     );
 
-    let out = LightNe::new(LightNeConfig {
-        dim: 16,
-        window: 5,
-        sample_ratio: 5.0,
-        ..Default::default()
-    })
-    .embed_weighted(&g);
+    let out =
+        LightNe::new(LightNeConfig { dim: 16, window: 5, sample_ratio: 5.0, ..Default::default() })
+            .embed_weighted(&g);
     println!("\nstage breakdown:\n{}", out.timings);
 
     // Measure separation between the two weight-defined communities.
     let y = &out.embedding;
-    let dot = |a: &[f32], b: &[f32]| -> f64 {
-        a.iter().zip(b).map(|(&p, &q)| p as f64 * q as f64).sum()
-    };
+    let dot =
+        |a: &[f32], b: &[f32]| -> f64 { a.iter().zip(b).map(|(&p, &q)| p as f64 * q as f64).sum() };
     let (mut same, mut sn, mut diff, mut dn) = (0.0, 0usize, 0.0, 0usize);
     for i in (0..n).step_by(7) {
         for j in (1..n).step_by(11) {

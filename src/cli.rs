@@ -4,7 +4,7 @@
 //! binary in `main.rs` is a thin shim. See the binary's module docs for
 //! the command reference.
 
-use crate::core::{LightNe, LightNeConfig};
+use crate::core::{LightNe, LightNeConfig, RunOptions};
 use crate::eval::classify::evaluate_node_classification;
 use crate::eval::linkpred::{rank_held_out, split_edges};
 use crate::gen::labels::{read_labels, write_labels};
@@ -94,11 +94,7 @@ fn lightne_config(o: &Opts) -> Result<LightNeConfig, String> {
         window: o.num("window", 10usize)?,
         sample_ratio: o.num("ratio", 1.0f64)?,
         downsample: !o.flag("no-downsample"),
-        propagation: if o.flag("no-propagation") {
-            None
-        } else {
-            Some(Default::default())
-        },
+        propagation: if o.flag("no-propagation") { None } else { Some(Default::default()) },
         seed: o.num("seed", 42u64)?,
         ..Default::default()
     })
@@ -111,9 +107,13 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> 
         return Err("no command given".into());
     };
     let o = Opts::parse(&args[1..])?;
-    let mut say = |s: String| {
-        writeln!(out, "{s}").map_err(|e| e.to_string())
-    };
+    // Size the rayon pool before any parallel stage runs (global: applies
+    // to every command). 0 = one worker per available core.
+    if let Some(n) = o.get("threads") {
+        let n: usize = n.parse().map_err(|_| format!("bad value for --threads: {n:?}"))?;
+        crate::utils::parallel::configure_threads(n);
+    }
+    let mut say = |s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
 
     match cmd.as_str() {
         "generate" => {
@@ -149,14 +149,21 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> 
             let path = o.require("graph")?;
             let out_path = o.require("out")?;
             let cfg = lightne_config(&o)?;
+            let opts = RunOptions {
+                save_artifacts: o.get("save-artifacts").map(Into::into),
+                resume_from: o.get("resume-from").map(Into::into),
+                progress: None,
+            };
             let result = if o.flag("weighted") {
                 let g = read_weighted_edge_list(path, 0).map_err(|e| e.to_string())?;
-                LightNe::new(cfg).embed_weighted(&g)
+                LightNe::new(cfg).embed_weighted_with(&g, opts)
             } else {
-                LightNe::new(cfg).embed(&load_graph(path)?)
-            };
+                LightNe::new(cfg).embed_with(&load_graph(path)?, opts)
+            }
+            .map_err(|e| e.to_string())?;
             write_matrix(&result.embedding, out_path).map_err(|e| e.to_string())?;
             say(format!("{}", result.timings))?;
+            say(format!("threads: {}", result.stats.threads))?;
             say(format!(
                 "sampler: {} trials, {} kept, {} distinct; NetMF nnz {}",
                 result.sampler.trials,
@@ -164,6 +171,11 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> 
                 result.sampler.distinct_entries,
                 result.netmf_nnz
             ))?;
+            if let Some(stats_path) = o.get("stats-json") {
+                std::fs::write(stats_path, result.stats.to_json())
+                    .map_err(|e| format!("writing {stats_path}: {e}"))?;
+                say(format!("wrote {stats_path}"))?;
+            }
             say(format!(
                 "wrote {out_path} ({} x {})",
                 result.embedding.rows(),
@@ -259,10 +271,7 @@ mod tests {
     fn profile_lookup_is_forgiving() {
         assert_eq!(profile_by_name("oag").unwrap(), Profile::Oag);
         assert_eq!(profile_by_name("BLOGCATALOG").unwrap(), Profile::BlogCatalog);
-        assert_eq!(
-            profile_by_name("friendster_small").unwrap(),
-            Profile::FriendsterSmall
-        );
+        assert_eq!(profile_by_name("friendster_small").unwrap(), Profile::FriendsterSmall);
         assert!(profile_by_name("nope").is_err());
     }
 
@@ -278,7 +287,13 @@ mod tests {
         let epath = tmp("flow_emb.txt");
 
         let out = run_capture(&[
-            "generate", "--profile", "blogcatalog", "--scale", "0.05", "--out", &gpath,
+            "generate",
+            "--profile",
+            "blogcatalog",
+            "--scale",
+            "0.05",
+            "--out",
+            &gpath,
         ])
         .unwrap();
         assert!(out.contains("wrote"), "{out}");
@@ -286,16 +301,23 @@ mod tests {
         assert!(std::path::Path::new(&format!("{gpath}.labels")).exists());
 
         let out = run_capture(&[
-            "embed", "--graph", &gpath, "--out", &epath, "--dim", "16", "--window", "5",
-            "--ratio", "2.0",
+            "embed", "--graph", &gpath, "--out", &epath, "--dim", "16", "--window", "5", "--ratio",
+            "2.0",
         ])
         .unwrap();
         assert!(out.contains("sampler:"), "{out}");
 
         let labels_path = format!("{gpath}.labels");
         let out = run_capture(&[
-            "classify", "--graph", &gpath, "--labels", &labels_path, "--embedding", &epath,
-            "--train-ratio", "0.3",
+            "classify",
+            "--graph",
+            &gpath,
+            "--labels",
+            &labels_path,
+            "--embedding",
+            &epath,
+            "--train-ratio",
+            "0.3",
         ])
         .unwrap();
         assert!(out.contains("micro-F1"), "{out}");
@@ -326,8 +348,18 @@ mod tests {
         // A small weighted triangle chain.
         std::fs::write(&gpath, "0 1 2.0\n1 2 1.0\n2 3 4.0\n3 0 1.0\n").unwrap();
         let out = run_capture(&[
-            "embed", "--graph", &gpath, "--out", &epath, "--dim", "2", "--window", "2",
-            "--ratio", "20.0", "--weighted",
+            "embed",
+            "--graph",
+            &gpath,
+            "--out",
+            &epath,
+            "--dim",
+            "2",
+            "--window",
+            "2",
+            "--ratio",
+            "20.0",
+            "--weighted",
         ])
         .unwrap();
         assert!(out.contains("wrote"), "{out}");
@@ -346,7 +378,13 @@ mod tests {
         std::fs::write(&epath, "1 2\n3 4\n").unwrap();
         let labels_path = format!("{gpath}.labels");
         let err = run_capture(&[
-            "classify", "--graph", &gpath, "--labels", &labels_path, "--embedding", &epath,
+            "classify",
+            "--graph",
+            &gpath,
+            "--labels",
+            &labels_path,
+            "--embedding",
+            &epath,
         ])
         .unwrap_err();
         assert!(err.contains("rows"), "{err}");

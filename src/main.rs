@@ -5,17 +5,25 @@
 //! lightne stats    --graph graph.lne
 //! lightne embed    --graph graph.lne --out emb.txt [--dim D] [--window T]
 //!                  [--ratio R] [--no-downsample] [--no-propagation]
-//!                  [--weighted] [--seed N]
+//!                  [--weighted] [--seed N] [--save-artifacts DIR]
+//!                  [--resume-from DIR] [--stats-json PATH]
 //! lightne classify --graph graph.lne --labels graph.lne.labels
 //!                  --embedding emb.txt [--train-ratio F] [--seed N]
 //! lightne linkpred --graph graph.lne [--holdout F] [--dim D] [--window T]
 //!                  [--ratio R] [--negatives K] [--seed N]
 //! ```
 //!
-//! Graphs ending in `.lne` use the binary CSR format; anything else is
-//! parsed as a text edge list (`--weighted` expects `u v w` lines).
-//! `generate` writes `<out>.labels` alongside classification profiles.
-//! The implementation lives in [`lightne::cli`].
+//! `--threads N` (any command) sizes the rayon worker pool (0 = one per
+//! core). Graphs ending in `.lne` use the binary CSR format; anything
+//! else is parsed as a text edge list (`--weighted` expects `u v w`
+//! lines). `generate` writes `<out>.labels` alongside classification
+//! profiles.
+//!
+//! `embed` can checkpoint each stage's output (`--save-artifacts DIR`
+//! writes the sparsifier COO, NetMF matrix, and initial embedding) and
+//! resume a later run from the deepest artifact found (`--resume-from
+//! DIR`); `--stats-json PATH` dumps the per-stage wall time, counters,
+//! and peak heap bytes. The implementation lives in [`lightne::cli`].
 
 use std::process::ExitCode;
 

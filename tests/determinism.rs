@@ -1,0 +1,72 @@
+//! Bitwise determinism of the embedding pipeline.
+//!
+//! LightNE's kernels are engineered so that a fixed seed produces a
+//! byte-identical embedding regardless of scheduling: the concurrent edge
+//! table accumulates fixed-point integers (exactly commutative), and every
+//! floating-point reduction uses fixed block sizes so the summation
+//! bracketing never depends on the thread count.
+//!
+//! Everything lives in ONE test function on purpose: all tests in a binary
+//! share the global rayon pool, and this test resizes it mid-flight.
+
+use lightne::core::{LightNe, LightNeConfig};
+use lightne::gen::sbm::{labelled_sbm, SbmConfig};
+use lightne::graph::WeightedGraph;
+use lightne::utils::parallel::configure_threads;
+
+fn bits(m: &lightne::linalg::DenseMatrix) -> Vec<u32> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn same_seed_same_bytes_across_runs_and_thread_counts() {
+    let cfg = SbmConfig {
+        n: 600,
+        communities: 4,
+        avg_degree: 16.0,
+        mixing: 0.1,
+        overlap: 0.0,
+        gamma: 2.5,
+    };
+    let (g, _) = labelled_sbm(&cfg, 77);
+    let gw = WeightedGraph::from_unweighted(&g);
+    let pipe = LightNe::new(LightNeConfig {
+        dim: 24,
+        window: 5,
+        sample_ratio: 1.5,
+        seed: 42,
+        ..Default::default()
+    });
+
+    // Two runs in a row, same pool: byte-identical.
+    let a1 = pipe.embed(&g);
+    let a2 = pipe.embed(&g);
+    assert_eq!(bits(&a1.embedding), bits(&a2.embedding), "embed not reproducible");
+
+    let w1 = pipe.embed_weighted(&gw);
+    let w2 = pipe.embed_weighted(&gw);
+    assert_eq!(bits(&w1.embedding), bits(&w2.embedding), "embed_weighted not reproducible");
+
+    // Thread sweep: 1 worker vs 4 workers must give the same bytes. The
+    // earlier runs above used the default pool (one worker per core).
+    assert_eq!(configure_threads(1), 1);
+    let s1 = pipe.embed(&g);
+    let sw1 = pipe.embed_weighted(&gw);
+    assert_eq!(configure_threads(4), 4);
+    let s4 = pipe.embed(&g);
+    let sw4 = pipe.embed_weighted(&gw);
+
+    assert_eq!(bits(&s1.embedding), bits(&s4.embedding), "embed differs across thread counts");
+    assert_eq!(
+        bits(&sw1.embedding),
+        bits(&sw4.embedding),
+        "embed_weighted differs across thread counts"
+    );
+    // And both match the default-pool runs.
+    assert_eq!(bits(&a1.embedding), bits(&s1.embedding), "embed differs from default pool");
+    assert_eq!(
+        bits(&w1.embedding),
+        bits(&sw1.embedding),
+        "embed_weighted differs from default pool"
+    );
+}

@@ -9,14 +9,8 @@ use lightne::gen::sbm::{labelled_sbm, SbmConfig};
 use lightne::graph::WeightedGraph;
 
 fn sbm(n: usize, k: usize, seed: u64) -> (lightne::graph::Graph, lightne::gen::Labels) {
-    let cfg = SbmConfig {
-        n,
-        communities: k,
-        avg_degree: 22.0,
-        mixing: 0.06,
-        overlap: 0.0,
-        gamma: 2.5,
-    };
+    let cfg =
+        SbmConfig { n, communities: k, avg_degree: 22.0, mixing: 0.06, overlap: 0.0, gamma: 2.5 };
     labelled_sbm(&cfg, seed)
 }
 
@@ -40,10 +34,7 @@ fn kmeans_on_lightne_embedding_recovers_communities() {
     let random = lightne::linalg::DenseMatrix::gaussian(900, 16, 3);
     let noise = kmeans(&random, 5, 100, 2);
     let noise_score = nmi(&noise.assignment, &truth);
-    assert!(
-        score > noise_score + 0.5,
-        "no margin over noise: {score} vs {noise_score}"
-    );
+    assert!(score > noise_score + 0.5, "no margin over noise: {score} vs {noise_score}");
 }
 
 #[test]
@@ -98,12 +89,8 @@ fn dynamic_embedder_tracks_quality_through_growth() {
         dyn_ne.insert_edges(&edges[start..cut]);
         start = cut;
         let out = dyn_ne.reembed();
-        let f1 = lightne::eval::classify::evaluate_node_classification(
-            &out.embedding,
-            &labels,
-            0.3,
-            7,
-        );
+        let f1 =
+            lightne::eval::classify::evaluate_node_classification(&out.embedding, &labels, 0.3, 7);
         assert!(
             f1.micro > prev_f1 - 10.0,
             "phase {phase}: quality collapsed {prev_f1} -> {}",
@@ -131,13 +118,9 @@ fn weighted_pipeline_uses_weights_not_just_topology() {
         }
     }
     let g = WeightedGraph::from_edges(n, &edges);
-    let out = LightNe::new(LightNeConfig {
-        dim: 8,
-        window: 5,
-        sample_ratio: 5.0,
-        ..Default::default()
-    })
-    .embed_weighted(&g);
+    let out =
+        LightNe::new(LightNeConfig { dim: 8, window: 5, sample_ratio: 5.0, ..Default::default() })
+            .embed_weighted(&g);
 
     let truth: Vec<u32> = (0..n).map(|v| (v / half) as u32).collect();
     let clusters = kmeans(&out.embedding, 2, 100, 9);

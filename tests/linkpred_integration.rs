@@ -47,16 +47,11 @@ fn more_samples_improve_ranking_on_web_graph() {
             ..Default::default()
         })
         .embed(&train);
-        rank_held_out(&out.embedding, &held, 100, &[10], 10)
-            .hits_at(10)
-            .unwrap()
+        rank_held_out(&out.embedding, &held, 100, &[10], 10).hits_at(10).unwrap()
     };
     let low = hits10(0.25);
     let high = hits10(8.0);
-    assert!(
-        high >= low - 0.05,
-        "ranking degraded with 32x the samples: {low} -> {high}"
-    );
+    assert!(high >= low - 0.05, "ranking degraded with 32x the samples: {low} -> {high}");
 }
 
 #[test]

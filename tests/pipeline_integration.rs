@@ -59,7 +59,7 @@ fn propagation_does_not_hurt_classification() {
     })
     .embed(&g);
     let with = evaluate_node_classification(&out.embedding, &labels, 0.3, 3);
-    let without = evaluate_node_classification(&out.initial_embedding, &labels, 0.3, 3);
+    let without = evaluate_node_classification(out.initial(), &labels, 0.3, 3);
     assert!(
         with.micro >= without.micro - 2.0,
         "propagation degraded micro-F1: {} -> {}",

@@ -1,0 +1,238 @@
+//! Integration tests for the stage engine: artifact checkpointing,
+//! resume-from-any-boundary reproducibility, metadata validation, and the
+//! CLI surface (`--save-artifacts`, `--resume-from`, `--stats-json`).
+
+use lightne::core::artifacts::{INITIAL_FILE, META_FILE, NETMF_FILE, SPARSIFIER_FILE};
+use lightne::core::pipeline::{STAGE_NETMF, STAGE_PROPAGATION, STAGE_RSVD, STAGE_SPARSIFIER};
+use lightne::core::{LightNe, LightNeConfig, RunOptions};
+use lightne::gen::generators::chung_lu;
+use lightne::graph::WeightedGraph;
+use std::path::{Path, PathBuf};
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("lightne_engine_{}_{name}", std::process::id()));
+    p
+}
+
+/// Copies whichever artifact files exist in `from` into a fresh `to`.
+fn copy_artifacts(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for f in [META_FILE, SPARSIFIER_FILE, NETMF_FILE, INITIAL_FILE] {
+        let src = from.join(f);
+        if src.is_file() {
+            std::fs::copy(&src, to.join(f)).unwrap();
+        }
+    }
+}
+
+fn bits(m: &lightne::linalg::DenseMatrix) -> Vec<u32> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+fn save_opts(dir: &Path) -> RunOptions {
+    RunOptions { save_artifacts: Some(dir.to_path_buf()), ..Default::default() }
+}
+
+fn resume_opts(dir: &Path) -> RunOptions {
+    RunOptions { resume_from: Some(dir.to_path_buf()), ..Default::default() }
+}
+
+#[test]
+fn resume_from_each_boundary_reproduces_straight_run() {
+    let g = chung_lu(500, 4_000, 2.4, 3);
+    let pipe = LightNe::new(LightNeConfig {
+        dim: 16,
+        window: 5,
+        sample_ratio: 1.0,
+        seed: 7,
+        ..Default::default()
+    });
+
+    let dir = tmp("full");
+    std::fs::remove_dir_all(&dir).ok();
+    let straight = pipe.embed_with(&g, save_opts(&dir)).unwrap();
+    let want = bits(&straight.embedding);
+    for f in [META_FILE, SPARSIFIER_FILE, NETMF_FILE, INITIAL_FILE] {
+        assert!(dir.join(f).is_file(), "missing artifact {f}");
+    }
+
+    // Boundary 1: only the sparsifier COO — NetMF, rSVD and propagation
+    // re-run live.
+    let d1 = tmp("sparsifier_only");
+    std::fs::remove_dir_all(&d1).ok();
+    copy_artifacts(&dir, &d1);
+    std::fs::remove_file(d1.join(NETMF_FILE)).unwrap();
+    std::fs::remove_file(d1.join(INITIAL_FILE)).unwrap();
+    let r1 = pipe.embed_with(&g, resume_opts(&d1)).unwrap();
+    assert_eq!(bits(&r1.embedding), want, "resume from sparsifier diverged");
+    assert_eq!(r1.stats.get(STAGE_SPARSIFIER).unwrap().counter("resumed"), Some(1));
+
+    // Boundary 2: sparsifier + NetMF matrix — rSVD onward re-runs.
+    let d2 = tmp("through_netmf");
+    std::fs::remove_dir_all(&d2).ok();
+    copy_artifacts(&dir, &d2);
+    std::fs::remove_file(d2.join(INITIAL_FILE)).unwrap();
+    let r2 = pipe.embed_with(&g, resume_opts(&d2)).unwrap();
+    assert_eq!(bits(&r2.embedding), want, "resume from netmf diverged");
+
+    // Boundary 3: everything checkpointed — only propagation re-runs.
+    let r3 = pipe.embed_with(&g, resume_opts(&dir)).unwrap();
+    assert_eq!(bits(&r3.embedding), want, "resume from initial embedding diverged");
+    for kind in [STAGE_SPARSIFIER, STAGE_NETMF, STAGE_RSVD] {
+        assert_eq!(
+            r3.stats.get(kind).unwrap().counter("resumed"),
+            Some(1),
+            "stage {kind} should be resumed"
+        );
+    }
+    assert_eq!(r3.stats.get(STAGE_PROPAGATION).unwrap().counter("resumed"), None);
+
+    // Resumed stats still replay the sampler counters from the metadata.
+    assert_eq!(
+        r3.stats.get(STAGE_SPARSIFIER).unwrap().counter("trials"),
+        Some(straight.sampler.trials)
+    );
+
+    for d in [&dir, &d1, &d2] {
+        std::fs::remove_dir_all(d).ok();
+    }
+}
+
+#[test]
+fn weighted_resume_reproduces_and_mode_mismatch_is_rejected() {
+    let g = chung_lu(300, 2_400, 2.4, 9);
+    let gw = WeightedGraph::from_unweighted(&g);
+    let pipe = LightNe::new(LightNeConfig {
+        dim: 12,
+        window: 4,
+        sample_ratio: 1.0,
+        seed: 11,
+        ..Default::default()
+    });
+
+    let dir = tmp("weighted");
+    std::fs::remove_dir_all(&dir).ok();
+    let straight = pipe.embed_weighted_with(&gw, save_opts(&dir)).unwrap();
+    let resumed = pipe.embed_weighted_with(&gw, resume_opts(&dir)).unwrap();
+    assert_eq!(bits(&straight.embedding), bits(&resumed.embedding));
+
+    // Unweighted run over weighted artifacts must fail loudly.
+    let err = pipe.embed_with(&g, resume_opts(&dir)).unwrap_err();
+    assert!(err.to_string().contains("weighted"), "unhelpful error: {err}");
+
+    // Seed mismatch is also rejected.
+    let other = LightNe::new(LightNeConfig {
+        dim: 12,
+        window: 4,
+        sample_ratio: 1.0,
+        seed: 12,
+        ..Default::default()
+    });
+    let err = other.embed_weighted_with(&gw, resume_opts(&dir)).unwrap_err();
+    assert!(err.to_string().contains("seed"), "unhelpful error: {err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_from_empty_dir_is_an_error() {
+    let g = chung_lu(100, 600, 2.4, 5);
+    let dir = tmp("empty");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let pipe =
+        LightNe::new(LightNeConfig { dim: 8, window: 3, sample_ratio: 1.0, ..Default::default() });
+    let err = pipe.embed_with(&g, resume_opts(&dir)).unwrap_err();
+    assert!(err.to_string().contains("metadata"), "unhelpful error: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_embed_writes_stats_json_and_resumes_byte_identically() {
+    // A small text edge list drives the CLI end to end.
+    let g = chung_lu(200, 1_400, 2.4, 13);
+    let graph_path = tmp("cli_graph.txt");
+    lightne::graph::io::write_edge_list(&g, &graph_path).unwrap();
+    let emb_a = tmp("cli_a.emb");
+    let emb_b = tmp("cli_b.emb");
+    let stats_path = tmp("cli_stats.json");
+    let art_dir = tmp("cli_artifacts");
+    std::fs::remove_dir_all(&art_dir).ok();
+
+    let run = |args: &[&str]| -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        lightne::cli::run(&args, &mut out).expect("cli run failed");
+        String::from_utf8(out).unwrap()
+    };
+
+    let graph = graph_path.to_str().unwrap();
+    let captured = run(&[
+        "embed",
+        "--graph",
+        graph,
+        "--out",
+        emb_a.to_str().unwrap(),
+        "--dim",
+        "8",
+        "--window",
+        "3",
+        "--ratio",
+        "1.0",
+        "--seed",
+        "5",
+        "--threads",
+        "2",
+        "--stats-json",
+        stats_path.to_str().unwrap(),
+        "--save-artifacts",
+        art_dir.to_str().unwrap(),
+    ]);
+    assert!(captured.contains("threads:"), "missing threads line:\n{captured}");
+    assert!(captured.contains("sampler:"), "missing sampler line:\n{captured}");
+
+    // The stats JSON carries per-stage wall time, heap bytes and counters.
+    let json = std::fs::read_to_string(&stats_path).unwrap();
+    for needle in [
+        "\"seed\": 5",
+        "\"threads\":",
+        "\"stages\"",
+        "\"secs\":",
+        "\"heap_bytes\":",
+        "\"trials\":",
+        STAGE_SPARSIFIER,
+        STAGE_RSVD,
+        STAGE_PROPAGATION,
+    ] {
+        assert!(json.contains(needle), "stats json missing {needle}:\n{json}");
+    }
+
+    // Resuming from the CLI-written artifacts reproduces the exact file.
+    let captured = run(&[
+        "embed",
+        "--graph",
+        graph,
+        "--out",
+        emb_b.to_str().unwrap(),
+        "--dim",
+        "8",
+        "--window",
+        "3",
+        "--ratio",
+        "1.0",
+        "--seed",
+        "5",
+        "--resume-from",
+        art_dir.to_str().unwrap(),
+    ]);
+    assert!(captured.contains("wrote"), "no output written:\n{captured}");
+    let a = std::fs::read(&emb_a).unwrap();
+    let b = std::fs::read(&emb_b).unwrap();
+    assert_eq!(a, b, "resumed CLI run produced a different embedding file");
+
+    for f in [&graph_path, &emb_a, &emb_b, &stats_path] {
+        std::fs::remove_file(f).ok();
+    }
+    std::fs::remove_dir_all(&art_dir).ok();
+}

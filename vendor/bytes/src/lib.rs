@@ -1,0 +1,86 @@
+//! Offline drop-in for the subset of the `bytes` crate used by
+//! `lightne-graph`'s binary CSR format: little-endian integer reads and
+//! writes through the `Buf` (on `&[u8]`) and `BufMut` (on `Vec<u8>`)
+//! traits. Reads advance the slice cursor exactly like the real crate and
+//! panic on underflow (the caller checks `remaining()` first).
+
+/// Cursor-style reads from a byte source.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Appending writes to a byte sink.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_little_endian() {
+        let mut buf = Vec::new();
+        buf.put_slice(b"MAGC");
+        buf.put_u64_le(0xDEAD_BEEF_0123_4567);
+        buf.put_u32_le(42);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), 16);
+        let mut magic = [0u8; 4];
+        r.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"MAGC");
+        assert_eq!(r.get_u64_le(), 0xDEAD_BEEF_0123_4567);
+        assert_eq!(r.get_u32_le(), 42);
+        assert_eq!(r.remaining(), 0);
+    }
+}

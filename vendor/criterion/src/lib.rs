@@ -1,0 +1,154 @@
+//! Offline drop-in for the subset of the `criterion` API used by the
+//! `lightne-bench` benchmarks. Instead of criterion's statistical
+//! machinery it runs each benchmark closure a small fixed number of times
+//! and prints the mean wall-clock duration — enough to keep `cargo bench`
+//! useful for coarse comparisons without any external dependencies.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box` (older call style).
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 2;
+const MEASURE_ITERS: u64 = 10;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _c: self }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size hint; the shim runs a fixed iteration count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Throughput annotation; ignored by the shim.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_one(&format!("{}/{}", self.name, id), &mut g);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher { total_nanos: 0, iters: 0 };
+    f(&mut b);
+    if b.iters > 0 {
+        let mean = b.total_nanos / u128::from(b.iters);
+        println!("{label:<48} {:>12} ns/iter", mean);
+    } else {
+        println!("{label:<48} (no measurement)");
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(f());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.iters += MEASURE_ITERS;
+    }
+}
+
+/// Identifier for parameterized benchmarks.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Throughput annotation (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                {
+                    let mut c = $crate::Criterion::default();
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

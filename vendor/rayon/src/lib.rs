@@ -1,0 +1,579 @@
+//! Offline drop-in for the subset of the `rayon` API this workspace uses.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the real `rayon` crate cannot be fetched; this shim keeps the exact
+//! call-site API (prelude traits, combinators, `current_num_threads`,
+//! `ThreadPoolBuilder`) while executing on `std::thread::scope`.
+//!
+//! Execution model: a parallel-iterator chain is *driven* by buffering the
+//! upstream items into a `Vec` and then applying the last deferred closure
+//! (a `map`/`filter_map`/`flat_map_iter` stage, or the final `for_each`)
+//! across worker threads in fixed contiguous chunks. Per-chunk results are
+//! concatenated in chunk order, so item order — and therefore every
+//! order-sensitive reduction built on top — is identical to the sequential
+//! execution regardless of thread count. That is a *stronger* guarantee
+//! than real rayon gives (rayon's fold/reduce bracketing depends on
+//! work-stealing); code written against this shim must not rely on it when
+//! swapping the real crate back in. The workspace's numeric kernels
+//! therefore do their own deterministic chunking (see
+//! `lightne-linalg::qr::par_dot` and `DenseMatrix::gram_tn`).
+//!
+//! Unlike real rayon, `ThreadPoolBuilder::build_global` may be called
+//! repeatedly to re-size the pool; `lightne-utils::parallel` relies on
+//! this for the `--threads` CLI flag and the thread-count determinism
+//! tests.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel consumers will use.
+pub fn current_num_threads() -> usize {
+    match CONFIGURED_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Index of the current worker inside a parallel region, `None` outside.
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
+}
+
+/// Error type of [`ThreadPoolBuilder::build_global`] (never produced by
+/// the shim, kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Global thread-pool configuration, mirroring rayon's builder.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means "use available parallelism".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration globally. The shim allows re-sizing at
+    /// any time (real rayon errors after first initialization).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        CONFIGURED_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Runs both closures (sequentially in the shim) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+fn effective_workers(n_items: usize) -> usize {
+    if n_items < 2 || current_thread_index().is_some() {
+        // Tiny workload, or already inside a parallel region: run inline
+        // rather than oversubscribing with nested scopes.
+        return 1;
+    }
+    current_num_threads().min(n_items)
+}
+
+fn run_with_index<R>(idx: usize, f: impl FnOnce() -> R) -> R {
+    WORKER_INDEX.with(|w| w.set(Some(idx)));
+    let out = f();
+    WORKER_INDEX.with(|w| w.set(None));
+    out
+}
+
+/// Applies `f` to every item across worker threads, preserving item order
+/// in the output (chunks are contiguous and concatenated in order).
+pub(crate) fn map_parallel<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = effective_workers(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        parts.push(std::mem::replace(&mut rest, tail));
+    }
+    parts.push(rest);
+
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(parts.len());
+    std::thread::scope(|s| {
+        let mut iter = parts.into_iter();
+        let first = iter.next().unwrap();
+        let handles: Vec<_> = iter
+            .enumerate()
+            .map(|(i, part)| {
+                s.spawn(move || {
+                    run_with_index(i + 1, || part.into_iter().map(f).collect::<Vec<R>>())
+                })
+            })
+            .collect();
+        out.push(run_with_index(0, || first.into_iter().map(f).collect()));
+        for h in handles {
+            out.push(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+pub mod iter {
+    use super::map_parallel;
+
+    /// Conversion into a parallel iterator (rayon-compatible entry point).
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// The shim's parallel iterator: `drive` realizes all items (running
+    /// deferred `map`-family closures across worker threads), consumers
+    /// fold the realized items in original order.
+    pub trait ParallelIterator: Sized + Send {
+        type Item: Send;
+
+        /// Realizes every item, in order.
+        fn drive(self) -> Vec<Self::Item>;
+
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        fn filter<F>(self, f: F) -> Filter<Self, F>
+        where
+            F: Fn(&Self::Item) -> bool + Sync + Send,
+        {
+            Filter { base: self, f }
+        }
+
+        fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> Option<R> + Sync + Send,
+        {
+            FilterMap { base: self, f }
+        }
+
+        fn flat_map_iter<I, F>(self, f: F) -> FlatMapIter<Self, F>
+        where
+            I: IntoIterator,
+            I::Item: Send,
+            F: Fn(Self::Item) -> I + Sync + Send,
+        {
+            FlatMapIter { base: self, f }
+        }
+
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate { base: self }
+        }
+
+        fn zip<Z>(self, other: Z) -> Zip<Self, Z::Iter>
+        where
+            Z: IntoParallelIterator,
+        {
+            Zip { a: self, b: other.into_par_iter() }
+        }
+
+        /// Chunk-size hint; the shim always chunks by worker count.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync + Send,
+        {
+            map_parallel(self.drive(), &f);
+        }
+
+        fn collect<C>(self) -> C
+        where
+            C: FromIterator<Self::Item>,
+        {
+            self.drive().into_iter().collect()
+        }
+
+        fn count(self) -> usize {
+            self.drive().len()
+        }
+
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item>,
+        {
+            self.drive().into_iter().sum()
+        }
+
+        fn max(self) -> Option<Self::Item>
+        where
+            Self::Item: Ord,
+        {
+            self.drive().into_iter().max()
+        }
+
+        fn min(self) -> Option<Self::Item>
+        where
+            Self::Item: Ord,
+        {
+            self.drive().into_iter().min()
+        }
+
+        fn any<F>(self, f: F) -> bool
+        where
+            F: Fn(Self::Item) -> bool + Sync + Send,
+        {
+            self.drive().into_iter().any(f)
+        }
+
+        fn all<F>(self, f: F) -> bool
+        where
+            F: Fn(Self::Item) -> bool + Sync + Send,
+        {
+            self.drive().into_iter().all(f)
+        }
+
+        /// Sequential left fold from `identity()`, in item order — a
+        /// deterministic refinement of rayon's unspecified bracketing.
+        fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+        where
+            ID: Fn() -> Self::Item + Sync + Send,
+            OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+        {
+            self.drive().into_iter().fold(identity(), op)
+        }
+    }
+
+    /// Base parallel iterator over a buffered sequential iterator.
+    pub struct SeqBase<I>(pub(crate) I);
+
+    impl<I> ParallelIterator for SeqBase<I>
+    where
+        I: Iterator + Send,
+        I::Item: Send,
+    {
+        type Item = I::Item;
+        fn drive(self) -> Vec<I::Item> {
+            self.0.collect()
+        }
+    }
+
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, F, R> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        F: Fn(B::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        type Item = R;
+        fn drive(self) -> Vec<R> {
+            map_parallel(self.base.drive(), &self.f)
+        }
+    }
+
+    pub struct Filter<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, F> ParallelIterator for Filter<B, F>
+    where
+        B: ParallelIterator,
+        F: Fn(&B::Item) -> bool + Sync + Send,
+    {
+        type Item = B::Item;
+        fn drive(self) -> Vec<B::Item> {
+            let Filter { base, f } = self;
+            base.drive().into_iter().filter(|t| f(t)).collect()
+        }
+    }
+
+    pub struct FilterMap<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, F, R> ParallelIterator for FilterMap<B, F>
+    where
+        B: ParallelIterator,
+        F: Fn(B::Item) -> Option<R> + Sync + Send,
+        R: Send,
+    {
+        type Item = R;
+        fn drive(self) -> Vec<R> {
+            map_parallel(self.base.drive(), &self.f).into_iter().flatten().collect()
+        }
+    }
+
+    pub struct FlatMapIter<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, F, I> ParallelIterator for FlatMapIter<B, F>
+    where
+        B: ParallelIterator,
+        F: Fn(B::Item) -> I + Sync + Send,
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        type Item = I::Item;
+        fn drive(self) -> Vec<I::Item> {
+            let FlatMapIter { base, f } = self;
+            let g = |t: B::Item| f(t).into_iter().collect::<Vec<_>>();
+            map_parallel(base.drive(), &g).into_iter().flatten().collect()
+        }
+    }
+
+    pub struct Enumerate<B> {
+        base: B,
+    }
+
+    impl<B> ParallelIterator for Enumerate<B>
+    where
+        B: ParallelIterator,
+    {
+        type Item = (usize, B::Item);
+        fn drive(self) -> Vec<(usize, B::Item)> {
+            self.base.drive().into_iter().enumerate().collect()
+        }
+    }
+
+    pub struct Zip<A, B> {
+        a: A,
+        b: B,
+    }
+
+    impl<A, B> ParallelIterator for Zip<A, B>
+    where
+        A: ParallelIterator,
+        B: ParallelIterator,
+    {
+        type Item = (A::Item, B::Item);
+        fn drive(self) -> Vec<(A::Item, B::Item)> {
+            self.a.drive().into_iter().zip(self.b.drive()).collect()
+        }
+    }
+
+    impl<P: ParallelIterator> IntoParallelIterator for P {
+        type Item = P::Item;
+        type Iter = P;
+        fn into_par_iter(self) -> P {
+            self
+        }
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = SeqBase<std::vec::IntoIter<T>>;
+        fn into_par_iter(self) -> Self::Iter {
+            SeqBase(self.into_iter())
+        }
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        T: Send,
+        std::ops::Range<T>: Iterator<Item = T> + Send,
+    {
+        type Item = T;
+        type Iter = SeqBase<std::ops::Range<T>>;
+        fn into_par_iter(self) -> Self::Iter {
+            SeqBase(self)
+        }
+    }
+}
+
+pub mod slice {
+    use super::iter::{ParallelIterator, SeqBase};
+
+    /// Parallel iterator over immutable slice chunks
+    /// (`par_chunks`; also the named return type of
+    /// `DenseMatrix::par_rows`).
+    pub struct Chunks<'a, T>(pub(crate) std::slice::Chunks<'a, T>);
+
+    impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+        type Item = &'a [T];
+        fn drive(self) -> Vec<&'a [T]> {
+            self.0.collect()
+        }
+    }
+
+    /// Parallel iterator over mutable slice chunks (`par_chunks_mut`).
+    pub struct ChunksMut<'a, T>(pub(crate) std::slice::ChunksMut<'a, T>);
+
+    impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+        type Item = &'a mut [T];
+        fn drive(self) -> Vec<&'a mut [T]> {
+            self.0.collect()
+        }
+    }
+
+    /// `par_iter` / `par_chunks` on slices (and through deref, `Vec`).
+    pub trait ParallelSlice<T: Sync> {
+        fn as_parallel_slice(&self) -> &[T];
+
+        fn par_iter(&self) -> SeqBase<std::slice::Iter<'_, T>> {
+            SeqBase(self.as_parallel_slice().iter())
+        }
+
+        fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            Chunks(self.as_parallel_slice().chunks(chunk_size))
+        }
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn as_parallel_slice(&self) -> &[T] {
+            self
+        }
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` / `par_sort_unstable*` on slices.
+    pub trait ParallelSliceMut<T: Send> {
+        fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+        fn par_iter_mut(&mut self) -> SeqBase<std::slice::IterMut<'_, T>> {
+            SeqBase(self.as_parallel_slice_mut().iter_mut())
+        }
+
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ChunksMut(self.as_parallel_slice_mut().chunks_mut(chunk_size))
+        }
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.as_parallel_slice_mut().sort_unstable();
+        }
+
+        fn par_sort_unstable_by<F>(&mut self, compare: F)
+        where
+            F: FnMut(&T, &T) -> std::cmp::Ordering,
+        {
+            self.as_parallel_slice_mut().sort_unstable_by(compare);
+        }
+
+        fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+        where
+            K: Ord,
+            F: FnMut(&T) -> K,
+        {
+            self.as_parallel_slice_mut().sort_unstable_by_key(key);
+        }
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+            self
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        (0..5_000usize).into_par_iter().for_each(|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 5_000);
+    }
+
+    #[test]
+    fn chunks_mut_disjoint_writes() {
+        let mut data = vec![0u32; 1000];
+        data.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[999], (999 / 7) as u32);
+    }
+
+    #[test]
+    fn sum_matches_sequential_bracketing() {
+        let xs: Vec<f64> = (0..1_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let seq: f64 = xs.iter().sum();
+        let par: f64 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(seq.to_bits(), par.to_bits());
+    }
+
+    /// Pool re-sizing and worker indexing, in one test: the pool config
+    /// is process-global, so exercising both here avoids races with
+    /// concurrently running tests.
+    #[test]
+    fn pool_config_and_worker_index() {
+        assert_eq!(super::current_thread_index(), None);
+        super::ThreadPoolBuilder::new().num_threads(3).build_global().unwrap();
+        assert_eq!(super::current_num_threads(), 3);
+        (0..64usize).into_par_iter().for_each(|_| {
+            let idx = super::current_thread_index().expect("inside region");
+            assert!(idx < 3);
+        });
+        assert_eq!(super::current_thread_index(), None);
+        super::ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+    }
+}
