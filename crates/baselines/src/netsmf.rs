@@ -21,7 +21,7 @@ use lightne_core::LightNeConfig;
 use lightne_graph::GraphOps;
 use lightne_hash::{EdgeAggregator, ThreadLocalAggregator};
 use lightne_linalg::{CsrMatrix, DenseMatrix};
-use lightne_sparsifier::construct::{sample_into, SamplerConfig, SamplerStats};
+use lightne_sparsifier::construct::{sample_into, SamplerConfig, SamplerStats, SparsifierOutput};
 use lightne_sparsifier::netmf::sparsifier_to_netmf;
 use lightne_utils::timer::StageTimer;
 
@@ -91,10 +91,10 @@ impl<G: GraphOps> PipelineSource for NetSmfSource<'_, G> {
         self.0.num_edges()
     }
 
-    fn sparsify(&self, cfg: &SamplerConfig) -> (Vec<(u32, u32, f32)>, SamplerStats) {
+    fn sparsify(&self, cfg: &SamplerConfig) -> SparsifierOutput {
         let agg = ThreadLocalAggregator::new();
-        let stats = sample_into(self.0, cfg, &agg);
-        (agg.into_coo(), stats)
+        let stats = sample_into(self.0, cfg, &agg)?;
+        Ok((agg.into_coo(), stats))
     }
 
     fn netmf(&self, coo: Vec<(u32, u32, f32)>, samples: u64, negative: f64) -> CsrMatrix {
@@ -126,9 +126,11 @@ impl NetSmf {
             power_iters: cfg.power_iters,
             propagation: None,
             seed: cfg.seed,
+            shards: 0,
+            global_table: false,
         };
         let out = run_pipeline(&engine_cfg, &NetSmfSource(g), RunOptions::default())
-            .expect("pipeline without artifact i/o cannot fail");
+            .unwrap_or_else(|e| panic!("pipeline failed: {e}"));
         NetSmfOutput {
             embedding: out.embedding,
             sampler: out.sampler,

@@ -46,7 +46,7 @@ pub fn nrp_embed<G: GraphOps>(g: &G, cfg: &NrpConfig) -> DenseMatrix {
         c_factor: None,
         seed: cfg.seed,
     };
-    let (coo, _) = build_sparsifier(g, &sampler_cfg);
+    let (coo, _) = build_sparsifier(g, &sampler_cfg).expect("nrp sampling failed");
 
     // Same estimator inversion as netmf.rs, but NO trunc_log.
     let n = g.num_vertices();

@@ -9,6 +9,7 @@ use lightne_gen::generators::chung_lu;
 use lightne_graph::CompressedGraph;
 use lightne_sparsifier::construct::{build_sparsifier, SamplerConfig};
 use lightne_sparsifier::path_sampling::path_sample;
+use lightne_sparsifier::sharded::build_sharded_sparsifier;
 use lightne_utils::rng::XorShiftStream;
 use std::hint::black_box;
 
@@ -59,5 +60,33 @@ fn bench_algorithm2(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_path_sample, bench_algorithm2);
+fn bench_aggregation_paths(c: &mut Criterion) {
+    // Global table vs vertex-range sharding, same sample stream. The
+    // sharded drain yields sorted entries for free, so the fair comparison
+    // charges the global path the packed-key sort `from_coo` runs next.
+    let g = chung_lu(5_000, 75_000, 2.5, 4);
+    let cfg =
+        SamplerConfig { window: 10, samples: 750_000, downsample: true, c_factor: None, seed: 5 };
+    let mut group = c.benchmark_group("aggregation_path");
+    group.sample_size(10);
+
+    group.bench_function("global_table", |b| {
+        b.iter(|| {
+            let (mut coo, stats) = build_sparsifier(&g, &cfg).unwrap();
+            coo.sort_unstable_by_key(|&(u, v, _)| ((u as u64) << 32) | v as u64);
+            black_box((coo, stats))
+        })
+    });
+    for shards in [8usize, 64] {
+        group.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &s| {
+            b.iter(|| {
+                let (table, stats) = build_sharded_sparsifier(&g, &cfg, s).unwrap();
+                black_box((table.into_sorted_runs(), stats))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_sample, bench_algorithm2, bench_aggregation_paths);
 criterion_main!(benches);

@@ -29,10 +29,10 @@ fn measure(
     let cfg = SamplerConfig { window, samples, downsample, c_factor: None, seed };
     if buffers {
         let agg = ThreadLocalAggregator::new();
-        sample_into(g, &cfg, &agg).aggregator_bytes
+        sample_into(g, &cfg, &agg).expect("sampling failed").aggregator_bytes
     } else {
         let agg = ConcurrentEdgeTable::with_expected(1024);
-        sample_into(g, &cfg, &agg).aggregator_bytes
+        sample_into(g, &cfg, &agg).expect("sampling failed").aggregator_bytes
     }
 }
 
@@ -87,6 +87,7 @@ fn main() {
     }
 
     header("downsampling accuracy effect at fixed M (should be small)");
+    let mut peak_heap = 0usize;
     for downsample in [false, true] {
         let out = LightNe::new(LightNeConfig {
             dim: args.dim,
@@ -101,5 +102,10 @@ fn main() {
             "downsample={:<5}  micro {:>6.2}  macro {:>6.2}  kept {:>10}  distinct {:>9}",
             downsample, f1.micro, f1.macro_, out.sampler.kept, out.sampler.distinct_entries
         );
+        peak_heap = peak_heap.max(out.stats.stages.iter().map(|s| s.heap_bytes).max().unwrap_or(0));
     }
+
+    header("peak stage heap (the --check-peak-bytes regression gate)");
+    println!("peak stage heap: {} ({peak_heap} bytes)", human_bytes(peak_heap));
+    args.enforce_peak_bytes(peak_heap);
 }

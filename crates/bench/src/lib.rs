@@ -27,13 +27,17 @@ pub mod harness {
         pub seed: u64,
         /// Embedding dimension.
         pub dim: usize,
+        /// Regression gate: fail the process if a run's peak heap bytes
+        /// (per `RunStats`) exceed this bound. `None` = report only.
+        pub check_peak_bytes: Option<usize>,
     }
 
     impl Args {
-        /// Parses `--scale`, `--seed` and `--dim` from `std::env::args`,
-        /// with the given defaults.
+        /// Parses `--scale`, `--seed`, `--dim` and `--check-peak-bytes`
+        /// from `std::env::args`, with the given defaults.
         pub fn parse(default_scale: f64, default_dim: usize) -> Self {
-            let mut out = Self { scale: default_scale, seed: 42, dim: default_dim };
+            let mut out =
+                Self { scale: default_scale, seed: 42, dim: default_dim, check_peak_bytes: None };
             let argv: Vec<String> = std::env::args().collect();
             let mut i = 1;
             while i < argv.len() {
@@ -43,11 +47,26 @@ pub mod harness {
                     "--scale" => out.scale = val.parse().expect("bad --scale"),
                     "--seed" => out.seed = val.parse().expect("bad --seed"),
                     "--dim" => out.dim = val.parse().expect("bad --dim"),
+                    "--check-peak-bytes" => {
+                        out.check_peak_bytes = Some(val.parse().expect("bad --check-peak-bytes"));
+                    }
                     other => panic!("unknown argument {other}"),
                 }
                 i += 2;
             }
             out
+        }
+
+        /// Enforces the `--check-peak-bytes` gate against a measured peak:
+        /// prints the verdict and exits non-zero on regression. A no-op
+        /// when the flag was not passed.
+        pub fn enforce_peak_bytes(&self, peak: usize) {
+            let Some(limit) = self.check_peak_bytes else { return };
+            if peak > limit {
+                eprintln!("MEMORY REGRESSION: peak heap {peak} bytes exceeds budget {limit} bytes");
+                std::process::exit(1);
+            }
+            println!("peak heap {peak} bytes within budget {limit} bytes");
         }
     }
 

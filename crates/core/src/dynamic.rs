@@ -25,7 +25,7 @@ use crate::propagation::PropagationConfig;
 use lightne_graph::{Graph, GraphBuilder, VertexId};
 use lightne_hash::{ConcurrentEdgeTable, EdgeAggregator};
 use lightne_linalg::{CsrMatrix, DenseMatrix};
-use lightne_sparsifier::construct::{SamplerConfig, SamplerStats};
+use lightne_sparsifier::construct::{SamplerConfig, SamplerStats, SparsifierOutput};
 use lightne_sparsifier::downsample::{default_c, edge_probability};
 use lightne_sparsifier::netmf::sparsifier_to_netmf;
 use lightne_sparsifier::path_sampling::path_sample;
@@ -182,14 +182,14 @@ impl PipelineSource for DynamicSource<'_> {
         self.0.total_trials
     }
 
-    fn sparsify(&self, _cfg: &SamplerConfig) -> (Vec<(u32, u32, f32)>, SamplerStats) {
+    fn sparsify(&self, _cfg: &SamplerConfig) -> SparsifierOutput {
         let stats = SamplerStats {
             trials: self.0.total_trials,
             kept: 0,
             distinct_entries: self.0.table.len(),
             aggregator_bytes: self.0.table.memory_bytes(),
         };
-        (self.0.snapshot_entries(), stats)
+        Ok((self.0.snapshot_entries(), stats))
     }
 
     fn netmf(&self, coo: Vec<(u32, u32, f32)>, samples: u64, negative: f64) -> CsrMatrix {

@@ -23,8 +23,9 @@
 use crate::artifacts::{ArtifactStore, RunMeta, META_VERSION};
 use crate::pipeline::{LightNeConfig, LightNeOutput};
 use crate::propagation::PropagationConfig;
+use lightne_hash::ShardedEdgeTable;
 use lightne_linalg::{randomized_svd, CsrMatrix, DenseMatrix, RsvdConfig};
-use lightne_sparsifier::construct::{SamplerConfig, SamplerStats};
+use lightne_sparsifier::construct::{SamplerConfig, SamplerError, SamplerStats, SparsifierOutput};
 use lightne_utils::mem::MemUsage;
 use lightne_utils::timer::StageTimer;
 use std::fmt;
@@ -280,13 +281,16 @@ fn escape_json(s: &str) -> String {
     out
 }
 
-/// Errors from the stage engine (artifact I/O and resume validation).
+/// Errors from the stage engine (artifact I/O, resume validation, and
+/// sampler preconditions).
 #[derive(Debug)]
 pub enum EngineError {
     /// Artifact file I/O or parse failure.
     Io(lightne_linalg::matio::MatIoError),
     /// A resume directory is unusable or inconsistent with the run.
     Resume(String),
+    /// The sampler rejected the graph or configuration.
+    Sampler(SamplerError),
 }
 
 impl fmt::Display for EngineError {
@@ -294,6 +298,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Io(e) => write!(f, "artifact i/o: {e}"),
             EngineError::Resume(what) => write!(f, "cannot resume: {what}"),
+            EngineError::Sampler(e) => write!(f, "sampler: {e}"),
         }
     }
 }
@@ -303,6 +308,12 @@ impl std::error::Error for EngineError {}
 impl From<lightne_linalg::matio::MatIoError> for EngineError {
     fn from(e: lightne_linalg::matio::MatIoError) -> Self {
         EngineError::Io(e)
+    }
+}
+
+impl From<SamplerError> for EngineError {
+    fn from(e: SamplerError) -> Self {
+        EngineError::Sampler(e)
     }
 }
 
@@ -358,10 +369,38 @@ pub trait PipelineSource {
     }
 
     /// Stage 1: builds the sparsifier COO and sampling statistics.
-    fn sparsify(&self, cfg: &SamplerConfig) -> (Vec<(u32, u32, f32)>, SamplerStats);
+    ///
+    /// # Errors
+    /// Propagates [`SamplerError`] when the graph or configuration cannot
+    /// be sampled (no edges, zero window).
+    fn sparsify(&self, cfg: &SamplerConfig) -> SparsifierOutput;
+
+    /// Stage 1, sharded fast path: builds the sparsifier into a
+    /// vertex-range-sharded table for the fused stage-2 drain. Sources
+    /// without a sharded implementation return `None` (the default) and
+    /// the engine falls back to [`PipelineSource::sparsify`].
+    ///
+    /// `shards == 0` selects the automatic heuristic.
+    fn sparsify_sharded(
+        &self,
+        _cfg: &SamplerConfig,
+        _shards: usize,
+    ) -> Option<Result<(ShardedEdgeTable, SamplerStats), SamplerError>> {
+        None
+    }
 
     /// Stage 2: converts the sparsifier into the NetMF matrix.
     fn netmf(&self, coo: Vec<(u32, u32, f32)>, samples: u64, negative: f64) -> CsrMatrix;
+
+    /// Stage 2, sharded fast path: fused drain of the sharded table
+    /// straight into the NetMF matrix. The default flattens the sorted
+    /// runs and delegates to [`PipelineSource::netmf`], which is already
+    /// byte-identical — sources override it to skip the global COO.
+    fn netmf_sharded(&self, table: ShardedEdgeTable, samples: u64, negative: f64) -> CsrMatrix {
+        let coo: Vec<(u32, u32, f32)> =
+            table.into_sorted_runs().into_iter().flat_map(|(_, run)| run).collect();
+        self.netmf(coo, samples, negative)
+    }
 
     /// Stage 4: propagates the initial embedding (only called when the
     /// configuration enables propagation).
@@ -375,6 +414,16 @@ enum ResumeLevel {
     Sparsifier,
     NetMf,
     Initial,
+}
+
+/// What stage 1 hands to stage 2.
+enum SparsifierPayload {
+    /// Resumed past the point where stage 2 needs input.
+    None,
+    /// Classic path: the drained global COO.
+    Coo(Vec<(u32, u32, f32)>),
+    /// Sharded fast path: the live table for the fused drain.
+    Sharded(ShardedEdgeTable),
 }
 
 /// Runs the staged pipeline over `src`, with optional checkpointing and
@@ -469,9 +518,16 @@ pub fn run_pipeline<S: PipelineSource>(
         netmf_nnz: None,
     };
 
+    // The sharded fast path fuses the stage-2 transform into the shard
+    // drain, so it never materializes the untransformed COO. Checkpointing
+    // needs that COO on disk (the sparsifier artifact), so runs that save
+    // artifacts — and resumed runs, which replay from artifacts — take the
+    // classic path. Output bytes are identical either way.
+    let use_sharded = level == ResumeLevel::None && store.is_none() && !cfg.global_table;
+
     // Stage 1: sparsifier construction (or replay from artifacts).
-    let (coo, sampler) = ctx.run(StageKind::Sparsify, |scope| -> Result<_, EngineError> {
-        let (coo, stats) = if level >= ResumeLevel::Sparsifier {
+    let (payload, sampler) = ctx.run(StageKind::Sparsify, |scope| -> Result<_, EngineError> {
+        let (payload, stats) = if level >= ResumeLevel::Sparsifier {
             let m = resume_meta.as_ref().expect("resume level implies meta");
             scope.counter("resumed", 1);
             let stats = SamplerStats {
@@ -481,26 +537,38 @@ pub fn run_pipeline<S: PipelineSource>(
                 aggregator_bytes: m.aggregator_bytes,
             };
             // Only materialize the COO when the next stage will consume it.
-            let coo = if level == ResumeLevel::Sparsifier {
+            let payload = if level == ResumeLevel::Sparsifier {
                 let r = resume.as_ref().expect("resume level implies store");
                 let (_, _, entries) = r.load_sparsifier()?;
-                Some(entries)
+                SparsifierPayload::Coo(entries)
             } else {
-                None
+                SparsifierPayload::None
             };
-            (coo, stats)
+            (payload, stats)
+        } else if let Some(sharded) =
+            if use_sharded { src.sparsify_sharded(&sampler_cfg, cfg.shards) } else { None }
+        {
+            let (table, stats) = sharded?;
+            let shard_stats = table.shard_stats();
+            scope.counter("shards", shard_stats.len() as u64);
+            scope.counter("shard_resizes", table.total_resizes() as u64);
+            scope.counter(
+                "shard_distinct_max",
+                shard_stats.iter().map(|s| s.distinct).max().unwrap_or(0) as u64,
+            );
+            (SparsifierPayload::Sharded(table), stats)
         } else {
-            let (coo, stats) = src.sparsify(&sampler_cfg);
+            let (coo, stats) = src.sparsify(&sampler_cfg)?;
             if let Some(store) = &store {
                 store.save_sparsifier(n, &coo)?;
             }
-            (Some(coo), stats)
+            (SparsifierPayload::Coo(coo), stats)
         };
         scope.counter("trials", stats.trials);
         scope.counter("kept", stats.kept);
         scope.counter("distinct_entries", stats.distinct_entries as u64);
         scope.heap_bytes(stats.aggregator_bytes);
-        Ok((coo, stats))
+        Ok((payload, stats))
     })?;
     meta.trials = sampler.trials;
     meta.kept = sampler.kept;
@@ -528,8 +596,15 @@ pub fn run_pipeline<S: PipelineSource>(
                 None
             }
         } else {
-            let coo = coo.expect("fresh sparsify stage always yields a COO");
-            let m = src.netmf(coo, samples, cfg.negative);
+            let m = match payload {
+                SparsifierPayload::Coo(coo) => src.netmf(coo, samples, cfg.negative),
+                SparsifierPayload::Sharded(table) => {
+                    src.netmf_sharded(table, samples, cfg.negative)
+                }
+                SparsifierPayload::None => {
+                    unreachable!("fresh sparsify stage always yields a payload")
+                }
+            };
             scope.counter("nnz", m.nnz() as u64);
             scope.heap(&m);
             if let Some(store) = &store {

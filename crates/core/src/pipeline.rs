@@ -9,9 +9,16 @@
 use crate::engine::{run_pipeline, EngineError, PipelineSource, RunOptions, RunStats};
 use crate::propagation::{spectral_propagation, PropagationConfig};
 use lightne_graph::GraphOps;
+use lightne_hash::ShardedEdgeTable;
 use lightne_linalg::{CsrMatrix, DenseMatrix};
-use lightne_sparsifier::construct::{build_sparsifier, SamplerConfig, SamplerStats};
+use lightne_sparsifier::construct::{
+    build_sparsifier, SamplerConfig, SamplerError, SamplerStats, SparsifierOutput,
+};
 use lightne_sparsifier::netmf::sparsifier_to_netmf;
+use lightne_sparsifier::sharded::{
+    build_sharded_sparsifier, build_weighted_sharded_sparsifier, sharded_to_netmf,
+    weighted_sharded_to_netmf,
+};
 use lightne_utils::timer::StageTimer;
 
 /// Full configuration of a LightNE run.
@@ -39,6 +46,13 @@ pub struct LightNeConfig {
     pub propagation: Option<PropagationConfig>,
     /// Master RNG seed.
     pub seed: u64,
+    /// Shard count for the vertex-range-sharded aggregation path
+    /// (`0` = automatic heuristic, see `ShardedEdgeTable::auto_shards`).
+    pub shards: usize,
+    /// Forces the legacy single-global-table data path instead of the
+    /// sharded one. Output bytes are identical either way; this exists
+    /// for A/B benchmarking and as an escape hatch.
+    pub global_table: bool,
 }
 
 impl Default for LightNeConfig {
@@ -54,6 +68,8 @@ impl Default for LightNeConfig {
             power_iters: 1,
             propagation: Some(PropagationConfig::default()),
             seed: 0x11_97,
+            shards: 0,
+            global_table: false,
         }
     }
 }
@@ -125,12 +141,24 @@ impl<G: GraphOps> PipelineSource for UnweightedSource<'_, G> {
         self.0.num_edges()
     }
 
-    fn sparsify(&self, cfg: &SamplerConfig) -> (Vec<(u32, u32, f32)>, SamplerStats) {
+    fn sparsify(&self, cfg: &SamplerConfig) -> SparsifierOutput {
         build_sparsifier(self.0, cfg)
+    }
+
+    fn sparsify_sharded(
+        &self,
+        cfg: &SamplerConfig,
+        shards: usize,
+    ) -> Option<Result<(ShardedEdgeTable, SamplerStats), SamplerError>> {
+        Some(build_sharded_sparsifier(self.0, cfg, shards))
     }
 
     fn netmf(&self, coo: Vec<(u32, u32, f32)>, samples: u64, negative: f64) -> CsrMatrix {
         sparsifier_to_netmf(self.0, coo, samples, negative)
+    }
+
+    fn netmf_sharded(&self, table: ShardedEdgeTable, samples: u64, negative: f64) -> CsrMatrix {
+        sharded_to_netmf(self.0, table, samples, negative)
     }
 
     fn propagate(&self, initial: &DenseMatrix, cfg: &PropagationConfig) -> DenseMatrix {
@@ -156,12 +184,24 @@ impl PipelineSource for WeightedSource<'_> {
         true
     }
 
-    fn sparsify(&self, cfg: &SamplerConfig) -> (Vec<(u32, u32, f32)>, SamplerStats) {
+    fn sparsify(&self, cfg: &SamplerConfig) -> SparsifierOutput {
         lightne_sparsifier::weighted::build_weighted_sparsifier(self.0, cfg)
+    }
+
+    fn sparsify_sharded(
+        &self,
+        cfg: &SamplerConfig,
+        shards: usize,
+    ) -> Option<Result<(ShardedEdgeTable, SamplerStats), SamplerError>> {
+        Some(build_weighted_sharded_sparsifier(self.0, cfg, shards))
     }
 
     fn netmf(&self, coo: Vec<(u32, u32, f32)>, samples: u64, negative: f64) -> CsrMatrix {
         lightne_sparsifier::weighted::weighted_sparsifier_to_netmf(self.0, coo, samples, negative)
+    }
+
+    fn netmf_sharded(&self, table: ShardedEdgeTable, samples: u64, negative: f64) -> CsrMatrix {
+        weighted_sharded_to_netmf(self.0, table, samples, negative)
     }
 
     fn propagate(&self, initial: &DenseMatrix, cfg: &PropagationConfig) -> DenseMatrix {
@@ -186,9 +226,13 @@ impl LightNe {
     /// Runs the full pipeline on a *weighted* graph: weight-proportional
     /// PathSampling (Theorem 3.1's general form), the weighted NetMF
     /// inversion, and propagation over the weighted operators.
+    ///
+    /// # Panics
+    /// Panics if the graph cannot be sampled (no edges) — use
+    /// [`LightNe::embed_weighted_with`] for a recoverable error.
     pub fn embed_weighted(&self, g: &lightne_graph::WeightedGraph) -> LightNeOutput {
         self.embed_weighted_with(g, RunOptions::default())
-            .expect("pipeline without artifact i/o cannot fail")
+            .unwrap_or_else(|e| panic!("pipeline failed: {e}"))
     }
 
     /// Weighted pipeline with engine options (checkpointing, resume,
@@ -202,9 +246,12 @@ impl LightNe {
     }
 
     /// Runs the full pipeline on `g`.
+    ///
+    /// # Panics
+    /// Panics if the graph cannot be sampled (no edges) — use
+    /// [`LightNe::embed_with`] for a recoverable error.
     pub fn embed<G: GraphOps>(&self, g: &G) -> LightNeOutput {
-        self.embed_with(g, RunOptions::default())
-            .expect("pipeline without artifact i/o cannot fail")
+        self.embed_with(g, RunOptions::default()).unwrap_or_else(|e| panic!("pipeline failed: {e}"))
     }
 
     /// Unweighted pipeline with engine options (checkpointing, resume,

@@ -415,6 +415,72 @@ mod tests {
         assert_eq!(seen, vec![1]);
     }
 
+    /// Star graph whose hub has exactly `deg` neighbors `1..=deg`.
+    fn star(deg: usize) -> Graph {
+        let edges: Vec<(u32, u32)> = (1..=deg as u32).map(|v| (0u32, v)).collect();
+        GraphBuilder::from_edges(deg + 1, &edges)
+    }
+
+    #[test]
+    fn decode_block_degree_zero() {
+        let g = GraphBuilder::from_edges(4, &[(1, 2)]);
+        let c = CompressedGraph::from_graph(&g);
+        // Vertex 0 is isolated: no blocks exist; decode_block(b=0) must
+        // report zero neighbors and never invoke the callback.
+        let decoded = c.decode_block(0, 0, |_| panic!("no neighbors to decode"));
+        assert_eq!(decoded, 0);
+    }
+
+    #[test]
+    fn degree_exactly_one_block() {
+        // Degree == block size: exactly one block and an empty offset
+        // table — the boundary where an off-by-one would add a phantom
+        // second block.
+        let deg = DEFAULT_BLOCK_SIZE;
+        let g = star(deg);
+        let c = CompressedGraph::from_graph(&g);
+        assert_eq!(c.degree(0), deg);
+        assert_eq!(c.nblocks(deg), 1);
+
+        let mut block = Vec::new();
+        assert_eq!(c.decode_block(0, 0, |u| block.push(u)), deg);
+        let want: Vec<u32> = (1..=deg as u32).collect();
+        assert_eq!(block, want);
+
+        let mut all = Vec::new();
+        c.for_each_neighbor(0, |u| all.push(u));
+        assert_eq!(all, want);
+
+        for i in [0, 1, deg - 2, deg - 1] {
+            assert_eq!(c.ith_neighbor(0, i), (i + 1) as u32, "i={i}");
+        }
+    }
+
+    #[test]
+    fn degree_not_multiple_of_block_size() {
+        // Degree = block size + 1: a full block plus a one-neighbor tail
+        // block, exercising the partial final block in all three readers.
+        let deg = DEFAULT_BLOCK_SIZE + 1;
+        let g = star(deg);
+        let c = CompressedGraph::from_graph(&g);
+        assert_eq!(c.nblocks(deg), 2);
+
+        let mut b0 = Vec::new();
+        assert_eq!(c.decode_block(0, 0, |u| b0.push(u)), DEFAULT_BLOCK_SIZE);
+        assert_eq!(b0, (1..=DEFAULT_BLOCK_SIZE as u32).collect::<Vec<_>>());
+        let mut b1 = Vec::new();
+        assert_eq!(c.decode_block(0, 1, |u| b1.push(u)), 1);
+        assert_eq!(b1, vec![deg as u32]);
+
+        let mut all = Vec::new();
+        c.for_each_neighbor(0, |u| all.push(u));
+        assert_eq!(all, (1..=deg as u32).collect::<Vec<_>>());
+
+        // The tail neighbor crosses into block 1.
+        assert_eq!(c.ith_neighbor(0, deg - 1), deg as u32);
+        assert_eq!(c.ith_neighbor(0, DEFAULT_BLOCK_SIZE - 1), DEFAULT_BLOCK_SIZE as u32);
+    }
+
     #[test]
     fn high_degree_vertex_many_blocks() {
         // Star with hub degree 1000 → 16 blocks at the default size.

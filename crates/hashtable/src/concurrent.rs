@@ -121,6 +121,7 @@ impl Slots {
 pub struct ConcurrentEdgeTable {
     inner: RwLock<Slots>,
     len: AtomicUsize,
+    resizes: AtomicUsize,
 }
 
 impl ConcurrentEdgeTable {
@@ -130,7 +131,11 @@ impl ConcurrentEdgeTable {
     pub fn with_expected(expected_distinct: usize) -> Self {
         let target = ((expected_distinct as f64 / MAX_LOAD) as usize).max(1024);
         let cap = target.next_power_of_two();
-        Self { inner: RwLock::new(Slots::new(cap)), len: AtomicUsize::new(0) }
+        Self {
+            inner: RwLock::new(Slots::new(cap)),
+            len: AtomicUsize::new(0),
+            resizes: AtomicUsize::new(0),
+        }
     }
 
     /// Current slot capacity.
@@ -153,6 +158,11 @@ impl ConcurrentEdgeTable {
         self.len() as f64 / self.capacity() as f64
     }
 
+    /// Number of times the slot array has doubled since construction.
+    pub fn resize_count(&self) -> usize {
+        self.resizes.load(Ordering::Relaxed)
+    }
+
     fn grow(&self) {
         let mut guard = self.inner.write();
         // Double-check under the write lock: another thread may have grown.
@@ -168,6 +178,7 @@ impl ConcurrentEdgeTable {
             }
         }
         *guard = new;
+        self.resizes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Adds `weight` to edge `(u, v)`.
@@ -322,6 +333,7 @@ mod tests {
         }
         assert_eq!(t.len(), 10_000);
         assert!(t.capacity() > initial_cap);
+        assert!(t.resize_count() > 0);
         for i in 0..10_000u32 {
             assert_eq!(t.get(i, i + 1), 1.0, "lost edge {i} during growth");
         }

@@ -23,9 +23,11 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod sharded;
 pub mod thread_local;
 
 pub use concurrent::ConcurrentEdgeTable;
+pub use sharded::{ShardRun, ShardStats, ShardedEdgeTable};
 pub use thread_local::ThreadLocalAggregator;
 
 /// Packs an edge into a table key.

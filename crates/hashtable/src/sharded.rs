@@ -1,0 +1,333 @@
+//! Source-vertex-range sharded edge aggregation.
+//!
+//! A [`ShardedEdgeTable`] splits the vertex id space `[0, n)` into `N`
+//! contiguous ranges and gives each range its own folklore
+//! [`ConcurrentEdgeTable`]. Two properties follow:
+//!
+//! * **Independent resizing.** A shard that crosses its load factor
+//!   doubles under its *own* `RwLock`; samplers writing to the other
+//!   `N − 1` shards never observe the stall. The single global table's
+//!   stop-the-world resize is the main scaling cliff this removes.
+//! * **Sorted drain without a global sort.** Shard `s` owns the packed
+//!   keys `(u, v)` with `u` in its range, and ranges are increasing in
+//!   `s`, so sorting each shard's entries by packed key independently and
+//!   concatenating in shard order yields the *globally* sorted COO — the
+//!   exact order `CsrMatrix::from_coo` produces. Per-shard drains run in
+//!   parallel and each feeds a contiguous CSR row block.
+//!
+//! Determinism: every shard keeps the fixed-point u64 accumulation of the
+//! underlying table, so accumulated weights are bitwise independent of the
+//! thread interleaving, and the drain order above is independent of the
+//! shard count. The sharded path is therefore byte-identical to the
+//! single-table path for any `(threads, shards)` combination.
+
+use crate::{pack_key, ConcurrentEdgeTable, EdgeAggregator};
+use rayon::prelude::*;
+use std::ops::Range;
+
+/// Per-shard occupancy and resize counters, surfaced into `RunStats`.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Source-vertex range the shard owns.
+    pub rows: Range<u32>,
+    /// Distinct edges held.
+    pub distinct: usize,
+    /// Slot capacity.
+    pub capacity: usize,
+    /// Number of independent doublings this shard performed.
+    pub resizes: usize,
+}
+
+/// A sorted per-shard drain: the shard's row range plus its entries in
+/// packed-key (row-major) order. Concatenating runs in shard order gives
+/// the globally sorted COO.
+pub type ShardRun = (Range<u32>, Vec<(u32, u32, f32)>);
+
+/// `N` folklore edge tables keyed by source-vertex range.
+///
+/// ```
+/// use lightne_hash::ShardedEdgeTable;
+/// let t = ShardedEdgeTable::new(100, 4, 64);
+/// t.add_edge(1, 2, 0.5);
+/// t.add_edge(1, 2, 1.5);
+/// t.add_edge(80, 3, 1.0);
+/// assert_eq!(t.get(1, 2), 2.0);
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.num_shards(), 4);
+/// ```
+pub struct ShardedEdgeTable {
+    tables: Vec<ConcurrentEdgeTable>,
+    /// Vertices per shard; shard of `u` is `u / span`.
+    span: u32,
+    n_vertices: usize,
+}
+
+impl ShardedEdgeTable {
+    /// Creates a table over vertex ids `[0, n_vertices)` with (up to)
+    /// `shards` shards, expecting roughly `expected_distinct` distinct
+    /// edges in total. Each shard pre-sizes for its share.
+    pub fn new(n_vertices: usize, shards: usize, expected_distinct: usize) -> Self {
+        let nshards = Self::shard_ranges(n_vertices, shards).len();
+        let per_shard = expected_distinct.div_ceil(nshards);
+        Self::with_expectations(n_vertices, shards, &vec![per_shard; nshards])
+    }
+
+    /// Like [`Self::new`], but with a per-shard expected-distinct count
+    /// (`expectations[s]` sizes shard `s`; its length must match
+    /// [`Self::shard_ranges`]). Use when the key distribution over the
+    /// vertex ranges is known to be skewed — e.g. sized by degree mass —
+    /// so heavy shards start big instead of resizing their way up.
+    /// Capacities never influence accumulated values, only resize counts.
+    pub fn with_expectations(n_vertices: usize, shards: usize, expectations: &[usize]) -> Self {
+        let n = n_vertices.max(1);
+        let shards = shards.clamp(1, n);
+        let span = n.div_ceil(shards).max(1);
+        let nshards = n.div_ceil(span);
+        assert_eq!(expectations.len(), nshards, "one expectation per shard");
+        let tables = expectations.iter().map(|&e| ConcurrentEdgeTable::with_expected(e)).collect();
+        Self { tables, span: span as u32, n_vertices: n }
+    }
+
+    /// The vertex ranges `new` / `with_expectations` would assign to each
+    /// shard (the trailing range may be shorter, and rounding can merge
+    /// trailing shards — the returned length is the actual shard count).
+    pub fn shard_ranges(n_vertices: usize, shards: usize) -> Vec<Range<u32>> {
+        let n = n_vertices.max(1);
+        let shards = shards.clamp(1, n);
+        let span = n.div_ceil(shards).max(1);
+        let nshards = n.div_ceil(span);
+        (0..nshards)
+            .map(|s| {
+                let lo = (s * span).min(n) as u32;
+                let hi = ((s + 1) * span).min(n) as u32;
+                lo..hi
+            })
+            .collect()
+    }
+
+    /// Creates a table with the automatic shard-count heuristic.
+    pub fn with_auto(n_vertices: usize, expected_distinct: usize) -> Self {
+        Self::new(n_vertices, Self::auto_shards(n_vertices), expected_distinct)
+    }
+
+    /// Shard-count heuristic: 4× the worker-thread count (rounded up to a
+    /// power of two) so resize stalls stay localized even with skewed
+    /// ranges, clamped so every shard still owns ≥ 64 vertices — below
+    /// that the per-shard table floors dominate memory.
+    pub fn auto_shards(n_vertices: usize) -> usize {
+        let by_threads = (rayon::current_num_threads() * 4).next_power_of_two();
+        by_threads.clamp(1, (n_vertices / 64).max(1))
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Shard owning source vertex `u`.
+    #[inline]
+    pub fn shard_of(&self, u: u32) -> usize {
+        ((u / self.span) as usize).min(self.tables.len() - 1)
+    }
+
+    /// Source-vertex range owned by shard `s`.
+    pub fn shard_rows(&self, s: usize) -> Range<u32> {
+        let lo = (s as u32).saturating_mul(self.span);
+        let hi = lo.saturating_add(self.span).min(self.n_vertices as u32);
+        lo..hi
+    }
+
+    /// Adds `weight` to edge `(u, v)`.
+    #[inline]
+    pub fn add_edge(&self, u: u32, v: u32, weight: f32) {
+        self.tables[self.shard_of(u)].add_edge(u, v, weight);
+    }
+
+    /// Reads the accumulated weight of an edge (0.0 if absent).
+    pub fn get(&self, u: u32, v: u32) -> f32 {
+        self.tables[self.shard_of(u)].get(u, v)
+    }
+
+    /// Total distinct edges across all shards.
+    pub fn len(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Whether no edges have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.tables.iter().all(|t| t.is_empty())
+    }
+
+    /// Per-shard fill/resize counters.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        (0..self.tables.len())
+            .map(|s| ShardStats {
+                rows: self.shard_rows(s),
+                distinct: self.tables[s].len(),
+                capacity: self.tables[s].capacity(),
+                resizes: self.tables[s].resize_count(),
+            })
+            .collect()
+    }
+
+    /// Total independent resizes across shards.
+    pub fn total_resizes(&self) -> usize {
+        self.tables.iter().map(|t| t.resize_count()).sum()
+    }
+
+    /// Drains every shard in parallel into sorted runs: shard `s`'s
+    /// entries in packed-key order. Concatenating the runs in order gives
+    /// exactly the globally sorted COO (see module docs).
+    pub fn into_sorted_runs(self) -> Vec<ShardRun> {
+        self.drain_map(|_, _, w| Some(w))
+    }
+
+    /// Like [`Self::into_sorted_runs`], but applies `f(u, v, w)` to every
+    /// entry during the drain, dropping entries mapped to `None`. This is
+    /// the hook the sparsifier uses to fuse the NetMF trunc-log transform
+    /// into the drain, so the untransformed matrix is never materialized.
+    pub fn drain_map<F>(self, f: F) -> Vec<ShardRun>
+    where
+        F: Fn(u32, u32, f32) -> Option<f32> + Sync,
+    {
+        let ranges: Vec<Range<u32>> = (0..self.tables.len()).map(|s| self.shard_rows(s)).collect();
+        self.tables
+            .into_par_iter()
+            .zip(ranges)
+            .map(|(table, rows)| {
+                let mut entries = table.into_coo();
+                entries.sort_unstable_by_key(|&(u, v, _)| pack_key(u, v));
+                let entries: Vec<(u32, u32, f32)> = entries
+                    .into_iter()
+                    .filter_map(|(u, v, w)| f(u, v, w).map(|t| (u, v, t)))
+                    .collect();
+                (rows, entries)
+            })
+            .collect()
+    }
+}
+
+impl EdgeAggregator for ShardedEdgeTable {
+    fn add(&self, u: u32, v: u32, weight: f32) {
+        self.add_edge(u, v, weight);
+    }
+
+    fn distinct_edges(&self) -> usize {
+        self.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.tables.iter().map(|t| t.memory_bytes()).sum()
+    }
+
+    fn into_coo(self) -> Vec<(u32, u32, f32)> {
+        self.into_sorted_runs().into_iter().flat_map(|(_, run)| run).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_by_source_range() {
+        let t = ShardedEdgeTable::new(100, 4, 16);
+        assert_eq!(t.num_shards(), 4);
+        assert_eq!(t.shard_rows(0), 0..25);
+        assert_eq!(t.shard_rows(3), 75..100);
+        assert_eq!(t.shard_of(0), 0);
+        assert_eq!(t.shard_of(24), 0);
+        assert_eq!(t.shard_of(25), 1);
+        assert_eq!(t.shard_of(99), 3);
+    }
+
+    #[test]
+    fn shard_count_never_exceeds_vertices() {
+        let t = ShardedEdgeTable::new(3, 16, 8);
+        assert!(t.num_shards() <= 3);
+        for u in 0..3u32 {
+            t.add_edge(u, (u + 1) % 3, 1.0);
+        }
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn accumulates_like_single_table() {
+        let t = ShardedEdgeTable::new(1000, 8, 64);
+        t.add_edge(1, 2, 1.5);
+        t.add_edge(1, 2, 2.5);
+        t.add_edge(999, 0, 1.0);
+        assert_eq!(t.get(1, 2), 4.0);
+        assert_eq!(t.get(999, 0), 1.0);
+        assert_eq!(t.get(5, 5), 0.0);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn sorted_runs_concatenate_globally_sorted() {
+        let t = ShardedEdgeTable::new(64, 4, 16);
+        // Insert in scrambled order across shards.
+        for &(u, v, w) in
+            &[(50u32, 1u32, 1.0f32), (3, 9, 2.0), (3, 1, 0.5), (20, 4, 1.0), (50, 0, 3.0)]
+        {
+            t.add_edge(u, v, w);
+        }
+        let runs = t.into_sorted_runs();
+        let flat: Vec<(u32, u32, f32)> = runs.iter().flat_map(|(_, r)| r.iter().copied()).collect();
+        let mut sorted = flat.clone();
+        sorted.sort_unstable_by_key(|&(u, v, _)| pack_key(u, v));
+        assert_eq!(flat, sorted);
+        for (rows, run) in &runs {
+            assert!(run.iter().all(|&(u, _, _)| rows.contains(&u)));
+        }
+    }
+
+    #[test]
+    fn drain_map_filters_and_transforms() {
+        let t = ShardedEdgeTable::new(16, 2, 8);
+        t.add_edge(1, 2, 2.0);
+        t.add_edge(9, 3, 4.0);
+        t.add_edge(9, 4, 0.25);
+        let runs = t.drain_map(|_, _, w| if w >= 1.0 { Some(w * 2.0) } else { None });
+        let flat: Vec<(u32, u32, f32)> = runs.into_iter().flat_map(|(_, r)| r).collect();
+        assert_eq!(flat, vec![(1, 2, 4.0), (9, 3, 8.0)]);
+    }
+
+    #[test]
+    fn matches_concurrent_table_exactly() {
+        // Same stream into a global table and a sharded table: the
+        // fixed-point accumulation makes the drained sets identical.
+        let global = ConcurrentEdgeTable::with_expected(64);
+        let sharded = ShardedEdgeTable::new(256, 8, 64);
+        let mut state = 0x1234_5678_u64;
+        for _ in 0..50_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((state >> 33) % 256) as u32;
+            let v = ((state >> 17) % 256) as u32;
+            let w = 0.25 + ((state >> 7) % 8) as f32 * 0.125;
+            global.add_edge(u, v, w);
+            sharded.add_edge(u, v, w);
+        }
+        let mut a = global.into_coo();
+        a.sort_unstable_by_key(|&(u, v, _)| pack_key(u, v));
+        let b = sharded.into_coo();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1, y.1);
+            assert_eq!(x.2.to_bits(), y.2.to_bits(), "weight mismatch at ({}, {})", x.0, x.1);
+        }
+    }
+
+    #[test]
+    fn stats_report_resizes() {
+        let t = ShardedEdgeTable::new(1 << 16, 4, 4);
+        for i in 0..20_000u32 {
+            t.add_edge(i % (1 << 16), i / 7, 1.0);
+        }
+        let stats = t.shard_stats();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.distinct).sum::<usize>(), t.len());
+        assert!(t.total_resizes() > 0, "tiny initial shards must have grown");
+    }
+}

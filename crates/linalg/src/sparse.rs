@@ -10,6 +10,84 @@ use crate::dense::DenseMatrix;
 use lightne_utils::mem::MemUsage;
 use lightne_utils::parallel::parallel_prefix_sum;
 use rayon::prelude::*;
+use std::ops::Range;
+
+/// One shard's drained output: a contiguous row range plus its
+/// `(row, col, value)` entries sorted by `(row, col)` with unique
+/// coordinates. See [`CsrMatrix::from_sharded_rows`].
+pub type SortedRun = (Range<u32>, Vec<(u32, u32, f32)>);
+
+/// Row-major packed sort key of a COO triple.
+#[inline]
+fn coo_key(e: &(u32, u32, f32)) -> u64 {
+    ((e.0 as u64) << 32) | e.1 as u64
+}
+
+/// Below this length the duplicate-combining pass runs sequentially; the
+/// chunk bookkeeping is not worth it.
+const PAR_DEDUP_THRESHOLD: usize = 1 << 15;
+
+/// Output rows per SPMM tile: 64 rows × d floats keeps the tile's output
+/// panel in L2 while amortizing per-task dispatch over many rows.
+const SPMM_ROW_BLOCK: usize = 64;
+
+/// Combines adjacent duplicate coordinates of a sorted COO list by
+/// summation. Chunk boundaries are advanced to duplicate-group starts, so
+/// every group is summed left-to-right within one chunk — the result is
+/// bitwise identical to the sequential pass at any thread count.
+fn combine_sorted_duplicates(mut coo: Vec<(u32, u32, f32)>) -> Vec<(u32, u32, f32)> {
+    let len = coo.len();
+    let workers = rayon::current_num_threads().max(1);
+    if len < PAR_DEDUP_THRESHOLD || workers == 1 {
+        let mut write = 0usize;
+        for read in 0..coo.len() {
+            if write > 0 && coo[write - 1].0 == coo[read].0 && coo[write - 1].1 == coo[read].1 {
+                coo[write - 1].2 += coo[read].2;
+            } else {
+                coo[write] = coo[read];
+                write += 1;
+            }
+        }
+        coo.truncate(write);
+        return coo;
+    }
+
+    // Chunk bounds, snapped forward so no duplicate group spans a bound.
+    let mut bounds: Vec<usize> = Vec::with_capacity(workers + 1);
+    bounds.push(0);
+    for k in 1..workers {
+        let mut b = k * len / workers;
+        let prev = *bounds.last().unwrap();
+        if b <= prev {
+            continue;
+        }
+        while b < len && coo_key(&coo[b]) == coo_key(&coo[b - 1]) {
+            b += 1;
+        }
+        if b > prev && b < len {
+            bounds.push(b);
+        }
+    }
+    bounds.push(len);
+
+    let spans: Vec<Range<usize>> = bounds.windows(2).map(|w| w[0]..w[1]).collect();
+    let coo_ref = &coo;
+    let parts: Vec<Vec<(u32, u32, f32)>> = spans
+        .into_par_iter()
+        .map(|span| {
+            let chunk = &coo_ref[span];
+            let mut out: Vec<(u32, u32, f32)> = Vec::with_capacity(chunk.len());
+            for &e in chunk {
+                match out.last_mut() {
+                    Some(last) if last.0 == e.0 && last.1 == e.1 => last.2 += e.2,
+                    _ => out.push(e),
+                }
+            }
+            out
+        })
+        .collect();
+    parts.concat()
+}
 
 /// A sparse matrix in CSR format with `f32` values.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,18 +123,10 @@ impl CsrMatrix {
     /// combined by summation (the semantics the sampler needs: repeated
     /// samples of the same edge accumulate weight).
     pub fn from_coo(n_rows: usize, n_cols: usize, mut coo: Vec<(u32, u32, f32)>) -> Self {
-        coo.par_sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
-        // Combine duplicates in one sequential pass (cheap relative to sort).
-        let mut write = 0usize;
-        for read in 0..coo.len() {
-            if write > 0 && coo[write - 1].0 == coo[read].0 && coo[write - 1].1 == coo[read].1 {
-                coo[write - 1].2 += coo[read].2;
-            } else {
-                coo[write] = coo[read];
-                write += 1;
-            }
-        }
-        coo.truncate(write);
+        coo.par_sort_unstable_by_key(coo_key);
+        // Combine duplicates in a group-aligned parallel pass (bitwise
+        // identical to the sequential scan; see combine_sorted_duplicates).
+        let coo = combine_sorted_duplicates(coo);
 
         let mut counts = vec![0u64; n_rows];
         for &(r, _, _) in &coo {
@@ -65,6 +135,75 @@ impl CsrMatrix {
         let row_ptr = parallel_prefix_sum(&counts);
         let col_idx: Vec<u32> = coo.par_iter().map(|&(_, c, _)| c).collect();
         let values: Vec<f32> = coo.par_iter().map(|&(_, _, v)| v).collect();
+        Self::from_raw(n_rows, n_cols, row_ptr, col_idx, values)
+    }
+
+    /// Assembles a CSR matrix from per-shard sorted runs: each run is a
+    /// contiguous row range plus its entries already sorted by `(row,
+    /// col)` with unique coordinates (the output of
+    /// `ShardedEdgeTable::drain_map`). Ranges must be disjoint and
+    /// increasing; rows not covered by any run are empty. The assembly
+    /// never concatenates the runs into a global COO: each run histograms
+    /// its own row span and copies into its contiguous slice of the entry
+    /// arrays, all in parallel.
+    ///
+    /// # Panics
+    /// Panics if runs overlap, run out of bounds, or (debug only) a run's
+    /// entries are unsorted or outside its range.
+    pub fn from_sharded_rows(n_rows: usize, n_cols: usize, runs: Vec<SortedRun>) -> Self {
+        let mut prev_end = 0u32;
+        for (rows, entries) in &runs {
+            assert!(rows.start >= prev_end, "sharded runs must be disjoint and increasing");
+            assert!(rows.end as usize <= n_rows, "run range exceeds n_rows");
+            prev_end = rows.end.max(rows.start);
+            debug_assert!(entries.iter().all(|&(r, _, _)| rows.contains(&r)));
+            debug_assert!(entries.windows(2).all(|w| coo_key(&w[0]) < coo_key(&w[1])));
+        }
+
+        // Per-row counts: each run histograms its own disjoint row span.
+        let mut counts = vec![0u64; n_rows];
+        {
+            let mut rest: &mut [u64] = &mut counts;
+            let mut consumed = 0usize;
+            let mut jobs = Vec::with_capacity(runs.len());
+            for (rows, entries) in &runs {
+                let tail = std::mem::take(&mut rest);
+                let (_, tail) = tail.split_at_mut(rows.start as usize - consumed);
+                let (mine, tail) = tail.split_at_mut(rows.len());
+                rest = tail;
+                consumed = rows.end as usize;
+                jobs.push((mine, entries, rows.start));
+            }
+            jobs.into_par_iter().for_each(|(slice, entries, base)| {
+                for &(r, _, _) in entries {
+                    slice[(r - base) as usize] += 1;
+                }
+            });
+        }
+        let row_ptr = parallel_prefix_sum(&counts);
+
+        // Entry arrays: each run copies into its contiguous output span.
+        let total: usize = runs.iter().map(|(_, e)| e.len()).sum();
+        let mut col_idx = vec![0u32; total];
+        let mut values = vec![0f32; total];
+        {
+            let mut col_rest: &mut [u32] = &mut col_idx;
+            let mut val_rest: &mut [f32] = &mut values;
+            let mut jobs = Vec::with_capacity(runs.len());
+            for (_, entries) in &runs {
+                let (c, cr) = std::mem::take(&mut col_rest).split_at_mut(entries.len());
+                let (v, vr) = std::mem::take(&mut val_rest).split_at_mut(entries.len());
+                col_rest = cr;
+                val_rest = vr;
+                jobs.push((c, v, entries));
+            }
+            jobs.into_par_iter().for_each(|(c, v, entries)| {
+                for (k, &(_, col, val)) in entries.iter().enumerate() {
+                    c[k] = col;
+                    v[k] = val;
+                }
+            });
+        }
         Self::from_raw(n_rows, n_cols, row_ptr, col_idx, values)
     }
 
@@ -125,19 +264,31 @@ impl CsrMatrix {
         }
     }
 
-    /// Sparse × dense: `self (r×c) · x (c×d) → (r×d)`, parallel over rows.
-    /// This is the workhorse SPMM of both the randomized SVD and spectral
-    /// propagation.
+    /// Sparse × dense: `self (r×c) · x (c×d) → (r×d)`. This is the
+    /// workhorse SPMM of both the randomized SVD and spectral propagation.
+    ///
+    /// Parallelism is cache-blocked: each task owns a tile of
+    /// `SPMM_ROW_BLOCK` contiguous output rows, so the tile's output
+    /// panel stays resident while its column gathers walk `x`. Per-row
+    /// accumulation order is exactly the row-at-a-time order, so results
+    /// are bitwise identical to the unblocked kernel.
     pub fn spmm(&self, x: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.n_cols, x.rows(), "spmm shape mismatch");
         let d = x.cols();
         let mut out = DenseMatrix::zeros(self.n_rows, d);
-        out.as_mut_slice().par_chunks_mut(d.max(1)).enumerate().for_each(|(i, orow)| {
-            let (cols, vals) = self.row(i);
-            for (&c, &v) in cols.iter().zip(vals) {
-                let xrow = x.row(c as usize);
-                for (o, &xv) in orow.iter_mut().zip(xrow) {
-                    *o += v * xv;
+        if d == 0 {
+            return out;
+        }
+        let tile = d * SPMM_ROW_BLOCK;
+        out.as_mut_slice().par_chunks_mut(tile).enumerate().for_each(|(blk, chunk)| {
+            let row0 = blk * SPMM_ROW_BLOCK;
+            for (k, orow) in chunk.chunks_mut(d).enumerate() {
+                let (cols, vals) = self.row(row0 + k);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let xrow = x.row(c as usize);
+                    for (o, &xv) in orow.iter_mut().zip(xrow) {
+                        *o += v * xv;
+                    }
                 }
             }
         });
@@ -377,5 +528,81 @@ mod tests {
         let m = small();
         let x = DenseMatrix::zeros(4, 2);
         let _ = m.spmm(&x);
+    }
+
+    #[test]
+    fn spmm_blocked_matches_dense_on_many_rows() {
+        // More rows than one SPMM tile, with ragged final block.
+        let n = 3 * super::SPMM_ROW_BLOCK + 17;
+        let coo: Vec<(u32, u32, f32)> =
+            (0..n as u32).map(|i| (i, (i * 7) % n as u32, 0.5 + (i % 5) as f32)).collect();
+        let m = CsrMatrix::from_coo(n, n, coo);
+        let x = DenseMatrix::gaussian(n, 6, 11);
+        let fast = m.spmm(&x);
+        let slow = m.to_dense().matmul(&x);
+        assert!(fast.max_abs_diff(&slow) < 1e-4);
+    }
+
+    #[test]
+    fn parallel_dedup_matches_sequential() {
+        // Big enough to exercise the parallel duplicate-combining path.
+        let n = super::PAR_DEDUP_THRESHOLD * 3;
+        let mut coo: Vec<(u32, u32, f32)> = Vec::with_capacity(n);
+        let mut state = 42u64;
+        for _ in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = ((state >> 33) % 500) as u32;
+            let c = ((state >> 13) % 500) as u32;
+            coo.push((r, c, 1.0 + (state % 3) as f32 * 0.5));
+        }
+        let m = CsrMatrix::from_coo(500, 500, coo.clone());
+        // Reference: fully sequential sort + combine.
+        coo.sort_unstable_by_key(super::coo_key);
+        let mut seq: Vec<(u32, u32, f32)> = Vec::new();
+        for e in coo {
+            match seq.last_mut() {
+                Some(last) if last.0 == e.0 && last.1 == e.1 => last.2 += e.2,
+                _ => seq.push(e),
+            }
+        }
+        assert_eq!(m.nnz(), seq.len());
+        for &(r, c, v) in &seq {
+            assert_eq!(m.get(r as usize, c as usize).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_sharded_rows_matches_from_coo() {
+        // Three disjoint row blocks with a gap (rows 6..8 empty).
+        let runs = vec![
+            (0u32..3u32, vec![(0u32, 1u32, 1.0f32), (0, 4, 2.0), (2, 0, 3.0)]),
+            (3..6, vec![(3, 3, 4.0), (5, 9, 5.0)]),
+            (8..10, vec![(9, 2, 6.0)]),
+        ];
+        let flat: Vec<(u32, u32, f32)> = runs.iter().flat_map(|(_, e)| e.clone()).collect();
+        let a = CsrMatrix::from_sharded_rows(10, 10, runs);
+        let b = CsrMatrix::from_coo(10, 10, flat);
+        assert_eq!(a, b);
+        assert_eq!(a.row(6).0.len(), 0);
+        assert_eq!(a.get(9, 2), 6.0);
+    }
+
+    #[test]
+    fn from_sharded_rows_empty_runs() {
+        let m = CsrMatrix::from_sharded_rows(4, 4, vec![(0..2, vec![]), (2..4, vec![])]);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m, CsrMatrix::zeros(4, 4));
+        let empty = CsrMatrix::from_sharded_rows(4, 4, vec![]);
+        assert_eq!(empty.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint and increasing")]
+    fn from_sharded_rows_rejects_overlap() {
+        let _ = CsrMatrix::from_sharded_rows(
+            4,
+            4,
+            vec![(0..3, vec![(0, 0, 1.0)]), (2..4, vec![(2, 0, 1.0)])],
+        );
     }
 }

@@ -33,6 +33,28 @@ use lightne_hash::{ConcurrentEdgeTable, EdgeAggregator};
 use lightne_utils::rng::XorShiftStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Typed failure of the sampling stage. The sampler used to `assert!` on
+/// these, which tore down the whole process on degenerate inputs that
+/// callers (CLI, library embedders) can perfectly well report and survive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerError {
+    /// The graph has no arcs — there is nothing to sample from.
+    EmptyGraph,
+    /// `window` was 0; walk lengths are drawn from `[1, T]`.
+    ZeroWindow,
+}
+
+impl std::fmt::Display for SamplerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SamplerError::EmptyGraph => write!(f, "graph has no edges"),
+            SamplerError::ZeroWindow => write!(f, "window T must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for SamplerError {}
+
 /// Configuration of the sampling stage.
 #[derive(Debug, Clone, Copy)]
 pub struct SamplerConfig {
@@ -78,14 +100,22 @@ pub struct SamplerStats {
 }
 
 /// Runs Algorithm 2 over `g`, depositing weighted samples into `agg`.
+///
+/// # Errors
+/// [`SamplerError::ZeroWindow`] if `cfg.window == 0`;
+/// [`SamplerError::EmptyGraph`] if `g` has no arcs.
 pub fn sample_into<G: GraphOps, A: EdgeAggregator>(
     g: &G,
     cfg: &SamplerConfig,
     agg: &A,
-) -> SamplerStats {
-    assert!(cfg.window >= 1, "window T must be >= 1");
+) -> Result<SamplerStats, SamplerError> {
+    if cfg.window < 1 {
+        return Err(SamplerError::ZeroWindow);
+    }
     let arcs = g.num_arcs() as u64;
-    assert!(arcs > 0, "graph has no edges");
+    if arcs == 0 {
+        return Err(SamplerError::EmptyGraph);
+    }
     let base = cfg.samples / arcs;
     let frac = (cfg.samples % arcs) as f64 / arcs as f64;
     let c = cfg.c_factor.unwrap_or_else(|| default_c(g.num_vertices()));
@@ -117,13 +147,32 @@ pub fn sample_into<G: GraphOps, A: EdgeAggregator>(
         kept_ctr.fetch_add(kept, Ordering::Relaxed);
     });
 
-    SamplerStats {
+    Ok(SamplerStats {
         trials: trials_ctr.load(Ordering::Relaxed),
         kept: kept_ctr.load(Ordering::Relaxed),
         distinct_entries: agg.distinct_edges(),
         aggregator_bytes: agg.memory_bytes(),
-    }
+    })
 }
+
+/// Expected distinct-entry count used to pre-size the aggregation table.
+/// Table memory must track *distinct* entries, not kept samples — that is
+/// the whole point of the shared hash table (Section 5.2.4). Distinct
+/// entries are bounded by both 2× kept samples and the T-hop neighborhood
+/// mass, which O(n·C·T²) comfortably over-estimates; the table grows if
+/// the workload exceeds the initial guess.
+pub(crate) fn distinct_guess<G: GraphOps>(g: &G, cfg: &SamplerConfig) -> usize {
+    let c = cfg.c_factor.unwrap_or_else(|| default_c(g.num_vertices()));
+    let expected_kept =
+        if cfg.downsample { expected_kept_samples(g, cfg.samples, c) } else { cfg.samples as f64 };
+    (2.0 * expected_kept)
+        .min(g.num_vertices() as f64 * c * (cfg.window * cfg.window) as f64)
+        .max(1024.0) as usize
+}
+
+/// What a sparsifier build yields: the aggregated `(src, dst, weight)`
+/// COO triples together with the run statistics.
+pub type SparsifierOutput = Result<(Vec<(u32, u32, f32)>, SamplerStats), SamplerError>;
 
 /// Convenience wrapper: sizes a [`ConcurrentEdgeTable`] from the expected
 /// kept-sample count, runs [`sample_into`], and returns the aggregated COO
@@ -134,28 +183,17 @@ pub fn sample_into<G: GraphOps, A: EdgeAggregator>(
 /// use lightne_sparsifier::{build_sparsifier, SamplerConfig};
 /// let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
 /// let cfg = SamplerConfig { window: 2, samples: 10_000, ..Default::default() };
-/// let (coo, stats) = build_sparsifier(&g, &cfg);
+/// let (coo, stats) = build_sparsifier(&g, &cfg).unwrap();
 /// assert!(!coo.is_empty());
 /// assert!(stats.trials >= 9_000 && stats.trials <= 11_000);
 /// ```
-pub fn build_sparsifier<G: GraphOps>(
-    g: &G,
-    cfg: &SamplerConfig,
-) -> (Vec<(u32, u32, f32)>, SamplerStats) {
-    let c = cfg.c_factor.unwrap_or_else(|| default_c(g.num_vertices()));
-    let expected_kept =
-        if cfg.downsample { expected_kept_samples(g, cfg.samples, c) } else { cfg.samples as f64 };
-    // Table memory must track *distinct* entries, not kept samples — that
-    // is the whole point of the shared hash table (Section 5.2.4). Distinct
-    // entries are bounded by both 2× kept samples and the T-hop
-    // neighborhood mass, which O(n·C·T²) comfortably over-estimates; the
-    // table grows if the workload exceeds the initial guess.
-    let distinct_guess = (2.0 * expected_kept)
-        .min(g.num_vertices() as f64 * c * (cfg.window * cfg.window) as f64)
-        .max(1024.0);
-    let table = ConcurrentEdgeTable::with_expected(distinct_guess as usize);
-    let stats = sample_into(g, cfg, &table);
-    (table.into_coo(), stats)
+///
+/// # Errors
+/// Propagates [`SamplerError`] from [`sample_into`].
+pub fn build_sparsifier<G: GraphOps>(g: &G, cfg: &SamplerConfig) -> SparsifierOutput {
+    let table = ConcurrentEdgeTable::with_expected(distinct_guess(g, cfg));
+    let stats = sample_into(g, cfg, &table)?;
+    Ok((table.into_coo(), stats))
 }
 
 #[cfg(test)]
@@ -187,7 +225,7 @@ mod tests {
     /// Aggregates sampled weights into a dense matrix for comparison.
     fn sampled_dense(g: &Graph, cfg: &SamplerConfig) -> (DenseMatrix, SamplerStats) {
         let n = g.num_vertices();
-        let (coo, stats) = build_sparsifier(g, cfg);
+        let (coo, stats) = build_sparsifier(g, cfg).unwrap();
         let mut w = DenseMatrix::zeros(n, n);
         for (u, v, x) in coo {
             w.set(u as usize, v as usize, w.get(u as usize, v as usize) + x);
@@ -253,8 +291,8 @@ mod tests {
             c_factor: None,
             seed: 3,
         };
-        let (_, s_off) = build_sparsifier(&g, &base);
-        let (_, s_on) = build_sparsifier(&g, &SamplerConfig { downsample: true, ..base });
+        let (_, s_off) = build_sparsifier(&g, &base).unwrap();
+        let (_, s_on) = build_sparsifier(&g, &SamplerConfig { downsample: true, ..base }).unwrap();
         assert!(s_on.kept < s_off.kept / 2, "kept {} vs {}", s_on.kept, s_off.kept);
         assert!(s_on.distinct_entries < s_off.distinct_entries);
         // Trials are the same in expectation.
@@ -268,7 +306,7 @@ mod tests {
         for &m in &[1_000u64, 33_333, 100_000] {
             let cfg =
                 SamplerConfig { window: 4, samples: m, downsample: false, c_factor: None, seed: 7 };
-            let (_, stats) = build_sparsifier(&g, &cfg);
+            let (_, stats) = build_sparsifier(&g, &cfg).unwrap();
             let rel = (stats.trials as f64 - m as f64).abs() / m as f64;
             assert!(rel < 0.1, "M={m}: got {} trials", stats.trials);
         }
@@ -284,7 +322,7 @@ mod tests {
             c_factor: None,
             seed: 4,
         };
-        let (coo, _) = build_sparsifier(&g, &cfg);
+        let (coo, _) = build_sparsifier(&g, &cfg).unwrap();
         use std::collections::HashMap;
         let map: HashMap<(u32, u32), f32> = coo.iter().map(|&(u, v, w)| ((u, v), w)).collect();
         for &(u, v, w) in &coo {
@@ -299,8 +337,8 @@ mod tests {
         let c = CompressedGraph::from_graph(&g);
         let cfg =
             SamplerConfig { window: 4, samples: 50_000, downsample: true, c_factor: None, seed: 5 };
-        let (mut coo_a, _) = build_sparsifier(&g, &cfg);
-        let (mut coo_b, _) = build_sparsifier(&c, &cfg);
+        let (mut coo_a, _) = build_sparsifier(&g, &cfg).unwrap();
+        let (mut coo_b, _) = build_sparsifier(&c, &cfg).unwrap();
         // Deterministic per-arc streams + identical arc indexing ⇒ the two
         // representations generate the identical sample multiset.
         coo_a.sort_by_key(|e| (e.0, e.1));
@@ -322,9 +360,27 @@ mod tests {
             c_factor: None,
             seed: 8,
         };
-        let (coo, _) = build_sparsifier(&g, &cfg);
+        let (coo, _) = build_sparsifier(&g, &cfg).unwrap();
         for (u, v, _) in coo {
             assert!(g.has_edge(u, v), "T=1 sample ({u},{v}) is not an edge");
         }
+    }
+
+    #[test]
+    fn empty_graph_is_a_typed_error() {
+        let g = lightne_graph::GraphBuilder::from_edges(4, &[]);
+        let cfg = SamplerConfig { samples: 100, ..Default::default() };
+        assert_eq!(build_sparsifier(&g, &cfg).unwrap_err(), super::SamplerError::EmptyGraph);
+        let table = ConcurrentEdgeTable::with_expected(16);
+        assert_eq!(sample_into(&g, &cfg, &table).unwrap_err(), super::SamplerError::EmptyGraph);
+    }
+
+    #[test]
+    fn zero_window_is_a_typed_error() {
+        let g = lightne_graph::GraphBuilder::from_edges(3, &[(0, 1), (1, 2)]);
+        let cfg = SamplerConfig { window: 0, samples: 100, ..Default::default() };
+        let err = build_sparsifier(&g, &cfg).unwrap_err();
+        assert_eq!(err, super::SamplerError::ZeroWindow);
+        assert_eq!(err.to_string(), "window T must be >= 1");
     }
 }

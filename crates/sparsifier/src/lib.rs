@@ -35,7 +35,14 @@ pub mod downsample;
 pub mod exact;
 pub mod netmf;
 pub mod path_sampling;
+pub mod sharded;
 pub mod weighted;
 
-pub use construct::{build_sparsifier, SamplerConfig, SamplerStats};
+pub use construct::{
+    build_sparsifier, SamplerConfig, SamplerError, SamplerStats, SparsifierOutput,
+};
 pub use netmf::sparsifier_to_netmf;
+pub use sharded::{
+    build_sharded_sparsifier, build_weighted_sharded_sparsifier, resolve_shards, sharded_to_netmf,
+    weighted_sharded_to_netmf,
+};

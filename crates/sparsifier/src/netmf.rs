@@ -23,6 +23,28 @@ use lightne_graph::GraphOps;
 use lightne_linalg::CsrMatrix;
 use rayon::prelude::*;
 
+/// Per-entry truncated-log transform, shared by the COO path below and
+/// the fused sharded drain (`crate::sharded`). Both paths must apply
+/// bit-identical arithmetic — keep this the single definition.
+#[inline]
+pub(crate) fn trunc_log_entry(factor: f64, di: f64, dj: f64, w: f32) -> Option<f32> {
+    if di <= 0.0 || dj <= 0.0 {
+        return None;
+    }
+    let val = (factor * w as f64 / (di * dj)).ln();
+    if val > 0.0 {
+        Some(val as f32)
+    } else {
+        None
+    }
+}
+
+/// The `vol(G)²/(2·b·M)` prefactor of the NetMF inversion.
+#[inline]
+pub(crate) fn netmf_factor(vol: f64, total_samples: u64, b: f64) -> f64 {
+    vol * vol / (2.0 * b * total_samples as f64)
+}
+
 /// Converts aggregated sample weights into the truncated-log NetMF matrix.
 ///
 /// * `coo` — `(i, j, w)` triples from [`crate::build_sparsifier`].
@@ -36,24 +58,14 @@ pub fn sparsifier_to_netmf<G: GraphOps>(
     b: f64,
 ) -> CsrMatrix {
     let n = g.num_vertices();
-    let vol = g.volume();
     let degrees: Vec<f64> = (0..n).map(|v| g.degree(v as u32) as f64).collect();
-    let factor = vol * vol / (2.0 * b * total_samples as f64);
+    let factor = netmf_factor(g.volume(), total_samples, b);
 
     let entries: Vec<(u32, u32, f32)> = coo
         .into_par_iter()
         .filter_map(|(i, j, w)| {
-            let di = degrees[i as usize];
-            let dj = degrees[j as usize];
-            if di == 0.0 || dj == 0.0 {
-                return None;
-            }
-            let val = (factor * w as f64 / (di * dj)).ln();
-            if val > 0.0 {
-                Some((i, j, val as f32))
-            } else {
-                None
-            }
+            trunc_log_entry(factor, degrees[i as usize], degrees[j as usize], w)
+                .map(|val| (i, j, val))
         })
         .collect();
     CsrMatrix::from_coo(n, n, entries)
@@ -79,7 +91,7 @@ mod tests {
             c_factor: None,
             seed: 9,
         };
-        let (coo, _) = build_sparsifier(&g, &cfg);
+        let (coo, _) = build_sparsifier(&g, &cfg).unwrap();
         let approx = sparsifier_to_netmf(&g, coo, cfg.samples, 1.0);
         let exact = exact_netmf(&g, t, 1.0);
         let mut err_sum = 0.0f64;
@@ -106,7 +118,7 @@ mod tests {
             c_factor: None,
             seed: 2,
         };
-        let (coo, _) = build_sparsifier(&g, &cfg);
+        let (coo, _) = build_sparsifier(&g, &cfg).unwrap();
         let raw_len = coo.len();
         let m = sparsifier_to_netmf(&g, coo, cfg.samples, 1.0);
         assert!(m.nnz() <= raw_len);
@@ -129,7 +141,7 @@ mod tests {
             c_factor: None,
             seed: 3,
         };
-        let (coo, _) = build_sparsifier(&g, &cfg);
+        let (coo, _) = build_sparsifier(&g, &cfg).unwrap();
         let m1 = sparsifier_to_netmf(&g, coo.clone(), cfg.samples, 1.0);
         let m5 = sparsifier_to_netmf(&g, coo, cfg.samples, 5.0);
         assert!(m5.nnz() <= m1.nnz());
@@ -146,7 +158,7 @@ mod tests {
             c_factor: None,
             seed: 6,
         };
-        let (coo, _) = build_sparsifier(&g, &cfg);
+        let (coo, _) = build_sparsifier(&g, &cfg).unwrap();
         let m = sparsifier_to_netmf(&g, coo, cfg.samples, 1.0);
         // The weight matrix is exactly symmetric by construction; after the
         // entrywise log the values stay symmetric.

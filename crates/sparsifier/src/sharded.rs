@@ -1,0 +1,217 @@
+//! The sharded sparsify→factorize data path.
+//!
+//! The classic path materializes three full-size intermediates: the global
+//! hash table, the drained COO vector, and the CSR built from it after a
+//! global sort. This module routes the same samples through a
+//! [`ShardedEdgeTable`] instead and drains each shard *directly* into its
+//! contiguous CSR row block, with the NetMF truncated-log transform fused
+//! into the drain:
+//!
+//! ```text
+//! sample ──▶ N per-shard tables ──drain+sort+trunc_log──▶ row-blocked CSR
+//! ```
+//!
+//! No global COO is ever built and no global sort runs: shard `s` owns the
+//! source-vertex range `[lo_s, hi_s)`, so per-shard packed-key sorts
+//! concatenate into the globally sorted entry order for free.
+//!
+//! **Byte-identity with the classic path.** Three facts make the sharded
+//! output bitwise identical to `build_sparsifier` → `sparsifier_to_netmf`
+//! at any thread and shard count: (1) per-key weights are fixed-point u64
+//! sums, independent of insertion interleaving and of which table held the
+//! key; (2) the concatenated per-shard sort order equals `from_coo`'s
+//! global sort order; (3) the per-entry transform is the shared
+//! `trunc_log_entry`, applied entrywise with no cross-entry arithmetic.
+//! `tests/sharded_path.rs` at the workspace root asserts this end to end.
+
+use crate::construct::{distinct_guess, sample_into, SamplerConfig, SamplerError, SamplerStats};
+use crate::netmf::{netmf_factor, trunc_log_entry};
+use crate::weighted::{weighted_distinct_guess, weighted_sample_into};
+use lightne_graph::weighted::WeightedGraph;
+use lightne_graph::GraphOps;
+use lightne_hash::ShardedEdgeTable;
+use lightne_linalg::CsrMatrix;
+
+/// Resolves a configured shard count: `0` means the automatic heuristic.
+pub fn resolve_shards(configured: usize, n_vertices: usize) -> usize {
+    if configured == 0 {
+        ShardedEdgeTable::auto_shards(n_vertices)
+    } else {
+        configured
+    }
+}
+
+/// Pre-sizes each shard by its share of the degree mass: a shard's
+/// expected distinct-entry count is proportional to the total degree of
+/// the source vertices it owns, since trials land on source `u` with
+/// probability `d_u / vol`. Under a skewed (power-law) degree ordering
+/// this stops the heavy low-id shards from resizing their way up from a
+/// uniform 1/N guess. Capacities never affect accumulated values.
+fn degree_mass_expectations<D: Fn(u32) -> f64>(
+    n: usize,
+    shards: usize,
+    expected_total: usize,
+    degree: D,
+) -> Vec<usize> {
+    let ranges = ShardedEdgeTable::shard_ranges(n, shards);
+    let masses: Vec<f64> =
+        ranges.iter().map(|r| r.clone().map(|u| degree(u).max(0.0)).sum()).collect();
+    let total: f64 = masses.iter().sum();
+    if total <= 0.0 {
+        return vec![expected_total.div_ceil(ranges.len()); ranges.len()];
+    }
+    masses.iter().map(|m| (expected_total as f64 * m / total).ceil() as usize).collect()
+}
+
+/// Runs Algorithm 2 into a [`ShardedEdgeTable`] and returns the live
+/// table (for the fused drain of [`sharded_to_netmf`]) plus statistics.
+/// `shards == 0` selects the automatic heuristic.
+///
+/// # Errors
+/// Propagates [`SamplerError`] from [`sample_into`].
+pub fn build_sharded_sparsifier<G: GraphOps>(
+    g: &G,
+    cfg: &SamplerConfig,
+    shards: usize,
+) -> Result<(ShardedEdgeTable, SamplerStats), SamplerError> {
+    let n = g.num_vertices();
+    let shards = resolve_shards(shards, n);
+    let expectations =
+        degree_mass_expectations(n, shards, distinct_guess(g, cfg), |u| g.degree(u) as f64);
+    let table = ShardedEdgeTable::with_expectations(n, shards, &expectations);
+    let stats = sample_into(g, cfg, &table)?;
+    Ok((table, stats))
+}
+
+/// Weighted analogue of [`build_sharded_sparsifier`].
+///
+/// # Errors
+/// Propagates [`SamplerError`] from
+/// [`weighted_sample_into`](crate::weighted::weighted_sample_into).
+pub fn build_weighted_sharded_sparsifier(
+    g: &WeightedGraph,
+    cfg: &SamplerConfig,
+    shards: usize,
+) -> Result<(ShardedEdgeTable, SamplerStats), SamplerError> {
+    let n = g.num_vertices();
+    let shards = resolve_shards(shards, n);
+    let expectations = degree_mass_expectations(n, shards, weighted_distinct_guess(g, cfg), |u| {
+        g.weighted_degree(u)
+    });
+    let table = ShardedEdgeTable::with_expectations(n, shards, &expectations);
+    let stats = weighted_sample_into(g, cfg, &table)?;
+    Ok((table, stats))
+}
+
+/// Fused drain: converts the sharded aggregate straight into the
+/// truncated-log NetMF matrix. Each shard is sorted and transformed in
+/// parallel and assembled as a contiguous CSR row block — the
+/// untransformed sparsifier matrix never exists as a whole.
+pub fn sharded_to_netmf<G: GraphOps>(
+    g: &G,
+    table: ShardedEdgeTable,
+    total_samples: u64,
+    b: f64,
+) -> CsrMatrix {
+    let n = g.num_vertices();
+    let degrees: Vec<f64> = (0..n).map(|v| g.degree(v as u32) as f64).collect();
+    let factor = netmf_factor(g.volume(), total_samples, b);
+    let runs = table
+        .drain_map(|i, j, w| trunc_log_entry(factor, degrees[i as usize], degrees[j as usize], w));
+    CsrMatrix::from_sharded_rows(n, n, runs)
+}
+
+/// Weighted analogue of [`sharded_to_netmf`] (weighted degrees in the
+/// transform, same fused drain).
+pub fn weighted_sharded_to_netmf(
+    g: &WeightedGraph,
+    table: ShardedEdgeTable,
+    total_samples: u64,
+    b: f64,
+) -> CsrMatrix {
+    let n = g.num_vertices();
+    let degrees: Vec<f64> = (0..n as u32).map(|v| g.weighted_degree(v)).collect();
+    let factor = netmf_factor(g.volume(), total_samples, b);
+    let runs = table
+        .drain_map(|i, j, w| trunc_log_entry(factor, degrees[i as usize], degrees[j as usize], w));
+    CsrMatrix::from_sharded_rows(n, n, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construct::build_sparsifier;
+    use crate::netmf::sparsifier_to_netmf;
+    use crate::weighted::{build_weighted_sparsifier, weighted_sparsifier_to_netmf};
+    use lightne_gen::generators::erdos_renyi;
+
+    fn assert_bitwise_equal(a: &CsrMatrix, b: &CsrMatrix) {
+        assert_eq!(a.n_rows(), b.n_rows());
+        assert_eq!(a.nnz(), b.nnz(), "nnz differs");
+        for i in 0..a.n_rows() {
+            let (ca, va) = a.row(i);
+            let (cb, vb) = b.row(i);
+            assert_eq!(ca, cb, "row {i} structure differs");
+            for (x, y) in va.iter().zip(vb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "row {i} value bits differ");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_drain_matches_coo_path_bitwise() {
+        let g = erdos_renyi(300, 3_000, 77);
+        let cfg = SamplerConfig {
+            window: 5,
+            samples: 200_000,
+            downsample: true,
+            c_factor: None,
+            seed: 99,
+        };
+        let (coo, s1) = build_sparsifier(&g, &cfg).unwrap();
+        let classic = sparsifier_to_netmf(&g, coo, cfg.samples, 1.0);
+        for shards in [1usize, 3, 8, 64] {
+            let (table, s2) = build_sharded_sparsifier(&g, &cfg, shards).unwrap();
+            assert_eq!(s1.trials, s2.trials);
+            assert_eq!(s1.kept, s2.kept);
+            assert_eq!(s1.distinct_entries, s2.distinct_entries);
+            let fused = sharded_to_netmf(&g, table, cfg.samples, 1.0);
+            assert_bitwise_equal(&classic, &fused);
+        }
+    }
+
+    #[test]
+    fn weighted_fused_drain_matches_coo_path_bitwise() {
+        let gu = erdos_renyi(120, 900, 31);
+        let g = WeightedGraph::from_unweighted(&gu);
+        let cfg = SamplerConfig {
+            window: 4,
+            samples: 100_000,
+            downsample: true,
+            c_factor: None,
+            seed: 12,
+        };
+        let (coo, _) = build_weighted_sparsifier(&g, &cfg).unwrap();
+        let classic = weighted_sparsifier_to_netmf(&g, coo, cfg.samples, 1.0);
+        let (table, _) = build_weighted_sharded_sparsifier(&g, &cfg, 5).unwrap();
+        let fused = weighted_sharded_to_netmf(&g, table, cfg.samples, 1.0);
+        assert_bitwise_equal(&classic, &fused);
+    }
+
+    #[test]
+    fn sharded_errors_propagate() {
+        let g = lightne_graph::GraphBuilder::from_edges(4, &[]);
+        let cfg = SamplerConfig { samples: 100, ..Default::default() };
+        match build_sharded_sparsifier(&g, &cfg, 4) {
+            Err(e) => assert_eq!(e, SamplerError::EmptyGraph),
+            Ok(_) => panic!("empty graph must not sample"),
+        }
+    }
+
+    #[test]
+    fn resolve_shards_auto_and_explicit() {
+        assert_eq!(resolve_shards(7, 1000), 7);
+        let auto = resolve_shards(0, 1 << 20);
+        assert!(auto >= 1);
+    }
+}

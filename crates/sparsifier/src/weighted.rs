@@ -22,7 +22,8 @@ use lightne_utils::rng::XorShiftStream;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::construct::{SamplerConfig, SamplerStats};
+use crate::construct::{SamplerConfig, SamplerError, SamplerStats, SparsifierOutput};
+use crate::netmf::{netmf_factor, trunc_log_entry};
 
 /// Weighted PathSampling (Algorithm 1 with weight-proportional walks).
 #[inline]
@@ -38,23 +39,35 @@ pub fn weighted_path_sample(
     (g.walk(u, s, rng), g.walk(v, r - 1 - s, rng))
 }
 
-/// Runs the weighted Algorithm 2 and returns the aggregated COO triples
-/// plus statistics.
-pub fn build_weighted_sparsifier(
+/// Expected distinct-entry count for pre-sizing the weighted table.
+pub(crate) fn weighted_distinct_guess(g: &WeightedGraph, cfg: &SamplerConfig) -> usize {
+    (cfg.samples as usize).min(g.num_vertices() * 64).max(1024)
+}
+
+/// Runs the weighted Algorithm 2 over `g`, depositing weighted samples
+/// into `agg` (the weighted analogue of [`crate::construct::sample_into`],
+/// generic over the aggregation strategy).
+///
+/// # Errors
+/// [`SamplerError::ZeroWindow`] if `cfg.window == 0`;
+/// [`SamplerError::EmptyGraph`] if `g` has zero volume.
+pub fn weighted_sample_into<A: EdgeAggregator>(
     g: &WeightedGraph,
     cfg: &SamplerConfig,
-) -> (Vec<(u32, u32, f32)>, SamplerStats) {
-    assert!(cfg.window >= 1);
+    agg: &A,
+) -> Result<SamplerStats, SamplerError> {
+    if cfg.window < 1 {
+        return Err(SamplerError::ZeroWindow);
+    }
     let vol = g.volume();
-    assert!(vol > 0.0, "graph has no edges");
+    if vol <= 0.0 {
+        return Err(SamplerError::EmptyGraph);
+    }
     let c = cfg.c_factor.unwrap_or_else(|| default_c(g.num_vertices()));
     let t = cfg.window;
     // Expected trials for arc (u,v): M · w_uv / vol (weight-proportional).
     let rate = cfg.samples as f64 / vol;
 
-    let table = ConcurrentEdgeTable::with_expected(
-        (cfg.samples as usize).min(g.num_vertices() * 64).max(1024),
-    );
     let trials_ctr = AtomicU64::new(0);
     let kept_ctr = AtomicU64::new(0);
 
@@ -79,20 +92,30 @@ pub fn build_weighted_sparsifier(
             kept += 1;
             let r = 1 + rng.bounded_usize(t);
             let (a, b) = weighted_path_sample(g, u, v, r, &mut rng);
-            table.add(a, b, add_w);
-            table.add(b, a, add_w);
+            agg.add(a, b, add_w);
+            agg.add(b, a, add_w);
         }
         trials_ctr.fetch_add(n_e, Ordering::Relaxed);
         kept_ctr.fetch_add(kept, Ordering::Relaxed);
     });
 
-    let stats = SamplerStats {
+    Ok(SamplerStats {
         trials: trials_ctr.load(Ordering::Relaxed),
         kept: kept_ctr.load(Ordering::Relaxed),
-        distinct_entries: table.len(),
-        aggregator_bytes: table.memory_bytes(),
-    };
-    (table.into_coo(), stats)
+        distinct_entries: agg.distinct_edges(),
+        aggregator_bytes: agg.memory_bytes(),
+    })
+}
+
+/// Runs the weighted Algorithm 2 and returns the aggregated COO triples
+/// plus statistics.
+///
+/// # Errors
+/// Propagates [`SamplerError`] from [`weighted_sample_into`].
+pub fn build_weighted_sparsifier(g: &WeightedGraph, cfg: &SamplerConfig) -> SparsifierOutput {
+    let table = ConcurrentEdgeTable::with_expected(weighted_distinct_guess(g, cfg));
+    let stats = weighted_sample_into(g, cfg, &table)?;
+    Ok((table.into_coo(), stats))
 }
 
 /// Converts aggregated weighted samples to the NetMF matrix (weighted
@@ -104,22 +127,12 @@ pub fn weighted_sparsifier_to_netmf(
     b: f64,
 ) -> CsrMatrix {
     let n = g.num_vertices();
-    let vol = g.volume();
-    let factor = vol * vol / (2.0 * b * total_samples as f64);
+    let factor = netmf_factor(g.volume(), total_samples, b);
     let entries: Vec<(u32, u32, f32)> = coo
         .into_par_iter()
         .filter_map(|(i, j, w)| {
-            let di = g.weighted_degree(i);
-            let dj = g.weighted_degree(j);
-            if di <= 0.0 || dj <= 0.0 {
-                return None;
-            }
-            let val = (factor * w as f64 / (di * dj)).ln();
-            if val > 0.0 {
-                Some((i, j, val as f32))
-            } else {
-                None
-            }
+            trunc_log_entry(factor, g.weighted_degree(i), g.weighted_degree(j), w)
+                .map(|val| (i, j, val))
         })
         .collect();
     CsrMatrix::from_coo(n, n, entries)
@@ -183,7 +196,7 @@ mod tests {
             c_factor: None,
             seed: 2,
         };
-        let (coo, _) = build_weighted_sparsifier(&g, &cfg);
+        let (coo, _) = build_weighted_sparsifier(&g, &cfg).unwrap();
         let n = g.num_vertices();
         let mut got = DenseMatrix::zeros(n, n);
         for (i, j, w) in coo {
@@ -215,7 +228,7 @@ mod tests {
             c_factor: Some(0.3),
             seed: 4,
         };
-        let (coo, stats) = build_weighted_sparsifier(&g, &cfg);
+        let (coo, stats) = build_weighted_sparsifier(&g, &cfg).unwrap();
         assert!(stats.kept < stats.trials, "downsampling must drop trials");
         let n = g.num_vertices();
         let mut got = DenseMatrix::zeros(n, n);
@@ -252,8 +265,8 @@ mod tests {
             c_factor: None,
             seed: 6,
         };
-        let (coo_w, stats_w) = build_weighted_sparsifier(&gw, &cfg);
-        let (coo_u, stats_u) = crate::construct::build_sparsifier(&gu, &cfg);
+        let (coo_w, stats_w) = build_weighted_sparsifier(&gw, &cfg).unwrap();
+        let (coo_u, stats_u) = crate::construct::build_sparsifier(&gu, &cfg).unwrap();
         let rel = (stats_w.trials as f64 - stats_u.trials as f64).abs() / stats_u.trials as f64;
         assert!(rel < 0.05, "trial counts diverge: {} vs {}", stats_w.trials, stats_u.trials);
         let sum = |coo: &[(u32, u32, f32)]| coo.iter().map(|&(_, _, w)| w as f64).sum::<f64>();
@@ -271,7 +284,7 @@ mod tests {
             c_factor: None,
             seed: 8,
         };
-        let (coo, _) = build_weighted_sparsifier(&g, &cfg);
+        let (coo, _) = build_weighted_sparsifier(&g, &cfg).unwrap();
         let m = weighted_sparsifier_to_netmf(&g, coo, cfg.samples, 1.0);
         assert!(m.nnz() > 0);
         for i in 0..g.num_vertices() {
@@ -293,7 +306,7 @@ mod tests {
             c_factor: None,
             seed: 9,
         };
-        let (coo, _) = build_weighted_sparsifier(&g, &cfg);
+        let (coo, _) = build_weighted_sparsifier(&g, &cfg).unwrap();
         // With T=1 every sample is the edge itself.
         let get = |a: u32, b: u32| {
             coo.iter()

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Small-graph peak-memory regression gate (run by CI).
+#
+# Runs the Section 5.2.4 memory ablation on the tiny OAG profile and fails
+# (exit 1) if the pipeline's peak per-stage heap — as recorded in RunStats
+# and printed by the binary — exceeds the committed budget.
+#
+# Committed baseline: 16.00 MiB peak (the sparsifier hash-table capacity,
+# a power of two) at scale 0.000035 / seed 42. The budget below allows the
+# next doubling step plus nothing more: a change that grows any stage past
+# 24 MiB on this profile is a memory regression, not noise, because every
+# contributor to the peak is deterministic in the seed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUDGET_BYTES=${BUDGET_BYTES:-25165824} # 24 MiB = 1.5x the 16 MiB baseline
+SCALE=${SCALE:-0.000035}
+
+cargo run --release -p lightne-bench --bin exp_ablation_memory -- \
+    --scale "$SCALE" --check-peak-bytes "$BUDGET_BYTES"

@@ -96,6 +96,8 @@ fn lightne_config(o: &Opts) -> Result<LightNeConfig, String> {
         downsample: !o.flag("no-downsample"),
         propagation: if o.flag("no-propagation") { None } else { Some(Default::default()) },
         seed: o.num("seed", 42u64)?,
+        shards: o.num("shards", 0usize)?,
+        global_table: o.flag("global-table"),
         ..Default::default()
     })
 }
@@ -367,6 +369,32 @@ mod tests {
         assert_eq!(m.rows(), 4);
         std::fs::remove_file(&gpath).ok();
         std::fs::remove_file(&epath).ok();
+    }
+
+    #[test]
+    fn sharded_and_global_table_embeds_are_byte_identical() {
+        let gpath = tmp("shards.lne");
+        let e_sharded = tmp("shards_emb_a.txt");
+        let e_global = tmp("shards_emb_b.txt");
+        run_capture(&["generate", "--profile", "oag", "--scale", "0.0001", "--out", &gpath])
+            .unwrap();
+        let common =
+            ["--graph", &gpath, "--dim", "8", "--window", "4", "--ratio", "1.0", "--seed", "5"];
+        let mut a = vec!["embed", "--out", &e_sharded, "--shards", "4"];
+        a.extend_from_slice(&common);
+        run_capture(&a).unwrap();
+        let mut b = vec!["embed", "--out", &e_global, "--global-table"];
+        b.extend_from_slice(&common);
+        run_capture(&b).unwrap();
+        assert_eq!(
+            std::fs::read(&e_sharded).unwrap(),
+            std::fs::read(&e_global).unwrap(),
+            "sharded and global-table paths must write identical embeddings"
+        );
+        std::fs::remove_file(&gpath).ok();
+        std::fs::remove_file(format!("{gpath}.labels")).ok();
+        std::fs::remove_file(&e_sharded).ok();
+        std::fs::remove_file(&e_global).ok();
     }
 
     #[test]

@@ -5,8 +5,9 @@
 //! lightne stats    --graph graph.lne
 //! lightne embed    --graph graph.lne --out emb.txt [--dim D] [--window T]
 //!                  [--ratio R] [--no-downsample] [--no-propagation]
-//!                  [--weighted] [--seed N] [--save-artifacts DIR]
-//!                  [--resume-from DIR] [--stats-json PATH]
+//!                  [--weighted] [--seed N] [--shards N] [--global-table]
+//!                  [--save-artifacts DIR] [--resume-from DIR]
+//!                  [--stats-json PATH]
 //! lightne classify --graph graph.lne --labels graph.lne.labels
 //!                  --embedding emb.txt [--train-ratio F] [--seed N]
 //! lightne linkpred --graph graph.lne [--holdout F] [--dim D] [--window T]
@@ -23,7 +24,10 @@
 //! writes the sparsifier COO, NetMF matrix, and initial embedding) and
 //! resume a later run from the deepest artifact found (`--resume-from
 //! DIR`); `--stats-json PATH` dumps the per-stage wall time, counters,
-//! and peak heap bytes. The implementation lives in [`lightne::cli`].
+//! and peak heap bytes. `--shards N` sets the shard count of the
+//! vertex-range-sharded aggregation path (0 = automatic), and
+//! `--global-table` forces the legacy single-table path; output bytes are
+//! identical either way. The implementation lives in [`lightne::cli`].
 
 use std::process::ExitCode;
 

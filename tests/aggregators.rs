@@ -1,0 +1,92 @@
+//! Cross-aggregator equivalence under the real sample stream.
+//!
+//! The same PathSampling stream is routed into all three aggregation
+//! strategies — the shared [`ConcurrentEdgeTable`], the vertex-range
+//! [`ShardedEdgeTable`], and NetSMF's per-thread
+//! [`ThreadLocalAggregator`] — at 1, 2, and 8 worker threads. The two
+//! fixed-point tables must drain bitwise-identical (key, weight) lists at
+//! every thread count; the thread-local buffers accumulate f32 directly,
+//! so their merge order (and hence rounding) varies, and they are held to
+//! the same key set with weights inside the quantization band.
+//!
+//! Everything lives in ONE test function on purpose: all tests in a
+//! binary share the global rayon pool, and this test resizes it
+//! mid-flight.
+
+use lightne::gen::generators::erdos_renyi;
+use lightne::hash::{
+    pack_key, ConcurrentEdgeTable, EdgeAggregator, ShardedEdgeTable, ThreadLocalAggregator,
+};
+use lightne::sparsifier::construct::{sample_into, SamplerConfig};
+use lightne::utils::parallel::configure_threads;
+
+fn sorted(mut coo: Vec<(u32, u32, f32)>) -> Vec<(u32, u32, f32)> {
+    coo.sort_unstable_by_key(|&(u, v, _)| pack_key(u, v));
+    coo
+}
+
+fn assert_bitwise(a: &[(u32, u32, f32)], b: &[(u32, u32, f32)], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: entry counts differ");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!((x.0, x.1), (y.0, y.1), "{what}: key mismatch");
+        assert_eq!(
+            x.2.to_bits(),
+            y.2.to_bits(),
+            "{what}: weight bits differ at ({}, {}): {} vs {}",
+            x.0,
+            x.1,
+            x.2,
+            y.2
+        );
+    }
+}
+
+#[test]
+fn aggregators_agree_at_one_two_and_eight_threads() {
+    let g = erdos_renyi(250, 2_500, 123);
+    let cfg =
+        SamplerConfig { window: 4, samples: 150_000, downsample: true, c_factor: None, seed: 31 };
+
+    // The drain of the fixed-point tables must be stable across thread
+    // counts too; the first iteration's result anchors the comparison.
+    let mut reference: Option<Vec<(u32, u32, f32)>> = None;
+
+    for threads in [1usize, 2, 8] {
+        assert_eq!(configure_threads(threads), threads);
+
+        let table = ConcurrentEdgeTable::with_expected(1024);
+        sample_into(&g, &cfg, &table).unwrap();
+        let concurrent = sorted(table.into_coo());
+
+        let table = ShardedEdgeTable::new(g.num_vertices(), 8, 1024);
+        sample_into(&g, &cfg, &table).unwrap();
+        let sharded = table.into_coo(); // drains already sorted
+
+        // Created after configure_threads so it has one buffer per worker.
+        let buffers = ThreadLocalAggregator::new();
+        sample_into(&g, &cfg, &buffers).unwrap();
+        let local = sorted(buffers.into_coo());
+
+        assert_bitwise(&concurrent, &sharded, &format!("concurrent vs sharded @{threads}t"));
+
+        // Thread-local buffers: identical key set, weights within the
+        // fixed-point quantization + f32 merge-order band.
+        assert_eq!(concurrent.len(), local.len(), "key sets differ @{threads}t");
+        for (x, y) in concurrent.iter().zip(&local) {
+            assert_eq!((x.0, x.1), (y.0, y.1), "thread-local key mismatch @{threads}t");
+            assert!(
+                (x.2 - y.2).abs() < 1e-2 * x.2.abs().max(1.0),
+                "thread-local weight off at ({}, {}) @{threads}t: {} vs {}",
+                x.0,
+                x.1,
+                x.2,
+                y.2
+            );
+        }
+
+        match &reference {
+            None => reference = Some(concurrent),
+            Some(r) => assert_bitwise(r, &concurrent, &format!("thread sweep @{threads}t")),
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! End-to-end byte-identity of the sharded data path.
+//!
+//! The sharded sparsify→drain→CSR path (`--shards`, the default) and the
+//! legacy global-table path (`--global-table`) must produce bit-identical
+//! embeddings at every (threads, shards) combination — the three facts
+//! behind the argument live in `lightne_sparsifier::sharded`'s module
+//! docs. This exercises the claim through the full pipeline: sampling,
+//! fused NetMF drain, randomized SVD, and spectral propagation, for both
+//! the unweighted and weighted sources.
+//!
+//! Everything lives in ONE test function on purpose: all tests in a
+//! binary share the global rayon pool, and this test resizes it
+//! mid-flight.
+
+use lightne::core::pipeline::STAGE_SPARSIFIER;
+use lightne::core::{LightNe, LightNeConfig};
+use lightne::gen::generators::erdos_renyi;
+use lightne::graph::WeightedGraph;
+use lightne::utils::parallel::configure_threads;
+
+fn bits(m: &lightne::linalg::DenseMatrix) -> Vec<u32> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn sharded_path_matches_global_table_bitwise() {
+    let g = erdos_renyi(400, 4_000, 2024);
+    let gw = WeightedGraph::from_unweighted(&g);
+    let base =
+        LightNeConfig { dim: 16, window: 5, sample_ratio: 2.0, seed: 7, ..Default::default() };
+
+    // Reference: the legacy global-table path on the default pool.
+    let global = LightNe::new(LightNeConfig { global_table: true, ..base }).embed(&g);
+    let global_w = LightNe::new(LightNeConfig { global_table: true, ..base }).embed_weighted(&gw);
+    assert!(
+        global.stats.get(STAGE_SPARSIFIER).unwrap().counter("shards").is_none(),
+        "global-table path must not report shard counters"
+    );
+
+    for threads in [1usize, 2, 8] {
+        assert_eq!(configure_threads(threads), threads);
+        for shards in [0usize, 1, 4, 32] {
+            let out = LightNe::new(LightNeConfig { shards, ..base }).embed(&g);
+            assert_eq!(
+                bits(&global.embedding),
+                bits(&out.embedding),
+                "unweighted bytes diverge at threads={threads} shards={shards}"
+            );
+            // The sharded stage surfaces its fill/resize counters.
+            let sp = out.stats.get(STAGE_SPARSIFIER).unwrap();
+            let n_shards = sp.counter("shards").expect("sharded path reports shard count");
+            assert!(n_shards >= 1);
+            if shards != 0 {
+                // Range rounding can merge trailing shards, never split.
+                assert!(n_shards <= shards as u64, "{n_shards} > {shards}");
+            }
+            assert!(sp.counter("shard_resizes").is_some());
+            assert!(sp.counter("shard_distinct_max").unwrap() >= 1);
+        }
+
+        let out_w = LightNe::new(LightNeConfig { shards: 4, ..base }).embed_weighted(&gw);
+        assert_eq!(
+            bits(&global_w.embedding),
+            bits(&out_w.embedding),
+            "weighted bytes diverge at threads={threads}"
+        );
+    }
+}
