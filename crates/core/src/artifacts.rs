@@ -1,4 +1,4 @@
-//! Checkpointed stage artifacts: save/resume for staged pipeline runs.
+//! Checkpointed stage artifacts: crash-safe save/resume for staged runs.
 //!
 //! Each stage of the engine can persist its output into a directory —
 //! the sparsifier COO, the NetMF CSR matrix, and the initial (pre-
@@ -7,27 +7,132 @@
 //! from the *deepest* artifact present, replaying the recorded counters
 //! so its statistics stay complete.
 //!
+//! # The v2 format
+//!
+//! Version 2 hardens the store against crashes and silent storage
+//! corruption:
+//!
+//! * **Atomic writes.** Every file is written to a `<name>.tmp` sibling,
+//!   `fsync`ed, and renamed into place. A crash mid-write leaves at worst
+//!   a stray `.tmp`; the committed name is either the old content or the
+//!   new, never a torn mix.
+//! * **Manifest as commit record.** `manifest.txt` lists each payload
+//!   file with its byte size and FNV-1a checksum, plus the run's
+//!   [fingerprint](RunMeta::fingerprint). The manifest is written *after*
+//!   its payload, so a payload on disk but absent from (or mismatching)
+//!   the manifest is untrusted and the resume degrades to an earlier
+//!   stage instead of loading it.
+//! * **Self-sealed text files.** `meta.txt` and `manifest.txt` end with a
+//!   `checksum <hex>` line over all preceding bytes; a bit flip anywhere
+//!   in them is detected before a single field is trusted.
+//! * **Typed failures.** Every corruption class maps to a distinct
+//!   [`EngineError`] variant ([`EngineError::Corrupt`],
+//!   [`EngineError::MetaVersion`], [`EngineError::FingerprintMismatch`],
+//!   [`EngineError::ArtifactDir`]), never an untyped parse error or a
+//!   silently wrong embedding.
+//!
 //! All files are plain text. Floats use Rust's shortest-round-trip
 //! formatting, so a save/load cycle is bitwise lossless and a resumed
 //! run reproduces the straight run's embedding exactly (same seed).
+//!
+//! Every write and read is instrumented with a [`lightne_utils::faults`]
+//! fail point (see [`FAIL_POINTS`]); the crash-consistency suite arms
+//! them to prove each failure ends in a typed error or a byte-identical
+//! recovery.
 
 use crate::engine::EngineError;
 use lightne_linalg::matio;
 use lightne_linalg::{CsrMatrix, DenseMatrix};
+use lightne_utils::checksum::fnv1a64;
+use lightne_utils::faults;
 use std::fs;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// Current artifact metadata format version.
-pub const META_VERSION: u32 = 1;
+pub const META_VERSION: u32 = 2;
 
 /// File name of the run metadata.
 pub const META_FILE: &str = "meta.txt";
+/// File name of the integrity manifest.
+pub const MANIFEST_FILE: &str = "manifest.txt";
 /// File name of the sparsifier COO checkpoint.
 pub const SPARSIFIER_FILE: &str = "sparsifier.coo";
 /// File name of the NetMF matrix checkpoint.
 pub const NETMF_FILE: &str = "netmf.csr";
 /// File name of the initial-embedding checkpoint.
 pub const INITIAL_FILE: &str = "initial.emb";
+
+/// Every file a store may own (used by [`ArtifactStore::create`] to tell
+/// a stale store apart from a foreign directory).
+const STORE_FILES: &[&str] = &[META_FILE, MANIFEST_FILE, SPARSIFIER_FILE, NETMF_FILE, INITIAL_FILE];
+
+/// Fail point in metadata writes.
+pub const FP_WRITE_META: &str = "artifacts.write.meta";
+/// Fail point in manifest writes.
+pub const FP_WRITE_MANIFEST: &str = "artifacts.write.manifest";
+/// Fail point in sparsifier-checkpoint writes.
+pub const FP_WRITE_SPARSIFIER: &str = "artifacts.write.sparsifier";
+/// Fail point in NetMF-checkpoint writes.
+pub const FP_WRITE_NETMF: &str = "artifacts.write.netmf";
+/// Fail point in initial-embedding-checkpoint writes.
+pub const FP_WRITE_INITIAL: &str = "artifacts.write.initial";
+/// Fail point in metadata reads.
+pub const FP_READ_META: &str = "artifacts.read.meta";
+/// Fail point in manifest reads.
+pub const FP_READ_MANIFEST: &str = "artifacts.read.manifest";
+/// Fail point in sparsifier-checkpoint reads.
+pub const FP_READ_SPARSIFIER: &str = "artifacts.read.sparsifier";
+/// Fail point in NetMF-checkpoint reads.
+pub const FP_READ_NETMF: &str = "artifacts.read.netmf";
+/// Fail point in initial-embedding-checkpoint reads.
+pub const FP_READ_INITIAL: &str = "artifacts.read.initial";
+/// All fail points registered by this module.
+pub const FAIL_POINTS: &[&str] = &[
+    FP_WRITE_META,
+    FP_WRITE_MANIFEST,
+    FP_WRITE_SPARSIFIER,
+    FP_WRITE_NETMF,
+    FP_WRITE_INITIAL,
+    FP_READ_META,
+    FP_READ_MANIFEST,
+    FP_READ_SPARSIFIER,
+    FP_READ_NETMF,
+    FP_READ_INITIAL,
+];
+
+fn corrupt(file: &str, detail: impl Into<String>) -> EngineError {
+    EngineError::Corrupt { file: file.to_string(), detail: detail.into() }
+}
+
+/// Appends the `checksum <hex>` seal line over `text`.
+fn seal(text: &str) -> String {
+    format!("{text}checksum {:016x}\n", fnv1a64(text.as_bytes()))
+}
+
+/// Validates a sealed file's trailing checksum line and returns the body
+/// it covers.
+fn unseal<'a>(text: &'a str, file: &str) -> Result<&'a str, EngineError> {
+    let stripped =
+        text.strip_suffix('\n').ok_or_else(|| corrupt(file, "missing trailing newline"))?;
+    let (body, last) = match stripped.rfind('\n') {
+        Some(pos) => (&text[..pos + 1], &stripped[pos + 1..]),
+        None => ("", stripped),
+    };
+    let recorded = last
+        .strip_prefix("checksum ")
+        .ok_or_else(|| corrupt(file, "missing checksum seal line"))?;
+    let recorded = u64::from_str_radix(recorded.trim(), 16)
+        .map_err(|_| corrupt(file, format!("malformed checksum seal {recorded:?}")))?;
+    let computed = fnv1a64(body.as_bytes());
+    if computed != recorded {
+        return Err(corrupt(
+            file,
+            format!("seal mismatch: recorded {recorded:016x}, computed {computed:016x}"),
+        ));
+    }
+    Ok(body)
+}
 
 /// Metadata describing the run that produced a set of artifacts.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +141,10 @@ pub struct RunMeta {
     pub version: u32,
     /// Master RNG seed of the run.
     pub seed: u64,
+    /// Fingerprint of the graph and embedding parameters (see
+    /// [`crate::engine::run_fingerprint`]); resuming under a different
+    /// fingerprint is rejected outright.
+    pub fingerprint: u64,
     /// Whether the weighted pipeline produced the artifacts.
     pub weighted: bool,
     /// Number of vertices of the source graph.
@@ -60,6 +169,7 @@ impl RunMeta {
         let mut s = String::with_capacity(256);
         s.push_str(&format!("version {}\n", self.version));
         s.push_str(&format!("seed {}\n", self.seed));
+        s.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
         s.push_str(&format!("weighted {}\n", self.weighted));
         s.push_str(&format!("n {}\n", self.n));
         s.push_str(&format!("samples {}\n", self.samples));
@@ -77,6 +187,7 @@ impl RunMeta {
         let mut meta = RunMeta {
             version: 0,
             seed: 0,
+            fingerprint: 0,
             weighted: false,
             n: 0,
             samples: 0,
@@ -114,6 +225,10 @@ impl RunMeta {
                     seen_version = true;
                 }
                 "seed" => meta.seed = parse_u64()?,
+                "fingerprint" => {
+                    meta.fingerprint = u64::from_str_radix(value, 16)
+                        .map_err(|e| EngineError::Resume(format!("meta fingerprint: {e}")))?;
+                }
                 "weighted" => {
                     meta.weighted = value
                         .parse()
@@ -132,32 +247,203 @@ impl RunMeta {
         if !seen_version {
             return Err(EngineError::Resume("meta file missing version".into()));
         }
-        if meta.version > META_VERSION {
-            return Err(EngineError::Resume(format!(
-                "meta version {} is newer than supported {META_VERSION}",
-                meta.version
-            )));
+        if meta.version != META_VERSION {
+            return Err(EngineError::MetaVersion { found: meta.version, supported: META_VERSION });
         }
         Ok(meta)
     }
+}
+
+/// One payload file tracked by the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// File name within the artifact directory.
+    pub name: String,
+    /// Byte size of the file as written.
+    pub size: u64,
+    /// FNV-1a digest of the file's bytes as written.
+    pub checksum: u64,
+}
+
+/// The store's integrity commit record: every trusted payload file with
+/// its size and checksum, plus the run fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Fingerprint of the run that owns these artifacts.
+    pub fingerprint: u64,
+    /// Tracked payload files, in first-write order.
+    pub entries: Vec<ManifestEntry>,
+}
+
+impl Manifest {
+    /// Looks up a payload file's entry.
+    pub fn entry(&self, name: &str) -> Option<&ManifestEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    fn upsert(&mut self, entry: ManifestEntry) {
+        if let Some(slot) = self.entries.iter_mut().find(|e| e.name == entry.name) {
+            *slot = entry;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    fn to_text(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str(&format!("manifest-version {META_VERSION}\n"));
+        s.push_str(&format!("fingerprint {:016x}\n", self.fingerprint));
+        for e in &self.entries {
+            s.push_str(&format!("file {} {} {:016x}\n", e.name, e.size, e.checksum));
+        }
+        s
+    }
+
+    fn from_text(text: &str) -> Result<Self, EngineError> {
+        let mut fingerprint = None;
+        let mut version = None;
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                continue;
+            }
+            let (key, value) = t
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| corrupt(MANIFEST_FILE, format!("malformed line: {t:?}")))?;
+            let value = value.trim();
+            match key {
+                "manifest-version" => {
+                    let v: u32 = value.parse().map_err(|e| {
+                        corrupt(MANIFEST_FILE, format!("bad manifest-version: {e}"))
+                    })?;
+                    version = Some(v);
+                }
+                "fingerprint" => {
+                    fingerprint =
+                        Some(u64::from_str_radix(value, 16).map_err(|e| {
+                            corrupt(MANIFEST_FILE, format!("bad fingerprint: {e}"))
+                        })?);
+                }
+                "file" => {
+                    let mut it = value.split_whitespace();
+                    let (name, size, sum) = match (it.next(), it.next(), it.next()) {
+                        (Some(n), Some(s), Some(c)) => (n, s, c),
+                        _ => {
+                            return Err(corrupt(
+                                MANIFEST_FILE,
+                                format!("malformed file line: {t:?}"),
+                            ))
+                        }
+                    };
+                    entries.push(ManifestEntry {
+                        name: name.to_string(),
+                        size: size.parse().map_err(|e| {
+                            corrupt(MANIFEST_FILE, format!("bad size for {name}: {e}"))
+                        })?,
+                        checksum: u64::from_str_radix(sum, 16).map_err(|e| {
+                            corrupt(MANIFEST_FILE, format!("bad checksum for {name}: {e}"))
+                        })?,
+                    });
+                }
+                _ => {} // forward compatibility
+            }
+        }
+        match version {
+            Some(v) if v == META_VERSION => {}
+            Some(v) => return Err(EngineError::MetaVersion { found: v, supported: META_VERSION }),
+            None => return Err(corrupt(MANIFEST_FILE, "missing manifest-version")),
+        }
+        let fingerprint =
+            fingerprint.ok_or_else(|| corrupt(MANIFEST_FILE, "missing fingerprint"))?;
+        Ok(Self { fingerprint, entries })
+    }
+}
+
+/// Validation verdict for one payload file (see [`ArtifactStore::inspect`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactState {
+    /// Present, listed in the manifest, and bytes match size + checksum.
+    Valid,
+    /// Not present and not expected.
+    Absent,
+    /// Untrusted: missing-but-listed, unlisted-but-present, checksum or
+    /// size mismatch, or an unusable manifest. The string says why.
+    Invalid(String),
+}
+
+impl ArtifactState {
+    /// Whether the artifact can be loaded and trusted.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, ArtifactState::Valid)
+    }
+}
+
+/// Validation verdicts for every payload in a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inspection {
+    /// State of the sparsifier COO checkpoint.
+    pub sparsifier: ArtifactState,
+    /// State of the NetMF matrix checkpoint.
+    pub netmf: ArtifactState,
+    /// State of the initial-embedding checkpoint.
+    pub initial: ArtifactState,
 }
 
 /// A directory holding checkpointed stage artifacts.
 #[derive(Debug, Clone)]
 pub struct ArtifactStore {
     dir: PathBuf,
+    /// Fingerprint recorded in manifests this store writes. Zero for
+    /// read-only stores opened with [`ArtifactStore::open`].
+    fingerprint: u64,
 }
 
 impl ArtifactStore {
-    /// Opens (and creates if needed) an artifact directory for writing.
-    pub fn create(dir: impl AsRef<Path>) -> Result<Self, EngineError> {
-        fs::create_dir_all(dir.as_ref())?;
-        Ok(Self { dir: dir.as_ref().to_path_buf() })
+    /// Creates a fresh artifact directory for writing.
+    ///
+    /// If the directory already exists and holds only artifact files (a
+    /// stale store), those files are removed first — artifacts from a
+    /// previous run must never leak into this run's manifest. If it holds
+    /// anything else, creation fails with [`EngineError::ArtifactDir`]
+    /// rather than deleting foreign files.
+    pub fn create(dir: impl AsRef<Path>, fingerprint: u64) -> Result<Self, EngineError> {
+        let dir = dir.as_ref();
+        if dir.exists() {
+            let mut stale = Vec::new();
+            for entry in fs::read_dir(dir)? {
+                let entry = entry?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if STORE_FILES.contains(&name.as_str()) || name.ends_with(".tmp") {
+                    stale.push(entry.path());
+                } else {
+                    return Err(EngineError::ArtifactDir(format!(
+                        "refusing to reset {}: it contains non-artifact entry {name:?}",
+                        dir.display()
+                    )));
+                }
+            }
+            for path in stale {
+                fs::remove_file(path)?;
+            }
+        } else {
+            fs::create_dir_all(dir)?;
+        }
+        Ok(Self { dir: dir.to_path_buf(), fingerprint })
+    }
+
+    /// Attaches to an existing store for continued writing (no reset).
+    ///
+    /// Used when the same directory is both resumed from and saved to:
+    /// already-validated artifacts stay in place and later stages append
+    /// to the same manifest.
+    pub fn attach(dir: impl AsRef<Path>, fingerprint: u64) -> Self {
+        Self { dir: dir.as_ref().to_path_buf(), fingerprint }
     }
 
     /// Opens an existing artifact directory for reading.
     pub fn open(dir: impl AsRef<Path>) -> Self {
-        Self { dir: dir.as_ref().to_path_buf() }
+        Self { dir: dir.as_ref().to_path_buf(), fingerprint: 0 }
     }
 
     /// The directory backing this store.
@@ -169,64 +455,193 @@ impl ArtifactStore {
         self.dir.join(file)
     }
 
-    /// Whether a sparsifier checkpoint is present.
+    /// Whether a sparsifier checkpoint file is present (existence only;
+    /// see [`ArtifactStore::inspect`] for integrity).
     pub fn has_sparsifier(&self) -> bool {
         self.path(SPARSIFIER_FILE).is_file()
     }
 
-    /// Whether a NetMF checkpoint is present.
+    /// Whether a NetMF checkpoint file is present.
     pub fn has_netmf(&self) -> bool {
         self.path(NETMF_FILE).is_file()
     }
 
-    /// Whether an initial-embedding checkpoint is present.
+    /// Whether an initial-embedding checkpoint file is present.
     pub fn has_initial(&self) -> bool {
         self.path(INITIAL_FILE).is_file()
     }
 
-    /// Writes the run metadata (overwrites any previous version).
-    pub fn save_meta(&self, meta: &RunMeta) -> Result<(), EngineError> {
-        fs::write(self.path(META_FILE), meta.to_text())?;
+    /// Writes `bytes` crash-safely: to a `.tmp` sibling, synced, then
+    /// renamed over the final name (atomic on POSIX filesystems).
+    fn write_atomic(&self, file: &str, bytes: &[u8]) -> Result<(), EngineError> {
+        let tmp = self.dir.join(format!("{file}.tmp"));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.path(file))?;
         Ok(())
     }
 
-    /// Reads the run metadata.
+    /// Writes the run metadata (overwrites any previous version).
+    pub fn save_meta(&self, meta: &RunMeta) -> Result<(), EngineError> {
+        let mut bytes = seal(&meta.to_text()).into_bytes();
+        faults::mangle(FP_WRITE_META, &mut bytes)?;
+        self.write_atomic(META_FILE, &bytes)
+    }
+
+    /// Reads and validates the run metadata.
     pub fn load_meta(&self) -> Result<RunMeta, EngineError> {
+        faults::check(FP_READ_META)?;
         let text = fs::read_to_string(self.path(META_FILE))?;
-        RunMeta::from_text(&text)
+        RunMeta::from_text(unseal(&text, META_FILE)?)
+    }
+
+    /// Reads and validates the manifest; `None` when no manifest has been
+    /// committed yet.
+    pub fn load_manifest(&self) -> Result<Option<Manifest>, EngineError> {
+        faults::check(FP_READ_MANIFEST)?;
+        let path = self.path(MANIFEST_FILE);
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(path)?;
+        Ok(Some(Manifest::from_text(unseal(&text, MANIFEST_FILE)?)?))
+    }
+
+    fn save_manifest(&self, manifest: &Manifest) -> Result<(), EngineError> {
+        let mut bytes = seal(&manifest.to_text()).into_bytes();
+        faults::mangle(FP_WRITE_MANIFEST, &mut bytes)?;
+        self.write_atomic(MANIFEST_FILE, &bytes)
+    }
+
+    /// Commits a payload: checksums the clean bytes, writes the file
+    /// atomically, then records it in the manifest. The manifest write
+    /// comes second, so a crash between the two leaves the payload
+    /// *untrusted* (resume degrades past it) rather than half-trusted.
+    fn save_payload(&self, file: &str, fp: &str, mut bytes: Vec<u8>) -> Result<(), EngineError> {
+        let size = bytes.len() as u64;
+        let checksum = fnv1a64(&bytes);
+        // Mangling (torn write / bit flip) happens after the checksum is
+        // taken — exactly the silent-corruption model the manifest exists
+        // to catch on the next load.
+        faults::mangle(fp, &mut bytes)?;
+        self.write_atomic(file, &bytes)?;
+        let mut manifest = self
+            .load_manifest()?
+            .unwrap_or(Manifest { fingerprint: self.fingerprint, entries: Vec::new() });
+        manifest.upsert(ManifestEntry { name: file.to_string(), size, checksum });
+        self.save_manifest(&manifest)
+    }
+
+    /// Loads a payload's bytes after validating them against the manifest.
+    fn load_payload(&self, file: &str, fp: &str) -> Result<Vec<u8>, EngineError> {
+        faults::check(fp)?;
+        let manifest =
+            self.load_manifest()?.ok_or_else(|| corrupt(file, "no manifest commits this file"))?;
+        let entry =
+            manifest.entry(file).ok_or_else(|| corrupt(file, "not listed in the manifest"))?;
+        let bytes = fs::read(self.path(file))?;
+        Self::verify_bytes(file, entry, &bytes)?;
+        Ok(bytes)
+    }
+
+    fn verify_bytes(file: &str, entry: &ManifestEntry, bytes: &[u8]) -> Result<(), EngineError> {
+        if bytes.len() as u64 != entry.size {
+            return Err(corrupt(
+                file,
+                format!(
+                    "size mismatch: manifest says {} bytes, file has {}",
+                    entry.size,
+                    bytes.len()
+                ),
+            ));
+        }
+        let computed = fnv1a64(bytes);
+        if computed != entry.checksum {
+            return Err(corrupt(
+                file,
+                format!(
+                    "checksum mismatch: manifest says {:016x}, file hashes to {computed:016x}",
+                    entry.checksum
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates every payload against the manifest without parsing any
+    /// of them. Never fails: unusable manifests or unreadable files
+    /// surface as [`ArtifactState::Invalid`] so the caller can degrade.
+    pub fn inspect(&self) -> Inspection {
+        let manifest = self.load_manifest();
+        let state = |file: &str| -> ArtifactState {
+            let present = self.path(file).is_file();
+            let manifest = match &manifest {
+                Err(_) | Ok(None) if !present => return ArtifactState::Absent,
+                Err(e) => return ArtifactState::Invalid(format!("manifest unusable: {e}")),
+                Ok(None) => return ArtifactState::Invalid("present but no manifest".into()),
+                Ok(Some(m)) => m,
+            };
+            match (present, manifest.entry(file)) {
+                (false, None) => ArtifactState::Absent,
+                (false, Some(_)) => {
+                    ArtifactState::Invalid("listed in the manifest but missing".into())
+                }
+                (true, None) => {
+                    ArtifactState::Invalid("present but not listed in the manifest".into())
+                }
+                (true, Some(entry)) => match fs::read(self.path(file)) {
+                    Err(e) => ArtifactState::Invalid(format!("unreadable: {e}")),
+                    Ok(bytes) => match Self::verify_bytes(file, entry, &bytes) {
+                        Ok(()) => ArtifactState::Valid,
+                        // The file name is already carried by the state's
+                        // owner; keep only the failure detail.
+                        Err(EngineError::Corrupt { detail, .. }) => ArtifactState::Invalid(detail),
+                        Err(e) => ArtifactState::Invalid(e.to_string()),
+                    },
+                },
+            }
+        };
+        Inspection {
+            sparsifier: state(SPARSIFIER_FILE),
+            netmf: state(NETMF_FILE),
+            initial: state(INITIAL_FILE),
+        }
     }
 
     /// Checkpoints the sparsifier COO (an `n × n` entry list).
     pub fn save_sparsifier(&self, n: usize, coo: &[(u32, u32, f32)]) -> Result<(), EngineError> {
-        matio::write_coo(self.path(SPARSIFIER_FILE), n, n, coo)?;
-        Ok(())
+        self.save_payload(SPARSIFIER_FILE, FP_WRITE_SPARSIFIER, matio::coo_to_bytes(n, n, coo)?)
     }
 
-    /// Loads the sparsifier COO checkpoint.
-    pub fn load_sparsifier(&self) -> Result<lightne_linalg::matio::CooData, EngineError> {
-        Ok(matio::read_coo(self.path(SPARSIFIER_FILE))?)
+    /// Loads and validates the sparsifier COO checkpoint.
+    pub fn load_sparsifier(&self) -> Result<matio::CooData, EngineError> {
+        let bytes = self.load_payload(SPARSIFIER_FILE, FP_READ_SPARSIFIER)?;
+        Ok(matio::coo_from_bytes(&bytes)?)
     }
 
     /// Checkpoints the NetMF matrix.
     pub fn save_netmf(&self, m: &CsrMatrix) -> Result<(), EngineError> {
-        matio::write_csr(m, self.path(NETMF_FILE))?;
-        Ok(())
+        self.save_payload(NETMF_FILE, FP_WRITE_NETMF, matio::csr_to_bytes(m)?)
     }
 
-    /// Loads the NetMF matrix checkpoint.
+    /// Loads and validates the NetMF matrix checkpoint.
     pub fn load_netmf(&self) -> Result<CsrMatrix, EngineError> {
-        Ok(matio::read_csr(self.path(NETMF_FILE))?)
+        let bytes = self.load_payload(NETMF_FILE, FP_READ_NETMF)?;
+        Ok(matio::csr_from_bytes(&bytes)?)
     }
 
     /// Checkpoints the initial (pre-propagation) embedding.
     pub fn save_initial(&self, x: &DenseMatrix) -> Result<(), EngineError> {
-        matio::write_matrix(x, self.path(INITIAL_FILE))?;
-        Ok(())
+        self.save_payload(INITIAL_FILE, FP_WRITE_INITIAL, matio::matrix_to_bytes(x)?)
     }
 
-    /// Loads the initial-embedding checkpoint.
+    /// Loads and validates the initial-embedding checkpoint.
     pub fn load_initial(&self) -> Result<DenseMatrix, EngineError> {
-        Ok(matio::read_matrix(self.path(INITIAL_FILE))?)
+        let bytes = self.load_payload(INITIAL_FILE, FP_READ_INITIAL)?;
+        Ok(matio::matrix_from_bytes(&bytes)?)
     }
 }
 
@@ -240,10 +655,13 @@ mod tests {
         p
     }
 
+    const FP: u64 = 0xfeed_beef;
+
     fn sample_meta() -> RunMeta {
         RunMeta {
             version: META_VERSION,
             seed: 0x11_97,
+            fingerprint: FP,
             weighted: false,
             n: 400,
             samples: 12_000,
@@ -270,17 +688,52 @@ mod tests {
     }
 
     #[test]
-    fn meta_rejects_missing_version_and_future_version() {
+    fn meta_rejects_missing_and_mismatched_versions() {
         assert!(RunMeta::from_text("seed 3\n").is_err());
-        let future = format!("version {}\nseed 1\n", META_VERSION + 1);
-        assert!(RunMeta::from_text(&future).is_err());
+        for bad in [META_VERSION + 1, META_VERSION - 1] {
+            let text = format!("version {bad}\nseed 1\n");
+            match RunMeta::from_text(&text) {
+                Err(EngineError::MetaVersion { found, supported }) => {
+                    assert_eq!((found, supported), (bad, META_VERSION));
+                }
+                other => panic!("expected MetaVersion error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn seal_roundtrip_and_tamper_detection() {
+        let sealed = seal("key value\nother 7\n");
+        assert_eq!(unseal(&sealed, "t").unwrap(), "key value\nother 7\n");
+        // Flip any single byte of the sealed file: always detected.
+        let bytes = sealed.as_bytes();
+        for i in 0..bytes.len() {
+            let mut t = bytes.to_vec();
+            t[i] ^= 0x01;
+            let Ok(text) = String::from_utf8(t) else { continue };
+            assert!(unseal(&text, "t").is_err(), "undetected tamper at byte {i}");
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = Manifest {
+            fingerprint: FP,
+            entries: vec![
+                ManifestEntry { name: SPARSIFIER_FILE.into(), size: 120, checksum: 7 },
+                ManifestEntry { name: NETMF_FILE.into(), size: 88, checksum: 0xdead },
+            ],
+        };
+        assert_eq!(Manifest::from_text(&m.to_text()).unwrap(), m);
     }
 
     #[test]
     fn store_roundtrips_all_artifacts() {
         let dir = tmp_dir("full");
-        let store = ArtifactStore::create(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ArtifactStore::create(&dir, FP).unwrap();
         assert!(!store.has_sparsifier() && !store.has_netmf() && !store.has_initial());
+        store.save_meta(&sample_meta()).unwrap();
 
         let coo = vec![(0u32, 1u32, 2.5f32), (3, 2, 0.125)];
         store.save_sparsifier(4, &coo).unwrap();
@@ -288,10 +741,12 @@ mod tests {
         store.save_netmf(&m).unwrap();
         let x = DenseMatrix::gaussian(4, 3, 5);
         store.save_initial(&x).unwrap();
-        store.save_meta(&sample_meta()).unwrap();
 
         let back = ArtifactStore::open(&dir);
         assert!(back.has_sparsifier() && back.has_netmf() && back.has_initial());
+        let inspection = back.inspect();
+        assert!(inspection.sparsifier.is_valid(), "{:?}", inspection.sparsifier);
+        assert!(inspection.netmf.is_valid() && inspection.initial.is_valid());
         let (r, c, entries) = back.load_sparsifier().unwrap();
         assert_eq!((r, c), (4, 4));
         assert_eq!(entries, coo);
@@ -300,7 +755,100 @@ mod tests {
         let x2 = back.load_initial().unwrap();
         assert_eq!(x.max_abs_diff(&x2), 0.0);
         assert_eq!(back.load_meta().unwrap(), sample_meta());
+        let manifest = back.load_manifest().unwrap().unwrap();
+        assert_eq!(manifest.fingerprint, FP);
+        assert_eq!(manifest.entries.len(), 3);
 
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_resets_stale_store_but_refuses_foreign_dir() {
+        let dir = tmp_dir("reset");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ArtifactStore::create(&dir, FP).unwrap();
+        store.save_meta(&sample_meta()).unwrap();
+        store.save_sparsifier(2, &[(0, 1, 1.0)]).unwrap();
+        assert!(store.has_sparsifier());
+
+        // Re-creating resets the stale store: no old artifact survives.
+        let fresh = ArtifactStore::create(&dir, FP + 1).unwrap();
+        assert!(!fresh.has_sparsifier());
+        assert!(!fresh.path(META_FILE).is_file());
+        assert!(fresh.load_manifest().unwrap().is_none());
+
+        // A directory holding anything else is refused, untouched.
+        fs::write(dir.join("notes.txt"), "do not delete").unwrap();
+        match ArtifactStore::create(&dir, FP) {
+            Err(EngineError::ArtifactDir(msg)) => assert!(msg.contains("notes.txt"), "{msg}"),
+            other => panic!("expected ArtifactDir error, got {other:?}"),
+        }
+        assert_eq!(fs::read_to_string(dir.join("notes.txt")).unwrap(), "do not delete");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_payload_is_rejected_and_inspect_flags_it() {
+        let dir = tmp_dir("corrupt");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ArtifactStore::create(&dir, FP).unwrap();
+        store.save_meta(&sample_meta()).unwrap();
+        store.save_sparsifier(3, &[(0, 1, 1.5), (2, 0, 0.25)]).unwrap();
+
+        let path = dir.join(SPARSIFIER_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+
+        let back = ArtifactStore::open(&dir);
+        match back.load_sparsifier() {
+            Err(EngineError::Corrupt { file, detail }) => {
+                assert_eq!(file, SPARSIFIER_FILE);
+                assert!(detail.contains("checksum"), "{detail}");
+            }
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+        assert!(matches!(back.inspect().sparsifier, ArtifactState::Invalid(_)));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tampered_meta_is_rejected() {
+        let dir = tmp_dir("meta_tamper");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ArtifactStore::create(&dir, FP).unwrap();
+        store.save_meta(&sample_meta()).unwrap();
+        let path = dir.join(META_FILE);
+        // "samples 12000" -> "samples 12001": a load-bearing field.
+        let text = fs::read_to_string(&path).unwrap().replace("samples 12000", "samples 12001");
+        fs::write(&path, text).unwrap();
+        match store.load_meta() {
+            Err(EngineError::Corrupt { file, .. }) => assert_eq!(file, META_FILE),
+            other => panic!("expected Corrupt error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unlisted_and_missing_payloads_are_invalid() {
+        let dir = tmp_dir("manifest_drift");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = ArtifactStore::create(&dir, FP).unwrap();
+        store.save_meta(&sample_meta()).unwrap();
+        store.save_sparsifier(2, &[(0, 1, 1.0)]).unwrap();
+
+        // A payload written but never committed to the manifest (crash
+        // between rename and manifest write) is untrusted.
+        fs::write(dir.join(NETMF_FILE), "#csr 2 2 0\n").unwrap();
+        let i = store.inspect();
+        assert!(i.sparsifier.is_valid());
+        assert!(matches!(i.netmf, ArtifactState::Invalid(ref why) if why.contains("not listed")));
+
+        // A manifest-listed payload that vanished is also untrusted.
+        fs::remove_file(dir.join(SPARSIFIER_FILE)).unwrap();
+        let i = store.inspect();
+        assert!(matches!(i.sparsifier, ArtifactState::Invalid(ref why) if why.contains("missing")));
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -25,7 +25,7 @@ use crate::propagation::PropagationConfig;
 use lightne_graph::{Graph, GraphBuilder, VertexId};
 use lightne_hash::{ConcurrentEdgeTable, EdgeAggregator};
 use lightne_linalg::{CsrMatrix, DenseMatrix};
-use lightne_sparsifier::construct::{SamplerConfig, SamplerStats, SparsifierOutput};
+use lightne_sparsifier::construct::{SamplerConfig, SamplerError, SamplerStats, SparsifierOutput};
 use lightne_sparsifier::downsample::{default_c, edge_probability};
 use lightne_sparsifier::netmf::sparsifier_to_netmf;
 use lightne_sparsifier::path_sampling::path_sample;
@@ -132,17 +132,28 @@ impl DynamicLightNe {
     /// Re-embeds from the persistent sparsifier: NetMF conversion,
     /// randomized SVD, and (if configured) spectral propagation — without
     /// re-sampling old edges.
+    ///
+    /// # Panics
+    ///
+    /// If no edges have been absorbed yet; use
+    /// [`DynamicLightNe::reembed_with`] for a fallible variant.
     pub fn reembed(&self) -> LightNeOutput {
-        self.reembed_with(RunOptions::default()).expect("pipeline without artifact i/o cannot fail")
+        self.reembed_with(RunOptions::default())
+            .unwrap_or_else(|e| panic!("re-embed without artifact i/o failed: {e}"))
     }
 
     /// [`DynamicLightNe::reembed`] with engine options (checkpointing,
-    /// resume, progress reporting).
+    /// resume, progress reporting). Returns a [`SamplerError::EmptyGraph`]
+    /// engine error when no edges have been absorbed yet.
+    ///
+    /// [`SamplerError::EmptyGraph`]: lightne_sparsifier::construct::SamplerError::EmptyGraph
     pub fn reembed_with(
         &self,
         opts: RunOptions,
     ) -> Result<LightNeOutput, crate::engine::EngineError> {
-        assert!(self.total_trials > 0, "no edges absorbed yet");
+        if self.total_trials == 0 {
+            return Err(crate::engine::EngineError::Sampler(SamplerError::EmptyGraph));
+        }
         run_pipeline(&self.cfg, &DynamicSource(self), opts)
     }
 
@@ -304,9 +315,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no edges absorbed")]
+    #[should_panic(expected = "graph has no edges")]
     fn reembed_requires_edges() {
         let dyn_ne = DynamicLightNe::new(10, cfg());
         let _ = dyn_ne.reembed();
+    }
+
+    #[test]
+    fn reembed_with_reports_empty_graph_as_typed_error() {
+        let dyn_ne = DynamicLightNe::new(10, cfg());
+        let err = dyn_ne.reembed_with(RunOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("graph has no edges"), "got: {err}");
     }
 }

@@ -20,17 +20,30 @@
 //!   (`--stats-json`), and convertible back into the [`StageTimer`]
 //!   breakdown the bench harness prints as the paper's Table 5.
 
-use crate::artifacts::{ArtifactStore, RunMeta, META_VERSION};
+use crate::artifacts::{
+    ArtifactState, ArtifactStore, RunMeta, INITIAL_FILE, META_VERSION, NETMF_FILE, SPARSIFIER_FILE,
+};
 use crate::pipeline::{LightNeConfig, LightNeOutput};
 use crate::propagation::PropagationConfig;
 use lightne_hash::ShardedEdgeTable;
 use lightne_linalg::{randomized_svd, CsrMatrix, DenseMatrix, RsvdConfig};
 use lightne_sparsifier::construct::{SamplerConfig, SamplerError, SamplerStats, SparsifierOutput};
+use lightne_utils::checksum::fnv1a64;
+use lightne_utils::faults;
 use lightne_utils::mem::MemUsage;
 use lightne_utils::timer::StageTimer;
 use std::fmt;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Fail point at the sparsifier stage boundary.
+pub const FP_STAGE_SPARSIFY: &str = "engine.stage.sparsify";
+/// Fail point at the NetMF-conversion stage boundary.
+pub const FP_STAGE_NETMF: &str = "engine.stage.netmf";
+/// Fail point at the randomized-SVD stage boundary.
+pub const FP_STAGE_RSVD: &str = "engine.stage.rsvd";
+/// All fail points registered by the engine.
+pub const FAIL_POINTS: &[&str] = &[FP_STAGE_SPARSIFY, FP_STAGE_NETMF, FP_STAGE_RSVD];
 
 /// The four canonical pipeline stages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +140,7 @@ pub type ProgressHook = Box<dyn Fn(&StageEvent<'_>) + Send + Sync>;
 pub struct RunContext {
     master_seed: u64,
     records: Vec<StageRecord>,
+    fallbacks: Vec<String>,
     progress: Option<ProgressHook>,
 }
 
@@ -143,12 +157,18 @@ impl fmt::Debug for RunContext {
 impl RunContext {
     /// Creates a context with the given master seed.
     pub fn new(master_seed: u64) -> Self {
-        Self { master_seed, records: Vec::new(), progress: None }
+        Self { master_seed, records: Vec::new(), fallbacks: Vec::new(), progress: None }
     }
 
     /// Creates a context that reports stage events to `hook`.
     pub fn with_progress(master_seed: u64, hook: ProgressHook) -> Self {
-        Self { master_seed, records: Vec::new(), progress: Some(hook) }
+        Self { master_seed, records: Vec::new(), fallbacks: Vec::new(), progress: Some(hook) }
+    }
+
+    /// Records a resume degradation: an invalid or missing artifact that
+    /// forced the run to recompute from an earlier stage.
+    pub fn note_fallback(&mut self, note: String) {
+        self.fallbacks.push(note);
     }
 
     /// The deterministic RNG sub-seed for a stage.
@@ -202,6 +222,7 @@ impl RunContext {
         RunStats {
             seed: self.master_seed,
             threads: lightne_utils::parallel::num_threads(),
+            resume_fallbacks: self.fallbacks,
             stages: self.records,
         }
     }
@@ -214,6 +235,9 @@ pub struct RunStats {
     pub seed: u64,
     /// Rayon worker threads the run executed on.
     pub threads: usize,
+    /// Resume degradations: one note per invalid artifact the run skipped
+    /// (empty for straight runs and clean resumes).
+    pub resume_fallbacks: Vec<String>,
     /// Per-stage records, in execution order.
     pub stages: Vec<StageRecord>,
 }
@@ -246,6 +270,14 @@ impl RunStats {
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!("  \"total_secs\": {},\n", self.total_secs()));
+        out.push_str("  \"resume_fallbacks\": [");
+        for (i, note) in self.resume_fallbacks.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", escape_json(note)));
+        }
+        out.push_str("],\n");
         out.push_str("  \"stages\": [\n");
         for (i, s) in self.stages.iter().enumerate() {
             out.push_str("    {");
@@ -282,7 +314,9 @@ fn escape_json(s: &str) -> String {
 }
 
 /// Errors from the stage engine (artifact I/O, resume validation, and
-/// sampler preconditions).
+/// sampler preconditions). Every corruption class a crash or bad storage
+/// can produce in an artifact directory maps to a distinct variant, so
+/// callers can tell "retry/recompute" states from "wrong directory" ones.
 #[derive(Debug)]
 pub enum EngineError {
     /// Artifact file I/O or parse failure.
@@ -291,6 +325,31 @@ pub enum EngineError {
     Resume(String),
     /// The sampler rejected the graph or configuration.
     Sampler(SamplerError),
+    /// An artifact's bytes fail integrity validation (checksum or size
+    /// mismatch, broken seal, or a file/manifest disagreement).
+    Corrupt {
+        /// File name within the artifact directory.
+        file: String,
+        /// What failed.
+        detail: String,
+    },
+    /// The artifact metadata was written by an unsupported format version.
+    MetaVersion {
+        /// Version recorded on disk.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The artifacts were produced by a run over a different graph or with
+    /// different parameters; resuming would produce a garbage embedding.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the artifacts.
+        artifact: u64,
+        /// Fingerprint of the current run.
+        run: u64,
+    },
+    /// The artifact directory cannot be (re)used for writing.
+    ArtifactDir(String),
 }
 
 impl fmt::Display for EngineError {
@@ -299,6 +358,20 @@ impl fmt::Display for EngineError {
             EngineError::Io(e) => write!(f, "artifact i/o: {e}"),
             EngineError::Resume(what) => write!(f, "cannot resume: {what}"),
             EngineError::Sampler(e) => write!(f, "sampler: {e}"),
+            EngineError::Corrupt { file, detail } => {
+                write!(f, "corrupt artifact {file}: {detail}")
+            }
+            EngineError::MetaVersion { found, supported } => write!(
+                f,
+                "artifact meta version {found} is not supported (this build reads version \
+                 {supported})"
+            ),
+            EngineError::FingerprintMismatch { artifact, run } => write!(
+                f,
+                "cannot resume: artifact fingerprint {artifact:016x} does not match this run's \
+                 {run:016x} (different graph or parameters)"
+            ),
+            EngineError::ArtifactDir(what) => write!(f, "artifact directory: {what}"),
         }
     }
 }
@@ -328,8 +401,11 @@ impl From<std::io::Error> for EngineError {
 pub struct RunOptions {
     /// Checkpoint each stage's output into this directory.
     pub save_artifacts: Option<PathBuf>,
-    /// Resume from the deepest artifact found in this directory.
+    /// Resume from the deepest *valid* artifact found in this directory.
     pub resume_from: Option<PathBuf>,
+    /// Fail with [`EngineError::Corrupt`] on any invalid artifact instead
+    /// of degrading to an earlier stage (`--strict-resume`).
+    pub strict_resume: bool,
     /// Stage start/finish callback.
     pub progress: Option<ProgressHook>,
 }
@@ -339,6 +415,7 @@ impl fmt::Debug for RunOptions {
         f.debug_struct("RunOptions")
             .field("save_artifacts", &self.save_artifacts)
             .field("resume_from", &self.resume_from)
+            .field("strict_resume", &self.strict_resume)
             .field("progress", &self.progress.is_some())
             .finish()
     }
@@ -426,10 +503,33 @@ enum SparsifierPayload {
     Sharded(ShardedEdgeTable),
 }
 
+/// Fingerprint of a run's graph and embedding parameters.
+///
+/// Resuming is only sound when the artifacts were produced by the *same*
+/// computation: same graph (vertex/edge counts, weightedness), same
+/// sampling and factorization parameters, same seed. The fingerprint is
+/// an FNV-1a digest over a canonical rendering of exactly the inputs that
+/// shape the checkpointed state. Data-path knobs whose output is
+/// byte-identical (shard count, global-table) and the propagation stage
+/// (never checkpointed — it runs after the deepest artifact) are
+/// deliberately excluded.
+pub fn run_fingerprint(cfg: &LightNeConfig, n: usize, m: usize, weighted: bool) -> u64 {
+    let text = format!("{}n {n}\nm {m}\nweighted {weighted}\n", cfg.fingerprint_text());
+    fnv1a64(text.as_bytes())
+}
+
 /// Runs the staged pipeline over `src`, with optional checkpointing and
 /// resume. This is the single execution path behind [`LightNe::embed`],
 /// [`LightNe::embed_weighted`], the dynamic re-embedder, and the staged
 /// baselines.
+///
+/// On resume, the artifact directory's metadata and manifest are
+/// validated first; invalid artifacts are skipped (the run degrades to
+/// the deepest stage that is still trustworthy, recording each fallback
+/// in [`RunStats::resume_fallbacks`]) unless
+/// [`RunOptions::strict_resume`] is set, in which case any invalid
+/// artifact is a typed error. A fingerprint mismatch — artifacts from a
+/// different graph or parameterization — is always a hard error.
 ///
 /// [`LightNe::embed`]: crate::pipeline::LightNe::embed
 /// [`LightNe::embed_weighted`]: crate::pipeline::LightNe::embed_weighted
@@ -443,15 +543,19 @@ pub fn run_pipeline<S: PipelineSource>(
         None => RunContext::new(cfg.seed),
     };
 
-    let store = match &opts.save_artifacts {
-        Some(dir) => Some(ArtifactStore::create(dir)?),
-        None => None,
-    };
+    let n = src.num_vertices();
+    let fingerprint = run_fingerprint(cfg, n, src.num_edges(), src.is_weighted());
+
+    // Resolve the resume state before touching the save directory: when
+    // both options point at the same store, creation must not reset it.
     let (resume, resume_meta, level) = match &opts.resume_from {
         Some(dir) => {
             let r = ArtifactStore::open(dir);
-            let meta = r.load_meta().map_err(|e| {
-                EngineError::Resume(format!("unreadable metadata in {}: {e}", dir.display()))
+            let meta = r.load_meta().map_err(|e| match e {
+                // Integrity and version failures stay typed; plain I/O and
+                // parse failures get the directory context.
+                e @ (EngineError::Corrupt { .. } | EngineError::MetaVersion { .. }) => e,
+                e => EngineError::Resume(format!("unreadable metadata in {}: {e}", dir.display())),
             })?;
             if meta.weighted != src.is_weighted() {
                 return Err(EngineError::Resume(format!(
@@ -466,31 +570,72 @@ pub fn run_pipeline<S: PipelineSource>(
                     meta.seed, cfg.seed
                 )));
             }
-            if meta.n != src.num_vertices() {
+            if meta.n != n {
                 return Err(EngineError::Resume(format!(
                     "artifact graph has {} vertices, this graph has {}",
-                    meta.n,
-                    src.num_vertices()
+                    meta.n, n
                 )));
             }
-            let level = if r.has_initial() {
-                ResumeLevel::Initial
-            } else if r.has_netmf() {
-                ResumeLevel::NetMf
-            } else if r.has_sparsifier() {
-                ResumeLevel::Sparsifier
-            } else {
-                return Err(EngineError::Resume(format!(
-                    "no stage artifacts found in {}",
-                    dir.display()
-                )));
-            };
+            if meta.fingerprint != fingerprint {
+                return Err(EngineError::FingerprintMismatch {
+                    artifact: meta.fingerprint,
+                    run: fingerprint,
+                });
+            }
+            // Deepest-first scan for the first *valid* artifact. Invalid
+            // ones fail the run under strict resume; otherwise they are
+            // recorded and the run restarts from an earlier stage.
+            let inspection = r.inspect();
+            let scan = [
+                (ResumeLevel::Initial, INITIAL_FILE, &inspection.initial),
+                (ResumeLevel::NetMf, NETMF_FILE, &inspection.netmf),
+                (ResumeLevel::Sparsifier, SPARSIFIER_FILE, &inspection.sparsifier),
+            ];
+            let mut level = ResumeLevel::None;
+            for (lvl, file, state) in scan {
+                match state {
+                    ArtifactState::Valid => {
+                        level = lvl;
+                        break;
+                    }
+                    ArtifactState::Absent => {}
+                    ArtifactState::Invalid(why) => {
+                        if opts.strict_resume {
+                            return Err(EngineError::Corrupt {
+                                file: file.to_string(),
+                                detail: why.clone(),
+                            });
+                        }
+                        ctx.note_fallback(format!("skipped invalid artifact {file}: {why}"));
+                    }
+                }
+            }
+            if level == ResumeLevel::None {
+                if opts.strict_resume {
+                    return Err(EngineError::Resume(format!(
+                        "no valid stage artifacts found in {}",
+                        dir.display()
+                    )));
+                }
+                ctx.note_fallback("no valid stage artifacts; recomputing every stage".to_string());
+            }
             (Some(r), Some(meta), level)
         }
         None => (None, None, ResumeLevel::None),
     };
 
-    let n = src.num_vertices();
+    let store = match &opts.save_artifacts {
+        Some(dir) => {
+            let same_store = opts.resume_from.as_deref() == Some(dir.as_path());
+            Some(if same_store {
+                ArtifactStore::attach(dir, fingerprint)
+            } else {
+                ArtifactStore::create(dir, fingerprint)?
+            })
+        }
+        None => None,
+    };
+
     let samples = match &resume_meta {
         // The sample budget is part of the checkpointed state: downstream
         // stages normalize by it, so a resumed run must reuse it.
@@ -505,9 +650,10 @@ pub fn run_pipeline<S: PipelineSource>(
         seed: ctx.stage_seed(StageKind::Sparsify),
     };
 
-    let mut meta = RunMeta {
+    let mut meta = resume_meta.clone().unwrap_or(RunMeta {
         version: META_VERSION,
         seed: cfg.seed,
+        fingerprint,
         weighted: src.is_weighted(),
         n,
         samples,
@@ -516,7 +662,13 @@ pub fn run_pipeline<S: PipelineSource>(
         distinct_entries: 0,
         aggregator_bytes: 0,
         netmf_nnz: None,
-    };
+    });
+    // Written up front so a crash at *any* later point leaves a store that
+    // identifies its run and resumes cleanly (recomputing whatever was not
+    // committed yet). Counters are refreshed after stages 1 and 2.
+    if let Some(store) = &store {
+        store.save_meta(&meta)?;
+    }
 
     // The sharded fast path fuses the stage-2 transform into the shard
     // drain, so it never materializes the untransformed COO. Checkpointing
@@ -527,6 +679,7 @@ pub fn run_pipeline<S: PipelineSource>(
 
     // Stage 1: sparsifier construction (or replay from artifacts).
     let (payload, sampler) = ctx.run(StageKind::Sparsify, |scope| -> Result<_, EngineError> {
+        faults::check(FP_STAGE_SPARSIFY)?;
         let (payload, stats) = if level >= ResumeLevel::Sparsifier {
             let m = resume_meta.as_ref().expect("resume level implies meta");
             scope.counter("resumed", 1);
@@ -580,6 +733,7 @@ pub fn run_pipeline<S: PipelineSource>(
 
     // Stage 2: NetMF conversion (or replay).
     let netmf = ctx.run(StageKind::NetMf, |scope| -> Result<_, EngineError> {
+        faults::check(FP_STAGE_NETMF)?;
         let m = if level >= ResumeLevel::NetMf {
             scope.counter("resumed", 1);
             if let Some(nnz) = resume_meta.as_ref().and_then(|m| m.netmf_nnz) {
@@ -627,6 +781,7 @@ pub fn run_pipeline<S: PipelineSource>(
     // Stage 3: randomized SVD (or replay).
     let rsvd_seed = ctx.stage_seed(StageKind::Rsvd);
     let initial = ctx.run(StageKind::Rsvd, |scope| -> Result<_, EngineError> {
+        faults::check(FP_STAGE_RSVD)?;
         let x = if level >= ResumeLevel::Initial {
             scope.counter("resumed", 1);
             let r = resume.as_ref().expect("resume level implies store");

@@ -44,11 +44,11 @@ pub mod pipeline;
 pub mod propagation;
 pub mod spectral;
 
-pub use artifacts::{ArtifactStore, RunMeta};
+pub use artifacts::{ArtifactState, ArtifactStore, Inspection, Manifest, ManifestEntry, RunMeta};
 pub use dynamic::DynamicLightNe;
 pub use engine::{
-    run_pipeline, EngineError, PipelineSource, RunContext, RunOptions, RunStats, StageKind,
-    StageRecord,
+    run_fingerprint, run_pipeline, EngineError, PipelineSource, RunContext, RunOptions, RunStats,
+    StageKind, StageRecord,
 };
 pub use pipeline::{LightNe, LightNeConfig, LightNeOutput};
 pub use propagation::{spectral_propagation, PropagationConfig};

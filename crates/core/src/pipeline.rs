@@ -84,6 +84,36 @@ impl LightNeConfig {
     pub fn large() -> Self {
         Self { sample_ratio: 20.0, ..Default::default() }
     }
+
+    /// Canonical text rendering of every parameter that shapes the
+    /// checkpointed pipeline state, one `key value` line each. This feeds
+    /// the run fingerprint stored in artifact metadata, so resuming with
+    /// artifacts from a differently-parameterized run is rejected.
+    ///
+    /// Deliberately excluded: `shards` and `global_table` (alternate data
+    /// paths with byte-identical output) and `propagation` (runs after the
+    /// deepest checkpointed artifact, so it never invalidates one). Floats
+    /// are rendered by their exact bit patterns — fingerprints compare
+    /// identity, not approximate equality.
+    pub fn fingerprint_text(&self) -> String {
+        let c_factor = match self.c_factor {
+            Some(c) => format!("{:016x}", c.to_bits()),
+            None => "none".to_string(),
+        };
+        format!(
+            "dim {}\nwindow {}\nsample_ratio {:016x}\ndownsample {}\nc_factor {}\n\
+             negative {:016x}\noversampling {}\npower_iters {}\nseed {}\n",
+            self.dim,
+            self.window,
+            self.sample_ratio.to_bits(),
+            self.downsample,
+            c_factor,
+            self.negative.to_bits(),
+            self.oversampling,
+            self.power_iters,
+            self.seed,
+        )
+    }
 }
 
 /// Result of a LightNE run.

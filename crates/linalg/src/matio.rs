@@ -1,15 +1,36 @@
-//! Dense-matrix text I/O: the embedding interchange format.
+//! Dense- and sparse-matrix text I/O: the embedding interchange format.
 //!
 //! Embeddings leave the system as whitespace-separated text, one row per
 //! vertex — the format every downstream tool in this literature consumes
 //! (word2vec's text format without the header). A `#`-prefixed header
 //! records the shape for validation on load.
+//!
+//! Every format has three entry points: a generic writer/reader over
+//! `io::Write`/`io::BufRead`, a `*_to_bytes`/`*_from_bytes` pair (used by
+//! the artifact store, which needs the full byte image to checksum before
+//! anything touches disk), and a path-based convenience wrapper. All
+//! numeric output uses Rust's shortest-round-trip float formatting, so a
+//! write/read cycle is bitwise lossless — checkpointed artifacts resume to
+//! exactly the state that was saved.
+//!
+//! The generic writer and reader are instrumented with the
+//! [`lightne_utils::faults`] fail points in [`FAIL_POINTS`], so the
+//! crash-consistency suite can inject I/O errors or crashes into every
+//! matrix serialization in the system.
 
 use crate::dense::DenseMatrix;
+use lightne_utils::faults;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+
+/// Fail point hit by every matrix/COO/CSR serialization.
+pub const FP_WRITE_MATRIX: &str = "matio.write.matrix";
+/// Fail point hit by every matrix/COO/CSR parse.
+pub const FP_READ_MATRIX: &str = "matio.read.matrix";
+/// All fail points registered by this module.
+pub const FAIL_POINTS: &[&str] = &[FP_WRITE_MATRIX, FP_READ_MATRIX];
 
 /// Errors from matrix text I/O.
 #[derive(Debug)]
@@ -37,10 +58,10 @@ impl From<io::Error> for MatIoError {
     }
 }
 
-/// Writes a matrix as text: a `# rows cols` header, then one
+/// Writes a matrix as text to `w`: a `# rows cols` header, then one
 /// whitespace-separated row per line.
-pub fn write_matrix(m: &DenseMatrix, path: impl AsRef<Path>) -> Result<(), MatIoError> {
-    let mut w = BufWriter::with_capacity(1 << 20, File::create(path)?);
+pub fn write_matrix_to(m: &DenseMatrix, mut w: impl Write) -> Result<(), MatIoError> {
+    faults::check(FP_WRITE_MATRIX)?;
     writeln!(w, "# {} {}", m.rows(), m.cols())?;
     for i in 0..m.rows() {
         let mut first = true;
@@ -58,15 +79,27 @@ pub fn write_matrix(m: &DenseMatrix, path: impl AsRef<Path>) -> Result<(), MatIo
     Ok(())
 }
 
-/// Reads a matrix written by [`write_matrix`]. The header is optional;
+/// Serializes a matrix to its text byte image (see [`write_matrix_to`]).
+pub fn matrix_to_bytes(m: &DenseMatrix) -> Result<Vec<u8>, MatIoError> {
+    let mut buf = Vec::with_capacity(m.rows() * (m.cols() * 10 + 1) + 32);
+    write_matrix_to(m, &mut buf)?;
+    Ok(buf)
+}
+
+/// Writes a matrix to a file (see [`write_matrix_to`]).
+pub fn write_matrix(m: &DenseMatrix, path: impl AsRef<Path>) -> Result<(), MatIoError> {
+    write_matrix_to(m, BufWriter::with_capacity(1 << 20, File::create(path)?))
+}
+
+/// Reads a matrix written by [`write_matrix_to`]. The header is optional;
 /// without it the shape is inferred from the first row.
-pub fn read_matrix(path: impl AsRef<Path>) -> Result<DenseMatrix, MatIoError> {
-    let reader = BufReader::with_capacity(1 << 20, File::open(path)?);
+pub fn read_matrix_from(r: impl BufRead) -> Result<DenseMatrix, MatIoError> {
+    faults::check(FP_READ_MATRIX)?;
     let mut declared: Option<(usize, usize)> = None;
     let mut data: Vec<f32> = Vec::new();
     let mut cols: Option<usize> = None;
     let mut rows = 0usize;
-    for (lineno, line) in reader.lines().enumerate() {
+    for (lineno, line) in r.lines().enumerate() {
         let line = line?;
         let t = line.trim();
         if t.is_empty() {
@@ -108,43 +141,48 @@ pub fn read_matrix(path: impl AsRef<Path>) -> Result<DenseMatrix, MatIoError> {
     Ok(DenseMatrix::from_vec(rows, cols, data))
 }
 
-/// Writes a COO entry list as text: a `#coo rows cols nnz` header, then
-/// one `row col weight` triple per line.
-///
-/// Weights are written with Rust's shortest-round-trip `f32` formatting,
-/// so a write/read cycle is bitwise lossless — checkpointed artifacts
-/// resume to exactly the state that was saved.
-pub fn write_coo(
-    path: impl AsRef<Path>,
+/// Parses a matrix from its text byte image (see [`read_matrix_from`]).
+pub fn matrix_from_bytes(bytes: &[u8]) -> Result<DenseMatrix, MatIoError> {
+    read_matrix_from(bytes)
+}
+
+/// Reads a matrix from a file (see [`read_matrix_from`]).
+pub fn read_matrix(path: impl AsRef<Path>) -> Result<DenseMatrix, MatIoError> {
+    read_matrix_from(BufReader::with_capacity(1 << 20, File::open(path)?))
+}
+
+/// Writes `row col value` triples under a `#tag rows cols nnz` header.
+fn write_triples_to(
+    mut w: impl Write,
+    tag: &str,
     n_rows: usize,
     n_cols: usize,
-    entries: &[(u32, u32, f32)],
+    nnz: usize,
+    entries: impl Iterator<Item = (u32, u32, f32)>,
 ) -> Result<(), MatIoError> {
-    let mut w = BufWriter::with_capacity(1 << 20, File::create(path)?);
-    writeln!(w, "#coo {n_rows} {n_cols} {}", entries.len())?;
-    for &(r, c, v) in entries {
+    faults::check(FP_WRITE_MATRIX)?;
+    writeln!(w, "#{tag} {n_rows} {n_cols} {nnz}")?;
+    for (r, c, v) in entries {
         writeln!(w, "{r} {c} {v}")?;
     }
     w.flush()?;
     Ok(())
 }
 
-/// Shape and entries of a COO file: `(n_rows, n_cols, entries)`.
-pub type CooData = (usize, usize, Vec<(u32, u32, f32)>);
-
-/// Reads a COO file written by [`write_coo`]; returns `(n_rows, n_cols,
-/// entries)` with entries in file order.
-pub fn read_coo(path: impl AsRef<Path>) -> Result<CooData, MatIoError> {
-    let reader = BufReader::with_capacity(1 << 20, File::open(path)?);
+/// Reads the triple-list body format shared by COO and CSR files: entries
+/// are returned in file order and validated against the header's `nnz`.
+fn read_triples_from(r: impl BufRead, tag: &str) -> Result<CooData, MatIoError> {
+    faults::check(FP_READ_MATRIX)?;
+    let header = format!("#{tag}");
     let mut shape: Option<(usize, usize, usize)> = None;
     let mut entries: Vec<(u32, u32, f32)> = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
+    for (lineno, line) in r.lines().enumerate() {
         let line = line?;
         let t = line.trim();
         if t.is_empty() {
             continue;
         }
-        if let Some(rest) = t.strip_prefix("#coo") {
+        if let Some(rest) = t.strip_prefix(header.as_str()) {
             let mut it = rest.split_whitespace();
             match (it.next(), it.next(), it.next()) {
                 (Some(r), Some(c), Some(z)) => {
@@ -155,79 +193,10 @@ pub fn read_coo(path: impl AsRef<Path>) -> Result<CooData, MatIoError> {
                     shape = Some((parse(r)?, parse(c)?, parse(z)?));
                 }
                 _ => {
-                    return Err(MatIoError::Parse(lineno + 1, "malformed #coo header".into()));
-                }
-            }
-            continue;
-        }
-        if t.starts_with('#') {
-            continue;
-        }
-        let mut it = t.split_whitespace();
-        let (r, c, v) = match (it.next(), it.next(), it.next()) {
-            (Some(r), Some(c), Some(v)) => (r, c, v),
-            _ => return Err(MatIoError::Parse(lineno + 1, "expected `row col weight`".into())),
-        };
-        let r: u32 = r.parse().map_err(|e| MatIoError::Parse(lineno + 1, format!("{e}")))?;
-        let c: u32 = c.parse().map_err(|e| MatIoError::Parse(lineno + 1, format!("{e}")))?;
-        let v: f32 = v.parse().map_err(|e| MatIoError::Parse(lineno + 1, format!("{e}")))?;
-        entries.push((r, c, v));
-    }
-    let (n_rows, n_cols, nnz) =
-        shape.ok_or_else(|| MatIoError::Parse(0, "missing #coo header".into()))?;
-    if entries.len() != nnz {
-        return Err(MatIoError::Parse(
-            0,
-            format!("header says {nnz} entries, body has {}", entries.len()),
-        ));
-    }
-    Ok((n_rows, n_cols, entries))
-}
-
-/// Writes a CSR matrix as a COO triple list with a `#csr rows cols nnz`
-/// header (same body format as [`write_coo`]).
-pub fn write_csr(m: &crate::sparse::CsrMatrix, path: impl AsRef<Path>) -> Result<(), MatIoError> {
-    let mut w = BufWriter::with_capacity(1 << 20, File::create(path)?);
-    writeln!(w, "#csr {} {} {}", m.n_rows(), m.n_cols(), m.nnz())?;
-    for i in 0..m.n_rows() {
-        let (cols, vals) = m.row(i);
-        for (&c, &v) in cols.iter().zip(vals) {
-            writeln!(w, "{i} {c} {v}")?;
-        }
-    }
-    w.flush()?;
-    Ok(())
-}
-
-/// Reads a CSR file written by [`write_csr`] and rebuilds the matrix.
-///
-/// Reconstruction goes through [`CsrMatrix::from_coo`]
-/// (sort-by-key, no duplicate keys on disk), so the rebuilt matrix is
-/// bitwise identical to the one that was written.
-///
-/// [`CsrMatrix::from_coo`]: crate::sparse::CsrMatrix::from_coo
-pub fn read_csr(path: impl AsRef<Path>) -> Result<crate::sparse::CsrMatrix, MatIoError> {
-    let reader = BufReader::with_capacity(1 << 20, File::open(path)?);
-    let mut shape: Option<(usize, usize, usize)> = None;
-    let mut entries: Vec<(u32, u32, f32)> = Vec::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let line = line?;
-        let t = line.trim();
-        if t.is_empty() {
-            continue;
-        }
-        if let Some(rest) = t.strip_prefix("#csr") {
-            let mut it = rest.split_whitespace();
-            match (it.next(), it.next(), it.next()) {
-                (Some(r), Some(c), Some(z)) => {
-                    let parse = |s: &str| {
-                        s.parse::<usize>()
-                            .map_err(|e| MatIoError::Parse(lineno + 1, format!("{e}")))
-                    };
-                    shape = Some((parse(r)?, parse(c)?, parse(z)?));
-                }
-                _ => {
-                    return Err(MatIoError::Parse(lineno + 1, "malformed #csr header".into()));
+                    return Err(MatIoError::Parse(
+                        lineno + 1,
+                        format!("malformed {header} header"),
+                    ));
                 }
             }
             continue;
@@ -246,14 +215,109 @@ pub fn read_csr(path: impl AsRef<Path>) -> Result<crate::sparse::CsrMatrix, MatI
         entries.push((r, c, v));
     }
     let (n_rows, n_cols, nnz) =
-        shape.ok_or_else(|| MatIoError::Parse(0, "missing #csr header".into()))?;
+        shape.ok_or_else(|| MatIoError::Parse(0, format!("missing {header} header")))?;
     if entries.len() != nnz {
         return Err(MatIoError::Parse(
             0,
             format!("header says {nnz} entries, body has {}", entries.len()),
         ));
     }
+    Ok((n_rows, n_cols, entries))
+}
+
+/// Writes a COO entry list as text to `w`: a `#coo rows cols nnz` header,
+/// then one `row col weight` triple per line.
+pub fn write_coo_to(
+    w: impl Write,
+    n_rows: usize,
+    n_cols: usize,
+    entries: &[(u32, u32, f32)],
+) -> Result<(), MatIoError> {
+    write_triples_to(w, "coo", n_rows, n_cols, entries.len(), entries.iter().copied())
+}
+
+/// Serializes a COO entry list to its text byte image.
+pub fn coo_to_bytes(
+    n_rows: usize,
+    n_cols: usize,
+    entries: &[(u32, u32, f32)],
+) -> Result<Vec<u8>, MatIoError> {
+    let mut buf = Vec::with_capacity(entries.len() * 16 + 32);
+    write_coo_to(&mut buf, n_rows, n_cols, entries)?;
+    Ok(buf)
+}
+
+/// Writes a COO entry list to a file (see [`write_coo_to`]).
+pub fn write_coo(
+    path: impl AsRef<Path>,
+    n_rows: usize,
+    n_cols: usize,
+    entries: &[(u32, u32, f32)],
+) -> Result<(), MatIoError> {
+    write_coo_to(BufWriter::with_capacity(1 << 20, File::create(path)?), n_rows, n_cols, entries)
+}
+
+/// Shape and entries of a COO file: `(n_rows, n_cols, entries)`.
+pub type CooData = (usize, usize, Vec<(u32, u32, f32)>);
+
+/// Reads a COO stream written by [`write_coo_to`]; returns `(n_rows,
+/// n_cols, entries)` with entries in file order.
+pub fn read_coo_from(r: impl BufRead) -> Result<CooData, MatIoError> {
+    read_triples_from(r, "coo")
+}
+
+/// Parses a COO byte image (see [`read_coo_from`]).
+pub fn coo_from_bytes(bytes: &[u8]) -> Result<CooData, MatIoError> {
+    read_coo_from(bytes)
+}
+
+/// Reads a COO file written by [`write_coo`].
+pub fn read_coo(path: impl AsRef<Path>) -> Result<CooData, MatIoError> {
+    read_coo_from(BufReader::with_capacity(1 << 20, File::open(path)?))
+}
+
+/// Writes a CSR matrix to `w` as a COO triple list with a `#csr rows cols
+/// nnz` header (same body format as [`write_coo_to`]).
+pub fn write_csr_to(m: &crate::sparse::CsrMatrix, w: impl Write) -> Result<(), MatIoError> {
+    let triples = (0..m.n_rows()).flat_map(|i| {
+        let (cols, vals) = m.row(i);
+        cols.iter().zip(vals).map(move |(&c, &v)| (i as u32, c, v))
+    });
+    write_triples_to(w, "csr", m.n_rows(), m.n_cols(), m.nnz(), triples)
+}
+
+/// Serializes a CSR matrix to its text byte image.
+pub fn csr_to_bytes(m: &crate::sparse::CsrMatrix) -> Result<Vec<u8>, MatIoError> {
+    let mut buf = Vec::with_capacity(m.nnz() * 16 + 32);
+    write_csr_to(m, &mut buf)?;
+    Ok(buf)
+}
+
+/// Writes a CSR matrix to a file (see [`write_csr_to`]).
+pub fn write_csr(m: &crate::sparse::CsrMatrix, path: impl AsRef<Path>) -> Result<(), MatIoError> {
+    write_csr_to(m, BufWriter::with_capacity(1 << 20, File::create(path)?))
+}
+
+/// Reads a CSR stream written by [`write_csr_to`] and rebuilds the matrix.
+///
+/// Reconstruction goes through [`CsrMatrix::from_coo`]
+/// (sort-by-key, no duplicate keys on disk), so the rebuilt matrix is
+/// bitwise identical to the one that was written.
+///
+/// [`CsrMatrix::from_coo`]: crate::sparse::CsrMatrix::from_coo
+pub fn read_csr_from(r: impl BufRead) -> Result<crate::sparse::CsrMatrix, MatIoError> {
+    let (n_rows, n_cols, entries) = read_triples_from(r, "csr")?;
     Ok(crate::sparse::CsrMatrix::from_coo(n_rows, n_cols, entries))
+}
+
+/// Parses a CSR byte image (see [`read_csr_from`]).
+pub fn csr_from_bytes(bytes: &[u8]) -> Result<crate::sparse::CsrMatrix, MatIoError> {
+    read_csr_from(bytes)
+}
+
+/// Reads a CSR file written by [`write_csr`].
+pub fn read_csr(path: impl AsRef<Path>) -> Result<crate::sparse::CsrMatrix, MatIoError> {
+    read_csr_from(BufReader::with_capacity(1 << 20, File::open(path)?))
 }
 
 #[cfg(test)]
@@ -276,6 +340,24 @@ mod tests {
         assert_eq!(m.rows(), m2.rows());
         assert_eq!(m.cols(), m2.cols());
         assert!(m.max_abs_diff(&m2) < 1e-5);
+    }
+
+    #[test]
+    fn bytes_roundtrip_matches_file_roundtrip() {
+        let m = DenseMatrix::gaussian(12, 5, 9);
+        let bytes = matrix_to_bytes(&m).unwrap();
+        let p = tmp("bytes.txt");
+        write_matrix(&m, &p).unwrap();
+        let file_bytes = std::fs::read(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(bytes, file_bytes, "bytes and file serializations must agree");
+        let m2 = matrix_from_bytes(&bytes).unwrap();
+        assert_eq!(m.rows(), m2.rows());
+        for i in 0..m.rows() {
+            for (x, y) in m.row(i).iter().zip(m2.row(i)) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

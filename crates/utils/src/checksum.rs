@@ -1,0 +1,60 @@
+//! Content checksums for artifact integrity (FNV-1a, 64-bit).
+//!
+//! The artifact store records an FNV-1a digest of every file it writes and
+//! refuses to load bytes that no longer match. FNV-1a is not cryptographic,
+//! but it detects every *single-byte substitution* deterministically: each
+//! step `h ← (h ⊕ b) · p` is a bijection of the 64-bit state for fixed
+//! `(b, p)` (the prime is odd, hence invertible mod 2^64), so two inputs
+//! of equal length that differ in any byte keep differing through every
+//! subsequent step. Length changes are caught by the recorded size.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Computes the FNV-1a 64-bit digest of `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values of the standard FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn any_single_byte_substitution_changes_the_digest() {
+        let base = b"version 2\nseed 7\nsamples 120000\n".to_vec();
+        let want = fnv1a64(&base);
+        for i in 0..base.len() {
+            for delta in [0x01u8, 0x20, 0x80, 0xff] {
+                let mut tampered = base.clone();
+                tampered[i] ^= delta;
+                assert_ne!(fnv1a64(&tampered), want, "undetected flip at byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_changes_digest_or_length() {
+        let base = b"0 1 2.5\n3 2 0.125\n".to_vec();
+        let want = (base.len(), fnv1a64(&base));
+        for cut in 0..base.len() {
+            let t = &base[..cut];
+            assert_ne!((t.len(), fnv1a64(t)), want);
+        }
+    }
+}

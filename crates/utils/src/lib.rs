@@ -15,11 +15,19 @@
 //!   running-time breakdown (Table 5).
 //! * [`mem`] — lightweight memory accounting used by the sample-size
 //!   ablation (Section 5.2.4).
+//! * [`checksum`] — FNV-1a content digests used by the artifact store to
+//!   detect silent checkpoint corruption.
+//! * [`faults`] — deterministic named fail points (feature-gated behind
+//!   `failpoints`) that the crash-consistency test matrix arms to inject
+//!   I/O errors, torn writes, bit flips and crashes at every checkpoint
+//!   boundary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atomic;
+pub mod checksum;
+pub mod faults;
 pub mod mem;
 pub mod parallel;
 pub mod rng;

@@ -115,6 +115,14 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> 
         let n: usize = n.parse().map_err(|_| format!("bad value for --threads: {n:?}"))?;
         crate::utils::parallel::configure_threads(n);
     }
+    // Deterministic fault injection for crash testing. Both routes error
+    // in builds without the `failpoints` feature, where the hooks are
+    // compiled out — a silently ignored fault spec would make a crash
+    // test vacuously pass.
+    crate::utils::faults::arm_from_env()?;
+    if let Some(spec) = o.get("fail-point") {
+        crate::utils::faults::arm_spec(spec)?;
+    }
     let mut say = |s: String| writeln!(out, "{s}").map_err(|e| e.to_string());
 
     match cmd.as_str() {
@@ -154,6 +162,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> 
             let opts = RunOptions {
                 save_artifacts: o.get("save-artifacts").map(Into::into),
                 resume_from: o.get("resume-from").map(Into::into),
+                strict_resume: o.flag("strict-resume"),
                 progress: None,
             };
             let result = if o.flag("weighted") {

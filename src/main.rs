@@ -7,7 +7,7 @@
 //!                  [--ratio R] [--no-downsample] [--no-propagation]
 //!                  [--weighted] [--seed N] [--shards N] [--global-table]
 //!                  [--save-artifacts DIR] [--resume-from DIR]
-//!                  [--stats-json PATH]
+//!                  [--strict-resume] [--stats-json PATH]
 //! lightne classify --graph graph.lne --labels graph.lne.labels
 //!                  --embedding emb.txt [--train-ratio F] [--seed N]
 //! lightne linkpred --graph graph.lne [--holdout F] [--dim D] [--window T]
@@ -28,6 +28,15 @@
 //! vertex-range-sharded aggregation path (0 = automatic), and
 //! `--global-table` forces the legacy single-table path; output bytes are
 //! identical either way. The implementation lives in [`lightne::cli`].
+//!
+//! On resume, artifacts are validated against a per-file checksum
+//! manifest; corrupt or uncommitted files are skipped and the run
+//! degrades to the deepest stage that is still trustworthy.
+//! `--strict-resume` turns any invalid artifact into a hard error
+//! instead. In builds with the `failpoints` feature, `--fail-point
+//! point=action` (or the `LIGHTNE_FAIL_POINTS` environment variable)
+//! arms deterministic fault injection for crash testing; actions are
+//! `io-error`, `truncate:N`, `bitflip:SEED`, and `panic`.
 
 use std::process::ExitCode;
 

@@ -1,0 +1,224 @@
+//! Property tests for the matrix I/O layer and the artifact store's
+//! corruption detection.
+//!
+//! The serialization property: every dense/COO/CSR round trip is bitwise
+//! lossless, over pseudo-random shapes (including empty rows and empty
+//! sparse matrices) and adversarial float values (extremes, subnormals,
+//! infinities, signed zeros, random bit patterns). NaN is excluded by
+//! contract — no finite-computation stage produces one, and text NaN
+//! does not preserve payload bits.
+//!
+//! The integrity property: flipping *any single byte* of *any* v2
+//! artifact file is caught as a typed error at load time. FNV-1a makes
+//! this exhaustive — each absorbed byte maps the state through a
+//! bijection, so no single-byte substitution can collide.
+
+use lightne::core::artifacts::{
+    ArtifactStore, RunMeta, INITIAL_FILE, MANIFEST_FILE, META_FILE, META_VERSION, NETMF_FILE,
+    SPARSIFIER_FILE,
+};
+use lightne::linalg::matio;
+use lightne::linalg::{CsrMatrix, DenseMatrix};
+use lightne::utils::rng::XorShiftStream;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("lightne_matprop_{}_{name}", std::process::id()));
+    p
+}
+
+/// Adversarial float values every round-trip case draws from.
+const EXTREMES: &[f32] = &[
+    0.0,
+    -0.0,
+    1.0,
+    -1.0,
+    f32::MAX,
+    f32::MIN,
+    f32::MIN_POSITIVE,
+    -f32::MIN_POSITIVE,
+    f32::EPSILON,
+    f32::INFINITY,
+    f32::NEG_INFINITY,
+    1.0e-45, // smallest positive subnormal
+    -1.0e-45,
+    std::f32::consts::PI,
+    1.234_567_9e-30,
+    9.876_543e30,
+];
+
+/// A float that is extreme, random-bit-pattern, or gaussian — never NaN.
+fn arb_f32(rng: &mut XorShiftStream) -> f32 {
+    match rng.bounded(4) {
+        0 => EXTREMES[rng.bounded_usize(EXTREMES.len())],
+        1 => {
+            let v = f32::from_bits(rng.next_u32());
+            if v.is_nan() {
+                f32::from_bits(rng.next_u32() & 0x7f7f_ffff) // clear NaN-prone exponent bits
+            } else {
+                v
+            }
+        }
+        _ => rng.gaussian() as f32,
+    }
+}
+
+fn assert_bits_eq(a: f32, b: f32, what: &str) {
+    assert_eq!(a.to_bits(), b.to_bits(), "{what}: {a:?} != {b:?}");
+}
+
+#[test]
+fn dense_roundtrip_is_bitwise_for_arbitrary_shapes_and_values() {
+    let mut rng = XorShiftStream::new(0xD15E, 0);
+    for case in 0..40 {
+        let rows = 1 + rng.bounded_usize(12);
+        let cols = 1 + rng.bounded_usize(9);
+        let data: Vec<f32> = (0..rows * cols).map(|_| arb_f32(&mut rng)).collect();
+        let m = DenseMatrix::from_vec(rows, cols, data);
+        let bytes = matio::matrix_to_bytes(&m).unwrap();
+        let m2 = matio::matrix_from_bytes(&bytes).unwrap();
+        assert_eq!((m2.rows(), m2.cols()), (rows, cols), "case {case}: shape lost");
+        for (a, b) in m.as_slice().iter().zip(m2.as_slice()) {
+            assert_bits_eq(*a, *b, &format!("case {case} ({rows}x{cols})"));
+        }
+    }
+}
+
+#[test]
+fn coo_roundtrip_is_bitwise_including_the_empty_list() {
+    let mut rng = XorShiftStream::new(0xC00, 1);
+    for case in 0..40 {
+        let n = 1 + rng.bounded_usize(40);
+        let nnz = if case == 0 { 0 } else { rng.bounded_usize(60) };
+        let entries: Vec<(u32, u32, f32)> = (0..nnz)
+            .map(|_| {
+                (rng.bounded(n as u64) as u32, rng.bounded(n as u64) as u32, arb_f32(&mut rng))
+            })
+            .collect();
+        let bytes = matio::coo_to_bytes(n, n, &entries).unwrap();
+        let (r, c, got) = matio::coo_from_bytes(&bytes).unwrap();
+        assert_eq!((r, c), (n, n), "case {case}: shape lost");
+        assert_eq!(got.len(), entries.len(), "case {case}: entry count lost");
+        for ((au, av, aw), (bu, bv, bw)) in entries.iter().zip(&got) {
+            assert_eq!((au, av), (bu, bv), "case {case}: indices lost");
+            assert_bits_eq(*aw, *bw, &format!("case {case}"));
+        }
+    }
+}
+
+#[test]
+fn csr_roundtrip_is_bitwise_with_empty_rows_and_empty_matrices() {
+    let mut rng = XorShiftStream::new(0xC5A, 2);
+    for case in 0..40 {
+        let n = 2 + rng.bounded_usize(30);
+        // Leave roughly half the rows empty so row-pointer reconstruction
+        // over runs of empty rows is always exercised.
+        let mut entries: Vec<(u32, u32, f32)> = Vec::new();
+        if case != 0 {
+            for i in 0..n {
+                if rng.bernoulli(0.5) {
+                    continue;
+                }
+                for _ in 0..1 + rng.bounded_usize(3) {
+                    entries.push((i as u32, rng.bounded(n as u64) as u32, arb_f32(&mut rng)));
+                }
+            }
+            entries.sort_by_key(|&(r, c, _)| (r, c));
+            entries.dedup_by_key(|&mut (r, c, _)| (r, c));
+        }
+        let m = CsrMatrix::from_coo(n, n, entries);
+        let bytes = matio::csr_to_bytes(&m).unwrap();
+        let m2 = matio::csr_from_bytes(&bytes).unwrap();
+        assert_eq!((m2.n_rows(), m2.n_cols(), m2.nnz()), (n, n, m.nnz()), "case {case}");
+        for i in 0..n {
+            let (ac, av) = m.row(i);
+            let (bc, bv) = m2.row(i);
+            assert_eq!(ac, bc, "case {case}: row {i} columns lost");
+            for (a, b) in av.iter().zip(bv) {
+                assert_bits_eq(*a, *b, &format!("case {case} row {i}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn any_single_byte_corruption_of_any_artifact_is_caught_at_load() {
+    let dir = tmp("corrupt");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // A deliberately tiny store so the sweep over every byte of every
+    // file stays fast.
+    let fingerprint = 0x1234_5678_9abc_def0;
+    let store = ArtifactStore::create(&dir, fingerprint).unwrap();
+    store
+        .save_meta(&RunMeta {
+            version: META_VERSION,
+            seed: 7,
+            fingerprint,
+            weighted: false,
+            n: 4,
+            samples: 100,
+            trials: 100,
+            kept: 80,
+            distinct_entries: 3,
+            aggregator_bytes: 64,
+            netmf_nnz: Some(3),
+        })
+        .unwrap();
+    store.save_sparsifier(4, &[(0, 1, 1.5), (1, 0, 1.5), (2, 3, 0.25)]).unwrap();
+    store.save_netmf(&CsrMatrix::from_coo(4, 4, vec![(0, 1, 0.5), (2, 2, 2.0)])).unwrap();
+    store.save_initial(&DenseMatrix::from_vec(4, 2, vec![1.0; 8])).unwrap();
+
+    // Every load succeeds on the pristine store.
+    let reader = ArtifactStore::open(&dir);
+    reader.load_meta().unwrap();
+    reader.load_manifest().unwrap().expect("manifest must exist");
+    reader.load_sparsifier().unwrap();
+    reader.load_netmf().unwrap();
+    reader.load_initial().unwrap();
+
+    type LoadFails = dyn Fn(&ArtifactStore) -> bool;
+    let loaders: &[(&str, &LoadFails)] = &[
+        (META_FILE, &|s| s.load_meta().is_err()),
+        (MANIFEST_FILE, &|s| s.load_manifest().is_err()),
+        (SPARSIFIER_FILE, &|s| s.load_sparsifier().is_err()),
+        (NETMF_FILE, &|s| s.load_netmf().is_err()),
+        (INITIAL_FILE, &|s| s.load_initial().is_err()),
+    ];
+    for (file, load_fails) in loaders {
+        let path = dir.join(file);
+        let clean = std::fs::read(&path).unwrap();
+        assert!(!clean.is_empty(), "{file} is empty");
+        for pos in 0..clean.len() {
+            // One low bit, one high bit: substitutions that keep the byte
+            // printable and ones that do not.
+            for mask in [0x01u8, 0x80] {
+                let mut bad = clean.clone();
+                bad[pos] ^= mask;
+                std::fs::write(&path, &bad).unwrap();
+                assert!(
+                    load_fails(&reader),
+                    "{file}: byte {pos} ^ {mask:#04x} loaded successfully"
+                );
+            }
+        }
+        std::fs::write(&path, &clean).unwrap();
+        // Growing or truncating the file is caught too.
+        let mut longer = clean.clone();
+        longer.push(b' ');
+        std::fs::write(&path, &longer).unwrap();
+        assert!(load_fails(&reader), "{file}: appended byte loaded successfully");
+        std::fs::write(&path, &clean[..clean.len() - 1]).unwrap();
+        assert!(load_fails(&reader), "{file}: truncated file loaded successfully");
+        std::fs::write(&path, &clean).unwrap();
+    }
+
+    // And the restored store is whole again.
+    reader.load_meta().unwrap();
+    reader.load_sparsifier().unwrap();
+    reader.load_netmf().unwrap();
+    reader.load_initial().unwrap();
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -2,9 +2,12 @@
 //! resume-from-any-boundary reproducibility, metadata validation, and the
 //! CLI surface (`--save-artifacts`, `--resume-from`, `--stats-json`).
 
-use lightne::core::artifacts::{INITIAL_FILE, META_FILE, NETMF_FILE, SPARSIFIER_FILE};
+use lightne::core::artifacts::{
+    ArtifactStore, INITIAL_FILE, MANIFEST_FILE, META_FILE, META_VERSION, NETMF_FILE,
+    SPARSIFIER_FILE,
+};
 use lightne::core::pipeline::{STAGE_NETMF, STAGE_PROPAGATION, STAGE_RSVD, STAGE_SPARSIFIER};
-use lightne::core::{LightNe, LightNeConfig, RunOptions};
+use lightne::core::{EngineError, LightNe, LightNeConfig, RunOptions};
 use lightne::gen::generators::chung_lu;
 use lightne::graph::WeightedGraph;
 use std::path::{Path, PathBuf};
@@ -18,7 +21,7 @@ fn tmp(name: &str) -> PathBuf {
 /// Copies whichever artifact files exist in `from` into a fresh `to`.
 fn copy_artifacts(from: &Path, to: &Path) {
     std::fs::create_dir_all(to).unwrap();
-    for f in [META_FILE, SPARSIFIER_FILE, NETMF_FILE, INITIAL_FILE] {
+    for f in [META_FILE, MANIFEST_FILE, SPARSIFIER_FILE, NETMF_FILE, INITIAL_FILE] {
         let src = from.join(f);
         if src.is_file() {
             std::fs::copy(&src, to.join(f)).unwrap();
@@ -145,6 +148,137 @@ fn resume_from_empty_dir_is_an_error() {
         LightNe::new(LightNeConfig { dim: 8, window: 3, sample_ratio: 1.0, ..Default::default() });
     let err = pipe.embed_with(&g, resume_opts(&dir)).unwrap_err();
     assert!(err.to_string().contains("metadata"), "unhelpful error: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_rejects_meta_version_and_fingerprint_mismatches_with_typed_errors() {
+    let g = chung_lu(200, 1_400, 2.4, 21);
+    let cfg = LightNeConfig { dim: 8, window: 4, sample_ratio: 1.0, seed: 3, ..Default::default() };
+    let pipe = LightNe::new(cfg);
+
+    let dir = tmp("misuse");
+    std::fs::remove_dir_all(&dir).ok();
+    pipe.embed_with(&g, save_opts(&dir)).unwrap();
+
+    // A run with different embedding parameters must refuse the
+    // artifacts outright — the checkpointed state is not its own.
+    let other = LightNe::new(LightNeConfig { window: 5, ..cfg });
+    let err = other.embed_with(&g, resume_opts(&dir)).unwrap_err();
+    assert!(
+        matches!(err, EngineError::FingerprintMismatch { .. }),
+        "expected FingerprintMismatch, got: {err}"
+    );
+    assert!(err.to_string().contains("fingerprint"), "unhelpful error: {err}");
+
+    // A store whose metadata claims an unsupported format version is a
+    // typed error, not a parse failure.
+    let store = ArtifactStore::open(&dir);
+    let mut meta = store.load_meta().unwrap();
+    meta.version = META_VERSION - 1;
+    ArtifactStore::attach(&dir, meta.fingerprint).save_meta(&meta).unwrap();
+    let err = pipe.embed_with(&g, resume_opts(&dir)).unwrap_err();
+    match err {
+        EngineError::MetaVersion { found, supported } => {
+            assert_eq!(found, META_VERSION - 1);
+            assert_eq!(supported, META_VERSION);
+        }
+        other => panic!("expected MetaVersion, got: {other}"),
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn save_artifacts_refuses_directories_with_foreign_files() {
+    let g = chung_lu(100, 600, 2.4, 8);
+    let dir = tmp("foreign");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("notes.txt"), "do not clobber me").unwrap();
+    let pipe =
+        LightNe::new(LightNeConfig { dim: 8, window: 3, sample_ratio: 1.0, ..Default::default() });
+    let err = pipe.embed_with(&g, save_opts(&dir)).unwrap_err();
+    assert!(matches!(err, EngineError::ArtifactDir(_)), "expected ArtifactDir error, got: {err}");
+    assert!(err.to_string().contains("notes.txt"), "unhelpful error: {err}");
+    // The foreign file survives the refused create.
+    assert!(dir.join("notes.txt").is_file());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_store_is_reset_and_resume_plus_save_shares_one_directory() {
+    let g = chung_lu(200, 1_400, 2.4, 17);
+    let cfg = LightNeConfig { dim: 8, window: 3, sample_ratio: 1.0, seed: 2, ..Default::default() };
+    let pipe = LightNe::new(cfg);
+
+    // Saving twice into the same directory works: the second create
+    // resets the stale (recognized) store files.
+    let dir = tmp("reset");
+    std::fs::remove_dir_all(&dir).ok();
+    let a = pipe.embed_with(&g, save_opts(&dir)).unwrap();
+    let b = pipe.embed_with(&g, save_opts(&dir)).unwrap();
+    assert_eq!(bits(&a.embedding), bits(&b.embedding));
+
+    // Resume and save through the *same* directory: the store must not
+    // be reset out from under the resume.
+    let both = RunOptions {
+        save_artifacts: Some(dir.clone()),
+        resume_from: Some(dir.clone()),
+        ..Default::default()
+    };
+    let c = pipe.embed_with(&g, both).unwrap();
+    assert_eq!(bits(&a.embedding), bits(&c.embedding));
+    assert_eq!(c.stats.get(STAGE_RSVD).unwrap().counter("resumed"), Some(1));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_artifact_degrades_by_default_and_fails_under_strict_resume() {
+    let g = chung_lu(300, 2_000, 2.4, 31);
+    let cfg = LightNeConfig { dim: 8, window: 4, sample_ratio: 1.0, seed: 6, ..Default::default() };
+    let pipe = LightNe::new(cfg);
+
+    let dir = tmp("degrade");
+    std::fs::remove_dir_all(&dir).ok();
+    let straight = pipe.embed_with(&g, save_opts(&dir)).unwrap();
+    let want = bits(&straight.embedding);
+
+    // Flip one byte in the deepest artifact (the initial embedding).
+    let path = dir.join(INITIAL_FILE);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Default resume degrades to the NetMF checkpoint, records the
+    // fallback, and still reproduces the straight run byte for byte.
+    let r = pipe.embed_with(&g, resume_opts(&dir)).unwrap();
+    assert_eq!(bits(&r.embedding), want, "degraded resume diverged");
+    assert!(
+        r.stats.resume_fallbacks.iter().any(|f| f.contains(INITIAL_FILE)),
+        "fallback not recorded: {:?}",
+        r.stats.resume_fallbacks
+    );
+    assert_eq!(r.stats.get(STAGE_NETMF).unwrap().counter("resumed"), Some(1));
+
+    // The fallback also lands in the stats JSON.
+    assert!(
+        r.stats.to_json().contains("resume_fallbacks"),
+        "stats json missing resume_fallbacks:\n{}",
+        r.stats.to_json()
+    );
+
+    // Strict resume turns the same corruption into a typed error.
+    let strict =
+        RunOptions { resume_from: Some(dir.clone()), strict_resume: true, ..Default::default() };
+    let err = pipe.embed_with(&g, strict).unwrap_err();
+    match &err {
+        EngineError::Corrupt { file, .. } => assert_eq!(file, INITIAL_FILE),
+        other => panic!("expected Corrupt, got: {other}"),
+    }
+
     std::fs::remove_dir_all(&dir).ok();
 }
 
