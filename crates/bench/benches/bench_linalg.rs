@@ -1,11 +1,18 @@
 //! Micro-benchmarks of the linear-algebra kernels replacing Intel MKL
 //! (Section 4.3 / Algorithm 3): GEMM, Gram products, orthonormalization,
 //! the small Jacobi SVD, SPMM, and the full randomized SVD.
+//!
+//! Each blocked kernel is benchmarked side by side with its
+//! [`lightne_linalg::reference`] (pre register-blocking) implementation,
+//! so a criterion run shows the packed-GEMM / panel-QR / blocked-Jacobi
+//! speedups directly. The full-size GFLOP/s measurements live in
+//! `bench_linalg_json` (see `scripts/run_linalg_bench.sh`), which this
+//! smoke-size run complements.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lightne_linalg::qr::orthonormalize_columns;
 use lightne_linalg::svd::jacobi_svd;
-use lightne_linalg::{randomized_svd, CsrMatrix, DenseMatrix, RsvdConfig};
+use lightne_linalg::{randomized_svd, reference, CsrMatrix, DenseMatrix, RsvdConfig};
 use lightne_utils::rng::XorShiftStream;
 use std::hint::black_box;
 
@@ -27,19 +34,41 @@ fn bench_dense(c: &mut Criterion) {
     let a = DenseMatrix::gaussian(256, 256, 1);
     let b2 = DenseMatrix::gaussian(256, 256, 2);
     group.bench_function("gemm_256x256", |b| b.iter(|| black_box(a.matmul(&b2))));
+    group.bench_function("gemm_256x256_reference", |b| {
+        b.iter(|| black_box(reference::matmul(&a, &b2)))
+    });
+
+    let wide = DenseMatrix::gaussian(16_384, 256, 11);
+    let proj = DenseMatrix::gaussian(256, 256, 12);
+    group.bench_function("gemm_16k_x256", |b| b.iter(|| black_box(wide.matmul(&proj))));
+    group.bench_function("gemm_16k_x256_reference", |b| {
+        b.iter(|| black_box(reference::matmul(&wide, &proj)))
+    });
 
     let tall = DenseMatrix::gaussian(50_000, 32, 3);
     group.bench_function("gram_tn_50k_x32", |b| b.iter(|| black_box(tall.gram_tn(&tall))));
 
-    group.bench_function("mgs_qr_50k_x32", |b| {
+    group.bench_function("panel_qr_50k_x32", |b| {
         b.iter(|| {
             let mut x = tall.clone();
             black_box(orthonormalize_columns(&mut x))
         })
     });
+    group.bench_function("mgs_qr_50k_x32_reference", |b| {
+        b.iter(|| {
+            let mut x = tall.clone();
+            black_box(reference::orthonormalize_columns(&mut x))
+        })
+    });
 
     let small = DenseMatrix::gaussian(48, 48, 4);
     group.bench_function("jacobi_svd_48x48", |b| b.iter(|| black_box(jacobi_svd(&small))));
+    group.bench_function("jacobi_svd_48x48_reference", |b| {
+        b.iter(|| black_box(reference::jacobi_svd(&small)))
+    });
+
+    let blocked = DenseMatrix::gaussian(50_000, 32, 13);
+    group.bench_function("transpose_50k_x32", |b| b.iter(|| black_box(blocked.transpose())));
     group.finish();
 }
 

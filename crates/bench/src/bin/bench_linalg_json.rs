@@ -1,0 +1,162 @@
+//! Full-size GFLOP/s measurement of the register-blocked linalg kernels
+//! against their [`lightne_linalg::reference`] (pre-blocking) versions.
+//!
+//! Prints one flat JSON object — one key per line, so `awk`/`grep` can
+//! parse it without a JSON library — to stdout; progress goes to stderr.
+//! `scripts/run_linalg_bench.sh` redirects stdout into
+//! `results/BENCH_linalg.json`, and `scripts/check_linalg_regression.sh`
+//! gates changes against the committed copy.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `REPS` — timing repetitions per case; the minimum is reported
+//!   (default 3).
+//! * `GEMM_M`, `QR_ROWS`, `JACOBI_N`, `RSVD_N` — problem sizes, for CI
+//!   smoke runs on shared machines (defaults are the full sizes the
+//!   committed baseline was measured at).
+
+use lightne_bench::harness::timed;
+use lightne_linalg::kernels::gemm_flops;
+use lightne_linalg::qr::orthonormalize_columns;
+use lightne_linalg::rsvd::rsvd_flops;
+use lightne_linalg::svd::jacobi_svd;
+use lightne_linalg::{randomized_svd, reference, CsrMatrix, DenseMatrix, RsvdConfig};
+use lightne_utils::rng::XorShiftStream;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Minimum wall-clock over `reps` runs of `f` (minimum, not mean: noise
+/// on a shared machine only ever adds time).
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let (out, d) = timed(&mut f);
+        black_box(out);
+        best = best.min(d);
+    }
+    best
+}
+
+/// The pre-PR randomized SVD: Algorithm 3 composed from the reference
+/// GEMM/QR/Jacobi kernels. SPMM and `gram_tn` are shared with the
+/// blocked version (they were not rewritten), so the comparison isolates
+/// exactly the kernels this PR replaced.
+fn reference_rsvd(a: &CsrMatrix, cfg: &RsvdConfig) -> (DenseMatrix, Vec<f32>) {
+    let n = a.n_rows();
+    let l = (cfg.rank + cfg.oversampling).min(n).max(1);
+    let o = DenseMatrix::gaussian(n, l, cfg.seed);
+    let mut y = a.spmm(&o);
+    reference::orthonormalize_columns(&mut y);
+    for _ in 0..cfg.power_iters {
+        let ay = a.spmm(&y);
+        y = a.spmm(&ay);
+        reference::orthonormalize_columns(&mut y);
+    }
+    let b = a.spmm(&y);
+    let p = DenseMatrix::gaussian(l, l, cfg.seed.wrapping_add(1));
+    let mut z = reference::matmul(&b, &p);
+    reference::orthonormalize_columns(&mut z);
+    let c = z.gram_tn(&b);
+    let small = reference::jacobi_svd(&c);
+    let u = reference::matmul(&z, &small.u);
+    (u, small.sigma)
+}
+
+/// Random symmetric sparse matrix — the shape the sparsifier emits, so
+/// neither SVD pays a transpose the other skips.
+fn sparse_random(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = XorShiftStream::new(seed, 0);
+    let mut coo = Vec::with_capacity(n * nnz_per_row);
+    for i in 0..n as u32 {
+        for _ in 0..nnz_per_row.div_ceil(2) {
+            let j = rng.bounded_usize(n) as u32;
+            let w = rng.unit_f32();
+            coo.push((i, j, w));
+            coo.push((j, i, w));
+        }
+    }
+    CsrMatrix::from_coo(n, n, coo)
+}
+
+fn main() {
+    let reps = env_usize("REPS", 3);
+    let gemm_m = env_usize("GEMM_M", 65_536);
+    let qr_rows = env_usize("QR_ROWS", 65_536);
+    let jacobi_n = env_usize("JACOBI_N", 192);
+    let rsvd_n = env_usize("RSVD_N", 50_000);
+    let mut lines: Vec<String> = Vec::new();
+    let mut put = |key: &str, val: String| lines.push(format!("  \"{key}\": {val}"));
+
+    // --- GEMM: (gemm_m × 256) · (256 × 256), the projection shape of
+    // Algorithm 3 step 5 at embedding scale.
+    eprintln!("gemm {gemm_m}x256 * 256x256 ({reps} reps) ...");
+    let (k, n) = (256usize, 256usize);
+    let a = DenseMatrix::gaussian(gemm_m, k, 1);
+    let b = DenseMatrix::gaussian(k, n, 2);
+    let flops = gemm_flops(gemm_m, n, k) as f64;
+    let packed = best_of(reps, || a.matmul(&b)).as_secs_f64();
+    let refr = best_of(reps, || reference::matmul(&a, &b)).as_secs_f64();
+    put("gemm_m", gemm_m.to_string());
+    put("gemm_k", k.to_string());
+    put("gemm_n", n.to_string());
+    put("gemm_packed_secs", format!("{packed:.6}"));
+    put("gemm_packed_gflops", format!("{:.3}", flops / packed / 1e9));
+    put("gemm_reference_secs", format!("{refr:.6}"));
+    put("gemm_reference_gflops", format!("{:.3}", flops / refr / 1e9));
+    put("gemm_speedup", format!("{:.3}", refr / packed));
+
+    // --- QR: panel BCGS2 vs sequential MGS on a tall sketch.
+    eprintln!("qr {qr_rows}x128 ({reps} reps) ...");
+    let d = 128usize;
+    let tall = DenseMatrix::gaussian(qr_rows, d, 3);
+    let qr_flops = (4 * qr_rows * d * d) as f64;
+    let panel = best_of(reps, || {
+        let mut x = tall.clone();
+        orthonormalize_columns(&mut x)
+    })
+    .as_secs_f64();
+    let refq = best_of(reps, || {
+        let mut x = tall.clone();
+        reference::orthonormalize_columns(&mut x)
+    })
+    .as_secs_f64();
+    put("qr_rows", qr_rows.to_string());
+    put("qr_cols", d.to_string());
+    put("qr_panel_secs", format!("{panel:.6}"));
+    put("qr_panel_gflops", format!("{:.3}", qr_flops / panel / 1e9));
+    put("qr_reference_secs", format!("{refq:.6}"));
+    put("qr_reference_gflops", format!("{:.3}", qr_flops / refq / 1e9));
+    put("qr_speedup", format!("{:.3}", refq / panel));
+
+    // --- Small SVD: blocked round-robin vs cyclic Vec<Vec> Jacobi.
+    eprintln!("jacobi_svd {jacobi_n}x{jacobi_n} ({reps} reps) ...");
+    let small = DenseMatrix::gaussian(jacobi_n, jacobi_n, 4);
+    let blocked = best_of(reps, || jacobi_svd(&small)).as_secs_f64();
+    let refj = best_of(reps, || reference::jacobi_svd(&small)).as_secs_f64();
+    put("jacobi_n", jacobi_n.to_string());
+    put("jacobi_blocked_secs", format!("{blocked:.6}"));
+    put("jacobi_reference_secs", format!("{refj:.6}"));
+    put("jacobi_speedup", format!("{:.3}", refj / blocked));
+
+    // --- End-to-end randomized SVD on a sparsifier-shaped matrix.
+    eprintln!("rsvd n={rsvd_n} nnz/row=20 rank=32 ({reps} reps) ...");
+    let m = sparse_random(rsvd_n, 20, 5);
+    let cfg = RsvdConfig { rank: 32, oversampling: 8, power_iters: 1, seed: 7 };
+    let rflops = rsvd_flops(m.n_rows(), m.nnz() as u64, &cfg) as f64;
+    let rnew = best_of(reps, || randomized_svd(&m, &cfg)).as_secs_f64();
+    let rold = best_of(reps, || reference_rsvd(&m, &cfg)).as_secs_f64();
+    put("rsvd_n", rsvd_n.to_string());
+    put("rsvd_nnz", m.nnz().to_string());
+    put("rsvd_rank", cfg.rank.to_string());
+    put("rsvd_blocked_secs", format!("{rnew:.6}"));
+    put("rsvd_blocked_gflops", format!("{:.3}", rflops / rnew / 1e9));
+    put("rsvd_reference_secs", format!("{rold:.6}"));
+    put("rsvd_reference_gflops", format!("{:.3}", rflops / rold / 1e9));
+    put("rsvd_speedup", format!("{:.3}", rold / rnew));
+
+    println!("{{\n{}\n}}", lines.join(",\n"));
+}

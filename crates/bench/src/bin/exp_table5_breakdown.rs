@@ -123,4 +123,16 @@ fn main() {
         large.stats.get(pipeline::STAGE_SPARSIFIER).map_or(0, |s| s.heap_bytes),
         netsmf.stats.get(pipeline::STAGE_SPARSIFIER).map_or(0, |s| s.heap_bytes),
     );
+    let gflops = |stats: &RunStats, stage: &str| -> String {
+        stats
+            .get(stage)
+            .and_then(|s| s.gflops())
+            .map(|g| format!("{g:.2}"))
+            .unwrap_or_else(|| "NA".into())
+    };
+    println!(
+        "- achieved GFLOP/s (LightNE-Small): rsvd {} propagation {}",
+        gflops(&small.stats, pipeline::STAGE_RSVD),
+        gflops(&small.stats, pipeline::STAGE_PROPAGATION),
+    );
 }

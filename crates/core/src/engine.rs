@@ -88,6 +88,19 @@ impl StageRecord {
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
+
+    /// Achieved GFLOP/s, derived from the stage's `flops` counter (the
+    /// nominal floating-point operation count reported by the stage body)
+    /// and its wall-clock time. `None` for stages that report no `flops`
+    /// counter or ran too fast to time.
+    pub fn gflops(&self) -> Option<f64> {
+        let flops = self.counter("flops")?;
+        if self.secs > 0.0 {
+            Some(flops as f64 / self.secs / 1e9)
+        } else {
+            None
+        }
+    }
 }
 
 /// Mutable view handed to a stage body for reporting counters and memory.
@@ -291,7 +304,11 @@ impl RunStats {
                 }
                 out.push_str(&format!("\"{}\": {v}", escape_json(name)));
             }
-            out.push_str("}}");
+            out.push('}');
+            if let Some(g) = s.gflops() {
+                out.push_str(&format!(", \"gflops\": {g:.3}"));
+            }
+            out.push('}');
             out.push_str(if i + 1 < self.stages.len() { ",\n" } else { "\n" });
         }
         out.push_str("  ]\n}\n");
@@ -788,15 +805,17 @@ pub fn run_pipeline<S: PipelineSource>(
             r.load_initial()?
         } else {
             let m = netmf.as_ref().expect("svd without netmf matrix");
-            let svd = randomized_svd(
-                m,
-                &RsvdConfig {
-                    rank: cfg.dim,
-                    oversampling: cfg.oversampling,
-                    power_iters: cfg.power_iters,
-                    seed: rsvd_seed,
-                },
+            let rcfg = RsvdConfig {
+                rank: cfg.dim,
+                oversampling: cfg.oversampling,
+                power_iters: cfg.power_iters,
+                seed: rsvd_seed,
+            };
+            scope.counter(
+                "flops",
+                lightne_linalg::rsvd::rsvd_flops(m.n_rows(), m.nnz() as u64, &rcfg),
             );
+            let svd = randomized_svd(m, &rcfg);
             let x = svd.embedding();
             if let Some(store) = &store {
                 store.save_initial(&x)?;
@@ -813,6 +832,18 @@ pub fn run_pipeline<S: PipelineSource>(
     let (embedding, initial_embedding) = match &cfg.propagation {
         Some(pcfg) => {
             let emb = ctx.run(StageKind::Propagate, |scope| {
+                // D̃⁻¹Ã has one entry per directed edge plus a self loop
+                // per vertex.
+                let da_nnz = 2 * src.num_edges() as u64 + src.num_vertices() as u64;
+                scope.counter(
+                    "flops",
+                    crate::propagation::propagation_flops(
+                        src.num_vertices(),
+                        da_nnz,
+                        initial.cols(),
+                        pcfg,
+                    ),
+                );
                 let e = src.propagate(&initial, pcfg);
                 scope.heap(&e);
                 e
@@ -901,6 +932,23 @@ mod tests {
         assert!(json.contains("\"parallel sparsifier construction\""));
         assert!(json.contains("\"trials\": 10"));
         assert!(json.contains("\"heap_bytes\": 1024"));
+    }
+
+    #[test]
+    fn gflops_derived_from_flops_counter() {
+        let rec = StageRecord {
+            name: "x".into(),
+            secs: 2.0,
+            heap_bytes: 0,
+            counters: vec![("flops".into(), 4_000_000_000)],
+        };
+        assert!((rec.gflops().unwrap() - 2.0).abs() < 1e-12);
+        let none = StageRecord { name: "y".into(), secs: 2.0, heap_bytes: 0, counters: vec![] };
+        assert!(none.gflops().is_none());
+
+        let stats = RunStats { seed: 1, threads: 1, stages: vec![rec], resume_fallbacks: vec![] };
+        let json = stats.to_json();
+        assert!(json.contains("\"gflops\": 2.000"), "{json}");
     }
 
     #[test]

@@ -137,36 +137,39 @@ impl DenseMatrix {
         self.data.par_chunks_mut(self.cols)
     }
 
-    /// The transpose (O(rows·cols), parallel over output rows).
+    /// The transpose, walked in `TILE×TILE` cache tiles (the old strided
+    /// scatter thrashed on tall embedding matrices). Parallel over
+    /// `TILE`-wide bands of output rows; each tile is copied through the
+    /// same [`crate::kernels::transpose_tile`] gather the GEMM A-packing
+    /// uses.
     pub fn transpose(&self) -> DenseMatrix {
+        use crate::kernels::{transpose_tile, TILE};
         let (r, c) = (self.rows, self.cols);
         let mut out = DenseMatrix::zeros(c, r);
-        out.data.par_chunks_mut(r).enumerate().for_each(|(j, orow)| {
-            for (i, o) in orow.iter_mut().enumerate() {
-                *o = self.data[i * c + j];
+        if r == 0 || c == 0 {
+            return out;
+        }
+        out.data.par_chunks_mut(TILE * r).enumerate().for_each(|(band, oband)| {
+            let j0 = band * TILE; // first input column of this band
+            let jb = TILE.min(c - j0);
+            for i0 in (0..r).step_by(TILE) {
+                let ib = TILE.min(r - i0);
+                transpose_tile(&self.data[i0 * c + j0..], c, &mut oband[i0..], r, ib, jb);
             }
         });
         out
     }
 
     /// Dense GEMM: `self (m×n) · other (n×k) → (m×k)`, replacing
-    /// `cblas_sgemm`. Parallel over output rows with an i-l-j loop order so
-    /// both `other` and the output are streamed row-wise.
+    /// `cblas_sgemm`, via the packed-panel register-blocked kernel in
+    /// [`crate::kernels`] (branchless; parallel over output row blocks
+    /// with a fixed k-panel accumulation order, so the bytes are
+    /// identical at any thread count).
     pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, other.rows, "gemm shape mismatch");
         let (m, n, k) = (self.rows, self.cols, other.cols);
         let mut out = DenseMatrix::zeros(m, k);
-        out.data.par_chunks_mut(k).enumerate().for_each(|(i, orow)| {
-            let arow = &self.data[i * n..(i + 1) * n];
-            for (l, &a) in arow.iter().enumerate() {
-                if a != 0.0 {
-                    let brow = &other.data[l * k..(l + 1) * k];
-                    for (o, &b) in orow.iter_mut().zip(brow) {
-                        *o += a * b;
-                    }
-                }
-            }
-        });
+        crate::kernels::gemm(m, k, n, &self.data, &other.data, &mut out.data);
         out
     }
 
@@ -271,11 +274,11 @@ impl lightne_utils::mem::MemUsage for DenseMatrix {
     }
 }
 
-/// Dot product of two equal-length slices with `f64` accumulation.
+/// Dot product of two equal-length slices with `f64` accumulation
+/// (four fixed accumulator lanes — see [`crate::kernels::dot_f64`]).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+    crate::kernels::dot_f64(a, b)
 }
 
 #[cfg(test)]

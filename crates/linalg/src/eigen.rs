@@ -55,15 +55,13 @@ pub fn symmetric_eigs(a: &CsrMatrix, k: usize, iters: usize, seed: u64) -> Eigen
     let svd = jacobi_svd(&t);
     let ritz = q.matmul(&svd.u); // n × block
 
+    // sign(λ_j) = sign(v_jᵀ A v_j); magnitude from the SVD. One blocked
+    // SPMM + columnwise dots for all Ritz vectors at once (the first port
+    // did an n×1 SPMM per column here).
+    let aritz = a.spmm(&ritz);
+    let quots = crate::kernels::columnwise_dots(ritz.as_slice(), aritz.as_slice(), block);
     let mut pairs: Vec<(f32, usize)> = Vec::with_capacity(block);
-    for j in 0..block {
-        // sign(λ_j) = sign(v_jᵀ A v_j); magnitude from the SVD.
-        let mut col = DenseMatrix::zeros(n, 1);
-        for i in 0..n {
-            col.set(i, 0, ritz.get(i, j));
-        }
-        let av = a.spmm(&col);
-        let quot: f64 = (0..n).map(|i| col.get(i, 0) as f64 * av.get(i, 0) as f64).sum();
+    for (j, &quot) in quots.iter().enumerate() {
         let lambda = if quot >= 0.0 { svd.sigma[j] } else { -svd.sigma[j] };
         pairs.push((lambda, j));
     }

@@ -1,0 +1,511 @@
+//! Cache- and register-blocked dense kernels — the hot-path engine room
+//! behind [`crate::dense::DenseMatrix::matmul`], the panel QR in
+//! [`crate::qr`] and the blocked Jacobi SVD in [`crate::svd`].
+//!
+//! The design follows the classic GotoBLAS/BLIS decomposition, shrunk to
+//! the shapes LightNE cares about (tall-skinny times small-square):
+//!
+//! * **GEMM** — `C += A·B` is computed k-panel by k-panel. For each panel
+//!   the relevant `KC` rows of `B` are packed once into contiguous
+//!   `KC×NR` strips, row blocks of `A` are packed into `KC×MR` strips
+//!   (a small blocked transpose), and an `MR×NR` register-tile
+//!   micro-kernel runs over the packed buffers with unit-stride loads.
+//! * **Determinism** — every blocking parameter below is a fixed
+//!   constant, *never* derived from the thread count. Parallelism only
+//!   splits the `M` dimension (disjoint output tiles); the k-panels are
+//!   accumulated strictly in ascending order inside each output element,
+//!   so the floating-point bracketing — and therefore the output bytes —
+//!   are identical at any rayon pool size. This is what carries the
+//!   PR 1 bitwise thread-count-determinism guarantee through the
+//!   register-blocked rewrite.
+//! * **Projection kernels** — the panel QR needs `coef = Q_done ·
+//!   Panelᵀ` (an NT product over the tall dimension, accumulated in
+//!   `f64`) and `Panel -= coefᵀ · Q_done` (a wide low-rank update). Both
+//!   are provided here with fixed-block accumulation orders.
+//! * **Rotation kernels** — the one-sided Jacobi SVD applies its plane
+//!   rotations through the fused [`gram2`]/[`rot2`] pair so the column
+//!   sweeps run at memory speed instead of through nested `Vec`s.
+
+use rayon::prelude::*;
+
+/// Micro-kernel tile height (rows of `A` held in registers).
+pub const MR: usize = 4;
+/// Micro-kernel tile width (columns of `B` held in registers).
+///
+/// `4×16` measured fastest across both the portable baseline build and
+/// `-C target-cpu=native` on AVX-512 hosts: the 16-wide inner loop maps
+/// to two packed FMAs per row and the 4×16 accumulator stays register
+/// resident in either ISA.
+pub const NR: usize = 16;
+/// K-panel depth: `KC×MR` and `KC×NR` strips must fit in L1.
+pub const KC: usize = 256;
+/// Rows of `A` packed per parallel task (`MC×KC` block targets L2).
+pub const MC: usize = 128;
+/// Tile edge of the blocked transpose (32×32×4 B = 4 KiB per tile).
+pub const TILE: usize = 32;
+
+/// Below this `m·n·k` volume the packing overhead outweighs the
+/// micro-kernel win and a plain branchless triple loop is used instead.
+const SMALL_GEMM_FLOPS: usize = 16 * 1024;
+
+/// Fixed row-block length for deterministic `f64` reductions over the
+/// tall dimension (dot products, columnwise dots, projection
+/// coefficients). Independent of the thread count on purpose.
+pub const REDUCE_BLOCK: usize = 4096;
+
+/// Nominal FLOP count of a dense `m×k · k×n` GEMM.
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+/// Copies the transpose of an `rows×cols` tile: `dst[c·dst_stride + r] =
+/// src[r·src_stride + c]`. Shared by [`crate::dense::DenseMatrix::transpose`]
+/// (which walks the matrix in `TILE×TILE` tiles) and by the GEMM A-panel
+/// packing (which is the same gather with `dst_stride = MR`).
+#[inline]
+pub(crate) fn transpose_tile(
+    src: &[f32],
+    src_stride: usize,
+    dst: &mut [f32],
+    dst_stride: usize,
+    rows: usize,
+    cols: usize,
+) {
+    for r in 0..rows {
+        let srow = &src[r * src_stride..r * src_stride + cols];
+        for (c, &v) in srow.iter().enumerate() {
+            dst[c * dst_stride + r] = v;
+        }
+    }
+}
+
+/// Packs the `kc` rows starting at `k0` of row-major `b` (`?×n`) into
+/// `⌈n/NR⌉` contiguous `kc×NR` strips (zero-padded on the right edge).
+fn pack_b(b: &[f32], n: usize, k0: usize, kc: usize, pack: &mut Vec<f32>) {
+    let strips = n.div_ceil(NR);
+    pack.clear();
+    pack.resize(strips * kc * NR, 0.0);
+    pack.par_chunks_mut(kc * NR).enumerate().for_each(|(sj, strip)| {
+        let c0 = sj * NR;
+        let cols = NR.min(n - c0);
+        for kk in 0..kc {
+            let src = &b[(k0 + kk) * n + c0..(k0 + kk) * n + c0 + cols];
+            strip[kk * NR..kk * NR + cols].copy_from_slice(src);
+        }
+    });
+}
+
+/// Packs rows `[i0, i0+mc)` of row-major `a` (`?×k`) restricted to
+/// columns `[k0, k0+kc)` into `⌈mc/MR⌉` strips of layout
+/// `strip[kk·MR + r]` — i.e. a blocked transpose of each `MR×kc` slab,
+/// done through the same [`transpose_tile`] the dense transpose uses.
+fn pack_a(a: &[f32], k: usize, i0: usize, mc: usize, k0: usize, kc: usize, pack: &mut [f32]) {
+    for (si, strip) in pack.chunks_exact_mut(kc * MR).enumerate() {
+        let r0 = i0 + si * MR;
+        let rows = MR.min(i0 + mc - r0);
+        transpose_tile(&a[r0 * k + k0..], k, strip, MR, rows, kc);
+    }
+}
+
+/// The register tile: `acc[r][c] += Σ_kk a[kk·MR+r] · b[kk·NR+c]`, with
+/// both operands walked at unit stride through the packed strips.
+///
+/// Deliberately `inline(never)`: compiled as its own small function the
+/// loop vectorizer reliably turns the `NR`-wide inner loop into packed
+/// FMAs, whereas inlined into the (large) blocked-GEMM closure it
+/// degrades to scalar unrolling — an order-of-magnitude difference. The
+/// call costs one `call` per `MR×NR×KC` tile (~64k flops), i.e. nothing.
+#[inline(never)]
+fn micro_kernel(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let mut local = [[0.0f32; NR]; MR];
+    for (ak, bk) in a.chunks_exact(MR).zip(b.chunks_exact(NR)).take(kc) {
+        for (r, lr) in local.iter_mut().enumerate() {
+            let ar = ak[r];
+            for (av, &bv) in lr.iter_mut().zip(bk) {
+                *av += ar * bv;
+            }
+        }
+    }
+    for (ar, lr) in acc.iter_mut().zip(&local) {
+        for (av, &lv) in ar.iter_mut().zip(lr) {
+            *av += lv;
+        }
+    }
+}
+
+/// Branchless naive triple loop for tiny problems (and the `k == 0`
+/// degenerate case); sequential, so trivially deterministic.
+fn gemm_small(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (l, &av) in arow.iter().enumerate() {
+            let brow = &b[l * n..(l + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Packed-panel GEMM: `out += a (m×k) · b (k×n)`, all row-major flat
+/// slices. `out` is accumulated into (callers pass a zeroed buffer for a
+/// plain product).
+///
+/// Parallelism is over `MC`-row blocks of the output only; k-panels run
+/// sequentially in ascending order, so every output element sees the
+/// same summation bracketing at any thread count.
+///
+/// # Panics
+/// Panics (via slice indexing) if the buffers are smaller than the
+/// stated shapes.
+pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert!(a.len() >= m * k && b.len() >= k * n && out.len() >= m * n, "gemm buffer too small");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m * n * k <= SMALL_GEMM_FLOPS {
+        gemm_small(m, n, k, a, b, out);
+        return;
+    }
+    let strips_n = n.div_ceil(NR);
+    let mut bpack = Vec::new();
+    for k0 in (0..k).step_by(KC) {
+        let kc = KC.min(k - k0);
+        pack_b(b, n, k0, kc, &mut bpack);
+        out[..m * n].par_chunks_mut(MC * n).enumerate().for_each(|(blk, oblock)| {
+            let i0 = blk * MC;
+            let mc = oblock.len() / n;
+            let mut apack = vec![0.0f32; mc.div_ceil(MR) * kc * MR];
+            pack_a(a, k, i0, mc, k0, kc, &mut apack);
+            for (si, astrip) in apack.chunks_exact(kc * MR).enumerate() {
+                let r0 = si * MR;
+                let rows = MR.min(mc - r0);
+                for (sj, bstrip) in bpack.chunks_exact(kc * NR).enumerate().take(strips_n) {
+                    let c0 = sj * NR;
+                    let cols = NR.min(n - c0);
+                    let mut acc = [[0.0f32; NR]; MR];
+                    micro_kernel(kc, astrip, bstrip, &mut acc);
+                    for (r, accr) in acc.iter().enumerate().take(rows) {
+                        let off = (r0 + r) * n + c0;
+                        for (o, &v) in out_slice(oblock, off, cols).iter_mut().zip(accr) {
+                            *o += v;
+                        }
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[inline(always)]
+fn out_slice(block: &mut [f32], off: usize, len: usize) -> &mut [f32] {
+    &mut block[off..off + len]
+}
+
+/// Number of independent `f64` accumulator lanes in [`dot_f64`]. Fixed
+/// lane assignment → bitwise deterministic; 32 lanes keep several
+/// vectors of partial sums in flight, hiding FMA latency that throttles
+/// a single-accumulator loop (~3× over an 8-lane version measured).
+const DOT_LANES: usize = 32;
+
+/// Dot product of two `f32` slices accumulated in `f64` across
+/// [`DOT_LANES`] fixed lanes, folded pairwise in a fixed bracketing.
+#[inline]
+pub fn dot_f64(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f64; DOT_LANES];
+    let ac = a.chunks_exact(DOT_LANES);
+    let bc = b.chunks_exact(DOT_LANES);
+    let (ra, rb) = (ac.remainder(), bc.remainder());
+    for (x, y) in ac.zip(bc) {
+        for lane in 0..DOT_LANES {
+            acc[lane] += x[lane] as f64 * y[lane] as f64;
+        }
+    }
+    let mut tail = 0.0f64;
+    for (&x, &y) in ra.iter().zip(rb) {
+        tail += x as f64 * y as f64;
+    }
+    // Pairwise tree fold, always the same bracketing.
+    let mut width = DOT_LANES;
+    while width > 1 {
+        for i in 0..width / 2 {
+            acc[i] = acc[2 * i] + acc[2 * i + 1];
+        }
+        width /= 2;
+    }
+    acc[0] + tail
+}
+
+/// Projection coefficients for the panel QR: `coef[q·nb + c] =
+/// ⟨done_q, panel_c⟩` in `f64`, where `done` holds `ndone` finished rows
+/// and `panel` holds `nb` in-flight rows, all of length `len`.
+///
+/// One parallel task per finished row; each coefficient is a single
+/// fixed-pattern [`dot_f64`], so the result is thread-count independent.
+pub fn proj_coef(done: &[f32], panel: &[f32], ndone: usize, nb: usize, len: usize) -> Vec<f64> {
+    let mut coef = vec![0.0f64; ndone * nb];
+    coef.par_chunks_mut(nb.max(1)).enumerate().for_each(|(q, crow)| {
+        let qrow = &done[q * len..(q + 1) * len];
+        for (c, out) in crow.iter_mut().enumerate() {
+            *out = dot_f64(qrow, &panel[c * len..(c + 1) * len]);
+        }
+    });
+    coef
+}
+
+/// Low-rank panel update for the panel QR:
+/// `panel_c -= Σ_q coef[q·nb + c] · done_q` for every panel row `c`.
+///
+/// The tall dimension is walked in fixed `REDUCE_BLOCK` column chunks
+/// (cache blocking: the `done` chunk rows stay hot across all panel
+/// rows); within a chunk the q-loop runs in ascending fixed groups of
+/// four, so the per-element bracketing never depends on the thread
+/// count. Coefficients are applied in `f32`, matching the MGS update.
+pub fn sub_proj(
+    panel: &mut [f32],
+    done: &[f32],
+    coef: &[f64],
+    nb: usize,
+    ndone: usize,
+    len: usize,
+) {
+    if nb == 0 || ndone == 0 || len == 0 {
+        return;
+    }
+    for lo in (0..len).step_by(REDUCE_BLOCK) {
+        let hi = (lo + REDUCE_BLOCK).min(len);
+        panel[..nb * len].par_chunks_mut(len).enumerate().for_each(|(c, row)| {
+            let seg = &mut row[lo..hi];
+            let mut q = 0;
+            while q + 4 <= ndone {
+                let c0 = coef[q * nb + c] as f32;
+                let c1 = coef[(q + 1) * nb + c] as f32;
+                let c2 = coef[(q + 2) * nb + c] as f32;
+                let c3 = coef[(q + 3) * nb + c] as f32;
+                let d0 = &done[q * len + lo..q * len + hi];
+                let d1 = &done[(q + 1) * len + lo..(q + 1) * len + hi];
+                let d2 = &done[(q + 2) * len + lo..(q + 2) * len + hi];
+                let d3 = &done[(q + 3) * len + lo..(q + 3) * len + hi];
+                for ((((s, &v0), &v1), &v2), &v3) in seg.iter_mut().zip(d0).zip(d1).zip(d2).zip(d3)
+                {
+                    *s -= c0 * v0 + c1 * v1 + c2 * v2 + c3 * v3;
+                }
+                q += 4;
+            }
+            while q < ndone {
+                let cf = coef[q * nb + c] as f32;
+                let d = &done[q * len + lo..q * len + hi];
+                for (s, &v) in seg.iter_mut().zip(d) {
+                    *s -= cf * v;
+                }
+                q += 1;
+            }
+        });
+    }
+}
+
+/// Columnwise dots of two row-major `rows×cols` matrices:
+/// `out[j] = Σ_i a[i][j]·b[i][j]` in `f64`.
+///
+/// Fixed `REDUCE_BLOCK` row blocks, per-block partial vectors folded in
+/// block order — deterministic at any pool size (same scheme as
+/// `DenseMatrix::gram_tn`).
+pub fn columnwise_dots(a: &[f32], b: &[f32], cols: usize) -> Vec<f64> {
+    if cols == 0 {
+        return Vec::new();
+    }
+    debug_assert_eq!(a.len(), b.len());
+    let blocks: Vec<Vec<f64>> = a
+        .par_chunks(REDUCE_BLOCK * cols)
+        .zip(b.par_chunks(REDUCE_BLOCK * cols))
+        .map(|(ab, bb)| {
+            let mut local = vec![0.0f64; cols];
+            for (ar, br) in ab.chunks_exact(cols).zip(bb.chunks_exact(cols)) {
+                for ((l, &x), &y) in local.iter_mut().zip(ar).zip(br) {
+                    *l += x as f64 * y as f64;
+                }
+            }
+            local
+        })
+        .collect();
+    let mut acc = vec![0.0f64; cols];
+    for block in blocks {
+        for (x, y) in acc.iter_mut().zip(block) {
+            *x += y;
+        }
+    }
+    acc
+}
+
+/// Fused 2×2 Gram entries of two equal-length `f64` columns:
+/// `(⟨p,p⟩, ⟨q,q⟩, ⟨p,q⟩)` with two accumulator lanes per entry.
+#[inline]
+pub fn gram2(cp: &[f64], cq: &[f64]) -> (f64, f64, f64) {
+    debug_assert_eq!(cp.len(), cq.len());
+    let mut aa = [0.0f64; 2];
+    let mut bb = [0.0f64; 2];
+    let mut gg = [0.0f64; 2];
+    let pc = cp.chunks_exact(2);
+    let qc = cq.chunks_exact(2);
+    let (pr, qr) = (pc.remainder(), qc.remainder());
+    for (x, y) in pc.zip(qc) {
+        for lane in 0..2 {
+            aa[lane] += x[lane] * x[lane];
+            bb[lane] += y[lane] * y[lane];
+            gg[lane] += x[lane] * y[lane];
+        }
+    }
+    let (mut alpha, mut beta, mut gamma) = (aa[0] + aa[1], bb[0] + bb[1], gg[0] + gg[1]);
+    for (&x, &y) in pr.iter().zip(qr) {
+        alpha += x * x;
+        beta += y * y;
+        gamma += x * y;
+    }
+    (alpha, beta, gamma)
+}
+
+/// Applies the plane rotation `[c -s; s c]` to the column pair
+/// `(cp, cq)` in place — the Jacobi SVD's update, fused so both columns
+/// stream through once.
+#[inline]
+pub fn rot2(cp: &mut [f64], cq: &mut [f64], c: f64, s: f64) {
+    for (x, y) in cp.iter_mut().zip(cq) {
+        let (xv, yv) = (*x, *y);
+        *x = c * xv - s * yv;
+        *y = s * xv + c * yv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for l in 0..k {
+                for j in 0..n {
+                    out[i * n + j] += a[i * k + l] * b[l * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn fill(len: usize, seed: u64) -> Vec<f32> {
+        let mut rng = lightne_utils::rng::XorShiftStream::new(seed, 0);
+        (0..len).map(|_| rng.unit_f32() * 2.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn gemm_matches_naive_across_blocking_boundaries() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (MR - 1, NR + 1, 3),
+            (MR, NR, KC),
+            (MR + 1, NR - 1, KC + 1),
+            (MC - 1, 2 * NR + 3, KC - 1),
+            (MC + 1, NR, 2 * KC + 1),
+            (3 * MR + 2, 3 * NR + 5, 37),
+        ] {
+            let a = fill(m * k, 1 + m as u64);
+            let b = fill(k * n, 2 + n as u64);
+            let mut out = vec![0.0f32; m * n];
+            gemm(m, n, k, &a, &b, &mut out);
+            let want = naive(m, n, k, &a, &b);
+            let tol = 1e-4 * (k as f32).sqrt().max(1.0);
+            for (got, want) in out.iter().zip(&want) {
+                assert!((got - want).abs() < tol, "({m},{n},{k}): {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_degenerate_shapes() {
+        let mut out = vec![0.0f32; 0];
+        gemm(0, 4, 3, &[], &fill(12, 3), &mut out);
+        let mut out = vec![7.0f32; 6];
+        gemm(2, 3, 0, &[], &[], &mut out);
+        assert_eq!(out, vec![7.0; 6]); // k = 0 leaves the accumulator alone
+    }
+
+    #[test]
+    fn gemm_accumulates_into_out() {
+        let a = fill(4, 5);
+        let b = fill(4, 6);
+        let mut out = vec![1.0f32; 4];
+        gemm(2, 2, 2, &a, &b, &mut out);
+        let want = naive(2, 2, 2, &a, &b);
+        for (o, w) in out.iter().zip(&want) {
+            assert!((o - (w + 1.0)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dot_f64_matches_reference() {
+        let a = fill(1031, 7);
+        let b = fill(1031, 8);
+        let slow: f64 = a.iter().zip(&b).map(|(&x, &y)| x as f64 * y as f64).sum();
+        assert!((dot_f64(&a, &b) - slow).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_tile_roundtrip() {
+        let src = fill(5 * 9, 9);
+        let mut dst = vec![0.0f32; 9 * 5];
+        transpose_tile(&src, 9, &mut dst, 5, 5, 9);
+        for r in 0..5 {
+            for c in 0..9 {
+                assert_eq!(dst[c * 5 + r], src[r * 9 + c]);
+            }
+        }
+    }
+
+    #[test]
+    fn columnwise_dots_matches_naive() {
+        let cols = 5;
+        let rows = 2 * REDUCE_BLOCK + 17;
+        let a = fill(rows * cols, 11);
+        let b = fill(rows * cols, 12);
+        let got = columnwise_dots(&a, &b, cols);
+        for j in 0..cols {
+            let want: f64 =
+                (0..rows).map(|i| a[i * cols + j] as f64 * b[i * cols + j] as f64).sum();
+            assert!((got[j] - want).abs() < 1e-6, "col {j}");
+        }
+    }
+
+    #[test]
+    fn sub_proj_matches_sequential_axpys() {
+        let (nb, ndone, len) = (3, 7, 2 * REDUCE_BLOCK + 5);
+        let done = fill(ndone * len, 13);
+        let coef: Vec<f64> = fill(ndone * nb, 14).iter().map(|&x| x as f64).collect();
+        let mut panel = fill(nb * len, 15);
+        let mut want = panel.clone();
+        for c in 0..nb {
+            for q in 0..ndone {
+                let cf = coef[q * nb + c] as f32;
+                for i in 0..len {
+                    want[c * len + i] -= cf * done[q * len + i];
+                }
+            }
+        }
+        sub_proj(&mut panel, &done, &coef, nb, ndone, len);
+        for (got, want) in panel.iter().zip(&want) {
+            assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn gram2_and_rot2_roundtrip() {
+        let mut p: Vec<f64> = (0..33).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut q: Vec<f64> = (0..33).map(|i| (i as f64 * 0.71).cos()).collect();
+        let (a0, b0, _) = gram2(&p, &q);
+        let (c, s) = (0.8, 0.6); // c² + s² = 1 → rotation preserves Σ of squares
+        rot2(&mut p, &mut q, c, s);
+        let (a1, b1, _) = gram2(&p, &q);
+        assert!((a0 + b0 - (a1 + b1)).abs() < 1e-9);
+    }
+}

@@ -23,14 +23,24 @@
 //!   ProNE's Chebyshev–Gaussian spectral filter.
 //! * [`matio`] — text serialization of dense matrices (the embedding
 //!   interchange format).
+//! * [`kernels`] — the cache-/register-blocked compute kernels behind the
+//!   modules above: packed-panel GEMM with an `MR×NR` register micro-kernel,
+//!   blocked projection products for the panel QR, and the fused
+//!   Gram/rotation primitives of the Jacobi SVD. All blocking constants are
+//!   fixed (never thread-derived), so results are bitwise identical at any
+//!   rayon pool size.
+//! * [`reference`] — the pre-blocking first-port kernels, kept verbatim as
+//!   correctness oracles and benchmark baselines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dense;
 pub mod eigen;
+pub mod kernels;
 pub mod matio;
 pub mod qr;
+pub mod reference;
 pub mod rsvd;
 pub mod sparse;
 pub mod special;

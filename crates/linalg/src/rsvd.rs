@@ -74,6 +74,23 @@ impl Svd {
     }
 }
 
+/// Nominal floating-point operation count of [`randomized_svd`] on an
+/// `n × n` sparse matrix with `nnz` stored entries, used by the engine's
+/// per-stage GFLOP/s accounting. Counts the dominant terms with the
+/// conventional 2-flops-per-multiply-add convention: `(2 + 2q)` SPMMs at
+/// `2·nnz·l`, `(2 + q)` orthonormalizations at `~4·n·l²` (two blocked
+/// projection/normalization passes), the dense products of steps 5, 7
+/// and 9 at `8·n·l²` total, and `~12·l³` for the small Jacobi SVD.
+pub fn rsvd_flops(n: usize, nnz: u64, cfg: &RsvdConfig) -> u64 {
+    let l = (cfg.rank + cfg.oversampling).min(n).max(1) as u64;
+    let (n, q) = (n as u64, cfg.power_iters as u64);
+    let spmms = (2 + 2 * q) * 2 * nnz * l;
+    let orths = (2 + q) * 4 * n * l * l;
+    let gemms = 8 * n * l * l;
+    let small = 12 * l * l * l;
+    spmms + orths + gemms + small
+}
+
 /// Computes a rank-`cfg.rank` randomized SVD of the sparse matrix `a`
 /// (`n × n`; LightNE's sparsifier is symmetric but symmetry is not
 /// required — line 2 uses `Aᵀ`).

@@ -10,8 +10,20 @@
 //! One-sided Jacobi orthogonalizes the *columns* of `A` by plane rotations
 //! `A ← A·J`; at convergence `A = U·Σ` column-wise and the accumulated
 //! rotations give `V`, i.e. `A_original = U Σ Vᵀ`.
+//!
+//! This is the blocked rewrite of the first port: columns live in one
+//! flat column-major `f64` buffer (one allocation, no per-column `Vec`
+//! churn), rotations go through the fused [`kernels::gram2`] /
+//! [`kernels::rot2`] kernels, and each sweep is ordered by a fixed
+//! round-robin (Brent–Luk) tournament — every round pairs all columns
+//! into disjoint couples, so the rotations of a round commute exactly
+//! and can run in parallel. The schedule depends only on `n`, never on
+//! the thread count, so sweep order — and therefore the output bytes —
+//! are identical at any rayon pool size.
 
 use crate::dense::DenseMatrix;
+use crate::kernels;
+use rayon::prelude::*;
 
 /// Full SVD result of a small matrix: `A = U · diag(sigma) · Vᵀ`.
 #[derive(Debug, Clone)]
@@ -24,6 +36,82 @@ pub struct SmallSvd {
     pub v: DenseMatrix,
 }
 
+/// Off-diagonal threshold below which a pair is skipped (relative to the
+/// geometric mean of the two column norms).
+const PAIR_EPS: f64 = 1e-14;
+/// A sweep whose largest relative off-diagonal stays below this has
+/// converged.
+const SWEEP_TOL: f64 = 1e-12;
+const MAX_SWEEPS: usize = 60;
+
+/// Column count below which a round's rotations run sequentially (in the
+/// same fixed pair order). Spawning tasks and building the per-round
+/// slot tables costs more than the rotations themselves for the small
+/// projected matrices; the threshold depends only on `n` — never on the
+/// thread count — and the rotations of a round touch disjoint columns
+/// (they commute exactly), so both paths produce identical bytes.
+const PAR_COLS: usize = 128;
+
+/// The disjoint column pairs of round `round` (0-based, `< slots − 1`)
+/// of the round-robin tournament over `n` columns. `slots` is `n`
+/// rounded up to even; pairs touching the dummy slot are dropped, so odd
+/// `n` simply sits one column out per round. Over the `slots − 1` rounds
+/// of a sweep every unordered pair meets exactly once (the circle
+/// method), independent of data and thread count.
+fn round_robin_pairs(n: usize, round: usize) -> Vec<(usize, usize)> {
+    let slots = n + (n & 1);
+    if slots < 2 {
+        return Vec::new();
+    }
+    let rot = slots - 1; // players 0..slots-2 rotate; player slots-1 is fixed
+    let player = |pos: usize| (pos + round) % rot;
+    let mut pairs = Vec::with_capacity(slots / 2);
+    let (a, b) = (player(0), slots - 1);
+    if a < n && b < n {
+        pairs.push((a, b));
+    }
+    for k in 1..slots / 2 {
+        let (a, b) = (player(k), player(rot - k));
+        if a < n && b < n {
+            pairs.push((a, b));
+        }
+    }
+    pairs
+}
+
+/// Splits two length-`len` columns `p` and `q` out of a flat
+/// column-major buffer, returned in `(p, q)` order.
+fn pair_slices(buf: &mut [f64], len: usize, p: usize, q: usize) -> (&mut [f64], &mut [f64]) {
+    let (lo, hi) = (p.min(q), p.max(q));
+    let (head, tail) = buf.split_at_mut(hi * len);
+    let a = &mut head[lo * len..(lo + 1) * len];
+    let b = &mut tail[..len];
+    if p < q {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Computes the Jacobi rotation for one column pair and applies it to
+/// the data columns and the accumulated right-vector columns. Returns
+/// the pre-rotation relative off-diagonal (0 when the pair was skipped).
+fn rotate_pair(cp: &mut [f64], cq: &mut [f64], vp: &mut [f64], vq: &mut [f64]) -> f64 {
+    let (alpha, beta, gamma) = kernels::gram2(cp, cq);
+    let denom = (alpha * beta).sqrt();
+    if denom <= 0.0 || gamma.abs() <= PAIR_EPS * denom {
+        return 0.0;
+    }
+    // Rotation angle zeroing the (p,q) off-diagonal of AᵀA.
+    let zeta = (beta - alpha) / (2.0 * gamma);
+    let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = c * t;
+    kernels::rot2(cp, cq, c, s);
+    kernels::rot2(vp, vq, c, s);
+    gamma.abs() / denom
+}
+
 /// Computes the thin SVD of `a` (`m × n`, requires `m ≥ n`).
 ///
 /// # Panics
@@ -32,73 +120,85 @@ pub struct SmallSvd {
 pub fn jacobi_svd(a: &DenseMatrix) -> SmallSvd {
     let (m, n) = (a.rows(), a.cols());
     assert!(m >= n, "jacobi_svd requires rows >= cols");
+    if n == 0 {
+        return SmallSvd {
+            u: DenseMatrix::zeros(m, 0),
+            sigma: Vec::new(),
+            v: DenseMatrix::zeros(0, 0),
+        };
+    }
 
-    // Column-major f64 working copies.
-    let mut cols: Vec<Vec<f64>> =
-        (0..n).map(|j| (0..m).map(|i| a.get(i, j) as f64).collect()).collect();
-    let mut v: Vec<Vec<f64>> = (0..n)
-        .map(|j| {
-            let mut e = vec![0.0; n];
-            e[j] = 1.0;
-            e
-        })
-        .collect();
-
-    let eps = 1e-14;
-    let max_sweeps = 60;
-    for _sweep in 0..max_sweeps {
-        let mut off = 0.0f64;
-        for p in 0..n {
-            for q in (p + 1)..n {
-                let (alpha, beta, gamma) = {
-                    let (cp, cq) = (&cols[p], &cols[q]);
-                    let mut alpha = 0.0;
-                    let mut beta = 0.0;
-                    let mut gamma = 0.0;
-                    for i in 0..m {
-                        alpha += cp[i] * cp[i];
-                        beta += cq[i] * cq[i];
-                        gamma += cp[i] * cq[i];
-                    }
-                    (alpha, beta, gamma)
-                };
-                let denom = (alpha * beta).sqrt();
-                if denom <= 0.0 || gamma.abs() <= eps * denom {
-                    continue;
-                }
-                off = off.max(gamma.abs() / denom);
-                // Rotation angle zeroing the (p,q) off-diagonal of AᵀA.
-                let zeta = (beta - alpha) / (2.0 * gamma);
-                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
-                let c = 1.0 / (1.0 + t * t).sqrt();
-                let s = c * t;
-
-                // Apply to columns p, q of A and of V.
-                let (lo, hi) = cols.split_at_mut(q);
-                let (cp, cq) = (&mut lo[p], &mut hi[0]);
-                for i in 0..m {
-                    let (x, y) = (cp[i], cq[i]);
-                    cp[i] = c * x - s * y;
-                    cq[i] = s * x + c * y;
-                }
-                let (lo, hi) = v.split_at_mut(q);
-                let (vp, vq) = (&mut lo[p], &mut hi[0]);
-                for i in 0..n {
-                    let (x, y) = (vp[i], vq[i]);
-                    vp[i] = c * x - s * y;
-                    vq[i] = s * x + c * y;
-                }
-            }
+    // Flat column-major f64 working copies: `cols[j·m + i] = a[i][j]`,
+    // `v[j·n + i] = V[i][j]` (started at the identity).
+    let mut cols = vec![0.0f64; n * m];
+    for (j, col) in cols.chunks_exact_mut(m).enumerate() {
+        for (i, x) in col.iter_mut().enumerate() {
+            *x = a.get(i, j) as f64;
         }
-        if off < 1e-12 {
+    }
+    let mut v = vec![0.0f64; n * n];
+    for j in 0..n {
+        v[j * n + j] = 1.0;
+    }
+
+    // The tournament schedule depends only on `n`: build it once.
+    let slots = n + (n & 1);
+    let schedule: Vec<Vec<(usize, usize)>> =
+        (0..slots.saturating_sub(1)).map(|r| round_robin_pairs(n, r)).collect();
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for pairs in &schedule {
+            if pairs.is_empty() {
+                continue;
+            }
+            let round_off = if n < PAR_COLS {
+                // Small problem: run the round's rotations in the same
+                // fixed pair order without task-spawn overhead.
+                let mut worst = 0.0f64;
+                for &(p, q) in pairs {
+                    let (cp, cq) = pair_slices(&mut cols, m, p, q);
+                    let (vp, vq) = pair_slices(&mut v, n, p, q);
+                    worst = worst.max(rotate_pair(cp, cq, vp, vq));
+                }
+                worst
+            } else {
+                // Disjoint pairs: hand each task exclusive &mut slices
+                // of its two data columns and two V columns.
+                let mut cslots: Vec<Option<&mut [f64]>> =
+                    cols.chunks_exact_mut(m).map(Some).collect();
+                let mut vslots: Vec<Option<&mut [f64]>> = v.chunks_exact_mut(n).map(Some).collect();
+                let tasks: Vec<_> = pairs
+                    .iter()
+                    .map(|&(p, q)| {
+                        let cp = cslots[p].take().expect("round pairs must be disjoint");
+                        let cq = cslots[q].take().expect("round pairs must be disjoint");
+                        let vp = vslots[p].take().expect("round pairs must be disjoint");
+                        let vq = vslots[q].take().expect("round pairs must be disjoint");
+                        (cp, cq, vp, vq)
+                    })
+                    .collect();
+                // Max is exactly commutative, so the parallel reduction
+                // is deterministic; the rotations themselves touch
+                // disjoint columns whose content is fixed at the round
+                // boundary.
+                tasks
+                    .into_par_iter()
+                    .map(|(cp, cq, vp, vq)| rotate_pair(cp, cq, vp, vq))
+                    .reduce(|| 0.0f64, f64::max)
+            };
+            off = off.max(round_off);
+        }
+        if off < SWEEP_TOL {
             break;
         }
     }
 
-    // Extract singular values (column norms), sort descending.
-    let mut order: Vec<usize> = (0..n).collect();
+    // Extract singular values (column norms), sort descending (stable:
+    // ties keep ascending column order).
     let norms: Vec<f64> =
-        cols.iter().map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+        cols.chunks_exact(m).map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+    let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
 
     let mut u = DenseMatrix::zeros(m, n);
@@ -108,11 +208,11 @@ pub fn jacobi_svd(a: &DenseMatrix) -> SmallSvd {
         let s = norms[j];
         sigma[jj] = s as f32;
         if s > 0.0 {
-            for (i, &x) in cols[j].iter().enumerate().take(m) {
+            for (i, &x) in cols[j * m..(j + 1) * m].iter().enumerate() {
                 u.set(i, jj, (x / s) as f32);
             }
         }
-        for (i, &x) in v[j].iter().enumerate().take(n) {
+        for (i, &x) in v[j * n..(j + 1) * n].iter().enumerate() {
             vm.set(i, jj, x as f32);
         }
     }
@@ -160,6 +260,31 @@ mod tests {
     }
 
     #[test]
+    fn round_robin_schedule_meets_every_pair_once() {
+        for n in [2usize, 3, 4, 5, 8, 9, 48] {
+            let slots = n + (n & 1);
+            let mut met = vec![0u32; n * n];
+            for round in 0..slots - 1 {
+                let pairs = round_robin_pairs(n, round);
+                let mut used = vec![false; n];
+                for (p, q) in pairs {
+                    assert!(p != q && p < n && q < n);
+                    assert!(!used[p] && !used[q], "n={n} round={round}: column reused");
+                    used[p] = true;
+                    used[q] = true;
+                    let (lo, hi) = (p.min(q), p.max(q));
+                    met[lo * n + hi] += 1;
+                }
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    assert_eq!(met[p * n + q], 1, "n={n}: pair ({p},{q}) met wrong count");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn diagonal_matrix_svd() {
         let a = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 7.0]]);
         let svd = jacobi_svd(&a);
@@ -179,6 +304,18 @@ mod tests {
             assert_orthonormal(&svd.v, 1e-4);
             // Descending order.
             assert!(svd.sigma.windows(2).all(|w| w[0] >= w[1] - 1e-6));
+        }
+    }
+
+    #[test]
+    fn odd_dimension_reconstruction() {
+        // Odd n exercises the dummy tournament slot.
+        for n in [3usize, 7, 17] {
+            let a = DenseMatrix::gaussian(n + 2, n, 100 + n as u64);
+            let svd = jacobi_svd(&a);
+            let diff = reconstruct(&svd).max_abs_diff(&a);
+            assert!(diff < 1e-3, "n {n}: reconstruction error {diff}");
+            assert_orthonormal(&svd.v, 1e-4);
         }
     }
 
@@ -228,6 +365,19 @@ mod tests {
         let a = DenseMatrix::zeros(5, 5);
         let svd = jacobi_svd(&a);
         assert!(svd.sigma.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn one_by_one_and_empty() {
+        let a = DenseMatrix::from_vec(1, 1, vec![-3.0]);
+        let svd = jacobi_svd(&a);
+        assert!((svd.sigma[0] - 3.0).abs() < 1e-7);
+        assert!(reconstruct(&svd).max_abs_diff(&a) < 1e-6);
+
+        let e = jacobi_svd(&DenseMatrix::zeros(4, 0));
+        assert_eq!(e.u.rows(), 4);
+        assert_eq!(e.u.cols(), 0);
+        assert!(e.sigma.is_empty());
     }
 
     #[test]

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Linalg kernel performance gate (run by CI).
+#
+# Reads a fresh bench_linalg_json report ($1, default
+# results/BENCH_linalg_new.json — produce one with run_linalg_bench.sh)
+# and fails (exit 1) when:
+#
+#   1. a machine-relative speedup floor is missed — the packed GEMM must
+#      beat the reference GEMM by >= GEMM_MIN_SPEEDUP (default 2.0) and
+#      the blocked randomized SVD must beat the reference composition by
+#      >= RSVD_MIN_SPEEDUP (default 1.5); these ratios compare two runs
+#      on the *same* machine, so they hold regardless of host speed; or
+#   2. absolute GFLOP/s regressed by more than (1 - MIN_RATIO) against
+#      the committed baseline (default MIN_RATIO=0.75, i.e. a >25% drop
+#      fails). This check is skipped per-metric when the report's problem
+#      sizes differ from the baseline's (CI smoke runs use smaller
+#      sizes), and entirely when no baseline exists yet.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NEW=${1:-results/BENCH_linalg_new.json}
+BASELINE=${BASELINE:-results/BENCH_linalg.json}
+GEMM_MIN_SPEEDUP=${GEMM_MIN_SPEEDUP:-2.0}
+RSVD_MIN_SPEEDUP=${RSVD_MIN_SPEEDUP:-1.5}
+MIN_RATIO=${MIN_RATIO:-0.75}
+
+[ -f "$NEW" ] || { echo "no report at $NEW (run scripts/run_linalg_bench.sh $NEW)"; exit 1; }
+
+# Extracts the value of a flat one-key-per-line JSON field.
+field() { # field <file> <key>
+    awk -F': ' -v k="\"$2\"" '$1 ~ k { gsub(/[ ,]/, "", $2); print $2; exit }' "$1"
+}
+
+fail=0
+
+check_speedup() { # check_speedup <name> <key> <floor>
+    local got floor=$3
+    got=$(field "$NEW" "$2")
+    [ -n "$got" ] || { echo "FAIL: $NEW has no $2"; fail=1; return; }
+    if awk -v g="$got" -v f="$floor" 'BEGIN { exit !(g >= f) }'; then
+        echo "ok: $1 speedup ${got}x >= ${floor}x"
+    else
+        echo "FAIL: $1 speedup ${got}x below floor ${floor}x"
+        fail=1
+    fi
+}
+
+check_speedup "packed gemm" gemm_speedup "$GEMM_MIN_SPEEDUP"
+check_speedup "blocked rsvd" rsvd_speedup "$RSVD_MIN_SPEEDUP"
+
+if [ -f "$BASELINE" ]; then
+    check_gflops() { # check_gflops <name> <gflops_key> <size_keys...>
+        local name=$1 key=$2; shift 2
+        local sk
+        for sk in "$@"; do
+            if [ "$(field "$NEW" "$sk")" != "$(field "$BASELINE" "$sk")" ]; then
+                echo "skip: $name baseline comparison ($sk differs from baseline)"
+                return
+            fi
+        done
+        local got base
+        got=$(field "$NEW" "$key")
+        base=$(field "$BASELINE" "$key")
+        [ -n "$got" ] && [ -n "$base" ] || { echo "skip: $name ($key missing)"; return; }
+        if awk -v g="$got" -v b="$base" -v r="$MIN_RATIO" 'BEGIN { exit !(g >= b * r) }'; then
+            echo "ok: $name $got GFLOP/s vs baseline $base (floor ${MIN_RATIO}x)"
+        else
+            echo "FAIL: $name regressed to $got GFLOP/s, baseline $base (floor ${MIN_RATIO}x)"
+            fail=1
+        fi
+    }
+    check_gflops "packed gemm" gemm_packed_gflops gemm_m gemm_k gemm_n
+    check_gflops "panel qr" qr_panel_gflops qr_rows qr_cols
+    check_gflops "blocked rsvd" rsvd_blocked_gflops rsvd_n rsvd_rank
+else
+    echo "no committed baseline at $BASELINE; speedup floors only"
+fi
+
+exit "$fail"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Measures the register-blocked linalg kernels against the reference
+# (pre-blocking) implementations and writes the flat JSON report to
+# results/BENCH_linalg.json (or $1 if given).
+#
+# Environment: REPS (timing repetitions, default 3) and the problem-size
+# knobs GEMM_M / QR_ROWS / JACOBI_N / RSVD_N are passed through to the
+# bench_linalg_json binary; defaults are the full committed-baseline
+# sizes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-results/BENCH_linalg.json}
+mkdir -p "$(dirname "$OUT")"
+
+cargo run --release -p lightne-bench --bin bench_linalg_json > "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

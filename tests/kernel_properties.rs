@@ -1,0 +1,189 @@
+//! Property tests pinning the register-blocked kernels (packed GEMM,
+//! panel BCGS2 QR, blocked round-robin Jacobi SVD, cache-blocked
+//! transpose) against the pre-blocking naive implementations kept in
+//! [`lightne::linalg::reference`].
+//!
+//! The blocked kernels use different summation bracketing than the naive
+//! loops, so results match up to f32 rounding, not bitwise — except the
+//! transpose, which only moves values. Shapes deliberately straddle the
+//! tile boundaries of the packed GEMM (MR = 4, NR = 16, KC = 256,
+//! MC = 128) and the QR panel width (16), where packing tail handling
+//! lives.
+
+use lightne::linalg::qr::orthonormalize_columns;
+use lightne::linalg::svd::jacobi_svd;
+use lightne::linalg::{reference, DenseMatrix};
+
+/// Absolute tolerance for comparing two f32 summations of `k` products
+/// of unit-scale gaussians (error grows like `k·ε·√k`, this is ~25×
+/// slack over that).
+fn sum_tol(k: usize) -> f32 {
+    1e-3 * (k.max(1) as f32).sqrt()
+}
+
+#[test]
+fn packed_gemm_matches_reference_at_tile_boundaries() {
+    // (m, k, n) straddling MR (4), NR (16), KC (256) and MC (128) ± 1,
+    // plus degenerate shapes.
+    let shapes = [
+        (0usize, 8usize, 8usize),
+        (8, 0, 8),
+        (8, 8, 0),
+        (1, 1, 1),
+        (3, 5, 15),
+        (4, 5, 16),
+        (5, 5, 17),
+        (127, 255, 15),
+        (128, 256, 16),
+        (129, 257, 17),
+    ];
+    for (m, k, n) in shapes {
+        let a = DenseMatrix::gaussian(m, k, 11 + (m + k + n) as u64);
+        let b = DenseMatrix::gaussian(k, n, 13 + (m * 31 + n) as u64);
+        let blocked = a.matmul(&b);
+        let naive = reference::matmul(&a, &b);
+        assert_eq!(blocked.rows(), m);
+        assert_eq!(blocked.cols(), n);
+        let diff = blocked.max_abs_diff(&naive);
+        assert!(diff <= sum_tol(k), "({m}x{k})·({k}x{n}): diff {diff} > {}", sum_tol(k));
+    }
+}
+
+#[test]
+fn packed_gemm_no_longer_skips_explicit_zeros() {
+    // The reference kernel had an `a != 0.0` branch; the packed kernel
+    // must produce the same result on zero-heavy inputs (including the
+    // -0.0 sign bit, which `x + (-0.0 * y)` preserves as +0.0 only if
+    // the multiply actually happens — both paths agree on the value).
+    let mut a = DenseMatrix::zeros(9, 20);
+    a.set(0, 0, -0.0);
+    a.set(4, 17, 2.5);
+    a.set(8, 19, -1.0);
+    let b = DenseMatrix::gaussian(20, 18, 3);
+    let blocked = a.matmul(&b);
+    let naive = reference::matmul(&a, &b);
+    assert!(blocked.max_abs_diff(&naive) <= sum_tol(20));
+}
+
+#[test]
+fn blocked_transpose_matches_naive_bitwise() {
+    // Transpose only moves values — bitwise equality at shapes around
+    // the 32×32 tile boundary, including empty and single-row shapes.
+    for (m, n) in [(0usize, 5usize), (5, 0), (1, 1), (31, 33), (32, 32), (33, 31), (100, 7)] {
+        let a = DenseMatrix::gaussian(m, n, 41 + (m * 101 + n) as u64);
+        let t = a.transpose();
+        assert_eq!(t.rows(), n);
+        assert_eq!(t.cols(), m);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(a.get(i, j).to_bits(), t.get(j, i).to_bits(), "({m}x{n}) at {i},{j}");
+            }
+        }
+        // Round trip is the identity, bitwise.
+        let rt = t.transpose();
+        for (x, y) in a.as_slice().iter().zip(rt.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn panel_qr_matches_reference_rank_and_span() {
+    // Column counts around the QR panel width (16) ± 1; the panel QR and
+    // the sequential reference MGS must agree on rank, produce
+    // orthonormal columns, and span the same subspace.
+    for d in [1usize, 15, 16, 17, 33] {
+        let orig = DenseMatrix::gaussian(400, d, 7 + d as u64);
+        let mut q_blocked = orig.clone();
+        let mut q_ref = orig.clone();
+        let rank_blocked = orthonormalize_columns(&mut q_blocked);
+        let rank_ref = reference::orthonormalize_columns(&mut q_ref);
+        assert_eq!(rank_blocked, rank_ref, "d={d}: rank mismatch");
+        assert_eq!(rank_blocked, d);
+
+        let gram = q_blocked.gram_tn(&q_blocked);
+        for i in 0..d {
+            for j in 0..d {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (gram.get(i, j) - want).abs() < 5e-5,
+                    "d={d}: gram[{i},{j}]={}",
+                    gram.get(i, j)
+                );
+            }
+        }
+        // Same span: Q (Qᵀ X) reconstructs X.
+        let coeff = q_blocked.gram_tn(&orig);
+        let recon = q_blocked.matmul(&coeff);
+        let diff = recon.max_abs_diff(&orig);
+        assert!(diff < 1e-3, "d={d}: span error {diff}");
+    }
+}
+
+#[test]
+fn panel_qr_rank_deficiency_matches_reference() {
+    // A dependency spanning the panel boundary: column 18 = column 1 +
+    // column 2, with d = 20 > QR_PANEL = 16. Both implementations must
+    // report the same rank and zero the same column.
+    let d = 20;
+    let g = DenseMatrix::gaussian(300, d, 19);
+    let mut x = g.clone();
+    for i in 0..300 {
+        x.set(i, 18, g.get(i, 1) + g.get(i, 2));
+    }
+    let mut q_blocked = x.clone();
+    let mut q_ref = x.clone();
+    assert_eq!(orthonormalize_columns(&mut q_blocked), d - 1);
+    assert_eq!(reference::orthonormalize_columns(&mut q_ref), d - 1);
+    for i in 0..300 {
+        assert_eq!(q_blocked.get(i, 18), 0.0);
+        assert_eq!(q_ref.get(i, 18), 0.0);
+    }
+}
+
+#[test]
+fn blocked_jacobi_matches_reference_singular_values() {
+    // Sweep orders differ (round-robin vs cyclic), but both converge to
+    // the same singular values; adversarial cases: odd n (dummy slot),
+    // 1×1, rank-deficient, tall.
+    for (m, n, seed) in [(1usize, 1usize, 1u64), (7, 7, 2), (16, 16, 3), (40, 33, 4), (48, 48, 5)] {
+        let a = DenseMatrix::gaussian(m, n, seed);
+        let blocked = jacobi_svd(&a);
+        let naive = reference::jacobi_svd(&a);
+        assert_eq!(blocked.sigma.len(), naive.sigma.len());
+        for (i, (x, y)) in blocked.sigma.iter().zip(&naive.sigma).enumerate() {
+            assert!(
+                (x - y).abs() < 1e-3 * y.max(1.0),
+                "{m}x{n} seed {seed}: sigma[{i}] {x} vs {y}"
+            );
+        }
+        // Both must reconstruct the input.
+        let mut us = blocked.u.clone();
+        us.scale_columns(&blocked.sigma);
+        let recon = us.matmul(&blocked.v.transpose());
+        let diff = recon.max_abs_diff(&a);
+        assert!(diff < 1e-3, "{m}x{n} seed {seed}: reconstruction error {diff}");
+    }
+}
+
+#[test]
+fn blocked_jacobi_rank_deficient_matches_reference() {
+    // Rank-2 matrix embedded in 12 columns: trailing singular values are
+    // zero in both implementations.
+    let base = DenseMatrix::gaussian(30, 2, 6);
+    let mix = DenseMatrix::gaussian(2, 12, 7);
+    let a = base.matmul(&mix);
+    let blocked = jacobi_svd(&a);
+    let naive = reference::jacobi_svd(&a);
+    for i in 0..2 {
+        assert!(
+            (blocked.sigma[i] - naive.sigma[i]).abs() < 1e-2 * naive.sigma[i].max(1.0),
+            "sigma[{i}]: {} vs {}",
+            blocked.sigma[i],
+            naive.sigma[i]
+        );
+    }
+    for i in 2..12 {
+        assert!(blocked.sigma[i] < 1e-3 * blocked.sigma[0], "sigma[{i}] not ~0");
+    }
+}
