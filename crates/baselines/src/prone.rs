@@ -23,6 +23,7 @@ use lightne_core::engine::{RunContext, RunStats, StageKind};
 use lightne_core::propagation::{spectral_propagation, PropagationConfig};
 use lightne_graph::GraphOps;
 use lightne_linalg::{randomized_svd, CsrMatrix, DenseMatrix, RsvdConfig};
+use lightne_utils::parallel::parallel_reduce_sum;
 use lightne_utils::timer::StageTimer;
 use rayon::prelude::*;
 
@@ -92,7 +93,7 @@ pub fn modulated_matrix<G: GraphOps>(g: &G, b: f64, alpha: f64) -> CsrMatrix {
             acc
         })
         .collect();
-    let z: f64 = s.par_iter().map(|&x| x.powf(alpha)).sum();
+    let z: f64 = parallel_reduce_sum(s.len(), |i| s[i].powf(alpha));
 
     let coo: Vec<(u32, u32, f32)> = (0..n as u32)
         .into_par_iter()

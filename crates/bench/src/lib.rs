@@ -11,6 +11,7 @@
 //! host machine affords.
 
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod harness {

@@ -210,6 +210,8 @@ impl RunContext {
             hook(&StageEvent::Started { name });
         }
         let mut scope = StageScope::default();
+        // xtask:allow(L5): wall-clock stage timing feeds StageRecord.secs
+        // (report metadata only); it never influences numeric output.
         let started = Instant::now();
         let out = f(&mut scope);
         let record = StageRecord {

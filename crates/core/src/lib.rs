@@ -34,6 +34,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod artifacts;

@@ -8,6 +8,7 @@
 //! additional lens on the same embeddings.
 
 use lightne_linalg::DenseMatrix;
+use lightne_utils::parallel::parallel_reduce_sum;
 use lightne_utils::rng::XorShiftStream;
 use rayon::prelude::*;
 
@@ -120,8 +121,7 @@ pub fn kmeans(x: &DenseMatrix, k: usize, max_iters: usize, seed: u64) -> KMeansR
         }
     }
 
-    let inertia =
-        (0..n).into_par_iter().map(|i| sq_dist(x.row(i), &centers[assignment[i] as usize])).sum();
+    let inertia = parallel_reduce_sum(n, |i| sq_dist(x.row(i), &centers[assignment[i] as usize]));
     KMeansResult { assignment, inertia, iterations }
 }
 

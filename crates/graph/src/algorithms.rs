@@ -9,6 +9,7 @@
 
 use crate::frontier::{edge_map, VertexSubset};
 use crate::{GraphOps, VertexId};
+use lightne_utils::parallel::parallel_reduce_sum;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -194,7 +195,7 @@ pub fn pagerank<G: GraphOps>(g: &G, alpha: f64, tol: f64, max_iters: usize) -> (
     for it in 0..max_iters {
         iters = it + 1;
         let dangling: f64 =
-            (0..n).into_par_iter().filter(|&v| g.degree(v as VertexId) == 0).map(|v| rank[v]).sum();
+            parallel_reduce_sum(n, |v| if g.degree(v as VertexId) == 0 { rank[v] } else { 0.0 });
         let base = (1.0 - alpha) / n as f64 + alpha * dangling / n as f64;
         let next: Vec<f64> = (0..n as VertexId)
             .into_par_iter()
@@ -206,7 +207,7 @@ pub fn pagerank<G: GraphOps>(g: &G, alpha: f64, tol: f64, max_iters: usize) -> (
                 base + alpha * acc
             })
             .collect();
-        let delta: f64 = next.par_iter().zip(rank.par_iter()).map(|(a, b)| (a - b).abs()).sum();
+        let delta: f64 = parallel_reduce_sum(n, |i| (next[i] - rank[i]).abs());
         rank = next;
         if delta < tol {
             break;

@@ -26,6 +26,7 @@
 //! * [`io`] — text edge-list and binary CSR readers/writers.
 
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod algorithms;

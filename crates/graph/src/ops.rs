@@ -7,6 +7,7 @@
 //! stage of the pipeline is generic over the representation.
 
 use crate::{CompressedGraph, Graph, VertexId};
+use lightne_utils::parallel::parallel_reduce_sum;
 use rayon::prelude::*;
 
 /// Uniform access to an undirected graph, plus bulk-parallel maps.
@@ -81,19 +82,21 @@ pub trait GraphOps: Sync {
 
     /// Sum over all arcs of `f(u, v)`, in parallel (a `MapReduce` over
     /// edges; used e.g. to compute modularity-style statistics).
+    ///
+    /// Per-vertex contributions are summed sequentially over the
+    /// adjacency list, then folded with the fixed-block deterministic
+    /// reduction, so the result is bitwise identical at any thread count.
     fn reduce_edges<F>(&self, f: F) -> f64
     where
         F: Fn(VertexId, VertexId) -> f64 + Sync + Send,
         Self: Sized,
     {
-        (0..self.num_vertices() as VertexId)
-            .into_par_iter()
-            .map(|u| {
-                let mut acc = 0.0;
-                self.for_each_neighbor(u, &mut |v| acc += f(u, v));
-                acc
-            })
-            .sum()
+        parallel_reduce_sum(self.num_vertices(), |u| {
+            let u = u as VertexId;
+            let mut acc = 0.0;
+            self.for_each_neighbor(u, &mut |v| acc += f(u, v));
+            acc
+        })
     }
 }
 

@@ -22,11 +22,11 @@
 //! Inserts hold the shared read lock, so the common path stays concurrent
 //! and wait-free with respect to other inserts.
 
+use crate::sync_shim::{AtomicU64, AtomicUsize, Ordering, RwLock};
 use crate::{pack_key, unpack_key, EdgeAggregator};
 use lightne_utils::rng::mix2;
-use parking_lot::RwLock;
+#[cfg(not(loom))]
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Fixed-point scale: 20 fractional bits.
 const FIXED_ONE: f64 = (1u64 << 20) as f64;
@@ -76,6 +76,9 @@ impl Slots {
         for _ in 0..=self.mask {
             let k = self.keys[idx].load(Ordering::Acquire);
             if k == key {
+                // ordering: Relaxed — atomic RMW never loses updates; the
+                // accumulated value is only *read* after a join or under
+                // the exclusive resize lock, both of which order it.
                 self.weights[idx].fetch_add(raw, Ordering::Relaxed);
                 return Ok(false);
             }
@@ -87,10 +90,12 @@ impl Slots {
                     Ordering::Acquire,
                 ) {
                     Ok(_) => {
+                        // ordering: Relaxed — see the fetch_add above.
                         self.weights[idx].fetch_add(raw, Ordering::Relaxed);
                         return Ok(true);
                     }
                     Err(actual) if actual == key => {
+                        // ordering: Relaxed — see the fetch_add above.
                         self.weights[idx].fetch_add(raw, Ordering::Relaxed);
                         return Ok(false);
                     }
@@ -98,6 +103,7 @@ impl Slots {
                 }
                 // Re-examine this slot: it may now hold our key.
                 if self.keys[idx].load(Ordering::Acquire) == key {
+                    // ordering: Relaxed — see the fetch_add above.
                     self.weights[idx].fetch_add(raw, Ordering::Relaxed);
                     return Ok(false);
                 }
@@ -130,9 +136,20 @@ impl ConcurrentEdgeTable {
     /// `expected_distinct / MAX_LOAD`, with a small floor.
     pub fn with_expected(expected_distinct: usize) -> Self {
         let target = ((expected_distinct as f64 / MAX_LOAD) as usize).max(1024);
-        let cap = target.next_power_of_two();
+        Self::with_slot_capacity(target.next_power_of_two())
+    }
+
+    /// Creates a table with an exact initial slot capacity (must be a
+    /// power of two). Test and model-checking hook: the loom models need
+    /// tiny tables (4–8 slots) so resizes trigger after a handful of
+    /// inserts and the interleaving space stays explorable; production
+    /// callers should use [`Self::with_expected`], which keeps the
+    /// load-factor floor.
+    #[doc(hidden)]
+    pub fn with_slot_capacity(cap_pow2: usize) -> Self {
+        assert!(cap_pow2.is_power_of_two(), "slot capacity must be a power of two");
         Self {
-            inner: RwLock::new(Slots::new(cap)),
+            inner: RwLock::new(Slots::new(cap_pow2)),
             len: AtomicUsize::new(0),
             resizes: AtomicUsize::new(0),
         }
@@ -145,6 +162,8 @@ impl ConcurrentEdgeTable {
 
     /// Number of distinct keys stored.
     pub fn len(&self) -> usize {
+        // ordering: Relaxed — monotone statistics counter; exact reads
+        // happen after a join (sampling finished) which orders them.
         self.len.load(Ordering::Relaxed)
     }
 
@@ -160,24 +179,31 @@ impl ConcurrentEdgeTable {
 
     /// Number of times the slot array has doubled since construction.
     pub fn resize_count(&self) -> usize {
+        // ordering: Relaxed — statistics counter, see `len`.
         self.resizes.load(Ordering::Relaxed)
     }
 
     fn grow(&self) {
         let mut guard = self.inner.write();
         // Double-check under the write lock: another thread may have grown.
+        // ordering: Relaxed — the exclusive write lock excludes every
+        // inserter (they hold the read lock across their len update), and
+        // lock acquire/release provides the happens-before edge.
         if (self.len.load(Ordering::Relaxed) as f64) < MAX_LOAD * guard.keys.len() as f64 {
             return;
         }
         let new = Slots::new(guard.keys.len() * 2);
         for (k, w) in guard.keys.iter().zip(guard.weights.iter()) {
+            // ordering: Relaxed — exclusive access under the write lock.
             let key = k.load(Ordering::Relaxed);
             if key != EMPTY {
                 // Transfer the raw fixed-point value: no re-rounding.
+                // ordering: Relaxed — exclusive access under the write lock.
                 new.add(key, w.load(Ordering::Relaxed)).expect("fresh table cannot be full");
             }
         }
         *guard = new;
+        // ordering: Relaxed — statistics counter, see `len`.
         self.resizes.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -191,6 +217,11 @@ impl ConcurrentEdgeTable {
                 match guard.add(key, raw) {
                     Ok(fresh) => {
                         if fresh {
+                            // ordering: Relaxed — RMW on a counter; read
+                            // exactly only under the write lock or after a
+                            // join (see `grow` / `len`). Done while still
+                            // holding the read lock so `grow`'s exclusive
+                            // section observes a settled count.
                             let new_len = self.len.fetch_add(1, Ordering::Relaxed) + 1;
                             if (new_len as f64) < MAX_LOAD * guard.keys.len() as f64 {
                                 return;
@@ -230,23 +261,38 @@ impl ConcurrentEdgeTable {
     /// Non-destructive snapshot of all entries (used by the dynamic
     /// embedder, which keeps accumulating into the table afterwards).
     /// Taken under the shared read lock; concurrent inserts during the
-    /// scan may or may not be included.
+    /// scan may or may not be included, and an entry whose claiming
+    /// insert is still mid-flight can surface with a partial (even zero)
+    /// weight — callers that need exact totals must quiesce writers first.
     pub fn snapshot(&self) -> Vec<(u32, u32, f32)> {
         let guard = self.inner.read();
-        guard
-            .keys
-            .par_iter()
-            .zip(guard.weights.par_iter())
-            .filter_map(|(k, w)| {
-                let key = k.load(Ordering::Relaxed);
-                if key == EMPTY {
-                    None
-                } else {
-                    let (u, v) = unpack_key(key);
-                    Some((u, v, from_fixed(w.load(Ordering::Relaxed))))
-                }
-            })
-            .collect()
+        let scan = |(k, w): (&AtomicU64, &AtomicU64)| {
+            // Key load upgraded from Relaxed to Acquire (PR 5 ordering
+            // audit): pairs with the AcqRel claim CAS so a concurrent
+            // scanner that observes the key also observes every weight
+            // update sequenced *before* the claim. The claimer's own
+            // first fetch_add follows the CAS, hence the documented
+            // mid-flight window above.
+            let key = k.load(Ordering::Acquire);
+            if key == EMPTY {
+                None
+            } else {
+                let (u, v) = unpack_key(key);
+                // ordering: Relaxed — RMW-accumulated value; staleness is
+                // accepted per the documented snapshot semantics.
+                Some((u, v, from_fixed(w.load(Ordering::Relaxed))))
+            }
+        };
+        #[cfg(not(loom))]
+        {
+            guard.keys.par_iter().zip(guard.weights.par_iter()).filter_map(scan).collect()
+        }
+        #[cfg(loom)]
+        {
+            // Under the model checker only loom-registered threads may
+            // touch loom atomics, so the scan stays on the model thread.
+            guard.keys.iter().zip(guard.weights.iter()).filter_map(scan).collect()
+        }
     }
 
     /// Reads the accumulated weight of an edge (0.0 if absent).
@@ -256,6 +302,9 @@ impl ConcurrentEdgeTable {
         let mut idx = (mix2(0x9E37_79B9, key) as usize) & guard.mask;
         for _ in 0..=guard.mask {
             match guard.keys[idx].load(Ordering::Acquire) {
+                // ordering: Relaxed — RMW-accumulated weight; exact reads
+                // happen after a join, racy reads are documented as
+                // point-in-time (see `snapshot`).
                 k if k == key => return from_fixed(guard.weights[idx].load(Ordering::Relaxed)),
                 EMPTY => return 0.0,
                 _ => idx = (idx + 1) & guard.mask,
@@ -281,26 +330,39 @@ impl EdgeAggregator for ConcurrentEdgeTable {
 
     fn into_coo(self) -> Vec<(u32, u32, f32)> {
         let slots = self.inner.into_inner();
-        slots
-            .keys
-            .par_iter()
-            .zip(slots.weights.par_iter())
-            .filter_map(|(k, w)| {
-                let key = k.load(Ordering::Relaxed);
-                if key == EMPTY {
-                    None
-                } else {
-                    let (u, v) = unpack_key(key);
-                    Some((u, v, from_fixed(w.load(Ordering::Relaxed))))
-                }
-            })
-            .collect()
+        let drain = |(k, w): (&AtomicU64, &AtomicU64)| {
+            // ordering: Relaxed — `self` is owned, so every writer has
+            // already synchronized (joined or released its guard); these
+            // loads cannot race.
+            let key = k.load(Ordering::Relaxed);
+            if key == EMPTY {
+                None
+            } else {
+                let (u, v) = unpack_key(key);
+                // ordering: Relaxed — exclusive ownership, see above.
+                Some((u, v, from_fixed(w.load(Ordering::Relaxed))))
+            }
+        };
+        #[cfg(not(loom))]
+        {
+            slots.keys.par_iter().zip(slots.weights.par_iter()).filter_map(drain).collect()
+        }
+        #[cfg(loom)]
+        {
+            // Model-thread-only scan; see `snapshot`.
+            slots.keys.iter().zip(slots.weights.iter()).filter_map(drain).collect()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    // The multi-threaded stress tests drive the table through rayon,
+    // which loom cannot schedule; the loom models in tests/loom_models.rs
+    // cover those interleavings under `--cfg loom` instead.
+    #[cfg(loom)]
+    use rayon::prelude::*;
 
     #[test]
     fn single_thread_accumulates() {

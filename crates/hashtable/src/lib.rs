@@ -20,10 +20,12 @@
 //! generic over the aggregator.
 
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod concurrent;
 pub mod sharded;
+pub(crate) mod sync_shim;
 pub mod thread_local;
 
 pub use concurrent::ConcurrentEdgeTable;

@@ -22,6 +22,7 @@
 //! single-table path for any `(threads, shards)` combination.
 
 use crate::{pack_key, ConcurrentEdgeTable, EdgeAggregator};
+#[cfg(not(loom))]
 use rayon::prelude::*;
 use std::ops::Range;
 
@@ -85,6 +86,22 @@ impl ShardedEdgeTable {
         let nshards = n.div_ceil(span);
         assert_eq!(expectations.len(), nshards, "one expectation per shard");
         let tables = expectations.iter().map(|&e| ConcurrentEdgeTable::with_expected(e)).collect();
+        Self { tables, span: span as u32, n_vertices: n }
+    }
+
+    /// Like [`Self::new`], but pinning every shard's initial slot
+    /// capacity (power of two). Test and model-checking hook: the loom
+    /// models need tiny shards so independent resizes trigger within a
+    /// handful of inserts. See
+    /// [`ConcurrentEdgeTable::with_slot_capacity`].
+    #[doc(hidden)]
+    pub fn with_slot_capacity(n_vertices: usize, shards: usize, cap_pow2: usize) -> Self {
+        let n = n_vertices.max(1);
+        let shards = shards.clamp(1, n);
+        let span = n.div_ceil(shards).max(1);
+        let nshards = n.div_ceil(span);
+        let tables =
+            (0..nshards).map(|_| ConcurrentEdgeTable::with_slot_capacity(cap_pow2)).collect();
         Self { tables, span: span as u32, n_vertices: n }
     }
 
@@ -191,19 +208,23 @@ impl ShardedEdgeTable {
         F: Fn(u32, u32, f32) -> Option<f32> + Sync,
     {
         let ranges: Vec<Range<u32>> = (0..self.tables.len()).map(|s| self.shard_rows(s)).collect();
-        self.tables
-            .into_par_iter()
-            .zip(ranges)
-            .map(|(table, rows)| {
-                let mut entries = table.into_coo();
-                entries.sort_unstable_by_key(|&(u, v, _)| pack_key(u, v));
-                let entries: Vec<(u32, u32, f32)> = entries
-                    .into_iter()
-                    .filter_map(|(u, v, w)| f(u, v, w).map(|t| (u, v, t)))
-                    .collect();
-                (rows, entries)
-            })
-            .collect()
+        let drain_shard = |(table, rows): (ConcurrentEdgeTable, Range<u32>)| {
+            let mut entries = table.into_coo();
+            entries.sort_unstable_by_key(|&(u, v, _)| pack_key(u, v));
+            let entries: Vec<(u32, u32, f32)> =
+                entries.into_iter().filter_map(|(u, v, w)| f(u, v, w).map(|t| (u, v, t))).collect();
+            (rows, entries)
+        };
+        #[cfg(not(loom))]
+        {
+            self.tables.into_par_iter().zip(ranges).map(drain_shard).collect()
+        }
+        #[cfg(loom)]
+        {
+            // Only loom-registered threads may touch loom atomics, so the
+            // per-shard drain stays on the model thread.
+            self.tables.into_iter().zip(ranges).map(drain_shard).collect()
+        }
     }
 }
 

@@ -1,0 +1,27 @@
+//! Synchronization-primitive aliases that swap in the `loom` model
+//! checker's types under `--cfg loom`.
+//!
+//! The folklore table's correctness rests on interleaving arguments the
+//! compiler cannot check (CAS slot claiming, fixed-point `fetch_add`
+//! accumulation, stop-the-world resize under the `RwLock`). Building the
+//! crate with `RUSTFLAGS="--cfg loom"` routes every atomic and lock
+//! operation through the loom scheduler so the models in
+//! `tests/loom_models.rs` can explore the interleavings exhaustively:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p lightne-hash --release loom_
+//! ```
+//!
+//! Production builds (`cfg(not(loom))`) alias the exact same names to the
+//! real `std` atomics and `parking_lot::RwLock`, so the hot path is
+//! untouched.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+#[cfg(loom)]
+pub(crate) use loom::sync::RwLock;
+
+#[cfg(not(loom))]
+pub(crate) use parking_lot::RwLock;
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

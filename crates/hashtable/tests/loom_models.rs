@@ -1,0 +1,173 @@
+//! Loom concurrency models for the folklore edge table (ISSUE 5 tentpole).
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p lightne-hash --release loom_
+//! ```
+//!
+//! Under `--cfg loom` the table's atomics and its resize `RwLock` are the
+//! loom shim's model-aware types (see `src/sync_shim.rs`), so every model
+//! below runs under the shim's schedule explorer: exhaustively over all
+//! interleavings where tractable, otherwise bounded-exhaustive with a
+//! CHESS-style preemption bound. Each model encodes an invariant the
+//! paper's sparse-parallel-hashing argument (§3.3) relies on:
+//!
+//! * no lost weight updates when threads accumulate into the *same* key;
+//! * no lost or duplicated slots when *distinct* keys race for the same
+//!   probe sequence;
+//! * stop-the-world resize preserves every entry while inserts race it;
+//! * sharded tables resize independently without cross-shard interference.
+//!
+//! The models use tiny slot capacities (`with_slot_capacity`) so resizes
+//! trigger within a handful of inserts and the schedule space stays small.
+
+#![cfg(loom)]
+
+use lightne_hash::{pack_key, ConcurrentEdgeTable, ShardedEdgeTable};
+use lightne_utils::rng::mix2;
+use loom::model::Builder;
+use loom::sync::Arc;
+use loom::thread;
+
+/// Initial probe slot for `key` in a table with `cap` slots (must mirror
+/// `Slots::add`).
+fn probe_slot(u: u32, v: u32, cap: usize) -> usize {
+    (mix2(0x9E37_79B9, pack_key(u, v)) as usize) & (cap - 1)
+}
+
+/// Two threads accumulate into the same key concurrently: every
+/// interleaving must preserve both fixed-point deltas and count the key
+/// exactly once. Fully exhaustive (no preemption bound).
+#[test]
+fn loom_insert_same_key_weight_accumulation() {
+    loom::model(|| {
+        let t = Arc::new(ConcurrentEdgeTable::with_slot_capacity(8));
+        let t2 = Arc::clone(&t);
+        let h = thread::spawn(move || {
+            t2.add_edge(1, 2, 1.0);
+        });
+        t.add_edge(1, 2, 1.0);
+        h.join().unwrap();
+        assert_eq!(t.len(), 1, "same key claimed twice");
+        assert_eq!(t.get(1, 2), 2.0, "lost a weight update");
+    });
+}
+
+/// Two threads insert *distinct* keys whose probe sequences start at the
+/// same slot: the CAS loser must continue probing and claim its own slot,
+/// never dropping or double-counting either key. Fully exhaustive.
+#[test]
+fn loom_insert_distinct_key_probe_race() {
+    // Find two distinct edges that collide on their initial slot at
+    // capacity 4 (deterministic search, done once per execution).
+    let (u1, v1) = (0u32, 1u32);
+    let home = probe_slot(u1, v1, 4);
+    let mut collider = (0u32, 2u32);
+    loop {
+        if collider != (u1, v1) && probe_slot(collider.0, collider.1, 4) == home {
+            break;
+        }
+        collider.1 += 1;
+    }
+    let (u2, v2) = collider;
+
+    loom::model(move || {
+        let t = Arc::new(ConcurrentEdgeTable::with_slot_capacity(4));
+        let t2 = Arc::clone(&t);
+        let h = thread::spawn(move || {
+            t2.add_edge(u2, v2, 3.0);
+        });
+        t.add_edge(u1, v1, 1.0);
+        h.join().unwrap();
+        assert_eq!(t.len(), 2, "probe race lost a distinct key");
+        assert_eq!(t.get(u1, v1), 1.0);
+        assert_eq!(t.get(u2, v2), 3.0);
+    });
+}
+
+/// A stop-the-world resize races concurrent inserts: four fresh inserts
+/// into a 4-slot table cross the 0.7 load factor, so one thread grows the
+/// table while the other may be probing, claiming, or blocked on the
+/// lock. Every entry must survive the rehash with its exact fixed-point
+/// weight. Bounded-exhaustive (schedules with ≤ 2 preemptions).
+#[test]
+fn loom_resize_races_concurrent_inserts() {
+    Builder::new().preemption_bound(2).check(|| {
+        let t = Arc::new(ConcurrentEdgeTable::with_slot_capacity(4));
+        let t2 = Arc::clone(&t);
+        let h = thread::spawn(move || {
+            t2.add_edge(10, 11, 1.0);
+            t2.add_edge(12, 13, 2.0);
+        });
+        t.add_edge(20, 21, 4.0);
+        t.add_edge(22, 23, 8.0);
+        h.join().unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(t.capacity() >= 8, "4 fresh inserts at cap 4 must have grown");
+        assert_eq!(t.get(10, 11), 1.0);
+        assert_eq!(t.get(12, 13), 2.0);
+        assert_eq!(t.get(20, 21), 4.0);
+        assert_eq!(t.get(22, 23), 8.0);
+        let mut coo = t.snapshot();
+        coo.sort_unstable_by_key(|&(u, v, _)| pack_key(u, v));
+        assert_eq!(
+            coo,
+            vec![(10, 11, 1.0), (12, 13, 2.0), (20, 21, 4.0), (22, 23, 8.0)],
+            "rehash dropped or duplicated an entry"
+        );
+    });
+}
+
+/// The sharded table's independent-resize boundary: one thread drives its
+/// shard through a resize while another inserts into a different shard.
+/// The resize must stay local — the untouched shard keeps its capacity
+/// and resize count — and no entry on either side may be lost.
+/// Bounded-exhaustive (≤ 2 preemptions).
+#[test]
+fn loom_sharded_independent_resize_boundary() {
+    Builder::new().preemption_bound(2).check(|| {
+        // 8 vertices, 2 shards (rows 0..4 and 4..8), 4 slots per shard.
+        let t = Arc::new(ShardedEdgeTable::with_slot_capacity(8, 2, 4));
+        let t2 = Arc::clone(&t);
+        let h = thread::spawn(move || {
+            // Three fresh inserts into shard 0 cross 0.7 * 4: resize.
+            t2.add_edge(0, 1, 1.0);
+            t2.add_edge(1, 2, 2.0);
+            t2.add_edge(2, 3, 4.0);
+        });
+        t.add_edge(5, 6, 2.5);
+        h.join().unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(0, 1), 1.0);
+        assert_eq!(t.get(1, 2), 2.0);
+        assert_eq!(t.get(2, 3), 4.0);
+        assert_eq!(t.get(5, 6), 2.5);
+        let stats = t.shard_stats();
+        assert_eq!(stats[0].resizes, 1, "shard 0 must have grown exactly once");
+        assert_eq!(stats[0].capacity, 8);
+        assert_eq!(stats[1].resizes, 0, "resize must not leak into shard 1");
+        assert_eq!(stats[1].capacity, 4, "shard 1 capacity must be untouched");
+    });
+}
+
+/// CAS-loser accumulation path: when the claim CAS fails because another
+/// thread just inserted the *same* key, the loser must fall through to
+/// `fetch_add` on the winner's slot. Repeated adds from both sides must
+/// sum exactly (fixed-point determinism). Bounded-exhaustive (≤ 2
+/// preemptions — two adds per thread makes full exploration too wide).
+#[test]
+fn loom_cas_loser_accumulates_on_winner_slot() {
+    Builder::new().preemption_bound(2).check(|| {
+        let t = Arc::new(ConcurrentEdgeTable::with_slot_capacity(8));
+        let t2 = Arc::clone(&t);
+        let h = thread::spawn(move || {
+            t2.add_edge(7, 9, 0.25);
+            t2.add_edge(7, 9, 0.25);
+        });
+        t.add_edge(7, 9, 0.5);
+        h.join().unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(7, 9), 1.0, "fixed-point deltas must sum exactly");
+    });
+}

@@ -7,6 +7,7 @@
 //! accumulation inside dot products for stability (MKL does the same
 //! internally for its `s` routines on modern CPUs).
 
+use lightne_utils::parallel::parallel_reduce_sum;
 use lightne_utils::rng::XorShiftStream;
 use rayon::prelude::*;
 use std::fmt;
@@ -253,8 +254,15 @@ impl DenseMatrix {
     }
 
     /// Frobenius norm, accumulated in `f64`.
+    ///
+    /// Uses the fixed-block deterministic reduction so the norm is
+    /// bitwise identical at any thread count.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.par_iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+        parallel_reduce_sum(self.data.len(), |i| {
+            let x = self.data[i] as f64;
+            x * x
+        })
+        .sqrt()
     }
 
     /// Maximum absolute entry difference to another matrix (∞-distance).
@@ -264,6 +272,8 @@ impl DenseMatrix {
             .par_iter()
             .zip(other.data.par_iter())
             .map(|(&a, &b)| (a - b).abs())
+            // xtask:allow(L3): f32::max is commutative and associative,
+            // so the parallel reduction order cannot change the result.
             .reduce(|| 0.0, f32::max)
     }
 }

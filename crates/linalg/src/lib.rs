@@ -33,6 +33,7 @@
 //!   correctness oracles and benchmark baselines.
 
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod dense;

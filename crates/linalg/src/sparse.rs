@@ -8,7 +8,7 @@
 
 use crate::dense::DenseMatrix;
 use lightne_utils::mem::MemUsage;
-use lightne_utils::parallel::parallel_prefix_sum;
+use lightne_utils::parallel::{parallel_prefix_sum, parallel_reduce_sum};
 use rayon::prelude::*;
 use std::ops::Range;
 
@@ -396,9 +396,9 @@ impl CsrMatrix {
         out
     }
 
-    /// Sum of all stored values.
+    /// Sum of all stored values (deterministic fixed-block reduction).
     pub fn sum_values(&self) -> f64 {
-        self.values.par_iter().map(|&v| v as f64).sum()
+        parallel_reduce_sum(self.values.len(), |i| self.values[i] as f64)
     }
 
     /// Whether the matrix is exactly symmetric in structure and values.

@@ -185,6 +185,8 @@ pub fn jacobi_svd(a: &DenseMatrix) -> SmallSvd {
                 tasks
                     .into_par_iter()
                     .map(|(cp, cq, vp, vq)| rotate_pair(cp, cq, vp, vq))
+                    // xtask:allow(L3): f64::max is commutative and
+                    // associative; reduction order cannot change it.
                     .reduce(|| 0.0f64, f64::max)
             };
             off = off.max(round_off);

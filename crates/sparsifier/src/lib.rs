@@ -28,6 +28,7 @@
 //!   this crate's statistical tests.
 
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod construct;

@@ -23,6 +23,7 @@
 //!   boundary.
 
 #![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod atomic;

@@ -1,0 +1,75 @@
+//! Lint configuration: which paths each lint watches and which it
+//! exempts. Centralised so the allowlists are auditable in one place —
+//! `cargo xtask check` must pass with zero *undocumented* suppressions,
+//! and every entry here carries its justification.
+
+/// Modules on the deterministic numeric path. L2 (hash-order iteration)
+/// and the `Instant::now` half of L5 apply only under these prefixes:
+/// their outputs must be bitwise-reproducible across runs and thread
+/// counts, so iteration order and wall-clock reads are correctness
+/// hazards there, not style.
+pub const DETERMINISTIC_PATH: &[&str] =
+    &["crates/core/src", "crates/sparsifier/src", "crates/hashtable/src", "crates/linalg/src"];
+
+/// Files allowed to contain raw parallel float reductions (L3). These are
+/// the fixed-block deterministic-reduction helpers themselves — the one
+/// place where the block-splitting arithmetic lives — plus the CAS-loop
+/// atomic floats they are built on.
+pub const L3_WHITELIST: &[&str] = &[
+    // parallel_reduce_sum / parallel_reduce_max: fixed DET_SUM_BLOCK
+    // blocks folded in block order; thread-count independent by
+    // construction.
+    "crates/utils/src/parallel.rs",
+    // AtomicF32/AtomicF64: the primitive the helpers justify.
+    "crates/utils/src/atomic.rs",
+];
+
+/// Files allowed to use `Ordering::Relaxed` without a `// ordering:`
+/// justification comment (L4). Empty by design: every Relaxed in the
+/// hash-table crate must argue its own correctness inline.
+pub const L4_WHITELIST: &[&str] = &[];
+
+/// Paths where L4 (justified atomic orderings) applies: the lock-free
+/// table's CAS/accumulate paths.
+pub const L4_PATHS: &[&str] = &["crates/hashtable/src"];
+
+/// Files exempt from the `Instant::now` half of L5: the timing
+/// instrumentation layer itself and the benchmark harness, whose entire
+/// purpose is wall-clock measurement. `SystemTime::now` and
+/// `rand::thread_rng` have no whitelist — they are banned workspace-wide.
+pub const L5_TIMER_WHITELIST: &[&str] = &["crates/utils/src/timer.rs", "crates/bench/"];
+
+/// Directories scanned by the workspace walk, relative to the repo root.
+pub const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples", "vendor/loom/src"];
+
+/// Path fragments excluded from the walk. Fixtures are lint-violation
+/// test inputs by design; the other vendored shims mirror external crates
+/// and are linted only for L1 (handled by scanning vendor/loom, the only
+/// vendored crate with `unsafe`).
+pub const EXCLUDE: &[&str] = &["target/", "crates/xtask/tests/fixtures/"];
+
+/// Returns true if `path` (workspace-relative, `/`-separated) starts with
+/// any of the given prefixes.
+pub fn path_in(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_path_matching() {
+        assert!(path_in("crates/core/src/engine.rs", DETERMINISTIC_PATH));
+        assert!(path_in("crates/hashtable/src/concurrent.rs", DETERMINISTIC_PATH));
+        assert!(!path_in("crates/bench/src/main.rs", DETERMINISTIC_PATH));
+        assert!(!path_in("crates/core/tests/x.rs", DETERMINISTIC_PATH));
+    }
+
+    #[test]
+    fn whitelists() {
+        assert!(path_in("crates/utils/src/parallel.rs", L3_WHITELIST));
+        assert!(path_in("crates/bench/src/main.rs", L5_TIMER_WHITELIST));
+        assert!(!path_in("crates/utils/src/rng.rs", L3_WHITELIST));
+    }
+}

@@ -1,0 +1,101 @@
+//! `cargo xtask` — workspace task driver.
+//!
+//! Currently one subcommand:
+//!
+//! ```text
+//! cargo xtask check [--json] [--root <path>]
+//! ```
+//!
+//! Runs the five workspace lints (see DESIGN.md, "Static analysis &
+//! concurrency verification") over every source file and exits non-zero
+//! if any violation is found. `--json` emits a machine-readable report
+//! for CI; `--root` overrides workspace-root auto-detection.
+
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::diagnostics;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    if cmd != "check" {
+        eprintln!("unknown subcommand `{cmd}`\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.map(Ok).unwrap_or_else(find_workspace_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot locate workspace root: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = match xtask::check_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", diagnostics::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            println!("xtask check: ok ({} violations)", diags.len());
+        } else {
+            eprintln!("xtask check: {} violation(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+const USAGE: &str = "usage: cargo xtask check [--json] [--root <path>]";
+
+/// Walks up from the current directory to the first directory containing
+/// both a `Cargo.toml` and a `crates/` directory (the workspace root).
+fn find_workspace_root() -> std::io::Result<PathBuf> {
+    let mut dir = std::env::current_dir()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "no ancestor directory contains Cargo.toml and crates/",
+            ));
+        }
+    }
+}

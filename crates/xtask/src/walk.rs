@@ -1,0 +1,66 @@
+//! Workspace file discovery for `cargo xtask check`.
+//!
+//! Walks the scan roots in [`crate::config::SCAN_ROOTS`], collecting
+//! `.rs` files and skipping the exclusion list (build output and the
+//! lint-violation fixtures, which are test *inputs*). Paths are returned
+//! workspace-relative with `/` separators and sorted, so diagnostics come
+//! out in a stable order on every platform.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config;
+
+/// Collects all lintable `.rs` files under `root`, workspace-relative.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for scan in config::SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            visit(root, &dir, &mut out)?;
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn visit(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        let rel = rel_str(root, &path);
+        if config::EXCLUDE.iter().any(|x| rel.starts_with(x) || rel.contains(&format!("/{x}"))) {
+            continue;
+        }
+        if path.is_dir() {
+            visit(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(PathBuf::from(rel));
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with `/` separators.
+pub fn rel_str(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn excludes_fixture_dir() {
+        // The repo root is two levels above this crate's manifest.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+        let files = workspace_files(root).unwrap();
+        assert!(!files.is_empty());
+        assert!(files.iter().all(|f| !f.to_string_lossy().contains("tests/fixtures")));
+        assert!(files.iter().any(|f| f.to_string_lossy() == "crates/xtask/src/walk.rs"));
+    }
+}

@@ -1,0 +1,64 @@
+// Clean fixture: every near-miss of L1–L5 in one file, linted under the
+// strictest virtual path (crates/core/src/fixture_clean.rs, which is on
+// the deterministic path). The engine must report ZERO violations here.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use lightne_utils::parallel::parallel_reduce_sum;
+
+// L1 near-miss: documented unsafe.
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: callers guarantee `p` points to at least one initialized
+    // byte; checked by the debug assertion above every call site.
+    unsafe { *p }
+}
+
+// L2 near-miss: ordered map on the deterministic path is fine.
+pub fn histogram(xs: &[u32]) -> BTreeMap<u32, usize> {
+    let mut h = BTreeMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    h
+}
+
+// L3 near-miss: the deterministic fixed-block reduction helper.
+pub fn total_weight(w: &[f32]) -> f64 {
+    parallel_reduce_sum(w.len(), |i| w[i] as f64)
+}
+
+// L4 near-miss: justified Relaxed.
+pub fn observed_len(len: &AtomicU64) -> u64 {
+    // ordering: Relaxed — statistics counter read outside the insertion
+    // critical path; no other memory is published through it.
+    len.load(Ordering::Relaxed)
+}
+
+// L5 near-miss: justified wall-clock read via inline allow.
+pub fn stage_seconds(f: impl FnOnce()) -> f64 {
+    // xtask:allow(L5): wall-clock stage timing for progress reporting
+    // only; the duration never feeds numeric output.
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+// Lexer fidelity: every banned name as string data must stay inert.
+pub fn banned_words() -> &'static str {
+    "HashMap HashSet SystemTime::now thread_rng Ordering::Relaxed unsafe"
+}
+
+#[cfg(test)]
+mod tests {
+    // cfg(test) scaffolding may use hash containers and wall clocks.
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn scaffolding() {
+        let _m: HashMap<u32, u32> = HashMap::new();
+        let _t = Instant::now();
+    }
+}

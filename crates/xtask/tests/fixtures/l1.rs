@@ -1,0 +1,11 @@
+// L1 fixture: an `unsafe` block with no SAFETY comment anywhere near it.
+// Linted under the virtual path crates/utils/src/fixture_l1.rs (L1 is
+// workspace-wide, so the path only needs to avoid the other lints'
+// scopes). The violation is the `unsafe` on line 10.
+
+pub fn read_first(p: *const u8) -> u8 {
+    // A plain comment that is not a safety argument; the lint must not
+    // accept it as one.
+    debug_assert!(!p.is_null());
+    unsafe { *p }
+}

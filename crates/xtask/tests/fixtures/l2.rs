@@ -1,0 +1,25 @@
+// L2 fixture: HashMap used in (virtual) deterministic-path module
+// crates/core/src/fixture_l2.rs. The violation is the `HashMap` import
+// on line 5; the cfg(test) module at the bottom must NOT fire.
+
+use std::collections::HashMap;
+
+pub fn degree_histogram(degrees: &[u32]) -> Vec<(u32, usize)> {
+    let mut h: std::collections::BTreeMap<u32, usize> = Default::default();
+    for &d in degrees {
+        *h.entry(d).or_insert(0) += 1;
+    }
+    h.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside cfg(test) a HashMap is fine: test-only scaffolding never
+    // feeds deterministic output.
+    use std::collections::HashMap;
+
+    #[test]
+    fn hist() {
+        let _scratch: HashMap<u32, usize> = HashMap::new();
+    }
+}

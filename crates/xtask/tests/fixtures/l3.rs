@@ -1,0 +1,22 @@
+// L3 fixture: an order-sensitive float reduction inside a rayon parallel
+// chain, linted under the virtual path crates/linalg/src/fixture_l3.rs.
+// The violation is the `sum` terminal on line 9. The per-item local
+// accumulator in `row_norms` must NOT fire.
+
+use rayon::prelude::*;
+
+pub fn energy(values: &[f32]) -> f64 {
+    values.par_iter().map(|&x| (x as f64) * (x as f64)).sum()
+}
+
+pub fn row_norms(rows: &[Vec<f32>]) -> Vec<f64> {
+    rows.par_iter()
+        .map(|r| {
+            let mut acc = 0.0f64;
+            for &x in r {
+                acc += (x as f64) * (x as f64);
+            }
+            acc.sqrt()
+        })
+        .collect()
+}

@@ -1,0 +1,15 @@
+// L4 fixture: an unjustified Ordering::Relaxed in the (virtual)
+// lock-free table path crates/hashtable/src/fixture_l4.rs. The violation
+// is on line 8; the justified load in `stat` must NOT fire.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn stat(counter: &AtomicU64) -> u64 {
+    // ordering: Relaxed — advisory statistics counter; the value is never
+    // used to publish or observe other memory.
+    counter.load(Ordering::Relaxed)
+}

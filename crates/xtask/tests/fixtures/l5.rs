@@ -1,0 +1,17 @@
+// L5 fixture: ambient nondeterminism, linted under the virtual path
+// crates/graph/src/fixture_l5.rs (off the deterministic path, so only
+// the workspace-wide half of L5 applies). The violation is the
+// SystemTime::now call on line 9. The seeded RNG use must NOT fire.
+
+use std::time::SystemTime;
+
+pub fn stamp() -> u64 {
+    match SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}
+
+pub fn draw(rng: &mut lightne_utils::rng::XorShiftStream) -> u64 {
+    rng.next_u64()
+}

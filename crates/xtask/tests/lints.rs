@@ -1,0 +1,90 @@
+//! Fixture tests for the five workspace lints: each fixture violates
+//! exactly one lint at a known span, the clean fixture produces zero
+//! false positives, and the live workspace itself must lint clean — the
+//! same gate CI enforces with `cargo xtask check`.
+
+use std::path::Path;
+
+use xtask::{check_source, Diagnostic};
+
+fn lints_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.lint).collect()
+}
+
+#[test]
+fn l1_fires_on_undocumented_unsafe() {
+    let diags = check_source("crates/utils/src/fixture_l1.rs", include_str!("fixtures/l1.rs"));
+    assert_eq!(lints_of(&diags), ["L1"], "{diags:?}");
+    assert_eq!(diags[0].line, 10, "span must point at the `unsafe` token");
+}
+
+#[test]
+fn l2_fires_on_hashmap_in_deterministic_path() {
+    let diags = check_source("crates/core/src/fixture_l2.rs", include_str!("fixtures/l2.rs"));
+    assert_eq!(lints_of(&diags), ["L2"], "{diags:?}");
+    assert_eq!(diags[0].line, 5, "span must point at the HashMap import");
+    assert!(diags[0].message.contains("BTreeMap"));
+}
+
+#[test]
+fn l2_does_not_apply_off_the_deterministic_path() {
+    let diags = check_source("crates/graph/src/fixture_l2.rs", include_str!("fixtures/l2.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l3_fires_on_parallel_float_sum() {
+    let diags = check_source("crates/linalg/src/fixture_l3.rs", include_str!("fixtures/l3.rs"));
+    assert_eq!(lints_of(&diags), ["L3"], "{diags:?}");
+    assert_eq!(diags[0].line, 9, "span must point at the `sum` terminal");
+    assert!(diags[0].message.contains("parallel_reduce_sum"));
+}
+
+#[test]
+fn l3_whitelists_the_reduction_helpers() {
+    let diags = check_source("crates/utils/src/parallel.rs", include_str!("fixtures/l3.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn l4_fires_on_unjustified_relaxed() {
+    let diags = check_source("crates/hashtable/src/fixture_l4.rs", include_str!("fixtures/l4.rs"));
+    assert_eq!(lints_of(&diags), ["L4"], "{diags:?}");
+    assert_eq!(diags[0].line, 8, "span must point at the unjustified Relaxed");
+}
+
+#[test]
+fn l5_fires_on_system_time() {
+    let diags = check_source("crates/graph/src/fixture_l5.rs", include_str!("fixtures/l5.rs"));
+    assert_eq!(lints_of(&diags), ["L5"], "{diags:?}");
+    assert_eq!(diags[0].line, 9, "span must point at SystemTime::now");
+}
+
+#[test]
+fn clean_fixture_has_zero_false_positives() {
+    let diags = check_source("crates/core/src/fixture_clean.rs", include_str!("fixtures/clean.rs"));
+    assert!(diags.is_empty(), "false positives: {diags:?}");
+}
+
+#[test]
+fn json_report_shape() {
+    let diags = check_source("crates/core/src/fixture_l2.rs", include_str!("fixtures/l2.rs"));
+    let json = xtask::diagnostics::to_json(&diags);
+    assert!(json.contains("\"lint\": \"L2\""));
+    assert!(json.contains("\"ok\": false"));
+    assert!(xtask::diagnostics::to_json(&[]).contains("\"ok\": true"));
+}
+
+/// The live workspace must pass its own gate: `cargo xtask check` with
+/// zero violations and zero undocumented suppressions. This makes the
+/// invariants tier-1-enforced even without the CI job.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let diags = xtask::check_workspace(root).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "workspace lint violations:\n{}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -15,6 +15,9 @@
 //! [`baselines`] (NetSMF / ProNE+ / NetMF / DeepWalk-SGD) and
 //! [`eval`] (classification & link-prediction harness).
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cli;
 
 pub use lightne_baselines as baselines;

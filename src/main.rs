@@ -38,6 +38,9 @@
 //! arms deterministic fault injection for crash testing; actions are
 //! `io-error`, `truncate:N`, `bitflip:SEED`, and `panic`.
 
+#![forbid(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

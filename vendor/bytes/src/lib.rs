@@ -4,6 +4,8 @@
 //! traits. Reads advance the slice cursor exactly like the real crate and
 //! panic on underflow (the caller checks `remaining()` first).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 /// Cursor-style reads from a byte source.
 pub trait Buf {
     fn remaining(&self) -> usize;

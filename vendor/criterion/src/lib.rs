@@ -4,6 +4,8 @@
 //! and prints the mean wall-clock duration — enough to keep `cargo bench`
 //! useful for coarse comparisons without any external dependencies.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::fmt::Display;
 use std::time::Instant;
 

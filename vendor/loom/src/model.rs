@@ -1,0 +1,71 @@
+//! Model entry points: [`model`] and [`Builder`].
+
+use std::sync::Arc;
+
+use crate::rt;
+
+/// Default cap on explored executions; a guard against schedule-space
+/// blowup, not a tuning knob. Override with `LOOM_MAX_ITERATIONS`.
+const DEFAULT_MAX_ITERATIONS: u64 = 500_000;
+
+/// Configures and runs an exploration.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum number of preemptive context switches per execution
+    /// (CHESS-style bound). `None` explores every interleaving. The
+    /// `LOOM_MAX_PREEMPTIONS` environment variable overrides this.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on the number of executions; exceeding it panics. The
+    /// `LOOM_MAX_ITERATIONS` environment variable overrides this.
+    pub max_iterations: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    /// A builder with exhaustive exploration and the default iteration cap.
+    pub fn new() -> Self {
+        Self { preemption_bound: None, max_iterations: DEFAULT_MAX_ITERATIONS }
+    }
+
+    /// Sets the preemption bound (see [`Builder::preemption_bound`]).
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = Some(bound);
+        self
+    }
+
+    /// Explores every schedule of `f` permitted by the configuration,
+    /// panicking on the first failing execution with the schedule that
+    /// produced it. Prints a one-line summary on success.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let bound = match std::env::var("LOOM_MAX_PREEMPTIONS") {
+            Ok(v) => v.parse::<usize>().ok(),
+            Err(_) => self.preemption_bound,
+        };
+        let max_iterations = std::env::var("LOOM_MAX_ITERATIONS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(self.max_iterations);
+        let stats = rt::explore(Arc::new(f), bound, max_iterations);
+        eprintln!(
+            "loom: explored {} interleavings (preemption bound {:?}) without failures",
+            stats.executions, bound
+        );
+    }
+}
+
+/// Explores every interleaving of `f` (unbounded preemptions), panicking
+/// on the first failing execution.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}

@@ -1,0 +1,513 @@
+//! The cooperative scheduler and schedule explorer.
+//!
+//! One model *execution* runs the user closure with every registered thread
+//! mapped onto a real OS thread, but only one thread is ever runnable at a
+//! time: each shim operation (atomic access, lock acquire/release, spawn,
+//! join) is a *yield point* that hands control back to the scheduler, which
+//! picks the next thread to run. The sequence of picks is the *schedule*.
+//!
+//! Exploration is a depth-first search over schedules: an execution records
+//! every choice point (the set of runnable threads and the thread chosen);
+//! after the execution finishes, the deepest choice point with an untried
+//! alternative is advanced and the prefix is replayed. Replay is exact
+//! because model bodies must be deterministic apart from scheduling.
+//!
+//! With `preemption_bound = None` the search is exhaustive over all
+//! interleavings. With `Some(p)` it is bounded-exhaustive in the CHESS
+//! sense: all schedules with at most `p` preemptive context switches (a
+//! switch away from a thread that could have continued). Empirically most
+//! concurrency bugs manifest within two preemptions, which keeps larger
+//! models tractable.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::sync::{Arc, Condvar, Mutex};
+
+// Thread-local identity of a model thread: which scheduler it belongs to
+// and its thread id within the model.
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Returns the scheduler context of the current thread, if it is a model
+/// thread.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_current(ctx: Option<(Arc<Scheduler>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (another thread failed an assertion or a deadlock was detected). The
+/// thread wrapper recognises it and does not treat it as a model failure.
+pub(crate) struct LoomAbort;
+
+fn abort_unwind() -> ! {
+    std::panic::panic_any(LoomAbort)
+}
+
+/// What a blocked thread is waiting for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BlockOn {
+    /// A reader/writer lock, by lock id.
+    Lock(usize),
+    /// Another thread finishing, by thread id.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TStatus {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+/// One recorded scheduling decision.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    /// Threads that were runnable at this point (ascending).
+    runnable: Vec<usize>,
+    /// Thread that was scheduled.
+    chosen: usize,
+    /// Thread that was running immediately before this choice (`None` when
+    /// it blocked or finished and could not have continued).
+    prev: Option<usize>,
+}
+
+impl Choice {
+    /// Candidate order at this choice point: the previously running thread
+    /// first (a non-preemptive continuation), then the rest ascending.
+    fn candidates(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.runnable.len());
+        if let Some(p) = self.prev {
+            if self.runnable.contains(&p) {
+                order.push(p);
+            }
+        }
+        for &t in &self.runnable {
+            if Some(t) != self.prev {
+                order.push(t);
+            }
+        }
+        order
+    }
+
+    /// Whether scheduling `cand` here would be a preemption: the previous
+    /// thread could have continued but `cand` is a different thread.
+    fn is_preemptive(&self, cand: usize) -> bool {
+        match self.prev {
+            Some(p) => p != cand && self.runnable.contains(&p),
+            None => false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct RwState {
+    readers: usize,
+    writer: bool,
+}
+
+struct State {
+    status: Vec<TStatus>,
+    /// Currently scheduled thread. `None` once every thread has finished
+    /// (or before the first pick).
+    active: Option<usize>,
+    /// Schedule prefix to replay, as chosen thread ids.
+    replay: Vec<usize>,
+    /// Position within the schedule (replayed + freshly chosen).
+    step: usize,
+    /// Every decision made this execution.
+    trace: Vec<Choice>,
+    /// Reader/writer state per registered lock.
+    locks: Vec<RwState>,
+    /// Set once a failure is detected; triggers the abort protocol.
+    failure: Option<String>,
+    aborting: bool,
+    finished_count: usize,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    pub(crate) fn new(replay: Vec<usize>) -> Self {
+        Self {
+            state: Mutex::new(State {
+                status: Vec::new(),
+                active: None,
+                replay,
+                step: 0,
+                trace: Vec::new(),
+                locks: Vec::new(),
+                failure: None,
+                aborting: false,
+                finished_count: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Registers a new model thread, returning its id. The thread starts
+    /// runnable but does not run until the scheduler picks it.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.status.push(TStatus::Runnable);
+        st.status.len() - 1
+    }
+
+    /// Registers a new lock, returning its id.
+    pub(crate) fn register_lock(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.locks.push(RwState::default());
+        st.locks.len() - 1
+    }
+
+    /// Picks the next thread to run. Must be called with the state lock
+    /// held. `cur` is the thread that was running and is still runnable
+    /// (`None` if it blocked or finished).
+    fn pick_next(&self, st: &mut State, cur: Option<usize>) {
+        if st.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable: Vec<usize> =
+            (0..st.status.len()).filter(|&t| st.status[t] == TStatus::Runnable).collect();
+        if runnable.is_empty() {
+            if st.finished_count == st.status.len() {
+                // Execution complete.
+                st.active = None;
+                self.cv.notify_all();
+                return;
+            }
+            self.fail(st, "deadlock: every live thread is blocked".to_string());
+            return;
+        }
+        let chosen = if st.step < st.replay.len() {
+            let c = st.replay[st.step];
+            assert!(
+                runnable.contains(&c),
+                "loom: schedule replay diverged (thread {c} not runnable); \
+                 model bodies must be deterministic apart from scheduling"
+            );
+            c
+        } else {
+            // Default policy must match `Choice::candidates` order.
+            match cur {
+                Some(p) if runnable.contains(&p) => p,
+                _ => runnable[0],
+            }
+        };
+        st.trace.push(Choice { runnable, chosen, prev: cur });
+        st.step += 1;
+        st.active = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// Marks the execution failed and unparks every thread so it can
+    /// unwind with [`LoomAbort`].
+    fn fail(&self, st: &mut State, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.aborting = true;
+        st.active = None;
+        self.cv.notify_all();
+    }
+
+    /// Blocks until this thread is scheduled. Must be called with the
+    /// state lock held; returns with the lock held.
+    fn wait_scheduled<'a>(
+        &self,
+        mut st: std::sync::MutexGuard<'a, State>,
+        me: usize,
+    ) -> std::sync::MutexGuard<'a, State> {
+        while st.active != Some(me) {
+            if st.aborting {
+                drop(st);
+                abort_unwind();
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+        st
+    }
+
+    /// A plain yield point: offer the scheduler a chance to switch.
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.aborting {
+            drop(st);
+            abort_unwind();
+        }
+        self.pick_next(&mut st, Some(me));
+        let _st = self.wait_scheduled(st, me);
+    }
+
+    /// First wait of a freshly spawned thread: parks until the scheduler
+    /// picks it for the first time.
+    pub(crate) fn wait_first_schedule(&self, me: usize) {
+        let st = self.state.lock().unwrap();
+        let _st = self.wait_scheduled(st, me);
+    }
+
+    /// Marks `me` finished and schedules someone else. Wakes any joiners.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.status[me] = TStatus::Finished;
+        st.finished_count += 1;
+        for t in 0..st.status.len() {
+            if st.status[t] == TStatus::Blocked(BlockOn::Join(me)) {
+                st.status[t] = TStatus::Runnable;
+            }
+        }
+        if st.aborting {
+            // Teardown: just record the finish; pick_next would be a no-op.
+            if st.finished_count == st.status.len() {
+                st.active = None;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st, None);
+    }
+
+    /// Records a model-thread panic as the execution failure.
+    pub(crate) fn thread_panicked(&self, me: usize, msg: String) {
+        let mut st = self.state.lock().unwrap();
+        let msg = format!("thread {me} panicked: {msg}");
+        self.fail(&mut st, msg);
+    }
+
+    /// Blocks `me` until thread `tid` finishes.
+    pub(crate) fn join_wait(&self, me: usize, tid: usize) {
+        self.yield_point(me);
+        let mut st = self.state.lock().unwrap();
+        if st.aborting {
+            drop(st);
+            abort_unwind();
+        }
+        if st.status[tid] != TStatus::Finished {
+            st.status[me] = TStatus::Blocked(BlockOn::Join(tid));
+            self.pick_next(&mut st, None);
+            let _st = self.wait_scheduled(st, me);
+        }
+    }
+
+    /// Acquires lock `id` in shared (read) mode.
+    pub(crate) fn rw_read_acquire(&self, me: usize, id: usize) {
+        self.yield_point(me);
+        loop {
+            let mut st = self.state.lock().unwrap();
+            if st.aborting {
+                drop(st);
+                abort_unwind();
+            }
+            if !st.locks[id].writer {
+                st.locks[id].readers += 1;
+                return;
+            }
+            st.status[me] = TStatus::Blocked(BlockOn::Lock(id));
+            self.pick_next(&mut st, None);
+            let _st = self.wait_scheduled(st, me);
+            // Scheduled again after a release: retry the acquire.
+        }
+    }
+
+    /// Acquires lock `id` in exclusive (write) mode.
+    pub(crate) fn rw_write_acquire(&self, me: usize, id: usize) {
+        self.yield_point(me);
+        loop {
+            let mut st = self.state.lock().unwrap();
+            if st.aborting {
+                drop(st);
+                abort_unwind();
+            }
+            if !st.locks[id].writer && st.locks[id].readers == 0 {
+                st.locks[id].writer = true;
+                return;
+            }
+            st.status[me] = TStatus::Blocked(BlockOn::Lock(id));
+            self.pick_next(&mut st, None);
+            let _st = self.wait_scheduled(st, me);
+        }
+    }
+
+    /// Releases a shared hold of lock `id`.
+    pub(crate) fn rw_read_release(&self, me: usize, id: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.locks[id].readers -= 1;
+        if st.locks[id].readers == 0 {
+            Self::wake_lock_waiters(&mut st, id);
+        }
+        if st.aborting {
+            // Unwinding guard drop: do not reschedule.
+            return;
+        }
+        self.pick_next(&mut st, Some(me));
+        let _st = self.wait_scheduled(st, me);
+    }
+
+    /// Releases the exclusive hold of lock `id`.
+    pub(crate) fn rw_write_release(&self, me: usize, id: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.locks[id].writer = false;
+        Self::wake_lock_waiters(&mut st, id);
+        if st.aborting {
+            return;
+        }
+        self.pick_next(&mut st, Some(me));
+        let _st = self.wait_scheduled(st, me);
+    }
+
+    fn wake_lock_waiters(st: &mut State, id: usize) {
+        for t in 0..st.status.len() {
+            if st.status[t] == TStatus::Blocked(BlockOn::Lock(id)) {
+                st.status[t] = TStatus::Runnable;
+            }
+        }
+    }
+
+    /// Blocks the model driver until every thread has finished, then
+    /// returns the recorded trace and failure (if any).
+    fn wait_all_finished(&self) -> (Vec<Choice>, Option<String>) {
+        let mut st = self.state.lock().unwrap();
+        while st.finished_count != st.status.len() {
+            st = self.cv.wait(st).unwrap();
+        }
+        (std::mem::take(&mut st.trace), st.failure.take())
+    }
+}
+
+/// Number of preemptions in a choice prefix.
+fn preemptions(prefix: &[Choice]) -> usize {
+    prefix.iter().filter(|c| c.is_preemptive(c.chosen)).count()
+}
+
+/// Computes the next schedule to explore after an execution recorded
+/// `trace`, or `None` when the search space is exhausted.
+fn next_replay(mut trace: Vec<Choice>, bound: Option<usize>) -> Option<Vec<usize>> {
+    loop {
+        let last = trace.pop()?;
+        let used = preemptions(&trace);
+        let order = last.candidates();
+        let cur_pos = order.iter().position(|&t| t == last.chosen).expect("chosen in candidates");
+        for &cand in &order[cur_pos + 1..] {
+            let cost = usize::from(last.is_preemptive(cand));
+            if bound.is_none_or(|b| used + cost <= b) {
+                let mut replay: Vec<usize> = trace.iter().map(|c| c.chosen).collect();
+                replay.push(cand);
+                return Some(replay);
+            }
+        }
+    }
+}
+
+/// Outcome of a full exploration.
+pub(crate) struct Exploration {
+    pub executions: u64,
+}
+
+/// Runs `f` once under `sched` as model thread 0 and waits for every model
+/// thread to finish.
+fn run_once(
+    sched: &Arc<Scheduler>,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> (Vec<Choice>, Option<String>) {
+    let root = sched.register_thread();
+    debug_assert_eq!(root, 0);
+    {
+        let sched = Arc::clone(sched);
+        std::thread::spawn(move || {
+            run_thread(sched, root, move || f());
+        });
+    }
+    {
+        let mut st = sched.state.lock().unwrap();
+        sched.pick_next(&mut st, None);
+    }
+    sched.wait_all_finished()
+}
+
+/// Body of every model thread (root and spawned): installs the scheduler
+/// context, waits to be scheduled, runs `f`, and reports the outcome.
+/// Returns `f`'s result when it ran to completion.
+pub(crate) fn run_thread<T>(sched: Arc<Scheduler>, me: usize, f: impl FnOnce() -> T) -> Option<T> {
+    set_current(Some((Arc::clone(&sched), me)));
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sched.wait_first_schedule(me);
+        f()
+    }));
+    set_current(None);
+    let value = match out {
+        Ok(v) => Some(v),
+        Err(payload) => {
+            if payload.downcast_ref::<LoomAbort>().is_none() {
+                let msg = panic_message(&payload);
+                sched.thread_panicked(me, msg);
+            }
+            None
+        }
+    };
+    sched.finish(me);
+    value
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Explores every schedule of `f` (subject to `bound`), panicking on the
+/// first failing execution with a replayable description of its schedule.
+pub(crate) fn explore(
+    f: Arc<dyn Fn() + Send + Sync>,
+    bound: Option<usize>,
+    max_iterations: u64,
+) -> Exploration {
+    // Suppress the default panic hook while model threads run: expected
+    // assertion failures inside candidate interleavings would otherwise
+    // spam stderr once per failing execution.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut replay: Vec<usize> = Vec::new();
+    let mut executions: u64 = 0;
+    let result = loop {
+        executions += 1;
+        if executions > max_iterations {
+            break Err(format!(
+                "exceeded {max_iterations} executions without exhausting the schedule space; \
+                 shrink the model, set a preemption bound, or raise LOOM_MAX_ITERATIONS"
+            ));
+        }
+        let sched = Arc::new(Scheduler::new(replay.clone()));
+        let (trace, failure) = run_once(&sched, Arc::clone(&f));
+        if let Some(msg) = failure {
+            let sched_desc: Vec<usize> = trace.iter().map(|c| c.chosen).collect();
+            let threads: BTreeSet<usize> = sched_desc.iter().copied().collect();
+            break Err(format!(
+                "model failed on execution {executions}: {msg}\n  \
+                 threads: {threads:?}\n  schedule (thread ids in scheduling order): {sched_desc:?}"
+            ));
+        }
+        match next_replay(trace, bound) {
+            Some(r) => replay = r,
+            None => break Ok(()),
+        }
+    };
+
+    std::panic::set_hook(prev_hook);
+    if let Err(msg) = result {
+        panic!("loom: {msg}");
+    }
+    Exploration { executions }
+}

@@ -1,0 +1,230 @@
+//! Shimmed `loom::sync`: model-aware atomics and a reader/writer lock.
+
+pub use std::sync::Arc;
+
+/// Model-aware atomic integers.
+///
+/// Each operation is a scheduler yield point when called from a model
+/// thread; outside a model the operation simply passes through to the
+/// underlying `std` atomic. Memory-ordering arguments are accepted for API
+/// compatibility but every operation runs with `SeqCst` semantics — the
+/// explorer is sequentially consistent (see the crate docs).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    use crate::rt;
+
+    #[inline]
+    fn yield_point() {
+        if let Some((sched, me)) = rt::current() {
+            sched.yield_point(me);
+        }
+    }
+
+    macro_rules! shim_atomic {
+        ($name:ident, $std:ty, $val:ty) => {
+            /// Model-aware atomic (see module docs).
+            #[derive(Debug, Default)]
+            pub struct $name($std);
+
+            impl $name {
+                /// Creates a new atomic. Not a yield point: construction is
+                /// not a shared-memory access.
+                pub fn new(v: $val) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                /// Atomic load (yield point).
+                pub fn load(&self, _order: Ordering) -> $val {
+                    yield_point();
+                    self.0.load(SeqCst)
+                }
+
+                /// Atomic store (yield point).
+                pub fn store(&self, v: $val, _order: Ordering) {
+                    yield_point();
+                    self.0.store(v, SeqCst)
+                }
+
+                /// Atomic fetch-add (yield point).
+                pub fn fetch_add(&self, v: $val, _order: Ordering) -> $val {
+                    yield_point();
+                    self.0.fetch_add(v, SeqCst)
+                }
+
+                /// Atomic compare-exchange (yield point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $val,
+                    new: $val,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$val, $val> {
+                    yield_point();
+                    self.0.compare_exchange(current, new, SeqCst, SeqCst)
+                }
+
+                /// Atomic compare-exchange-weak. The shim never fails
+                /// spuriously (yield point).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $val,
+                    new: $val,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$val, $val> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Consumes the atomic, returning the value (not a yield
+                /// point: requires exclusive ownership).
+                pub fn into_inner(self) -> $val {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    shim_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    /// Model-aware atomic boolean (see module docs).
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        /// Creates a new atomic boolean.
+        pub fn new(v: bool) -> Self {
+            Self(std::sync::atomic::AtomicBool::new(v))
+        }
+
+        /// Atomic load (yield point).
+        pub fn load(&self, _order: Ordering) -> bool {
+            yield_point();
+            self.0.load(SeqCst)
+        }
+
+        /// Atomic store (yield point).
+        pub fn store(&self, v: bool, _order: Ordering) {
+            yield_point();
+            self.0.store(v, SeqCst)
+        }
+    }
+}
+
+use std::cell::UnsafeCell;
+use std::sync::OnceLock;
+
+use crate::rt;
+
+/// A model-aware reader/writer lock with the `parking_lot` guard API
+/// (`read()` / `write()` return guards directly, `into_inner` returns `T`).
+///
+/// Only usable from inside [`crate::model`]: the lock state lives in the
+/// scheduler, every acquire/release is an exploration choice point, and
+/// contended acquires deschedule the thread until a release wakes it.
+#[derive(Debug)]
+pub struct RwLock<T> {
+    id: OnceLock<usize>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: the scheduler runs at most one model thread at any instant and a
+// thread only touches `data` while holding the logical lock recorded in the
+// scheduler (shared for readers, exclusive for the writer), so all access
+// to the `UnsafeCell` follows the usual RwLock aliasing discipline. `T:
+// Send + Sync` bounds mirror `std::sync::RwLock`.
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+// SAFETY: sending the lock sends the owned `T`; same bound as std.
+unsafe impl<T: Send> Send for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock. Registration with the scheduler is deferred to
+    /// the first acquire so construction outside a model is allowed.
+    pub fn new(t: T) -> Self {
+        Self { id: OnceLock::new(), data: UnsafeCell::new(t) }
+    }
+
+    fn ctx(&self) -> (std::sync::Arc<rt::Scheduler>, usize, usize) {
+        let (sched, me) =
+            rt::current().expect("loom::sync::RwLock may only be locked inside loom::model");
+        let id = *self.id.get_or_init(|| sched.register_lock());
+        (sched, me, id)
+    }
+
+    /// Acquires shared access, blocking (descheduling) while a writer
+    /// holds the lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let (sched, me, id) = self.ctx();
+        sched.rw_read_acquire(me, id);
+        RwLockReadGuard { lock: self, sched, me, id }
+    }
+
+    /// Acquires exclusive access, blocking (descheduling) while any other
+    /// hold exists.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let (sched, me, id) = self.ctx();
+        sched.rw_write_acquire(me, id);
+        RwLockWriteGuard { lock: self, sched, me, id }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+/// Shared-access guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    sched: std::sync::Arc<rt::Scheduler>,
+    me: usize,
+    id: usize,
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds a shared acquisition recorded in the
+        // scheduler, so no writer can hold the lock concurrently.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.sched.rw_read_release(self.me, self.id);
+    }
+}
+
+/// Exclusive-access guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    sched: std::sync::Arc<rt::Scheduler>,
+    me: usize,
+    id: usize,
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the exclusive acquisition recorded in
+        // the scheduler.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref`; exclusivity makes `&mut` sound.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.sched.rw_write_release(self.me, self.id);
+    }
+}

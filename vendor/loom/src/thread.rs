@@ -1,0 +1,66 @@
+//! Shimmed `loom::thread`: spawn/join that the scheduler controls.
+
+use std::sync::Arc;
+
+use crate::rt;
+
+/// Handle to a spawned model thread (or a plain `std` thread when called
+/// outside a model).
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<Option<T>>,
+    /// Model-thread id; `None` when spawned outside a model.
+    tid: Option<usize>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Inside a
+    /// model this deschedules the caller until the target finishes.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(tid) = self.tid {
+            let (sched, me) =
+                rt::current().expect("loom JoinHandle::join outside the owning model");
+            sched.join_wait(me, tid);
+        }
+        match self.inner.join() {
+            // `None` means the thread unwound (its panic was recorded with
+            // the scheduler as the execution failure, or it aborted); any
+            // payload here is synthesized for the caller.
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(Box::new("loom model thread did not complete")),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model the thread is registered with the
+/// scheduler and runs only when scheduled; outside a model this is a plain
+/// `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        Some((sched, me)) => {
+            let tid = sched.register_thread();
+            let child_sched = Arc::clone(&sched);
+            let inner = std::thread::spawn(move || rt::run_thread(child_sched, tid, f));
+            // Offer the scheduler a chance to run the child right away.
+            sched.yield_point(me);
+            JoinHandle { inner, tid: Some(tid) }
+        }
+        None => {
+            let inner = std::thread::spawn(move || Some(f()));
+            JoinHandle { inner, tid: None }
+        }
+    }
+}
+
+/// Yield point without a memory access (maps to a scheduler switch inside
+/// a model, `std::thread::yield_now` outside).
+pub fn yield_now() {
+    match rt::current() {
+        Some((sched, me)) => sched.yield_point(me),
+        None => std::thread::yield_now(),
+    }
+}

@@ -3,6 +3,8 @@
 //! backed by `std::sync`. A poisoned std lock is recovered rather than
 //! propagated, matching parking_lot's no-poisoning semantics.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
 pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
 pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;

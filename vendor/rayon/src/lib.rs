@@ -23,6 +23,8 @@
 //! this for the `--threads` CLI flag and the thread-count determinism
 //! tests.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
