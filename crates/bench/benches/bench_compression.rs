@@ -1,13 +1,16 @@
-//! Micro-benchmarks of the parallel-byte compressed format (Section 4.1).
+//! Micro-benchmarks of the parallel-byte compressed format (Section 4.1)
+//! and the v2 bit-granular container.
 //!
 //! Reproduces the block-size trade-off the paper evaluated before picking
 //! 64: smaller blocks fetch an arbitrary incident edge faster (less to
 //! decode) but compress worse; larger blocks compress better but slow the
-//! random walks. Also reports encode/decode throughput.
+//! random walks. Also reports encode/decode throughput, and the same
+//! decode paths through v2 containers per codec so a codec change shows
+//! up next to the v1 numbers it must compete with.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lightne_gen::generators::chung_lu;
-use lightne_graph::CompressedGraph;
+use lightne_graph::{Codec, CompressedGraph, V2Graph};
 use lightne_utils::rng::XorShiftStream;
 use std::hint::black_box;
 
@@ -70,5 +73,67 @@ fn bench_encode_decode(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_block_size_tradeoff, bench_encode_decode);
+fn bench_v2_codecs(c: &mut Criterion) {
+    let g = chung_lu(20_000, 400_000, 2.3, 2);
+    let codecs = [Codec::Gamma, Codec::Zeta(3), Codec::Rice(10), Codec::RiceAdaptive];
+
+    let mut group = c.benchmark_group("v2_decode_all_neighbors");
+    group.sample_size(10);
+    for codec in codecs {
+        let v2 = V2Graph::from_graph(&g, codec);
+        eprintln!(
+            "v2/{}: container {} bytes ({:.3} bits/edge)",
+            codec.name(),
+            v2.container_bytes(),
+            v2.container_bytes() as f64 * 8.0 / g.num_arcs() as f64
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(codec.name()), &v2, |b, v2| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for v in 0..v2.num_vertices() as u32 {
+                    v2.try_for_each_neighbor(v, &mut |u| acc = acc.wrapping_add(u as u64)).unwrap();
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("v2_ith_neighbor");
+    group.sample_size(20);
+    for codec in codecs {
+        let v2 = V2Graph::from_graph(&g, codec);
+        group.bench_with_input(BenchmarkId::from_parameter(codec.name()), &v2, |b, v2| {
+            let mut rng = XorShiftStream::new(3, 0);
+            b.iter(|| {
+                let v = rng.bounded_usize(20_000) as u32;
+                let d = v2.degree(v);
+                if d > 0 {
+                    black_box(v2.try_ith_neighbor(v, rng.bounded_usize(d)).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_v2_encode(c: &mut Criterion) {
+    let g = chung_lu(20_000, 400_000, 2.3, 2);
+    let mut group = c.benchmark_group("v2_encode_full_graph");
+    group.sample_size(10);
+    for codec in [Codec::Zeta(3), Codec::RiceAdaptive] {
+        group.bench_with_input(BenchmarkId::from_parameter(codec.name()), &codec, |b, &codec| {
+            b.iter(|| black_box(V2Graph::from_graph(&g, codec)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_block_size_tradeoff,
+    bench_encode_decode,
+    bench_v2_codecs,
+    bench_v2_encode
+);
 criterion_main!(benches);

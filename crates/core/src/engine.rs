@@ -458,6 +458,17 @@ pub trait PipelineSource {
         false
     }
 
+    /// Resident heap bytes of the source graph itself. Memory-mapped
+    /// sources return 0 — their payload lives in the page cache, not on
+    /// the heap — which is exactly what the out-of-core memory gate
+    /// measures. Folded into the sparsify stage's peak (the graph is
+    /// resident for the whole run; the sparsifier stage is where it
+    /// coexists with the largest transient structure) and reported as
+    /// the `graph_bytes` counter.
+    fn graph_resident_bytes(&self) -> usize {
+        0
+    }
+
     /// Total PathSampling trials for a configuration (`M = ratio·T·m`).
     fn total_samples(&self, cfg: &LightNeConfig) -> u64 {
         let m = (cfg.sample_ratio * cfg.window as f64 * self.num_edges() as f64).round() as u64;
@@ -739,7 +750,8 @@ pub fn run_pipeline<S: PipelineSource>(
         scope.counter("trials", stats.trials);
         scope.counter("kept", stats.kept);
         scope.counter("distinct_entries", stats.distinct_entries as u64);
-        scope.heap_bytes(stats.aggregator_bytes);
+        scope.counter("graph_bytes", src.graph_resident_bytes() as u64);
+        scope.heap_bytes(stats.aggregator_bytes + src.graph_resident_bytes());
         Ok((payload, stats))
     })?;
     meta.trials = sampler.trials;

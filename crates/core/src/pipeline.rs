@@ -171,6 +171,10 @@ impl<G: GraphOps> PipelineSource for UnweightedSource<'_, G> {
         self.0.num_edges()
     }
 
+    fn graph_resident_bytes(&self) -> usize {
+        self.0.resident_bytes()
+    }
+
     fn sparsify(&self, cfg: &SamplerConfig) -> SparsifierOutput {
         build_sparsifier(self.0, cfg)
     }
@@ -212,6 +216,11 @@ impl PipelineSource for WeightedSource<'_> {
 
     fn is_weighted(&self) -> bool {
         true
+    }
+
+    fn graph_resident_bytes(&self) -> usize {
+        use lightne_utils::mem::MemUsage;
+        self.0.heap_bytes()
     }
 
     fn sparsify(&self, cfg: &SamplerConfig) -> SparsifierOutput {

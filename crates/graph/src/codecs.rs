@@ -1,0 +1,869 @@
+//! Bit-granular instantaneous codes (WebGraph's γ/δ/ζ family).
+//!
+//! The v1 parallel-byte format spends a minimum of 8 bits per gap because
+//! LEB128 varints are byte-aligned. The codes here are *bit*-aligned
+//! prefix-free codes over the naturals, the toolbox BVGraph-class
+//! compression is built from:
+//!
+//! * **unary** — `x` zeros then a one; optimal for geometric gaps with
+//!   p = 1/2 (degenerate, but the building block of everything below).
+//! * **γ (gamma)** — `⌊log₂(x+1)⌋` in unary, then the mantissa bits;
+//!   `2⌊log₂(x+1)⌋ + 1` bits, optimal for power laws with exponent ≈ 2.
+//! * **δ (delta)** — like γ but the length field is itself γ-coded;
+//!   asymptotically shorter for large values.
+//! * **ζ(k) (zeta)** — Boldi–Vigna's code tuned for the power-law gap
+//!   distributions of web/social graphs: the exponent is coded in unary
+//!   base `2^k`, the remainder in minimal (truncated) binary. `ζ(1) = γ`.
+//!
+//! All codes are MSB-first within the byte stream. Every reader method is
+//! bounds-checked and returns a typed [`GraphFormatError`] on truncated or
+//! malformed input — a prerequisite for decoding hostile memory-mapped
+//! bytes — while staying branch-light enough for the decode hot path.
+
+use crate::error::GraphFormatError;
+
+/// Maximum bits a single `write_bits`/`read_bits` call may move. 57 keeps
+/// the accumulator arithmetic overflow-free for any `(pending, n)` pair.
+pub const MAX_BITS: u32 = 57;
+
+/// An MSB-first bit sink backed by a `Vec<u8>`.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits not yet flushed, right-aligned in the low `pending` bits.
+    acc: u64,
+    pending: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bits written so far.
+    #[inline]
+    pub fn len_bits(&self) -> u64 {
+        self.bytes.len() as u64 * 8 + self.pending as u64
+    }
+
+    /// Appends the low `n` bits of `v`, most significant first. `n` may be
+    /// 0 (no-op) and at most [`MAX_BITS`].
+    #[inline]
+    pub fn write_bits(&mut self, v: u64, n: u32) {
+        debug_assert!(n <= MAX_BITS, "write_bits of {n} bits");
+        debug_assert!(n == 64 || v < (1u64 << n), "value {v} wider than {n} bits");
+        if n == 0 {
+            return;
+        }
+        self.acc = (self.acc << n) | v;
+        self.pending += n;
+        while self.pending >= 8 {
+            self.pending -= 8;
+            self.bytes.push((self.acc >> self.pending) as u8);
+        }
+    }
+
+    /// Appends `x` in unary: `x` zeros followed by a one.
+    #[inline]
+    pub fn write_unary(&mut self, mut x: u64) {
+        while x >= MAX_BITS as u64 {
+            self.write_bits(0, MAX_BITS);
+            x -= MAX_BITS as u64;
+        }
+        self.write_bits(1, x as u32 + 1);
+    }
+
+    /// Appends `x` in γ code.
+    #[inline]
+    pub fn write_gamma(&mut self, x: u64) {
+        let z = x + 1; // x == u64::MAX is rejected by debug_assert below
+        debug_assert!(z != 0, "gamma cannot encode u64::MAX");
+        let h = 63 - z.leading_zeros(); // ⌊log₂ z⌋
+        self.write_unary(h as u64);
+        self.write_long_bits(z & !(1u64 << h), h);
+    }
+
+    /// Appends `x` in δ code.
+    #[inline]
+    pub fn write_delta(&mut self, x: u64) {
+        let z = x + 1;
+        debug_assert!(z != 0, "delta cannot encode u64::MAX");
+        let h = 63 - z.leading_zeros();
+        self.write_gamma(h as u64);
+        self.write_long_bits(z & !(1u64 << h), h);
+    }
+
+    /// Appends `x` in ζ(k) code (`k ≥ 1`).
+    pub fn write_zeta(&mut self, x: u64, k: u32) {
+        debug_assert!(k >= 1, "zeta requires k >= 1");
+        let z = x + 1;
+        debug_assert!(z != 0, "zeta cannot encode u64::MAX");
+        let log = 63 - z.leading_zeros(); // ⌊log₂ z⌋
+        let h = log / k;
+        self.write_unary(h as u64);
+        // Interval [2^(hk), 2^((h+1)k)) has 2^(hk)·(2^k − 1) values;
+        // encode z − 2^(hk) in minimal binary over that interval size.
+        self.write_min_binary(z - (1u64 << (h * k)), zeta_span(h, k));
+    }
+
+    /// Appends `x` in Rice code with parameter `k`: the quotient `x >> k`
+    /// in unary, then the `k` low remainder bits. Optimal for geometric
+    /// gap distributions with mean ≈ 2^k — the shape uniformly random
+    /// neighbor sets produce — where the γ/δ/ζ family pays for a
+    /// heavy-tail assumption that never materializes.
+    #[inline]
+    pub fn write_rice(&mut self, x: u64, k: u32) {
+        debug_assert!(k <= MAX_BITS, "rice parameter {k} too large");
+        self.write_unary(x >> k);
+        self.write_long_bits(x & ((1u64 << k) - 1), k);
+    }
+
+    /// Minimal (truncated) binary code of `r ∈ [0, span)`.
+    fn write_min_binary(&mut self, r: u64, span: u64) {
+        debug_assert!(r < span);
+        if span <= 1 {
+            return;
+        }
+        let b = 64 - (span - 1).leading_zeros(); // ⌈log₂ span⌉, may be 64
+        let short = ((1u128 << b) - span as u128) as u64; // (b−1)-bit codewords
+        if r < short {
+            self.write_long_bits(r, b - 1);
+        } else {
+            self.write_long_bits(r + short, b);
+        }
+    }
+
+    /// `write_bits` without the [`MAX_BITS`] cap (splits the value).
+    fn write_long_bits(&mut self, v: u64, n: u32) {
+        if n > MAX_BITS {
+            self.write_bits(v >> MAX_BITS, n - MAX_BITS);
+            self.write_bits(v & ((1u64 << MAX_BITS) - 1), MAX_BITS);
+        } else {
+            self.write_bits(v, n);
+        }
+    }
+
+    /// Appends the first `nbits` bits of another (byte-padded) stream,
+    /// keeping this writer's bit alignment. Used to concatenate per-vertex
+    /// encodings produced in parallel into one arena without padding.
+    pub fn append(&mut self, bytes: &[u8], nbits: u64) {
+        debug_assert!(nbits <= bytes.len() as u64 * 8);
+        let mut r = BitReader::new(bytes, 0);
+        let mut left = nbits;
+        while left >= 32 {
+            // Infallible: nbits was checked against the slice length.
+            let v = r.read_bits(32).expect("append within bounds");
+            self.write_bits(v, 32);
+            left -= 32;
+        }
+        if left > 0 {
+            let v = r.read_bits(left as u32).expect("append within bounds");
+            self.write_bits(v, left as u32);
+        }
+    }
+
+    /// Finishes the stream, padding the final partial byte with zeros, and
+    /// returns the bytes.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        if self.pending > 0 {
+            let pad = 8 - self.pending;
+            self.acc <<= pad;
+            self.bytes.push(self.acc as u8);
+            self.pending = 0;
+        }
+        self.bytes
+    }
+}
+
+/// Size of the ζ(k) minimal-binary interval for unary exponent `h`,
+/// clamped so the top interval never exceeds the `u64` value domain
+/// (writer and reader must agree on the clamp for the code to round-trip).
+#[inline]
+fn zeta_span(h: u32, k: u32) -> u64 {
+    let base = 1u64 << (h * k);
+    let full = base as u128 * ((1u128 << k) - 1);
+    let cap = (u64::MAX - base) as u128 + 1;
+    full.min(cap) as u64
+}
+
+/// An MSB-first bounds-checked bit source over `&[u8]`.
+///
+/// The reader never indexes past the slice: every method returns
+/// [`GraphFormatError::Truncated`] when the stream ends mid-value, which
+/// is what makes it safe to point at untrusted (e.g. memory-mapped)
+/// bytes.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    /// Current position in bits from the start of `data`.
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader positioned at bit `pos` of `data`.
+    #[inline]
+    pub fn new(data: &'a [u8], pos: u64) -> Self {
+        Self { data, pos }
+    }
+
+    /// Current position in bits.
+    #[inline]
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Total bits available in the underlying slice.
+    #[inline]
+    pub fn len_bits(&self) -> u64 {
+        self.data.len() as u64 * 8
+    }
+
+    /// Fetches up to 57 bits starting at `self.pos` into the high-to-low
+    /// order of the return value *without* advancing. Bits past the end of
+    /// the slice read as zero; callers check the requested width against
+    /// [`BitReader::len_bits`] before trusting them.
+    #[inline]
+    fn peek(&self) -> u64 {
+        let byte = (self.pos / 8) as usize;
+        let shift = (self.pos % 8) as u32;
+        // Fast path: 8 whole bytes available.
+        let w = if byte + 8 <= self.data.len() {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(&self.data[byte..byte + 8]);
+            u64::from_be_bytes(a)
+        } else {
+            let mut a = [0u8; 8];
+            for (i, slot) in a.iter_mut().enumerate() {
+                *slot = self.data.get(byte + i).copied().unwrap_or(0);
+            }
+            u64::from_be_bytes(a)
+        };
+        // Drop the `shift` already-consumed bits of the first byte; the
+        // top 64 − shift bits of the result are valid stream bits.
+        w << shift
+    }
+
+    /// Reads `n ≤ 57` bits as an unsigned value.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Result<u64, GraphFormatError> {
+        debug_assert!(n <= MAX_BITS);
+        if n == 0 {
+            return Ok(0);
+        }
+        if self.pos + n as u64 > self.len_bits() {
+            return Err(GraphFormatError::Truncated { at_bit: self.pos });
+        }
+        let v = self.peek() >> (64 - n);
+        self.pos += n as u64;
+        Ok(v)
+    }
+
+    /// Reads an arbitrary-width (≤ 64) value, splitting long reads.
+    fn read_long_bits(&mut self, n: u32) -> Result<u64, GraphFormatError> {
+        if n > MAX_BITS {
+            let hi = self.read_bits(n - MAX_BITS)?;
+            let lo = self.read_bits(MAX_BITS)?;
+            Ok((hi << MAX_BITS) | lo)
+        } else {
+            self.read_bits(n)
+        }
+    }
+
+    /// Reads a unary value (count of zeros before the terminating one).
+    #[inline]
+    pub fn read_unary(&mut self) -> Result<u64, GraphFormatError> {
+        let mut x = 0u64;
+        loop {
+            if self.pos >= self.len_bits() {
+                return Err(GraphFormatError::Truncated { at_bit: self.pos });
+            }
+            let w = self.peek();
+            if w == 0 {
+                // All 64 peeked bits are zero: either a very long run or
+                // padding past the end. Advance by the valid bit count.
+                let valid = (self.len_bits() - self.pos).min(57);
+                x += valid;
+                self.pos += valid;
+                if x > u32::MAX as u64 {
+                    // A unary run longer than 2³² bits cannot occur in any
+                    // value this crate encodes; treat it as corruption
+                    // rather than spinning through gigabytes of zeros.
+                    return Err(GraphFormatError::Overflow { at_bit: self.pos });
+                }
+                continue;
+            }
+            let zeros = w.leading_zeros() as u64;
+            let remaining = self.len_bits() - self.pos;
+            if zeros >= remaining {
+                return Err(GraphFormatError::Truncated { at_bit: self.pos });
+            }
+            self.pos += zeros + 1;
+            return Ok(x + zeros);
+        }
+    }
+
+    /// Reads a γ-coded value.
+    ///
+    /// Fast path: the whole codeword (`2h + 1` bits) is extracted from a
+    /// single [`BitReader::peek`] window — one bounds check, one load —
+    /// which is what keeps bit-granular decoding competitive with the
+    /// byte-aligned v1 varints on the sequential scan.
+    #[inline]
+    pub fn read_gamma(&mut self) -> Result<u64, GraphFormatError> {
+        let w = self.peek();
+        let z = w.leading_zeros();
+        let need = 2 * z as u64 + 1;
+        if need <= MAX_BITS as u64 && self.pos + need <= self.len_bits() {
+            self.pos += need;
+            // Layout: z zeros, the leading 1, then z mantissa bits — the
+            // extracted word *is* `(1 << z) | mantissa`.
+            return Ok((w >> (64 - need)) - 1);
+        }
+        self.read_gamma_slow()
+    }
+
+    /// γ decode via the general unary/bits readers: long codewords and
+    /// end-of-stream handling.
+    fn read_gamma_slow(&mut self) -> Result<u64, GraphFormatError> {
+        let h = self.read_unary()?;
+        if h > 63 {
+            return Err(GraphFormatError::Overflow { at_bit: self.pos });
+        }
+        let mantissa = self.read_long_bits(h as u32)?;
+        Ok(((1u64 << h) | mantissa) - 1)
+    }
+
+    /// Reads a δ-coded value (single-peek fast path, as in
+    /// [`BitReader::read_gamma`]).
+    #[inline]
+    pub fn read_delta(&mut self) -> Result<u64, GraphFormatError> {
+        let w = self.peek();
+        let z = w.leading_zeros() as u64;
+        let gbits = 2 * z + 1;
+        if gbits < MAX_BITS as u64 {
+            let h = (w >> (64 - gbits)) - 1; // the γ-coded mantissa length
+            let need = gbits + h;
+            if need <= MAX_BITS as u64 && self.pos + need <= self.len_bits() {
+                self.pos += need;
+                let mantissa = if h == 0 { 0 } else { (w << gbits) >> (64 - h) };
+                return Ok(((1u64 << h) | mantissa) - 1);
+            }
+        }
+        self.read_delta_slow()
+    }
+
+    fn read_delta_slow(&mut self) -> Result<u64, GraphFormatError> {
+        let h = self.read_gamma()?;
+        if h > 63 {
+            return Err(GraphFormatError::Overflow { at_bit: self.pos });
+        }
+        let mantissa = self.read_long_bits(h as u32)?;
+        Ok(((1u64 << h) | mantissa) - 1)
+    }
+
+    /// Reads a ζ(k)-coded value (single-peek fast path for codewords that
+    /// fit one window, which is every gap below 2⁴⁰ even at `k = 8`).
+    #[inline]
+    pub fn read_zeta(&mut self, k: u32) -> Result<u64, GraphFormatError> {
+        debug_assert!(k >= 1);
+        let w = self.peek();
+        let h = w.leading_zeros();
+        if h * k + k <= 63 {
+            // Unclamped interval: span = 2^(hk)·(2^k − 1), so the long
+            // codeword is hk + k bits wide and `short` is exact.
+            let span = ((1u64 << k) - 1) << (h * k);
+            let base = 1u64 << (h * k);
+            if span <= 1 {
+                // k = 1, h = 0: the codeword is the lone terminator bit.
+                if self.pos < self.len_bits() {
+                    self.pos += 1;
+                    return Ok(base - 1);
+                }
+            } else {
+                let b = 64 - (span - 1).leading_zeros();
+                let need = (h + 1 + b) as u64;
+                if b >= 2 && need <= MAX_BITS as u64 && self.pos + need <= self.len_bits() {
+                    let short = (1u64 << b) - span;
+                    let body = w << (h + 1); // bits after the unary terminator
+                                             // Branchless short/long select: the two candidate
+                                             // codewords share their first b − 1 bits, so decode
+                                             // both and pick by the (data-dependent) comparison
+                                             // without a branch the predictor would miss on.
+                    let r_short = body >> (64 - (b - 1));
+                    let r_long = body >> (64 - b);
+                    let long = r_short >= short;
+                    let r = if long { r_long - short } else { r_short };
+                    self.pos += need - 1 + long as u64;
+                    return Ok(base + r - 1);
+                }
+                if need <= MAX_BITS as u64 && self.pos + need <= self.len_bits() {
+                    // b == 1: every codeword is the single long form.
+                    let body = w << (h + 1);
+                    self.pos += need;
+                    return Ok(base + (body >> 63) - (2 - span) - 1);
+                }
+            }
+        }
+        self.read_zeta_slow(k)
+    }
+
+    fn read_zeta_slow(&mut self, k: u32) -> Result<u64, GraphFormatError> {
+        let h = self.read_unary()?;
+        if h.saturating_mul(k as u64) > 63 {
+            return Err(GraphFormatError::Overflow { at_bit: self.pos });
+        }
+        let base = 1u64 << (h as u32 * k);
+        let r = self.read_min_binary(zeta_span(h as u32, k))?;
+        Ok(base + r - 1)
+    }
+
+    /// Reads a Rice-coded value with parameter `k` (single-peek fast
+    /// path: a leading-zero count and two shifts, the cheapest decode in
+    /// the family).
+    #[inline]
+    pub fn read_rice(&mut self, k: u32) -> Result<u64, GraphFormatError> {
+        debug_assert!(k <= MAX_BITS);
+        let w = self.peek();
+        let q = w.leading_zeros();
+        let need = q as u64 + 1 + k as u64;
+        if k >= 1 && need <= MAX_BITS as u64 && self.pos + need <= self.len_bits() {
+            self.pos += need;
+            let rem = (w << (q + 1)) >> (64 - k);
+            return Ok(((q as u64) << k) | rem);
+        }
+        self.read_rice_slow(k)
+    }
+
+    fn read_rice_slow(&mut self, k: u32) -> Result<u64, GraphFormatError> {
+        let q = self.read_unary()?;
+        if k > 0 && q > (u64::MAX >> k) {
+            return Err(GraphFormatError::Overflow { at_bit: self.pos });
+        }
+        let rem = self.read_long_bits(k)?;
+        Ok((q << k) | rem)
+    }
+
+    /// Reads a minimal (truncated) binary value over `span` codewords.
+    fn read_min_binary(&mut self, span: u64) -> Result<u64, GraphFormatError> {
+        if span <= 1 {
+            return Ok(0);
+        }
+        let b = 64 - (span - 1).leading_zeros();
+        let short = ((1u128 << b) - span as u128) as u64;
+        let hi = self.read_long_bits(b - 1)?;
+        if hi < short {
+            Ok(hi)
+        } else {
+            let low = self.read_bits(1)?;
+            Ok(((hi << 1) | low) - short)
+        }
+    }
+}
+
+/// Identifier of an instantaneous code, the per-container knob of the v2
+/// format. `Zeta(k)` is Boldi–Vigna's ζ_k; `Zeta(1)` coincides with γ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Unary code (diagnostic; impractically long for real gaps).
+    Unary,
+    /// Elias γ.
+    Gamma,
+    /// Elias δ.
+    Delta,
+    /// Boldi–Vigna ζ with shrinking factor `k ∈ [1, 8]`.
+    Zeta(u32),
+    /// Golomb–Rice with parameter `k ∈ [0, 31]`; `Rice(0)` is unary.
+    Rice(u32),
+    /// Golomb–Rice with the parameter re-chosen per unit and stored as a
+    /// 5-bit prefix: per block in v2 containers (where neighbor gaps
+    /// within a vertex share one parameter), per value in the standalone
+    /// [`Codec::encode`] convention.
+    RiceAdaptive,
+}
+
+/// Largest Rice parameter (fits the 5-bit adaptive prefix).
+pub const MAX_RICE_K: u32 = 31;
+
+/// The Rice parameter `k` minimizing `Σ ((x >> k) + 1 + k)` over
+/// `values` — the exact cost of Rice-coding all of them.
+pub fn best_rice_k(values: &[u64]) -> u32 {
+    let mut best_k = 0u32;
+    let mut best_cost = u64::MAX;
+    for k in 0..=MAX_RICE_K {
+        let mut cost = 0u64;
+        for &x in values {
+            cost = cost.saturating_add((x >> k) + 1 + k as u64);
+        }
+        if cost < best_cost {
+            best_cost = cost;
+            best_k = k;
+        }
+    }
+    best_k
+}
+
+impl Codec {
+    /// The codecs the bench sweeps when picking the best per graph.
+    pub const SWEEP: [Codec; 9] = [
+        Codec::Gamma,
+        Codec::Delta,
+        Codec::Zeta(2),
+        Codec::Zeta(3),
+        Codec::Zeta(4),
+        Codec::Rice(8),
+        Codec::Rice(10),
+        Codec::Rice(12),
+        Codec::RiceAdaptive,
+    ];
+
+    /// Stable on-disk identifier.
+    pub fn id(self) -> u8 {
+        match self {
+            Codec::Unary => 0,
+            Codec::Gamma => 1,
+            Codec::Delta => 2,
+            Codec::Zeta(k) => 0x10 + k as u8,
+            Codec::Rice(k) => 0x20 + k as u8,
+            Codec::RiceAdaptive => 3,
+        }
+    }
+
+    /// Inverse of [`Codec::id`].
+    pub fn from_id(id: u8) -> Option<Codec> {
+        match id {
+            0 => Some(Codec::Unary),
+            1 => Some(Codec::Gamma),
+            2 => Some(Codec::Delta),
+            3 => Some(Codec::RiceAdaptive),
+            k @ 0x11..=0x18 => Some(Codec::Zeta(k as u32 - 0x10)),
+            k @ 0x20..=0x3F => Some(Codec::Rice(k as u32 - 0x20)),
+            _ => None,
+        }
+    }
+
+    /// Human name, accepted back by [`Codec::parse`].
+    pub fn name(self) -> String {
+        match self {
+            Codec::Unary => "unary".to_string(),
+            Codec::Gamma => "gamma".to_string(),
+            Codec::Delta => "delta".to_string(),
+            Codec::Zeta(k) => format!("zeta{k}"),
+            Codec::Rice(k) => format!("rice{k}"),
+            Codec::RiceAdaptive => "arice".to_string(),
+        }
+    }
+
+    /// Parses a codec name (`gamma`, `delta`, `zeta3`, `unary`).
+    pub fn parse(s: &str) -> Option<Codec> {
+        match s {
+            "unary" => Some(Codec::Unary),
+            "gamma" => Some(Codec::Gamma),
+            "delta" => Some(Codec::Delta),
+            "arice" => Some(Codec::RiceAdaptive),
+            _ => {
+                if let Some(rest) = s.strip_prefix("rice") {
+                    let k: u32 = rest.parse().ok()?;
+                    return (0..=MAX_RICE_K).contains(&k).then_some(Codec::Rice(k));
+                }
+                let k: u32 = s.strip_prefix("zeta")?.parse().ok()?;
+                (1..=8).contains(&k).then_some(Codec::Zeta(k))
+            }
+        }
+    }
+
+    /// Encodes `x` into `w`.
+    #[inline]
+    pub fn encode(self, w: &mut BitWriter, x: u64) {
+        match self {
+            Codec::Unary => w.write_unary(x),
+            Codec::Gamma => w.write_gamma(x),
+            Codec::Delta => w.write_delta(x),
+            Codec::Zeta(k) => w.write_zeta(x, k),
+            Codec::Rice(k) => w.write_rice(x, k),
+            Codec::RiceAdaptive => {
+                let k = best_rice_k(std::slice::from_ref(&x));
+                w.write_bits(k as u64, 5);
+                w.write_rice(x, k);
+            }
+        }
+    }
+
+    /// Decodes one value from `r`.
+    #[inline]
+    pub fn decode(self, r: &mut BitReader<'_>) -> Result<u64, GraphFormatError> {
+        match self {
+            Codec::Unary => r.read_unary(),
+            Codec::Gamma => r.read_gamma(),
+            Codec::Delta => r.read_delta(),
+            Codec::Zeta(k) => r.read_zeta(k),
+            Codec::Rice(k) => r.read_rice(k),
+            Codec::RiceAdaptive => {
+                let k = r.read_bits(5)? as u32;
+                r.read_rice(k)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightne_utils::rng::XorShiftStream;
+
+    fn all_codecs() -> Vec<Codec> {
+        let mut v = vec![Codec::Unary, Codec::Gamma, Codec::Delta, Codec::RiceAdaptive];
+        v.extend((1..=8).map(Codec::Zeta));
+        v.extend([0, 1, 2, 5, 8, 13, 31].map(Codec::Rice));
+        v
+    }
+
+    #[test]
+    fn raw_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let widths = [1u32, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 56, 57];
+        let mut rng = XorShiftStream::new(1, 0);
+        let values: Vec<(u64, u32)> = widths
+            .iter()
+            .cycle()
+            .take(500)
+            .map(|&n| {
+                let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+                (rng.next_u64() & mask, n)
+            })
+            .collect();
+        for &(v, n) in &values {
+            w.write_bits(v, n);
+        }
+        let total = w.len_bits();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes, 0);
+        for &(v, n) in &values {
+            assert_eq!(r.read_bits(n).unwrap(), v, "width {n}");
+        }
+        assert_eq!(r.bit_pos(), total);
+    }
+
+    #[test]
+    fn exhaustive_small_roundtrip_every_codec() {
+        // Every codec must round-trip every value in 0..4096 exactly, with
+        // the stream position landing exactly at the end of each code.
+        for codec in all_codecs() {
+            if codec == Codec::Unary {
+                continue; // unary of 4095 is fine but covered below
+            }
+            let mut w = BitWriter::new();
+            for x in 0..4096u64 {
+                codec.encode(&mut w, x);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes, 0);
+            for x in 0..4096u64 {
+                assert_eq!(codec.decode(&mut r).unwrap(), x, "{}", codec.name());
+            }
+        }
+        let mut w = BitWriter::new();
+        for x in 0..256u64 {
+            Codec::Unary.encode(&mut w, x);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes, 0);
+        for x in 0..256u64 {
+            assert_eq!(Codec::Unary.decode(&mut r).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn random_large_values_roundtrip() {
+        let mut rng = XorShiftStream::new(7, 0);
+        // Spread magnitudes across the whole u64-exponent range (shift by
+        // 0..=56 keeps every value short of the u64::MAX encode limit).
+        let values: Vec<u64> =
+            (0..2000).map(|i| rng.next_u64() >> (i % 57)).map(|v| v.min(u64::MAX - 1)).collect();
+        for codec in all_codecs() {
+            // Codes with a value-linear unary part would need astronomical
+            // streams here; they get their own bounded test below.
+            if matches!(codec, Codec::Unary | Codec::Rice(_) | Codec::RiceAdaptive) {
+                continue;
+            }
+            let mut w = BitWriter::new();
+            for &v in &values {
+                codec.encode(&mut w, v);
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes, 0);
+            for &v in &values {
+                assert_eq!(codec.decode(&mut r).unwrap(), v, "{} value {v}", codec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn rice_large_values_roundtrip() {
+        // Rice quotients are unary, so bound each value to keep the
+        // quotient small while still exercising the full mantissa width.
+        let mut rng = XorShiftStream::new(11, 0);
+        for k in [0u32, 1, 2, 5, 8, 13, 21, 31] {
+            let max = 1u64 << (k + 12).min(63);
+            let values: Vec<u64> = (0..500).map(|_| rng.next_u64() % max).collect();
+            for codec in [Codec::Rice(k), Codec::RiceAdaptive] {
+                let mut w = BitWriter::new();
+                for &v in &values {
+                    codec.encode(&mut w, v);
+                }
+                let bytes = w.into_bytes();
+                let mut r = BitReader::new(&bytes, 0);
+                for &v in &values {
+                    assert_eq!(codec.decode(&mut r).unwrap(), v, "{} value {v}", codec.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_rice_k_is_exactly_optimal() {
+        let cost = |values: &[u64], k: u32| -> u64 {
+            let mut w = BitWriter::new();
+            for &v in values {
+                w.write_rice(v, k);
+            }
+            w.len_bits()
+        };
+        let mut rng = XorShiftStream::new(13, 0);
+        for mean_bits in [0u32, 3, 8, 14, 20] {
+            let values: Vec<u64> = (0..64).map(|_| rng.next_u64() >> (63 - mean_bits)).collect();
+            let k = best_rice_k(&values);
+            let got = cost(&values, k);
+            for other in 0..=MAX_RICE_K {
+                assert!(
+                    got <= cost(&values, other),
+                    "k={k} not optimal for mean_bits={mean_bits}: k={other} is smaller"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_known_codewords() {
+        // γ: 0 → "1", 1 → "010", 2 → "011", 3 → "00100".
+        let mut w = BitWriter::new();
+        for x in 0..4 {
+            w.write_gamma(x);
+        }
+        // Concatenation: 1 010 011 00100 → 1010 0110 0100 (pad) = 0xA6 0x40.
+        assert_eq!(w.into_bytes(), vec![0xA6, 0x40]);
+    }
+
+    #[test]
+    fn zeta1_equals_gamma() {
+        let mut rng = XorShiftStream::new(9, 0);
+        let values: Vec<u64> = (0..500).map(|i| rng.next_u64() >> (i % 57)).collect();
+        let mut a = BitWriter::new();
+        let mut b = BitWriter::new();
+        for &v in &values {
+            a.write_gamma(v);
+            b.write_zeta(v, 1);
+        }
+        assert_eq!(a.into_bytes(), b.into_bytes());
+    }
+
+    #[test]
+    fn code_lengths_match_theory() {
+        let len = |codec: Codec, x: u64| {
+            let mut w = BitWriter::new();
+            codec.encode(&mut w, x);
+            w.len_bits()
+        };
+        for x in [0u64, 1, 2, 3, 7, 8, 100, 1000, 1 << 20] {
+            let h = 64 - (x + 1).leading_zeros() as u64 - 1; // ⌊log₂(x+1)⌋
+            assert_eq!(len(Codec::Unary, x), x + 1);
+            assert_eq!(len(Codec::Gamma, x), 2 * h + 1);
+            // δ(x) = γ(h) + h bits.
+            let hh = 64 - (h + 1).leading_zeros() as u64 - 1;
+            assert_eq!(len(Codec::Delta, x), 2 * hh + 1 + h);
+        }
+        // ζ₃ beats γ in the heavy tail (its design point).
+        assert!(len(Codec::Zeta(3), 5_000) < len(Codec::Gamma, 5_000));
+    }
+
+    #[test]
+    fn truncated_reads_fail_typed() {
+        let mut w = BitWriter::new();
+        w.write_gamma(1_000_000);
+        let bytes = w.into_bytes();
+        // Every strict prefix must produce Truncated, never panic.
+        for cut in 0..bytes.len() {
+            let mut r = BitReader::new(&bytes[..cut], 0);
+            match r.read_gamma() {
+                Err(GraphFormatError::Truncated { .. }) => {}
+                other => panic!("prefix of {cut} bytes: expected Truncated, got {other:?}"),
+            }
+        }
+        // Reading past a valid value into padding also fails typed.
+        let mut r = BitReader::new(&bytes, 0);
+        r.read_gamma().unwrap();
+        assert!(r.read_gamma().is_err() || r.bit_pos() <= r.len_bits());
+    }
+
+    #[test]
+    fn all_zero_bytes_overflow_not_hang() {
+        // A long run of zero bytes is an unterminated unary code: the
+        // reader must fail typed (Truncated at the end or Overflow), not
+        // loop forever or panic.
+        let zeros = vec![0u8; 64];
+        let mut r = BitReader::new(&zeros, 0);
+        match r.read_unary() {
+            Err(GraphFormatError::Truncated { .. }) | Err(GraphFormatError::Overflow { .. }) => {}
+            other => panic!("expected typed failure, got {other:?}"),
+        }
+        for codec in all_codecs() {
+            let mut r = BitReader::new(&zeros, 0);
+            assert!(codec.decode(&mut r).is_err(), "{}", codec.name());
+        }
+    }
+
+    #[test]
+    fn random_garbage_never_panics() {
+        let mut rng = XorShiftStream::new(21, 0);
+        for trial in 0..200 {
+            let len = rng.bounded_usize(40);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            for codec in all_codecs() {
+                let mut r = BitReader::new(&bytes, 0);
+                // Decode until error or end; must terminate and never panic.
+                for _ in 0..10_000 {
+                    if codec.decode(&mut r).is_err() || r.bit_pos() >= r.len_bits() {
+                        break;
+                    }
+                }
+                let _ = trial;
+            }
+        }
+    }
+
+    #[test]
+    fn codec_id_and_name_roundtrip() {
+        for codec in all_codecs() {
+            assert_eq!(Codec::from_id(codec.id()), Some(codec));
+            assert_eq!(Codec::parse(&codec.name()), Some(codec));
+        }
+        assert_eq!(Codec::from_id(0xFF), None);
+        assert_eq!(Codec::parse("zeta0"), None);
+        assert_eq!(Codec::parse("zeta9"), None);
+        assert_eq!(Codec::parse("huffman"), None);
+    }
+
+    #[test]
+    fn reader_positions_mid_stream() {
+        // A reader can be constructed at an arbitrary bit offset — the v2
+        // format relies on this to jump straight to a vertex's region.
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.write_gamma(42);
+        let total = w.len_bits();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes, 3);
+        assert_eq!(r.read_gamma().unwrap(), 42);
+        assert_eq!(r.bit_pos(), total);
+    }
+}

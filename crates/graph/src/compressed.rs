@@ -23,6 +23,7 @@
 //!
 //! (block 0 starts right after the offset table, so its offset is implicit).
 
+use crate::error::GraphFormatError;
 use crate::{Graph, VertexId};
 use lightne_utils::mem::MemUsage;
 use lightne_utils::parallel::parallel_prefix_sum;
@@ -58,6 +59,33 @@ fn decode_varint(buf: &[u8], pos: &mut usize) -> u64 {
             return v;
         }
         shift += 7;
+    }
+}
+
+/// Bounds-checked [`decode_varint`]: fails typed on truncation (running
+/// off the buffer) or a continuation chain longer than a `u64` can hold,
+/// so corrupt or hostile arena bytes never cause a panic or a wild read.
+#[inline]
+fn try_decode_varint(buf: &[u8], pos: &mut usize) -> Result<u64, GraphFormatError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(GraphFormatError::Truncated { at_bit: *pos as u64 * 8 })?;
+        *pos += 1;
+        let group = (byte & 0x7f) as u64;
+        if shift >= 63 && group >> (64 - shift.min(63)) != 0 {
+            // The 10th byte may only contribute one bit; anything more
+            // (or an 11th byte) overflows 64 bits.
+            return Err(GraphFormatError::Overflow { at_bit: *pos as u64 * 8 });
+        }
+        v |= group << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(GraphFormatError::Overflow { at_bit: *pos as u64 * 8 });
+        }
     }
 }
 
@@ -283,6 +311,131 @@ impl CompressedGraph {
         result
     }
 
+    /// Bounds-checked [`CompressedGraph::decode_block`]: every arena read
+    /// is checked and every decoded neighbor validated against `0..n` and
+    /// strict monotonicity, so corrupt bytes fail typed instead of
+    /// panicking (the contract shared with the v2 decoders).
+    pub fn try_decode_block(
+        &self,
+        v: VertexId,
+        b: usize,
+        mut f: impl FnMut(VertexId),
+    ) -> Result<usize, GraphFormatError> {
+        let deg = self.degree(v);
+        if deg == 0 {
+            return Ok(0);
+        }
+        let region = self.vertex_region(v);
+        let lo = b * self.block_size;
+        let hi = ((b + 1) * self.block_size).min(deg);
+        let mut pos = self.try_block_start(region, deg, b)?;
+        let n = self.num_vertices();
+        let first = v as i64 + unzigzag(try_decode_varint(region, &mut pos)?);
+        if first < 0 || first >= n as i64 {
+            return Err(GraphFormatError::VertexOutOfRange { vertex: v, decoded: first, n });
+        }
+        f(first as VertexId);
+        let mut prev = first as u64;
+        for _ in lo + 1..hi {
+            let gap = try_decode_varint(region, &mut pos)?;
+            if gap == 0 {
+                return Err(GraphFormatError::NonMonotoneNeighbors { vertex: v });
+            }
+            let next = prev + gap;
+            if next >= n as u64 {
+                return Err(GraphFormatError::VertexOutOfRange {
+                    vertex: v,
+                    decoded: next as i64,
+                    n,
+                });
+            }
+            f(next as VertexId);
+            prev = next;
+        }
+        Ok(hi - lo)
+    }
+
+    /// Bounds-checked [`CompressedGraph::block_start`].
+    fn try_block_start(
+        &self,
+        region: &[u8],
+        deg: usize,
+        b: usize,
+    ) -> Result<usize, GraphFormatError> {
+        let nblocks = self.nblocks(deg);
+        if b >= nblocks {
+            return Err(GraphFormatError::Corrupt("block index out of range"));
+        }
+        let table_bytes = (nblocks - 1) * 4;
+        if region.len() < table_bytes {
+            return Err(GraphFormatError::Truncated { at_bit: region.len() as u64 * 8 });
+        }
+        if b == 0 {
+            return Ok(table_bytes);
+        }
+        let at = (b - 1) * 4;
+        let off = u32::from_le_bytes([region[at], region[at + 1], region[at + 2], region[at + 3]]);
+        let start = table_bytes + off as usize;
+        if start >= region.len() {
+            return Err(GraphFormatError::Corrupt("block offset beyond vertex region"));
+        }
+        Ok(start)
+    }
+
+    /// Bounds-checked [`CompressedGraph::for_each_neighbor`].
+    pub fn try_for_each_neighbor(
+        &self,
+        v: VertexId,
+        f: &mut dyn FnMut(VertexId),
+    ) -> Result<(), GraphFormatError> {
+        let deg = self.degree(v);
+        for b in 0..self.nblocks(deg) {
+            self.try_decode_block(v, b, &mut *f)?;
+        }
+        Ok(())
+    }
+
+    /// Bounds-checked [`CompressedGraph::ith_neighbor`].
+    pub fn try_ith_neighbor(&self, v: VertexId, i: usize) -> Result<VertexId, GraphFormatError> {
+        assert!(i < self.degree(v), "neighbor index out of range");
+        let b = i / self.block_size;
+        let within = i % self.block_size;
+        let mut result = 0;
+        let mut k = 0usize;
+        self.try_decode_block(v, b, |u| {
+            if k == within {
+                result = u;
+            }
+            k += 1;
+        })?;
+        Ok(result)
+    }
+
+    /// Structural validation: offset tables monotone and in range, every
+    /// block of every vertex decodes cleanly. O(n + m).
+    pub fn validate(&self) -> Result<(), GraphFormatError> {
+        let n = self.num_vertices();
+        if self.vertex_byte_offsets.len() != n + 1 || self.arc_offsets.len() != n + 1 {
+            return Err(GraphFormatError::Corrupt("offset table length != n + 1"));
+        }
+        for w in self.vertex_byte_offsets.windows(2).chain(self.arc_offsets.windows(2)) {
+            if w[0] > w[1] {
+                return Err(GraphFormatError::Corrupt("offset table not monotone"));
+            }
+        }
+        if *self.vertex_byte_offsets.last().unwrap() != self.data.len() as u64 {
+            return Err(GraphFormatError::LengthMismatch {
+                what: "compressed arena",
+                expected: *self.vertex_byte_offsets.last().unwrap(),
+                actual: self.data.len() as u64,
+            });
+        }
+        for v in 0..n as VertexId {
+            self.try_for_each_neighbor(v, &mut |_| {})?;
+        }
+        Ok(())
+    }
+
     /// Decompresses back to an uncompressed CSR graph.
     pub fn decompress(&self) -> Graph {
         let n = self.num_vertices();
@@ -479,6 +632,85 @@ mod tests {
         // The tail neighbor crosses into block 1.
         assert_eq!(c.ith_neighbor(0, deg - 1), deg as u32);
         assert_eq!(c.ith_neighbor(0, DEFAULT_BLOCK_SIZE - 1), DEFAULT_BLOCK_SIZE as u32);
+    }
+
+    #[test]
+    fn checked_paths_agree_with_unchecked() {
+        let g = random_graph(250, 3_000, 29);
+        let c = CompressedGraph::from_graph_with_block_size(&g, 8);
+        c.validate().unwrap();
+        for v in 0..g.num_vertices() as u32 {
+            let mut a = Vec::new();
+            c.for_each_neighbor(v, |u| a.push(u));
+            let mut b = Vec::new();
+            c.try_for_each_neighbor(v, &mut |u| b.push(u)).unwrap();
+            assert_eq!(a, b);
+            for i in 0..c.degree(v) {
+                assert_eq!(c.try_ith_neighbor(v, i).unwrap(), c.ith_neighbor(v, i));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_arena_fails_typed_never_panics() {
+        // Flip each byte of the arena in turn: the checked decoders must
+        // either still produce a structurally valid graph (flips that keep
+        // varints well-formed and neighbors in range) or fail typed —
+        // never panic or read out of bounds.
+        let g = random_graph(40, 300, 37);
+        let c = CompressedGraph::from_graph_with_block_size(&g, 4);
+        let mut rejected = 0usize;
+        for i in 0..c.data.len() {
+            let mut bad = c.clone();
+            bad.data[i] ^= 0xFF;
+            if bad.validate().is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "no corruption was ever detected");
+    }
+
+    #[test]
+    fn truncated_arena_fails_typed() {
+        let g = random_graph(40, 300, 39);
+        let mut c = CompressedGraph::from_graph(&g);
+        c.data.truncate(c.data.len() / 2);
+        match c.validate() {
+            Err(
+                GraphFormatError::Truncated { .. }
+                | GraphFormatError::LengthMismatch { .. }
+                | GraphFormatError::Corrupt(_),
+            ) => {}
+            other => panic!("expected typed failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_varint_overflow_and_truncation() {
+        // 11 continuation bytes: longer than any u64 varint.
+        let buf = [0xFFu8; 11];
+        let mut pos = 0;
+        assert!(matches!(
+            try_decode_varint(&buf, &mut pos),
+            Err(GraphFormatError::Overflow { .. })
+        ));
+        // A continuation byte at the end of the buffer: truncated.
+        let buf = [0x80u8];
+        let mut pos = 0;
+        assert!(matches!(
+            try_decode_varint(&buf, &mut pos),
+            Err(GraphFormatError::Truncated { .. })
+        ));
+        // Checked and unchecked agree on valid input.
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 16_384, u64::MAX] {
+            encode_varint(&mut buf, v);
+        }
+        let (mut p1, mut p2) = (0, 0);
+        for _ in 0..6 {
+            assert_eq!(try_decode_varint(&buf, &mut p1).unwrap(), decode_varint(&buf, &mut p2));
+            assert_eq!(p1, p2);
+        }
     }
 
     #[test]

@@ -12,8 +12,13 @@ use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Magic bytes identifying the binary CSR format, version 1.
-pub const BINARY_MAGIC: &[u8; 4] = b"LNE1";
+/// Magic bytes identifying the binary CSR format.
+pub const BINARY_MAGIC: &[u8; 4] = b"LNE2";
+
+/// Version of the binary CSR format this build reads and writes.
+/// Version 2 added the version field itself and the payload checksum
+/// (version-1 files, magic `LNE1`, are rejected with a bad-magic error).
+pub const BINARY_VERSION: u32 = 2;
 
 /// Errors produced by graph I/O.
 #[derive(Debug)]
@@ -24,6 +29,15 @@ pub enum GraphIoError {
     Parse(usize, String),
     /// Binary payload is malformed or truncated.
     Corrupt(&'static str),
+    /// The binary header's format version is not supported by this build.
+    BadVersion {
+        /// The version found in the header.
+        found: u32,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// The payload checksum recorded in the header does not match.
+    ChecksumMismatch,
 }
 
 impl fmt::Display for GraphIoError {
@@ -32,6 +46,10 @@ impl fmt::Display for GraphIoError {
             GraphIoError::Io(e) => write!(f, "i/o error: {e}"),
             GraphIoError::Parse(line, text) => write!(f, "parse error on line {line}: {text:?}"),
             GraphIoError::Corrupt(what) => write!(f, "corrupt binary graph: {what}"),
+            GraphIoError::BadVersion { found, supported } => {
+                write!(f, "unsupported binary graph version {found} (this build reads {supported})")
+            }
+            GraphIoError::ChecksumMismatch => write!(f, "binary graph checksum mismatch"),
         }
     }
 }
@@ -127,18 +145,26 @@ pub fn write_edge_list(g: &Graph, path: impl AsRef<Path>) -> Result<(), GraphIoE
     Ok(())
 }
 
-/// Serializes the graph to the binary CSR format.
+/// Fixed binary header length: magic + version + n + arcs + checksum.
+const BINARY_HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
+
+/// Serializes the graph to the binary CSR format (header with magic,
+/// version, and an FNV-1a-64 payload checksum, then the raw CSR arrays).
 pub fn write_binary(g: &Graph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
-    let mut buf = Vec::with_capacity(16 + g.offsets().len() * 8 + g.num_arcs() * 4);
-    buf.put_slice(BINARY_MAGIC);
-    buf.put_u64_le(g.num_vertices() as u64);
-    buf.put_u64_le(g.num_arcs() as u64);
+    let mut payload = Vec::with_capacity(g.offsets().len() * 8 + g.num_arcs() * 4);
     for &o in g.offsets() {
-        buf.put_u64_le(o);
+        payload.put_u64_le(o);
     }
     for &v in g.neighbor_array() {
-        buf.put_u32_le(v);
+        payload.put_u32_le(v);
     }
+    let mut buf = Vec::with_capacity(BINARY_HEADER_LEN + payload.len());
+    buf.put_slice(BINARY_MAGIC);
+    buf.put_u32_le(BINARY_VERSION);
+    buf.put_u64_le(g.num_vertices() as u64);
+    buf.put_u64_le(g.num_arcs() as u64);
+    buf.put_u64_le(lightne_utils::checksum::fnv1a64(&payload));
+    buf.extend_from_slice(&payload);
     let mut w = BufWriter::new(File::create(path)?);
     w.write_all(&buf)?;
     w.flush()?;
@@ -146,11 +172,16 @@ pub fn write_binary(g: &Graph, path: impl AsRef<Path>) -> Result<(), GraphIoErro
 }
 
 /// Deserializes a graph from the binary CSR format.
+///
+/// Every field the header claims is validated before use — magic,
+/// version, section lengths, the payload checksum, offset monotonicity,
+/// and neighbor ranges — so a corrupt or truncated file of any shape
+/// fails with a typed [`GraphIoError`] rather than a panic.
 pub fn read_binary(path: impl AsRef<Path>) -> Result<Graph, GraphIoError> {
     let mut raw = Vec::new();
     File::open(path)?.read_to_end(&mut raw)?;
     let mut buf = &raw[..];
-    if buf.remaining() < 20 {
+    if buf.remaining() < BINARY_HEADER_LEN {
         return Err(GraphIoError::Corrupt("header too short"));
     }
     let mut magic = [0u8; 4];
@@ -158,10 +189,21 @@ pub fn read_binary(path: impl AsRef<Path>) -> Result<Graph, GraphIoError> {
     if &magic != BINARY_MAGIC {
         return Err(GraphIoError::Corrupt("bad magic"));
     }
-    let n = buf.get_u64_le() as usize;
-    let arcs = buf.get_u64_le() as usize;
-    if buf.remaining() != (n + 1) * 8 + arcs * 4 {
+    let version = buf.get_u32_le();
+    if version != BINARY_VERSION {
+        return Err(GraphIoError::BadVersion { found: version, supported: BINARY_VERSION });
+    }
+    let n = buf.get_u64_le();
+    let arcs = buf.get_u64_le();
+    let checksum = buf.get_u64_le();
+    // Checked size arithmetic: a hostile header must not overflow usize.
+    let expected = (n as u128 + 1) * 8 + arcs as u128 * 4;
+    if expected != buf.remaining() as u128 {
         return Err(GraphIoError::Corrupt("payload length mismatch"));
+    }
+    let (n, arcs) = (n as usize, arcs as usize);
+    if lightne_utils::checksum::fnv1a64(buf) != checksum {
+        return Err(GraphIoError::ChecksumMismatch);
     }
     let mut offsets = Vec::with_capacity(n + 1);
     for _ in 0..=n {
@@ -171,8 +213,18 @@ pub fn read_binary(path: impl AsRef<Path>) -> Result<Graph, GraphIoError> {
     for _ in 0..arcs {
         neighbors.push(buf.get_u32_le());
     }
+    // Pre-validate everything `Graph::from_csr` would otherwise panic on.
+    if offsets.first().copied() != Some(0) {
+        return Err(GraphIoError::Corrupt("offsets do not start at 0"));
+    }
     if offsets.last().copied() != Some(arcs as u64) {
         return Err(GraphIoError::Corrupt("offset/arc mismatch"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(GraphIoError::Corrupt("offsets not monotone"));
+    }
+    if neighbors.iter().any(|&v| v as usize >= n) {
+        return Err(GraphIoError::Corrupt("neighbor id out of range"));
     }
     Ok(Graph::from_csr(offsets, neighbors))
 }
@@ -253,11 +305,54 @@ mod tests {
     #[test]
     fn binary_detects_bad_magic() {
         let p = tmp("badmagic.lne");
-        std::fs::write(&p, b"XXXX\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0").unwrap();
+        std::fs::write(&p, [b'X'; BINARY_HEADER_LEN]).unwrap();
         match read_binary(&p) {
             Err(GraphIoError::Corrupt("bad magic")) => {}
             other => panic!("expected bad magic, got {other:?}"),
         }
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn binary_rejects_unsupported_version() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (2, 3)]);
+        let p = tmp("badver.lne");
+        write_binary(&g, &p).unwrap();
+        let mut raw = std::fs::read(&p).unwrap();
+        raw[4..8].copy_from_slice(&7u32.to_le_bytes());
+        std::fs::write(&p, &raw).unwrap();
+        assert!(matches!(
+            read_binary(&p),
+            Err(GraphIoError::BadVersion { found: 7, supported: BINARY_VERSION })
+        ));
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn binary_every_byte_flip_detected() {
+        // Flip every byte of the file in turn: each corruption must yield
+        // a typed error (never a panic, never a silently wrong graph).
+        let g = GraphBuilder::from_edges(20, &[(0, 1), (1, 2), (5, 19), (3, 4), (2, 7)]);
+        let p = tmp("flip.lne");
+        write_binary(&g, &p).unwrap();
+        let raw = std::fs::read(&p).unwrap();
+        for i in 0..raw.len() {
+            let mut bad = raw.clone();
+            bad[i] ^= 0x01;
+            std::fs::write(&p, &bad).unwrap();
+            assert!(read_binary(&p).is_err(), "flip at byte {i} went undetected");
+        }
+        std::fs::write(&p, &raw).unwrap();
+        assert_eq!(read_binary(&p).unwrap(), g);
+        std::fs::remove_file(p).ok();
+    }
+
+    #[test]
+    fn binary_empty_graph_roundtrip() {
+        let g = Graph::empty(0);
+        let p = tmp("empty.lne");
+        write_binary(&g, &p).unwrap();
+        assert_eq!(read_binary(&p).unwrap(), g);
         std::fs::remove_file(p).ok();
     }
 

@@ -24,25 +24,40 @@
 //! * [`walk`] — the one-step-at-a-time random-walk engine used by
 //!   PathSampling (Algorithm 1).
 //! * [`io`] — text edge-list and binary CSR readers/writers.
+//! * [`codecs`] / [`ef`] / [`v2`] — graph format v2: bit-granular
+//!   instantaneous codes (γ/δ/ζ), Elias–Fano offset indices, and an
+//!   on-disk container loadable in-memory or zero-copy via [`mmap`].
+//!
+//! Unsafe code is denied crate-wide except in [`mmap`], the single module
+//! that wraps the `mmap(2)`/`munmap(2)` system calls; every unsafe block
+//! there carries a SAFETY comment (enforced by `cargo xtask check`, L1).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod algorithms;
 pub mod builder;
+pub mod codecs;
 pub mod compressed;
 pub mod csr;
+pub mod ef;
+pub mod error;
 pub mod frontier;
 pub mod io;
+pub mod mmap;
 pub mod ops;
+pub mod v2;
 pub mod walk;
 pub mod weighted;
 
 pub use builder::GraphBuilder;
+pub use codecs::Codec;
 pub use compressed::CompressedGraph;
 pub use csr::Graph;
-pub use ops::GraphOps;
+pub use error::GraphFormatError;
+pub use ops::{GraphAccess, GraphOps};
+pub use v2::V2Graph;
 pub use weighted::WeightedGraph;
 
 /// Vertex identifier. `u32` covers every graph this reproduction targets

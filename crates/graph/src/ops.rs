@@ -1,17 +1,25 @@
 //! The uniform graph interface and GBBS-style bulk-parallel primitives.
 //!
-//! LightNE's sampler (Algorithm 2) is expressed as `G.MapEdges(f)` — a
-//! parallel map applying a user function to every arc. [`GraphOps`] provides
-//! that primitive plus the point queries random walks need, implemented by
-//! both the uncompressed [`Graph`] and the [`CompressedGraph`], so every
-//! stage of the pipeline is generic over the representation.
+//! The interface is split in two layers:
+//!
+//! * [`GraphAccess`] — the object-safe point-query core (sizes, degrees,
+//!   neighbor access). Implemented by the uncompressed [`Graph`], the
+//!   parallel-byte [`CompressedGraph`] (v1), and the bit-compressed
+//!   [`crate::V2Graph`] — heap-owned or memory-mapped — so all four
+//!   backends are interchangeable everywhere downstream.
+//! * [`GraphOps`] — LightNE's sampler (Algorithm 2) is expressed as
+//!   `G.MapEdges(f)`, a parallel map applying a user function to every
+//!   arc. `GraphOps` provides that primitive plus the other bulk-parallel
+//!   maps, blanket-implemented for every `GraphAccess + Sync` type.
 
 use crate::{CompressedGraph, Graph, VertexId};
+use lightne_utils::mem::MemUsage;
 use lightne_utils::parallel::parallel_reduce_sum;
 use rayon::prelude::*;
 
-/// Uniform access to an undirected graph, plus bulk-parallel maps.
-pub trait GraphOps: Sync {
+/// Uniform point access to an undirected graph: the minimal, object-safe
+/// surface the walk engine, sampler, and pipeline need from any backend.
+pub trait GraphAccess {
     /// Number of vertices `n`.
     fn num_vertices(&self) -> usize;
 
@@ -40,6 +48,17 @@ pub trait GraphOps: Sync {
         self.num_arcs() as f64
     }
 
+    /// Heap bytes this representation keeps resident in the process.
+    /// Memory-mapped backends return ~0 — their pages live in the page
+    /// cache, the property the out-of-core pipeline accounts for.
+    fn resident_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Bulk-parallel maps over a graph, available for every thread-safe
+/// [`GraphAccess`] backend via the blanket impl below.
+pub trait GraphOps: GraphAccess + Sync {
     /// Parallel map over all vertices: `f(v)`.
     fn map_vertices<F>(&self, f: F)
     where
@@ -100,7 +119,9 @@ pub trait GraphOps: Sync {
     }
 }
 
-impl GraphOps for Graph {
+impl<G: GraphAccess + Sync> GraphOps for G {}
+
+impl GraphAccess for Graph {
     #[inline]
     fn num_vertices(&self) -> usize {
         Graph::num_vertices(self)
@@ -131,9 +152,14 @@ impl GraphOps for Graph {
     fn first_arc_index(&self, v: VertexId) -> u64 {
         self.offsets()[v as usize]
     }
+
+    #[inline]
+    fn resident_bytes(&self) -> usize {
+        self.heap_bytes()
+    }
 }
 
-impl GraphOps for CompressedGraph {
+impl GraphAccess for CompressedGraph {
     #[inline]
     fn num_vertices(&self) -> usize {
         CompressedGraph::num_vertices(self)
@@ -162,6 +188,11 @@ impl GraphOps for CompressedGraph {
     fn first_arc_index(&self, v: VertexId) -> u64 {
         CompressedGraph::first_arc_index(self, v)
     }
+
+    #[inline]
+    fn resident_bytes(&self) -> usize {
+        self.heap_bytes()
+    }
 }
 
 #[cfg(test)]
@@ -189,8 +220,8 @@ mod tests {
         check_ops(&g, 100, 198);
         check_ops(&c, 100, 198);
         for v in 0..100u32 {
-            assert_eq!(GraphOps::degree(&g, v), GraphOps::degree(&c, v));
-            assert_eq!(GraphOps::first_arc_index(&g, v), GraphOps::first_arc_index(&c, v));
+            assert_eq!(GraphAccess::degree(&g, v), GraphAccess::degree(&c, v));
+            assert_eq!(GraphAccess::first_arc_index(&g, v), GraphAccess::first_arc_index(&c, v));
         }
     }
 

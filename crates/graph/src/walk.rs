@@ -6,14 +6,14 @@
 //! parallel-byte format it decodes one block, which is the latency the
 //! paper's block-size experiment trades against memory.
 
-use crate::{GraphOps, VertexId};
+use crate::{GraphAccess, VertexId};
 use lightne_utils::rng::XorShiftStream;
 
 /// Advances a random walk from `start` for `steps` steps, returning the
 /// final vertex. A walk stops early (stays put) only at an isolated vertex,
 /// which cannot occur when the walk starts from an endpoint of an edge.
 #[inline]
-pub fn walk<G: GraphOps>(
+pub fn walk<G: GraphAccess>(
     g: &G,
     start: VertexId,
     steps: usize,
@@ -33,7 +33,7 @@ pub fn walk<G: GraphOps>(
 
 /// Records the full trajectory of a walk (used by the DeepWalk baseline,
 /// which consumes whole walk sequences rather than endpoints).
-pub fn walk_trajectory<G: GraphOps>(
+pub fn walk_trajectory<G: GraphAccess>(
     g: &G,
     start: VertexId,
     steps: usize,

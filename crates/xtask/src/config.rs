@@ -11,6 +11,14 @@
 pub const DETERMINISTIC_PATH: &[&str] =
     &["crates/core/src", "crates/sparsifier/src", "crates/hashtable/src", "crates/linalg/src"];
 
+/// Crate source trees whose `unsafe` is confined to one designated
+/// module (the L1 isolation rule): any `unsafe` token under the prefix
+/// but outside that module is a violation *even with a SAFETY comment*.
+/// The graph crate's zero-copy mmap wrapper is the sole unsafe surface of
+/// the format stack — everything above it (container parsing, Elias–Fano,
+/// bit codecs) must stay fully safe so the auditable surface is one file.
+pub const L1_UNSAFE_ISOLATED: &[(&str, &str)] = &[("crates/graph/src", "crates/graph/src/mmap.rs")];
+
 /// Files allowed to contain raw parallel float reductions (L3). These are
 /// the fixed-block deterministic-reduction helpers themselves — the one
 /// place where the block-splitting arithmetic lives — plus the CAS-loop

@@ -7,7 +7,10 @@
 //! * **L1** — every `unsafe` token must have a `// SAFETY:` comment within
 //!   six lines above it (or trailing on the same line), and every crate
 //!   root must carry `#![forbid(unsafe_code)]` or
-//!   `#![deny(unsafe_op_in_unsafe_fn)]`.
+//!   `#![deny(unsafe_op_in_unsafe_fn)]`. Crates listed in
+//!   [`config::L1_UNSAFE_ISOLATED`] additionally confine `unsafe` to one
+//!   designated module: elsewhere in the crate it is a violation even
+//!   with a SAFETY comment.
 //! * **L2** — no `HashMap`/`HashSet` in deterministic-path modules
 //!   (outside `#[cfg(test)]`): hash iteration order varies per process,
 //!   which breaks bitwise reproducibility of sparsifier/embedding output.
@@ -272,15 +275,29 @@ fn lint_code(name: &str) -> &'static str {
 /// L1: `unsafe` requires a nearby `// SAFETY:` comment; crate roots must
 /// declare an unsafe posture attribute.
 fn lint_l1(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    let isolated_to = config::L1_UNSAFE_ISOLATED
+        .iter()
+        .find(|(prefix, module)| ctx.path.starts_with(prefix) && ctx.path != *module)
+        .map(|&(_, module)| module);
     for t in &ctx.tokens {
-        if t.kind == TokKind::Ident
-            && t.text == "unsafe"
-            && !ctx.has_comment_near("SAFETY:", t.line, 6)
-        {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        if !ctx.has_comment_near("SAFETY:", t.line, 6) {
             diags.push(ctx.diag(
                 "L1",
                 t,
                 "`unsafe` without a `// SAFETY:` comment within 6 lines above it".into(),
+            ));
+        }
+        if let Some(module) = isolated_to {
+            diags.push(ctx.diag(
+                "L1",
+                t,
+                format!(
+                    "`unsafe` outside the crate's designated unsafe module: this crate \
+                     confines unsafe code to {module}"
+                ),
             ));
         }
     }

@@ -1,0 +1,10 @@
+// L1 isolation fixture: a fully SAFETY-commented `unsafe` block that is
+// still a violation when linted under a path inside an unsafe-isolated
+// crate (crates/graph/src/...) other than the designated module, and
+// clean when linted as the designated module itself. The violation is
+// the `unsafe` on line 9.
+
+pub fn read_first(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is non-null and valid for one byte.
+    unsafe { *p }
+}

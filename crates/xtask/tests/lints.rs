@@ -19,6 +19,24 @@ fn l1_fires_on_undocumented_unsafe() {
 }
 
 #[test]
+fn l1_isolation_fires_outside_the_designated_module() {
+    // The graph crate confines `unsafe` to mmap.rs: a SAFETY-commented
+    // unsafe block anywhere else in the crate is still a violation.
+    let src = include_str!("fixtures/l1_isolation.rs");
+    let diags = check_source("crates/graph/src/v2.rs", src);
+    assert_eq!(lints_of(&diags), ["L1"], "{diags:?}");
+    assert_eq!(diags[0].line, 9, "span must point at the `unsafe` token");
+    assert!(diags[0].message.contains("mmap.rs"), "{diags:?}");
+}
+
+#[test]
+fn l1_isolation_allows_the_designated_module_and_other_crates() {
+    let src = include_str!("fixtures/l1_isolation.rs");
+    assert!(check_source("crates/graph/src/mmap.rs", src).is_empty());
+    assert!(check_source("crates/utils/src/ptr.rs", src).is_empty());
+}
+
+#[test]
 fn l2_fires_on_hashmap_in_deterministic_path() {
     let diags = check_source("crates/core/src/fixture_l2.rs", include_str!("fixtures/l2.rs"));
     assert_eq!(lints_of(&diags), ["L2"], "{diags:?}");

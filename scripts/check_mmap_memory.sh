@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Out-of-core loading gate (run by CI).
+#
+# Runs the same embedding twice from one v2 container — once loaded fully
+# into memory, once memory-mapped with --mmap — and fails (exit 1) unless:
+#
+#   1. the two embeddings are byte-identical (the GraphAccess abstraction
+#      must not leak into the numerics);
+#   2. the in-memory run charges the container to the sparsify stage
+#      (graph_bytes > 0) while the mmap run charges nothing (pages belong
+#      to the page cache, not the heap); and
+#   3. the mmap run's peak per-stage heap is strictly below the in-memory
+#      run's — the point of out-of-core loading.
+#
+# Peaks come from the --stats-json per-stage heap accounting, the same
+# numbers check_memory_regression.sh budgets; every contributor is
+# deterministic in the seed, so a violation is a regression, not noise.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE=${SCALE:-0.0002}
+SEED=${SEED:-42}
+BIN=${BIN:-target/release/lightne}
+[ -x "$BIN" ] || cargo build --release
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+"$BIN" generate --profile oag --scale "$SCALE" --seed "$SEED" --out "$TMP/g.lne"
+"$BIN" compress --graph "$TMP/g.lne" --out "$TMP/g.lng2"
+"$BIN" embed --graph "$TMP/g.lng2" --out "$TMP/owned.txt" --seed "$SEED" \
+    --stats-json "$TMP/owned.json"
+"$BIN" embed --graph "$TMP/g.lng2" --mmap --out "$TMP/mapped.txt" --seed "$SEED" \
+    --stats-json "$TMP/mapped.json"
+
+if ! cmp -s "$TMP/owned.txt" "$TMP/mapped.txt"; then
+    echo "FAIL: --mmap embedding differs from the in-memory v2 embedding"
+    exit 1
+fi
+echo "ok: embeddings byte-identical (in-memory v2 vs --mmap)"
+
+# Largest value of a "key": N field across the per-stage records.
+peak() { # peak <file> <key>
+    grep -o "\"$2\": [0-9]*" "$1" | awk '{ if ($2 + 0 > m) m = $2 + 0 } END { print m + 0 }'
+}
+
+owned_graph=$(peak "$TMP/owned.json" graph_bytes)
+mapped_graph=$(peak "$TMP/mapped.json" graph_bytes)
+if [ "$owned_graph" -le 0 ] || [ "$mapped_graph" -ne 0 ]; then
+    echo "FAIL: graph_bytes accounting (owned $owned_graph, mapped $mapped_graph)"
+    exit 1
+fi
+echo "ok: graph_bytes owned $owned_graph, mapped 0"
+
+owned_peak=$(peak "$TMP/owned.json" heap_bytes)
+mapped_peak=$(peak "$TMP/mapped.json" heap_bytes)
+if [ "$mapped_peak" -ge "$owned_peak" ]; then
+    echo "FAIL: --mmap peak heap $mapped_peak not below in-memory peak $owned_peak"
+    exit 1
+fi
+echo "ok: peak heap mapped $mapped_peak < owned $owned_peak"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Measures v2 graph containers (per codec) against the v1 parallel-byte
+# format — bits/edge and sequential/random decode throughput — and writes
+# the flat JSON report to results/BENCH_graph.json (or $1 if given).
+#
+# Environment: PROFILE (dataset profile name, default friendster) and
+# RAND_PROBES (random-access probe count) are passed through to the
+# bench_graph_json binary; --scale/--seed use the committed-baseline
+# defaults unless SCALE/SEED are set.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-results/BENCH_graph.json}
+SCALE=${SCALE:-0.001}
+SEED=${SEED:-42}
+mkdir -p "$(dirname "$OUT")"
+
+cargo run --release -p lightne-bench --bin bench_graph_json -- \
+    --scale "$SCALE" --seed "$SEED" > "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

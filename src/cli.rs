@@ -11,7 +11,8 @@ use crate::gen::labels::{read_labels, write_labels};
 use crate::gen::profiles::Profile;
 use crate::graph::algorithms::graph_stats;
 use crate::graph::io::{read_binary, read_edge_list, read_weighted_edge_list, write_binary};
-use crate::graph::Graph;
+use crate::graph::v2::V2_EXTENSION;
+use crate::graph::{Codec, CompressedGraph, Graph, V2Graph};
 use crate::linalg::matio::{read_matrix, write_matrix};
 use std::collections::HashMap;
 
@@ -66,12 +67,31 @@ impl Opts {
     }
 }
 
+fn is_v2_container(path: &str) -> bool {
+    path.ends_with(&format!(".{V2_EXTENSION}"))
+}
+
 fn load_graph(path: &str) -> Result<Graph, String> {
-    if path.ends_with(".lne") {
+    if is_v2_container(path) {
+        let v2 = V2Graph::open(path.as_ref()).map_err(|e| format!("reading {path}: {e}"))?;
+        Ok(v2.decompress())
+    } else if path.ends_with(".lne") {
         read_binary(path).map_err(|e| format!("reading {path}: {e}"))
     } else {
         read_edge_list(path, 0).map_err(|e| format!("reading {path}: {e}"))
     }
+}
+
+fn load_v2(path: &str, mmap: bool) -> Result<V2Graph, String> {
+    let r = if mmap { V2Graph::open_mmap(path.as_ref()) } else { V2Graph::open(path.as_ref()) };
+    r.map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn codec_opt(o: &Opts) -> Result<Codec, String> {
+    let name = o.get("codec").unwrap_or("arice");
+    Codec::parse(name).ok_or_else(|| {
+        format!("unknown --codec {name:?} (arice, unary, gamma, delta, zeta1.., rice0..)")
+    })
 }
 
 /// Resolves a dataset profile by (case-insensitive) name.
@@ -142,6 +162,33 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> 
             }
             Ok(())
         }
+        "compress" => {
+            let g = load_graph(o.require("graph")?)?;
+            let out_path = o.require("out")?;
+            if !is_v2_container(out_path) {
+                return Err(format!("--out must end in .{V2_EXTENSION}"));
+            }
+            let codec = codec_opt(&o)?;
+            let block_size: usize = o.num("block-size", 64)?;
+            V2Graph::write(&g, codec, block_size, out_path.as_ref())
+                .map_err(|e| format!("writing {out_path}: {e}"))?;
+            let v2 = load_v2(out_path, false)?;
+            let arcs = v2.num_arcs().max(1);
+            say(format!(
+                "wrote {out_path}: {} vertices, {} arcs, codec {}, block size {}",
+                v2.num_vertices(),
+                v2.num_arcs(),
+                codec.name(),
+                block_size
+            ))?;
+            say(format!(
+                "container {} bytes ({:.3} bits/edge adjacency, {:.3} bits/edge total)",
+                v2.container_bytes(),
+                v2.arena_bytes() as f64 * 8.0 / arcs as f64,
+                v2.container_bytes() as f64 * 8.0 / arcs as f64
+            ))?;
+            Ok(())
+        }
         "stats" => {
             let g = load_graph(o.require("graph")?)?;
             let s = graph_stats(&g);
@@ -165,11 +212,41 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> 
                 strict_resume: o.flag("strict-resume"),
                 progress: None,
             };
+            let format = o.get("graph-format").unwrap_or("csr");
+            let use_mmap = o.flag("mmap");
+            let engine = LightNe::new(cfg);
             let result = if o.flag("weighted") {
                 let g = read_weighted_edge_list(path, 0).map_err(|e| e.to_string())?;
-                LightNe::new(cfg).embed_weighted_with(&g, opts)
+                engine.embed_weighted_with(&g, opts)
+            } else if is_v2_container(path) {
+                // A v2 container is consumed directly — decoded on the fly
+                // (zero-copy from the page cache under --mmap), never
+                // expanded back to CSR.
+                let g = load_v2(path, use_mmap)?;
+                say(format!(
+                    "graph: v2 container, codec {}, {} resident bytes",
+                    g.codec().name(),
+                    g.resident_bytes()
+                ))?;
+                engine.embed_with(&g, opts)
             } else {
-                LightNe::new(cfg).embed_with(&load_graph(path)?, opts)
+                if use_mmap {
+                    return Err(format!(
+                        "--mmap needs a .{V2_EXTENSION} container; run `compress` first"
+                    ));
+                }
+                let g = load_graph(path)?;
+                match format {
+                    "csr" => engine.embed_with(&g, opts),
+                    "v1" => engine.embed_with(&CompressedGraph::from_graph(&g), opts),
+                    "v2" => {
+                        let block_size: usize = o.num("block-size", 64)?;
+                        let v2 =
+                            V2Graph::from_graph_with_block_size(&g, codec_opt(&o)?, block_size);
+                        engine.embed_with(&v2, opts)
+                    }
+                    other => return Err(format!("unknown --graph-format {other:?} (csr, v1, v2)")),
+                }
             }
             .map_err(|e| e.to_string())?;
             write_matrix(&result.embedding, out_path).map_err(|e| e.to_string())?;
@@ -404,6 +481,52 @@ mod tests {
         std::fs::remove_file(format!("{gpath}.labels")).ok();
         std::fs::remove_file(&e_sharded).ok();
         std::fs::remove_file(&e_global).ok();
+    }
+
+    #[test]
+    fn compress_then_v2_and_mmap_embeds_match_csr() {
+        let gpath = tmp("v2flow.lne");
+        let cpath = tmp("v2flow.lng2");
+        let e_csr = tmp("v2flow_emb_csr.txt");
+        let e_v1 = tmp("v2flow_emb_v1.txt");
+        let e_mmap = tmp("v2flow_emb_mmap.txt");
+        run_capture(&["generate", "--profile", "oag", "--scale", "0.0001", "--out", &gpath])
+            .unwrap();
+
+        let out =
+            run_capture(&["compress", "--graph", &gpath, "--out", &cpath, "--codec", "zeta2"])
+                .unwrap();
+        assert!(out.contains("bits/edge"), "{out}");
+
+        let common = ["--dim", "8", "--window", "4", "--ratio", "1.0", "--seed", "5"];
+        let mut a = vec!["embed", "--graph", &gpath, "--out", &e_csr];
+        a.extend_from_slice(&common);
+        run_capture(&a).unwrap();
+        let mut b = vec!["embed", "--graph", &gpath, "--out", &e_v1, "--graph-format", "v1"];
+        b.extend_from_slice(&common);
+        run_capture(&b).unwrap();
+        let mut c = vec!["embed", "--graph", &cpath, "--out", &e_mmap, "--mmap"];
+        c.extend_from_slice(&common);
+        let out = run_capture(&c).unwrap();
+        assert!(out.contains("v2 container"), "{out}");
+
+        let csr = std::fs::read(&e_csr).unwrap();
+        assert_eq!(csr, std::fs::read(&e_v1).unwrap(), "v1 embedding differs from CSR");
+        assert_eq!(csr, std::fs::read(&e_mmap).unwrap(), "mmap v2 embedding differs from CSR");
+
+        // stats transparently decompresses the container.
+        let out = run_capture(&["stats", "--graph", &cpath]).unwrap();
+        assert!(out.contains("vertices"), "{out}");
+
+        // --mmap without a container is a typed error, not a silent no-op.
+        let err =
+            run_capture(&["embed", "--graph", &gpath, "--out", &e_csr, "--mmap"]).unwrap_err();
+        assert!(err.contains("lng2"), "{err}");
+
+        for p in [&gpath, &cpath, &e_csr, &e_v1, &e_mmap] {
+            std::fs::remove_file(p).ok();
+        }
+        std::fs::remove_file(format!("{gpath}.labels")).ok();
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub mod prelude {
     pub use lightne_core::{LightNe, LightNeConfig};
     pub use lightne_eval::{classify, cost, linkpred};
     pub use lightne_gen::profiles;
-    pub use lightne_graph::{CompressedGraph, Graph, GraphBuilder, GraphOps, VertexId};
+    pub use lightne_graph::{
+        Codec, CompressedGraph, Graph, GraphAccess, GraphBuilder, GraphFormatError, GraphOps,
+        V2Graph, VertexId,
+    };
     pub use lightne_linalg::{CsrMatrix, DenseMatrix};
 }

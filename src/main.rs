@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! lightne generate --profile oag --scale 0.0001 --out graph.lne [--seed N]
+//! lightne compress --graph graph.lne --out graph.lng2 [--codec C]
+//!                  [--block-size B]
 //! lightne stats    --graph graph.lne
 //! lightne embed    --graph graph.lne --out emb.txt [--dim D] [--window T]
 //!                  [--ratio R] [--no-downsample] [--no-propagation]
 //!                  [--weighted] [--seed N] [--shards N] [--global-table]
-//!                  [--save-artifacts DIR] [--resume-from DIR]
+//!                  [--graph-format csr|v1|v2] [--codec C] [--block-size B]
+//!                  [--mmap] [--save-artifacts DIR] [--resume-from DIR]
 //!                  [--strict-resume] [--stats-json PATH]
 //! lightne classify --graph graph.lne --labels graph.lne.labels
 //!                  --embedding emb.txt [--train-ratio F] [--seed N]
@@ -15,10 +18,18 @@
 //! ```
 //!
 //! `--threads N` (any command) sizes the rayon worker pool (0 = one per
-//! core). Graphs ending in `.lne` use the binary CSR format; anything
-//! else is parsed as a text edge list (`--weighted` expects `u v w`
-//! lines). `generate` writes `<out>.labels` alongside classification
-//! profiles.
+//! core). Graphs ending in `.lne` use the binary CSR format and graphs
+//! ending in `.lng2` the compressed v2 container (written by `compress`;
+//! codecs: `arice` (default, per-block adaptive Golomb–Rice), `gamma`,
+//! `delta`, `zeta1`..`zeta8`, `rice0`..`rice31`, `unary`); anything else is
+//! parsed as a text edge list (`--weighted` expects `u v w` lines).
+//! `generate` writes `<out>.labels` alongside classification profiles.
+//!
+//! `embed` consumes a `.lng2` container directly — decoded on the fly,
+//! and with `--mmap` memory-mapped out-of-core so the adjacency never
+//! touches the heap; `--graph-format v1|v2` instead recompresses an
+//! uncompressed input in memory. Embeddings are byte-identical across
+//! all formats.
 //!
 //! `embed` can checkpoint each stage's output (`--save-artifacts DIR`
 //! writes the sparsifier COO, NetMF matrix, and initial embedding) and
@@ -51,7 +62,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: lightne <generate|stats|embed|classify|linkpred> [options]\n\
+                "usage: lightne <generate|compress|stats|embed|classify|linkpred> [options]\n\
                  see the README or `src/main.rs` for the option list"
             );
             ExitCode::FAILURE

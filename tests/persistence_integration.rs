@@ -38,12 +38,13 @@ fn binary_roundtrip_preserves_everything() {
 
 #[test]
 fn binary_size_matches_format_specification() {
-    // 4 magic + 8 n + 8 arcs + (n+1)·8 offsets + arcs·4 neighbors.
+    // 4 magic + 4 version + 8 n + 8 arcs + 8 checksum
+    // + (n+1)·8 offsets + arcs·4 neighbors.
     let g = chung_lu(2_000, 40_000, 2.3, 3);
     let pb = tmp("size.lne");
     write_binary(&g, &pb).unwrap();
     let sb = std::fs::metadata(&pb).unwrap().len() as usize;
     std::fs::remove_file(&pb).ok();
-    let expected = 4 + 8 + 8 + (g.num_vertices() + 1) * 8 + g.num_arcs() * 4;
+    let expected = 4 + 4 + 8 + 8 + 8 + (g.num_vertices() + 1) * 8 + g.num_arcs() * 4;
     assert_eq!(sb, expected);
 }
