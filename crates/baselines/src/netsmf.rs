@@ -121,6 +121,7 @@ impl NetSmf {
             sample_ratio: cfg.sample_ratio,
             downsample: false,
             c_factor: None,
+            prob: lightne_sparsifier::ProbScheme::Degree,
             negative: cfg.negative,
             oversampling: cfg.oversampling,
             power_iters: cfg.power_iters,

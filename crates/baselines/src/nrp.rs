@@ -45,6 +45,7 @@ pub fn nrp_embed<G: GraphOps>(g: &G, cfg: &NrpConfig) -> DenseMatrix {
         downsample: true,
         c_factor: None,
         seed: cfg.seed,
+        ..Default::default()
     };
     let (coo, _) = build_sparsifier(g, &sampler_cfg).expect("nrp sampling failed");
 

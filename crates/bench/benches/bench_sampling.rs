@@ -52,6 +52,7 @@ fn bench_algorithm2(c: &mut Criterion) {
                     downsample: ds,
                     c_factor: None,
                     seed: 3,
+                    ..Default::default()
                 };
                 b.iter(|| black_box(build_sparsifier(&g, &cfg)))
             },
@@ -65,8 +66,7 @@ fn bench_aggregation_paths(c: &mut Criterion) {
     // sharded drain yields sorted entries for free, so the fair comparison
     // charges the global path the packed-key sort `from_coo` runs next.
     let g = chung_lu(5_000, 75_000, 2.5, 4);
-    let cfg =
-        SamplerConfig { window: 10, samples: 750_000, downsample: true, c_factor: None, seed: 5 };
+    let cfg = SamplerConfig { window: 10, samples: 750_000, seed: 5, ..Default::default() };
     let mut group = c.benchmark_group("aggregation_path");
     group.sample_size(10);
 

@@ -26,7 +26,7 @@ fn measure(
     buffers: bool,
     seed: u64,
 ) -> usize {
-    let cfg = SamplerConfig { window, samples, downsample, c_factor: None, seed };
+    let cfg = SamplerConfig { window, samples, downsample, seed, ..Default::default() };
     if buffers {
         let agg = ThreadLocalAggregator::new();
         sample_into(g, &cfg, &agg).expect("sampling failed").aggregator_bytes

@@ -26,7 +26,7 @@ use lightne_graph::{Graph, GraphBuilder, VertexId};
 use lightne_hash::{ConcurrentEdgeTable, EdgeAggregator};
 use lightne_linalg::{CsrMatrix, DenseMatrix};
 use lightne_sparsifier::construct::{SamplerConfig, SamplerError, SamplerStats, SparsifierOutput};
-use lightne_sparsifier::downsample::{default_c, edge_probability};
+use lightne_sparsifier::downsample::{default_c, scheme_edge_probability};
 use lightne_sparsifier::netmf::sparsifier_to_netmf;
 use lightne_sparsifier::path_sampling::path_sample;
 use lightne_utils::rng::XorShiftStream;
@@ -102,7 +102,7 @@ impl DynamicLightNe {
             for (a, b) in [(u, v), (v, u)] {
                 let n_e = per_arc.floor() as u64 + u64::from(rng.bernoulli(per_arc.fract()));
                 let p_e = if self.cfg.downsample {
-                    edge_probability(g.degree(a), g.degree(b), c)
+                    scheme_edge_probability(self.cfg.prob, g, a, b, c)
                 } else {
                     1.0
                 };

@@ -677,6 +677,7 @@ pub fn run_pipeline<S: PipelineSource>(
         samples,
         downsample: cfg.downsample,
         c_factor: cfg.c_factor,
+        prob: cfg.prob,
         seed: ctx.stage_seed(StageKind::Sparsify),
     };
 

@@ -14,6 +14,7 @@ use lightne_linalg::{CsrMatrix, DenseMatrix};
 use lightne_sparsifier::construct::{
     build_sparsifier, SamplerConfig, SamplerError, SamplerStats, SparsifierOutput,
 };
+use lightne_sparsifier::downsample::ProbScheme;
 use lightne_sparsifier::netmf::sparsifier_to_netmf;
 use lightne_sparsifier::sharded::{
     build_sharded_sparsifier, build_weighted_sharded_sparsifier, sharded_to_netmf,
@@ -35,6 +36,8 @@ pub struct LightNeConfig {
     pub downsample: bool,
     /// Downsampling constant override (`None` = `log n`).
     pub c_factor: Option<f64>,
+    /// Edge-survival probability scheme for the downsampling coin.
+    pub prob: ProbScheme,
     /// Negative-sample count `b` in the NetMF matrix.
     pub negative: f64,
     /// Randomized-SVD oversampling.
@@ -63,6 +66,7 @@ impl Default for LightNeConfig {
             sample_ratio: 1.0,
             downsample: true,
             c_factor: None,
+            prob: ProbScheme::Degree,
             negative: 1.0,
             oversampling: 16,
             power_iters: 1,
@@ -101,13 +105,14 @@ impl LightNeConfig {
             None => "none".to_string(),
         };
         format!(
-            "dim {}\nwindow {}\nsample_ratio {:016x}\ndownsample {}\nc_factor {}\n\
+            "dim {}\nwindow {}\nsample_ratio {:016x}\ndownsample {}\nc_factor {}\nprob {}\n\
              negative {:016x}\noversampling {}\npower_iters {}\nseed {}\n",
             self.dim,
             self.window,
             self.sample_ratio.to_bits(),
             self.downsample,
             c_factor,
+            self.prob.name(),
             self.negative.to_bits(),
             self.oversampling,
             self.power_iters,

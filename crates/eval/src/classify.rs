@@ -112,11 +112,20 @@ impl OneVsRest {
             .collect()
     }
 
-    /// Predicts the top-`k` classes for one vertex.
-    pub fn predict_top_k(&self, x: &[f32], k: usize) -> Vec<u16> {
+    /// All classes ranked by decreasing decision score.
+    ///
+    /// `total_cmp` keeps the ordering total even when a score is NaN
+    /// (a diverged or all-zero model must degrade, not panic).
+    pub fn rank_classes(&self, x: &[f32]) -> Vec<u16> {
         let scores = self.scores(x);
         let mut idx: Vec<u16> = (0..scores.len() as u16).collect();
-        idx.sort_by(|&a, &b| scores[b as usize].partial_cmp(&scores[a as usize]).unwrap());
+        idx.sort_by(|&a, &b| scores[b as usize].total_cmp(&scores[a as usize]));
+        idx
+    }
+
+    /// Predicts the top-`k` classes for one vertex.
+    pub fn predict_top_k(&self, x: &[f32], k: usize) -> Vec<u16> {
+        let mut idx = self.rank_classes(x);
         idx.truncate(k);
         idx.sort_unstable();
         idx
@@ -124,9 +133,16 @@ impl OneVsRest {
 }
 
 /// Splits the labelled vertices into train/test with the given ratio.
+///
+/// With fewer than two labelled vertices no split exists: everything goes
+/// to the (possibly empty) train side and the test side is empty, instead
+/// of the `len - 1` underflow this used to hit.
 pub fn train_test_split(labels: &Labels, train_ratio: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
     assert!(train_ratio > 0.0 && train_ratio < 1.0, "ratio must be in (0,1)");
     let mut vertices = labels.labelled_vertices();
+    if vertices.len() < 2 {
+        return (vertices, Vec::new());
+    }
     let mut rng = XorShiftStream::new(seed, 0);
     for i in (1..vertices.len()).rev() {
         let j = rng.bounded_usize(i + 1);
@@ -199,14 +215,64 @@ pub fn evaluate_with_config(
     seed: u64,
     cfg: &TrainConfig,
 ) -> F1Scores {
+    evaluate_classification_report(embedding, labels, train_ratio, seed, cfg, &[]).f1
+}
+
+/// F1 plus ranking-quality detail from one classification run.
+#[derive(Debug, Clone)]
+pub struct ClassificationReport {
+    /// Micro/Macro F1 under the "known k" protocol.
+    pub f1: F1Scores,
+    /// `(K, mean precision@K)` over test vertices, for each requested `K`:
+    /// the fraction of the top-`K` ranked classes that are true labels.
+    pub precision_at: Vec<(usize, f64)>,
+}
+
+/// Full protocol with precision@K detail: split, train, rank classes per
+/// test vertex, score. An empty test split (too few labelled vertices)
+/// reports zeros rather than panicking.
+pub fn evaluate_classification_report(
+    embedding: &DenseMatrix,
+    labels: &Labels,
+    train_ratio: f64,
+    seed: u64,
+    cfg: &TrainConfig,
+    precision_ks: &[usize],
+) -> ClassificationReport {
     let (train, test) = train_test_split(labels, train_ratio, seed);
+    if test.is_empty() {
+        return ClassificationReport {
+            f1: F1Scores { micro: 0.0, macro_: 0.0 },
+            precision_at: precision_ks.iter().map(|&k| (k, 0.0)).collect(),
+        };
+    }
     let model = OneVsRest::train(embedding, labels, &train, cfg);
-    let predicted: Vec<Vec<u16>> = test
-        .par_iter()
-        .map(|&v| model.predict_top_k(embedding.row(v), labels.of(v).len()))
+    let ranked: Vec<Vec<u16>> =
+        test.par_iter().map(|&v| model.rank_classes(embedding.row(v))).collect();
+    let predicted: Vec<Vec<u16>> = ranked
+        .iter()
+        .zip(&test)
+        .map(|(r, &v)| {
+            let mut p = r[..labels.of(v).len().min(r.len())].to_vec();
+            p.sort_unstable();
+            p
+        })
         .collect();
     let truth: Vec<&[u16]> = test.iter().map(|&v| labels.of(v)).collect();
-    f1_scores(labels.num_labels(), &truth, &predicted)
+    let f1 = f1_scores(labels.num_labels(), &truth, &predicted);
+    let precision_at = precision_ks
+        .iter()
+        .map(|&k| {
+            let mean = ranked
+                .iter()
+                .zip(&truth)
+                .map(|(r, t)| crate::metrics::precision_at_k(r, t, k))
+                .sum::<f64>()
+                / test.len() as f64;
+            (k, mean)
+        })
+        .collect();
+    ClassificationReport { f1, precision_at }
 }
 
 #[cfg(test)]

@@ -12,6 +12,14 @@
 //! * [`clustering`] — k-means + NMI, a label-free quality probe for the
 //!   synthetic community workloads (standard in the embedding literature
 //!   the paper builds on).
+//! * [`metrics`] — the scalar ranking metrics behind the protocols
+//!   (tie-aware ROC-AUC, Spearman, precision@K), total on degenerate
+//!   input.
+//! * [`structure`] — label-free structure-preservation probes:
+//!   connected-component separability and centrality rank correlation.
+//! * [`scenario`] — the quality scenario matrix: every generator profile
+//!   × every sparsifier probability scheme × every task, feeding the
+//!   committed `results/BENCH_quality.json` trajectory and its CI gate.
 //! * [`cost`] — the Azure price table of Table 2, converting measured
 //!   wall-clock into the dollar figures the paper reports.
 
@@ -23,8 +31,16 @@ pub mod classify;
 pub mod clustering;
 pub mod cost;
 pub mod linkpred;
+pub mod metrics;
+pub mod scenario;
+pub mod structure;
 
-pub use classify::{evaluate_node_classification, F1Scores};
+pub use classify::{
+    evaluate_classification_report, evaluate_node_classification, ClassificationReport, F1Scores,
+};
 pub use clustering::{kmeans, nmi, KMeansResult};
 pub use cost::{AzureInstance, CostModel};
 pub use linkpred::{split_edges, LinkPredMetrics};
+pub use metrics::{precision_at_k, roc_auc, spearman};
+pub use scenario::{psne_wins, run_matrix, run_profile, MatrixConfig, ScenarioResult, Task};
+pub use structure::{structure_report, StructureReport};

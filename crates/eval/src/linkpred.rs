@@ -8,7 +8,7 @@
 //! (mean rank), MRR (mean reciprocal rank), HITS@K, plus ROC-AUC over
 //! positive/negative scores for the GraphVite comparison (Section 5.2.2).
 
-use lightne_graph::{Graph, GraphBuilder, VertexId};
+use lightne_graph::{Graph, GraphBuilder, GraphOps, VertexId};
 use lightne_linalg::DenseMatrix;
 use lightne_utils::rng::XorShiftStream;
 use rayon::prelude::*;
@@ -29,14 +29,23 @@ pub struct LinkPredMetrics {
 /// Removes ~`holdout · m` edges from `g`, returning the training graph
 /// and the held-out positives. Edges whose removal would isolate an
 /// endpoint (degree 1) are kept in training, matching the usual protocol.
-pub fn split_edges(g: &Graph, holdout: f64, seed: u64) -> (Graph, Vec<(VertexId, VertexId)>) {
+///
+/// Generic over [`GraphOps`] so the split is taken identically on the
+/// CSR, v1-compressed and v2-compressed backends: every backend visits
+/// each vertex's neighbours in the same ascending order, and the single
+/// sequential RNG consumes one coin per undirected edge in that order.
+pub fn split_edges<G: GraphOps>(
+    g: &G,
+    holdout: f64,
+    seed: u64,
+) -> (Graph, Vec<(VertexId, VertexId)>) {
     assert!(holdout > 0.0 && holdout < 1.0);
     let mut rng = XorShiftStream::new(seed, 0);
     let mut held = Vec::new();
     let mut kept = Vec::new();
     let mut deg: Vec<usize> = (0..g.num_vertices()).map(|v| g.degree(v as VertexId)).collect();
     for u in 0..g.num_vertices() as VertexId {
-        for &v in g.neighbors(u) {
+        g.for_each_neighbor(u, &mut |v| {
             if u < v {
                 if rng.bernoulli(holdout) && deg[u as usize] > 1 && deg[v as usize] > 1 {
                     held.push((u, v));
@@ -46,7 +55,7 @@ pub fn split_edges(g: &Graph, holdout: f64, seed: u64) -> (Graph, Vec<(VertexId,
                     kept.push((u, v));
                 }
             }
-        }
+        });
     }
     (GraphBuilder::from_edges(g.num_vertices(), &kept), held)
 }
@@ -58,6 +67,11 @@ fn score(x: &DenseMatrix, u: VertexId, v: VertexId) -> f64 {
 
 /// Ranks each positive against corrupted negatives and computes the
 /// metrics. `hits_at` lists the `K` values to report.
+///
+/// Degenerate inputs are well-defined rather than panics: an empty
+/// positive set reports zero ranks and chance-level AUC, and a graph too
+/// small to corrupt (`n <= 2`, where every redraw collides with the
+/// positive pair) yields zero negatives per edge and chance-level AUC.
 pub fn rank_held_out(
     embedding: &DenseMatrix,
     positives: &[(VertexId, VertexId)],
@@ -65,9 +79,16 @@ pub fn rank_held_out(
     hits_at: &[usize],
     seed: u64,
 ) -> LinkPredMetrics {
-    assert!(!positives.is_empty(), "no held-out edges to evaluate");
+    if positives.is_empty() {
+        return LinkPredMetrics {
+            mr: 0.0,
+            mrr: 0.0,
+            hits: hits_at.iter().map(|&k| (k, 0.0)).collect(),
+            auc: 0.5,
+        };
+    }
     let n = embedding.rows();
-    let per_edge: Vec<(f64, f64, Vec<bool>, u64, u64)> = positives
+    let per_edge: Vec<(f64, f64, Vec<bool>, u64, u64, u64)> = positives
         .par_iter()
         .enumerate()
         .map(|(i, &(u, v))| {
@@ -75,8 +96,9 @@ pub fn rank_held_out(
             let pos = score(embedding, u, v);
             let mut rank = 1usize;
             let mut auc_wins = 0u64;
+            let mut ties = 0u64;
             let mut drawn = 0u64;
-            while drawn < num_negatives as u64 {
+            while n > 2 && drawn < num_negatives as u64 {
                 let v_neg = rng.bounded_usize(n) as VertexId;
                 // A "corrupted" edge equal to the positive (or a self-loop)
                 // is not a negative; redraw.
@@ -89,12 +111,16 @@ pub fn rank_held_out(
                     rank += 1;
                 } else if s < pos {
                     auc_wins += 1;
+                } else {
+                    // Exact ties (all-equal scores, zero embeddings) take
+                    // the Mann-Whitney half credit instead of silently
+                    // counting against the AUC; the optimistic rank is
+                    // unchanged.
+                    ties += 1;
                 }
-                // Exact ties (measure-zero for real embeddings) count
-                // against neither rank nor AUC.
             }
             let hit: Vec<bool> = hits_at.iter().map(|&k| rank <= k).collect();
-            (rank as f64, 1.0 / rank as f64, hit, auc_wins, drawn)
+            (rank as f64, 1.0 / rank as f64, hit, auc_wins, ties, drawn)
         })
         .collect();
 
@@ -110,8 +136,9 @@ pub fn rank_held_out(
         })
         .collect();
     let wins: u64 = per_edge.iter().map(|e| e.3).sum();
-    let trials: u64 = per_edge.iter().map(|e| e.4).sum();
-    let auc = wins as f64 / trials as f64;
+    let ties: u64 = per_edge.iter().map(|e| e.4).sum();
+    let trials: u64 = per_edge.iter().map(|e| e.5).sum();
+    let auc = if trials == 0 { 0.5 } else { (wins as f64 + 0.5 * ties as f64) / trials as f64 };
     LinkPredMetrics { mr, mrr, hits, auc }
 }
 

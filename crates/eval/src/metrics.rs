@@ -1,0 +1,144 @@
+//! Scalar ranking metrics shared by the evaluation protocols.
+//!
+//! All functions are total on degenerate input: single-class label sets,
+//! all-tied scores and empty slices return the metric's natural neutral
+//! value (chance-level AUC, zero correlation, zero precision) instead of
+//! panicking or producing NaN.
+
+/// 1-based average ranks of `values` in ascending order; exact ties share
+/// the mean of the rank positions they occupy (the Mann-Whitney / Spearman
+/// convention). NaNs order via `total_cmp` so the ranking is always total.
+pub fn average_ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// ROC-AUC of `scores` against boolean `labels` via the rank-sum
+/// (Mann-Whitney U) identity, with half credit for tied scores. Returns
+/// 0.5 when one class is absent (no ranking question exists).
+pub fn roc_auc(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len());
+    let n_pos = labels.iter().filter(|&&b| b).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let ranks = average_ranks(scores);
+    let rank_sum: f64 = ranks.iter().zip(labels).filter(|&(_, &b)| b).map(|(&r, _)| r).sum();
+    (rank_sum - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va * vb).sqrt()
+}
+
+/// Spearman rank correlation: Pearson correlation of the tie-averaged
+/// ranks. Returns 0.0 for constant inputs or fewer than two points.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.len() < 2 {
+        return 0.0;
+    }
+    pearson(&average_ranks(a), &average_ranks(b))
+}
+
+/// Precision@K: the fraction of the first `k` entries of the ranked
+/// prediction that appear in the (unordered) relevant set. `k = 0` and
+/// empty predictions score 0.0.
+pub fn precision_at_k(ranked: &[u16], relevant: &[u16], k: usize) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked.iter().take(k).filter(|l| relevant.contains(l)).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_without_ties_are_positions() {
+        assert_eq!(average_ranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn tied_ranks_share_the_average() {
+        // Sorted: 1, 2, 2, 3 → tied pair occupies positions 2 and 3.
+        assert_eq!(average_ranks(&[2.0, 1.0, 3.0, 2.0]), vec![2.5, 1.0, 4.0, 2.5]);
+    }
+
+    #[test]
+    fn auc_separable_and_inverted() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        assert_eq!(roc_auc(&scores, &[false, false, true, true]), 1.0);
+        assert_eq!(roc_auc(&scores, &[true, true, false, false]), 0.0);
+    }
+
+    #[test]
+    fn auc_all_tied_is_half() {
+        let scores = [3.0; 6];
+        let labels = [true, false, true, false, false, true];
+        assert_eq!(roc_auc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[1.0, 2.0], &[false, false]), 0.5);
+        assert_eq!(roc_auc(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn spearman_monotone_and_inverted() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!((spearman(&a, &[10.0, 20.0, 25.0, 90.0]) - 1.0).abs() < 1e-12);
+        assert!((spearman(&a, &[4.0, 3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_constant_input_is_zero() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(spearman(&[5.0], &[7.0]), 0.0);
+    }
+
+    #[test]
+    fn precision_at_k_hand_cases() {
+        let ranked = [3u16, 1, 4, 2];
+        assert_eq!(precision_at_k(&ranked, &[3, 2], 1), 1.0);
+        assert_eq!(precision_at_k(&ranked, &[3, 2], 2), 0.5);
+        assert_eq!(precision_at_k(&ranked, &[3, 2], 4), 0.5);
+        assert_eq!(precision_at_k(&ranked, &[9], 4), 0.0);
+        assert_eq!(precision_at_k(&ranked, &[3], 0), 0.0);
+        assert_eq!(precision_at_k(&[], &[3], 2), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Graph-structure preservation checks.
+//!
+//! Label-free probes that any faithful embedding must pass, used by the
+//! quality scenario matrix alongside the supervised tasks:
+//!
+//! * **connected-component separability** — vertices in the same
+//!   component should be closer in embedding space than vertices in
+//!   different components, scored as a ROC-AUC over sampled vertex pairs
+//!   (score = negative squared distance, positive = same component);
+//! * **centrality rank correlation** — embedding row norms should rank
+//!   vertices similarly to degree and PageRank (NetMF-family embeddings
+//!   scale rows with vertex frequency), scored by Spearman correlation.
+
+use crate::metrics::{roc_auc, spearman};
+use lightne_graph::algorithms::{connected_components, pagerank};
+use lightne_graph::GraphOps;
+use lightne_linalg::DenseMatrix;
+use lightne_utils::rng::XorShiftStream;
+
+/// Structure-preservation scores for one embedding.
+#[derive(Debug, Clone)]
+pub struct StructureReport {
+    /// ROC-AUC of same-component vs cross-component pairs by embedding
+    /// distance. Vacuously 1.0 when all non-isolated vertices share one
+    /// component (there is no cross-component pair to mis-rank).
+    pub component_auc: f64,
+    /// Spearman correlation of embedding row norms with vertex degrees.
+    pub degree_spearman: f64,
+    /// Spearman correlation of embedding row norms with PageRank.
+    pub pagerank_spearman: f64,
+    /// Number of connected components among non-isolated vertices.
+    pub components: usize,
+}
+
+fn sq_dist(x: &DenseMatrix, u: usize, v: usize) -> f64 {
+    x.row(u)
+        .iter()
+        .zip(x.row(v))
+        .map(|(&a, &b)| {
+            let d = a as f64 - b as f64;
+            d * d
+        })
+        .sum()
+}
+
+/// Computes the [`StructureReport`] for `embedding` on `g`, sampling up
+/// to `pairs` vertex pairs for the component-separability AUC. Isolated
+/// vertices are excluded throughout: their embedding rows carry no
+/// structural signal, and each would be its own singleton component.
+pub fn structure_report<G: GraphOps>(
+    g: &G,
+    embedding: &DenseMatrix,
+    pairs: usize,
+    seed: u64,
+) -> StructureReport {
+    let n = g.num_vertices();
+    assert_eq!(embedding.rows(), n, "embedding rows must match vertex count");
+    let comp = connected_components(g);
+    let active: Vec<usize> = (0..n).filter(|&v| g.degree(v as u32) > 0).collect();
+    let mut distinct: Vec<u32> = active.iter().map(|&v| comp[v]).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let components = distinct.len();
+
+    let component_auc = if components < 2 || active.len() < 2 {
+        1.0
+    } else {
+        let mut rng = XorShiftStream::new(seed, 0);
+        let mut scores = Vec::with_capacity(pairs);
+        let mut labels = Vec::with_capacity(pairs);
+        for _ in 0..pairs {
+            let u = active[rng.bounded_usize(active.len())];
+            let v = active[rng.bounded_usize(active.len())];
+            if u == v {
+                continue;
+            }
+            scores.push(-sq_dist(embedding, u, v));
+            labels.push(comp[u] == comp[v]);
+        }
+        roc_auc(&scores, &labels)
+    };
+
+    let norms: Vec<f64> = active.iter().map(|&v| sq_dist_origin(embedding, v)).collect();
+    let degrees: Vec<f64> = active.iter().map(|&v| g.degree(v as u32) as f64).collect();
+    let (pr, _) = pagerank(g, 0.85, 1e-10, 100);
+    let pr_active: Vec<f64> = active.iter().map(|&v| pr[v]).collect();
+
+    StructureReport {
+        component_auc,
+        degree_spearman: spearman(&norms, &degrees),
+        pagerank_spearman: spearman(&norms, &pr_active),
+        components,
+    }
+}
+
+fn sq_dist_origin(x: &DenseMatrix, v: usize) -> f64 {
+    x.row(v).iter().map(|&a| a as f64 * a as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightne_graph::GraphBuilder;
+
+    /// Two disconnected triangles plus one isolated vertex.
+    fn two_triangles() -> lightne_graph::Graph {
+        GraphBuilder::from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+    }
+
+    #[test]
+    fn planted_components_are_separable() {
+        let g = two_triangles();
+        let mut emb = DenseMatrix::zeros(7, 2);
+        for v in 0..3 {
+            emb.set(v, 0, 1.0);
+        }
+        for v in 3..6 {
+            emb.set(v, 1, 1.0);
+        }
+        let r = structure_report(&g, &emb, 5_000, 3);
+        assert_eq!(r.components, 2);
+        assert_eq!(r.component_auc, 1.0);
+    }
+
+    #[test]
+    fn scrambled_embedding_separates_nothing() {
+        let g = two_triangles();
+        // All active vertices identical → every pair distance ties → 0.5.
+        let mut emb = DenseMatrix::zeros(7, 2);
+        for v in 0..6 {
+            emb.set(v, 0, 1.0);
+        }
+        let r = structure_report(&g, &emb, 5_000, 3);
+        assert_eq!(r.component_auc, 0.5);
+    }
+
+    #[test]
+    fn single_component_is_vacuously_separable() {
+        let g = GraphBuilder::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let emb = DenseMatrix::gaussian(4, 3, 1);
+        let r = structure_report(&g, &emb, 1_000, 2);
+        assert_eq!(r.components, 1);
+        assert_eq!(r.component_auc, 1.0);
+    }
+
+    #[test]
+    fn norms_tracking_degree_score_positive_spearman() {
+        // Star: center has degree 6, leaves degree 1. Plant norms ∝ degree.
+        let edges: Vec<(u32, u32)> = (1..7).map(|v| (0, v)).collect();
+        let g = GraphBuilder::from_edges(7, &edges);
+        let mut emb = DenseMatrix::zeros(7, 1);
+        emb.set(0, 0, 10.0);
+        for v in 1..7 {
+            emb.set(v, 0, 1.0 + 0.01 * v as f32);
+        }
+        let r = structure_report(&g, &emb, 1_000, 4);
+        assert!(r.degree_spearman > 0.5, "degree spearman {}", r.degree_spearman);
+        assert!(r.pagerank_spearman > 0.5, "pagerank spearman {}", r.pagerank_spearman);
+    }
+}

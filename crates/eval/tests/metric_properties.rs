@@ -1,0 +1,193 @@
+//! Property tests for the evaluation metrics: randomized inputs checked
+//! against tiny brute-force oracles, plus the degenerate inputs
+//! (single-class labels, all-tied scores, empty test split) that a
+//! protocol implementation must survive without panicking or emitting NaN.
+//!
+//! Everything is seeded through [`XorShiftStream`]; no ambient randomness.
+
+use lightne_eval::classify::{evaluate_classification_report, f1_scores, TrainConfig};
+use lightne_eval::metrics::{average_ranks, precision_at_k, roc_auc, spearman};
+use lightne_gen::Labels;
+use lightne_linalg::DenseMatrix;
+use lightne_utils::rng::XorShiftStream;
+
+/// O(P*N) pairwise ROC-AUC: wins + half-credit ties over all
+/// positive/negative pairs. The library computes the same quantity via
+/// the Mann-Whitney rank-sum identity; the two must agree to float
+/// round-off on every input.
+fn auc_oracle(scores: &[f64], labels: &[bool]) -> f64 {
+    let pos: Vec<f64> = scores.iter().zip(labels).filter(|(_, &l)| l).map(|(&s, _)| s).collect();
+    let neg: Vec<f64> = scores.iter().zip(labels).filter(|(_, &l)| !l).map(|(&s, _)| s).collect();
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    let mut credit = 0.0;
+    for &p in &pos {
+        for &n in &neg {
+            if p > n {
+                credit += 1.0;
+            } else if p == n {
+                credit += 0.5;
+            }
+        }
+    }
+    credit / (pos.len() * neg.len()) as f64
+}
+
+#[test]
+fn roc_auc_matches_pairwise_oracle_on_random_inputs() {
+    let mut rng = XorShiftStream::new(0xA0C, 0);
+    for trial in 0..200 {
+        let n = 2 + rng.bounded_usize(40);
+        // Quantized scores so ties actually occur.
+        let scores: Vec<f64> = (0..n).map(|_| rng.bounded(8) as f64).collect();
+        let labels: Vec<bool> = (0..n).map(|_| rng.bernoulli(0.4)).collect();
+        let got = roc_auc(&scores, &labels);
+        let want = auc_oracle(&scores, &labels);
+        assert!((got - want).abs() < 1e-12, "trial {trial}: got {got}, oracle {want}");
+        assert!(got.is_finite());
+    }
+}
+
+#[test]
+fn roc_auc_degenerate_inputs_are_half() {
+    // Single-class label vectors and the empty input have no ranking
+    // information: chance AUC, not NaN and not a panic.
+    assert_eq!(roc_auc(&[1.0, 2.0, 3.0], &[true, true, true]), 0.5);
+    assert_eq!(roc_auc(&[1.0, 2.0, 3.0], &[false, false, false]), 0.5);
+    assert_eq!(roc_auc(&[], &[]), 0.5);
+    // All-tied scores: every positive/negative pair is a half-credit tie.
+    let auc = roc_auc(&[7.0; 6], &[true, false, true, false, false, true]);
+    assert!((auc - 0.5).abs() < 1e-12, "all-tied AUC {auc}");
+}
+
+/// Definitional micro/macro F1 from per-class precision/recall, written
+/// independently of the library's TP/FP/FN counting.
+fn f1_oracle(num_labels: usize, truth: &[&[u16]], predicted: &[Vec<u16>]) -> (f64, f64) {
+    let mut micro_tp = 0.0;
+    let mut micro_pred = 0.0;
+    let mut micro_truth = 0.0;
+    let mut macro_sum = 0.0;
+    let mut macro_n = 0usize;
+    for l in 0..num_labels as u16 {
+        let tp =
+            truth.iter().zip(predicted).filter(|(t, p)| t.contains(&l) && p.contains(&l)).count()
+                as f64;
+        let n_pred = predicted.iter().filter(|p| p.contains(&l)).count() as f64;
+        let n_truth = truth.iter().filter(|t| t.contains(&l)).count() as f64;
+        micro_tp += tp;
+        micro_pred += n_pred;
+        micro_truth += n_truth;
+        if n_truth > 0.0 {
+            let (prec, rec) = (if n_pred == 0.0 { 0.0 } else { tp / n_pred }, tp / n_truth);
+            macro_sum += if prec + rec == 0.0 { 0.0 } else { 2.0 * prec * rec / (prec + rec) };
+            macro_n += 1;
+        }
+    }
+    let (prec, rec) = (
+        if micro_pred == 0.0 { 0.0 } else { micro_tp / micro_pred },
+        if micro_truth == 0.0 { 0.0 } else { micro_tp / micro_truth },
+    );
+    let micro = if prec + rec == 0.0 { 0.0 } else { 2.0 * prec * rec / (prec + rec) };
+    let macro_ = if macro_n == 0 { 0.0 } else { macro_sum / macro_n as f64 };
+    (100.0 * micro, 100.0 * macro_)
+}
+
+#[test]
+fn f1_scores_match_definitional_oracle_on_random_label_sets() {
+    let mut rng = XorShiftStream::new(0xF1, 1);
+    for trial in 0..100 {
+        let num_labels = 1 + rng.bounded_usize(6);
+        let n = 1 + rng.bounded_usize(20);
+        let draw = |rng: &mut XorShiftStream| -> Vec<u16> {
+            let mut set: Vec<u16> =
+                (0..num_labels as u16).filter(|_| rng.bernoulli(0.35)).collect();
+            set.sort_unstable();
+            set
+        };
+        let truth_owned: Vec<Vec<u16>> = (0..n).map(|_| draw(&mut rng)).collect();
+        let truth: Vec<&[u16]> = truth_owned.iter().map(|t| t.as_slice()).collect();
+        let predicted: Vec<Vec<u16>> = (0..n).map(|_| draw(&mut rng)).collect();
+        let got = f1_scores(num_labels, &truth, &predicted);
+        let (micro, macro_) = f1_oracle(num_labels, &truth, &predicted);
+        assert!((got.micro - micro).abs() < 1e-9, "trial {trial}: micro {} vs {micro}", got.micro);
+        assert!(
+            (got.macro_ - macro_).abs() < 1e-9,
+            "trial {trial}: macro {} vs {macro_}",
+            got.macro_
+        );
+        assert!(got.micro.is_finite() && got.macro_.is_finite());
+    }
+}
+
+#[test]
+fn f1_single_class_and_empty_truth_do_not_blow_up() {
+    // Single class everywhere: perfect prediction is 100/100.
+    let truth: Vec<&[u16]> = vec![&[0], &[0], &[0]];
+    let predicted = vec![vec![0], vec![0], vec![0]];
+    let f1 = f1_scores(1, &truth, &predicted);
+    assert_eq!((f1.micro, f1.macro_), (100.0, 100.0));
+    // Nothing true and nothing predicted: defined as zero, not NaN.
+    let truth: Vec<&[u16]> = vec![&[], &[]];
+    let f1 = f1_scores(3, &truth, &[vec![], vec![]]);
+    assert_eq!((f1.micro, f1.macro_), (0.0, 0.0));
+}
+
+#[test]
+fn precision_at_k_matches_counting_oracle() {
+    let mut rng = XorShiftStream::new(0x9A7, 2);
+    for _ in 0..100 {
+        let classes = 1 + rng.bounded_usize(8);
+        let mut ranked: Vec<u16> = (0..classes as u16).collect();
+        for i in (1..ranked.len()).rev() {
+            let j = rng.bounded_usize(i + 1);
+            ranked.swap(i, j);
+        }
+        let relevant: Vec<u16> = (0..classes as u16).filter(|_| rng.bernoulli(0.5)).collect();
+        for k in 0..=classes + 2 {
+            let got = precision_at_k(&ranked, &relevant, k);
+            let hits = ranked.iter().take(k).filter(|c| relevant.contains(c)).count() as f64;
+            let want = if k == 0 { 0.0 } else { hits / k as f64 };
+            assert!((got - want).abs() < 1e-12, "k={k}: got {got}, want {want}");
+        }
+    }
+}
+
+#[test]
+fn spearman_matches_rank_pearson_oracle() {
+    let mut rng = XorShiftStream::new(0x5EA, 3);
+    for _ in 0..50 {
+        let n = 3 + rng.bounded_usize(30);
+        let xs: Vec<f64> = (0..n).map(|_| rng.bounded(10) as f64).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.bounded(10) as f64).collect();
+        let got = spearman(&xs, &ys);
+        // Oracle: plain Pearson on tie-averaged ranks, written out longhand.
+        let (rx, ry) = (average_ranks(&xs), average_ranks(&ys));
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (mx, my) = (mean(&rx), mean(&ry));
+        let cov: f64 = rx.iter().zip(&ry).map(|(a, b)| (a - mx) * (b - my)).sum();
+        let (vx, vy): (f64, f64) =
+            (rx.iter().map(|a| (a - mx).powi(2)).sum(), ry.iter().map(|b| (b - my).powi(2)).sum());
+        let want = if vx == 0.0 || vy == 0.0 { 0.0 } else { cov / (vx * vy).sqrt() };
+        assert!((got - want).abs() < 1e-9, "got {got}, want {want}");
+        assert!(got.is_finite() && (-1.0..=1.0).contains(&got));
+    }
+}
+
+#[test]
+fn classification_report_with_empty_test_split_reports_zeros() {
+    // One labelled vertex cannot be split into train AND test: the
+    // protocol must report zeros, not panic on an empty test set.
+    let labels = Labels::new(2, vec![vec![0], vec![], vec![]]);
+    let embedding = DenseMatrix::zeros(3, 4);
+    let report = evaluate_classification_report(
+        &embedding,
+        &labels,
+        0.5,
+        7,
+        &TrainConfig::default(),
+        &[1, 3],
+    );
+    assert_eq!((report.f1.micro, report.f1.macro_), (0.0, 0.0));
+    assert_eq!(report.precision_at, vec![(1, 0.0), (3, 0.0)]);
+}

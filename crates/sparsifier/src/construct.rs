@@ -26,7 +26,7 @@
 //!
 //! which `netmf.rs` inverts to recover the NetMF matrix entry.
 
-use crate::downsample::{default_c, edge_probability, expected_kept_samples};
+use crate::downsample::{default_c, expected_kept_samples, scheme_edge_probability, ProbScheme};
 use crate::path_sampling::path_sample;
 use lightne_graph::GraphOps;
 use lightne_hash::{ConcurrentEdgeTable, EdgeAggregator};
@@ -66,13 +66,22 @@ pub struct SamplerConfig {
     pub downsample: bool,
     /// Downsampling constant `C`; `None` means the paper's `log n`.
     pub c_factor: Option<f64>,
+    /// Edge-survival probability scheme for the downsampling coin.
+    pub prob: ProbScheme,
     /// RNG seed; every arc derives an independent stream from it.
     pub seed: u64,
 }
 
 impl Default for SamplerConfig {
     fn default() -> Self {
-        Self { window: 10, samples: 0, downsample: true, c_factor: None, seed: 0xFACE }
+        Self {
+            window: 10,
+            samples: 0,
+            downsample: true,
+            c_factor: None,
+            prob: ProbScheme::Degree,
+            seed: 0xFACE,
+        }
     }
 }
 
@@ -130,7 +139,7 @@ pub fn sample_into<G: GraphOps, A: EdgeAggregator>(
         if n_e == 0 {
             return;
         }
-        let p_e = if cfg.downsample { edge_probability(g.degree(u), g.degree(v), c) } else { 1.0 };
+        let p_e = if cfg.downsample { scheme_edge_probability(cfg.prob, g, u, v, c) } else { 1.0 };
         let w = (1.0 / p_e) as f32;
         let mut kept = 0u64;
         for _ in 0..n_e {
@@ -163,8 +172,11 @@ pub fn sample_into<G: GraphOps, A: EdgeAggregator>(
 /// the workload exceeds the initial guess.
 pub(crate) fn distinct_guess<G: GraphOps>(g: &G, cfg: &SamplerConfig) -> usize {
     let c = cfg.c_factor.unwrap_or_else(|| default_c(g.num_vertices()));
-    let expected_kept =
-        if cfg.downsample { expected_kept_samples(g, cfg.samples, c) } else { cfg.samples as f64 };
+    let expected_kept = if cfg.downsample {
+        expected_kept_samples(g, cfg.samples, c, cfg.prob)
+    } else {
+        cfg.samples as f64
+    };
     (2.0 * expected_kept)
         .min(g.num_vertices() as f64 * c * (cfg.window * cfg.window) as f64)
         .max(1024.0) as usize
@@ -263,6 +275,7 @@ mod tests {
             samples: 3_000_000,
             downsample: false,
             c_factor: None,
+            prob: ProbScheme::Degree,
             seed: 1,
         };
         check_estimator(&g, &cfg, 0.03);
@@ -276,9 +289,61 @@ mod tests {
             samples: 3_000_000,
             downsample: true,
             c_factor: Some(0.5), // aggressive, to actually exercise p_e < 1
+            prob: ProbScheme::Degree,
             seed: 2,
         };
         check_estimator(&g, &cfg, 0.10);
+    }
+
+    #[test]
+    fn estimator_unbiased_with_psne_downsampling() {
+        // The sharper PSNE bound keeps fewer trials but the 1/p_e
+        // reweighting still makes the estimator exact in expectation.
+        let g = erdos_renyi(60, 600, 40);
+        let cfg = SamplerConfig {
+            window: 3,
+            samples: 3_000_000,
+            downsample: true,
+            c_factor: Some(0.5),
+            prob: ProbScheme::Psne,
+            seed: 2,
+        };
+        check_estimator(&g, &cfg, 0.10);
+    }
+
+    #[test]
+    fn psne_scheme_keeps_fewer_samples_on_dense_overlap() {
+        // On a clique every edge has cn = n-2 common neighbours, so the
+        // PSNE conductance bound 2/(2+cn) is strictly below the degree
+        // bound 2/(n-1): with the same seed the PSNE sampler must keep
+        // measurably fewer trials. This pins the scheme plumbing end to
+        // end — on common-neighbour-poor graphs (cn below the harmonic
+        // mean degree) the two schemes coincide and nothing would differ.
+        let n = 30u32;
+        let edges: Vec<(u32, u32)> = (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))).collect();
+        let g = lightne_graph::GraphBuilder::from_edges(n as usize, &edges);
+        let base = SamplerConfig {
+            window: 3,
+            samples: 400_000,
+            downsample: true,
+            c_factor: Some(1.0), // keeps both schemes' p_e well below 1
+            prob: ProbScheme::Degree,
+            seed: 11,
+        };
+        let (_, s_deg) = build_sparsifier(&g, &base).unwrap();
+        let (_, s_psne) =
+            build_sparsifier(&g, &SamplerConfig { prob: ProbScheme::Psne, ..base }).unwrap();
+        // p_deg = 2/29 per edge, p_psne = 2/30: ~3% fewer kept samples,
+        // far outside Bernoulli noise at 400k trials.
+        assert!(
+            s_psne.kept < s_deg.kept,
+            "psne kept {} !< degree kept {}",
+            s_psne.kept,
+            s_deg.kept
+        );
+        let ratio = s_psne.kept as f64 / s_deg.kept as f64;
+        let expect = (2.0 / 30.0) / (2.0 / 29.0);
+        assert!((ratio - expect).abs() < 0.02, "kept ratio {ratio}, expected {expect}");
     }
 
     #[test]
@@ -289,6 +354,7 @@ mod tests {
             samples: 500_000,
             downsample: false,
             c_factor: None,
+            prob: ProbScheme::Degree,
             seed: 3,
         };
         let (_, s_off) = build_sparsifier(&g, &base).unwrap();
@@ -304,8 +370,13 @@ mod tests {
     fn trial_count_concentrates_around_m() {
         let g = erdos_renyi(200, 1_000, 5);
         for &m in &[1_000u64, 33_333, 100_000] {
-            let cfg =
-                SamplerConfig { window: 4, samples: m, downsample: false, c_factor: None, seed: 7 };
+            let cfg = SamplerConfig {
+                window: 4,
+                samples: m,
+                downsample: false,
+                seed: 7,
+                ..Default::default()
+            };
             let (_, stats) = build_sparsifier(&g, &cfg).unwrap();
             let rel = (stats.trials as f64 - m as f64).abs() / m as f64;
             assert!(rel < 0.1, "M={m}: got {} trials", stats.trials);
@@ -320,6 +391,7 @@ mod tests {
             samples: 100_000,
             downsample: true,
             c_factor: None,
+            prob: ProbScheme::Degree,
             seed: 4,
         };
         let (coo, _) = build_sparsifier(&g, &cfg).unwrap();
@@ -335,8 +407,7 @@ mod tests {
     fn compressed_and_uncompressed_graphs_agree() {
         let g = erdos_renyi(150, 2_000, 21);
         let c = CompressedGraph::from_graph(&g);
-        let cfg =
-            SamplerConfig { window: 4, samples: 50_000, downsample: true, c_factor: None, seed: 5 };
+        let cfg = SamplerConfig { window: 4, samples: 50_000, seed: 5, ..Default::default() };
         let (mut coo_a, _) = build_sparsifier(&g, &cfg).unwrap();
         let (mut coo_b, _) = build_sparsifier(&c, &cfg).unwrap();
         // Deterministic per-arc streams + identical arc indexing ⇒ the two
@@ -358,6 +429,7 @@ mod tests {
             samples: 20_000,
             downsample: false,
             c_factor: None,
+            prob: ProbScheme::Degree,
             seed: 8,
         };
         let (coo, _) = build_sparsifier(&g, &cfg).unwrap();

@@ -17,7 +17,9 @@
 //!   each trial survives with probability
 //!   `p_e = min(1, C·(1/d_u + 1/d_v))`, `C = log n`, and surviving samples
 //!   carry weight `1/p_e` (unbiased by Theorem 3.1; a good effective-
-//!   resistance proxy by Theorem 3.2).
+//!   resistance proxy by Theorem 3.2). A sharper PSNE-grade bound that
+//!   also counts common-neighbour two-hop paths is selectable via
+//!   [`ProbScheme`].
 //! * [`construct`] — **Algorithm 2**: the per-edge parallel sampling loop
 //!   (`G.MapEdges`), generic over the graph representation and the edge
 //!   aggregator.
@@ -42,6 +44,7 @@ pub mod weighted;
 pub use construct::{
     build_sparsifier, SamplerConfig, SamplerError, SamplerStats, SparsifierOutput,
 };
+pub use downsample::ProbScheme;
 pub use netmf::sparsifier_to_netmf;
 pub use sharded::{
     build_sharded_sparsifier, build_weighted_sharded_sparsifier, resolve_shards, sharded_to_netmf,

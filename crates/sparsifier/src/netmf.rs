@@ -75,6 +75,7 @@ pub fn sparsifier_to_netmf<G: GraphOps>(
 mod tests {
     use super::*;
     use crate::construct::{build_sparsifier, SamplerConfig};
+    use crate::downsample::ProbScheme;
     use crate::exact::exact_netmf;
     use lightne_gen::generators::erdos_renyi;
 
@@ -89,6 +90,7 @@ mod tests {
             samples: 4_000_000,
             downsample: false,
             c_factor: None,
+            prob: ProbScheme::Degree,
             seed: 9,
         };
         let (coo, _) = build_sparsifier(&g, &cfg).unwrap();
@@ -116,6 +118,7 @@ mod tests {
             samples: 200_000,
             downsample: true,
             c_factor: None,
+            prob: ProbScheme::Degree,
             seed: 2,
         };
         let (coo, _) = build_sparsifier(&g, &cfg).unwrap();
@@ -139,6 +142,7 @@ mod tests {
             samples: 500_000,
             downsample: false,
             c_factor: None,
+            prob: ProbScheme::Degree,
             seed: 3,
         };
         let (coo, _) = build_sparsifier(&g, &cfg).unwrap();
@@ -156,6 +160,7 @@ mod tests {
             samples: 1_000_000,
             downsample: false,
             c_factor: None,
+            prob: ProbScheme::Degree,
             seed: 6,
         };
         let (coo, _) = build_sparsifier(&g, &cfg).unwrap();

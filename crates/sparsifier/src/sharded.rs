@@ -141,6 +141,7 @@ pub fn weighted_sharded_to_netmf(
 mod tests {
     use super::*;
     use crate::construct::build_sparsifier;
+    use crate::downsample::ProbScheme;
     use crate::netmf::sparsifier_to_netmf;
     use crate::weighted::{build_weighted_sparsifier, weighted_sparsifier_to_netmf};
     use lightne_gen::generators::erdos_renyi;
@@ -166,6 +167,7 @@ mod tests {
             samples: 200_000,
             downsample: true,
             c_factor: None,
+            prob: ProbScheme::Degree,
             seed: 99,
         };
         let (coo, s1) = build_sparsifier(&g, &cfg).unwrap();
@@ -189,6 +191,7 @@ mod tests {
             samples: 100_000,
             downsample: true,
             c_factor: None,
+            prob: ProbScheme::Degree,
             seed: 12,
         };
         let (coo, _) = build_weighted_sparsifier(&g, &cfg).unwrap();

@@ -14,7 +14,7 @@
 //!   `trunc_log( vol² · w(i,j) / (2·b·M·d_i·d_j) )` over weighted
 //!   quantities.
 
-use crate::downsample::default_c;
+use crate::downsample::{default_c, ProbScheme};
 use lightne_graph::weighted::WeightedGraph;
 use lightne_hash::{ConcurrentEdgeTable, EdgeAggregator};
 use lightne_linalg::CsrMatrix;
@@ -24,6 +24,36 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::construct::{SamplerConfig, SamplerError, SamplerStats, SparsifierOutput};
 use crate::netmf::{netmf_factor, trunc_log_entry};
+
+/// Weighted analogue of the PSNE bound: the direct edge (conductance
+/// `w_uv`) in parallel with every two-hop path through a common
+/// neighbour `x` (series conductance `w_ux·w_xv/(w_ux+w_xv)`) upper
+/// bounds the effective conductance from below, so
+/// `R_e <= 1 / (w_uv + Σ_x w_ux·w_xv/(w_ux+w_xv))` by Rayleigh
+/// monotonicity. Both adjacency arrays are sorted by neighbour id, so a
+/// two-pointer merge finds the common neighbours.
+fn weighted_psne_probability(g: &WeightedGraph, u: u32, v: u32, w_uv: f32, c: f64) -> f64 {
+    let (nu, wu) = g.neighbors(u);
+    let (nv, wv) = g.neighbors(v);
+    let mut conductance = w_uv as f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < nu.len() && j < nv.len() {
+        match nu[i].cmp(&nv[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let (a, b) = (wu[i] as f64, wv[j] as f64);
+                if a + b > 0.0 {
+                    conductance += a * b / (a + b);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let degree_bound = 1.0 / g.weighted_degree(u) + 1.0 / g.weighted_degree(v);
+    (c * w_uv as f64 * degree_bound.min(1.0 / conductance)).min(1.0)
+}
 
 /// Weighted PathSampling (Algorithm 1 with weight-proportional walks).
 #[inline]
@@ -79,7 +109,13 @@ pub fn weighted_sample_into<A: EdgeAggregator>(
             return;
         }
         let p_e = if cfg.downsample {
-            (c * w as f64 * (1.0 / g.weighted_degree(u) + 1.0 / g.weighted_degree(v))).min(1.0)
+            match cfg.prob {
+                ProbScheme::Degree => {
+                    (c * w as f64 * (1.0 / g.weighted_degree(u) + 1.0 / g.weighted_degree(v)))
+                        .min(1.0)
+                }
+                ProbScheme::Psne => weighted_psne_probability(g, u, v, w, c),
+            }
         } else {
             1.0
         };
@@ -194,6 +230,7 @@ mod tests {
             samples: 2_000_000,
             downsample: false,
             c_factor: None,
+            prob: ProbScheme::Degree,
             seed: 2,
         };
         let (coo, _) = build_weighted_sparsifier(&g, &cfg).unwrap();
@@ -226,6 +263,7 @@ mod tests {
             samples: 2_000_000,
             downsample: true,
             c_factor: Some(0.3),
+            prob: ProbScheme::Degree,
             seed: 4,
         };
         let (coo, stats) = build_weighted_sparsifier(&g, &cfg).unwrap();
@@ -252,6 +290,56 @@ mod tests {
     }
 
     #[test]
+    fn psne_downsampling_remains_unbiased_weighted() {
+        // The 1/p_e reweighting makes the estimator unbiased for *any*
+        // valid p, so swapping in the sharper PSNE bound must not move
+        // the expectation (Theorem 3.1).
+        let g = small_weighted(3);
+        let cfg = SamplerConfig {
+            window: 3,
+            samples: 2_000_000,
+            downsample: true,
+            c_factor: Some(0.3),
+            prob: ProbScheme::Psne,
+            seed: 4,
+        };
+        let (coo, stats) = build_weighted_sparsifier(&g, &cfg).unwrap();
+        assert!(stats.kept < stats.trials, "downsampling must drop trials");
+        let n = g.num_vertices();
+        let mut got = DenseMatrix::zeros(n, n);
+        for (i, j, w) in coo {
+            got.set(i as usize, j as usize, got.get(i as usize, j as usize) + w);
+        }
+        let exact = walk_sum(&g, cfg.window);
+        let scale = 2.0 * cfg.samples as f64 / (g.volume() * cfg.window as f64);
+        let mut err = 0.0;
+        let mut reference = 0.0;
+        for i in 0..n {
+            let di = g.weighted_degree(i as u32);
+            for j in 0..n {
+                let want = scale * di * exact.get(i, j) as f64;
+                err += (got.get(i, j) as f64 - want).abs();
+                reference += want;
+            }
+        }
+        let rel = err / reference;
+        assert!(rel < 0.15, "psne-downsampled weighted estimator error {rel}");
+    }
+
+    #[test]
+    fn weighted_psne_bound_never_looser_than_degree() {
+        let g = small_weighted(11);
+        let c = 0.4;
+        g.map_arcs(|u, v, w, _| {
+            let degree =
+                (c * w as f64 * (1.0 / g.weighted_degree(u) + 1.0 / g.weighted_degree(v))).min(1.0);
+            let psne = weighted_psne_probability(&g, u, v, w, c);
+            assert!(psne > 0.0 && psne <= 1.0, "invalid probability {psne}");
+            assert!(psne <= degree + 1e-12, "psne {psne} looser than degree {degree}");
+        });
+    }
+
+    #[test]
     fn unit_weights_match_unweighted_sampler_statistics() {
         // With all weights 1 the weighted machinery must reproduce the
         // unweighted estimator's expectations (same trials, same totals).
@@ -263,6 +351,7 @@ mod tests {
             samples: 400_000,
             downsample: false,
             c_factor: None,
+            prob: ProbScheme::Degree,
             seed: 6,
         };
         let (coo_w, stats_w) = build_weighted_sparsifier(&gw, &cfg).unwrap();
@@ -282,6 +371,7 @@ mod tests {
             samples: 300_000,
             downsample: true,
             c_factor: None,
+            prob: ProbScheme::Degree,
             seed: 8,
         };
         let (coo, _) = build_weighted_sparsifier(&g, &cfg).unwrap();
@@ -304,6 +394,7 @@ mod tests {
             samples: 500_000,
             downsample: false,
             c_factor: None,
+            prob: ProbScheme::Degree,
             seed: 9,
         };
         let (coo, _) = build_weighted_sparsifier(&g, &cfg).unwrap();

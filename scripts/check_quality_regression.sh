@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Embedding-quality gate (run by CI).
+#
+# Reads a fresh bench_quality_json report ($1, default
+# results/BENCH_quality_new.json — produce one with run_quality_bench.sh)
+# and fails (exit 1) when:
+#
+#   1. any scenario's primary metric in the new report drops below the
+#      floor committed in the baseline (floors are measured value minus a
+#      statistical margin, so identical-config runs always pass). Floors
+#      for scenarios absent from the new report (a PROFILES subset run)
+#      are skipped; floor comparison is skipped entirely when the
+#      matrix configuration keys differ from the baseline's; or
+#   2. the report covers the full matrix but the PSNE probability scheme
+#      fails to match or beat the degree scheme on at least one scenario
+#      (the head-to-head claim the trajectory exists to defend).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NEW=${1:-results/BENCH_quality_new.json}
+BASELINE=${BASELINE:-results/BENCH_quality.json}
+
+[ -f "$NEW" ] || { echo "no report at $NEW (run scripts/run_quality_bench.sh $NEW)"; exit 1; }
+
+# Extracts the value of a flat one-key-per-line JSON field.
+field() { # field <file> <key>
+    awk -F': ' -v k="\"$2\"" '$1 ~ k { gsub(/[ ,"]/, "", $2); print $2; exit }' "$1"
+}
+
+fail=0
+
+if [ "$(field "$NEW" full_matrix)" = 1 ]; then
+    wins=$(field "$NEW" psne_win_scenarios)
+    if [ -n "$wins" ] && [ "$wins" -ge 1 ]; then
+        echo "ok: psne >= degree on $wins scenario(s)"
+    else
+        echo "FAIL: psne beats degree on no scenario (psne_win_scenarios=$wins)"
+        fail=1
+    fi
+fi
+
+if [ -f "$BASELINE" ]; then
+    same=1
+    for sk in target_n dim window sample_ratio train_ratio holdout negatives pairs seed; do
+        if [ "$(field "$NEW" "$sk")" != "$(field "$BASELINE" "$sk")" ]; then
+            echo "skip: floor comparison ($sk differs from baseline)"
+            same=0
+            break
+        fi
+    done
+    if [ "$same" = 1 ]; then
+        checked=0
+        while read -r key floor; do
+            got=$(field "$NEW" "$key")
+            [ -n "$got" ] || continue # scenario not in this (subset) run
+            checked=$((checked + 1))
+            if awk -v g="$got" -v f="$floor" 'BEGIN { exit !(g >= f) }'; then
+                echo "ok: $key $got >= floor $floor"
+            else
+                echo "FAIL: $key dropped to $got, floor $floor"
+                fail=1
+            fi
+        done < <(awk -F': ' '/"floor_/ {
+            k = $1; gsub(/[ "]/, "", k); sub(/^floor_/, "", k)
+            v = $2; gsub(/[ ,]/, "", v)
+            print k, v
+        }' "$BASELINE")
+        if [ "$checked" = 0 ]; then
+            echo "FAIL: no scenario of the new report matches a baseline floor"
+            fail=1
+        fi
+    fi
+else
+    echo "no committed baseline at $BASELINE; psne head-to-head check only"
+fi
+
+exit "$fail"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the embedding-quality scenario matrix (every generator profile ×
+# both sparsifier probability schemes × classification / link prediction
+# / structure preservation) and writes the flat JSON report to
+# results/BENCH_quality.json (or $1 if given).
+#
+# Environment: TARGET_N (per-profile vertex count, default 4000) and
+# PROFILES (comma-separated subset, default all nine) are passed through
+# to the bench_quality_json binary; --seed/--dim use the
+# committed-baseline defaults unless SEED/DIM are set.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-results/BENCH_quality.json}
+SEED=${SEED:-42}
+DIM=${DIM:-32}
+mkdir -p "$(dirname "$OUT")"
+
+cargo run --release -p lightne-bench --bin bench_quality_json -- \
+    --seed "$SEED" --dim "$DIM" > "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

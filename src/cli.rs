@@ -7,6 +7,7 @@
 use crate::core::{LightNe, LightNeConfig, RunOptions};
 use crate::eval::classify::evaluate_node_classification;
 use crate::eval::linkpred::{rank_held_out, split_edges};
+use crate::eval::scenario::{psne_wins, run_matrix, MatrixConfig};
 use crate::gen::labels::{read_labels, write_labels};
 use crate::gen::profiles::Profile;
 use crate::graph::algorithms::graph_stats;
@@ -14,6 +15,7 @@ use crate::graph::io::{read_binary, read_edge_list, read_weighted_edge_list, wri
 use crate::graph::v2::V2_EXTENSION;
 use crate::graph::{Codec, CompressedGraph, Graph, V2Graph};
 use crate::linalg::matio::{read_matrix, write_matrix};
+use crate::sparsifier::ProbScheme;
 use std::collections::HashMap;
 
 /// Minimal `--key value` / `--flag` parser.
@@ -108,12 +110,19 @@ pub fn profile_by_name(name: &str) -> Result<Profile, String> {
         })
 }
 
+fn prob_scheme_opt(o: &Opts) -> Result<ProbScheme, String> {
+    let name = o.get("sparsify-prob").unwrap_or("degree");
+    ProbScheme::parse(name)
+        .ok_or_else(|| format!("unknown --sparsify-prob {name:?} (degree, psne)"))
+}
+
 fn lightne_config(o: &Opts) -> Result<LightNeConfig, String> {
     Ok(LightNeConfig {
         dim: o.num("dim", 128usize)?,
         window: o.num("window", 10usize)?,
         sample_ratio: o.num("ratio", 1.0f64)?,
         downsample: !o.flag("no-downsample"),
+        prob: prob_scheme_opt(o)?,
         propagation: if o.flag("no-propagation") { None } else { Some(Default::default()) },
         seed: o.num("seed", 42u64)?,
         shards: o.num("shards", 0usize)?,
@@ -312,6 +321,39 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> 
             for (k, v) in &m.hits {
                 say(format!("HITS@{k:<3} {:.1}%", 100.0 * v))?;
             }
+            Ok(())
+        }
+        "quality" => {
+            // The scenario matrix: every requested profile × both
+            // probability schemes × classify / linkpred / structure.
+            let cfg = MatrixConfig {
+                target_n: o.num("target-n", 4_000usize)?,
+                dim: o.num("dim", 32usize)?,
+                seed: o.num("seed", 0x51u64)?,
+                ..Default::default()
+            };
+            let profiles: Vec<Profile> = match o.get("profiles") {
+                None => Profile::ALL.to_vec(),
+                Some(list) => {
+                    list.split(',').map(profile_by_name).collect::<Result<Vec<_>, _>>()?
+                }
+            };
+            say(format!("{:<18} {:<10} {:<7} {:>9}", "profile", "task", "scheme", "primary"))?;
+            let results = run_matrix(&profiles, &cfg);
+            for r in &results {
+                say(format!(
+                    "{:<18} {:<10} {:<7} {:>9.4}",
+                    r.profile,
+                    r.task.name(),
+                    r.scheme.name(),
+                    r.primary
+                ))?;
+            }
+            say(format!(
+                "psne >= degree on {}/{} (profile, task) pairs",
+                psne_wins(&results),
+                results.len() / 2
+            ))?;
             Ok(())
         }
         other => Err(format!("unknown command {other:?}")),
@@ -551,5 +593,63 @@ mod tests {
         std::fs::remove_file(&gpath).ok();
         std::fs::remove_file(&epath).ok();
         std::fs::remove_file(&labels_path).ok();
+    }
+
+    #[test]
+    fn sparsify_prob_flag_selects_scheme_and_rejects_unknown() {
+        let o = Opts::parse(&argv(&["--sparsify-prob", "psne"])).unwrap();
+        assert_eq!(lightne_config(&o).unwrap().prob, ProbScheme::Psne);
+        let o = Opts::parse(&argv(&[])).unwrap();
+        assert_eq!(lightne_config(&o).unwrap().prob, ProbScheme::Degree);
+        let o = Opts::parse(&argv(&["--sparsify-prob", "nope"])).unwrap();
+        let err = lightne_config(&o).unwrap_err();
+        assert!(err.contains("sparsify-prob"), "{err}");
+    }
+
+    #[test]
+    fn embed_accepts_psne_scheme() {
+        let gpath = tmp("psne.lne");
+        let epath = tmp("psne_emb.txt");
+        run_capture(&["generate", "--profile", "blogcatalog", "--scale", "0.02", "--out", &gpath])
+            .unwrap();
+        let out = run_capture(&[
+            "embed",
+            "--graph",
+            &gpath,
+            "--out",
+            &epath,
+            "--dim",
+            "8",
+            "--window",
+            "3",
+            "--sparsify-prob",
+            "psne",
+        ])
+        .unwrap();
+        assert!(out.contains("sampler:"), "{out}");
+        assert!(std::path::Path::new(&epath).exists());
+        std::fs::remove_file(&gpath).ok();
+        std::fs::remove_file(format!("{gpath}.labels")).ok();
+        std::fs::remove_file(&epath).ok();
+    }
+
+    #[test]
+    fn quality_command_prints_matrix_rows() {
+        let out = run_capture(&[
+            "quality",
+            "--profiles",
+            "blogcatalog",
+            "--target-n",
+            "300",
+            "--dim",
+            "8",
+        ])
+        .unwrap();
+        for needle in ["classify", "linkpred", "structure", "psne", "degree", "psne >= degree"] {
+            assert!(out.contains(needle), "missing {needle:?} in {out}");
+        }
+        // One header + 3 tasks x 2 schemes + the summary line.
+        assert_eq!(out.lines().count(), 8, "{out}");
+        assert!(run_capture(&["quality", "--profiles", "nope"]).is_err());
     }
 }

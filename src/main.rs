@@ -6,7 +6,8 @@
 //!                  [--block-size B]
 //! lightne stats    --graph graph.lne
 //! lightne embed    --graph graph.lne --out emb.txt [--dim D] [--window T]
-//!                  [--ratio R] [--no-downsample] [--no-propagation]
+//!                  [--ratio R] [--no-downsample] [--sparsify-prob degree|psne]
+//!                  [--no-propagation]
 //!                  [--weighted] [--seed N] [--shards N] [--global-table]
 //!                  [--graph-format csr|v1|v2] [--codec C] [--block-size B]
 //!                  [--mmap] [--save-artifacts DIR] [--resume-from DIR]
@@ -15,6 +16,7 @@
 //!                  --embedding emb.txt [--train-ratio F] [--seed N]
 //! lightne linkpred --graph graph.lne [--holdout F] [--dim D] [--window T]
 //!                  [--ratio R] [--negatives K] [--seed N]
+//! lightne quality  [--profiles a,b,..] [--target-n N] [--dim D] [--seed N]
 //! ```
 //!
 //! `--threads N` (any command) sizes the rayon worker pool (0 = one per
@@ -40,6 +42,17 @@
 //! `--global-table` forces the legacy single-table path; output bytes are
 //! identical either way. The implementation lives in [`lightne::cli`].
 //!
+//! `--sparsify-prob` (embed/linkpred) selects the sparsifier's
+//! edge-survival probability scheme: `degree` (the paper's
+//! `C·(1/d_u + 1/d_v)` bound, default) or `psne` (sharpened by the
+//! common-neighbour conductance bound, never looser). `quality` runs the
+//! embedding-quality scenario matrix — every generator profile (or a
+//! `--profiles` subset) × both schemes × classification / link
+//! prediction / structure preservation — and prints one primary metric
+//! per cell plus the PSNE-vs-degree head-to-head count; the committed
+//! `results/BENCH_quality.json` trajectory and its CI gate use the same
+//! matrix via the `bench_quality_json` binary.
+//!
 //! On resume, artifacts are validated against a per-file checksum
 //! manifest; corrupt or uncommitted files are skipped and the run
 //! degrades to the deepest stage that is still trustworthy.
@@ -62,7 +75,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: lightne <generate|compress|stats|embed|classify|linkpred> [options]\n\
+                "usage: lightne <generate|compress|stats|embed|classify|linkpred|quality> [options]\n\
                  see the README or `src/main.rs` for the option list"
             );
             ExitCode::FAILURE

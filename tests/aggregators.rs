@@ -44,8 +44,7 @@ fn assert_bitwise(a: &[(u32, u32, f32)], b: &[(u32, u32, f32)], what: &str) {
 #[test]
 fn aggregators_agree_at_one_two_and_eight_threads() {
     let g = erdos_renyi(250, 2_500, 123);
-    let cfg =
-        SamplerConfig { window: 4, samples: 150_000, downsample: true, c_factor: None, seed: 31 };
+    let cfg = SamplerConfig { window: 4, samples: 150_000, seed: 31, ..Default::default() };
 
     // The drain of the fixed-point tables must be stable across thread
     // counts too; the first iteration's result anchors the comparison.

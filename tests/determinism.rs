@@ -10,8 +10,10 @@
 //! share the global rayon pool, and this test resizes it mid-flight.
 
 use lightne::core::{LightNe, LightNeConfig};
+use lightne::eval::classify::train_test_split;
+use lightne::eval::linkpred::split_edges;
 use lightne::gen::sbm::{labelled_sbm, SbmConfig};
-use lightne::graph::WeightedGraph;
+use lightne::graph::{Codec, CompressedGraph, V2Graph, WeightedGraph};
 use lightne::utils::parallel::configure_threads;
 
 fn bits(m: &lightne::linalg::DenseMatrix) -> Vec<u32> {
@@ -28,7 +30,7 @@ fn same_seed_same_bytes_across_runs_and_thread_counts() {
         overlap: 0.0,
         gamma: 2.5,
     };
-    let (g, _) = labelled_sbm(&cfg, 77);
+    let (g, labels) = labelled_sbm(&cfg, 77);
     let gw = WeightedGraph::from_unweighted(&g);
     let pipe = LightNe::new(LightNeConfig {
         dim: 24,
@@ -69,4 +71,30 @@ fn same_seed_same_bytes_across_runs_and_thread_counts() {
         bits(&sw1.embedding),
         "embed_weighted differs from default pool"
     );
+
+    // Seeded evaluation splits are part of the determinism contract too:
+    // the train/held-out edge split and the labelled-vertex split must be
+    // bitwise identical across thread counts AND across graph backends
+    // (csr / v1 / v2 all visit neighbours in the same ascending order).
+    let v1 = CompressedGraph::from_graph(&g);
+    let v2 = V2Graph::from_graph(&g, Codec::parse("arice").unwrap());
+    let (ref_train, ref_held) = split_edges(&g, 0.2, 91);
+    let ref_labels = train_test_split(&labels, 0.5, 91);
+    assert!(!ref_held.is_empty(), "holdout split is vacuous");
+    for threads in [1usize, 2, 8] {
+        assert_eq!(configure_threads(threads), threads);
+        for (name, split) in [
+            ("csr", split_edges(&g, 0.2, 91)),
+            ("v1", split_edges(&v1, 0.2, 91)),
+            ("v2", split_edges(&v2, 0.2, 91)),
+        ] {
+            assert_eq!(split.0, ref_train, "{name} train graph differs at {threads} threads");
+            assert_eq!(split.1, ref_held, "{name} held-out edges differ at {threads} threads");
+        }
+        assert_eq!(
+            train_test_split(&labels, 0.5, 91),
+            ref_labels,
+            "label split differs at {threads} threads"
+        );
+    }
 }
