@@ -129,6 +129,7 @@ impl NetSmf {
             seed: cfg.seed,
             shards: 0,
             global_table: false,
+            pin_shards: false,
         };
         let out = run_pipeline(&engine_cfg, &NetSmfSource(g), RunOptions::default())
             .unwrap_or_else(|e| panic!("pipeline failed: {e}"));

@@ -11,14 +11,19 @@
 //!
 //! * `REPS` — timing repetitions per case; the minimum is reported
 //!   (default 3).
-//! * `GEMM_M`, `QR_ROWS`, `JACOBI_N`, `RSVD_N` — problem sizes, for CI
-//!   smoke runs on shared machines (defaults are the full sizes the
-//!   committed baseline was measured at).
+//! * `GEMM_M`, `GEMM_HOT_M`, `QR_ROWS`, `JACOBI_N`, `RSVD_N` — problem
+//!   sizes, for CI smoke runs on shared machines (defaults are the full
+//!   sizes the committed baseline was measured at).
+//! * `LIGHTNE_SIMD` — caps the dispatch tier (`scalar`/`avx2`/`avx512`);
+//!   the report records the tier it actually ran on (`dispatch_tier`)
+//!   and always includes a forced-scalar GEMM number so tiers can be
+//!   compared like-for-like.
 
 use lightne_bench::harness::timed;
 use lightne_linalg::kernels::gemm_flops;
 use lightne_linalg::qr::orthonormalize_columns;
 use lightne_linalg::rsvd::rsvd_flops;
+use lightne_linalg::simd::{self, SimdTier};
 use lightne_linalg::svd::jacobi_svd;
 use lightne_linalg::{randomized_svd, reference, CsrMatrix, DenseMatrix, RsvdConfig};
 use lightne_utils::rng::XorShiftStream;
@@ -91,6 +96,14 @@ fn main() {
     let mut lines: Vec<String> = Vec::new();
     let mut put = |key: &str, val: String| lines.push(format!("  \"{key}\": {val}"));
 
+    // The tier the blocked kernels dispatch to for this whole report
+    // (honours LIGHTNE_SIMD), plus the raw detection result, so the
+    // regression gate can compare like-for-like tiers.
+    let tier = simd::active_tier();
+    eprintln!("simd dispatch: {} (detected: {})", tier.name(), simd::detected_features());
+    put("dispatch_tier", format!("\"{}\"", tier.name()));
+    put("simd_features", format!("\"{}\"", simd::detected_features()));
+
     // --- GEMM: (gemm_m × 256) · (256 × 256), the projection shape of
     // Algorithm 3 step 5 at embedding scale.
     eprintln!("gemm {gemm_m}x256 * 256x256 ({reps} reps) ...");
@@ -108,6 +121,34 @@ fn main() {
     put("gemm_reference_secs", format!("{refr:.6}"));
     put("gemm_reference_gflops", format!("{:.3}", flops / refr / 1e9));
     put("gemm_speedup", format!("{:.3}", refr / packed));
+
+    // Forced-scalar GEMM: the portable-fallback number, measured in the
+    // same process so the baseline check has a tier-independent anchor.
+    if tier != SimdTier::Scalar {
+        eprintln!("gemm (forced scalar tier) ...");
+        simd::set_tier(SimdTier::Scalar);
+        let scalar = best_of(reps, || a.matmul(&b)).as_secs_f64();
+        simd::set_tier(tier);
+        put("gemm_scalar_secs", format!("{scalar:.6}"));
+        put("gemm_scalar_gflops", format!("{:.3}", flops / scalar / 1e9));
+    } else {
+        put("gemm_scalar_secs", format!("{packed:.6}"));
+        put("gemm_scalar_gflops", format!("{:.3}", flops / packed / 1e9));
+    }
+
+    // --- Hot GEMM: same shape family at a size whose operands stay
+    // cache-resident across reps. The full-size run above streams ~192MB
+    // through DRAM per rep (page-fault zero-fill plus A and C traffic)
+    // and measures the memory system as much as the kernel; this one
+    // measures the micro-kernel's arithmetic throughput.
+    let hot_m = env_usize("GEMM_HOT_M", 16_384);
+    eprintln!("gemm (hot) {hot_m}x256 * 256x256 ({reps} reps) ...");
+    let ah = DenseMatrix::gaussian(hot_m, k, 6);
+    let hot_flops = gemm_flops(hot_m, n, k) as f64;
+    let hot = best_of(reps, || ah.matmul(&b)).as_secs_f64();
+    put("gemm_hot_m", hot_m.to_string());
+    put("gemm_hot_secs", format!("{hot:.6}"));
+    put("gemm_hot_gflops", format!("{:.3}", hot_flops / hot / 1e9));
 
     // --- QR: panel BCGS2 vs sequential MGS on a tall sketch.
     eprintln!("qr {qr_rows}x128 ({reps} reps) ...");

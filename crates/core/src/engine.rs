@@ -237,6 +237,9 @@ impl RunContext {
         RunStats {
             seed: self.master_seed,
             threads: lightne_utils::parallel::num_threads(),
+            simd_tier: lightne_linalg::simd::active_tier().name().to_string(),
+            simd_features: lightne_linalg::simd::detected_features(),
+            pinned: lightne_utils::affinity::pinning_enabled(),
             resume_fallbacks: self.fallbacks,
             stages: self.records,
         }
@@ -250,6 +253,14 @@ pub struct RunStats {
     pub seed: u64,
     /// Rayon worker threads the run executed on.
     pub threads: usize,
+    /// The SIMD dispatch tier the numeric kernels ran on
+    /// (`"scalar"`/`"avx2"`/`"avx512"`; see `lightne_linalg::simd`).
+    pub simd_tier: String,
+    /// CPU features detected at runtime (comma-separated), independent of
+    /// which tier was actually selected.
+    pub simd_features: String,
+    /// Whether shard→core worker pinning was active (`--pin-shards`).
+    pub pinned: bool,
     /// Resume degradations: one note per invalid artifact the run skipped
     /// (empty for straight runs and clean resumes).
     pub resume_fallbacks: Vec<String>,
@@ -284,6 +295,9 @@ impl RunStats {
         out.push_str("{\n");
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"simd_tier\": \"{}\",\n", escape_json(&self.simd_tier)));
+        out.push_str(&format!("  \"simd_features\": \"{}\",\n", escape_json(&self.simd_features)));
+        out.push_str(&format!("  \"pinned\": {},\n", self.pinned));
         out.push_str(&format!("  \"total_secs\": {},\n", self.total_secs()));
         out.push_str("  \"resume_fallbacks\": [");
         for (i, note) in self.resume_fallbacks.iter().enumerate() {
@@ -572,6 +586,11 @@ pub fn run_pipeline<S: PipelineSource>(
         Some(hook) => RunContext::with_progress(cfg.seed, hook),
         None => RunContext::new(cfg.seed),
     };
+
+    // Shard→core affinity for the sample→aggregate stage (`--pin-shards`).
+    // Registered for the whole run — scheduling only; output bytes are
+    // identical pinned or not.
+    lightne_utils::affinity::set_worker_pinning(cfg.pin_shards);
 
     let n = src.num_vertices();
     let fingerprint = run_fingerprint(cfg, n, src.num_edges(), src.is_weighted());
@@ -961,7 +980,15 @@ mod tests {
         let none = StageRecord { name: "y".into(), secs: 2.0, heap_bytes: 0, counters: vec![] };
         assert!(none.gflops().is_none());
 
-        let stats = RunStats { seed: 1, threads: 1, stages: vec![rec], resume_fallbacks: vec![] };
+        let stats = RunStats {
+            seed: 1,
+            threads: 1,
+            simd_tier: "scalar".into(),
+            simd_features: "sse2".into(),
+            pinned: false,
+            stages: vec![rec],
+            resume_fallbacks: vec![],
+        };
         let json = stats.to_json();
         assert!(json.contains("\"gflops\": 2.000"), "{json}");
     }

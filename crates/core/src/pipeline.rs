@@ -56,6 +56,11 @@ pub struct LightNeConfig {
     /// sharded one. Output bytes are identical either way; this exists
     /// for A/B benchmarking and as an escape hatch.
     pub global_table: bool,
+    /// Pins rayon workers to cores for the sample→aggregate stage
+    /// (`--pin-shards`), keeping each shard's table cache-resident on
+    /// one core. Off by default; output bytes are identical either way
+    /// (see `lightne_utils::affinity`).
+    pub pin_shards: bool,
 }
 
 impl Default for LightNeConfig {
@@ -74,6 +79,7 @@ impl Default for LightNeConfig {
             seed: 0x11_97,
             shards: 0,
             global_table: false,
+            pin_shards: false,
         }
     }
 }
@@ -94,8 +100,9 @@ impl LightNeConfig {
     /// the run fingerprint stored in artifact metadata, so resuming with
     /// artifacts from a differently-parameterized run is rejected.
     ///
-    /// Deliberately excluded: `shards` and `global_table` (alternate data
-    /// paths with byte-identical output) and `propagation` (runs after the
+    /// Deliberately excluded: `shards`, `global_table` and `pin_shards`
+    /// (alternate data paths / scheduling modes with byte-identical
+    /// output) and `propagation` (runs after the
     /// deepest checkpointed artifact, so it never invalidates one). Floats
     /// are rendered by their exact bit patterns — fingerprints compare
     /// identity, not approximate equality.

@@ -74,6 +74,12 @@ impl Slots {
         // Bound the probe length so a pathological fill fails loudly into
         // the resize path instead of spinning.
         for _ in 0..=self.mask {
+            // Keys and weights live in separate arrays, so a hit takes
+            // two dependent misses; request the weight line while the
+            // key compare is in flight. A pure scheduling hint (never
+            // reads architecturally), so the loom models skip it.
+            #[cfg(not(loom))]
+            crate::prefetch::prefetch_read((&self.weights[idx] as *const AtomicU64).cast());
             let k = self.keys[idx].load(Ordering::Acquire);
             if k == key {
                 // ordering: Relaxed — atomic RMW never loses updates; the

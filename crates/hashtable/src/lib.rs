@@ -19,11 +19,12 @@
 //! Both expose the same drain-to-COO interface so the sparsifier is
 //! generic over the aggregator.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod prefetch;
 pub mod sharded;
 pub(crate) mod sync_shim;
 pub mod thread_local;

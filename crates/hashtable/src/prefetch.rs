@@ -1,0 +1,53 @@
+//! Software-prefetch hint for the probe loop — this crate's designated
+//! unsafe module under the xtask L1 isolation posture (the only
+//! `std::arch` call site outside `lightne_linalg::simd`, see lint L6).
+//!
+//! The folklore table keeps keys and weights in two separate arrays, so
+//! every probe hit costs two dependent cache misses: the key load, then
+//! the weight RMW on a different line. Requesting the weight line while
+//! the key compare is still in flight overlaps the two misses. Prefetch
+//! is purely a scheduling hint — it never faults, never reads
+//! architecturally, and cannot change any accumulated value — which is
+//! also why this module stays out of the loom models (`cfg(not(loom))`
+//! at the call site).
+
+// Designated unsafe module (`#![allow(unsafe_code)]` against the
+// crate-wide deny): `#[target_feature]` functions require the call-site
+// unsafe below. Duplicated from `lightne_linalg::simd` on purpose — the
+// hash table must not depend on the linalg crate for one instruction.
+#![allow(unsafe_code)]
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+
+    /// PREFETCHT0 is an architectural no-op on invalid addresses — it
+    /// never faults and never dereferences `ptr`, so this fn is safe.
+    // SAFETY: PREFETCHT0 only hints the cache hierarchy; it performs no
+    // architectural load, so any `ptr` value (even dangling) is fine.
+    #[target_feature(enable = "sse")]
+    fn prefetch_raw(ptr: *const u8) {
+        _mm_prefetch::<_MM_HINT_T0>(ptr.cast())
+    }
+
+    /// Best-effort read prefetch of the cache line holding `ptr`.
+    // PREFETCHT0 performs no architectural dereference (the module doc
+    // above), so a safe raw-pointer API is sound here.
+    #[allow(clippy::not_unsafe_ptr_arg_deref)]
+    #[inline(always)]
+    pub fn prefetch_read(ptr: *const u8) {
+        // SAFETY: the only feature `prefetch_raw` needs is SSE, which is
+        // statically part of the x86_64 baseline every build here
+        // targets (the compiler merely insists it be spelled out).
+        unsafe { prefetch_raw(ptr) }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod imp {
+    /// No-op on non-x86_64 targets (no portable prefetch hint).
+    #[inline(always)]
+    pub fn prefetch_read(_ptr: *const u8) {}
+}
+
+pub use imp::prefetch_read;

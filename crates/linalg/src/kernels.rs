@@ -25,7 +25,16 @@
 //! * **Rotation kernels** — the one-sided Jacobi SVD applies its plane
 //!   rotations through the fused [`gram2`]/[`rot2`] pair so the column
 //!   sweeps run at memory speed instead of through nested `Vec`s.
+//! * **SIMD dispatch** — each kernel's innermost loop dispatches once per
+//!   call on [`crate::simd::active_tier`]: the scalar bodies below are
+//!   the portable fallback *and* the correctness oracle, the
+//!   [`crate::simd`] module holds the explicit AVX2/AVX-512 variants.
+//!   The `f64`-accumulating kernels are bitwise identical across tiers
+//!   (lane assignment and fold bracketing live here, shared by both
+//!   paths); only the `f32` GEMM micro-kernel diverges within a √k-scaled
+//!   tolerance (FMA contraction), documented in [`crate::simd`].
 
+use crate::simd::{self, SimdTier};
 use rayon::prelude::*;
 
 /// Micro-kernel tile height (rows of `A` held in registers).
@@ -133,6 +142,33 @@ fn micro_kernel(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; NR]; MR]) {
     }
 }
 
+/// One staging-buffer tile: the scalar micro-kernel accumulates into a
+/// zeroed `MR×NR` register tile, then the live `rows×cols` corner is
+/// added into the output block. The portable fallback for every tile on
+/// the scalar tier and for the ragged edge tiles on the SIMD tiers
+/// (which write their full tiles directly, skipping the staging pass).
+#[allow(clippy::too_many_arguments)]
+fn tile_acc(
+    kc: usize,
+    astrip: &[f32],
+    bstrip: &[f32],
+    rows: usize,
+    cols: usize,
+    oblock: &mut [f32],
+    r0: usize,
+    c0: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    micro_kernel(kc, astrip, bstrip, &mut acc);
+    for (r, accr) in acc.iter().enumerate().take(rows) {
+        let off = (r0 + r) * n + c0;
+        for (o, &v) in out_slice(oblock, off, cols).iter_mut().zip(accr) {
+            *o += v;
+        }
+    }
+}
+
 /// Branchless naive triple loop for tiny problems (and the `k == 0`
 /// degenerate case); sequential, so trivially deterministic.
 fn gemm_small(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
@@ -169,6 +205,7 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], out: &mut [f32])
         return;
     }
     let strips_n = n.div_ceil(NR);
+    let tier = simd::active_tier();
     let mut bpack = Vec::new();
     for k0 in (0..k).step_by(KC) {
         let kc = KC.min(k - k0);
@@ -178,20 +215,83 @@ pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], out: &mut [f32])
             let mc = oblock.len() / n;
             let mut apack = vec![0.0f32; mc.div_ceil(MR) * kc * MR];
             pack_a(a, k, i0, mc, k0, kc, &mut apack);
-            for (si, astrip) in apack.chunks_exact(kc * MR).enumerate() {
-                let r0 = si * MR;
-                let rows = MR.min(mc - r0);
+            // Full tiles first, B strip outermost so it stays L1-resident
+            // across the whole MC block (the A strips stream from L2 —
+            // 8× less traffic than streaming all B strips per A strip);
+            // on AVX-512, two adjacent full strips per kernel call. Tile
+            // order never changes any output element's summation
+            // bracketing (tiles are disjoint; k-panels remain ascending
+            // in the outer loop), so all three tiers stay bitwise
+            // thread-count deterministic and the scalar tier reproduces
+            // the PR 4 bytes exactly.
+            let full_si = mc / MR; // A strips with all MR rows live
+            let full_sj = n / NR; // B strips with all NR columns live
+            let mut sj = 0usize;
+            match tier {
+                SimdTier::Avx512 => {
+                    while sj + 2 <= full_sj {
+                        let b0s = &bpack[sj * kc * NR..][..kc * NR];
+                        let b1s = &bpack[(sj + 1) * kc * NR..][..kc * NR];
+                        for si in 0..full_si {
+                            let astrip = &apack[si * kc * MR..][..kc * MR];
+                            let off = si * MR * n + sj * NR;
+                            simd::microkernel_avx512_pair(kc, astrip, b0s, b1s, oblock, off, n);
+                        }
+                        sj += 2;
+                    }
+                    // Odd leftover full strip: single-strip AVX2 kernel
+                    // (fixed choice, so the tier stays deterministic).
+                    if sj < full_sj {
+                        let bstrip = &bpack[sj * kc * NR..][..kc * NR];
+                        for si in 0..full_si {
+                            let astrip = &apack[si * kc * MR..][..kc * MR];
+                            let off = si * MR * n + sj * NR;
+                            simd::microkernel_avx2_direct(kc, astrip, bstrip, oblock, off, n);
+                        }
+                        sj = full_sj;
+                    }
+                }
+                SimdTier::Avx2 => {
+                    while sj < full_sj {
+                        let bstrip = &bpack[sj * kc * NR..][..kc * NR];
+                        for si in 0..full_si {
+                            let astrip = &apack[si * kc * MR..][..kc * MR];
+                            let off = si * MR * n + sj * NR;
+                            simd::microkernel_avx2_direct(kc, astrip, bstrip, oblock, off, n);
+                        }
+                        sj += 1;
+                    }
+                }
+                SimdTier::Scalar => {
+                    while sj < full_sj {
+                        let bstrip = &bpack[sj * kc * NR..][..kc * NR];
+                        for si in 0..full_si {
+                            let astrip = &apack[si * kc * MR..][..kc * MR];
+                            tile_acc(kc, astrip, bstrip, MR, NR, oblock, si * MR, sj * NR, n);
+                        }
+                        sj += 1;
+                    }
+                }
+            }
+            // Edge tiles — ragged last column strip over the full-row A
+            // strips, then the partial-row A strip over every B strip —
+            // always through the scalar micro-kernel + staging buffer
+            // (a fixed per-tier choice; at most one strip each way).
+            if sj < strips_n {
+                let bstrip = &bpack[sj * kc * NR..][..kc * NR];
+                let cols = n - sj * NR;
+                for si in 0..full_si {
+                    let astrip = &apack[si * kc * MR..][..kc * MR];
+                    tile_acc(kc, astrip, bstrip, MR, cols, oblock, si * MR, sj * NR, n);
+                }
+            }
+            if full_si * MR < mc {
+                let rows = mc - full_si * MR;
+                let astrip = &apack[full_si * kc * MR..][..kc * MR];
                 for (sj, bstrip) in bpack.chunks_exact(kc * NR).enumerate().take(strips_n) {
                     let c0 = sj * NR;
                     let cols = NR.min(n - c0);
-                    let mut acc = [[0.0f32; NR]; MR];
-                    micro_kernel(kc, astrip, bstrip, &mut acc);
-                    for (r, accr) in acc.iter().enumerate().take(rows) {
-                        let off = (r0 + r) * n + c0;
-                        for (o, &v) in out_slice(oblock, off, cols).iter_mut().zip(accr) {
-                            *o += v;
-                        }
-                    }
+                    tile_acc(kc, astrip, bstrip, rows, cols, oblock, full_si * MR, c0, n);
                 }
             }
         });
@@ -207,24 +307,32 @@ fn out_slice(block: &mut [f32], off: usize, len: usize) -> &mut [f32] {
 /// lane assignment → bitwise deterministic; 32 lanes keep several
 /// vectors of partial sums in flight, hiding FMA latency that throttles
 /// a single-accumulator loop (~3× over an 8-lane version measured).
-const DOT_LANES: usize = 32;
+pub const DOT_LANES: usize = 32;
 
 /// Dot product of two `f32` slices accumulated in `f64` across
 /// [`DOT_LANES`] fixed lanes, folded pairwise in a fixed bracketing.
+/// Bitwise identical across dispatch tiers: widened `f32` products are
+/// exact in `f64`, so the SIMD path's fused multiply-add rounds the same
+/// value once, exactly like the scalar mul-then-add.
 #[inline]
 pub fn dot_f64(a: &[f32], b: &[f32]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = [0.0f64; DOT_LANES];
-    let ac = a.chunks_exact(DOT_LANES);
-    let bc = b.chunks_exact(DOT_LANES);
-    let (ra, rb) = (ac.remainder(), bc.remainder());
-    for (x, y) in ac.zip(bc) {
-        for lane in 0..DOT_LANES {
-            acc[lane] += x[lane] as f64 * y[lane] as f64;
+    let main = a.len() - a.len() % DOT_LANES;
+    match simd::active_tier() {
+        SimdTier::Scalar => {
+            let ac = a[..main].chunks_exact(DOT_LANES);
+            let bc = b[..main].chunks_exact(DOT_LANES);
+            for (x, y) in ac.zip(bc) {
+                for lane in 0..DOT_LANES {
+                    acc[lane] += x[lane] as f64 * y[lane] as f64;
+                }
+            }
         }
+        SimdTier::Avx2 | SimdTier::Avx512 => simd::dot_accumulate(&a[..main], &b[..main], &mut acc),
     }
     let mut tail = 0.0f64;
-    for (&x, &y) in ra.iter().zip(rb) {
+    for (&x, &y) in a[main..].iter().zip(&b[main..]) {
         tail += x as f64 * y as f64;
     }
     // Pairwise tree fold, always the same bracketing.
@@ -274,6 +382,7 @@ pub fn sub_proj(
     if nb == 0 || ndone == 0 || len == 0 {
         return;
     }
+    let tier = simd::active_tier();
     for lo in (0..len).step_by(REDUCE_BLOCK) {
         let hi = (lo + REDUCE_BLOCK).min(len);
         panel[..nb * len].par_chunks_mut(len).enumerate().for_each(|(c, row)| {
@@ -288,9 +397,19 @@ pub fn sub_proj(
                 let d1 = &done[(q + 1) * len + lo..(q + 1) * len + hi];
                 let d2 = &done[(q + 2) * len + lo..(q + 2) * len + hi];
                 let d3 = &done[(q + 3) * len + lo..(q + 3) * len + hi];
-                for ((((s, &v0), &v1), &v2), &v3) in seg.iter_mut().zip(d0).zip(d1).zip(d2).zip(d3)
-                {
-                    *s -= c0 * v0 + c1 * v1 + c2 * v2 + c3 * v3;
+                match tier {
+                    SimdTier::Scalar => {
+                        for ((((s, &v0), &v1), &v2), &v3) in
+                            seg.iter_mut().zip(d0).zip(d1).zip(d2).zip(d3)
+                        {
+                            *s -= c0 * v0 + c1 * v1 + c2 * v2 + c3 * v3;
+                        }
+                    }
+                    // Bitwise identical: same multiply/add association,
+                    // vectorized across independent elements only.
+                    SimdTier::Avx2 | SimdTier::Avx512 => {
+                        simd::axpy4(seg, [d0, d1, d2, d3], c0, c1, c2, c3);
+                    }
                 }
                 q += 4;
             }
@@ -317,14 +436,24 @@ pub fn columnwise_dots(a: &[f32], b: &[f32], cols: usize) -> Vec<f64> {
         return Vec::new();
     }
     debug_assert_eq!(a.len(), b.len());
+    let tier = simd::active_tier();
     let blocks: Vec<Vec<f64>> = a
         .par_chunks(REDUCE_BLOCK * cols)
         .zip(b.par_chunks(REDUCE_BLOCK * cols))
         .map(|(ab, bb)| {
             let mut local = vec![0.0f64; cols];
-            for (ar, br) in ab.chunks_exact(cols).zip(bb.chunks_exact(cols)) {
-                for ((l, &x), &y) in local.iter_mut().zip(ar).zip(br) {
-                    *l += x as f64 * y as f64;
+            match tier {
+                SimdTier::Scalar => {
+                    for (ar, br) in ab.chunks_exact(cols).zip(bb.chunks_exact(cols)) {
+                        for ((l, &x), &y) in local.iter_mut().zip(ar).zip(br) {
+                            *l += x as f64 * y as f64;
+                        }
+                    }
+                }
+                // Bitwise identical: per-column f64 accumulators are
+                // independent and the widened products are exact.
+                SimdTier::Avx2 | SimdTier::Avx512 => {
+                    simd::col_dots_block(ab, bb, cols, &mut local);
                 }
             }
             local
@@ -339,26 +468,64 @@ pub fn columnwise_dots(a: &[f32], b: &[f32], cols: usize) -> Vec<f64> {
     acc
 }
 
-/// Fused 2×2 Gram entries of two equal-length `f64` columns:
-/// `(⟨p,p⟩, ⟨q,q⟩, ⟨p,q⟩)` with two accumulator lanes per entry.
-#[inline]
-pub fn gram2(cp: &[f64], cq: &[f64]) -> (f64, f64, f64) {
-    debug_assert_eq!(cp.len(), cq.len());
-    let mut aa = [0.0f64; 2];
-    let mut bb = [0.0f64; 2];
-    let mut gg = [0.0f64; 2];
-    let pc = cp.chunks_exact(2);
-    let qc = cq.chunks_exact(2);
-    let (pr, qr) = (pc.remainder(), qc.remainder());
-    for (x, y) in pc.zip(qc) {
-        for lane in 0..2 {
+/// Number of independent `f64` accumulator lanes in [`gram2`] — two
+/// 4-wide vectors per Gram entry on the SIMD path; the scalar path uses
+/// the same fixed lane assignment so both tiers fold identically.
+pub const GRAM_LANES: usize = 8;
+
+/// Scalar main-loop accumulation of [`gram2`] over whole
+/// [`GRAM_LANES`]-element groups — the oracle the SIMD variant matches
+/// bitwise (separate multiply and add per lane, no FMA contraction).
+fn gram2_acc_scalar(
+    cp: &[f64],
+    cq: &[f64],
+    aa: &mut [f64; GRAM_LANES],
+    bb: &mut [f64; GRAM_LANES],
+    gg: &mut [f64; GRAM_LANES],
+) {
+    for (x, y) in cp.chunks_exact(GRAM_LANES).zip(cq.chunks_exact(GRAM_LANES)) {
+        for lane in 0..GRAM_LANES {
             aa[lane] += x[lane] * x[lane];
             bb[lane] += y[lane] * y[lane];
             gg[lane] += x[lane] * y[lane];
         }
     }
-    let (mut alpha, mut beta, mut gamma) = (aa[0] + aa[1], bb[0] + bb[1], gg[0] + gg[1]);
-    for (&x, &y) in pr.iter().zip(qr) {
+}
+
+/// Pairwise tree fold of the fixed accumulator lanes — shared by both
+/// dispatch tiers so the bracketing is identical.
+#[inline]
+fn fold_lanes(acc: &mut [f64; GRAM_LANES]) -> f64 {
+    let mut width = GRAM_LANES;
+    while width > 1 {
+        for i in 0..width / 2 {
+            acc[i] = acc[2 * i] + acc[2 * i + 1];
+        }
+        width /= 2;
+    }
+    acc[0]
+}
+
+/// Fused 2×2 Gram entries of two equal-length `f64` columns:
+/// `(⟨p,p⟩, ⟨q,q⟩, ⟨p,q⟩)` across [`GRAM_LANES`] fixed accumulator lanes
+/// folded pairwise. Bitwise identical across dispatch tiers.
+#[inline]
+pub fn gram2(cp: &[f64], cq: &[f64]) -> (f64, f64, f64) {
+    debug_assert_eq!(cp.len(), cq.len());
+    let mut aa = [0.0f64; GRAM_LANES];
+    let mut bb = [0.0f64; GRAM_LANES];
+    let mut gg = [0.0f64; GRAM_LANES];
+    let main = cp.len() - cp.len() % GRAM_LANES;
+    match simd::active_tier() {
+        SimdTier::Scalar => gram2_acc_scalar(&cp[..main], &cq[..main], &mut aa, &mut bb, &mut gg),
+        SimdTier::Avx2 | SimdTier::Avx512 => {
+            simd::gram2_accumulate(&cp[..main], &cq[..main], &mut aa, &mut bb, &mut gg);
+        }
+    }
+    let mut alpha = fold_lanes(&mut aa);
+    let mut beta = fold_lanes(&mut bb);
+    let mut gamma = fold_lanes(&mut gg);
+    for (&x, &y) in cp[main..].iter().zip(&cq[main..]) {
         alpha += x * x;
         beta += y * y;
         gamma += x * y;
@@ -368,9 +535,28 @@ pub fn gram2(cp: &[f64], cq: &[f64]) -> (f64, f64, f64) {
 
 /// Applies the plane rotation `[c -s; s c]` to the column pair
 /// `(cp, cq)` in place — the Jacobi SVD's update, fused so both columns
-/// stream through once.
+/// stream through once. Bitwise identical across dispatch tiers (the
+/// SIMD path keeps the multiplies, subtract and add separate in the same
+/// order, vectorized over independent elements).
 #[inline]
 pub fn rot2(cp: &mut [f64], cq: &mut [f64], c: f64, s: f64) {
+    debug_assert_eq!(cp.len(), cq.len());
+    let main = match simd::active_tier() {
+        SimdTier::Scalar => 0,
+        SimdTier::Avx2 | SimdTier::Avx512 => cp.len() - cp.len() % 4,
+    };
+    if main > 0 {
+        let (ph, pt) = cp.split_at_mut(main);
+        let (qh, qt) = cq.split_at_mut(main);
+        simd::rot2(ph, qh, c, s);
+        rot2_scalar(pt, qt, c, s);
+    } else {
+        rot2_scalar(cp, cq, c, s);
+    }
+}
+
+#[inline]
+fn rot2_scalar(cp: &mut [f64], cq: &mut [f64], c: f64, s: f64) {
     for (x, y) in cp.iter_mut().zip(cq) {
         let (xv, yv) = (*x, *y);
         *x = c * xv - s * yv;

@@ -31,8 +31,12 @@
 //!   rayon pool size.
 //! * [`reference`] — the pre-blocking first-port kernels, kept verbatim as
 //!   correctness oracles and benchmark baselines.
+//! * [`simd`] — explicit AVX2/AVX-512 implementations of the hot kernels
+//!   behind runtime CPU-feature dispatch; the crate's sole unsafe module
+//!   (`#![allow(unsafe_code)]` against the crate-wide deny, isolation
+//!   enforced by xtask lints L1/L6).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
@@ -43,6 +47,7 @@ pub mod matio;
 pub mod qr;
 pub mod reference;
 pub mod rsvd;
+pub mod simd;
 pub mod sparse;
 pub mod special;
 pub mod svd;

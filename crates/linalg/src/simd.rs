@@ -1,0 +1,732 @@
+//! Explicit-SIMD kernels behind runtime CPU-feature dispatch — the
+//! crate's **sole unsafe module** (xtask L1 isolation; every `std::arch`
+//! intrinsic call site in the workspace lives here or in the hash-table
+//! prefetch helper, inside `#[target_feature]` functions, per lint L6).
+//!
+//! # Dispatch model
+//!
+//! [`active_tier`] resolves once (cached in an atomic) to the highest
+//! [`SimdTier`] the CPU supports, optionally *lowered* — never raised —
+//! by the `LIGHTNE_SIMD` environment knob (`scalar`, `avx2`, `avx512`);
+//! [`set_tier`] is the in-process equivalent the kernel tests use to
+//! force both dispatch paths. Because a requested tier is clamped to the
+//! detected one, the `unsafe` dispatch into a `#[target_feature]` kernel
+//! is sound by construction: the feature bit was observed via
+//! `is_x86_feature_detected!` before the tier became reachable. On
+//! non-x86_64 targets the tier is always [`SimdTier::Scalar`] and the
+//! kernels here are unreachable stubs.
+//!
+//! # Determinism contract (per kernel)
+//!
+//! * [`dot_accumulate`], [`col_dots_block`] — **bitwise identical** to
+//!   the scalar lane loops: `f32` operands widened to `f64` multiply
+//!   *exactly* (24-bit mantissas → ≤ 48-bit product < 53-bit mantissa),
+//!   so a fused `vfmadd…pd` rounds once from the same exact value the
+//!   scalar mul-then-add rounds from. Lane assignment and the pairwise
+//!   fold stay in [`crate::kernels`], shared with the scalar path.
+//! * [`axpy4`], [`gram2_accumulate`], [`rot2`] — **bitwise identical**:
+//!   elementwise kernels compiled as separate multiply and add/sub in
+//!   the scalar source order (no FMA contraction), vectorized across
+//!   independent elements/lanes only.
+//! * [`microkernel_avx2`] / [`microkernel_avx512`] — **tolerance, not
+//!   bitwise**, vs the scalar GEMM micro-kernel: the `f32` FMAs round
+//!   once where the scalar kernel rounds twice, and the AVX-512 variant
+//!   splits the k-loop over two accumulator sets. Within one tier the
+//!   result is still bitwise thread-count-deterministic (parallelism
+//!   only ever splits the M dimension). The property tests bound the
+//!   divergence at the same `√k`-scaled tolerance as the naive oracle.
+//!
+//! Every kernel run stays on one thread; no blocking parameter here
+//! depends on the pool size, so each tier independently preserves the
+//! PR 1 bitwise 1/2/8-thread determinism guarantee.
+
+// This is the crate's designated unsafe module (`#![allow(unsafe_code)]`
+// below against the crate-wide deny): the `std::arch` intrinsics need
+// raw-pointer loads/stores, and confining them here keeps the rest of
+// the crate `unsafe`-free — enforced by xtask lint L1's isolation rule
+// and L6's intrinsic-confinement rule.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// The instruction-set tier the numeric kernels dispatch on. Ordered so
+/// that `min` clamps a requested tier to the detected one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// Portable scalar kernels (the PR 4 register-blocked code); also
+    /// the correctness oracle for the SIMD tiers.
+    Scalar = 0,
+    /// AVX2 + FMA: 8-wide `f32`, 4-wide `f64`.
+    Avx2 = 1,
+    /// AVX-512F: 16-wide `f32` GEMM micro-kernel; the `f64` vector
+    /// kernels reuse the AVX2 implementations (already bandwidth-bound).
+    Avx512 = 2,
+}
+
+impl SimdTier {
+    /// Stable lower-case name, used in `RunStats`, bench JSON and the
+    /// `LIGHTNE_SIMD` knob.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Avx2 => "avx2",
+            SimdTier::Avx512 => "avx512",
+        }
+    }
+
+    fn from_u8(v: u8) -> SimdTier {
+        match v {
+            2 => SimdTier::Avx512,
+            1 => SimdTier::Avx2,
+            _ => SimdTier::Scalar,
+        }
+    }
+
+    fn parse(s: &str) -> Option<SimdTier> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(SimdTier::Scalar),
+            "avx2" => Some(SimdTier::Avx2),
+            "avx512" => Some(SimdTier::Avx512),
+            _ => None,
+        }
+    }
+}
+
+const UNINIT: u8 = u8::MAX;
+static ACTIVE: AtomicU8 = AtomicU8::new(UNINIT);
+static DETECTED: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// The highest tier this CPU supports, independent of any override.
+pub fn detected_tier() -> SimdTier {
+    let v = DETECTED.load(Ordering::Relaxed);
+    if v != UNINIT {
+        return SimdTier::from_u8(v);
+    }
+    let det = detect();
+    DETECTED.store(det as u8, Ordering::Relaxed);
+    det
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> SimdTier {
+    let avx2 =
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma");
+    if avx2 && std::arch::is_x86_feature_detected!("avx512f") {
+        SimdTier::Avx512
+    } else if avx2 {
+        SimdTier::Avx2
+    } else {
+        SimdTier::Scalar
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> SimdTier {
+    SimdTier::Scalar
+}
+
+/// The tier the kernels currently dispatch on: the detected tier,
+/// lowered by `LIGHTNE_SIMD` (read once) or a later [`set_tier`] call.
+#[inline]
+pub fn active_tier() -> SimdTier {
+    let v = ACTIVE.load(Ordering::Relaxed);
+    if v != UNINIT {
+        return SimdTier::from_u8(v);
+    }
+    init_tier()
+}
+
+#[cold]
+fn init_tier() -> SimdTier {
+    let det = detected_tier();
+    let req = std::env::var("LIGHTNE_SIMD").ok().and_then(|s| SimdTier::parse(&s)).unwrap_or(det);
+    let tier = req.min(det);
+    ACTIVE.store(tier as u8, Ordering::Relaxed);
+    tier
+}
+
+/// Forces the dispatch tier for this process, clamped to the detected
+/// tier (requesting a tier the CPU lacks selects the best available one
+/// instead — the request can only *lower* the tier, which is what keeps
+/// the `#[target_feature]` dispatch sound). Returns the tier actually
+/// installed. Test hook: the kernel determinism/property tests sweep
+/// dispatch both ways with it; `LIGHTNE_SIMD` is the process-level knob.
+pub fn set_tier(requested: SimdTier) -> SimdTier {
+    let tier = requested.min(detected_tier());
+    ACTIVE.store(tier as u8, Ordering::Relaxed);
+    tier
+}
+
+/// Comma-separated list of the detected CPU features the dispatch layer
+/// considers, recorded in `RunStats` so bench JSONs are attributable to
+/// a CPU class.
+pub fn detected_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut out = Vec::new();
+        for (name, present) in [
+            ("sse2", true),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("fma", std::arch::is_x86_feature_detected!("fma")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+        ] {
+            if present {
+                out.push(name);
+            }
+        }
+        out.join(",")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        String::new()
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The `#[target_feature]` kernel bodies. Each public wrapper holds
+    //! the single `unsafe` dispatch site; its safety rests on the
+    //! [`super::active_tier`] clamp (a SIMD tier is only reachable after
+    //! `is_x86_feature_detected!` confirmed the feature).
+
+    use crate::kernels::{DOT_LANES, GRAM_LANES, MR, NR};
+    use std::arch::x86_64::*;
+
+    /// AVX2+FMA micro-kernel with direct writeback: accumulates the
+    /// register tile over the packed strips like [`mk_avx2`], then adds
+    /// it straight into the output rows at `out[off + r·stride ..]` —
+    /// skipping the staging buffer saves a second pass over every full
+    /// tile (the scalar path's per-element writeback was ~30% of GEMM
+    /// wall time). Full `MR×NR` tiles only.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA (guaranteed by the dispatching wrapper).
+    // SAFETY: pointer arithmetic is bounded by the shape asserts below;
+    // the feature guard is the wrapper's detection clamp.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn mk_avx2_direct(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        off: usize,
+        stride: usize,
+    ) {
+        assert!(
+            a.len() >= kc * MR
+                && b.len() >= kc * NR
+                && stride >= NR
+                && out.len() >= off + (MR - 1) * stride + NR,
+            "direct tile out of bounds"
+        );
+        // SAFETY: loads stay inside the asserted `kc`-deep packed
+        // strips; the writeback touches rows `off + r·stride` for
+        // r < MR, NR floats each, all inside `out` by the assert.
+        unsafe {
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let mut c: [[__m256; 2]; MR] = [[_mm256_setzero_ps(); 2]; MR];
+            for kk in 0..kc {
+                let b0 = _mm256_loadu_ps(bp.add(kk * NR));
+                let b1 = _mm256_loadu_ps(bp.add(kk * NR + 8));
+                for (r, cr) in c.iter_mut().enumerate() {
+                    let ar = _mm256_set1_ps(*ap.add(kk * MR + r));
+                    cr[0] = _mm256_fmadd_ps(ar, b0, cr[0]);
+                    cr[1] = _mm256_fmadd_ps(ar, b1, cr[1]);
+                }
+            }
+            let op = out.as_mut_ptr().add(off);
+            for (r, cr) in c.iter().enumerate() {
+                let p = op.add(r * stride);
+                _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), cr[0]));
+                _mm256_storeu_ps(p.add(8), _mm256_add_ps(_mm256_loadu_ps(p.add(8)), cr[1]));
+            }
+        }
+    }
+
+    /// AVX-512F paired-strip micro-kernel with direct writeback: one
+    /// `MR×2NR` register tile over two adjacent packed B strips (eight
+    /// independent FMA chains — both FMA ports busy without the k-unroll
+    /// the single-strip variant needs), accumulated straight into
+    /// `out[off + r·stride ..]`. Full tiles only.
+    ///
+    /// # Safety
+    /// Requires AVX-512F (guaranteed by the dispatching wrapper).
+    // SAFETY: pointer arithmetic is bounded by the shape asserts below;
+    // the feature guard is the wrapper's detection clamp.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn mk_avx512_pair(
+        kc: usize,
+        a: &[f32],
+        b0s: &[f32],
+        b1s: &[f32],
+        out: &mut [f32],
+        off: usize,
+        stride: usize,
+    ) {
+        assert!(
+            a.len() >= kc * MR
+                && b0s.len() >= kc * NR
+                && b1s.len() >= kc * NR
+                && stride >= 2 * NR
+                && out.len() >= off + (MR - 1) * stride + 2 * NR,
+            "direct pair tile out of bounds"
+        );
+        // SAFETY: loads stay inside the asserted `kc`-deep packed
+        // strips; the writeback touches rows `off + r·stride` for
+        // r < MR, 2·NR floats each, all inside `out` by the assert.
+        unsafe {
+            let ap = a.as_ptr();
+            let bp0 = b0s.as_ptr();
+            let bp1 = b1s.as_ptr();
+            let mut c: [[__m512; 2]; MR] = [[_mm512_setzero_ps(); 2]; MR];
+            for kk in 0..kc {
+                let b0 = _mm512_loadu_ps(bp0.add(kk * NR));
+                let b1 = _mm512_loadu_ps(bp1.add(kk * NR));
+                for (r, cr) in c.iter_mut().enumerate() {
+                    let ar = _mm512_set1_ps(*ap.add(kk * MR + r));
+                    cr[0] = _mm512_fmadd_ps(ar, b0, cr[0]);
+                    cr[1] = _mm512_fmadd_ps(ar, b1, cr[1]);
+                }
+            }
+            let op = out.as_mut_ptr().add(off);
+            for (r, cr) in c.iter().enumerate() {
+                let p = op.add(r * stride);
+                _mm512_storeu_ps(p, _mm512_add_ps(_mm512_loadu_ps(p), cr[0]));
+                _mm512_storeu_ps(p.add(NR), _mm512_add_ps(_mm512_loadu_ps(p.add(NR)), cr[1]));
+            }
+        }
+    }
+
+    /// Main-loop accumulation of [`crate::kernels::dot_f64`]: widens
+    /// 4-float groups to `f64` and fuses multiply-add per fixed lane.
+    /// Bitwise identical to the scalar lane loop (see module docs).
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA (guaranteed by the dispatching wrapper).
+    // SAFETY: pointer arithmetic is bounded by the length asserts below;
+    // the feature guard is the wrapper's detection clamp.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn dot_acc_avx2(a: &[f32], b: &[f32], acc: &mut [f64; DOT_LANES]) {
+        assert!(a.len() == b.len() && a.len().is_multiple_of(DOT_LANES), "dot accumulate shape");
+        // SAFETY: `a`/`b` are whole multiples of DOT_LANES (asserted), so
+        // every 4-float load at `off + 4i`, i < 8, is in bounds; `acc`
+        // is exactly DOT_LANES = 32 doubles = eight 4-lane vectors.
+        unsafe {
+            let ap = a.as_ptr();
+            let bp = b.as_ptr();
+            let mut v: [__m256d; 8] = [_mm256_setzero_pd(); 8];
+            for (i, vi) in v.iter_mut().enumerate() {
+                *vi = _mm256_loadu_pd(acc.as_ptr().add(4 * i));
+            }
+            let mut off = 0usize;
+            while off < a.len() {
+                for (i, vi) in v.iter_mut().enumerate() {
+                    let ad = _mm256_cvtps_pd(_mm_loadu_ps(ap.add(off + 4 * i)));
+                    let bd = _mm256_cvtps_pd(_mm_loadu_ps(bp.add(off + 4 * i)));
+                    *vi = _mm256_fmadd_pd(ad, bd, *vi);
+                }
+                off += DOT_LANES;
+            }
+            for (i, vi) in v.iter().enumerate() {
+                _mm256_storeu_pd(acc.as_mut_ptr().add(4 * i), *vi);
+            }
+        }
+    }
+
+    /// One row-block of [`crate::kernels::columnwise_dots`]: per row,
+    /// `local[j] += a[j]·b[j]` (widened), 4 columns per vector, scalar
+    /// tail columns. Column accumulators are independent, so this is
+    /// bitwise identical to the scalar row loop.
+    ///
+    /// # Safety
+    /// Requires AVX2 and FMA (guaranteed by the dispatching wrapper).
+    // SAFETY: pointer arithmetic is bounded by the length asserts below;
+    // the feature guard is the wrapper's detection clamp.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn col_dots_avx2(ab: &[f32], bb: &[f32], cols: usize, local: &mut [f64]) {
+        assert!(
+            cols > 0
+                && ab.len() == bb.len()
+                && ab.len().is_multiple_of(cols)
+                && local.len() == cols,
+            "columnwise block shape"
+        );
+        // SAFETY: rows are exactly `cols` floats (asserted); the vector
+        // loop stops at `cols - cols % 4`, so all 4-wide loads/stores on
+        // the row slices and on `local` stay in bounds.
+        unsafe {
+            let main = cols - cols % 4;
+            let lp = local.as_mut_ptr();
+            for (ar, br) in ab.chunks_exact(cols).zip(bb.chunks_exact(cols)) {
+                let arp = ar.as_ptr();
+                let brp = br.as_ptr();
+                let mut j = 0usize;
+                while j < main {
+                    let ad = _mm256_cvtps_pd(_mm_loadu_ps(arp.add(j)));
+                    let bd = _mm256_cvtps_pd(_mm_loadu_ps(brp.add(j)));
+                    let cur = _mm256_loadu_pd(lp.add(j));
+                    _mm256_storeu_pd(lp.add(j), _mm256_fmadd_pd(ad, bd, cur));
+                    j += 4;
+                }
+                while j < cols {
+                    *lp.add(j) += *arp.add(j) as f64 * *brp.add(j) as f64;
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// Four fused `f32` axpys of [`crate::kernels::sub_proj`]:
+    /// `seg -= c0·d0 + c1·d1 + c2·d2 + c3·d3`, multiplies and adds kept
+    /// separate and left-associated exactly like the scalar expression —
+    /// bitwise identical per element.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guaranteed by the dispatching wrapper).
+    // SAFETY: pointer arithmetic is bounded by the length asserts below;
+    // the feature guard is the wrapper's detection clamp.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn axpy4_avx2(
+        seg: &mut [f32],
+        d0: &[f32],
+        d1: &[f32],
+        d2: &[f32],
+        d3: &[f32],
+        c0: f32,
+        c1: f32,
+        c2: f32,
+        c3: f32,
+    ) {
+        let n = seg.len();
+        assert!(d0.len() == n && d1.len() == n && d2.len() == n && d3.len() == n, "axpy4 shape");
+        // SAFETY: all five slices have length n (asserted); the vector
+        // loop stops at `n - n % 8`, the scalar loop covers the rest.
+        unsafe {
+            let (v0, v1, v2, v3) =
+                (_mm256_set1_ps(c0), _mm256_set1_ps(c1), _mm256_set1_ps(c2), _mm256_set1_ps(c3));
+            let sp = seg.as_mut_ptr();
+            let (p0, p1, p2, p3) = (d0.as_ptr(), d1.as_ptr(), d2.as_ptr(), d3.as_ptr());
+            let main = n - n % 8;
+            let mut i = 0usize;
+            while i < main {
+                // Same association as the scalar `c0*v0 + c1*v1 + c2*v2
+                // + c3*v3`: ((m0 + m1) + m2) + m3, no FMA contraction.
+                let mut t = _mm256_mul_ps(v0, _mm256_loadu_ps(p0.add(i)));
+                t = _mm256_add_ps(t, _mm256_mul_ps(v1, _mm256_loadu_ps(p1.add(i))));
+                t = _mm256_add_ps(t, _mm256_mul_ps(v2, _mm256_loadu_ps(p2.add(i))));
+                t = _mm256_add_ps(t, _mm256_mul_ps(v3, _mm256_loadu_ps(p3.add(i))));
+                _mm256_storeu_ps(sp.add(i), _mm256_sub_ps(_mm256_loadu_ps(sp.add(i)), t));
+                i += 8;
+            }
+            while i < n {
+                *sp.add(i) -= c0 * *p0.add(i) + c1 * *p1.add(i) + c2 * *p2.add(i) + c3 * *p3.add(i);
+                i += 1;
+            }
+        }
+    }
+
+    /// Main-loop accumulation of [`crate::kernels::gram2`] over the
+    /// eight fixed `f64` lanes — multiply then add (no FMA), matching
+    /// the scalar lane loop bitwise.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guaranteed by the dispatching wrapper).
+    // SAFETY: pointer arithmetic is bounded by the length asserts below;
+    // the feature guard is the wrapper's detection clamp.
+    #[target_feature(enable = "avx2")]
+    unsafe fn gram2_acc_avx2(
+        cp: &[f64],
+        cq: &[f64],
+        aa: &mut [f64; GRAM_LANES],
+        bb: &mut [f64; GRAM_LANES],
+        gg: &mut [f64; GRAM_LANES],
+    ) {
+        assert!(
+            cp.len() == cq.len() && cp.len().is_multiple_of(GRAM_LANES),
+            "gram2 accumulate shape"
+        );
+        // SAFETY: inputs are whole multiples of GRAM_LANES = 8
+        // (asserted), covered by two 4-lane vectors per accumulator.
+        unsafe {
+            let pp = cp.as_ptr();
+            let qp = cq.as_ptr();
+            let mut av = [_mm256_loadu_pd(aa.as_ptr()), _mm256_loadu_pd(aa.as_ptr().add(4))];
+            let mut bv = [_mm256_loadu_pd(bb.as_ptr()), _mm256_loadu_pd(bb.as_ptr().add(4))];
+            let mut gv = [_mm256_loadu_pd(gg.as_ptr()), _mm256_loadu_pd(gg.as_ptr().add(4))];
+            let mut off = 0usize;
+            while off < cp.len() {
+                for h in 0..2 {
+                    let x = _mm256_loadu_pd(pp.add(off + 4 * h));
+                    let y = _mm256_loadu_pd(qp.add(off + 4 * h));
+                    av[h] = _mm256_add_pd(av[h], _mm256_mul_pd(x, x));
+                    bv[h] = _mm256_add_pd(bv[h], _mm256_mul_pd(y, y));
+                    gv[h] = _mm256_add_pd(gv[h], _mm256_mul_pd(x, y));
+                }
+                off += GRAM_LANES;
+            }
+            _mm256_storeu_pd(aa.as_mut_ptr(), av[0]);
+            _mm256_storeu_pd(aa.as_mut_ptr().add(4), av[1]);
+            _mm256_storeu_pd(bb.as_mut_ptr(), bv[0]);
+            _mm256_storeu_pd(bb.as_mut_ptr().add(4), bv[1]);
+            _mm256_storeu_pd(gg.as_mut_ptr(), gv[0]);
+            _mm256_storeu_pd(gg.as_mut_ptr().add(4), gv[1]);
+        }
+    }
+
+    /// Vector body of [`crate::kernels::rot2`]: the plane rotation with
+    /// multiplies, add and subtract kept separate — bitwise identical to
+    /// the scalar element loop. Handles whole 4-lane groups only; the
+    /// dispatcher runs the scalar tail.
+    ///
+    /// # Safety
+    /// Requires AVX2 (guaranteed by the dispatching wrapper).
+    // SAFETY: pointer arithmetic is bounded by the length asserts below;
+    // the feature guard is the wrapper's detection clamp.
+    #[target_feature(enable = "avx2")]
+    unsafe fn rot2_avx2(cp: &mut [f64], cq: &mut [f64], c: f64, s: f64) {
+        assert!(cp.len() == cq.len() && cp.len().is_multiple_of(4), "rot2 vector prefix shape");
+        // SAFETY: equal lengths in whole 4-lane groups (asserted), so
+        // every paired load/store is in bounds.
+        unsafe {
+            let (cv, sv) = (_mm256_set1_pd(c), _mm256_set1_pd(s));
+            let xp = cp.as_mut_ptr();
+            let yp = cq.as_mut_ptr();
+            let mut i = 0usize;
+            while i < cp.len() {
+                let x = _mm256_loadu_pd(xp.add(i));
+                let y = _mm256_loadu_pd(yp.add(i));
+                let nx = _mm256_sub_pd(_mm256_mul_pd(cv, x), _mm256_mul_pd(sv, y));
+                let ny = _mm256_add_pd(_mm256_mul_pd(sv, x), _mm256_mul_pd(cv, y));
+                _mm256_storeu_pd(xp.add(i), nx);
+                _mm256_storeu_pd(yp.add(i), ny);
+                i += 4;
+            }
+        }
+    }
+
+    /// Issues a best-effort read prefetch for the cache line at `ptr`
+    /// into all cache levels. A pure scheduling hint: prefetch never
+    /// faults, never reads architecturally, and never changes results.
+    ///
+    /// PREFETCHT0 is an architectural no-op on invalid addresses — it
+    /// never faults and never dereferences `ptr`, so this fn is safe.
+    // SAFETY: PREFETCHT0 only hints the cache hierarchy; it performs no
+    // architectural load, so any `ptr` value (even dangling) is fine.
+    #[target_feature(enable = "sse")]
+    fn prefetch_raw(ptr: *const u8) {
+        _mm_prefetch::<_MM_HINT_T0>(ptr.cast())
+    }
+
+    /// Best-effort read prefetch of the cache line holding `ptr`. A pure
+    /// scheduling hint: it never faults and never changes results.
+    // PREFETCHT0 performs no architectural dereference (doc above), so a
+    // safe raw-pointer API is sound here.
+    #[allow(clippy::not_unsafe_ptr_arg_deref)]
+    #[inline(always)]
+    pub fn prefetch_read(ptr: *const u8) {
+        // SAFETY: the only feature `prefetch_raw` needs is SSE, which is
+        // statically part of the x86_64 baseline every build here
+        // targets (the compiler merely insists it be spelled out).
+        unsafe { prefetch_raw(ptr) }
+    }
+
+    /// AVX2 GEMM micro-kernel, direct writeback (see [`mk_avx2_direct`]).
+    #[inline]
+    pub fn microkernel_avx2_direct(
+        kc: usize,
+        a: &[f32],
+        b: &[f32],
+        out: &mut [f32],
+        off: usize,
+        stride: usize,
+    ) {
+        // SAFETY: reachable only when active_tier() >= Avx2, which the
+        // clamp in set_tier/init_tier ties to is_x86_feature_detected!
+        // having confirmed avx2+fma on this CPU.
+        unsafe { mk_avx2_direct(kc, a, b, out, off, stride) }
+    }
+
+    /// AVX-512 paired-strip GEMM micro-kernel, direct writeback (see
+    /// [`mk_avx512_pair`]).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn microkernel_avx512_pair(
+        kc: usize,
+        a: &[f32],
+        b0s: &[f32],
+        b1s: &[f32],
+        out: &mut [f32],
+        off: usize,
+        stride: usize,
+    ) {
+        // SAFETY: reachable only when active_tier() == Avx512, which the
+        // clamp in set_tier/init_tier ties to is_x86_feature_detected!
+        // having confirmed avx512f on this CPU.
+        unsafe { mk_avx512_pair(kc, a, b0s, b1s, out, off, stride) }
+    }
+
+    /// Vectorized dot-product accumulation (see [`dot_acc_avx2`]).
+    #[inline]
+    pub fn dot_accumulate(a: &[f32], b: &[f32], acc: &mut [f64; DOT_LANES]) {
+        // SAFETY: reachable only when active_tier() >= Avx2 (detection
+        // clamp, see microkernel_avx2).
+        unsafe { dot_acc_avx2(a, b, acc) }
+    }
+
+    /// Vectorized columnwise-dots row block (see [`col_dots_avx2`]).
+    #[inline]
+    pub fn col_dots_block(ab: &[f32], bb: &[f32], cols: usize, local: &mut [f64]) {
+        // SAFETY: reachable only when active_tier() >= Avx2 (detection
+        // clamp, see microkernel_avx2).
+        unsafe { col_dots_avx2(ab, bb, cols, local) }
+    }
+
+    /// Vectorized fused 4-way axpy (see [`axpy4_avx2`]).
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub fn axpy4(seg: &mut [f32], d: [&[f32]; 4], c0: f32, c1: f32, c2: f32, c3: f32) {
+        // SAFETY: reachable only when active_tier() >= Avx2 (detection
+        // clamp, see microkernel_avx2).
+        unsafe { axpy4_avx2(seg, d[0], d[1], d[2], d[3], c0, c1, c2, c3) }
+    }
+
+    /// Vectorized gram2 accumulation (see [`gram2_acc_avx2`]).
+    #[inline]
+    pub fn gram2_accumulate(
+        cp: &[f64],
+        cq: &[f64],
+        aa: &mut [f64; GRAM_LANES],
+        bb: &mut [f64; GRAM_LANES],
+        gg: &mut [f64; GRAM_LANES],
+    ) {
+        // SAFETY: reachable only when active_tier() >= Avx2 (detection
+        // clamp, see microkernel_avx2).
+        unsafe { gram2_acc_avx2(cp, cq, aa, bb, gg) }
+    }
+
+    /// Vectorized plane rotation over whole 4-lane groups (see
+    /// [`rot2_avx2`]).
+    #[inline]
+    pub fn rot2(cp: &mut [f64], cq: &mut [f64], c: f64, s: f64) {
+        // SAFETY: reachable only when active_tier() >= Avx2 (detection
+        // clamp, see microkernel_avx2).
+        unsafe { rot2_avx2(cp, cq, c, s) }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+pub use x86::*;
+
+#[cfg(not(target_arch = "x86_64"))]
+mod fallback {
+    //! Unreachable stubs: off x86_64 [`super::active_tier`] is always
+    //! [`super::SimdTier::Scalar`], so the dispatch arms calling these
+    //! never execute.
+
+    use crate::kernels::{DOT_LANES, GRAM_LANES};
+
+    /// No-op on non-x86_64 targets (no portable prefetch hint).
+    #[inline(always)]
+    pub fn prefetch_read(_ptr: *const u8) {}
+
+    /// Unreachable off x86_64 (dispatch never selects a SIMD tier).
+    pub fn microkernel_avx2_direct(
+        _: usize,
+        _: &[f32],
+        _: &[f32],
+        _: &mut [f32],
+        _: usize,
+        _: usize,
+    ) {
+        unreachable!("SIMD tier selected off x86_64")
+    }
+
+    /// Unreachable off x86_64 (dispatch never selects a SIMD tier).
+    #[allow(clippy::too_many_arguments)]
+    pub fn microkernel_avx512_pair(
+        _: usize,
+        _: &[f32],
+        _: &[f32],
+        _: &[f32],
+        _: &mut [f32],
+        _: usize,
+        _: usize,
+    ) {
+        unreachable!("SIMD tier selected off x86_64")
+    }
+
+    /// Unreachable off x86_64 (dispatch never selects a SIMD tier).
+    pub fn dot_accumulate(_: &[f32], _: &[f32], _: &mut [f64; DOT_LANES]) {
+        unreachable!("SIMD tier selected off x86_64")
+    }
+
+    /// Unreachable off x86_64 (dispatch never selects a SIMD tier).
+    pub fn col_dots_block(_: &[f32], _: &[f32], _: usize, _: &mut [f64]) {
+        unreachable!("SIMD tier selected off x86_64")
+    }
+
+    /// Unreachable off x86_64 (dispatch never selects a SIMD tier).
+    pub fn axpy4(_: &mut [f32], _: [&[f32]; 4], _: f32, _: f32, _: f32, _: f32) {
+        unreachable!("SIMD tier selected off x86_64")
+    }
+
+    /// Unreachable off x86_64 (dispatch never selects a SIMD tier).
+    pub fn gram2_accumulate(
+        _: &[f64],
+        _: &[f64],
+        _: &mut [f64; GRAM_LANES],
+        _: &mut [f64; GRAM_LANES],
+        _: &mut [f64; GRAM_LANES],
+    ) {
+        unreachable!("SIMD tier selected off x86_64")
+    }
+
+    /// Unreachable off x86_64 (dispatch never selects a SIMD tier).
+    pub fn rot2(_: &mut [f64], _: &mut [f64], _: f64, _: f64) {
+        unreachable!("SIMD tier selected off x86_64")
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+pub use fallback::*;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_ordering_supports_clamping() {
+        assert!(SimdTier::Scalar < SimdTier::Avx2);
+        assert!(SimdTier::Avx2 < SimdTier::Avx512);
+        assert_eq!(SimdTier::Avx512.min(SimdTier::Scalar), SimdTier::Scalar);
+    }
+
+    #[test]
+    fn parse_and_name_roundtrip() {
+        for t in [SimdTier::Scalar, SimdTier::Avx2, SimdTier::Avx512] {
+            assert_eq!(SimdTier::parse(t.name()), Some(t));
+        }
+        assert_eq!(SimdTier::parse("AVX2"), Some(SimdTier::Avx2));
+        assert_eq!(SimdTier::parse("neon"), None);
+    }
+
+    #[test]
+    fn set_tier_clamps_to_detected() {
+        let det = detected_tier();
+        assert_eq!(set_tier(SimdTier::Avx512), det.min(SimdTier::Avx512));
+        assert_eq!(set_tier(SimdTier::Scalar), SimdTier::Scalar);
+        assert_eq!(active_tier(), SimdTier::Scalar);
+        // Restore the best tier for the rest of the test binary.
+        set_tier(det);
+    }
+
+    #[test]
+    fn detected_features_lists_baseline() {
+        let f = detected_features();
+        if cfg!(target_arch = "x86_64") {
+            assert!(f.contains("sse2"), "{f}");
+        }
+    }
+}

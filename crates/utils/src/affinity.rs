@@ -1,0 +1,160 @@
+//! Opt-in shard→core affinity pinning for the sample→aggregate stage —
+//! this crate's designated unsafe module under the xtask L1 isolation
+//! posture (one raw `sched_setaffinity` syscall; no libc is available in
+//! this workspace, so the syscall is issued through inline assembly).
+//!
+//! # Pinning model
+//!
+//! The sharded aggregation path assigns vertex ranges to shards and
+//! shards to rayon workers; with the default free scheduling the OS may
+//! migrate a worker between cores mid-stage, dragging each shard's hot
+//! probe window out of the old core's private cache. [`set_worker_pinning`]
+//! registers a worker-start hook (see `rayon::set_worker_start_hook`)
+//! that pins worker `i` to core `i % cores` at every parallel-region
+//! entry, so a shard's table lines stay resident in one core's L1/L2 for
+//! the whole stage. Pinning is strictly opt-in (`--pin-shards`): on
+//! oversubscribed or cgroup-restricted machines a hard pin can *hurt*,
+//! and the unpinned default keeps scheduling decisions with the OS.
+//! Embedding output is byte-identical either way — pinning changes where
+//! work runs, never what is computed (the engine's determinism tests
+//! cover it).
+//!
+//! Off Linux/x86_64 the pin request is a silent no-op that reports
+//! `false`, and the hook is simply never registered.
+
+// Designated unsafe module (`#![allow(unsafe_code)]` against the
+// crate-wide deny): the raw syscall needs `asm!`.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Whether the pinning hook is currently registered (mirrored into
+/// `RunStats` so bench JSONs record the scheduling mode).
+static PINNING: AtomicBool = AtomicBool::new(false);
+
+/// Core count snapshot taken when pinning was enabled; the hook maps
+/// worker `i` to core `i % NCORES`.
+static NCORES: AtomicUsize = AtomicUsize::new(1);
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    /// Bits in the CPU mask passed to the kernel: 16×u64 = 1024 CPUs,
+    /// the kernel's own default `CONFIG_NR_CPUS` ceiling.
+    const MASK_WORDS: usize = 16;
+
+    /// `sched_setaffinity` on x86_64 Linux.
+    const SYS_SCHED_SETAFFINITY: usize = 203;
+
+    /// Issues `sched_setaffinity(0, size, mask)` — pid 0 means the
+    /// calling thread. Returns the raw kernel result (0 on success).
+    ///
+    /// # Safety
+    /// `mask` must point to `size` readable bytes. The syscall itself
+    /// only ever *reads* the mask and mutates kernel scheduling state
+    /// for this thread; it cannot corrupt process memory.
+    // SAFETY: contract above — the body's asm! is justified at the site.
+    unsafe fn sched_setaffinity_raw(size: usize, mask: *const u64) -> isize {
+        let ret: isize;
+        // SAFETY: per the function contract, `mask`/`size` describe a
+        // valid readable buffer; register constraints follow the x86_64
+        // Linux syscall ABI (rax = nr/result, rdi/rsi/rdx = args, rcx
+        // and r11 clobbered by `syscall`).
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") SYS_SCHED_SETAFFINITY as isize => ret,
+                in("rdi") 0usize,
+                in("rsi") size,
+                in("rdx") mask,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Pins the calling thread to `core`. Returns `true` on success.
+    pub fn pin_current_thread(core: usize) -> bool {
+        if core >= MASK_WORDS * 64 {
+            return false;
+        }
+        let mut mask = [0u64; MASK_WORDS];
+        mask[core / 64] = 1u64 << (core % 64);
+        // SAFETY: `mask` is a live, properly sized local buffer for the
+        // whole call.
+        let ret = unsafe { sched_setaffinity_raw(MASK_WORDS * 8, mask.as_ptr()) };
+        ret == 0
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod imp {
+    /// Pinning is unsupported on this target; always reports `false`.
+    pub fn pin_current_thread(_core: usize) -> bool {
+        false
+    }
+}
+
+pub use imp::pin_current_thread;
+
+/// The worker-start hook: pin worker `idx` to core `idx % cores`. Kept a
+/// plain `fn` so it can be registered through the rayon shim without
+/// captured state.
+fn pin_hook(idx: usize) {
+    let cores = NCORES.load(Ordering::Relaxed).max(1);
+    let _ = pin_current_thread(idx % cores);
+}
+
+/// Enables or disables shard→core worker pinning process-wide. With
+/// `true`, every rayon worker pins itself to core `index % cores` at
+/// each parallel-region entry; with `false`, the hook is removed and the
+/// OS schedules freely again (threads keep their last mask — the next
+/// stage simply stops re-asserting it).
+pub fn set_worker_pinning(enabled: bool) {
+    if enabled {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        NCORES.store(cores, Ordering::Relaxed);
+        rayon::set_worker_start_hook(Some(pin_hook));
+    } else {
+        rayon::set_worker_start_hook(None);
+    }
+    PINNING.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether worker pinning is currently enabled (recorded in `RunStats`).
+pub fn pinning_enabled() -> bool {
+    PINNING.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_to_core_zero_succeeds_on_linux() {
+        let ok = pin_current_thread(0);
+        if cfg!(all(target_os = "linux", target_arch = "x86_64")) {
+            assert!(ok, "pinning to core 0 should always be permitted");
+        } else {
+            assert!(!ok);
+        }
+    }
+
+    #[test]
+    fn out_of_range_core_is_rejected() {
+        assert!(!pin_current_thread(1 << 20));
+    }
+
+    #[test]
+    fn toggle_updates_state_and_survives_parallel_work() {
+        set_worker_pinning(true);
+        assert!(pinning_enabled());
+        // Drive a parallel region so the hook actually runs on workers.
+        use rayon::prelude::*;
+        let s: u64 = (0..1000u64).collect::<Vec<_>>().par_iter().map(|&x| x).sum();
+        assert_eq!(s, 499_500);
+        set_worker_pinning(false);
+        assert!(!pinning_enabled());
+    }
+}

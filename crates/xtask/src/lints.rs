@@ -1,4 +1,4 @@
-//! The five workspace lints (L1–L5) and the suppression machinery.
+//! The six workspace lints (L1–L6) and the suppression machinery.
 //!
 //! Every lint works on the token stream from [`crate::lexer`], so banned
 //! patterns appearing inside string literals or comments (including this
@@ -25,6 +25,13 @@
 //!   `rand::thread_rng`/`from_entropy` are banned workspace-wide;
 //!   `Instant::now` is banned on the deterministic path outside the
 //!   timing layer.
+//! * **L6** — every `std::arch` SIMD intrinsic call site (`_mm…(`) must
+//!   sit inside a `#[target_feature]` function, in a crate's designated
+//!   unsafe module ([`config::L1_UNSAFE_ISOLATED`]), with a `// SAFETY:`
+//!   feature-guard comment near the call or the enclosing function:
+//!   an intrinsic outside a feature-gated function is instant UB on older
+//!   CPUs, and scattering intrinsics outside the audited modules defeats
+//!   the L1 isolation posture.
 //!
 //! A violation can be suppressed inline with
 //! `// xtask:allow(Lk): reason` on the same or preceding line; an allow
@@ -117,6 +124,7 @@ pub fn check_source(path: &str, src: &str) -> Vec<Diagnostic> {
     lint_l3(&ctx, &mut diags);
     lint_l4(&ctx, &mut diags);
     lint_l5(&ctx, &mut diags);
+    lint_l6(&ctx, &mut diags);
     let mut out = apply_allows(&ctx, diags);
     out.sort_by_key(|d| (d.line, d.col, d.lint));
     out
@@ -268,6 +276,7 @@ fn lint_code(name: &str) -> &'static str {
         "L3" => "L3",
         "L4" => "L4",
         "L5" => "L5",
+        "L6" => "L6",
         _ => "L1",
     }
 }
@@ -533,6 +542,75 @@ fn lint_l5(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
                         .into(),
                 ),
             );
+        }
+    }
+}
+
+/// L6: `std::arch` SIMD intrinsic call sites are confined to
+/// `#[target_feature]` functions inside designated unsafe modules, each
+/// covered by a `// SAFETY:` feature-guard comment.
+fn lint_l6(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
+    let designated = config::L1_UNSAFE_ISOLATED.iter().any(|&(_, module)| ctx.path == module);
+    for i in 0..ctx.tokens.len() {
+        let t = &ctx.tokens[i];
+        // `_mm…` (case-sensitive: skips `_MM_HINT_*` constants and
+        // `__m256`-style type names) followed by a call or turbofish.
+        if t.kind != TokKind::Ident || !t.text.starts_with("_mm") {
+            continue;
+        }
+        let is_call = ctx.tokens.get(i + 1).is_some_and(|n| n.text == "(")
+            || ctx.seq(i + 1, &[":", ":", "<"]);
+        if !is_call || ctx.in_test(t.line) {
+            continue;
+        }
+        if !designated {
+            diags.push(ctx.diag(
+                "L6",
+                t,
+                format!(
+                    "`{}` outside a designated unsafe module: std::arch intrinsics are \
+                     confined to the modules listed in config::L1_UNSAFE_ISOLATED",
+                    t.text
+                ),
+            ));
+        }
+        // The enclosing fn must carry `#[target_feature(..)]`: find the
+        // nearest preceding `fn`, then scan back through its attributes
+        // and modifiers (stopping at the previous item's end).
+        let fn_idx = (0..i).rev().find(|&k| ctx.tokens[k].text == "fn");
+        let has_target_feature = fn_idx.is_some_and(|f| {
+            ctx.tokens[..f]
+                .iter()
+                .rev()
+                .take(48)
+                .take_while(|a| a.text != "}" && a.text != ";" && a.text != "fn")
+                .any(|a| a.text == "target_feature")
+        });
+        if !has_target_feature {
+            diags.push(ctx.diag(
+                "L6",
+                t,
+                format!(
+                    "`{}` outside a `#[target_feature]` function: calling an intrinsic \
+                     the CPU may not support is undefined behavior; gate the containing \
+                     function and dispatch on runtime detection",
+                    t.text
+                ),
+            ));
+        }
+        let fn_line = fn_idx.map_or(t.line, |f| ctx.tokens[f].line);
+        if !ctx.has_comment_near("SAFETY:", t.line, 6)
+            && !ctx.has_comment_near("SAFETY:", fn_line, 6)
+        {
+            diags.push(ctx.diag(
+                "L6",
+                t,
+                format!(
+                    "`{}` without a `// SAFETY:` feature-guard comment near the call or \
+                     its enclosing function",
+                    t.text
+                ),
+            ));
         }
     }
 }

@@ -6,7 +6,7 @@
 //! cargo xtask check [--json] [--root <path>]
 //! ```
 //!
-//! Runs the five workspace lints (see DESIGN.md, "Static analysis &
+//! Runs the six workspace lints (see DESIGN.md, "Static analysis &
 //! concurrency verification") over every source file and exits non-zero
 //! if any violation is found. `--json` emits a machine-readable report
 //! for CI; `--root` overrides workspace-root auto-detection.

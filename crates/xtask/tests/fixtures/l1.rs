@@ -1,5 +1,5 @@
 // L1 fixture: an `unsafe` block with no SAFETY comment anywhere near it.
-// Linted under the virtual path crates/utils/src/fixture_l1.rs (L1 is
+// Linted under the virtual path crates/eval/src/fixture_l1.rs (L1 is
 // workspace-wide, so the path only needs to avoid the other lints'
 // scopes). The violation is the `unsafe` on line 10.
 

@@ -1,0 +1,10 @@
+// L6 fixture: a `_mm…` intrinsic call from a plain function with no
+// `#[target_feature]` attribute. Linted as a designated unsafe module
+// (crates/linalg/src/simd.rs) the placement is allowed and the SAFETY
+// comment is present, so the only violation is the missing
+// `#[target_feature]` gate — the `_mm_prefetch` on line 9.
+
+// SAFETY: prefetch hints never fault and never dereference `ptr`.
+pub fn warm(ptr: *const u8) {
+    _mm_prefetch::<_MM_HINT_T0>(ptr.cast());
+}

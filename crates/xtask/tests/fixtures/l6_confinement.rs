@@ -1,0 +1,10 @@
+// L6 confinement fixture: a correctly `#[target_feature]`-gated,
+// SAFETY-commented intrinsic call that is clean when linted as a
+// designated unsafe module and a violation anywhere else. The violation
+// is the `_mm_prefetch` on line 9.
+
+// SAFETY: prefetch hints never fault and never dereference `ptr`.
+#[target_feature(enable = "sse")]
+fn warm(ptr: *const u8) {
+    _mm_prefetch::<_MM_HINT_T0>(ptr.cast());
+}

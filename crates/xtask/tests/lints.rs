@@ -1,4 +1,4 @@
-//! Fixture tests for the five workspace lints: each fixture violates
+//! Fixture tests for the six workspace lints: each fixture violates
 //! exactly one lint at a known span, the clean fixture produces zero
 //! false positives, and the live workspace itself must lint clean — the
 //! same gate CI enforces with `cargo xtask check`.
@@ -13,7 +13,7 @@ fn lints_of(diags: &[Diagnostic]) -> Vec<&'static str> {
 
 #[test]
 fn l1_fires_on_undocumented_unsafe() {
-    let diags = check_source("crates/utils/src/fixture_l1.rs", include_str!("fixtures/l1.rs"));
+    let diags = check_source("crates/eval/src/fixture_l1.rs", include_str!("fixtures/l1.rs"));
     assert_eq!(lints_of(&diags), ["L1"], "{diags:?}");
     assert_eq!(diags[0].line, 10, "span must point at the `unsafe` token");
 }
@@ -33,7 +33,7 @@ fn l1_isolation_fires_outside_the_designated_module() {
 fn l1_isolation_allows_the_designated_module_and_other_crates() {
     let src = include_str!("fixtures/l1_isolation.rs");
     assert!(check_source("crates/graph/src/mmap.rs", src).is_empty());
-    assert!(check_source("crates/utils/src/ptr.rs", src).is_empty());
+    assert!(check_source("crates/eval/src/ptr.rs", src).is_empty());
 }
 
 #[test]
@@ -76,6 +76,44 @@ fn l5_fires_on_system_time() {
     let diags = check_source("crates/graph/src/fixture_l5.rs", include_str!("fixtures/l5.rs"));
     assert_eq!(lints_of(&diags), ["L5"], "{diags:?}");
     assert_eq!(diags[0].line, 9, "span must point at SystemTime::now");
+}
+
+#[test]
+fn l6_fires_on_intrinsic_outside_target_feature_fn() {
+    // Linted as the designated module, so the one violation is the
+    // missing `#[target_feature]` gate.
+    let diags = check_source("crates/linalg/src/simd.rs", include_str!("fixtures/l6.rs"));
+    assert_eq!(lints_of(&diags), ["L6"], "{diags:?}");
+    assert_eq!(diags[0].line, 9, "span must point at the intrinsic call");
+    assert!(diags[0].message.contains("target_feature"), "{diags:?}");
+}
+
+#[test]
+fn l6_fires_on_intrinsic_outside_designated_module() {
+    // A fully gated, SAFETY-commented call is still confined: under any
+    // path that is not a designated unsafe module it violates L6.
+    let src = include_str!("fixtures/l6_confinement.rs");
+    let diags = check_source("crates/linalg/src/kernels.rs", src);
+    assert_eq!(lints_of(&diags), ["L6"], "{diags:?}");
+    assert_eq!(diags[0].line, 9, "span must point at the intrinsic call");
+    assert!(diags[0].message.contains("designated"), "{diags:?}");
+}
+
+#[test]
+fn l6_allows_gated_intrinsics_in_designated_modules() {
+    let src = include_str!("fixtures/l6_confinement.rs");
+    assert!(check_source("crates/linalg/src/simd.rs", src).is_empty());
+    assert!(check_source("crates/hashtable/src/prefetch.rs", src).is_empty());
+}
+
+#[test]
+fn l6_requires_a_safety_feature_guard_comment() {
+    // Strip the SAFETY line from the clean fixture: the gated call now
+    // lacks its feature-guard justification.
+    let src = include_str!("fixtures/l6_confinement.rs").replace("SAFETY:", "safety —");
+    let diags = check_source("crates/linalg/src/simd.rs", &src);
+    assert_eq!(lints_of(&diags), ["L6"], "{diags:?}");
+    assert!(diags[0].message.contains("SAFETY"), "{diags:?}");
 }
 
 #[test]

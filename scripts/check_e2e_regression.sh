@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# End-to-end throughput gate (run by CI).
+#
+# Reads a fresh bench_e2e_json report ($1, default
+# results/BENCH_e2e_new.json — produce one with run_e2e_bench.sh) and
+# fails (exit 1) when:
+#
+#   1. the report is malformed (no embeddings_per_sec) or throughput is
+#      below the absolute sanity floor MIN_EPS (default 1.0 — a pipeline
+#      that embeds less than one vertex per second on any CI-sized input
+#      is broken, not slow); or
+#   2. embeddings/sec regressed by more than (1 - MIN_RATIO) against the
+#      committed baseline (default MIN_RATIO=0.6 — e2e wall time is
+#      noisier than kernel GFLOP/s, so the band is wider). This check is
+#      skipped when any configuration key (profile, scale, dim, window,
+#      sample_ratio, threads, or the SIMD dispatch tier) differs from
+#      the baseline's — CI smoke runs use smaller profiles — and
+#      entirely when no baseline exists yet.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NEW=${1:-results/BENCH_e2e_new.json}
+BASELINE=${BASELINE:-results/BENCH_e2e.json}
+MIN_EPS=${MIN_EPS:-1.0}
+MIN_RATIO=${MIN_RATIO:-0.6}
+
+[ -f "$NEW" ] || { echo "no report at $NEW (run scripts/run_e2e_bench.sh $NEW)"; exit 1; }
+
+# Extracts the value of a flat one-key-per-line JSON field.
+field() { # field <file> <key>
+    awk -F': ' -v k="\"$2\"" '$1 ~ k { gsub(/[ ,]/, "", $2); print $2; exit }' "$1"
+}
+
+fail=0
+
+eps=$(field "$NEW" embeddings_per_sec)
+[ -n "$eps" ] || { echo "FAIL: $NEW has no embeddings_per_sec"; exit 1; }
+if awk -v g="$eps" -v f="$MIN_EPS" 'BEGIN { exit !(g >= f) }'; then
+    echo "ok: $eps embeddings/sec >= sanity floor $MIN_EPS"
+else
+    echo "FAIL: $eps embeddings/sec below sanity floor $MIN_EPS"
+    fail=1
+fi
+
+if [ -f "$BASELINE" ]; then
+    skip=""
+    for sk in profile scale dim window sample_ratio threads simd_tier; do
+        if [ "$(field "$NEW" "$sk")" != "$(field "$BASELINE" "$sk")" ]; then
+            skip="$sk"
+            break
+        fi
+    done
+    if [ -n "$skip" ]; then
+        echo "skip: baseline comparison ($skip differs from baseline)"
+    else
+        base=$(field "$BASELINE" embeddings_per_sec)
+        if awk -v g="$eps" -v b="$base" -v r="$MIN_RATIO" 'BEGIN { exit !(g >= b * r) }'; then
+            echo "ok: $eps embeddings/sec vs baseline $base (floor ${MIN_RATIO}x)"
+        else
+            echo "FAIL: throughput regressed to $eps embeddings/sec, baseline $base (floor ${MIN_RATIO}x)"
+            fail=1
+        fi
+    fi
+else
+    echo "no committed baseline at $BASELINE; sanity floor only"
+fi
+
+exit "$fail"

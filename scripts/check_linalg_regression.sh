@@ -69,9 +69,14 @@ if [ -f "$BASELINE" ]; then
             fail=1
         fi
     }
-    check_gflops "packed gemm" gemm_packed_gflops gemm_m gemm_k gemm_n
-    check_gflops "panel qr" qr_panel_gflops qr_rows qr_cols
-    check_gflops "blocked rsvd" rsvd_blocked_gflops rsvd_n rsvd_rank
+    # The packed-GEMM number depends on which SIMD tier the report ran
+    # on, so it is only compared like-for-like (dispatch_tier must match
+    # the baseline's); the forced-scalar number anchors cross-tier runs.
+    check_gflops "packed gemm" gemm_packed_gflops gemm_m gemm_k gemm_n dispatch_tier
+    check_gflops "hot gemm" gemm_hot_gflops gemm_hot_m gemm_k gemm_n dispatch_tier
+    check_gflops "scalar gemm" gemm_scalar_gflops gemm_m gemm_k gemm_n
+    check_gflops "panel qr" qr_panel_gflops qr_rows qr_cols dispatch_tier
+    check_gflops "blocked rsvd" rsvd_blocked_gflops rsvd_n rsvd_rank dispatch_tier
 else
     echo "no committed baseline at $BASELINE; speedup floors only"
 fi

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Measures end-to-end pipeline throughput (embeddings/sec plus the
+# per-stage breakdown) and writes the flat JSON report to
+# results/BENCH_e2e.json (or $1 if given).
+#
+# Environment: PROFILE / SCALE / REPS / DIM / WINDOW / RATIO / SEED /
+# THREADS / PIN_SHARDS are passed through to the bench_e2e_json binary
+# (defaults are the committed-baseline configuration: the largest
+# generator profile at a scale that fits CI). LIGHTNE_SIMD caps the
+# kernel dispatch tier. NATIVE=1 selects the opt-in
+# `-C target-cpu=native` bench profile the committed baselines are
+# measured under.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-results/BENCH_e2e.json}
+mkdir -p "$(dirname "$OUT")"
+
+if [ "${NATIVE:-0}" = "1" ]; then
+    export RUSTFLAGS="${RUSTFLAGS:-} -C target-cpu=native"
+fi
+cargo run --release -p lightne-bench --bin bench_e2e_json > "$OUT"
+echo "wrote $OUT:"
+cat "$OUT"

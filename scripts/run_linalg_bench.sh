@@ -6,13 +6,20 @@
 # Environment: REPS (timing repetitions, default 3) and the problem-size
 # knobs GEMM_M / QR_ROWS / JACOBI_N / RSVD_N are passed through to the
 # bench_linalg_json binary; defaults are the full committed-baseline
-# sizes.
+# sizes. LIGHTNE_SIMD caps the dispatch tier. NATIVE=1 selects the
+# opt-in `-C target-cpu=native` bench profile the committed baselines
+# are measured under (it accelerates the scalar tier and the reference
+# kernels; the SIMD tiers are ISA-pinned by #[target_feature] either
+# way — correctness never depends on it).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=${1:-results/BENCH_linalg.json}
 mkdir -p "$(dirname "$OUT")"
 
+if [ "${NATIVE:-0}" = "1" ]; then
+    export RUSTFLAGS="${RUSTFLAGS:-} -C target-cpu=native"
+fi
 cargo run --release -p lightne-bench --bin bench_linalg_json > "$OUT"
 echo "wrote $OUT:"
 cat "$OUT"

@@ -127,6 +127,7 @@ fn lightne_config(o: &Opts) -> Result<LightNeConfig, String> {
         seed: o.num("seed", 42u64)?,
         shards: o.num("shards", 0usize)?,
         global_table: o.flag("global-table"),
+        pin_shards: o.flag("pin-shards"),
         ..Default::default()
     })
 }
@@ -261,6 +262,12 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> 
             write_matrix(&result.embedding, out_path).map_err(|e| e.to_string())?;
             say(format!("{}", result.timings))?;
             say(format!("threads: {}", result.stats.threads))?;
+            say(format!(
+                "simd: {} tier (detected: {}){}",
+                result.stats.simd_tier,
+                result.stats.simd_features,
+                if result.stats.pinned { "; workers pinned" } else { "" }
+            ))?;
             say(format!(
                 "sampler: {} trials, {} kept, {} distinct; NetMF nnz {}",
                 result.sampler.trials,

@@ -9,6 +9,7 @@
 //!                  [--ratio R] [--no-downsample] [--sparsify-prob degree|psne]
 //!                  [--no-propagation]
 //!                  [--weighted] [--seed N] [--shards N] [--global-table]
+//!                  [--pin-shards]
 //!                  [--graph-format csr|v1|v2] [--codec C] [--block-size B]
 //!                  [--mmap] [--save-artifacts DIR] [--resume-from DIR]
 //!                  [--strict-resume] [--stats-json PATH]
@@ -40,7 +41,12 @@
 //! and peak heap bytes. `--shards N` sets the shard count of the
 //! vertex-range-sharded aggregation path (0 = automatic), and
 //! `--global-table` forces the legacy single-table path; output bytes are
-//! identical either way. The implementation lives in [`lightne::cli`].
+//! identical either way. `--pin-shards` pins rayon workers to cores for
+//! the sample→aggregate stage (off by default; scheduling only, output
+//! bytes unchanged). The numeric kernels pick their SIMD tier at runtime
+//! (`LIGHTNE_SIMD=scalar|avx2|avx512` caps it); the chosen tier and the
+//! detected feature set are printed and recorded in `--stats-json`. The
+//! implementation lives in [`lightne::cli`].
 //!
 //! `--sparsify-prob` (embed/linkpred) selects the sparsifier's
 //! edge-survival probability scheme: `degree` (the paper's

@@ -77,13 +77,36 @@ fn run_all() -> Vec<(&'static str, Vec<u32>)> {
 
 #[test]
 fn kernel_outputs_identical_across_thread_counts() {
-    assert_eq!(configure_threads(1), 1);
-    let base = run_all();
-    for threads in [2usize, 8] {
-        assert_eq!(configure_threads(threads), threads);
-        let got = run_all();
-        for ((name, want), (_, have)) in base.iter().zip(&got) {
-            assert_eq!(want, have, "{name} bytes differ at {threads} threads");
+    // Per SIMD tier (scalar always; AVX2/AVX-512 when the host supports
+    // them — the clamp in `set_tier` skips unsupported tiers), the whole
+    // kernel suite must be bitwise identical at 1, 2, and 8 threads:
+    // every parallel split keeps its fixed-block summation bracketing
+    // regardless of which micro-kernel computes the blocks. The
+    // `LIGHTNE_SIMD` env knob caps only the *initial* tier; `set_tier`
+    // here forces each reachable tier explicitly so the sweep covers
+    // both dispatch paths whichever way CI pins the knob.
+    use lightne::linalg::simd::{detected_tier, set_tier, SimdTier};
+    let mut covered = 0;
+    for tier in [SimdTier::Scalar, SimdTier::Avx2, SimdTier::Avx512] {
+        if set_tier(tier) != tier {
+            continue; // host cannot run this tier
+        }
+        covered += 1;
+        assert_eq!(configure_threads(1), 1);
+        let base = run_all();
+        for threads in [2usize, 8] {
+            assert_eq!(configure_threads(threads), threads);
+            let got = run_all();
+            for ((name, want), (_, have)) in base.iter().zip(&got) {
+                assert_eq!(
+                    want,
+                    have,
+                    "{name} bytes differ at {threads} threads on the {} tier",
+                    tier.name()
+                );
+            }
         }
     }
+    assert!(covered >= 1, "the scalar tier must always be runnable");
+    set_tier(detected_tier());
 }

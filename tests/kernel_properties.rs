@@ -11,6 +11,7 @@
 //! lives.
 
 use lightne::linalg::qr::orthonormalize_columns;
+use lightne::linalg::simd::{detected_tier, set_tier, SimdTier};
 use lightne::linalg::svd::jacobi_svd;
 use lightne::linalg::{reference, DenseMatrix};
 
@@ -47,6 +48,95 @@ fn packed_gemm_matches_reference_at_tile_boundaries() {
         let diff = blocked.max_abs_diff(&naive);
         assert!(diff <= sum_tol(k), "({m}x{k})·({k}x{n}): diff {diff} > {}", sum_tol(k));
     }
+}
+
+/// Serializes the tests that flip the process-global dispatch tier:
+/// without it, two tier-forcing tests racing on `set_tier` could take a
+/// "scalar" baseline on a vector tier. (The reference-comparison tests
+/// don't need the lock — they hold to tolerance on every tier.)
+static TIER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `f` once per SIMD tier the host can execute beyond scalar,
+/// handing it the tier; restores the detected tier afterwards. Skips
+/// silently on scalar-only hardware — the dispatch tests then reduce to
+/// "scalar equals scalar", which `kernel_determinism.rs` already pins.
+fn for_each_simd_tier(mut f: impl FnMut(SimdTier)) {
+    for tier in [SimdTier::Avx2, SimdTier::Avx512] {
+        if set_tier(tier) == tier {
+            f(tier);
+        }
+    }
+    set_tier(detected_tier());
+}
+
+#[test]
+fn simd_gemm_matches_scalar_at_tile_boundaries() {
+    let _serial = TIER_LOCK.lock().unwrap();
+    // The SIMD micro-kernels contract mul+add into FMA, so GEMM matches
+    // the scalar tier to summation tolerance, not bitwise (the one
+    // documented divergence — see lightne_linalg::simd). Shapes straddle
+    // the MR/NR/KC/MC boundaries where the ragged-edge tiles (always
+    // computed by the scalar `tile_acc` oracle on every tier) meet the
+    // vectorized full tiles, plus the AVX-512 paired-strip boundary
+    // (n = 2·NR ± strip).
+    let shapes = [
+        (3usize, 5usize, 15usize),
+        (4, 5, 16),
+        (5, 5, 17),
+        (8, 300, 32),
+        (9, 300, 48),
+        (127, 255, 15),
+        (128, 256, 16),
+        (129, 257, 17),
+        (130, 258, 33),
+    ];
+    for (m, k, n) in shapes {
+        let a = DenseMatrix::gaussian(m, k, 211 + (m + k + n) as u64);
+        let b = DenseMatrix::gaussian(k, n, 223 + (m * 31 + n) as u64);
+        set_tier(SimdTier::Scalar);
+        let scalar = a.matmul(&b);
+        for_each_simd_tier(|tier| {
+            let vectored = a.matmul(&b);
+            let diff = vectored.max_abs_diff(&scalar);
+            assert!(
+                diff <= sum_tol(k),
+                "({m}x{k})·({k}x{n}) on {}: diff {diff} > {}",
+                tier.name(),
+                sum_tol(k)
+            );
+        });
+    }
+}
+
+#[test]
+fn simd_qr_and_jacobi_match_scalar_bitwise() {
+    let _serial = TIER_LOCK.lock().unwrap();
+    // Everything except GEMM keeps scalar evaluation order on the SIMD
+    // tiers (f32→f64 widening makes `fmadd_pd` exact; the elementwise
+    // kernels use separate mul+add), so QR and the Jacobi SVD are
+    // *bitwise* identical across dispatch paths. 20 columns straddles
+    // the QR panel width (16); 37 columns exercises the rot2/gram2
+    // 4-lane and GRAM_LANES tails.
+    let x = DenseMatrix::gaussian(1000, 20, 97);
+    let j = DenseMatrix::gaussian(48, 37, 98);
+    set_tier(SimdTier::Scalar);
+    let mut q_scalar = x.clone();
+    orthonormalize_columns(&mut q_scalar);
+    let svd_scalar = jacobi_svd(&j);
+    for_each_simd_tier(|tier| {
+        let mut q = x.clone();
+        orthonormalize_columns(&mut q);
+        for (a, b) in q.as_slice().iter().zip(q_scalar.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "QR bytes differ on {}", tier.name());
+        }
+        let svd = jacobi_svd(&j);
+        for (a, b) in svd.sigma.iter().zip(&svd_scalar.sigma) {
+            assert_eq!(a.to_bits(), b.to_bits(), "sigma bytes differ on {}", tier.name());
+        }
+        for (a, b) in svd.u.as_slice().iter().zip(svd_scalar.u.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "U bytes differ on {}", tier.name());
+        }
+    });
 }
 
 #[test]

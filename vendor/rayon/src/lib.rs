@@ -27,8 +27,25 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Invoked with the worker index each time a thread starts executing a
+/// parallel chunk (workers are per-region `std::thread::scope` threads in
+/// this shim, so per-thread setup like core pinning must be re-applied at
+/// every region entry — hence a hook here rather than rayon's
+/// `start_handler`, which fires once per pool thread).
+static WORKER_START_HOOK: Mutex<Option<fn(usize)>> = Mutex::new(None);
+
+/// Registers (or, with `None`, clears) a function run on each worker at
+/// the start of every parallel chunk it executes, receiving the worker
+/// index (`0..current_num_threads()`; index 0 is the calling thread).
+/// Used by `lightne-utils::affinity` for opt-in core pinning. The hook
+/// must be cheap and must not call back into parallel iterators.
+pub fn set_worker_start_hook(hook: Option<fn(usize)>) {
+    *WORKER_START_HOOK.lock().unwrap() = hook;
+}
 
 thread_local! {
     static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
@@ -106,6 +123,9 @@ fn effective_workers(n_items: usize) -> usize {
 }
 
 fn run_with_index<R>(idx: usize, f: impl FnOnce() -> R) -> R {
+    if let Some(hook) = *WORKER_START_HOOK.lock().unwrap() {
+        hook(idx);
+    }
     WORKER_INDEX.with(|w| w.set(Some(idx)));
     let out = f();
     WORKER_INDEX.with(|w| w.set(None));
