@@ -102,6 +102,7 @@ impl<G: GraphOps> PipelineSource for NetSmfSource<'_, G> {
     }
 
     fn propagate(&self, _initial: &DenseMatrix, _cfg: &PropagationConfig) -> DenseMatrix {
+        // xtask:panic-ok(NetSMF config pins propagation off; this stub only exists to satisfy the Source trait)
         unreachable!("netsmf runs with propagation disabled")
     }
 }

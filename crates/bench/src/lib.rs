@@ -43,14 +43,18 @@ pub mod harness {
             let mut i = 1;
             while i < argv.len() {
                 let key = argv[i].as_str();
+                // xtask:panic-ok(bench CLI: aborting with a message on bad argv is the intended interface of a dev harness)
                 let val = argv.get(i + 1).unwrap_or_else(|| panic!("{key} needs a value"));
                 match key {
+                    // xtask:panic-ok(bench CLI abort on malformed flag value)
                     "--scale" => out.scale = val.parse().expect("bad --scale"),
                     "--seed" => out.seed = val.parse().expect("bad --seed"),
                     "--dim" => out.dim = val.parse().expect("bad --dim"),
                     "--check-peak-bytes" => {
+                        // xtask:panic-ok(bench CLI abort on malformed flag value)
                         out.check_peak_bytes = Some(val.parse().expect("bad --check-peak-bytes"));
                     }
+                    // xtask:panic-ok(bench CLI abort on unknown flag)
                     other => panic!("unknown argument {other}"),
                 }
                 i += 2;

@@ -731,6 +731,7 @@ pub fn run_pipeline<S: PipelineSource>(
     let (payload, sampler) = ctx.run(StageKind::Sparsify, |scope| -> Result<_, EngineError> {
         faults::check(FP_STAGE_SPARSIFY)?;
         let (payload, stats) = if level >= ResumeLevel::Sparsifier {
+            // xtask:panic-ok(invariant: resume_meta was populated by the same level probe that chose this branch)
             let m = resume_meta.as_ref().expect("resume level implies meta");
             scope.counter("resumed", 1);
             let stats = SamplerStats {
@@ -741,6 +742,7 @@ pub fn run_pipeline<S: PipelineSource>(
             };
             // Only materialize the COO when the next stage will consume it.
             let payload = if level == ResumeLevel::Sparsifier {
+                // xtask:panic-ok(invariant: a resume level above None implies the store that produced it is open)
                 let r = resume.as_ref().expect("resume level implies store");
                 let (_, _, entries) = r.load_sparsifier()?;
                 SparsifierPayload::Coo(entries)
@@ -792,6 +794,7 @@ pub fn run_pipeline<S: PipelineSource>(
             }
             // Only materialize the matrix when the SVD will consume it.
             if level == ResumeLevel::NetMf {
+                // xtask:panic-ok(invariant: NetMf resume level implies store)
                 let r = resume.as_ref().expect("resume level implies store");
                 let m = r.load_netmf()?;
                 scope.counter("nnz", m.nnz() as u64);
@@ -807,6 +810,7 @@ pub fn run_pipeline<S: PipelineSource>(
                     src.netmf_sharded(table, samples, cfg.negative)
                 }
                 SparsifierPayload::None => {
+                    // xtask:panic-ok(invariant: the fresh-sparsify branch above always constructs a payload before this match)
                     unreachable!("fresh sparsify stage always yields a payload")
                 }
             };
@@ -835,9 +839,11 @@ pub fn run_pipeline<S: PipelineSource>(
         faults::check(FP_STAGE_RSVD)?;
         let x = if level >= ResumeLevel::Initial {
             scope.counter("resumed", 1);
+            // xtask:panic-ok(invariant: Initial resume level implies store)
             let r = resume.as_ref().expect("resume level implies store");
             r.load_initial()?
         } else {
+            // xtask:panic-ok(invariant: non-resumed SVD runs only after the netmf stage stored its matrix)
             let m = netmf.as_ref().expect("svd without netmf matrix");
             let rcfg = RsvdConfig {
                 rank: cfg.dim,

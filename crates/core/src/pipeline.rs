@@ -282,6 +282,7 @@ impl LightNe {
     /// Panics if the graph cannot be sampled (no edges) — use
     /// [`LightNe::embed_weighted_with`] for a recoverable error.
     pub fn embed_weighted(&self, g: &lightne_graph::WeightedGraph) -> LightNeOutput {
+        // xtask:panic-ok(documented panicking convenience wrapper; the fallible form is embed_weighted_with)
         self.embed_weighted_with(g, RunOptions::default())
             .unwrap_or_else(|e| panic!("pipeline failed: {e}"))
     }
@@ -302,6 +303,7 @@ impl LightNe {
     /// Panics if the graph cannot be sampled (no edges) — use
     /// [`LightNe::embed_with`] for a recoverable error.
     pub fn embed<G: GraphOps>(&self, g: &G) -> LightNeOutput {
+        // xtask:panic-ok(documented panicking convenience wrapper; the fallible form is embed_with)
         self.embed_with(g, RunOptions::default()).unwrap_or_else(|e| panic!("pipeline failed: {e}"))
     }
 

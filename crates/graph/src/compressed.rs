@@ -205,6 +205,7 @@ impl CompressedGraph {
     /// Number of stored directed arcs (`2m`).
     #[inline]
     pub fn num_arcs(&self) -> usize {
+        // xtask:panic-ok(invariant: arc_offsets has n+1 entries, checked at construction)
         *self.arc_offsets.last().unwrap() as usize
     }
 
@@ -423,9 +424,11 @@ impl CompressedGraph {
                 return Err(GraphFormatError::Corrupt("offset table not monotone"));
             }
         }
+        // xtask:panic-ok(invariant: offsets array is non-empty, checked at parse)
         if *self.vertex_byte_offsets.last().unwrap() != self.data.len() as u64 {
             return Err(GraphFormatError::LengthMismatch {
                 what: "compressed arena",
+                // xtask:panic-ok(same non-empty invariant as the check above)
                 expected: *self.vertex_byte_offsets.last().unwrap(),
                 actual: self.data.len() as u64,
             });

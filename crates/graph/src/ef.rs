@@ -132,6 +132,7 @@ impl EfSeq {
             expected: 16,
             actual: storage.len().saturating_sub(base) as u64,
         })?;
+        // xtask:panic-ok(infallible: fixed 8-byte windows of a header whose length was just bounds-checked)
         let n = u64::from_le_bytes(header[0..8].try_into().unwrap());
         let universe = u64::from_le_bytes(header[8..16].try_into().unwrap());
         if n > storage.len() as u64 * 8 {
@@ -192,12 +193,14 @@ impl EfSeq {
     #[inline]
     fn upper_word(&self, storage: &[u8], w: usize) -> u64 {
         let off = self.upper_off + w * 8;
+        // xtask:panic-ok(infallible: 8-byte window, parse validated lengths)
         u64::from_le_bytes(storage[off..off + 8].try_into().unwrap())
     }
 
     #[inline]
     fn sample(&self, storage: &[u8], s: usize) -> usize {
         let off = self.select_off + s * 8;
+        // xtask:panic-ok(infallible: 8-byte window, parse validated lengths)
         u64::from_le_bytes(storage[off..off + 8].try_into().unwrap()) as usize
     }
 

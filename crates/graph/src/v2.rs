@@ -183,6 +183,7 @@ pub fn encode_container(g: &Graph, codec: Codec, block_size: usize) -> Vec<u8> {
         }
         v
     };
+    // xtask:panic-ok(invariant: arc_offsets always has n+1 entries here)
     let arcs = *arc_offsets.last().unwrap();
 
     let ef_arcs = ef::encode(&arc_offsets, arcs);
@@ -326,10 +327,12 @@ impl V2Graph {
         if bytes[0..4] != V2_MAGIC {
             return Err(GraphFormatError::BadMagic);
         }
+        // xtask:panic-ok(infallible: fixed 8-byte window of a header whose length was checked against HEADER_LEN above)
         let header_sum = u64::from_le_bytes(bytes[64..72].try_into().unwrap());
         if fnv1a64(&bytes[0..64]) != header_sum {
             return Err(GraphFormatError::ChecksumMismatch { region: "header" });
         }
+        // xtask:panic-ok(infallible: fixed window of the checked header)
         let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
         if version != V2_VERSION {
             return Err(GraphFormatError::UnsupportedVersion {
@@ -337,12 +340,15 @@ impl V2Graph {
                 supported: V2_VERSION,
             });
         }
+        // xtask:panic-ok(infallible: fixed windows of the checked header)
         let block_size = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
         let codec_id = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
         let n = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        // xtask:panic-ok(infallible: fixed windows of the checked header)
         let arcs = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
         let len_ef_arcs = u64::from_le_bytes(bytes[32..40].try_into().unwrap());
         let len_ef_bits = u64::from_le_bytes(bytes[40..48].try_into().unwrap());
+        // xtask:panic-ok(infallible: fixed windows of the checked header)
         let len_arena = u64::from_le_bytes(bytes[48..56].try_into().unwrap());
         let payload_sum = u64::from_le_bytes(bytes[56..64].try_into().unwrap());
 
@@ -680,10 +686,12 @@ impl GraphAccess for V2Graph {
 
     #[inline]
     fn ith_neighbor(&self, v: VertexId, i: usize) -> VertexId {
+        // xtask:panic-ok(container integrity was verified at load by the checksummed parse; decode failure here is unrecoverable corruption)
         self.try_ith_neighbor(v, i).expect("corrupt v2 container")
     }
 
     fn for_each_neighbor(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        // xtask:panic-ok(container integrity was verified at load by the checksummed parse; decode failure here is unrecoverable corruption)
         self.try_for_each_neighbor(v, f).expect("corrupt v2 container")
     }
 

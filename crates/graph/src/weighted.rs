@@ -179,6 +179,7 @@ impl WeightedGraph {
             return None;
         }
         let cum = &self.cumulative[lo..hi];
+        // xtask:panic-ok(invariant: degree > 0 was checked above, so the cumulative slice is non-empty)
         let total = *cum.last().unwrap();
         let target = rng.unit_f32() * total;
         let idx = cum.partition_point(|&c| c <= target).min(cum.len() - 1);

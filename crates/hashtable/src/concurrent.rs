@@ -205,6 +205,7 @@ impl ConcurrentEdgeTable {
             if key != EMPTY {
                 // Transfer the raw fixed-point value: no re-rounding.
                 // ordering: Relaxed — exclusive access under the write lock.
+                // xtask:panic-ok(invariant: the fresh table was sized to hold every key of the old one)
                 new.add(key, w.load(Ordering::Relaxed)).expect("fresh table cannot be full");
             }
         }

@@ -188,6 +188,7 @@ pub fn jacobi_svd(a: &DenseMatrix) -> SmallSvd {
     let mut order: Vec<usize> = (0..n).collect();
     let norms: Vec<f64> =
         cols.iter().map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
+    // xtask:panic-ok(norms are sums of squares, never NaN, so partial_cmp always succeeds)
     order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
 
     let mut u = DenseMatrix::zeros(m, n);

@@ -98,11 +98,14 @@ static DETECTED: AtomicU8 = AtomicU8::new(UNINIT);
 
 /// The highest tier this CPU supports, independent of any override.
 pub fn detected_tier() -> SimdTier {
+    // ordering: idempotent cache of a pure CPUID probe — racing writers
+    // all store the same value, so any interleaving reads one answer.
     let v = DETECTED.load(Ordering::Relaxed);
     if v != UNINIT {
         return SimdTier::from_u8(v);
     }
     let det = detect();
+    // ordering: idempotent store, every writer computes the same value.
     DETECTED.store(det as u8, Ordering::Relaxed);
     det
 }
@@ -129,6 +132,8 @@ fn detect() -> SimdTier {
 /// lowered by `LIGHTNE_SIMD` (read once) or a later [`set_tier`] call.
 #[inline]
 pub fn active_tier() -> SimdTier {
+    // ordering: tier byte is a self-contained value, no data published
+    // through it; racing initialisers converge on the same tier.
     let v = ACTIVE.load(Ordering::Relaxed);
     if v != UNINIT {
         return SimdTier::from_u8(v);
@@ -141,6 +146,7 @@ fn init_tier() -> SimdTier {
     let det = detected_tier();
     let req = std::env::var("LIGHTNE_SIMD").ok().and_then(|s| SimdTier::parse(&s)).unwrap_or(det);
     let tier = req.min(det);
+    // ordering: same idempotent-cache argument as detected_tier.
     ACTIVE.store(tier as u8, Ordering::Relaxed);
     tier
 }
@@ -640,6 +646,7 @@ mod fallback {
         _: usize,
         _: usize,
     ) {
+        // xtask:panic-ok(cfg stub: dispatch clamps to Scalar off x86_64, so no caller ever reaches a SIMD tier here)
         unreachable!("SIMD tier selected off x86_64")
     }
 
@@ -654,21 +661,25 @@ mod fallback {
         _: usize,
         _: usize,
     ) {
+        // xtask:panic-ok(cfg stub: dispatch clamps to Scalar off x86_64, so no caller ever reaches a SIMD tier here)
         unreachable!("SIMD tier selected off x86_64")
     }
 
     /// Unreachable off x86_64 (dispatch never selects a SIMD tier).
     pub fn dot_accumulate(_: &[f32], _: &[f32], _: &mut [f64; DOT_LANES]) {
+        // xtask:panic-ok(cfg stub: dispatch clamps to Scalar off x86_64, so no caller ever reaches a SIMD tier here)
         unreachable!("SIMD tier selected off x86_64")
     }
 
     /// Unreachable off x86_64 (dispatch never selects a SIMD tier).
     pub fn col_dots_block(_: &[f32], _: &[f32], _: usize, _: &mut [f64]) {
+        // xtask:panic-ok(cfg stub: dispatch clamps to Scalar off x86_64, so no caller ever reaches a SIMD tier here)
         unreachable!("SIMD tier selected off x86_64")
     }
 
     /// Unreachable off x86_64 (dispatch never selects a SIMD tier).
     pub fn axpy4(_: &mut [f32], _: [&[f32]; 4], _: f32, _: f32, _: f32, _: f32) {
+        // xtask:panic-ok(cfg stub: dispatch clamps to Scalar off x86_64, so no caller ever reaches a SIMD tier here)
         unreachable!("SIMD tier selected off x86_64")
     }
 
@@ -680,11 +691,13 @@ mod fallback {
         _: &mut [f64; GRAM_LANES],
         _: &mut [f64; GRAM_LANES],
     ) {
+        // xtask:panic-ok(cfg stub: dispatch clamps to Scalar off x86_64, so no caller ever reaches a SIMD tier here)
         unreachable!("SIMD tier selected off x86_64")
     }
 
     /// Unreachable off x86_64 (dispatch never selects a SIMD tier).
     pub fn rot2(_: &mut [f64], _: &mut [f64], _: f64, _: f64) {
+        // xtask:panic-ok(cfg stub: dispatch clamps to Scalar off x86_64, so no caller ever reaches a SIMD tier here)
         unreachable!("SIMD tier selected off x86_64")
     }
 }

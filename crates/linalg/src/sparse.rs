@@ -65,6 +65,7 @@ fn combine_sorted_duplicates(mut coo: Vec<(u32, u32, f32)>) -> Vec<(u32, u32, f3
     bounds.push(0);
     for k in 1..workers {
         let mut b = k * len / workers;
+        // xtask:panic-ok(invariant: bounds starts with one element and only grows)
         let prev = *bounds.last().unwrap();
         if b <= prev {
             continue;
@@ -121,6 +122,7 @@ impl CsrMatrix {
     ) -> Self {
         assert_eq!(row_ptr.len(), n_rows + 1);
         assert_eq!(col_idx.len(), values.len());
+        // xtask:panic-ok(invariant: row_ptr length n_rows+1 asserted on the line above)
         assert_eq!(*row_ptr.last().unwrap() as usize, col_idx.len());
         assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
         assert!(col_idx.iter().all(|&c| (c as usize) < n_cols));

@@ -171,9 +171,11 @@ pub fn jacobi_svd(a: &DenseMatrix) -> SmallSvd {
                 let tasks: Vec<_> = pairs
                     .iter()
                     .map(|&(p, q)| {
+                        // xtask:panic-ok(invariant: round-robin schedule pairs each column index at most once per round)
                         let cp = cslots[p].take().expect("round pairs must be disjoint");
                         let cq = cslots[q].take().expect("round pairs must be disjoint");
                         let vp = vslots[p].take().expect("round pairs must be disjoint");
+                        // xtask:panic-ok(same disjoint-pairs invariant)
                         let vq = vslots[q].take().expect("round pairs must be disjoint");
                         (cp, cq, vp, vq)
                     })
@@ -201,6 +203,7 @@ pub fn jacobi_svd(a: &DenseMatrix) -> SmallSvd {
     let norms: Vec<f64> =
         cols.chunks_exact(m).map(|c| c.iter().map(|x| x * x).sum::<f64>().sqrt()).collect();
     let mut order: Vec<usize> = (0..n).collect();
+    // xtask:panic-ok(norms are sums of squares, never NaN, so partial_cmp always succeeds)
     order.sort_by(|&i, &j| norms[j].partial_cmp(&norms[i]).unwrap());
 
     let mut u = DenseMatrix::zeros(m, n);

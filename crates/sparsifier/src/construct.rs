@@ -152,10 +152,13 @@ pub fn sample_into<G: GraphOps, A: EdgeAggregator>(
             agg.add(a, b, w);
             agg.add(b, a, w);
         }
+        // ordering: advisory stats counters; commutative adds, read only
+        // after the parallel region joins (join is the synchronisation).
         trials_ctr.fetch_add(n_e, Ordering::Relaxed);
         kept_ctr.fetch_add(kept, Ordering::Relaxed);
     });
 
+    // ordering: single-threaded here, post-join reads of the counters.
     Ok(SamplerStats {
         trials: trials_ctr.load(Ordering::Relaxed),
         kept: kept_ctr.load(Ordering::Relaxed),

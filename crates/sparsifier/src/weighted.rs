@@ -131,10 +131,13 @@ pub fn weighted_sample_into<A: EdgeAggregator>(
             agg.add(a, b, add_w);
             agg.add(b, a, add_w);
         }
+        // ordering: advisory stats counters; commutative adds, read only
+        // after the parallel region joins (join is the synchronisation).
         trials_ctr.fetch_add(n_e, Ordering::Relaxed);
         kept_ctr.fetch_add(kept, Ordering::Relaxed);
     });
 
+    // ordering: single-threaded here, post-join reads of the counters.
     Ok(SamplerStats {
         trials: trials_ctr.load(Ordering::Relaxed),
         kept: kept_ctr.load(Ordering::Relaxed),

@@ -114,16 +114,20 @@ fn pin_hook(idx: usize) {
 pub fn set_worker_pinning(enabled: bool) {
     if enabled {
         let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // ordering: advisory config flags read by worker hooks; a stale
+        // read only delays pinning by one region, never corrupts data.
         NCORES.store(cores, Ordering::Relaxed);
         rayon::set_worker_start_hook(Some(pin_hook));
     } else {
         rayon::set_worker_start_hook(None);
     }
+    // ordering: same advisory-flag argument as NCORES above.
     PINNING.store(enabled, Ordering::Relaxed);
 }
 
 /// Whether worker pinning is currently enabled (recorded in `RunStats`).
 pub fn pinning_enabled() -> bool {
+    // ordering: advisory flag for stats reporting only.
     PINNING.load(Ordering::Relaxed)
 }
 

@@ -26,6 +26,9 @@ impl AtomicF32 {
     /// Atomically adds `delta` and returns the *previous* value.
     #[inline]
     pub fn fetch_add(&self, delta: f32) -> f32 {
+        // ordering: pure value CAS — the float's bits are the whole
+        // payload, nothing else is published through this location, and
+        // the retry loop tolerates stale reads by re-reading on failure.
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let new = (f32::from_bits(cur) + delta).to_bits();
@@ -39,12 +42,14 @@ impl AtomicF32 {
     /// Loads the current value.
     #[inline]
     pub fn load(&self) -> f32 {
+        // ordering: value-only location, see fetch_add.
         f32::from_bits(self.0.load(Ordering::Relaxed))
     }
 
     /// Stores a new value.
     #[inline]
     pub fn store(&self, v: f32) {
+        // ordering: value-only location, see fetch_add.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 }
@@ -63,6 +68,9 @@ impl AtomicF64 {
     /// Atomically adds `delta` and returns the *previous* value.
     #[inline]
     pub fn fetch_add(&self, delta: f64) -> f64 {
+        // ordering: pure value CAS — the float's bits are the whole
+        // payload, nothing else is published through this location, and
+        // the retry loop tolerates stale reads by re-reading on failure.
         let mut cur = self.0.load(Ordering::Relaxed);
         loop {
             let new = (f64::from_bits(cur) + delta).to_bits();
@@ -76,12 +84,14 @@ impl AtomicF64 {
     /// Loads the current value.
     #[inline]
     pub fn load(&self) -> f64 {
+        // ordering: value-only location, see fetch_add.
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
 
     /// Stores a new value.
     #[inline]
     pub fn store(&self, v: f64) {
+        // ordering: value-only location, see fetch_add.
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 }
@@ -101,12 +111,15 @@ impl PaddedCounter {
     /// Atomically increments by `n`, returning the previous value.
     #[inline]
     pub fn add(&self, n: u64) -> u64 {
+        // ordering: statistics counter; commutative adds, read for
+        // reporting after the workers quiesce.
         self.0.fetch_add(n, Ordering::Relaxed)
     }
 
     /// Reads the counter.
     #[inline]
     pub fn get(&self) -> u64 {
+        // ordering: statistics counter, see add.
         self.0.load(Ordering::Relaxed)
     }
 }

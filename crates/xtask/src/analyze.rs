@@ -1,0 +1,969 @@
+//! Whole-program reachability analyses (`cargo xtask analyze`).
+//!
+//! Three analyses run over the conservative call graph built by
+//! [`crate::parser`] → [`crate::symbols`] → [`crate::callgraph`]:
+//!
+//! 1. **Determinism taint** — transitive reachability from the declared
+//!    deterministic entry points ([`crate::config::ANALYZE_ENTRY_POINTS`]:
+//!    engine stages, samplers, sparsifier drains, linalg kernels) to any
+//!    nondeterminism source: `Instant::now` / `SystemTime::now`,
+//!    `thread_rng` / `from_entropy`, `HashMap`/`HashSet` (hash-order
+//!    iteration), and `Ordering::Relaxed` without an `// ordering:`
+//!    justification. This subsumes the per-file L2/L5 lints: a helper in
+//!    `utils` that reads the clock now fails even though `utils` is off
+//!    the per-file deterministic-path list. Sources justified by the
+//!    same reasoned `xtask:allow` comments the lints accept are
+//!    counted but not findings.
+//! 2. **Panic surface** — every `unwrap`/`expect`/`panic!`-class site
+//!    reachable from the entry points, ranked by call depth. A site is
+//!    justified by an `xtask:panic-ok(reason)` comment on the same line
+//!    or up to three lines above; the gate requires zero *unjustified*
+//!    sites. Slice-index, integer-division, and `assert!` sites are
+//!    counted and ratcheted but do not require per-site justification
+//!    (documented in DESIGN.md: they are dominated by bounds-checked
+//!    indexing idioms and deliberate invariant checks).
+//! 3. **Unsafe reach** — for each designated unsafe module
+//!    ([`crate::config::L1_UNSAFE_ISOLATED`]), the set of public APIs
+//!    whose call chains enter it, cross-checked against DESIGN.md's
+//!    inventory: every designated module must be named in DESIGN.md and
+//!    must actually contain `unsafe`.
+//!
+//! All three emit into one [`AnalysisReport`] with a machine-readable
+//! JSON form whose flat `counts` block is ratcheted monotonically
+//! downward against `results/ANALYSIS_baseline.json` in CI.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::callgraph::CallGraph;
+use crate::config;
+use crate::lexer::TokKind;
+use crate::lints::{parse_allows, Allow};
+use crate::parser::{parse_file, ParsedFile};
+use crate::symbols::{FnId, Symbols};
+use crate::walk;
+
+/// Nondeterminism-source kinds the taint analysis recognises.
+const TAINT_KINDS: &[(&str, &str)] = &[
+    ("instant_now", "L5"),
+    ("system_time_now", "L5"),
+    ("thread_rng", "L5"),
+    ("from_entropy", "L5"),
+    ("hash_order", "L2"),
+    ("relaxed_ordering", "L4"),
+];
+
+/// Panic-site kinds in the gated class (require `xtask:panic-ok`).
+const PANIC_GATE_KINDS: &[&str] =
+    &["unwrap", "expect", "panic", "unreachable", "todo", "unimplemented"];
+
+/// Macro names counted as deliberate invariant checks (info class).
+const ASSERT_MACROS: &[&str] =
+    &["assert", "assert_eq", "assert_ne", "debug_assert", "debug_assert_eq", "debug_assert_ne"];
+
+/// Analysis configuration: entry points and the unsafe-module inventory.
+/// [`AnalyzeConfig::default`] mirrors the workspace constants in
+/// [`crate::config`]; tests construct their own over fixture trees.
+pub struct AnalyzeConfig {
+    /// Deterministic-path entry points as `(file path, fn name)`.
+    pub entry_points: Vec<(String, String)>,
+    /// Designated unsafe modules (file paths).
+    pub unsafe_modules: Vec<String>,
+    /// DESIGN.md contents for the inventory cross-check (`None` skips).
+    pub design_doc: Option<String>,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig {
+            entry_points: config::ANALYZE_ENTRY_POINTS
+                .iter()
+                .map(|&(f, n)| (f.to_string(), n.to_string()))
+                .collect(),
+            unsafe_modules: config::L1_UNSAFE_ISOLATED
+                .iter()
+                .map(|&(_, m)| m.to_string())
+                .collect(),
+            design_doc: None,
+        }
+    }
+}
+
+/// One determinism-taint finding: a nondeterminism source reachable from
+/// a deterministic entry point.
+#[derive(Debug)]
+pub struct TaintFinding {
+    /// Source kind (`instant_now`, `hash_order`, …).
+    pub kind: &'static str,
+    /// File containing the source site.
+    pub file: String,
+    /// 1-based line of the source token.
+    pub line: u32,
+    /// 1-based column of the source token.
+    pub col: u32,
+    /// Display name of the containing function.
+    pub func: String,
+    /// Entry point the chain starts from.
+    pub entry: String,
+    /// Call depth from the entry point.
+    pub depth: u32,
+    /// Example call chain, entry first.
+    pub chain: Vec<String>,
+}
+
+/// One panic-surface site reachable from an entry point.
+#[derive(Debug)]
+pub struct PanicFinding {
+    /// Site kind (`unwrap`, `expect`, `panic`, …).
+    pub kind: &'static str,
+    /// File containing the site.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Display name of the containing function.
+    pub func: String,
+    /// Entry point the chain starts from.
+    pub entry: String,
+    /// Call depth from the entry point.
+    pub depth: u32,
+    /// Whether a reasoned `xtask:panic-ok(..)` covers the site.
+    pub justified: bool,
+}
+
+/// Public APIs whose call chains enter one designated unsafe module.
+#[derive(Debug)]
+pub struct UnsafeReach {
+    /// The designated module's file path.
+    pub module: String,
+    /// Sorted display names of public functions reaching into it.
+    pub public_apis: Vec<String>,
+}
+
+/// Result of the DESIGN.md inventory cross-check.
+#[derive(Debug)]
+pub struct Inventory {
+    /// Whether a DESIGN.md was available to check against.
+    pub checked: bool,
+    /// Designated modules not named in DESIGN.md.
+    pub missing_in_design: Vec<String>,
+    /// Designated modules that contain no `unsafe` token (stale entry).
+    pub without_unsafe: Vec<String>,
+}
+
+impl Inventory {
+    /// Whether the inventory is consistent (vacuously true unchecked).
+    pub fn ok(&self) -> bool {
+        self.missing_in_design.is_empty() && self.without_unsafe.is_empty()
+    }
+}
+
+/// Informational (non-gated, ratcheted) panic-adjacent site counts.
+#[derive(Debug, Default)]
+pub struct InfoCounts {
+    /// `expr[idx]` slice-index sites in reachable functions.
+    pub slice_index: usize,
+    /// Integer `/` / `%` sites with a non-constant divisor.
+    pub int_div: usize,
+    /// `assert!`-family invariant checks.
+    pub assert_sites: usize,
+    /// Gate-class sites in vendored shims (`ANALYZE_VENDOR_EXEMPT`):
+    /// counted and ratcheted, never failed — the shim mirrors an external
+    /// crate's panic contract.
+    pub vendored_exempt: usize,
+}
+
+/// The complete analysis report.
+pub struct AnalysisReport {
+    /// Unjustified determinism-taint findings (the gate requires none).
+    pub taint: Vec<TaintFinding>,
+    /// Reachable nondeterminism sources carrying a reasoned allow.
+    pub taint_justified: usize,
+    /// Gated panic sites (justified and not), ranked most-severe first.
+    pub panic: Vec<PanicFinding>,
+    /// Informational site counts.
+    pub info: InfoCounts,
+    /// Per-module unsafe-reach sets.
+    pub unsafe_reach: Vec<UnsafeReach>,
+    /// DESIGN.md inventory cross-check.
+    pub inventory: Inventory,
+    /// Malformed directives (`xtask:panic-ok` without a reason).
+    pub directive_errors: Vec<String>,
+    /// Configured entry points that matched no function (a misconfigured
+    /// entry silently under-approximates, so this gates).
+    pub missing_entries: Vec<String>,
+    /// Total functions in the symbol table.
+    pub functions: usize,
+    /// Total resolved call edges.
+    pub edges: usize,
+    /// Entry-point functions found.
+    pub entries_found: usize,
+}
+
+impl AnalysisReport {
+    /// Number of unjustified gated panic sites.
+    pub fn panic_unjustified(&self) -> usize {
+        self.panic.iter().filter(|p| !p.justified).count()
+    }
+
+    /// Number of justified gated panic sites.
+    pub fn panic_justified(&self) -> usize {
+        self.panic.iter().filter(|p| p.justified).count()
+    }
+
+    /// Total public APIs across all unsafe-reach sets.
+    pub fn unsafe_reach_apis(&self) -> usize {
+        self.unsafe_reach.iter().map(|u| u.public_apis.len()).sum()
+    }
+
+    /// Whether the analysis gate passes.
+    pub fn ok(&self) -> bool {
+        self.taint.is_empty()
+            && self.panic_unjustified() == 0
+            && self.directive_errors.is_empty()
+            && self.missing_entries.is_empty()
+            && self.inventory.ok()
+    }
+}
+
+/// Runs all analyses over the workspace rooted at `root`, reading
+/// DESIGN.md for the inventory cross-check when present.
+pub fn analyze_workspace(root: &Path) -> io::Result<AnalysisReport> {
+    let mut files = Vec::new();
+    for rel in walk::workspace_files(root)? {
+        let src = fs::read_to_string(root.join(&rel))?;
+        files.push(parse_file(&rel.to_string_lossy(), &src));
+    }
+    let cfg = AnalyzeConfig {
+        design_doc: fs::read_to_string(root.join("DESIGN.md")).ok(),
+        ..Default::default()
+    };
+    Ok(analyze_files(&files, &cfg))
+}
+
+/// Runs all analyses over already-parsed files.
+pub fn analyze_files(files: &[ParsedFile], cfg: &AnalyzeConfig) -> AnalysisReport {
+    let symbols = Symbols::build(files);
+    let graph = CallGraph::build(files, &symbols);
+
+    // Entry set.
+    let mut entries: Vec<FnId> = Vec::new();
+    let mut missing_entries = Vec::new();
+    for (file, name) in &cfg.entry_points {
+        let mut found = false;
+        for (id, fr) in symbols.fns.iter().enumerate() {
+            let f = &files[fr.file];
+            let item = &f.fns[fr.item];
+            if f.path == *file && item.name == *name && !item.in_test {
+                entries.push(id);
+                found = true;
+            }
+        }
+        if !found {
+            missing_entries.push(format!("{file}::{name}"));
+        }
+    }
+    let reach = graph.reach(&entries);
+
+    let display = |id: FnId| -> String {
+        let fr = symbols.fns[id];
+        let item = &files[fr.file].fns[fr.item];
+        match &item.owner {
+            Some(o) => format!("{}::{}", o, item.name),
+            None => item.name.clone(),
+        }
+    };
+    let chain_of = |mut id: FnId| -> Vec<String> {
+        let mut chain = vec![display(id)];
+        while let Some(Some((_, Some(p)))) = reach.get(id).copied() {
+            chain.push(display(p));
+            id = p;
+        }
+        chain.reverse();
+        chain
+    };
+
+    // Per-function site extraction on reachable, non-test functions.
+    let mut taint = Vec::new();
+    let mut taint_justified = 0usize;
+    let mut panic = Vec::new();
+    let mut info = InfoCounts::default();
+    let mut directive_errors = Vec::new();
+
+    // Directive well-formedness is checked file-wide (a malformed
+    // justification must fail even if its site is unreachable).
+    for f in files {
+        for c in &f.comments {
+            let mut rest = c.text.as_str();
+            while let Some(pos) = rest.find("xtask:panic-ok(") {
+                rest = &rest[pos + "xtask:panic-ok(".len()..];
+                let reason = rest.find(')').map(|close| rest[..close].trim().to_string());
+                if reason.as_deref().is_none_or(|r| r.is_empty()) {
+                    directive_errors.push(format!(
+                        "{}:{}: `xtask:panic-ok` without a reason; write \
+                         `xtask:panic-ok(<why this cannot panic / why aborting is right>)`",
+                        f.path, c.line
+                    ));
+                }
+            }
+        }
+    }
+
+    for (id, fr) in symbols.fns.iter().enumerate() {
+        let Some((depth, _)) = reach[id] else { continue };
+        let f = &files[fr.file];
+        let item = &f.fns[fr.item];
+        if item.in_test {
+            continue;
+        }
+        let Some((bs, be)) = item.body else { continue };
+        let allows = parse_allows(&f.comments);
+        let entry_name = chain_of(id).first().cloned().unwrap_or_default();
+        let chain = chain_of(id);
+
+        for site in taint_sites(f, bs, be) {
+            if site.justified || allow_covers(&allows, site.allow_lint, site.line) {
+                taint_justified += 1;
+            } else {
+                taint.push(TaintFinding {
+                    kind: site.kind,
+                    file: f.path.clone(),
+                    line: site.line,
+                    col: site.col,
+                    func: display(id),
+                    entry: entry_name.clone(),
+                    depth,
+                    chain: chain.clone(),
+                });
+            }
+        }
+        let vendor_exempt = config::path_in(&f.path, config::ANALYZE_VENDOR_EXEMPT);
+        for site in panic_sites(f, bs, be) {
+            match site.class {
+                SiteClass::Gate if vendor_exempt => info.vendored_exempt += 1,
+                SiteClass::Gate => panic.push(PanicFinding {
+                    kind: site.kind,
+                    file: f.path.clone(),
+                    line: site.line,
+                    col: site.col,
+                    func: display(id),
+                    entry: entry_name.clone(),
+                    depth,
+                    justified: panic_ok_covers(f, site.line),
+                }),
+                SiteClass::SliceIndex => info.slice_index += 1,
+                SiteClass::IntDiv => info.int_div += 1,
+                SiteClass::Assert => info.assert_sites += 1,
+            }
+        }
+    }
+    taint.sort_by(|a, b| (a.depth, &a.file, a.line, a.col).cmp(&(b.depth, &b.file, b.line, b.col)));
+    panic.sort_by(|a, b| {
+        (a.justified, a.depth, &a.file, a.line, a.col).cmp(&(
+            b.justified,
+            b.depth,
+            &b.file,
+            b.line,
+            b.col,
+        ))
+    });
+
+    // Unsafe reach: public APIs whose chains enter each designated module.
+    let mut unsafe_reach = Vec::new();
+    for module in &cfg.unsafe_modules {
+        let targets: Vec<FnId> = symbols
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, fr)| files[fr.file].path == *module)
+            .map(|(id, _)| id)
+            .collect();
+        let into = graph.reaches_into(&targets);
+        let mut apis: Vec<String> = symbols
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|&(id, fr)| {
+                let item = &files[fr.file].fns[fr.item];
+                into[id] && item.is_pub && !item.in_test
+            })
+            .map(|(id, fr)| format!("{}::{}", files[fr.file].path, display(id)))
+            .collect();
+        apis.sort();
+        apis.dedup();
+        unsafe_reach.push(UnsafeReach { module: module.clone(), public_apis: apis });
+    }
+
+    // Inventory cross-check against DESIGN.md.
+    let inventory = Inventory {
+        checked: cfg.design_doc.is_some(),
+        missing_in_design: match &cfg.design_doc {
+            Some(doc) => cfg
+                .unsafe_modules
+                .iter()
+                .filter(|m| {
+                    // Match on the file name (`mmap.rs`) — DESIGN.md
+                    // names modules, not full paths.
+                    let name = m.rsplit('/').next().unwrap_or(m);
+                    !doc.contains(name)
+                })
+                .cloned()
+                .collect(),
+            None => Vec::new(),
+        },
+        without_unsafe: cfg
+            .unsafe_modules
+            .iter()
+            .filter(|m| {
+                files.iter().any(|f| {
+                    f.path == **m
+                        && !f
+                            .tokens
+                            .iter()
+                            .any(|t| t.kind == TokKind::Ident && !t.raw && t.text == "unsafe")
+                })
+            })
+            .cloned()
+            .collect(),
+    };
+
+    AnalysisReport {
+        taint,
+        taint_justified,
+        panic,
+        info,
+        unsafe_reach,
+        inventory,
+        directive_errors,
+        missing_entries,
+        functions: symbols.fns.len(),
+        edges: graph.edges.iter().map(Vec::len).sum(),
+        entries_found: entries.len(),
+    }
+}
+
+impl AnalysisReport {
+    /// Renders the report as a JSON document. The flat `counts` block
+    /// (one key per line) is the ratchet surface compared against
+    /// `results/ANALYSIS_baseline.json`; its schema is pinned by a
+    /// golden-file test.
+    pub fn to_json(&self) -> String {
+        use crate::diagnostics::json_escape as esc;
+        let mut s = String::from("{\n  \"schema_version\": 1,\n  \"counts\": {\n");
+        let counts: &[(&str, usize)] = &[
+            ("functions", self.functions),
+            ("edges", self.edges),
+            ("entry_points", self.entries_found),
+            ("taint_unjustified", self.taint.len()),
+            ("taint_justified", self.taint_justified),
+            ("panic_unjustified", self.panic_unjustified()),
+            ("panic_justified", self.panic_justified()),
+            ("slice_index", self.info.slice_index),
+            ("int_div", self.info.int_div),
+            ("assert_sites", self.info.assert_sites),
+            ("panic_vendor_exempt", self.info.vendored_exempt),
+            ("unsafe_reach_apis", self.unsafe_reach_apis()),
+            ("directive_errors", self.directive_errors.len()),
+        ];
+        for (i, (k, v)) in counts.iter().enumerate() {
+            let comma = if i + 1 < counts.len() { "," } else { "" };
+            s.push_str(&format!("    \"{k}\": {v}{comma}\n"));
+        }
+        s.push_str(&format!("  }},\n  \"ok\": {},\n", self.ok()));
+        s.push_str("  \"taint\": [");
+        for (i, t) in self.taint.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"kind\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+                 \"fn\": \"{}\", \"entry\": \"{}\", \"depth\": {}, \"chain\": \"{}\"}}",
+                t.kind,
+                esc(&t.file),
+                t.line,
+                t.col,
+                esc(&t.func),
+                esc(&t.entry),
+                t.depth,
+                esc(&t.chain.join(" -> "))
+            ));
+        }
+        s.push_str(if self.taint.is_empty() { "],\n" } else { "\n  ],\n" });
+        s.push_str("  \"panic\": [");
+        for (i, p) in self.panic.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"kind\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+                 \"fn\": \"{}\", \"entry\": \"{}\", \"depth\": {}, \"justified\": {}}}",
+                p.kind,
+                esc(&p.file),
+                p.line,
+                p.col,
+                esc(&p.func),
+                esc(&p.entry),
+                p.depth,
+                p.justified
+            ));
+        }
+        s.push_str(if self.panic.is_empty() { "],\n" } else { "\n  ],\n" });
+        s.push_str("  \"unsafe_reach\": [");
+        for (i, u) in self.unsafe_reach.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let apis: Vec<String> =
+                u.public_apis.iter().map(|a| format!("\"{}\"", esc(a))).collect();
+            s.push_str(&format!(
+                "\n    {{\"module\": \"{}\", \"count\": {}, \"public_apis\": [{}]}}",
+                esc(&u.module),
+                u.public_apis.len(),
+                apis.join(", ")
+            ));
+        }
+        s.push_str(if self.unsafe_reach.is_empty() { "],\n" } else { "\n  ],\n" });
+        let list = |items: &[String]| -> String {
+            items.iter().map(|m| format!("\"{}\"", esc(m))).collect::<Vec<_>>().join(", ")
+        };
+        s.push_str(&format!(
+            "  \"inventory\": {{\"checked\": {}, \"ok\": {}, \"missing_in_design\": [{}], \
+             \"without_unsafe\": [{}]}},\n",
+            self.inventory.checked,
+            self.inventory.ok(),
+            list(&self.inventory.missing_in_design),
+            list(&self.inventory.without_unsafe)
+        ));
+        s.push_str(&format!("  \"missing_entries\": [{}],\n", list(&self.missing_entries)));
+        s.push_str(&format!("  \"directive_errors\": [{}]\n}}\n", list(&self.directive_errors)));
+        s
+    }
+
+    /// Renders a human-readable ranked report.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "xtask analyze: {} fns, {} edges, {} entry points\n",
+            self.functions, self.edges, self.entries_found
+        ));
+        for m in &self.missing_entries {
+            s.push_str(&format!("error: entry point matched no function: {m}\n"));
+        }
+        for e in &self.directive_errors {
+            s.push_str(&format!("error: {e}\n"));
+        }
+        s.push_str(&format!(
+            "determinism taint: {} unjustified, {} justified sources\n",
+            self.taint.len(),
+            self.taint_justified
+        ));
+        for t in &self.taint {
+            s.push_str(&format!(
+                "  {}:{}:{}: [taint/{}] in `{}` at depth {} via {}\n",
+                t.file,
+                t.line,
+                t.col,
+                t.kind,
+                t.func,
+                t.depth,
+                t.chain.join(" -> ")
+            ));
+        }
+        s.push_str(&format!(
+            "panic surface: {} unjustified, {} justified (info: {} slice-index, {} int-div, \
+             {} assert, {} vendored)\n",
+            self.panic_unjustified(),
+            self.panic_justified(),
+            self.info.slice_index,
+            self.info.int_div,
+            self.info.assert_sites,
+            self.info.vendored_exempt
+        ));
+        for p in self.panic.iter().filter(|p| !p.justified) {
+            s.push_str(&format!(
+                "  {}:{}:{}: [panic/{}] in `{}` reachable from `{}` at depth {} — add \
+                 `xtask:panic-ok(reason)` or remove\n",
+                p.file, p.line, p.col, p.kind, p.func, p.entry, p.depth
+            ));
+        }
+        for u in &self.unsafe_reach {
+            s.push_str(&format!(
+                "unsafe reach: {} <- {} public APIs\n",
+                u.module,
+                u.public_apis.len()
+            ));
+        }
+        if self.inventory.checked {
+            for m in &self.inventory.missing_in_design {
+                s.push_str(&format!(
+                    "error: designated unsafe module {m} is not named in DESIGN.md\n"
+                ));
+            }
+            for m in &self.inventory.without_unsafe {
+                s.push_str(&format!(
+                    "error: designated unsafe module {m} contains no unsafe code (stale \
+                     inventory entry)\n"
+                ));
+            }
+        }
+        s.push_str(if self.ok() { "xtask analyze: ok\n" } else { "xtask analyze: FAILED\n" });
+        s
+    }
+}
+
+/// Whether a reasoned allow for `lint` covers `line` (same window as the
+/// per-file lints: same line, or ending at most three lines above).
+fn allow_covers(allows: &[Allow], lint: &str, line: u32) -> bool {
+    allows.iter().any(|a| {
+        a.has_reason
+            && a.lint == lint
+            && (a.line == line || (a.end_line < line && line - a.end_line <= 3))
+    })
+}
+
+/// Whether a reasoned `xtask:panic-ok(..)` comment covers `line`.
+pub(crate) fn panic_ok_covers(f: &ParsedFile, line: u32) -> bool {
+    f.comments.iter().any(|c| {
+        !c.is_doc()
+            && has_reasoned_panic_ok(&c.text)
+            && (c.line == line || (c.end_line < line && line - c.end_line <= 3))
+    })
+}
+
+fn has_reasoned_panic_ok(text: &str) -> bool {
+    text.find("xtask:panic-ok(").is_some_and(|pos| {
+        let rest = &text[pos + "xtask:panic-ok(".len()..];
+        rest.find(')').is_some_and(|close| !rest[..close].trim().is_empty())
+    })
+}
+
+struct TaintSite {
+    kind: &'static str,
+    /// Lint code whose `xtask:allow` justifies this source.
+    allow_lint: &'static str,
+    line: u32,
+    col: u32,
+    /// Pre-justified by a path whitelist or `// ordering:` comment.
+    justified: bool,
+}
+
+/// Extracts nondeterminism sources from one body token range.
+fn taint_sites(f: &ParsedFile, bs: usize, be: usize) -> Vec<TaintSite> {
+    let toks = &f.tokens;
+    let timer_exempt = config::path_in(&f.path, config::L5_TIMER_WHITELIST);
+    let mut out = Vec::new();
+    let mut push = |kind: &'static str, line: u32, col: u32, justified: bool| {
+        let allow_lint = TAINT_KINDS.iter().find(|(k, _)| *k == kind).map(|(_, l)| *l).unwrap();
+        out.push(TaintSite { kind, allow_lint, line, col, justified });
+    };
+    let seq = |i: usize, texts: &[&str]| {
+        texts.iter().enumerate().all(|(k, w)| toks.get(i + k).is_some_and(|t| t.text == *w))
+    };
+    let has_comment_near = |marker: &str, line: u32| {
+        f.comments.iter().any(|c| {
+            !c.is_doc()
+                && c.text.contains(marker)
+                && ((c.end_line <= line && line - c.end_line <= 6) || c.line == line)
+        })
+    };
+    for (i, t) in toks.iter().enumerate().take(be.min(toks.len())).skip(bs) {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "Instant" if seq(i, &["Instant", ":", ":", "now"]) => {
+                push("instant_now", t.line, t.col, timer_exempt);
+            }
+            "SystemTime" if seq(i, &["SystemTime", ":", ":", "now"]) => {
+                push("system_time_now", t.line, t.col, false);
+            }
+            "thread_rng" => push("thread_rng", t.line, t.col, false),
+            "from_entropy" => push("from_entropy", t.line, t.col, false),
+            "HashMap" | "HashSet" => push("hash_order", t.line, t.col, false),
+            "Ordering" if seq(i, &["Ordering", ":", ":", "Relaxed"]) => {
+                push("relaxed_ordering", t.line, t.col, has_comment_near("ordering:", t.line));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+enum SiteClass {
+    Gate,
+    SliceIndex,
+    IntDiv,
+    Assert,
+}
+
+struct PanicSite {
+    kind: &'static str,
+    class: SiteClass,
+    line: u32,
+    col: u32,
+}
+
+/// Extracts panic-surface sites from one body token range.
+fn panic_sites(f: &ParsedFile, bs: usize, be: usize) -> Vec<PanicSite> {
+    let toks = &f.tokens;
+    let mut out = Vec::new();
+    for i in bs..be.min(toks.len()) {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident => {
+                let next_is = |txt: &str| toks.get(i + 1).is_some_and(|n| n.text == txt);
+                let prev_is = |txt: &str| i > 0 && toks[i - 1].text == txt;
+                match t.text.as_str() {
+                    "unwrap" | "expect" if prev_is(".") && next_is("(") => {
+                        let kind = if t.text == "unwrap" { "unwrap" } else { "expect" };
+                        out.push(PanicSite {
+                            kind,
+                            class: SiteClass::Gate,
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                    "panic" | "unreachable" | "todo" | "unimplemented" if next_is("!") => {
+                        let kind = PANIC_GATE_KINDS
+                            .iter()
+                            .find(|&&k| k == t.text)
+                            .copied()
+                            .unwrap_or("panic");
+                        out.push(PanicSite {
+                            kind,
+                            class: SiteClass::Gate,
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                    name if ASSERT_MACROS.contains(&name) && next_is("!") => {
+                        out.push(PanicSite {
+                            kind: "assert",
+                            class: SiteClass::Assert,
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            TokKind::Punct => match t.text.as_str() {
+                // Expression-position indexing: `ident[`, `)[`, `][`.
+                "[" if i > bs
+                    && (toks[i - 1].kind == TokKind::Ident
+                        || toks[i - 1].text == ")"
+                        || toks[i - 1].text == "]")
+                    && !(i >= 2 && toks[i - 2].text == "#") =>
+                {
+                    out.push(PanicSite {
+                        kind: "slice_index",
+                        class: SiteClass::SliceIndex,
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+                // Integer division/modulo with a non-constant divisor:
+                // a float operand or a nonzero literal divisor cannot
+                // trap.
+                "/" | "%"
+                    if i > bs
+                        && matches!(toks[i - 1].kind, TokKind::Ident | TokKind::Int)
+                            | matches!(toks[i - 1].text.as_str(), ")" | "]") =>
+                {
+                    let lhs_float = toks[i - 1].kind == TokKind::Float;
+                    let rhs = toks.get(i + 1);
+                    let rhs_safe = rhs.is_none_or(|r| {
+                        r.kind == TokKind::Float
+                            || (r.kind == TokKind::Int
+                                && r.text.trim_matches(|c: char| c == '_') != "0")
+                    });
+                    if !lhs_float && !rhs_safe {
+                        out.push(PanicSite {
+                            kind: "int_div",
+                            class: SiteClass::IntDiv,
+                            line: t.line,
+                            col: t.col,
+                        });
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_for(entries: &[(&str, &str)]) -> AnalyzeConfig {
+        AnalyzeConfig {
+            entry_points: entries.iter().map(|&(f, n)| (f.to_string(), n.to_string())).collect(),
+            unsafe_modules: Vec::new(),
+            design_doc: None,
+        }
+    }
+
+    fn run(files: &[(&str, &str)], entries: &[(&str, &str)]) -> AnalysisReport {
+        let parsed: Vec<ParsedFile> = files.iter().map(|(p, s)| parse_file(p, s)).collect();
+        analyze_files(&parsed, &cfg_for(entries))
+    }
+
+    #[test]
+    fn transitive_taint_across_crates() {
+        // The per-file lints cannot see this: the deterministic entry
+        // calls a helper in another crate that reads the clock.
+        let r = run(
+            &[
+                ("crates/core/src/a.rs", "pub fn entry() { lightne_utils::tick(); }\n"),
+                ("crates/utils/src/help.rs", "pub fn tick() { let _ = Instant::now(); }\n"),
+            ],
+            &[("crates/core/src/a.rs", "entry")],
+        );
+        assert_eq!(r.taint.len(), 1, "{:?}", r.taint);
+        assert_eq!(r.taint[0].kind, "instant_now");
+        assert_eq!((r.taint[0].line, r.taint[0].col), (1, 25));
+        assert_eq!(r.taint[0].chain, ["entry", "tick"]);
+    }
+
+    #[test]
+    fn unreachable_source_is_not_a_finding() {
+        let r = run(
+            &[
+                ("crates/core/src/a.rs", "pub fn entry() {}\n"),
+                ("crates/utils/src/help.rs", "pub fn tick() { let _ = Instant::now(); }\n"),
+            ],
+            &[("crates/core/src/a.rs", "entry")],
+        );
+        assert!(r.taint.is_empty());
+    }
+
+    #[test]
+    fn justified_relaxed_is_not_taint() {
+        let r = run(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn entry() {\n  // ordering: advisory counter only.\n  \
+                 x.load(Ordering::Relaxed);\n  y.load(Ordering::Relaxed);\n}\n",
+            )],
+            &[("crates/core/src/a.rs", "entry")],
+        );
+        // First Relaxed justified by the ordering: comment; second is
+        // within its 6-line window too (matching the L4 rule).
+        assert!(r.taint.is_empty(), "{:?}", r.taint);
+    }
+
+    #[test]
+    fn panic_surface_requires_panic_ok() {
+        let r = run(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn entry(v: &[u32]) {\n  let _ = v.first().unwrap();\n  \
+                 // xtask:panic-ok(slice is non-empty by construction above)\n  \
+                 let _ = v.last().unwrap();\n}\n",
+            )],
+            &[("crates/core/src/a.rs", "entry")],
+        );
+        assert_eq!(r.panic.len(), 2);
+        assert_eq!(r.panic_unjustified(), 1);
+        assert_eq!(r.panic_justified(), 1);
+        assert_eq!(r.panic[0].line, 2, "unjustified ranks first");
+    }
+
+    #[test]
+    fn empty_panic_ok_reason_is_an_error() {
+        let r = run(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn entry() {\n  // xtask:panic-ok()\n  x.unwrap();\n}\n",
+            )],
+            &[("crates/core/src/a.rs", "entry")],
+        );
+        assert_eq!(r.directive_errors.len(), 1);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn missing_entry_point_fails() {
+        let r = run(
+            &[("crates/core/src/a.rs", "pub fn entry() {}\n")],
+            &[("crates/core/src/a.rs", "nonexistent")],
+        );
+        assert_eq!(r.missing_entries, ["crates/core/src/a.rs::nonexistent"]);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn info_sites_are_counted_not_gated() {
+        let r = run(
+            &[(
+                "crates/core/src/a.rs",
+                "pub fn entry(v: &[u32], n: usize) -> u32 {\n  assert!(n > 0);\n  \
+                 v[n] + v.len() as u32 / n as u32 + v[0] / 2\n}\n",
+            )],
+            &[("crates/core/src/a.rs", "entry")],
+        );
+        assert_eq!(r.info.slice_index, 2);
+        assert_eq!(r.info.int_div, 1, "literal divisor 2 is safe");
+        assert_eq!(r.info.assert_sites, 1);
+        assert!(r.ok(), "info sites alone do not fail the gate");
+    }
+
+    #[test]
+    fn unsafe_reach_lists_public_apis() {
+        let parsed: Vec<ParsedFile> = [
+            ("crates/g/src/api.rs", "pub fn load() { crate::mmap::map_region(); }\n"),
+            ("crates/g/src/mmap.rs", "pub fn map_region() { unsafe { () } }\n"),
+            ("crates/g/src/other.rs", "pub fn pure() {}\n"),
+        ]
+        .iter()
+        .map(|(p, s)| parse_file(p, s))
+        .collect();
+        let cfg = AnalyzeConfig {
+            entry_points: vec![("crates/g/src/api.rs".into(), "load".into())],
+            unsafe_modules: vec!["crates/g/src/mmap.rs".into()],
+            design_doc: Some("inventory: mmap.rs is the unsafe module".into()),
+        };
+        let r = analyze_files(&parsed, &cfg);
+        assert_eq!(r.unsafe_reach.len(), 1);
+        assert_eq!(
+            r.unsafe_reach[0].public_apis,
+            ["crates/g/src/api.rs::load", "crates/g/src/mmap.rs::map_region"]
+        );
+        assert!(r.inventory.checked && r.inventory.ok());
+    }
+
+    #[test]
+    fn inventory_mismatch_fails() {
+        let parsed = vec![parse_file("crates/g/src/mmap.rs", "pub fn f() { unsafe { () } }\n")];
+        let cfg = AnalyzeConfig {
+            entry_points: vec![("crates/g/src/mmap.rs".into(), "f".into())],
+            unsafe_modules: vec!["crates/g/src/mmap.rs".into()],
+            design_doc: Some("no inventory here".into()),
+        };
+        let r = analyze_files(&parsed, &cfg);
+        assert_eq!(r.inventory.missing_in_design, ["crates/g/src/mmap.rs"]);
+        assert!(!r.ok());
+    }
+
+    #[test]
+    fn trait_method_call_taints_through_impl() {
+        let r = run(
+            &[(
+                "crates/core/src/a.rs",
+                "pub trait Clock { fn read(&self) -> u64; }\n\
+                 pub struct Wall;\n\
+                 impl Clock for Wall { fn read(&self) -> u64 { let _ = Instant::now(); 0 } }\n\
+                 pub fn entry(c: &Wall) -> u64 { c.read() }\n",
+            )],
+            &[("crates/core/src/a.rs", "entry")],
+        );
+        assert_eq!(r.taint.len(), 1, "{:?}", r.taint);
+        assert_eq!(r.taint[0].line, 3);
+        assert_eq!(r.taint[0].func, "Wall::read");
+    }
+}

@@ -1,0 +1,377 @@
+//! Conservative workspace call graph and reachability.
+//!
+//! Call sites are extracted from each function's body token range and
+//! resolved through [`crate::symbols::Symbols`] (see that module's
+//! docs for the over-approximation policy). The graph is an adjacency
+//! list over [`FnId`]s; reachability is a breadth-first search that
+//! records parent pointers so every finding can print an example call
+//! chain from its entry point.
+
+use crate::lexer::TokKind;
+use crate::parser::{ParsedFile, KEYWORDS};
+use crate::symbols::{FnId, Symbols};
+
+/// How a call site was written, which determines how it was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `name(..)` — free-function call.
+    Free,
+    /// `.name(..)` — method call.
+    Method,
+    /// `Owner::name(..)` — qualified path call.
+    Qualified,
+}
+
+/// One extracted call site (kept for fixtures and debugging; the graph
+/// itself stores only the resolved edges).
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Called name (after `use`-alias substitution).
+    pub name: String,
+    /// Receiver path segment for qualified calls.
+    pub owner: Option<String>,
+    /// Call syntax.
+    pub kind: CallKind,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// `edges[f]` = functions `f` may call (sorted, deduplicated).
+    pub edges: Vec<Vec<FnId>>,
+    /// Extracted call sites per function (same indexing as `edges`).
+    pub sites: Vec<Vec<CallSite>>,
+}
+
+impl CallGraph {
+    /// Builds the graph for all parsed files over the symbol table.
+    pub fn build(files: &[ParsedFile], symbols: &Symbols) -> Self {
+        let n = symbols.fns.len();
+        let mut edges: Vec<Vec<FnId>> = vec![Vec::new(); n];
+        let mut sites: Vec<Vec<CallSite>> = vec![Vec::new(); n];
+        for (id, fr) in symbols.fns.iter().enumerate() {
+            let file = &files[fr.file];
+            let item = &file.fns[fr.item];
+            let Some((bs, be)) = item.body else { continue };
+            let fn_sites = extract_calls(file, bs, be);
+            let mut out: Vec<FnId> = Vec::new();
+            for s in &fn_sites {
+                match s.kind {
+                    CallKind::Free => out.extend_from_slice(symbols.resolve_free(&s.name)),
+                    CallKind::Method => out.extend_from_slice(symbols.resolve_method(&s.name)),
+                    CallKind::Qualified => out.extend(symbols.resolve_qualified(
+                        s.owner.as_deref().unwrap_or(""),
+                        &s.name,
+                        item.owner.as_deref(),
+                    )),
+                }
+            }
+            out.sort_unstable();
+            out.dedup();
+            // A resolved self-loop adds nothing to reachability.
+            out.retain(|&t| t != id);
+            edges[id] = out;
+            sites[id] = fn_sites;
+        }
+        CallGraph { edges, sites }
+    }
+
+    /// Breadth-first reachability from `entries`. Returns, per function,
+    /// `Some((depth, parent))` when reachable — `parent` is `None` for
+    /// the entries themselves.
+    pub fn reach(&self, entries: &[FnId]) -> Vec<Option<(u32, Option<FnId>)>> {
+        let mut state: Vec<Option<(u32, Option<FnId>)>> = vec![None; self.edges.len()];
+        let mut queue: std::collections::VecDeque<FnId> = std::collections::VecDeque::new();
+        for &e in entries {
+            if e < state.len() && state[e].is_none() {
+                state[e] = Some((0, None));
+                queue.push_back(e);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let (du, _) = state[u].unwrap_or((0, None));
+            for &v in &self.edges[u] {
+                if state[v].is_none() {
+                    state[v] = Some((du + 1, Some(u)));
+                    queue.push_back(v);
+                }
+            }
+        }
+        state
+    }
+
+    /// Reverse reachability: every function from which some function in
+    /// `targets` is reachable (including the targets themselves).
+    pub fn reaches_into(&self, targets: &[FnId]) -> Vec<bool> {
+        let n = self.edges.len();
+        let mut rev: Vec<Vec<FnId>> = vec![Vec::new(); n];
+        for (u, outs) in self.edges.iter().enumerate() {
+            for &v in outs {
+                rev[v].push(u);
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut queue: std::collections::VecDeque<FnId> = std::collections::VecDeque::new();
+        for &t in targets {
+            if t < n && !seen[t] {
+                seen[t] = true;
+                queue.push_back(t);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &p in &rev[u] {
+                if !seen[p] {
+                    seen[p] = true;
+                    queue.push_back(p);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Extracts call sites from the token range `[bs, be)` of one body,
+/// applying the file's `use`-alias substitutions.
+pub fn extract_calls(file: &ParsedFile, bs: usize, be: usize) -> Vec<CallSite> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut i = bs;
+    while i < be.min(toks.len()) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || (KEYWORDS.contains(&t.text.as_str()) && !t.raw) {
+            i += 1;
+            continue;
+        }
+        // Macro invocation `name!(..)` — not a call edge (panic-relevant
+        // macros are handled as sites by the analyses).
+        if toks.get(i + 1).is_some_and(|n| n.text == "!") {
+            i += 2;
+            continue;
+        }
+        // Call shape: `name (` or `name ::< … > (` (turbofish).
+        let mut after = i + 1;
+        if seq2(file, after, ":", ":") && toks.get(after + 2).is_some_and(|n| n.text == "<") {
+            // Turbofish: skip `::< … >`.
+            let mut depth = 1i32;
+            let mut k = after + 3;
+            while k < toks.len() && depth > 0 {
+                match toks[k].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    _ => {}
+                }
+                k += 1;
+            }
+            after = k;
+        }
+        let is_call = toks.get(after).is_some_and(|n| n.text == "(");
+        if !is_call {
+            i += 1;
+            continue;
+        }
+        // Classify by what precedes the name.
+        let prev_is = |k: usize, txt: &str| i >= k && toks[i - k].text == txt;
+        if prev_is(1, ".") {
+            out.push(CallSite {
+                name: t.text.clone(),
+                owner: None,
+                kind: CallKind::Method,
+                line: t.line,
+                col: t.col,
+            });
+        } else if prev_is(1, ":") && prev_is(2, ":") {
+            // Qualified: the segment before the `::` is the receiver.
+            // (Generic arguments `<…>::name` collapse to the path ident
+            // before the angle group when present.)
+            let owner = qualified_owner(file, i);
+            out.push(CallSite {
+                name: alias_target(file, &t.text),
+                owner,
+                kind: CallKind::Qualified,
+                line: t.line,
+                col: t.col,
+            });
+        } else {
+            out.push(CallSite {
+                name: alias_target(file, &t.text),
+                owner: None,
+                kind: CallKind::Free,
+                line: t.line,
+                col: t.col,
+            });
+        }
+        i = after + 1;
+    }
+    out
+}
+
+/// Maps a locally bound name through the file's `use` aliases to the
+/// defining name (identity when not renamed).
+fn alias_target(file: &ParsedFile, name: &str) -> String {
+    file.aliases
+        .iter()
+        .find(|a| a.alias == name && a.target != a.alias)
+        .map(|a| a.target.clone())
+        .unwrap_or_else(|| name.to_string())
+}
+
+/// For a qualified call with the name token at `i` (preceded by `::`),
+/// returns the receiver segment — the ident before the `::`, skipping a
+/// generic-argument group (`Foo::<T>::new` → `Foo`, `<T as Tr>::f` → `T`).
+fn qualified_owner(file: &ParsedFile, i: usize) -> Option<String> {
+    let toks = &file.tokens;
+    if i < 3 {
+        return None;
+    }
+    let mut k = i - 2; // before the two `:`
+    if toks[k].text == ">" {
+        // Skip back over `<…>`.
+        let mut depth = 1i32;
+        while k > 0 && depth > 0 {
+            k -= 1;
+            match toks[k].text.as_str() {
+                ">" => depth += 1,
+                "<" => depth -= 1,
+                _ => {}
+            }
+        }
+        // `Foo::<T>` — the ident before the `<` (itself possibly after
+        // another `::`); `<T as Tr>::f` — the first ident inside.
+        if k > 0 && toks[k - 1].kind == TokKind::Ident {
+            return Some(toks[k - 1].text.clone());
+        }
+        let inner = toks.get(k + 1)?;
+        if inner.kind == TokKind::Ident {
+            return Some(inner.text.clone());
+        }
+        return None;
+    }
+    (toks[k].kind == TokKind::Ident).then(|| alias_target(file, &toks[k].text))
+}
+
+fn seq2(file: &ParsedFile, i: usize, a: &str, b: &str) -> bool {
+    file.tokens.get(i).is_some_and(|t| t.text == a)
+        && file.tokens.get(i + 1).is_some_and(|t| t.text == b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn graph(files: &[(&str, &str)]) -> (Vec<ParsedFile>, Symbols, CallGraph) {
+        let parsed: Vec<ParsedFile> = files.iter().map(|(p, s)| parse_file(p, s)).collect();
+        let sym = Symbols::build(&parsed);
+        let g = CallGraph::build(&parsed, &sym);
+        (parsed, sym, g)
+    }
+
+    fn id_of(files: &[ParsedFile], sym: &Symbols, name: &str) -> FnId {
+        sym.fns
+            .iter()
+            .position(|fr| files[fr.file].fns[fr.item].name == name)
+            .unwrap_or_else(|| panic!("no fn named {name}"))
+    }
+
+    #[test]
+    fn free_call_edge_across_files() {
+        let (files, sym, g) = graph(&[
+            ("crates/a/src/lib.rs", "pub fn entry() { helper(); }\n"),
+            ("crates/b/src/lib.rs", "pub fn helper() {}\n"),
+        ]);
+        let e = id_of(&files, &sym, "entry");
+        let h = id_of(&files, &sym, "helper");
+        assert_eq!(g.edges[e], [h]);
+    }
+
+    #[test]
+    fn method_call_resolves_to_all_same_named_methods() {
+        let (files, sym, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct A;\nstruct B;\nimpl A { fn poll(&self) {} }\nimpl B { fn poll(&self) {} }\n\
+             pub fn entry(a: &A) { a.poll(); }\n",
+        )]);
+        let e = id_of(&files, &sym, "entry");
+        assert_eq!(g.edges[e].len(), 2, "CHA without hierarchy: both poll methods");
+    }
+
+    #[test]
+    fn alias_call_resolves_to_original() {
+        let (files, sym, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "use crate::inner::make as build;\nmod inner { pub fn make() {} }\n\
+             pub fn entry() { build(); }\n",
+        )]);
+        let e = id_of(&files, &sym, "entry");
+        let m = id_of(&files, &sym, "make");
+        assert_eq!(g.edges[e], [m]);
+    }
+
+    #[test]
+    fn turbofish_call_is_still_a_call() {
+        let (files, sym, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn cast<T>(x: T) -> T { x }\npub fn entry() { cast::<u32>(1); }\n",
+        )]);
+        let e = id_of(&files, &sym, "entry");
+        let c = id_of(&files, &sym, "cast");
+        assert_eq!(g.edges[e], [c]);
+    }
+
+    #[test]
+    fn generic_bound_call_over_approximates() {
+        let (files, sym, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "trait Sampler { fn sample(); }\nstruct Z;\nimpl Sampler for Z { fn sample() {} }\n\
+             pub fn entry<T: Sampler>() { T::sample(); }\n",
+        )]);
+        let e = id_of(&files, &sym, "entry");
+        assert!(!g.edges[e].is_empty(), "T::sample must reach the impl");
+    }
+
+    #[test]
+    fn reach_reports_depth_and_parent() {
+        let (files, sym, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn island() {}\n",
+        )]);
+        let (a, b, c, island) = (
+            id_of(&files, &sym, "a"),
+            id_of(&files, &sym, "b"),
+            id_of(&files, &sym, "c"),
+            id_of(&files, &sym, "island"),
+        );
+        let r = g.reach(&[a]);
+        assert_eq!(r[a], Some((0, None)));
+        assert_eq!(r[b], Some((1, Some(a))));
+        assert_eq!(r[c], Some((2, Some(b))));
+        assert!(r[island].is_none());
+    }
+
+    #[test]
+    fn reverse_reachability_finds_public_entry() {
+        let (files, sym, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn api() { mid(); }\nfn mid() { low(); }\nfn low() {}\nfn other() {}\n",
+        )]);
+        let api = id_of(&files, &sym, "api");
+        let low = id_of(&files, &sym, "low");
+        let other = id_of(&files, &sym, "other");
+        let seen = g.reaches_into(&[low]);
+        assert!(seen[api]);
+        assert!(!seen[other]);
+    }
+
+    #[test]
+    fn macro_invocations_are_not_edges() {
+        let (files, sym, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn assert_eq() {}\npub fn entry() { assert_eq!(1, 1); }\n",
+        )]);
+        let e = id_of(&files, &sym, "entry");
+        assert!(g.edges[e].is_empty());
+    }
+}

@@ -28,7 +28,7 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Escapes `s` for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for ch in s.chars() {
         match ch {

@@ -44,6 +44,10 @@ pub struct Token {
     pub line: u32,
     /// 1-based column of the token's first character.
     pub col: u32,
+    /// Whether this is a raw identifier (`r#fn`): the `text` is the bare
+    /// name without the `r#` sigil, but the token must *not* be treated
+    /// as a keyword by item-level parsing.
+    pub raw: bool,
 }
 
 /// One comment with its position. Doc comments are included.
@@ -56,6 +60,20 @@ pub struct Comment {
     /// 1-based line of the comment's last character (differs for block
     /// comments spanning lines).
     pub end_line: u32,
+}
+
+impl Comment {
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`). Doc
+    /// comments are rendered documentation: a directive mentioned in one
+    /// (`xtask:allow`, `xtask:panic-ok`, `ordering:`) is prose *about*
+    /// the directive, never a live waiver, so every directive scanner
+    /// skips them.
+    pub fn is_doc(&self) -> bool {
+        let t = self.text.as_bytes();
+        matches!(t.get(..3), Some(b"///" | b"//!" | b"/**" | b"/*!"))
+            // `/**/` is an empty plain block comment, not a doc comment.
+            && self.text != "/**/"
+    }
 }
 
 /// Token stream plus comments for one source file.
@@ -154,29 +172,65 @@ pub fn lex(src: &str) -> Lexed {
             }
             b'"' => {
                 lex_string(&mut c);
-                out.tokens.push(Token { kind: TokKind::Str, text: c.slice(start), line, col });
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: c.slice(start),
+                    line,
+                    col,
+                    raw: false,
+                });
             }
             b'r' | b'b' | b'c' if starts_prefixed_literal(&c) => {
                 let kind = lex_prefixed_literal(&mut c);
-                out.tokens.push(Token { kind, text: c.slice(start), line, col });
+                out.tokens.push(Token { kind, text: c.slice(start), line, col, raw: false });
             }
             b'\'' => {
                 let kind = lex_quote(&mut c);
-                out.tokens.push(Token { kind, text: c.slice(start), line, col });
+                out.tokens.push(Token { kind, text: c.slice(start), line, col, raw: false });
+            }
+            b'r' if c.peek_at(1) == Some(b'#') && c.peek_at(2).is_some_and(is_ident_start) => {
+                // Raw identifier `r#name`: the name is lexed without the
+                // sigil so lint pattern matching sees the bare text, but
+                // the `raw` flag keeps it from being parsed as a keyword.
+                c.bump();
+                c.bump();
+                let name_start = c.pos;
+                while c.peek().is_some_and(is_ident_cont) {
+                    c.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: c.slice(name_start),
+                    line,
+                    col,
+                    raw: true,
+                });
             }
             _ if is_ident_start(b) => {
                 while c.peek().is_some_and(is_ident_cont) {
                     c.bump();
                 }
-                out.tokens.push(Token { kind: TokKind::Ident, text: c.slice(start), line, col });
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: c.slice(start),
+                    line,
+                    col,
+                    raw: false,
+                });
             }
             _ if b.is_ascii_digit() => {
                 let kind = lex_number(&mut c);
-                out.tokens.push(Token { kind, text: c.slice(start), line, col });
+                out.tokens.push(Token { kind, text: c.slice(start), line, col, raw: false });
             }
             _ => {
                 c.bump();
-                out.tokens.push(Token { kind: TokKind::Punct, text: c.slice(start), line, col });
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: c.slice(start),
+                    line,
+                    col,
+                    raw: false,
+                });
             }
         }
     }
@@ -187,6 +241,7 @@ pub fn lex(src: &str) -> Lexed {
 /// i.e. a prefixed literal rather than an identifier starting with that
 /// letter.
 fn starts_prefixed_literal(c: &Cursor) -> bool {
+    // xtask:panic-ok(callers only invoke this mid-input, peek is Some)
     let b0 = c.peek().unwrap();
     match (b0, c.peek_at(1)) {
         (b'r' | b'c', Some(b'"')) | (b'b', Some(b'"' | b'\'')) => true,

@@ -63,11 +63,11 @@ const FLOAT_IDENT_EVIDENCE: &[&str] = &["f32", "f64", "powf", "sqrt", "exp", "ln
 
 /// An inline `xtask:allow` suppression parsed from a comment.
 #[derive(Debug)]
-struct Allow {
-    lint: String,
-    line: u32,
-    end_line: u32,
-    has_reason: bool,
+pub(crate) struct Allow {
+    pub(crate) lint: String,
+    pub(crate) line: u32,
+    pub(crate) end_line: u32,
+    pub(crate) has_reason: bool,
 }
 
 /// Per-file lint context: tokens, comments, `#[cfg(test)]` spans, allows.
@@ -107,7 +107,8 @@ impl<'a> FileCtx<'a> {
     /// above `line` (or sits on the same line).
     fn has_comment_near(&self, marker: &str, line: u32, window: u32) -> bool {
         self.comments.iter().any(|c| {
-            c.text.contains(marker)
+            !c.is_doc()
+                && c.text.contains(marker)
                 && ((c.end_line <= line && line - c.end_line <= window) || c.line == line)
         })
     }
@@ -133,7 +134,7 @@ pub fn check_source(path: &str, src: &str) -> Vec<Diagnostic> {
 /// Extracts `#[cfg(test)]` item spans as inclusive line ranges. The span
 /// starts at the attribute and runs to the matching close brace of the
 /// item that follows (or its terminating `;`).
-fn cfg_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
+pub(crate) fn cfg_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
@@ -218,9 +219,12 @@ fn cfg_test_spans(tokens: &[Token]) -> Vec<(u32, u32)> {
 
 /// Parses inline allow directives of the form `xtask:allow(Lk): reason`
 /// (the reason part may be absent, which is reported as a violation).
-fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
+pub(crate) fn parse_allows(comments: &[Comment]) -> Vec<Allow> {
     let mut out = Vec::new();
     for c in comments {
+        if c.is_doc() {
+            continue;
+        }
         let mut rest = c.text.as_str();
         while let Some(pos) = rest.find("xtask:allow(") {
             rest = &rest[pos + "xtask:allow(".len()..];
@@ -264,6 +268,72 @@ fn apply_allows(ctx: &FileCtx, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
             });
         }
     }
+    out
+}
+
+/// Stale-suppression audit: reports every *reasoned* `xtask:allow` waiver
+/// that no longer suppresses a real diagnostic, and every reasoned
+/// `xtask:panic-ok(..)` with no panic-adjacent site in its window. Dead
+/// waivers are how suppressions rot: the code they excused gets deleted
+/// or rewritten, the comment stays, and a later real violation lands in
+/// its shadow. Run via `cargo xtask check --stale-allows` (wired into
+/// the CI static-analysis job).
+pub fn stale_suppressions(path: &str, src: &str) -> Vec<Diagnostic> {
+    let ctx = FileCtx::new(path, src);
+    let mut raw = Vec::new();
+    lint_l1(&ctx, &mut raw);
+    lint_l2(&ctx, &mut raw);
+    lint_l3(&ctx, &mut raw);
+    lint_l4(&ctx, &mut raw);
+    lint_l5(&ctx, &mut raw);
+    lint_l6(&ctx, &mut raw);
+    let mut out = Vec::new();
+    for a in ctx.allows.iter().filter(|a| a.has_reason) {
+        let suppresses = raw.iter().any(|d| {
+            a.lint == d.lint
+                && (a.line == d.line || (a.end_line < d.line && d.line - a.end_line <= 3))
+        });
+        if !suppresses {
+            out.push(Diagnostic {
+                lint: lint_code(&a.lint),
+                file: ctx.path.to_string(),
+                line: a.line,
+                col: 1,
+                message: format!(
+                    "stale `xtask:allow({})`: no {} diagnostic within its window — remove \
+                     the waiver or the code it excused has moved",
+                    a.lint, a.lint
+                ),
+            });
+        }
+    }
+    // panic-ok staleness: the directive must sit on or within 3 lines
+    // above some panic-adjacent token (unwrap/expect/panic-family macro).
+    for c in &ctx.comments {
+        if c.is_doc() || !c.text.contains("xtask:panic-ok(") {
+            continue;
+        }
+        let covered = ctx.tokens.iter().any(|t| {
+            t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "unwrap" | "expect" | "panic" | "unreachable" | "todo" | "unimplemented"
+                )
+                && (t.line == c.line || (c.end_line < t.line && t.line - c.end_line <= 3))
+        });
+        if !covered {
+            out.push(Diagnostic {
+                lint: "L1",
+                file: ctx.path.to_string(),
+                line: c.line,
+                col: 1,
+                message: "stale `xtask:panic-ok(..)`: no unwrap/expect/panic site within its \
+                          window — remove the waiver"
+                    .into(),
+            });
+        }
+    }
+    out.sort_by_key(|d| (d.line, d.col));
     out
 }
 

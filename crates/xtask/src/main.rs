@@ -1,15 +1,19 @@
 //! `cargo xtask` — workspace task driver.
 //!
-//! Currently one subcommand:
-//!
 //! ```text
-//! cargo xtask check [--json] [--root <path>]
+//! cargo xtask check [--json] [--stale-allows] [--root <path>]
+//! cargo xtask analyze [--json] [--root <path>]
 //! ```
 //!
-//! Runs the six workspace lints (see DESIGN.md, "Static analysis &
-//! concurrency verification") over every source file and exits non-zero
-//! if any violation is found. `--json` emits a machine-readable report
-//! for CI; `--root` overrides workspace-root auto-detection.
+//! `check` runs the six per-file workspace lints (L1–L6); with
+//! `--stale-allows` it additionally audits for suppression comments that
+//! no longer cover a real diagnostic. `analyze` runs the whole-program
+//! reachability analyses (determinism taint, panic surface, unsafe
+//! reach) over the workspace call graph. Both exit non-zero on any
+//! violation; `--json` emits machine-readable reports for CI and the
+//! ratchet script (`scripts/check_analysis_ratchet.sh`); `--root`
+//! overrides workspace-root auto-detection. See DESIGN.md, "Static
+//! analysis & concurrency verification" and "Whole-program analysis".
 
 #![forbid(unsafe_code)]
 #![deny(unsafe_op_in_unsafe_fn)]
@@ -26,15 +30,17 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    if cmd != "check" {
+    if cmd != "check" && cmd != "analyze" {
         eprintln!("unknown subcommand `{cmd}`\n{USAGE}");
         return ExitCode::from(2);
     }
     let mut json = false;
+    let mut stale_allows = false;
     let mut root: Option<PathBuf> = None;
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--stale-allows" if cmd == "check" => stale_allows = true,
             "--root" => match it.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -43,7 +49,7 @@ fn main() -> ExitCode {
                 }
             },
             other => {
-                eprintln!("unknown flag `{other}`\n{USAGE}");
+                eprintln!("unknown flag `{other}` for `{cmd}`\n{USAGE}");
                 return ExitCode::from(2);
             }
         }
@@ -55,13 +61,29 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let diags = match xtask::check_workspace(&root) {
+    if cmd == "analyze" {
+        return run_analyze(&root, json);
+    }
+    run_check(&root, json, stale_allows)
+}
+
+fn run_check(root: &std::path::Path, json: bool, stale_allows: bool) -> ExitCode {
+    let mut diags = match xtask::check_workspace(root) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    if stale_allows {
+        match xtask::stale_workspace_suppressions(root) {
+            Ok(stale) => diags.extend(stale),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     if json {
         print!("{}", diagnostics::to_json(&diags));
     } else {
@@ -81,7 +103,28 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: cargo xtask check [--json] [--root <path>]";
+fn run_analyze(root: &std::path::Path, json: bool) -> ExitCode {
+    let report = match xtask::analyze_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+const USAGE: &str = "usage: cargo xtask check [--json] [--stale-allows] [--root <path>]\n\
+                     \u{20}      cargo xtask analyze [--json] [--root <path>]";
 
 /// Walks up from the current directory to the first directory containing
 /// both a `Cargo.toml` and a `crates/` directory (the workspace root).

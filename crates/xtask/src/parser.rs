@@ -1,0 +1,574 @@
+//! Item-level Rust front-end on top of [`crate::lexer`].
+//!
+//! The whole-program analyses (`cargo xtask analyze`) need to know *which
+//! function* a token belongs to and *which functions it may call* — a
+//! strictly richer view than the per-file token lints, but still far short
+//! of a full AST. This parser extracts exactly the items the call-graph
+//! construction needs from the token stream:
+//!
+//! * `fn` items — name, owner type (for `impl`/`trait` methods), `pub`
+//!   visibility, source span, and the token range of the body;
+//! * `impl` / `trait` blocks — to attribute methods to an owner type so
+//!   `Receiver::method(..)` and `.method(..)` calls can be resolved;
+//! * `use` declarations — leaf-name aliases (`use a::b as c`) so calls
+//!   through re-exports and renames still resolve;
+//! * `struct`/`enum`/`union` names and `type` aliases — so qualified
+//!   calls through a type alias resolve to the aliased type's methods.
+//!
+//! The parser is deliberately *forgiving and conservative*: anything it
+//! does not recognise is skipped token-by-token, so exotic syntax
+//! degrades to missing detail rather than a crash, and the resolution
+//! layer over-approximates whenever the parse is ambiguous. Nested items
+//! (a `fn` inside a `fn`) are parsed as their own functions; their call
+//! sites are *also* attributed to the enclosing function, which
+//! over-approximates reachability but never loses an edge.
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+use crate::lints::cfg_test_spans;
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Owner type for methods: the `impl` self type (last path segment)
+    /// or the `trait` name for default methods. `None` for free
+    /// functions.
+    pub owner: Option<String>,
+    /// Whether the item carries a `pub` modifier (any restriction form:
+    /// `pub`, `pub(crate)`, `pub(super)`, …).
+    pub is_pub: bool,
+    /// 1-based line of the function name token.
+    pub line: u32,
+    /// 1-based column of the function name token.
+    pub col: u32,
+    /// Token index range `[start, end)` of the body, *excluding* the
+    /// outer braces. `None` for bodyless declarations (trait method
+    /// signatures, extern fns).
+    pub body: Option<(usize, usize)>,
+    /// Whether the item sits inside a `#[cfg(test)]` span.
+    pub in_test: bool,
+}
+
+/// One `use` leaf: the name it binds locally and the name it refers to.
+///
+/// `use a::b::c;` yields `(c, c)`; `use a::b as x;` yields `(x, b)`;
+/// groups (`use a::{b, c as d}`) yield one entry per leaf. Glob imports
+/// produce nothing (bare-name resolution is already workspace-wide, so a
+/// glob cannot make it *less* complete).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseAlias {
+    /// The locally bound name.
+    pub alias: String,
+    /// The original (defining) name the alias refers to.
+    pub target: String,
+}
+
+/// Everything the analyses need from one source file.
+#[derive(Debug)]
+pub struct ParsedFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// The full token stream (body ranges index into this).
+    pub tokens: Vec<Token>,
+    /// All comments, for justification-directive matching.
+    pub comments: Vec<Comment>,
+    /// All `fn` items in source order.
+    pub fns: Vec<FnItem>,
+    /// `use` leaf aliases declared anywhere in the file.
+    pub aliases: Vec<UseAlias>,
+    /// Type names defined in this file (`struct`/`enum`/`union`/`trait`).
+    pub types: Vec<String>,
+    /// `type A = B;` aliases (alias name, last segment of target path).
+    pub type_aliases: Vec<(String, String)>,
+    /// `#[cfg(test)]` item spans as inclusive line ranges.
+    pub test_spans: Vec<(u32, u32)>,
+}
+
+impl ParsedFile {
+    /// Whether `line` falls inside a `#[cfg(test)]` item span.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+}
+
+/// Keywords that can never be call names or item names in call position.
+pub const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true", "type", "union",
+    "unsafe", "use", "where", "while", "yield",
+];
+
+/// Whether token `t` is the (non-raw) keyword `kw`.
+fn is_kw(t: &Token, kw: &str) -> bool {
+    t.kind == TokKind::Ident && !t.raw && t.text == kw
+}
+
+/// Parses one source file into items.
+pub fn parse_file(path: &str, src: &str) -> ParsedFile {
+    let lexed = lex(src);
+    let test_spans = cfg_test_spans(&lexed.tokens);
+    let mut out = ParsedFile {
+        path: path.to_string(),
+        tokens: lexed.tokens,
+        comments: lexed.comments,
+        fns: Vec::new(),
+        aliases: Vec::new(),
+        types: Vec::new(),
+        type_aliases: Vec::new(),
+        test_spans,
+    };
+    let end = out.tokens.len();
+    parse_items(&mut out, 0, end, None);
+    out
+}
+
+/// Scans tokens in `[i, end)` for items, attributing methods to `owner`.
+/// Recurses into `mod`/`impl`/`trait` blocks and `fn` bodies.
+fn parse_items(f: &mut ParsedFile, mut i: usize, end: usize, owner: Option<&str>) {
+    while i < end {
+        // Skip attributes `#[...]` / `#![...]` wholesale.
+        if f.tokens[i].text == "#" {
+            let mut j = i + 1;
+            if f.tokens.get(j).is_some_and(|t| t.text == "!") {
+                j += 1;
+            }
+            if f.tokens.get(j).is_some_and(|t| t.text == "[") {
+                i = match_brackets(&f.tokens, j, "[", "]").min(end);
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // Visibility + leading modifiers before an item keyword.
+        let _item_start = i;
+        let mut is_pub = false;
+        while i < end {
+            let t = &f.tokens[i];
+            if is_kw(t, "pub") {
+                is_pub = true;
+                i += 1;
+                if f.tokens.get(i).is_some_and(|t| t.text == "(") {
+                    i = match_brackets(&f.tokens, i, "(", ")").min(end);
+                }
+            } else if is_kw(t, "const") || is_kw(t, "unsafe") || is_kw(t, "async") {
+                // `const fn` / `unsafe fn` / `async fn` modifiers — but
+                // `const NAME: T = ..;` is an item of its own: only treat
+                // `const` as a modifier when `fn` follows soon.
+                if is_kw(t, "const")
+                    && !f.tokens.get(i + 1).is_some_and(|n| is_kw(n, "fn") || is_kw(n, "unsafe"))
+                {
+                    break;
+                }
+                i += 1;
+            } else if is_kw(t, "extern") {
+                i += 1;
+                if f.tokens.get(i).is_some_and(|t| t.kind == TokKind::Str) {
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        if i >= end {
+            break;
+        }
+        let t = f.tokens[i].clone();
+        if is_kw(&t, "fn") && f.tokens.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident) {
+            let name_tok = f.tokens[i + 1].clone();
+            let mut j = i + 2;
+            // Generics on the fn itself.
+            if f.tokens.get(j).is_some_and(|t| t.text == "<") {
+                j = match_angles(&f.tokens, j).min(end);
+            }
+            // Parameter list.
+            if f.tokens.get(j).is_some_and(|t| t.text == "(") {
+                j = match_brackets(&f.tokens, j, "(", ")").min(end);
+            }
+            // Return type / where clause: scan to the body `{` or `;`.
+            while j < end && f.tokens[j].text != "{" && f.tokens[j].text != ";" {
+                // Skip bracketed groups so a `{` inside a const-generic
+                // default or array type cannot be mistaken for the body.
+                match f.tokens[j].text.as_str() {
+                    "(" => j = match_brackets(&f.tokens, j, "(", ")").min(end),
+                    "[" => j = match_brackets(&f.tokens, j, "[", "]").min(end),
+                    _ => j += 1,
+                }
+            }
+            let body = if j < end && f.tokens[j].text == "{" {
+                let close = match_brackets(&f.tokens, j, "{", "}").min(end);
+                Some((j + 1, close.saturating_sub(1)))
+            } else {
+                None
+            };
+            f.fns.push(FnItem {
+                name: name_tok.text.clone(),
+                owner: owner.map(str::to_string),
+                is_pub,
+                line: name_tok.line,
+                col: name_tok.col,
+                body,
+                in_test: f.in_test(name_tok.line),
+            });
+            if let Some((bs, be)) = body {
+                // Nested items (fn-in-fn, impl-in-fn) are still items.
+                parse_items(f, bs, be, owner);
+                i = be + 1;
+            } else {
+                i = j + 1;
+            }
+        } else if is_kw(&t, "mod") {
+            // `mod name { … }` — recurse; `mod name;` — skip.
+            let mut j = i + 1;
+            while j < end && f.tokens[j].text != "{" && f.tokens[j].text != ";" {
+                j += 1;
+            }
+            if j < end && f.tokens[j].text == "{" {
+                let close = match_brackets(&f.tokens, j, "{", "}").min(end);
+                parse_items(f, j + 1, close.saturating_sub(1), owner);
+                i = close;
+            } else {
+                i = j + 1;
+            }
+        } else if is_kw(&t, "impl") || is_kw(&t, "trait") {
+            let is_trait = is_kw(&t, "trait");
+            let mut j = i + 1;
+            if f.tokens.get(j).is_some_and(|t| t.text == "<") {
+                j = match_angles(&f.tokens, j).min(end);
+            }
+            // Collect the header up to `{` (or `;` for `trait A = B;`).
+            let header_start = j;
+            while j < end && f.tokens[j].text != "{" && f.tokens[j].text != ";" {
+                match f.tokens[j].text.as_str() {
+                    "<" => j = match_angles(&f.tokens, j).min(end),
+                    "(" => j = match_brackets(&f.tokens, j, "(", ")").min(end),
+                    _ => j += 1,
+                }
+            }
+            let name = if is_trait {
+                let n = f.tokens.get(header_start).map(|t| t.text.clone());
+                if let Some(ref n) = n {
+                    f.types.push(n.clone());
+                }
+                n
+            } else {
+                impl_self_type(&f.tokens[header_start..j])
+            };
+            if j < end && f.tokens[j].text == "{" {
+                let close = match_brackets(&f.tokens, j, "{", "}").min(end);
+                parse_items(f, j + 1, close.saturating_sub(1), name.as_deref());
+                i = close;
+            } else {
+                i = j + 1;
+            }
+        } else if is_kw(&t, "struct") || is_kw(&t, "enum") || is_kw(&t, "union") {
+            if let Some(n) = f.tokens.get(i + 1) {
+                if n.kind == TokKind::Ident {
+                    let n = n.text.clone();
+                    f.types.push(n);
+                }
+            }
+            // Skip to `;` (unit/tuple struct) or past the brace block.
+            let mut j = i + 1;
+            while j < end && f.tokens[j].text != "{" && f.tokens[j].text != ";" {
+                match f.tokens[j].text.as_str() {
+                    "<" => j = match_angles(&f.tokens, j).min(end),
+                    "(" => j = match_brackets(&f.tokens, j, "(", ")").min(end),
+                    _ => j += 1,
+                }
+            }
+            i = if j < end && f.tokens[j].text == "{" {
+                match_brackets(&f.tokens, j, "{", "}").min(end)
+            } else {
+                j + 1
+            };
+        } else if is_kw(&t, "type") {
+            // `type A = path::B<...>;` — record (A, B).
+            let alias = f.tokens.get(i + 1).filter(|t| t.kind == TokKind::Ident).cloned();
+            let mut j = i + 2;
+            while j < end && f.tokens[j].text != "=" && f.tokens[j].text != ";" {
+                j += 1;
+            }
+            if let (Some(a), Some(eq)) = (alias, f.tokens.get(j)) {
+                if eq.text == "=" {
+                    // Target name: last ident before `<`, `;`, or EOL.
+                    let mut k = j + 1;
+                    let mut target = None;
+                    while k < end && f.tokens[k].text != ";" && f.tokens[k].text != "<" {
+                        if f.tokens[k].kind == TokKind::Ident {
+                            target = Some(f.tokens[k].text.clone());
+                        }
+                        k += 1;
+                    }
+                    if let Some(tgt) = target {
+                        f.type_aliases.push((a.text, tgt));
+                    }
+                }
+            }
+            while i < end && f.tokens[i].text != ";" {
+                i += 1;
+            }
+            i += 1;
+        } else if is_kw(&t, "use") {
+            let stmt_end = {
+                let mut j = i + 1;
+                while j < end && f.tokens[j].text != ";" {
+                    j += 1;
+                }
+                j
+            };
+            parse_use_leaves(&f.tokens[i + 1..stmt_end], &mut f.aliases);
+            i = stmt_end + 1;
+        } else if t.text == "{" {
+            // Stray block (e.g. inside a body we recursed into): recurse
+            // so nested items are still found.
+            let close = match_brackets(&f.tokens, i, "{", "}").min(end);
+            parse_items(f, i + 1, close.saturating_sub(1), owner);
+            i = close;
+        } else if is_kw(&t, "macro_rules") {
+            // `macro_rules! name { … }` — skip the whole definition.
+            let mut j = i + 1;
+            while j < end && f.tokens[j].text != "{" {
+                j += 1;
+            }
+            i = if j < end { match_brackets(&f.tokens, j, "{", "}").min(end) } else { end };
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Extracts the self-type name from an `impl` header (tokens between
+/// `impl<…>` and `{`): the last path segment of the type after `for` when
+/// present, otherwise of the first type. `impl Display for V2Graph` →
+/// `V2Graph`; `impl<T> Foo<T>` → `Foo`; `impl Tr for &mut S` → `S`.
+fn impl_self_type(header: &[Token]) -> Option<String> {
+    // Find a top-level `for` (not inside angle brackets).
+    let mut depth = 0i32;
+    let mut for_idx = None;
+    for (k, t) in header.iter().enumerate() {
+        match t.text.as_str() {
+            "<" => depth += 1,
+            ">" => depth -= 1,
+            "for" if depth <= 0 && t.kind == TokKind::Ident && !t.raw => {
+                for_idx = Some(k);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let ty = match for_idx {
+        Some(k) => &header[k + 1..],
+        None => header,
+    };
+    // Last ident of the leading path, stopping at generics.
+    let mut name = None;
+    for t in ty {
+        match t.text.as_str() {
+            "<" | "where" => break,
+            _ if t.kind == TokKind::Ident
+                && !KEYWORDS.contains(&t.text.as_str())
+                && t.text != "dyn" =>
+            {
+                name = Some(t.text.clone());
+            }
+            _ => {}
+        }
+    }
+    name
+}
+
+/// Extracts leaf aliases from the tokens of one `use` declaration
+/// (everything between `use` and `;`). Handles nested groups and `as`.
+fn parse_use_leaves(toks: &[Token], out: &mut Vec<UseAlias>) {
+    // Walk the token list; at each `,`, `}`, or end, the preceding
+    // `ident [as ident]` pair (if any) is a leaf.
+    let mut last_ident: Option<String> = None;
+    let mut alias: Option<String> = None;
+    let mut pending_as = false;
+    let mut flush = |last_ident: &mut Option<String>, alias: &mut Option<String>| {
+        if let Some(target) = last_ident.take() {
+            let bound = alias.take().unwrap_or_else(|| target.clone());
+            // `use a::b::c;` binds `c` to itself — record only renames
+            // and self-binds alike; resolution treats identity aliases
+            // as no-ops but renames matter.
+            out.push(UseAlias { alias: bound, target });
+        }
+        *alias = None;
+    };
+    for t in toks {
+        match t.text.as_str() {
+            "," | "}" => flush(&mut last_ident, &mut alias),
+            "{" | ":" => {}
+            "as" if t.kind == TokKind::Ident && !t.raw => pending_as = true,
+            "*" => {
+                last_ident = None;
+                alias = None;
+            }
+            _ if t.kind == TokKind::Ident => {
+                if pending_as {
+                    alias = Some(t.text.clone());
+                    pending_as = false;
+                } else {
+                    last_ident = Some(t.text.clone());
+                    alias = None;
+                }
+            }
+            _ => {}
+        }
+    }
+    flush(&mut last_ident, &mut alias);
+}
+
+/// Given `toks[open_idx] == open`, returns the index one past the
+/// matching `close` (or `toks.len()` if unbalanced).
+pub fn match_brackets(toks: &[Token], open_idx: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0i32;
+    let mut k = open_idx;
+    while k < toks.len() {
+        if toks[k].text == open {
+            depth += 1;
+        } else if toks[k].text == close {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+/// Matches `<`…`>` in generic position, ignoring the `>` of a `->` arrow
+/// (the lexer emits `-` and `>` as adjacent single-char puncts).
+fn match_angles(toks: &[Token], open_idx: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open_idx;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                let is_arrow = k > 0
+                    && toks[k - 1].text == "-"
+                    && toks[k - 1].line == toks[k].line
+                    && toks[k].col == toks[k - 1].col + 1;
+                if !is_arrow {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k + 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fns(src: &str) -> Vec<FnItem> {
+        parse_file("crates/x/src/a.rs", src).fns
+    }
+
+    #[test]
+    fn free_fn_and_visibility() {
+        let f = fns("pub fn alpha() {}\nfn beta(x: usize) -> usize { x }\n");
+        assert_eq!(f.len(), 2);
+        assert_eq!((f[0].name.as_str(), f[0].is_pub, f[0].owner.clone()), ("alpha", true, None));
+        assert_eq!((f[1].name.as_str(), f[1].is_pub), ("beta", false));
+        assert_eq!((f[0].line, f[0].col), (1, 8));
+    }
+
+    #[test]
+    fn impl_methods_get_owner() {
+        let src = "struct S;\nimpl S {\n  pub fn new() -> Self { S }\n  fn go(&self) {}\n}\n";
+        let p = parse_file("crates/x/src/a.rs", src);
+        assert_eq!(p.types, ["S"]);
+        assert_eq!(p.fns.len(), 2);
+        assert!(p.fns.iter().all(|f| f.owner.as_deref() == Some("S")));
+        assert!(p.fns[0].is_pub && !p.fns[1].is_pub);
+    }
+
+    #[test]
+    fn trait_impl_owner_is_self_type() {
+        let src = "impl<T: Clone> Visit<T> for Walker<T> {\n  fn visit(&self) {}\n}\n";
+        let p = parse_file("crates/x/src/a.rs", src);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Walker"));
+    }
+
+    #[test]
+    fn trait_default_methods_owned_by_trait() {
+        let src = "pub trait Sampler {\n  fn sample(&self);\n  fn twice(&self) { self.sample(); self.sample(); }\n}\n";
+        let p = parse_file("crates/x/src/a.rs", src);
+        assert_eq!(p.fns.len(), 2);
+        assert_eq!(p.fns[0].owner.as_deref(), Some("Sampler"));
+        assert!(p.fns[0].body.is_none(), "signature-only method has no body");
+        assert!(p.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn generic_fn_with_arrow_in_bounds() {
+        let src = "pub fn apply<F: Fn(usize) -> f64>(f: F) -> f64 { f(1) }\n";
+        let f = fns(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "apply");
+        assert!(f[0].body.is_some());
+    }
+
+    #[test]
+    fn use_aliases_and_groups() {
+        let src = "use crate::inner::make as build;\nuse a::{b, c as d};\npub use e::f;\n";
+        let p = parse_file("crates/x/src/a.rs", src);
+        assert!(p.aliases.contains(&UseAlias { alias: "build".into(), target: "make".into() }));
+        assert!(p.aliases.contains(&UseAlias { alias: "d".into(), target: "c".into() }));
+        assert!(p.aliases.contains(&UseAlias { alias: "f".into(), target: "f".into() }));
+    }
+
+    #[test]
+    fn type_alias_recorded() {
+        let src = "pub type Table = crate::sharded::ShardedEdgeTable<u64>;\n";
+        let p = parse_file("crates/x/src/a.rs", src);
+        assert_eq!(p.type_aliases, [("Table".into(), "ShardedEdgeTable".into())]);
+    }
+
+    #[test]
+    fn raw_ident_fn_is_not_an_item_keyword() {
+        // `r#fn` as a variable: must not be parsed as the start of a fn
+        // item (that would swallow the rest of the file).
+        let src = "fn real() { let r#fn = 1; let _ = r#fn + 1; }\nfn after() {}\n";
+        let f = fns(src);
+        assert_eq!(
+            f.iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+            ["real", "after"],
+            "raw identifiers must not open items"
+        );
+    }
+
+    #[test]
+    fn nested_fn_is_its_own_item() {
+        let src = "fn outer() { fn inner() {} inner(); }\n";
+        let f = fns(src);
+        assert_eq!(f.iter().map(|f| f.name.as_str()).collect::<Vec<_>>(), ["outer", "inner"]);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn helper() {}\n}\n";
+        let f = fns(src);
+        assert!(!f[0].in_test);
+        assert!(f[1].in_test);
+    }
+
+    #[test]
+    fn mod_blocks_are_recursed() {
+        let src = "mod inner {\n  pub fn deep() {}\n}\n";
+        let f = fns(src);
+        assert_eq!(f[0].name, "deep");
+        assert!(f[0].is_pub);
+    }
+}

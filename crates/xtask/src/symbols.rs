@@ -1,0 +1,254 @@
+//! Workspace symbol table: every `fn` item in every file, indexed for
+//! the conservative name-based resolution the call graph uses.
+//!
+//! Resolution policy (see DESIGN.md, "Whole-program analysis"): the
+//! analyses must *over*-approximate the call graph — a missed edge could
+//! silently hide a nondeterminism source or panic site, while a spurious
+//! edge only costs a justification comment. The table therefore resolves
+//!
+//! * free calls `name(..)` to **every free function** named `name` in the
+//!   workspace (imports and re-exports cannot make this incomplete);
+//! * method calls `.name(..)` to **every method** (fn with an owner,
+//!   including trait default methods) named `name` — class-hierarchy
+//!   analysis without the hierarchy;
+//! * qualified calls `Owner::name(..)` to the methods of `Owner` when
+//!   `Owner` is a workspace type (following `type` aliases and `Self`),
+//!   and otherwise — unknown receiver, e.g. a generic parameter `T` with
+//!   a trait bound — to **every function** named `name`, free or method.
+//!
+//! The single deliberate narrowing: a qualified call whose receiver is a
+//! well-known `std`/`core` type (`Vec::new`, `Instant::now`, …) that has
+//! no workspace `impl` resolves to nothing, because the callee is outside
+//! the workspace. This is documented, not silent — the receiver list is
+//! [`EXTERNAL_OWNERS`] and a workspace `impl` for such a type (e.g.
+//! `impl GraphOps for Vec<…>`) still resolves through the owner index
+//! first.
+
+use std::collections::BTreeMap;
+
+use crate::parser::ParsedFile;
+
+/// Index of a function in the workspace-wide function list.
+pub type FnId = usize;
+
+/// A function's location: file index + fn index within that file.
+#[derive(Debug, Clone, Copy)]
+pub struct FnRef {
+    /// Index into the parsed-file list.
+    pub file: usize,
+    /// Index into that file's `fns` vector.
+    pub item: usize,
+}
+
+/// Well-known external (std/core/alloc) receiver types: a qualified call
+/// through one of these resolves only via an explicit workspace `impl`,
+/// never via the bare-name fallback. Keeping ubiquitous constructors like
+/// `Vec::new` out of the fallback is what keeps the over-approximated
+/// graph tractable; the list is closed under review and documented in
+/// DESIGN.md.
+pub const EXTERNAL_OWNERS: &[&str] = &[
+    "Arc",
+    "AtomicBool",
+    "AtomicI64",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "BTreeMap",
+    "BTreeSet",
+    "Box",
+    "BinaryHeap",
+    "Cell",
+    "Command",
+    "Cow",
+    "Duration",
+    "File",
+    "HashMap",
+    "HashSet",
+    "Instant",
+    "Mutex",
+    "Option",
+    "Ordering",
+    "OsStr",
+    "OsString",
+    "Path",
+    "PathBuf",
+    "Rc",
+    "RefCell",
+    "Result",
+    "RwLock",
+    "String",
+    "SystemTime",
+    "Vec",
+    "VecDeque",
+    "char",
+    "f32",
+    "f64",
+    "i32",
+    "i64",
+    "str",
+    "u16",
+    "u32",
+    "u64",
+    "u8",
+    "usize",
+];
+
+/// The workspace symbol table.
+pub struct Symbols {
+    /// All functions, in (file, item) order. `FnId` indexes this.
+    pub fns: Vec<FnRef>,
+    by_free_name: BTreeMap<String, Vec<FnId>>,
+    by_method_name: BTreeMap<String, Vec<FnId>>,
+    by_owner_name: BTreeMap<(String, String), Vec<FnId>>,
+    type_aliases: BTreeMap<String, String>,
+    workspace_types: BTreeMap<String, ()>,
+}
+
+impl Symbols {
+    /// Builds the table from all parsed files.
+    pub fn build(files: &[ParsedFile]) -> Self {
+        let mut s = Symbols {
+            fns: Vec::new(),
+            by_free_name: BTreeMap::new(),
+            by_method_name: BTreeMap::new(),
+            by_owner_name: BTreeMap::new(),
+            type_aliases: BTreeMap::new(),
+            workspace_types: BTreeMap::new(),
+        };
+        for (fi, f) in files.iter().enumerate() {
+            for ty in &f.types {
+                s.workspace_types.insert(ty.clone(), ());
+            }
+            for (alias, target) in &f.type_aliases {
+                s.type_aliases.insert(alias.clone(), target.clone());
+            }
+            for (ii, item) in f.fns.iter().enumerate() {
+                let id = s.fns.len();
+                s.fns.push(FnRef { file: fi, item: ii });
+                match &item.owner {
+                    Some(owner) => {
+                        s.by_method_name.entry(item.name.clone()).or_default().push(id);
+                        s.by_owner_name
+                            .entry((owner.clone(), item.name.clone()))
+                            .or_default()
+                            .push(id);
+                    }
+                    None => {
+                        s.by_free_name.entry(item.name.clone()).or_default().push(id);
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Resolves a free call `name(..)`.
+    pub fn resolve_free(&self, name: &str) -> &[FnId] {
+        self.by_free_name.get(name).map_or(&[], |v| v)
+    }
+
+    /// Resolves a method call `.name(..)` to every same-named method.
+    pub fn resolve_method(&self, name: &str) -> &[FnId] {
+        self.by_method_name.get(name).map_or(&[], |v| v)
+    }
+
+    /// Resolves a qualified call `owner::name(..)`. `self_type` is the
+    /// enclosing impl's self type, used to substitute `Self`.
+    pub fn resolve_qualified(&self, owner: &str, name: &str, self_type: Option<&str>) -> Vec<FnId> {
+        // `Self::f()` → the enclosing impl type.
+        let mut owner = match owner {
+            "Self" => self_type.unwrap_or(owner),
+            o => o,
+        };
+        // Follow one level of `type A = B;`.
+        if let Some(target) = self.type_aliases.get(owner) {
+            owner = target;
+        }
+        if let Some(v) = self.by_owner_name.get(&(owner.to_string(), name.to_string())) {
+            return v.clone();
+        }
+        // A workspace type with no such method: the call goes through a
+        // trait whose impl we attribute to the concrete type, so an empty
+        // owner hit for a *known* type still falls through to same-named
+        // methods (trait-object dispatch). A known-external std type
+        // resolves to nothing — documented narrowing.
+        if EXTERNAL_OWNERS.contains(&owner) {
+            return Vec::new();
+        }
+        if self.workspace_types.contains_key(owner) {
+            return self.resolve_method(name).to_vec();
+        }
+        // Unknown receiver: a module path segment, a generic parameter
+        // with a trait bound, or a crate name. Fully conservative: every
+        // function with that name, free or method.
+        let mut out: Vec<FnId> = self.resolve_free(name).to_vec();
+        out.extend_from_slice(self.resolve_method(name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn table(files: &[(&str, &str)]) -> (Vec<ParsedFile>, Symbols) {
+        let parsed: Vec<ParsedFile> = files.iter().map(|(p, s)| parse_file(p, s)).collect();
+        let sym = Symbols::build(&parsed);
+        (parsed, sym)
+    }
+
+    #[test]
+    fn free_and_method_indexes_are_disjoint() {
+        let (_, s) = table(&[(
+            "crates/a/src/lib.rs",
+            "pub fn go() {}\nstruct S;\nimpl S { pub fn go(&self) {} }\n",
+        )]);
+        assert_eq!(s.resolve_free("go").len(), 1);
+        assert_eq!(s.resolve_method("go").len(), 1);
+    }
+
+    #[test]
+    fn qualified_known_owner_is_exact() {
+        let (_, s) = table(&[(
+            "crates/a/src/lib.rs",
+            "struct A;\nstruct B;\nimpl A { fn f(&self) {} }\nimpl B { fn f(&self) {} }\n",
+        )]);
+        assert_eq!(s.resolve_qualified("A", "f", None).len(), 1);
+    }
+
+    #[test]
+    fn qualified_unknown_owner_over_approximates() {
+        let (_, s) = table(&[(
+            "crates/a/src/lib.rs",
+            "pub fn f() {}\nstruct A;\nimpl A { fn f(&self) {} }\n",
+        )]);
+        // `T::f()` with generic `T`: both candidates.
+        assert_eq!(s.resolve_qualified("T", "f", None).len(), 2);
+    }
+
+    #[test]
+    fn qualified_external_owner_resolves_to_nothing() {
+        let (_, s) = table(&[("crates/a/src/lib.rs", "pub fn new() {}\n")]);
+        assert!(s.resolve_qualified("Vec", "new", None).is_empty());
+    }
+
+    #[test]
+    fn external_owner_with_workspace_impl_still_resolves() {
+        let (_, s) = table(&[(
+            "crates/a/src/lib.rs",
+            "trait Ops { fn deg(&self); }\nimpl Ops for Vec<u32> { fn deg(&self) {} }\n",
+        )]);
+        assert_eq!(s.resolve_qualified("Vec", "deg", None).len(), 1);
+    }
+
+    #[test]
+    fn self_substitution_and_type_alias() {
+        let (_, s) = table(&[(
+            "crates/a/src/lib.rs",
+            "struct Core;\nimpl Core { fn boot() {} }\npub type Engine = Core;\n",
+        )]);
+        assert_eq!(s.resolve_qualified("Self", "boot", Some("Core")).len(), 1);
+        assert_eq!(s.resolve_qualified("Engine", "boot", None).len(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Whole-program analysis integration tests over the on-disk fixture
+//! mini-workspace in `tests/fixtures/analyze/` (excluded from the real
+//! workspace walk by `config::EXCLUDE`). Each resolution edge case the
+//! call graph must handle conservatively — trait-object dispatch,
+//! generic bounds, use-rename re-exports — is asserted span-exactly:
+//! over-approximation is acceptable, silent under-approximation is not.
+
+use std::fs;
+use std::path::Path;
+
+use xtask::analyze::{analyze_files, AnalysisReport, AnalyzeConfig};
+use xtask::parser::{parse_file, ParsedFile};
+
+const APP: &str = "crates/app/src/lib.rs";
+const DEP: &str = "crates/dep/src/lib.rs";
+const DANGER: &str = "crates/danger/src/danger.rs";
+
+fn fixture_files() -> Vec<ParsedFile> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/analyze");
+    [APP, DEP, DANGER]
+        .iter()
+        .map(|rel| {
+            let src = fs::read_to_string(root.join(rel)).expect("fixture file exists");
+            parse_file(rel, &src)
+        })
+        .collect()
+}
+
+fn fixture_config() -> AnalyzeConfig {
+    AnalyzeConfig {
+        entry_points: ["entry_trait", "entry_generic", "entry_reexport", "entry_unsafe_chain"]
+            .iter()
+            .map(|n| (APP.to_string(), n.to_string()))
+            .collect(),
+        unsafe_modules: vec![DANGER.to_string()],
+        design_doc: Some("The sole unsafe module is crates/danger/src/danger.rs.".to_string()),
+    }
+}
+
+fn report() -> AnalysisReport {
+    analyze_files(&fixture_files(), &fixture_config())
+}
+
+#[test]
+fn trait_object_call_reaches_impl_taint() {
+    // entry_trait -> <dyn Stage>::run -> Impl1::run -> helper, where the
+    // HashMap lives. Dropping trait edges would lose this finding.
+    let r = report();
+    let hash = r
+        .taint
+        .iter()
+        .find(|t| t.kind == "hash_order")
+        .expect("HashMap behind a trait call is found");
+    assert_eq!(hash.file, DEP);
+    assert_eq!((hash.line, hash.col), (14, 33), "span-exact: the HashMap token");
+    assert_eq!(hash.func, "helper");
+    assert!(
+        hash.chain.contains(&"Impl1::run".to_string()),
+        "chain passes through the trait impl: {:?}",
+        hash.chain
+    );
+}
+
+#[test]
+fn use_rename_reexport_resolves() {
+    // entry_reexport calls `clock_read()`, a use-rename of
+    // `lightne_dep::noisy_time`. The alias table must map it back.
+    let r = report();
+    let t = r
+        .taint
+        .iter()
+        .find(|t| t.kind == "instant_now")
+        .expect("Instant::now behind a use-rename is found");
+    assert_eq!(t.file, DEP);
+    assert_eq!((t.line, t.col), (25, 13), "span-exact: the Instant token");
+    assert_eq!(t.func, "noisy_time");
+}
+
+#[test]
+fn nondeterminism_off_the_entry_surface_is_not_a_finding() {
+    // `not_an_entry` reads SystemTime but is not an entry point and is
+    // called by nobody — it must NOT appear.
+    let r = report();
+    assert!(
+        !r.taint.iter().any(|t| t.kind == "system_time_now"),
+        "unreachable source reported: {:?}",
+        r.taint
+    );
+}
+
+#[test]
+fn panic_sites_split_by_justification() {
+    let r = report();
+    let in_helper: Vec<_> = r.panic.iter().filter(|p| p.func == "helper").collect();
+    assert_eq!(in_helper.len(), 2, "{:?}", in_helper);
+    // Line 18 carries the xtask:panic-ok one line above; line 20 does not.
+    let justified = in_helper.iter().find(|p| p.line == 18).expect("justified site");
+    assert!(justified.justified);
+    let bare = in_helper.iter().find(|p| p.line == 21).expect("unjustified site");
+    assert!(!bare.justified);
+    assert_eq!(bare.kind, "unwrap");
+}
+
+#[test]
+fn unsafe_reach_lists_public_chain_only() {
+    let r = report();
+    assert_eq!(r.unsafe_reach.len(), 1);
+    let apis = &r.unsafe_reach[0].public_apis;
+    assert!(
+        apis.iter().any(|a| a.ends_with("::entry_unsafe_chain")),
+        "public caller chain into the unsafe module: {apis:?}"
+    );
+    assert!(
+        apis.iter().any(|a| a.ends_with("::poke")),
+        "the module's own public surface is included: {apis:?}"
+    );
+    assert!(
+        !apis.iter().any(|a| a.contains("entry_trait")),
+        "entries that never reach the module are excluded: {apis:?}"
+    );
+}
+
+#[test]
+fn inventory_cross_check_passes_and_fails() {
+    let r = report();
+    assert!(r.inventory.checked);
+    assert!(r.inventory.ok(), "{:?}", r.inventory);
+
+    // A DESIGN doc that omits the module fails the inventory.
+    let mut cfg = fixture_config();
+    cfg.design_doc = Some("No unsafe modules documented here.".to_string());
+    let r2 = analyze_files(&fixture_files(), &cfg);
+    assert_eq!(r2.inventory.missing_in_design, [DANGER.to_string()]);
+    assert!(!r2.ok());
+}
+
+#[test]
+fn missing_entry_point_gates() {
+    let mut cfg = fixture_config();
+    cfg.entry_points.push((APP.to_string(), "renamed_away".to_string()));
+    let r = analyze_files(&fixture_files(), &cfg);
+    assert_eq!(r.missing_entries.len(), 1);
+    assert!(r.missing_entries[0].contains("renamed_away"));
+    assert!(!r.ok(), "a dangling entry must fail the gate, not shrink the surface");
+}
+
+#[test]
+fn json_schema_matches_golden_file() {
+    // The ratchet script greps the flat counts block by key; the golden
+    // file pins the entire serialized form so any schema drift —
+    // renamed key, reordered field, changed nesting — fails here first.
+    let got = report().to_json();
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/analyze_golden.json");
+    let want = fs::read_to_string(&golden_path).expect("golden file committed");
+    assert_eq!(got, want, "JSON schema drifted from tests/fixtures/analyze_golden.json");
+}
+
+#[test]
+fn counts_block_is_flat_one_key_per_line() {
+    // The bash ratchet helper (`field()`) greps `"key": value` lines; a
+    // nested or multi-key-per-line counts block would silently break it.
+    let json = report().to_json();
+    let counts = json
+        .split("\"counts\": {")
+        .nth(1)
+        .and_then(|rest| rest.split('}').next())
+        .expect("counts block present");
+    for key in [
+        "functions",
+        "edges",
+        "entry_points",
+        "taint_unjustified",
+        "taint_justified",
+        "panic_unjustified",
+        "panic_justified",
+        "slice_index",
+        "int_div",
+        "assert_sites",
+        "panic_vendor_exempt",
+        "unsafe_reach_apis",
+        "directive_errors",
+    ] {
+        let hits: Vec<_> = counts.lines().filter(|l| l.contains(&format!("\"{key}\""))).collect();
+        assert_eq!(hits.len(), 1, "key {key} appears exactly once");
+        assert!(
+            hits[0].trim_start().starts_with(&format!("\"{key}\": ")),
+            "flat `\"{key}\": <n>` line, got {:?}",
+            hits[0]
+        );
+    }
+}

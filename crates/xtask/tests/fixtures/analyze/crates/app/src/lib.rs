@@ -1,0 +1,29 @@
+// Fixture: entry-point crate exercising the resolution edge cases the
+// call graph must over-approximate — trait-object dispatch, generic
+// bounds, and a use-rename re-export. NOT compiled; parsed by tests.
+
+use lightne_dep::noisy_time as clock_read;
+
+pub trait Stage {
+    fn run(&self) -> u32;
+}
+
+pub fn entry_trait(s: &dyn Stage) -> u32 {
+    s.run()
+}
+
+pub fn entry_generic<S: Stage>(s: S) -> u32 {
+    s.run()
+}
+
+pub fn entry_reexport() {
+    clock_read();
+}
+
+pub fn entry_unsafe_chain() -> u32 {
+    lightne_danger::poke()
+}
+
+pub fn not_an_entry() {
+    let _ = std::time::SystemTime::now();
+}

@@ -1,0 +1,8 @@
+// Fixture: the designated unsafe module for the unsafe-reach analysis.
+
+/// Reads the first element without a bounds check.
+pub fn poke() -> u32 {
+    let v = [1u32, 2, 3];
+    // SAFETY: index 0 of a non-empty array.
+    unsafe { *v.as_ptr() }
+}

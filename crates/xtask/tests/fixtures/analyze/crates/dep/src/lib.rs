@@ -1,0 +1,27 @@
+// Fixture: implementing crate. `Impl1::run` is only reachable through
+// the `Stage` trait in the app crate — a resolver that drops trait
+// edges under-approximates and misses every site below.
+
+pub struct Impl1;
+
+impl Stage for Impl1 {
+    fn run(&self) -> u32 {
+        helper()
+    }
+}
+
+fn helper() -> u32 {
+    let map = std::collections::HashMap::new();
+    let _ = map.len();
+    let a: Option<u32> = Some(2);
+    // xtask:panic-ok(fixture: justified site)
+    let x = a.unwrap();
+    let b: Option<u32> = Some(1);
+    let y = x + 1;
+    y + b.unwrap()
+}
+
+pub fn noisy_time() -> u64 {
+    let _ = Instant::now();
+    7
+}

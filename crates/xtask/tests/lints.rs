@@ -144,3 +144,61 @@ fn workspace_is_clean() {
         diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
     );
 }
+
+#[test]
+fn stale_allow_with_no_diagnostic_is_flagged() {
+    // A reasoned L5 allow over code that no longer reads the clock.
+    let src = "pub fn f() {\n    // xtask:allow(L5): used to time this block.\n    let x = 1;\n    let _ = x;\n}\n";
+    let diags = xtask::stale_suppressions("crates/core/src/x.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("stale `xtask:allow"), "{}", diags[0].message);
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn live_allow_is_not_flagged_as_stale() {
+    let src = "pub fn f() {\n    // xtask:allow(L5): measured for the stats block below.\n    let _t = Instant::now();\n}\n";
+    let diags = xtask::stale_suppressions("crates/core/src/x.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn stale_panic_ok_is_flagged() {
+    let src = "pub fn f() -> u32 {\n    // xtask:panic-ok(the unwrap this excused was removed)\n    41 + 1\n}\n";
+    let diags = xtask::stale_suppressions("crates/core/src/x.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert!(diags[0].message.contains("stale `xtask:panic-ok"), "{}", diags[0].message);
+}
+
+#[test]
+fn live_panic_ok_is_not_flagged() {
+    let src = "pub fn f() -> u32 {\n    // xtask:panic-ok(Some(1) is trivially unwrappable)\n    Some(1).unwrap()\n}\n";
+    let diags = xtask::stale_suppressions("crates/core/src/x.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn doc_comment_mentions_are_not_directives() {
+    // Prose about the directive syntax in rustdoc must neither act as a
+    // waiver nor be audited as a stale one.
+    let src =
+        "/// Suppress with `xtask:allow(L5): reason` or `xtask:panic-ok(reason)`.\npub fn f() {}\n";
+    assert!(xtask::stale_suppressions("crates/core/src/x.rs", src).is_empty());
+    let live =
+        "/// `xtask:allow(L5): reason` syntax docs.\npub fn f() { let _ = Instant::now(); }\n";
+    let diags = check_source("crates/core/src/x.rs", live);
+    assert_eq!(diags.len(), 1, "doc mention must not suppress the L5 diagnostic: {diags:?}");
+}
+
+/// The live workspace must also pass the stale-suppression audit: every
+/// committed waiver still covers a real site.
+#[test]
+fn workspace_has_no_stale_suppressions() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap();
+    let diags = xtask::stale_workspace_suppressions(root).expect("walk workspace");
+    assert!(
+        diags.is_empty(),
+        "stale suppressions:\n{}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

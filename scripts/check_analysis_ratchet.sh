@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Whole-program analysis ratchet (run by CI).
+#
+# Reads a fresh `cargo xtask analyze --json` report ($1, default
+# results/ANALYSIS_new.json) and fails (exit 1) when:
+#
+#   1. any hard-zero gate is nonzero — taint_unjustified,
+#      panic_unjustified, and directive_errors must all be 0 (the
+#      analyze exit code enforces this too; checking here keeps the
+#      ratchet self-contained); or
+#   2. a ratcheted count grew above the committed baseline
+#      (results/ANALYSIS_baseline.json). The ratchet is monotone
+#      downward: panic_justified, slice_index, int_div, assert_sites,
+#      panic_vendor_exempt, and unsafe_reach_apis may shrink freely but
+#      may only grow by editing the baseline in the same PR — which
+#      makes every new panic site, vendored waiver, or unsafe-reaching
+#      API a reviewed, deliberate change rather than silent drift.
+#
+# taint_justified is reported but not ratcheted: converting an
+# unjustified source into a justified one is progress even though the
+# justified count rises.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NEW=${1:-results/ANALYSIS_new.json}
+BASELINE=${BASELINE:-results/ANALYSIS_baseline.json}
+
+[ -f "$NEW" ] || { echo "no report at $NEW (run: cargo xtask analyze --json > $NEW)"; exit 1; }
+
+# Extracts the value of a flat one-key-per-line JSON field.
+field() { # field <file> <key>
+    awk -F': ' -v k="\"$2\"" '$1 ~ k { gsub(/[ ,]/, "", $2); print $2; exit }' "$1"
+}
+
+fail=0
+
+check_zero() { # check_zero <key>
+    local got
+    got=$(field "$NEW" "$1")
+    [ -n "$got" ] || { echo "FAIL: $NEW has no $1"; fail=1; return; }
+    if [ "$got" = "0" ]; then
+        echo "ok: $1 = 0"
+    else
+        echo "FAIL: $1 = $got (must be 0)"
+        fail=1
+    fi
+}
+
+check_zero taint_unjustified
+check_zero panic_unjustified
+check_zero directive_errors
+
+if [ -f "$BASELINE" ]; then
+    check_ratchet() { # check_ratchet <key>
+        local got base
+        got=$(field "$NEW" "$1")
+        base=$(field "$BASELINE" "$1")
+        [ -n "$got" ] || { echo "FAIL: $NEW has no $1"; fail=1; return; }
+        [ -n "$base" ] || { echo "FAIL: baseline has no $1 (schema drift?)"; fail=1; return; }
+        if [ "$got" -le "$base" ]; then
+            echo "ok: $1 $got <= baseline $base"
+        else
+            echo "FAIL: $1 grew to $got, baseline $base — justify the new sites and"
+            echo "      update results/ANALYSIS_baseline.json in the same PR"
+            fail=1
+        fi
+    }
+    check_ratchet panic_justified
+    check_ratchet slice_index
+    check_ratchet int_div
+    check_ratchet assert_sites
+    check_ratchet panic_vendor_exempt
+    check_ratchet unsafe_reach_apis
+else
+    echo "no committed baseline at $BASELINE; hard-zero gates only"
+fi
+
+exit "$fail"

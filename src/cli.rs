@@ -16,18 +16,18 @@ use crate::graph::v2::V2_EXTENSION;
 use crate::graph::{Codec, CompressedGraph, Graph, V2Graph};
 use crate::linalg::matio::{read_matrix, write_matrix};
 use crate::sparsifier::ProbScheme;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Minimal `--key value` / `--flag` parser.
 pub struct Opts {
-    values: HashMap<String, String>,
+    values: BTreeMap<String, String>,
     flags: Vec<String>,
 }
 
 impl Opts {
     /// Parses an argument list (without the command word).
     pub fn parse(args: &[String]) -> Result<Self, String> {
-        let mut values = HashMap::new();
+        let mut values = BTreeMap::new();
         let mut flags = Vec::new();
         let mut i = 0;
         while i < args.len() {
